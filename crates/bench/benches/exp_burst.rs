@@ -1,0 +1,40 @@
+//! E6 — I/O-array burst vs scalar transfer bench across burst lengths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmi_core::WrapperConfig;
+use dmi_sw::{workloads, WorkloadCfg};
+use dmi_system::{mem_base, McSystem, MemModelKind, SystemConfig};
+
+fn run(prog: dmi_isa::Program) -> u64 {
+    let mut sys = McSystem::build(SystemConfig {
+        programs: vec![prog],
+        memories: vec![MemModelKind::Wrapper(WrapperConfig::default())],
+        ..SystemConfig::default()
+    });
+    let r = sys.run(u64::MAX / 4);
+    assert!(r.all_ok());
+    r.sim_cycles
+}
+
+fn burst(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_burst_vs_scalar");
+    g.sample_size(10);
+    for len in [4u32, 16, 64, 128] {
+        let wl = WorkloadCfg {
+            mem_base: mem_base(0),
+            iterations: 8,
+            burst_len: len,
+            ..WorkloadCfg::default()
+        };
+        g.bench_with_input(BenchmarkId::new("burst", len), &wl, |b, wl| {
+            b.iter(|| run(workloads::burst_copy(wl)));
+        });
+        g.bench_with_input(BenchmarkId::new("scalar", len), &wl, |b, wl| {
+            b.iter(|| run(workloads::scalar_copy(wl)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, burst);
+criterion_main!(benches);

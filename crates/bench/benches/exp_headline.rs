@@ -1,0 +1,28 @@
+//! E1 — the paper's headline experiment as a Criterion bench: GSM pipeline
+//! on 4 ISSs, 1 memory vs 4 memories. Compare the two groups' times to
+//! obtain the simulation-speed degradation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmi_system::experiments::run_gsm_pipeline;
+
+fn headline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_headline_gsm_4iss");
+    g.sample_size(10);
+    for n_mems in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("memories", n_mems),
+            &n_mems,
+            |b, &n_mems| {
+                b.iter(|| {
+                    let r = run_gsm_pipeline(2, n_mems, 0x5EED);
+                    assert!(r.all_ok(), "{}", r.summary());
+                    r.sim_cycles
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, headline);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! E2/E3 — memory-model overhead benches: static table vs wrapper on the
+//! same scalar traffic; wrapper vs simulated heap on allocation churn.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmi_core::{SimHeapConfig, StaticMemConfig, WrapperConfig};
+use dmi_sw::{workloads, WorkloadCfg};
+use dmi_system::{mem_base, McSystem, MemModelKind, SystemConfig};
+
+fn run(programs: Vec<dmi_isa::Program>, mem: MemModelKind) -> u64 {
+    let mut sys = McSystem::build(SystemConfig {
+        programs,
+        memories: vec![mem],
+        ..SystemConfig::default()
+    });
+    let r = sys.run(u64::MAX / 4);
+    assert!(r.all_ok(), "{}", r.summary());
+    r.sim_cycles
+}
+
+fn model_overhead(c: &mut Criterion) {
+    let wl = WorkloadCfg {
+        mem_base: mem_base(0),
+        iterations: 400,
+        buf_words: 64,
+        ..WorkloadCfg::default()
+    };
+    let mut g = c.benchmark_group("e2_scalar_traffic_4iss");
+    g.sample_size(10);
+    g.bench_function("static_table", |b| {
+        b.iter(|| {
+            run(
+                vec![workloads::scalar_rw_static(&wl); 4],
+                MemModelKind::Static(StaticMemConfig::default()),
+            )
+        })
+    });
+    g.bench_function("wrapper", |b| {
+        b.iter(|| {
+            run(
+                vec![workloads::scalar_rw(&wl); 4],
+                MemModelKind::Wrapper(WrapperConfig::default()),
+            )
+        })
+    });
+    g.finish();
+
+    let churn = WorkloadCfg {
+        mem_base: mem_base(0),
+        iterations: 100,
+        buf_words: 32,
+        ..WorkloadCfg::default()
+    };
+    let mut g = c.benchmark_group("e3_alloc_churn_2iss");
+    g.sample_size(10);
+    g.bench_function("wrapper", |b| {
+        b.iter(|| {
+            run(
+                vec![workloads::alloc_churn(&churn); 2],
+                MemModelKind::Wrapper(WrapperConfig::default()),
+            )
+        })
+    });
+    g.bench_function("simheap", |b| {
+        b.iter(|| {
+            run(
+                vec![workloads::alloc_churn(&churn); 2],
+                MemModelKind::SimHeap(SimHeapConfig::default()),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, model_overhead);
+criterion_main!(benches);

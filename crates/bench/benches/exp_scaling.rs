@@ -1,0 +1,35 @@
+//! E5 — ISS-count scaling bench.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmi_core::WrapperConfig;
+use dmi_sw::{workloads, WorkloadCfg};
+use dmi_system::{mem_base, McSystem, MemModelKind, SystemConfig};
+
+fn scaling(c: &mut Criterion) {
+    let wl = WorkloadCfg {
+        mem_base: mem_base(0),
+        iterations: 300,
+        buf_words: 32,
+        ..WorkloadCfg::default()
+    };
+    let mut g = c.benchmark_group("e5_iss_scaling");
+    g.sample_size(10);
+    for n in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("cpus", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sys = McSystem::build(SystemConfig {
+                    programs: vec![workloads::scalar_rw(&wl); n],
+                    memories: vec![MemModelKind::Wrapper(WrapperConfig::default())],
+                    ..SystemConfig::default()
+                });
+                let r = sys.run(u64::MAX / 4);
+                assert!(r.all_ok());
+                r.sim_cycles
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, scaling);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E8 — GSM encoder benches: the native reference and the bare-ISS kernel
+//! execution rate (instructions interpreted per second).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmi_gsm::reference::{Encoder, LcgSource};
+use dmi_iss::{CpuCore, LocalMemory, NoBus, StepEvent};
+
+fn gsm(c: &mut Criterion) {
+    c.bench_function("e8_reference_encode_frame", |b| {
+        let mut src = LcgSource::new(1);
+        let mut enc = Encoder::new();
+        b.iter(|| {
+            let f = src.next_frame();
+            enc.encode_frame(&f)
+        });
+    });
+
+    c.bench_function("e8_iss_autocorr_kernel", |b| {
+        // One autocorrelation kernel on the bare ISS per iteration.
+        let mut a = dmi_isa::Asm::new();
+        a.li(dmi_isa::Reg::R0, 0x8000);
+        a.li(dmi_isa::Reg::R1, 0x9000);
+        a.li(dmi_isa::Reg::R2, 0xA000);
+        a.bl("gsm_autocorr");
+        a.swi(0);
+        dmi_gsm::codegen::emit_all_kernels(&mut a);
+        let prog = a.assemble(0).unwrap();
+        let mut src = LcgSource::new(2);
+        let frame = src.next_frame();
+        b.iter(|| {
+            let mut cpu = CpuCore::new(0, LocalMemory::new(0, 0x20000));
+            cpu.load_program(&prog);
+            for (i, &s) in frame.iter().enumerate() {
+                cpu.local_mut().write32(0x8000 + 4 * i as u32, s as u32).unwrap();
+            }
+            assert_eq!(cpu.run(&mut NoBus, 10_000_000), StepEvent::Halted);
+            cpu.cycles()
+        });
+    });
+}
+
+criterion_group!(benches, gsm);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Simulation-kernel microbenches: raw event throughput and signal commit
+//! cost — the substrate overheads all experiments sit on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmi_kernel::{Component, Ctx, Edge, Simulator, Wire};
+
+struct Toggler {
+    clk: Wire,
+    out: Wire,
+    state: bool,
+}
+impl Component for Toggler {
+    fn name(&self) -> &str {
+        "toggler"
+    }
+    fn wake(&mut self, ctx: &mut Ctx<'_>) {
+        if ctx.is_signal(self.clk) {
+            self.state = !self.state;
+            ctx.write_bit(self.out, self.state);
+        }
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+fn kernel(c: &mut Criterion) {
+    c.bench_function("kernel_1k_cycles_16_components", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new();
+            let clk = sim.add_clock("clk", 2);
+            for i in 0..16 {
+                let out = sim.wire(format!("t{i}"), 1);
+                let id = sim.add_component(Box::new(Toggler {
+                    clk,
+                    out,
+                    state: false,
+                }));
+                sim.subscribe(id, clk, Edge::Rising);
+            }
+            sim.run_for(2000);
+            sim.stats().events
+        });
+    });
+}
+
+criterion_group!(benches, kernel);
+criterion_main!(benches);

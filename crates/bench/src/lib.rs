@@ -1,0 +1,13 @@
+//! # dmi-bench — benchmark harness for the DATE'05 reproduction
+//!
+//! Two entry points:
+//!
+//! * `cargo bench -p dmi-bench` — Criterion benches, one per experiment
+//!   (see `benches/`): `exp_headline` (E1), `exp_model_overhead` (E2/E3),
+//!   `exp_scaling` (E5), `exp_burst` (E6), `table_scaling` (E4/E7),
+//!   `gsm_encode` (E8), `kernel_micro` (kernel overheads);
+//! * `cargo run -p dmi-bench --release --bin experiments` — runs every
+//!   experiment end-to-end and prints the markdown tables recorded in
+//!   `EXPERIMENTS.md`.
+
+pub use dmi_system::experiments;

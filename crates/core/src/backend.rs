@@ -1,0 +1,117 @@
+//! The backend interface shared by all shared-memory models.
+//!
+//! A backend implements the *functional* semantics and the *timing cost* of
+//! each protocol operation; the bus-facing FSM ([`crate::MemoryModule`])
+//! is common to all models. This separation mirrors Figure 2 of the paper —
+//! a cycle-true part in front of an exchangeable functional part — and is
+//! what makes model comparisons (wrapper vs. simulated heap vs. static
+//! tables) apples-to-apples: same protocol, same handshake, different
+//! internals.
+
+use crate::host::HostStats;
+use crate::protocol::{OpResult, Request, Status};
+
+/// Functional + timing counters of one memory module.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Successful allocations.
+    pub allocs: u64,
+    /// Successful frees.
+    pub frees: u64,
+    /// Scalar reads served.
+    pub reads: u64,
+    /// Scalar writes served.
+    pub writes: u64,
+    /// Burst beats transferred (both directions).
+    pub burst_beats: u64,
+    /// Operations that completed with an error status.
+    pub errors: u64,
+    /// Allocation denials due to the finite-size limit.
+    pub denials: u64,
+    /// Total simulated busy cycles charged by the backend.
+    pub busy_cycles: u64,
+    /// Host-side allocation activity (non-zero only for the wrapper).
+    pub host: HostStats,
+}
+
+/// One beat of an active burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BeatResult {
+    /// Status of the beat ([`Status::Ok`] or the error that aborted the
+    /// burst).
+    pub status: Status,
+    /// Data (reads only; zero for writes).
+    pub data: u32,
+    /// Simulated cycles this beat occupies the module.
+    pub cycles: u64,
+}
+
+impl BeatResult {
+    /// A successful beat.
+    pub fn ok(data: u32, cycles: u64) -> Self {
+        BeatResult {
+            status: Status::Ok,
+            data,
+            cycles,
+        }
+    }
+
+    /// A failed beat.
+    pub fn err(status: Status, cycles: u64) -> Self {
+        BeatResult {
+            status,
+            data: 0,
+            cycles,
+        }
+    }
+}
+
+/// A shared-memory model: functional semantics plus timing.
+///
+/// Implementations in this crate: [`WrapperBackend`] (the paper's
+/// host-backed dynamic memory), [`SimHeapBackend`] (a detailed in-simulation
+/// allocator — the "complex and slow" baseline the paper argues against).
+///
+/// [`WrapperBackend`]: crate::WrapperBackend
+/// [`SimHeapBackend`]: crate::SimHeapBackend
+pub trait DsmBackend: std::fmt::Debug {
+    /// Short model name for reports ("wrapper", "simheap", …).
+    fn kind(&self) -> &'static str;
+
+    /// Executes a command (everything except burst data beats).
+    fn execute(&mut self, req: &Request) -> OpResult;
+
+    /// Accepts one beat of `master`'s active burst write. The final beat
+    /// commits the I/O array to storage. I/O arrays are banked per master
+    /// (per-port hardware buffers), so concurrent masters do not corrupt
+    /// each other's bursts.
+    fn burst_write_beat(&mut self, master: u8, value: u32) -> BeatResult;
+
+    /// Produces one beat of `master`'s active burst read.
+    fn burst_read_beat(&mut self, master: u8) -> BeatResult;
+
+    /// Remaining capacity in bytes (INFO register).
+    fn free_bytes(&self) -> u32;
+
+    /// Activity counters.
+    fn stats(&self) -> MemStats;
+
+    /// Upcast for concrete-model inspection after a run.
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beat_result_constructors() {
+        let b = BeatResult::ok(7, 2);
+        assert_eq!(b.status, Status::Ok);
+        assert_eq!(b.data, 7);
+        let e = BeatResult::err(Status::BadArgs, 1);
+        assert_eq!(e.status, Status::BadArgs);
+        assert_eq!(e.data, 0);
+        assert_eq!(e.cycles, 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Timing parameters of the wrapper's cycle-true part.
+//!
+//! The paper: *"To model data dependent latencies, a set of delay
+//! parameters can be used in the FSM."* `DelayModel` captures those
+//! parameters: each operation has a base latency plus an optional
+//! size-proportional term, so e.g. allocation latency can grow with the
+//! requested dimension exactly as a real DRAM-backed allocator's would.
+
+/// A latency that depends linearly on the number of bytes involved:
+/// `base + (bytes * per_byte_num) / per_byte_den` cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinDelay {
+    /// Fixed part in cycles.
+    pub base: u64,
+    /// Numerator of the per-byte slope.
+    pub per_byte_num: u64,
+    /// Denominator of the per-byte slope (≥ 1).
+    pub per_byte_den: u64,
+}
+
+impl LinDelay {
+    /// A purely fixed latency.
+    pub const fn fixed(base: u64) -> Self {
+        LinDelay {
+            base,
+            per_byte_num: 0,
+            per_byte_den: 1,
+        }
+    }
+
+    /// A latency of `base` plus `num/den` cycles per byte.
+    pub const fn scaled(base: u64, num: u64, den: u64) -> Self {
+        LinDelay {
+            base,
+            per_byte_num: num,
+            per_byte_den: den,
+        }
+    }
+
+    /// Evaluates the latency for an operation touching `bytes` bytes.
+    #[inline]
+    pub fn cycles(&self, bytes: u32) -> u64 {
+        self.base + (bytes as u64 * self.per_byte_num) / self.per_byte_den.max(1)
+    }
+}
+
+/// The full delay parameter set of one memory module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelayModel {
+    /// Allocation (size-dependent by default: clearing cost).
+    pub alloc: LinDelay,
+    /// Deallocation.
+    pub free: LinDelay,
+    /// Scalar read.
+    pub read: LinDelay,
+    /// Scalar write.
+    pub write: LinDelay,
+    /// Burst setup (charged at the burst command).
+    pub burst_setup: LinDelay,
+    /// Per-beat cost during a burst.
+    pub burst_beat: u64,
+    /// Reservation acquire/release.
+    pub reserve: LinDelay,
+    /// Plain register (ARG/STATUS/RESULT/INFO) access.
+    pub reg_access: u64,
+}
+
+impl Default for DelayModel {
+    /// Defaults modelled on a small on-chip SRAM-backed memory controller:
+    /// single-digit latencies with a gentle size term on allocation.
+    fn default() -> Self {
+        DelayModel {
+            alloc: LinDelay::scaled(6, 1, 256),
+            free: LinDelay::fixed(4),
+            read: LinDelay::fixed(2),
+            write: LinDelay::fixed(2),
+            burst_setup: LinDelay::fixed(3),
+            burst_beat: 1,
+            reserve: LinDelay::fixed(2),
+            reg_access: 0,
+        }
+    }
+}
+
+impl DelayModel {
+    /// A zero-latency model (functional simulation; ablation baseline).
+    pub fn zero() -> Self {
+        DelayModel {
+            alloc: LinDelay::fixed(0),
+            free: LinDelay::fixed(0),
+            read: LinDelay::fixed(0),
+            write: LinDelay::fixed(0),
+            burst_setup: LinDelay::fixed(0),
+            burst_beat: 0,
+            reserve: LinDelay::fixed(0),
+            reg_access: 0,
+        }
+    }
+
+    /// A model with uniform latency `n` on every operation (sweeps).
+    pub fn uniform(n: u64) -> Self {
+        DelayModel {
+            alloc: LinDelay::fixed(n),
+            free: LinDelay::fixed(n),
+            read: LinDelay::fixed(n),
+            write: LinDelay::fixed(n),
+            burst_setup: LinDelay::fixed(n),
+            burst_beat: n.max(1),
+            reserve: LinDelay::fixed(n),
+            reg_access: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_ignores_size() {
+        let d = LinDelay::fixed(5);
+        assert_eq!(d.cycles(0), 5);
+        assert_eq!(d.cycles(1_000_000), 5);
+    }
+
+    #[test]
+    fn scaled_grows_linearly() {
+        let d = LinDelay::scaled(6, 1, 256);
+        assert_eq!(d.cycles(0), 6);
+        assert_eq!(d.cycles(255), 6);
+        assert_eq!(d.cycles(256), 7);
+        assert_eq!(d.cycles(1024), 10);
+    }
+
+    #[test]
+    fn zero_denominator_is_safe() {
+        let d = LinDelay {
+            base: 1,
+            per_byte_num: 1,
+            per_byte_den: 0,
+        };
+        assert_eq!(d.cycles(100), 101);
+    }
+
+    #[test]
+    fn preset_models() {
+        let z = DelayModel::zero();
+        assert_eq!(z.read.cycles(4), 0);
+        assert_eq!(z.burst_beat, 0);
+        let u = DelayModel::uniform(7);
+        assert_eq!(u.alloc.cycles(10_000), 7);
+        assert_eq!(u.burst_beat, 7);
+        let d = DelayModel::default();
+        assert!(d.alloc.cycles(4096) > d.alloc.cycles(0), "data dependent");
+    }
+}

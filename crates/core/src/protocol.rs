@@ -1,0 +1,277 @@
+//! The shared-memory command protocol.
+//!
+//! Every transaction between an ISS and a memory module starts with an
+//! opcode and the module address (the paper's `sm_addr`, realized here as
+//! the interconnect's address decode), followed by operation-specific
+//! operands. The protocol is implemented as a small MMIO register block so
+//! ordinary load/store instructions can drive it; all three memory models
+//! (host-backed wrapper, static table, simulated heap) answer the same
+//! block, which is what makes cross-model experiments fair.
+//!
+//! ## Register map (byte offsets inside the module's window)
+//!
+//! | offset | name   | dir | meaning |
+//! |--------|--------|-----|---------|
+//! | 0x00   | CMD    | W   | opcode; writing triggers execution (ack delayed until done) |
+//! | 0x04   | ARG0   | W   | dim (alloc) / vptr (free, read, write, bursts, reserve) |
+//! | 0x08   | ARG1   | W   | element type (alloc) / value (write) / width (read) |
+//! | 0x0C   | ARG2   | W   | burst length in elements / scalar access width |
+//! | 0x10   | STATUS | R   | [`Status`] of the last operation |
+//! | 0x14   | RESULT | R   | vptr (alloc) / data (read) |
+//! | 0x18   | DATA   | RW  | burst data port (one element per access) |
+//! | 0x1C   | INFO   | R   | free capacity in bytes |
+
+/// Null virtual pointer returned by failed allocations. `0` cannot be the
+/// sentinel because the paper defines the *first* Vptr to be zero.
+pub const NULL_VPTR: u32 = 0xFFFF_FFFF;
+
+/// Byte offsets of the MMIO registers.
+pub mod regs {
+    /// Command register (write to execute).
+    pub const CMD: u32 = 0x00;
+    /// First argument register.
+    pub const ARG0: u32 = 0x04;
+    /// Second argument register.
+    pub const ARG1: u32 = 0x08;
+    /// Third argument register.
+    pub const ARG2: u32 = 0x0C;
+    /// Status of the last command.
+    pub const STATUS: u32 = 0x10;
+    /// Result of the last command.
+    pub const RESULT: u32 = 0x14;
+    /// Burst data port.
+    pub const DATA: u32 = 0x18;
+    /// Free-capacity probe.
+    pub const INFO: u32 = 0x1C;
+    /// Size of the register block (modules are decoded on this granule).
+    pub const BLOCK_SIZE: u32 = 0x20;
+}
+
+/// Operation codes written to the CMD register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum Opcode {
+    /// No operation (STATUS := Ok).
+    Nop = 0,
+    /// Allocate `ARG0` elements of type `ARG1`; RESULT := vptr.
+    Alloc = 1,
+    /// Free the allocation containing vptr `ARG0` (must be the base vptr).
+    Free = 2,
+    /// Write `ARG1` at vptr `ARG0` with width `ARG2`.
+    Write = 3,
+    /// Read from vptr `ARG0` with width `ARG2`; RESULT := data.
+    Read = 4,
+    /// Begin a burst write of `ARG2` elements at vptr `ARG0`.
+    WriteBurst = 5,
+    /// Begin a burst read of `ARG2` elements at vptr `ARG0`.
+    ReadBurst = 6,
+    /// Reserve (semaphore-acquire) the allocation containing `ARG0`.
+    /// RESULT := 1 on success, 0 when held by another master.
+    Reserve = 7,
+    /// Release a reservation on `ARG0`.
+    Release = 8,
+    /// RESULT := free capacity in bytes.
+    Info = 9,
+}
+
+impl Opcode {
+    /// Decodes a CMD register value.
+    pub fn from_u32(v: u32) -> Option<Opcode> {
+        Some(match v {
+            0 => Opcode::Nop,
+            1 => Opcode::Alloc,
+            2 => Opcode::Free,
+            3 => Opcode::Write,
+            4 => Opcode::Read,
+            5 => Opcode::WriteBurst,
+            6 => Opcode::ReadBurst,
+            7 => Opcode::Reserve,
+            8 => Opcode::Release,
+            9 => Opcode::Info,
+            _ => return None,
+        })
+    }
+}
+
+/// Completion status of an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum Status {
+    /// Completed successfully.
+    Ok = 0,
+    /// Operation in progress (visible only on live STATUS polls).
+    Busy = 1,
+    /// Allocation denied: capacity would be exceeded.
+    OutOfMemory = 2,
+    /// The vptr does not resolve to a live allocation.
+    BadPointer = 3,
+    /// The allocation is reserved by another master.
+    Locked = 4,
+    /// Unknown opcode.
+    BadOpcode = 5,
+    /// Malformed arguments (zero size, bad width code, …).
+    BadArgs = 6,
+    /// The paper's monotonic vptr rule exhausted the 32-bit virtual space.
+    VirtualExhausted = 7,
+    /// The model does not support this operation.
+    Unsupported = 8,
+    /// Access escapes the bounds of the allocation.
+    OutOfBounds = 9,
+}
+
+impl Status {
+    /// Decodes a STATUS register value.
+    pub fn from_u32(v: u32) -> Option<Status> {
+        Some(match v {
+            0 => Status::Ok,
+            1 => Status::Busy,
+            2 => Status::OutOfMemory,
+            3 => Status::BadPointer,
+            4 => Status::Locked,
+            5 => Status::BadOpcode,
+            6 => Status::BadArgs,
+            7 => Status::VirtualExhausted,
+            8 => Status::Unsupported,
+            9 => Status::OutOfBounds,
+            _ => return None,
+        })
+    }
+
+    /// Whether this is the success status.
+    pub fn is_ok(self) -> bool {
+        self == Status::Ok
+    }
+}
+
+/// Element types stored in the pointer table (the paper's `Type` column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u32)]
+pub enum ElemType {
+    /// 8-bit elements.
+    U8 = 0,
+    /// 16-bit elements.
+    U16 = 1,
+    /// 32-bit elements (the common case for ISS data).
+    #[default]
+    U32 = 2,
+}
+
+impl ElemType {
+    /// Decodes an ARG1 type code.
+    pub fn from_u32(v: u32) -> Option<ElemType> {
+        Some(match v {
+            0 => ElemType::U8,
+            1 => ElemType::U16,
+            2 => ElemType::U32,
+            _ => return None,
+        })
+    }
+
+    /// Element width in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            ElemType::U8 => 1,
+            ElemType::U16 => 2,
+            ElemType::U32 => 4,
+        }
+    }
+}
+
+/// A decoded command as presented to a memory backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// The operation.
+    pub op: Opcode,
+    /// First operand (dim / vptr).
+    pub arg0: u32,
+    /// Second operand (type / value / width).
+    pub arg1: u32,
+    /// Third operand (burst length / width).
+    pub arg2: u32,
+    /// Index of the issuing bus master (for reservations).
+    pub master: u8,
+}
+
+/// Outcome of a backend operation: architectural result plus the simulated
+/// time it must appear to take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpResult {
+    /// Completion status.
+    pub status: Status,
+    /// RESULT register value.
+    pub result: u32,
+    /// Simulated cycles before the module acknowledges.
+    pub cycles: u64,
+}
+
+impl OpResult {
+    /// Successful completion.
+    pub fn ok(result: u32, cycles: u64) -> Self {
+        OpResult {
+            status: Status::Ok,
+            result,
+            cycles,
+        }
+    }
+
+    /// Failed completion (RESULT := [`NULL_VPTR`]).
+    pub fn err(status: Status, cycles: u64) -> Self {
+        OpResult {
+            status,
+            result: NULL_VPTR,
+            cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_roundtrip() {
+        for v in 0..=9 {
+            assert_eq!(Opcode::from_u32(v).unwrap() as u32, v);
+        }
+        assert_eq!(Opcode::from_u32(10), None);
+    }
+
+    #[test]
+    fn status_roundtrip() {
+        for v in 0..=9 {
+            assert_eq!(Status::from_u32(v).unwrap() as u32, v);
+        }
+        assert_eq!(Status::from_u32(100), None);
+        assert!(Status::Ok.is_ok());
+        assert!(!Status::Busy.is_ok());
+    }
+
+    #[test]
+    fn elem_type_widths() {
+        assert_eq!(ElemType::U8.bytes(), 1);
+        assert_eq!(ElemType::U16.bytes(), 2);
+        assert_eq!(ElemType::U32.bytes(), 4);
+        assert_eq!(ElemType::from_u32(3), None);
+        assert_eq!(ElemType::from_u32(2), Some(ElemType::U32));
+    }
+
+    #[test]
+    fn op_result_constructors() {
+        let r = OpResult::ok(5, 3);
+        assert!(r.status.is_ok());
+        assert_eq!(r.result, 5);
+        let e = OpResult::err(Status::OutOfMemory, 2);
+        assert_eq!(e.result, NULL_VPTR);
+        assert_eq!(e.cycles, 2);
+    }
+
+    #[test]
+    fn register_map_is_word_spaced() {
+        use regs::*;
+        let all = [CMD, ARG0, ARG1, ARG2, STATUS, RESULT, DATA, INFO];
+        for (i, r) in all.iter().enumerate() {
+            assert_eq!(*r, (i as u32) * 4);
+        }
+        assert!(BLOCK_SIZE >= INFO + 4);
+    }
+}

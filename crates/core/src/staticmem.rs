@@ -1,0 +1,312 @@
+//! Static table memory: the traditional baseline.
+//!
+//! "Unless complex and slow dynamic memory models are added, static
+//! memories implemented as tables are used" (paper, Section 2). This
+//! component is that static table: a flat array serving every bus access
+//! as a direct data read/write with a fixed latency. It supports no
+//! allocation, no protocol and no reservations — which is precisely why
+//! frameworks built on it cannot run dynamic-data applications, and what
+//! the wrapper's overhead is measured against (experiment E2).
+
+use std::any::Any;
+
+use dmi_kernel::{Component, Ctx, Wake, Wire};
+
+use crate::module::{ModuleStats, SlavePorts};
+
+/// Configuration of a [`StaticTableMemory`].
+#[derive(Debug, Clone, Copy)]
+pub struct StaticMemConfig {
+    /// Size of the table in bytes.
+    pub capacity: u32,
+    /// Fixed read latency in cycles.
+    pub read_latency: u64,
+    /// Fixed write latency in cycles.
+    pub write_latency: u64,
+}
+
+impl Default for StaticMemConfig {
+    fn default() -> Self {
+        StaticMemConfig {
+            capacity: 1 << 20,
+            read_latency: 2,
+            write_latency: 2,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FsmState {
+    Idle,
+    Exec { remaining: u64, data: u32 },
+    AckWait,
+}
+
+/// A flat, fixed-latency RAM on the bus.
+#[derive(Debug)]
+pub struct StaticTableMemory {
+    name: String,
+    clk: Wire,
+    ports: SlavePorts,
+    base: u32,
+    bytes: Vec<u8>,
+    config: StaticMemConfig,
+    stats: ModuleStats,
+    reads: u64,
+    writes: u64,
+    state: FsmState,
+}
+
+impl StaticTableMemory {
+    /// Creates a static memory decoded at `base`.
+    pub fn new(
+        name: impl Into<String>,
+        clk: Wire,
+        ports: SlavePorts,
+        base: u32,
+        config: StaticMemConfig,
+    ) -> Self {
+        StaticTableMemory {
+            name: name.into(),
+            clk,
+            ports,
+            base,
+            bytes: vec![0; config.capacity as usize],
+            config,
+            stats: ModuleStats::default(),
+            reads: 0,
+            writes: 0,
+            state: FsmState::Idle,
+        }
+    }
+
+    /// Handshake statistics.
+    pub fn stats(&self) -> ModuleStats {
+        self.stats
+    }
+
+    /// Data accesses served, as `(reads, writes)`.
+    pub fn access_counts(&self) -> (u64, u64) {
+        (self.reads, self.writes)
+    }
+
+    /// Direct view of the table (test verification).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    fn accept(&mut self, ctx: &Ctx<'_>) -> (u32, u64) {
+        let addr = ctx.read(self.ports.addr) as u32;
+        let we = ctx.read_bit(self.ports.we);
+        let size = ctx.read(self.ports.size);
+        let width = match size {
+            0 => 1u32,
+            1 => 2,
+            _ => 4,
+        };
+        let offset = addr.wrapping_sub(self.base) as usize;
+        // Out-of-range accesses read as zero and drop writes (a real SRAM
+        // macro would wrap; zero-fill keeps bugs visible).
+        if offset + width as usize > self.bytes.len() {
+            return (0, self.config.read_latency);
+        }
+        if we {
+            let wdata = ctx.read(self.ports.wdata) as u32;
+            let le = wdata.to_le_bytes();
+            self.bytes[offset..offset + width as usize].copy_from_slice(&le[..width as usize]);
+            self.writes += 1;
+            (0, self.config.write_latency)
+        } else {
+            let mut le = [0u8; 4];
+            le[..width as usize].copy_from_slice(&self.bytes[offset..offset + width as usize]);
+            self.reads += 1;
+            (u32::from_le_bytes(le), self.config.read_latency)
+        }
+    }
+
+    fn finish(&mut self, ctx: &mut Ctx<'_>, data: u32) {
+        ctx.write_bit(self.ports.ack, true);
+        ctx.write(self.ports.rdata, data as u64);
+        self.state = FsmState::AckWait;
+        self.stats.transactions += 1;
+    }
+}
+
+impl Component for StaticTableMemory {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn wake(&mut self, ctx: &mut Ctx<'_>) {
+        match ctx.cause() {
+            Wake::Start => {
+                ctx.write_bit(self.ports.ack, false);
+                ctx.write(self.ports.rdata, 0);
+            }
+            Wake::Signal(_) if ctx.is_signal(self.clk) => match self.state {
+                FsmState::Idle => {
+                    if ctx.read_bit(self.ports.req) {
+                        let (data, busy) = self.accept(ctx);
+                        if busy == 0 {
+                            self.finish(ctx, data);
+                        } else {
+                            self.state = FsmState::Exec {
+                                remaining: busy,
+                                data,
+                            };
+                        }
+                    } else {
+                        self.stats.idle_cycles += 1;
+                    }
+                }
+                FsmState::Exec { remaining, data } => {
+                    self.stats.busy_cycles += 1;
+                    if remaining <= 1 {
+                        self.finish(ctx, data);
+                    } else {
+                        self.state = FsmState::Exec {
+                            remaining: remaining - 1,
+                            data,
+                        };
+                    }
+                }
+                FsmState::AckWait => {
+                    ctx.write_bit(self.ports.ack, false);
+                    if !ctx.read_bit(self.ports.req) {
+                        self.state = FsmState::Idle;
+                    }
+                }
+            },
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmi_kernel::{Edge, Simulator};
+
+    /// Minimal scripted master mirroring the one in `module::tests`.
+    #[derive(Debug)]
+    struct Script {
+        clk: Wire,
+        ports: SlavePorts,
+        ops: Vec<(u32, bool, u32, u64)>, // addr, we, wdata, size
+        results: Vec<u32>,
+        index: usize,
+        busy: bool,
+    }
+
+    impl Component for Script {
+        fn name(&self) -> &str {
+            "script"
+        }
+        fn wake(&mut self, ctx: &mut Ctx<'_>) {
+            if !ctx.is_signal(self.clk) {
+                return;
+            }
+            if self.busy {
+                if ctx.read_bit(self.ports.ack) {
+                    self.results.push(ctx.read(self.ports.rdata) as u32);
+                    ctx.write_bit(self.ports.req, false);
+                    self.busy = false;
+                    self.index += 1;
+                    if self.index == self.ops.len() {
+                        ctx.stop("done");
+                    }
+                }
+                return;
+            }
+            if self.index < self.ops.len() {
+                let (addr, we, wdata, size) = self.ops[self.index];
+                ctx.write_bit(self.ports.req, true);
+                ctx.write_bit(self.ports.we, we);
+                ctx.write(self.ports.addr, addr as u64);
+                ctx.write(self.ports.wdata, wdata as u64);
+                ctx.write(self.ports.size, size);
+                self.busy = true;
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    const BASE: u32 = 0x8000_0000;
+
+    fn run(ops: Vec<(u32, bool, u32, u64)>) -> Vec<u32> {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", 2);
+        let ports = SlavePorts::declare(&mut sim, "ram.s");
+        let ram = StaticTableMemory::new(
+            "ram",
+            clk,
+            ports,
+            BASE,
+            StaticMemConfig {
+                capacity: 0x100,
+                read_latency: 2,
+                write_latency: 1,
+            },
+        );
+        let rid = sim.add_component(Box::new(ram));
+        sim.subscribe(rid, clk, Edge::Rising);
+        let script = Script {
+            clk,
+            ports,
+            ops,
+            results: Vec::new(),
+            index: 0,
+            busy: false,
+        };
+        let sid = sim.add_component(Box::new(script));
+        sim.subscribe(sid, clk, Edge::Rising);
+        let summary = sim.run_until_stopped(100_000);
+        assert!(summary.stop.is_some(), "script did not finish");
+        sim.component::<Script>(sid).unwrap().results.clone()
+    }
+
+    #[test]
+    fn word_write_read() {
+        let r = run(vec![
+            (BASE + 0x10, true, 0xDEAD_BEEF, 2),
+            (BASE + 0x10, false, 0, 2),
+        ]);
+        assert_eq!(r[1], 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn sub_word_accesses() {
+        let r = run(vec![
+            (BASE + 0x20, true, 0x1122_3344, 2),
+            (BASE + 0x20, false, 0, 0),  // byte -> 0x44
+            (BASE + 0x20, false, 0, 1),  // half -> 0x3344
+            (BASE + 0x22, true, 0xAB, 0), // byte write
+            (BASE + 0x20, false, 0, 2),
+        ]);
+        assert_eq!(r[1], 0x44);
+        assert_eq!(r[2], 0x3344);
+        assert_eq!(r[4], 0x11AB_3344);
+    }
+
+    #[test]
+    fn out_of_range_reads_zero() {
+        let r = run(vec![
+            (BASE + 0x200, true, 7, 2),  // dropped
+            (BASE + 0x200, false, 0, 2), // zero
+        ]);
+        assert_eq!(r[1], 0);
+    }
+}

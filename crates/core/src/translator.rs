@@ -1,0 +1,135 @@
+//! The translator: endianness and data-size conversion between the
+//! simulated architecture and host storage.
+//!
+//! In the paper the translator sits in the wrapper's functional part: it
+//! performs "endianess, data type translation and host machine functional
+//! calls". Here it converts values crossing the design/host boundary —
+//! the simulated machine may be little- or big-endian while host buffers
+//! are plain byte arrays.
+
+use crate::protocol::ElemType;
+
+/// Byte order of the *simulated* architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Endian {
+    /// Little-endian (matches SimARM's native order).
+    #[default]
+    Little,
+    /// Big-endian.
+    Big,
+}
+
+/// Converts element values to and from host byte buffers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Translator {
+    /// Byte order the simulated architecture expects in memory.
+    pub sim_endian: Endian,
+}
+
+impl Translator {
+    /// Creates a translator for the given simulated endianness.
+    pub fn new(sim_endian: Endian) -> Self {
+        Translator { sim_endian }
+    }
+
+    /// Stores `value` as an element at `offset` in a host buffer.
+    ///
+    /// Returns `false` when the access would escape the buffer.
+    #[must_use]
+    pub fn store(&self, buf: &mut [u8], offset: u32, value: u32, elem: ElemType) -> bool {
+        let width = elem.bytes() as usize;
+        let Some(slice) = buf
+            .get_mut(offset as usize..)
+            .and_then(|s| s.get_mut(..width))
+        else {
+            return false;
+        };
+        let bytes = match self.sim_endian {
+            Endian::Little => value.to_le_bytes(),
+            Endian::Big => value.to_be_bytes(),
+        };
+        match self.sim_endian {
+            Endian::Little => slice.copy_from_slice(&bytes[..width]),
+            Endian::Big => slice.copy_from_slice(&bytes[4 - width..]),
+        }
+        true
+    }
+
+    /// Loads an element value from `offset` in a host buffer.
+    ///
+    /// Returns `None` when the access would escape the buffer.
+    pub fn load(&self, buf: &[u8], offset: u32, elem: ElemType) -> Option<u32> {
+        let width = elem.bytes() as usize;
+        let slice = buf.get(offset as usize..)?.get(..width)?;
+        let mut bytes = [0u8; 4];
+        match self.sim_endian {
+            Endian::Little => {
+                bytes[..width].copy_from_slice(slice);
+                Some(u32::from_le_bytes(bytes))
+            }
+            Endian::Big => {
+                bytes[4 - width..].copy_from_slice(slice);
+                Some(u32::from_be_bytes(bytes))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn little_endian_round_trip() {
+        let t = Translator::new(Endian::Little);
+        let mut buf = [0u8; 8];
+        assert!(t.store(&mut buf, 0, 0x1122_3344, ElemType::U32));
+        assert_eq!(&buf[..4], &[0x44, 0x33, 0x22, 0x11]);
+        assert_eq!(t.load(&buf, 0, ElemType::U32), Some(0x1122_3344));
+        assert_eq!(t.load(&buf, 0, ElemType::U16), Some(0x3344));
+        assert_eq!(t.load(&buf, 0, ElemType::U8), Some(0x44));
+    }
+
+    #[test]
+    fn big_endian_round_trip() {
+        let t = Translator::new(Endian::Big);
+        let mut buf = [0u8; 8];
+        assert!(t.store(&mut buf, 0, 0x1122_3344, ElemType::U32));
+        assert_eq!(&buf[..4], &[0x11, 0x22, 0x33, 0x44]);
+        assert_eq!(t.load(&buf, 0, ElemType::U32), Some(0x1122_3344));
+        // Narrow stores keep the low-order part of the value.
+        assert!(t.store(&mut buf, 4, 0xABCD, ElemType::U16));
+        assert_eq!(&buf[4..6], &[0xAB, 0xCD]);
+        assert_eq!(t.load(&buf, 4, ElemType::U16), Some(0xABCD));
+    }
+
+    #[test]
+    fn truncation_of_wide_values() {
+        let t = Translator::default();
+        let mut buf = [0u8; 4];
+        assert!(t.store(&mut buf, 0, 0xDEAD_BEEF, ElemType::U8));
+        assert_eq!(t.load(&buf, 0, ElemType::U8), Some(0xEF));
+        assert!(t.store(&mut buf, 0, 0xDEAD_BEEF, ElemType::U16));
+        assert_eq!(t.load(&buf, 0, ElemType::U16), Some(0xBEEF));
+    }
+
+    #[test]
+    fn bounds_are_checked() {
+        let t = Translator::default();
+        let mut buf = [0u8; 4];
+        assert!(!t.store(&mut buf, 1, 0, ElemType::U32));
+        assert!(!t.store(&mut buf, 4, 0, ElemType::U8));
+        assert_eq!(t.load(&buf, 2, ElemType::U32), None);
+        assert_eq!(t.load(&buf, 4, ElemType::U8), None);
+        assert!(t.store(&mut buf, 3, 0xFF, ElemType::U8));
+    }
+
+    #[test]
+    fn cross_endian_views_differ() {
+        let le = Translator::new(Endian::Little);
+        let be = Translator::new(Endian::Big);
+        let mut buf = [0u8; 4];
+        assert!(le.store(&mut buf, 0, 0x0102_0304, ElemType::U32));
+        assert_eq!(be.load(&buf, 0, ElemType::U32), Some(0x0403_0201));
+    }
+}

@@ -1,0 +1,184 @@
+//! Property tests on the wrapper's functional part: the pointer table and
+//! the simulated-heap baseline stay consistent under arbitrary operation
+//! sequences, and the two dynamic models agree functionally.
+
+use dmi_core::{
+    AllocError, DsmBackend, ElemType, Opcode, PointerTable, Request, SimHeapBackend,
+    SimHeapConfig, Status, VptrPolicy, WrapperBackend, WrapperConfig,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { dim: u32, elem: u8 },
+    Free { pick: usize },
+    Write { pick: usize, off: u32, value: u32 },
+    Read { pick: usize, off: u32 },
+    Reserve { pick: usize, master: u8 },
+    Release { pick: usize, master: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (1u32..64, 0u8..3).prop_map(|(dim, elem)| Op::Alloc { dim, elem }),
+        2 => any::<prop::sample::Index>().prop_map(|i| Op::Free { pick: i.index(64) }),
+        3 => (any::<prop::sample::Index>(), 0u32..256, any::<u32>())
+            .prop_map(|(i, off, value)| Op::Write { pick: i.index(64), off, value }),
+        3 => (any::<prop::sample::Index>(), 0u32..256)
+            .prop_map(|(i, off)| Op::Read { pick: i.index(64), off }),
+        1 => (any::<prop::sample::Index>(), 0u8..4)
+            .prop_map(|(i, master)| Op::Reserve { pick: i.index(64), master }),
+        1 => (any::<prop::sample::Index>(), 0u8..4)
+            .prop_map(|(i, master)| Op::Release { pick: i.index(64), master }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Table invariants (disjoint sorted ranges, exact capacity accounting)
+    /// hold after any operation sequence, under both vptr policies.
+    #[test]
+    fn pointer_table_invariants(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+        first_fit in any::<bool>(),
+    ) {
+        let policy = if first_fit { VptrPolicy::FirstFitReuse } else { VptrPolicy::PaperMonotonic };
+        let mut t = PointerTable::new(4096, policy);
+        let mut live: Vec<u32> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Alloc { dim, elem } => {
+                    let elem = ElemType::from_u32(elem as u32).unwrap();
+                    match t.alloc(dim, elem) {
+                        Ok(v) => live.push(v),
+                        Err(AllocError::OutOfMemory | AllocError::VirtualExhausted) => {}
+                        Err(AllocError::ZeroSize) => unreachable!("dim >= 1"),
+                    }
+                }
+                Op::Free { pick } if !live.is_empty() => {
+                    let v = live.remove(pick % live.len());
+                    // Frees may fail only due to reservations (master 0 here
+                    // frees; reservation owners vary).
+                    let _ = t.free(v, 0).or_else(|_| { live.push(v); Ok::<u32, ()>(0) });
+                }
+                Op::Reserve { pick, master } if !live.is_empty() => {
+                    let v = live[pick % live.len()];
+                    let _ = t.reserve(v, master);
+                }
+                Op::Release { pick, master } if !live.is_empty() => {
+                    let v = live[pick % live.len()];
+                    let _ = t.release(v, master);
+                }
+                Op::Write { pick, off, .. } | Op::Read { pick, off } if !live.is_empty() => {
+                    let v = live[pick % live.len()];
+                    // resolve() must map interior pointers of live entries
+                    // to the right entry and offset.
+                    if let Some((idx, o)) = t.resolve(v.wrapping_add(off)) {
+                        let e = t.entry(idx);
+                        prop_assert!(e.contains(v.wrapping_add(off)));
+                        prop_assert_eq!(v.wrapping_add(off) - e.vptr, o);
+                    }
+                }
+                _ => {}
+            }
+            if let Err(msg) = t.check_invariants() {
+                return Err(TestCaseError::fail(format!("invariant violated: {msg}")));
+            }
+        }
+        // Every live vptr resolves to itself at offset 0.
+        for v in live {
+            match t.resolve(v) {
+                Some((idx, 0)) => prop_assert_eq!(t.entry(idx).vptr, v),
+                other => return Err(TestCaseError::fail(format!("{v:#x} -> {other:?}"))),
+            }
+        }
+    }
+
+    /// The wrapper and the simulated heap agree functionally: identical
+    /// write/read sequences return identical data (timing differs — that
+    /// is the paper's point).
+    #[test]
+    fn wrapper_and_simheap_agree_on_data(
+        writes in prop::collection::vec((0u32..16, any::<u32>()), 1..40),
+        dim in 16u32..64,
+    ) {
+        let mut w = WrapperBackend::new(WrapperConfig::default());
+        let mut h = SimHeapBackend::new(SimHeapConfig::default());
+        let req = |op, a0, a1, a2| Request { op, arg0: a0, arg1: a1, arg2: a2, master: 0 };
+
+        let wv = w.execute(&req(Opcode::Alloc, dim, ElemType::U32 as u32, 0));
+        let hv = h.execute(&req(Opcode::Alloc, dim, ElemType::U32 as u32, 0));
+        prop_assert!(wv.status.is_ok() && hv.status.is_ok());
+
+        for (idx, value) in &writes {
+            let off = idx * 4;
+            let a = w.execute(&req(Opcode::Write, wv.result + off, *value, 2));
+            let b = h.execute(&req(Opcode::Write, hv.result + off, *value, 2));
+            prop_assert_eq!(a.status, b.status);
+        }
+        for (idx, _) in &writes {
+            let off = idx * 4;
+            let a = w.execute(&req(Opcode::Read, wv.result + off, 0, 2));
+            let b = h.execute(&req(Opcode::Read, hv.result + off, 0, 2));
+            prop_assert_eq!(a.result, b.result, "offset {}", off);
+        }
+    }
+
+    /// Alloc/free churn on the simulated heap conserves memory: after
+    /// freeing everything, the largest allocation fits again.
+    #[test]
+    fn simheap_conserves_capacity(
+        sizes in prop::collection::vec(1u32..200, 1..24),
+    ) {
+        let mut h = SimHeapBackend::new(SimHeapConfig {
+            capacity: 1 << 16,
+            word_latency: 1,
+            endian: dmi_core::Endian::Little,
+        });
+        let req = |op, a0, a1, a2| Request { op, arg0: a0, arg1: a1, arg2: a2, master: 0 };
+        let mut ptrs = Vec::new();
+        for s in &sizes {
+            let r = h.execute(&req(Opcode::Alloc, *s, ElemType::U8 as u32, 0));
+            prop_assert!(r.status.is_ok());
+            ptrs.push(r.result);
+        }
+        // Free in reverse order (exercises prev-coalescing heavily).
+        for p in ptrs.into_iter().rev() {
+            let r = h.execute(&req(Opcode::Free, p, 0, 0));
+            prop_assert_eq!(r.status, Status::Ok);
+        }
+        prop_assert_eq!(h.free_bytes(), 1 << 16);
+        // Whole arena reusable as one block.
+        let big = h.execute(&req(Opcode::Alloc, (1 << 16) - 8, ElemType::U8 as u32, 0));
+        prop_assert!(big.status.is_ok());
+    }
+
+    /// Burst transfers and scalar writes are equivalent on the wrapper.
+    #[test]
+    fn burst_equals_scalar_writes(data in prop::collection::vec(any::<u32>(), 1..32)) {
+        let req = |op, a0, a1, a2| Request { op, arg0: a0, arg1: a1, arg2: a2, master: 0 };
+        let len = data.len() as u32;
+
+        let mut a = WrapperBackend::new(WrapperConfig::default());
+        let va = a.execute(&req(Opcode::Alloc, len, ElemType::U32 as u32, 0)).result;
+        let setup = a.execute(&req(Opcode::WriteBurst, va, 2, len));
+        prop_assert!(setup.status.is_ok());
+        for v in &data {
+            prop_assert!(a.burst_write_beat(0, *v).status.is_ok());
+        }
+
+        let mut b = WrapperBackend::new(WrapperConfig::default());
+        let vb = b.execute(&req(Opcode::Alloc, len, ElemType::U32 as u32, 0)).result;
+        for (i, v) in data.iter().enumerate() {
+            let r = b.execute(&req(Opcode::Write, vb + (i as u32) * 4, *v, 2));
+            prop_assert!(r.status.is_ok());
+        }
+
+        for i in 0..len {
+            let ra = a.execute(&req(Opcode::Read, va + i * 4, 0, 2));
+            let rb = b.execute(&req(Opcode::Read, vb + i * 4, 0, 2));
+            prop_assert_eq!(ra.result, rb.result);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! ETSI-style fixed-point basic operations.
+//!
+//! The GSM 06.10 full-rate codec is specified over a small set of saturated
+//! 16/32-bit primitives. This module implements the subset the encoder
+//! stages need, with semantics chosen so that every operation lowers to a
+//! short SimARM sequence — the assembly kernels in [`crate::codegen`]
+//! mirror these functions exactly, which is what makes the ISS-vs-reference
+//! equivalence tests bit-exact.
+
+/// Saturates a 32-bit value to the 16-bit range.
+#[inline]
+pub fn sat16(x: i32) -> i32 {
+    x.clamp(-32768, 32767)
+}
+
+/// Saturated 16-bit addition (`gsm_add`).
+#[inline]
+pub fn add(a: i32, b: i32) -> i32 {
+    sat16(a + b)
+}
+
+/// Saturated 16-bit subtraction (`gsm_sub`).
+#[inline]
+pub fn sub(a: i32, b: i32) -> i32 {
+    sat16(a - b)
+}
+
+/// Saturated absolute value (`gsm_abs`): `abs(-32768) = 32767`.
+#[inline]
+pub fn abs_s(a: i32) -> i32 {
+    sat16(a.wrapping_abs())
+}
+
+/// Q15 multiply (`gsm_mult`): `(a * b) >> 15`, saturated.
+#[inline]
+pub fn mult(a: i32, b: i32) -> i32 {
+    sat16((a * b) >> 15)
+}
+
+/// Rounded Q15 multiply (`gsm_mult_r`): `(a * b + 16384) >> 15`, saturated.
+#[inline]
+pub fn mult_r(a: i32, b: i32) -> i32 {
+    sat16((a * b + 16384) >> 15)
+}
+
+/// Unsigned Q15 division (`gsm_div`): `num / denum` in Q15 for
+/// `0 <= num <= denum`, `denum > 0`. Returns 32767 when `num == denum`.
+///
+/// Implemented as the 15-step restoring division of the reference code, so
+/// the assembly version produces identical bit patterns.
+///
+/// # Panics
+///
+/// Panics (debug) if the preconditions are violated.
+pub fn div(num: i32, denum: i32) -> i32 {
+    debug_assert!(num >= 0 && denum >= num && denum > 0, "div({num},{denum})");
+    if num == denum {
+        return 32767;
+    }
+    let mut num = num;
+    let mut quot = 0;
+    for _ in 0..15 {
+        num <<= 1;
+        quot <<= 1;
+        if num >= denum {
+            num -= denum;
+            quot |= 1;
+        }
+    }
+    quot
+}
+
+/// Normalization shift of a positive 32-bit value (`gsm_norm` for
+/// positives): the left shift that brings bit 30 to the top without
+/// overflowing. Zero input returns 0.
+#[inline]
+pub fn norm(x: i32) -> i32 {
+    if x <= 0 {
+        0
+    } else {
+        (x.leading_zeros() as i32) - 1
+    }
+}
+
+/// Number of significant bits of a non-negative value (`0` for `0`).
+#[inline]
+pub fn bits(x: i32) -> i32 {
+    debug_assert!(x >= 0);
+    32 - x.leading_zeros() as i32
+}
+
+/// Arithmetic shift right of a 64-bit accumulator, truncated to 32 bits.
+/// Used by the autocorrelation normalization; `sh` must leave the result
+/// within the i32 range (guaranteed by construction there).
+#[inline]
+pub fn shr64_to32(acc: i64, sh: u32) -> i32 {
+    (acc >> sh) as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturation_bounds() {
+        assert_eq!(add(32767, 1), 32767);
+        assert_eq!(add(-32768, -1), -32768);
+        assert_eq!(add(100, 200), 300);
+        assert_eq!(sub(-32768, 1), -32768);
+        assert_eq!(sub(32767, -1), 32767);
+        assert_eq!(abs_s(-32768), 32767);
+        assert_eq!(abs_s(-5), 5);
+        assert_eq!(abs_s(7), 7);
+    }
+
+    #[test]
+    fn q15_multiplies() {
+        assert_eq!(mult(32767, 32767), 32766);
+        assert_eq!(mult(16384, 16384), 8192); // 0.5 * 0.5 = 0.25
+        assert_eq!(mult_r(16384, 16384), 8192);
+        assert_eq!(mult_r(-32768, -32768), 32767, "saturation special case");
+        assert_eq!(mult(-32768, -32768), 32767);
+        // Rounding: 32767 * 2 = 65534; truncated >>15 gives 1, rounded 2.
+        assert_eq!(mult(32767, 2), 1);
+        assert_eq!(mult_r(32767, 2), 2);
+    }
+
+    #[test]
+    fn division_matches_long_division() {
+        assert_eq!(div(0, 100), 0);
+        assert_eq!(div(100, 100), 32767);
+        // 1/2 in Q15.
+        assert_eq!(div(1, 2), 16384);
+        // 1/3 in Q15 (truncated restoring division).
+        assert_eq!(div(1, 3), 10922);
+        // Compare against float for a spread of cases.
+        for (n, d) in [(5, 7), (123, 10_000), (9_999, 10_000), (1, 32767)] {
+            let q = div(n, d);
+            let f = ((n as f64 / d as f64) * 32768.0) as i32;
+            assert!((q - f).abs() <= 1, "div({n},{d}) = {q}, float {f}");
+        }
+    }
+
+    #[test]
+    fn norm_brings_to_bit30() {
+        assert_eq!(norm(1), 30);
+        assert_eq!(norm(0x4000_0000), 0);
+        assert_eq!(norm(0x3FFF_FFFF), 1);
+        assert_eq!(norm(0), 0);
+        for sh in 0..31 {
+            let x = 1i32 << sh;
+            let n = norm(x);
+            assert!((x << n) >= 0x2000_0000, "norm({x:#x}) = {n}");
+        }
+    }
+
+    #[test]
+    fn bit_width() {
+        assert_eq!(bits(0), 0);
+        assert_eq!(bits(1), 1);
+        assert_eq!(bits(255), 8);
+        assert_eq!(bits(256), 9);
+    }
+
+    #[test]
+    fn shr64() {
+        assert_eq!(shr64_to32(1 << 40, 10), 1 << 30);
+        assert_eq!(shr64_to32(-(1i64 << 40), 10), -(1 << 30));
+        assert_eq!(shr64_to32(12345, 0), 12345);
+    }
+}

@@ -1,0 +1,535 @@
+//! The 4-stage GSM encoder pipeline over dynamic shared memory.
+//!
+//! This is the paper's evaluation workload: "simulating the GSM algorithm"
+//! on 4 ISSs exchanging frames through dynamic shared memories. Stage
+//! mapping:
+//!
+//! | CPU | stage | receives | sends |
+//! |-----|-------|----------|-------|
+//! | 0 | source + preprocess + autocorrelation | — | `L_ACF[9] + d[160]` |
+//! | 1 | Schur + LAR | mbox0 | `larq[8] + d[160]` |
+//! | 2 | LTP (4 subframes, cross-frame history) | mbox1 | `larq[8] + ltp[8] + d[160]` |
+//! | 3 | weighting + RPE + APCM + checksum | mbox2 | final result block |
+//!
+//! ## Rendezvous
+//!
+//! CPU 0 performs every allocation, beginning with a *directory* as the
+//! first allocation of module 0 — whose Vptr is therefore 0, the one
+//! address all stages know a priori (the paper defines the first Vptr to
+//! be zero). The directory holds the mailbox Vptrs and a ready magic;
+//! stages 1–3 poll it before entering their loops. Mailboxes carry a flag
+//! word (0 empty / 1 full) followed by the payload, moved with burst
+//! transfers (the paper's I/O arrays).
+
+use dmi_core::WrapperBackend;
+use dmi_isa::{Asm, Program, Reg};
+use dmi_sw::emit_dsm_driver;
+
+use crate::codegen::emit_all_kernels;
+use crate::reference::{Encoder, GsmFrame, LcgSource};
+
+const R0: Reg = Reg::R0;
+const R1: Reg = Reg::R1;
+const R2: Reg = Reg::R2;
+const R3: Reg = Reg::R3;
+const R4: Reg = Reg::R4;
+const R5: Reg = Reg::R5;
+const R6: Reg = Reg::R6;
+const R7: Reg = Reg::R7;
+const R8: Reg = Reg::R8;
+const R9: Reg = Reg::R9;
+
+/// Magic value marking the directory as initialized.
+pub const READY_MAGIC: u32 = 0xD1CE;
+/// Magic value marking the final result block.
+pub const RESULT_MAGIC: u32 = 0xC0DE;
+/// Width code for 32-bit protocol elements.
+const W32: u32 = 2;
+
+// Local-memory buffer addresses shared by the stage programs (all below
+// the 256 KiB default private memory, far above the code).
+const BUF_IN: u32 = 0x10000; // 160 words
+const BUF_D: u32 = 0x10400; // 160 words
+const BUF_ACF: u32 = 0x10700; // 9 words
+const BUF_RC: u32 = 0x10740; // 8 words
+const BUF_LARQ: u32 = 0x10780; // 8 words
+const BUF_LTP: u32 = 0x107C0; // 8 words (nc,bc x4)
+const BUF_PREV: u32 = 0x10800; // 120 words
+const BUF_X: u32 = 0x10A00; // 40 words
+const BUF_RPE: u32 = 0x10B00; // 15 words
+const BUF_HIST: u32 = 0x10C00; // 160 words
+const BUF_STATE: u32 = 0x10F00; // filter/LCG state
+const BUF_SCRATCH: u32 = 0x11000; // kernel scratch
+
+// Mailbox payload offsets (bytes from the mailbox vptr).
+const MB_FLAG: u32 = 0;
+const MB0_ACF: u32 = 4;
+const MB0_D: u32 = 4 + 9 * 4;
+const MB0_WORDS: u32 = 1 + 9 + 160;
+const MB1_LARQ: u32 = 4;
+const MB1_D: u32 = 4 + 8 * 4;
+const MB1_WORDS: u32 = 1 + 8 + 160;
+const MB2_LARQ: u32 = 4;
+const MB2_LTP: u32 = 4 + 8 * 4;
+const MB2_D: u32 = 4 + 16 * 4;
+const MB2_WORDS: u32 = 1 + 16 + 160;
+const OUT_WORDS: u32 = 3;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineCfg {
+    /// Frames to push through the pipeline.
+    pub n_frames: u32,
+    /// MMIO base of each shared-memory module (1 or more).
+    pub mem_bases: Vec<u32>,
+    /// LCG seed of the synthetic audio source.
+    pub seed: u32,
+}
+
+impl PipelineCfg {
+    /// Module base used for mailbox `i` (distributed round-robin, skipping
+    /// module 0 when more than one module exists — module 0 always hosts
+    /// the directory and the result block).
+    fn mbox_base(&self, i: usize) -> u32 {
+        let n = self.mem_bases.len();
+        self.mem_bases[(i + 1) % n]
+    }
+
+    fn dir_base(&self) -> u32 {
+        self.mem_bases[0]
+    }
+}
+
+/// Emits `chk = chk*31 + word` folding; checksum in `r7`, word in `r0`,
+/// clobbers `r1`.
+fn fold_checksum(a: &mut Asm) {
+    a.li(R1, 31);
+    a.mul(R7, R7, R1);
+    a.add(R7, R7, R0.into());
+}
+
+/// `dsm_read(base, vptr_reg + off)` → r0.
+fn mb_read(a: &mut Asm, base: u32, vptr: Reg, off: u32) {
+    a.li(R0, base);
+    a.add(R1, vptr, 0u32.into());
+    if off > 0 {
+        a.li(R2, off);
+        a.add(R1, R1, R2.into());
+    }
+    a.li(R2, W32);
+    a.bl("dsm_read");
+}
+
+/// `dsm_write(base, vptr_reg + off, value_reg)`.
+fn mb_write_reg(a: &mut Asm, base: u32, vptr: Reg, off: u32, value: Reg) {
+    a.mov(R2, value.into());
+    a.li(R0, base);
+    a.add(R1, vptr, 0u32.into());
+    if off > 0 {
+        a.li(R3, off);
+        a.add(R1, R1, R3.into());
+    }
+    a.li(R3, W32);
+    a.bl("dsm_write");
+}
+
+/// `dsm_write(base, vptr_reg + off, imm)`.
+fn mb_write_imm(a: &mut Asm, base: u32, vptr: Reg, off: u32, value: u32) {
+    a.li(R2, value);
+    a.li(R0, base);
+    a.add(R1, vptr, 0u32.into());
+    if off > 0 {
+        a.li(R3, off);
+        a.add(R1, R1, R3.into());
+    }
+    a.li(R3, W32);
+    a.bl("dsm_write");
+}
+
+/// Spins until the mailbox flag equals `value`. Labels must be unique per
+/// call site: pass a distinct `tag`.
+fn wait_flag(a: &mut Asm, base: u32, vptr: Reg, value: u32, tag: &str) {
+    a.label(tag.to_string());
+    mb_read(a, base, vptr, MB_FLAG);
+    a.cmp(R0, value.into());
+    a.bne(tag.to_string());
+}
+
+/// Burst between local memory and the mailbox.
+fn mb_burst(a: &mut Asm, base: u32, vptr: Reg, off: u32, local: u32, words: u32, write: bool) {
+    a.li(R0, base);
+    a.add(R1, vptr, 0u32.into());
+    a.li(R2, off);
+    a.add(R1, R1, R2.into());
+    a.li(R2, local);
+    a.li(R3, words);
+    a.bl(if write { "dsm_write_burst" } else { "dsm_read_burst" });
+}
+
+/// Allocation helper for stage 0: `dsm_alloc(base, words, U32)` → r0.
+fn alloc(a: &mut Asm, base: u32, words: u32) {
+    a.li(R0, base);
+    a.li(R1, words);
+    a.li(R2, W32);
+    a.bl("dsm_alloc");
+}
+
+/// Polls the directory until ready, then loads mailbox vptrs.
+/// `slots`: list of (directory index, destination register).
+fn read_directory(a: &mut Asm, dir_base: u32, slots: &[(u32, Reg)]) {
+    a.label("dir_wait");
+    a.li(R0, dir_base);
+    a.li(R1, 0);
+    a.li(R2, W32);
+    a.bl("dsm_read");
+    a.movw(R1, READY_MAGIC as u16);
+    a.cmp(R0, R1.into());
+    a.bne("dir_wait");
+    for &(idx, dst) in slots {
+        a.li(R0, dir_base);
+        a.li(R1, 4 * (1 + idx));
+        a.li(R2, W32);
+        a.bl("dsm_read");
+        a.mov(dst, R0.into());
+    }
+}
+
+/// Builds the stage-0 program (source, preprocess, autocorrelation, and
+/// all allocations).
+fn stage0(cfg: &PipelineCfg) -> Program {
+    let mut a = Asm::new();
+    // Directory (first allocation in module 0 -> vptr 0).
+    alloc(&mut a, cfg.dir_base(), 8);
+    // Result block in module 0.
+    alloc(&mut a, cfg.dir_base(), OUT_WORDS);
+    a.mov(R8, R0.into()); // out vptr
+    // Mailboxes.
+    alloc(&mut a, cfg.mbox_base(0), MB0_WORDS);
+    a.mov(R5, R0.into());
+    alloc(&mut a, cfg.mbox_base(1), MB1_WORDS);
+    a.mov(R6, R0.into());
+    alloc(&mut a, cfg.mbox_base(2), MB2_WORDS);
+    a.mov(R7, R0.into());
+    // Publish directory: [magic, mb0, mb1, mb2, out].
+    a.li(R9, 0); // directory vptr is 0
+    mb_write_reg(&mut a, cfg.dir_base(), R9, 4, R5);
+    mb_write_reg(&mut a, cfg.dir_base(), R9, 8, R6);
+    mb_write_reg(&mut a, cfg.dir_base(), R9, 12, R7);
+    mb_write_reg(&mut a, cfg.dir_base(), R9, 16, R8);
+    mb_write_imm(&mut a, cfg.dir_base(), R9, 0, READY_MAGIC);
+
+    // Seed the source.
+    a.li(R0, cfg.seed);
+    a.li(R1, BUF_STATE);
+    a.str(R0, R1, 0);
+
+    // Frame loop.
+    a.li(R4, cfg.n_frames);
+    a.label("frames");
+    a.li(R0, BUF_IN);
+    a.li(R1, BUF_STATE);
+    a.bl("gsm_lcg_frame");
+    a.li(R0, BUF_IN);
+    a.li(R1, BUF_D);
+    a.li(R2, BUF_STATE + 8); // preprocess state after the LCG word
+    a.bl("gsm_preprocess");
+    a.li(R0, BUF_D);
+    a.li(R1, BUF_ACF);
+    a.li(R2, BUF_SCRATCH);
+    a.bl("gsm_autocorr");
+    // Send.
+    wait_flag(&mut a, cfg.mbox_base(0), R5, 0, "s0_wait");
+    mb_burst(&mut a, cfg.mbox_base(0), R5, MB0_ACF, BUF_ACF, 9, true);
+    mb_burst(&mut a, cfg.mbox_base(0), R5, MB0_D, BUF_D, 160, true);
+    mb_write_imm(&mut a, cfg.mbox_base(0), R5, MB_FLAG, 1);
+    a.subs(R4, R4, 1u32.into());
+    a.bne("frames");
+    a.li(R0, 0);
+    a.swi(0);
+    a.label("fail");
+    a.li(R0, 1);
+    a.swi(0);
+    emit_dsm_driver(&mut a);
+    emit_all_kernels(&mut a);
+    a.assemble(0).expect("stage0 assembles")
+}
+
+/// Builds the stage-1 program (Schur + LAR).
+fn stage1(cfg: &PipelineCfg) -> Program {
+    let mut a = Asm::new();
+    read_directory(&mut a, cfg.dir_base(), &[(0, R5), (1, R6)]);
+    a.li(R4, cfg.n_frames);
+    a.label("frames");
+    wait_flag(&mut a, cfg.mbox_base(0), R5, 1, "s1_wait_in");
+    mb_burst(&mut a, cfg.mbox_base(0), R5, MB0_ACF, BUF_ACF, 9, false);
+    mb_burst(&mut a, cfg.mbox_base(0), R5, MB0_D, BUF_D, 160, false);
+    mb_write_imm(&mut a, cfg.mbox_base(0), R5, MB_FLAG, 0);
+    a.li(R0, BUF_ACF);
+    a.li(R1, BUF_RC);
+    a.li(R2, BUF_SCRATCH);
+    a.bl("gsm_schur");
+    a.li(R0, BUF_RC);
+    a.li(R1, BUF_LARQ);
+    a.bl("gsm_lar");
+    wait_flag(&mut a, cfg.mbox_base(1), R6, 0, "s1_wait_out");
+    mb_burst(&mut a, cfg.mbox_base(1), R6, MB1_LARQ, BUF_LARQ, 8, true);
+    mb_burst(&mut a, cfg.mbox_base(1), R6, MB1_D, BUF_D, 160, true);
+    mb_write_imm(&mut a, cfg.mbox_base(1), R6, MB_FLAG, 1);
+    a.subs(R4, R4, 1u32.into());
+    a.bne("frames");
+    a.li(R0, 0);
+    a.swi(0);
+    emit_dsm_driver(&mut a);
+    emit_all_kernels(&mut a);
+    a.assemble(0).expect("stage1 assembles")
+}
+
+/// Builds the stage-2 program (LTP with cross-frame history).
+fn stage2(cfg: &PipelineCfg) -> Program {
+    let mut a = Asm::new();
+    read_directory(&mut a, cfg.dir_base(), &[(1, R5), (2, R6)]);
+    a.li(R4, cfg.n_frames);
+    a.label("frames");
+    wait_flag(&mut a, cfg.mbox_base(1), R5, 1, "s2_wait_in");
+    mb_burst(&mut a, cfg.mbox_base(1), R5, MB1_LARQ, BUF_LARQ, 8, false);
+    mb_burst(&mut a, cfg.mbox_base(1), R5, MB1_D, BUF_D, 160, false);
+    mb_write_imm(&mut a, cfg.mbox_base(1), R5, MB_FLAG, 0);
+
+    // Per subframe: build prev[120], run the lag search.
+    a.li(R7, 0); // sf
+    a.label("s2_sf");
+    // prev[j]: global g = sf*40 + j - 120; from history when g < 0.
+    a.li(R8, 0); // j
+    a.label("s2_prev");
+    a.li(R0, 40);
+    a.mul(R1, R7, R0);
+    a.add(R1, R1, R8.into());
+    a.li(R0, 120);
+    a.subs(R1, R1, R0.into()); // g, flags tell sign
+    a.b_cond(dmi_isa::Cond::Lt, "s2_prev_hist");
+    a.lsl(R1, R1, 2);
+    a.li(R2, BUF_D);
+    a.ldr_r(R0, R2, R1);
+    a.b("s2_prev_store");
+    a.label("s2_prev_hist");
+    a.li(R0, 160);
+    a.add(R1, R1, R0.into());
+    a.lsl(R1, R1, 2);
+    a.li(R2, BUF_HIST);
+    a.ldr_r(R0, R2, R1);
+    a.label("s2_prev_store");
+    a.lsl(R1, R8, 2);
+    a.li(R2, BUF_PREV);
+    a.str_r(R0, R2, R1);
+    a.add(R8, R8, 1u32.into());
+    a.li(R0, 120);
+    a.cmp(R8, R0.into());
+    a.blt("s2_prev");
+    // gsm_ltp(sub = BUF_D + sf*160, prev, out = BUF_LTP + sf*8, scratch)
+    a.li(R0, 160);
+    a.mul(R0, R7, R0);
+    a.li(R1, BUF_D);
+    a.add(R0, R0, R1.into());
+    a.li(R1, BUF_PREV);
+    a.lsl(R2, R7, 3);
+    a.li(R3, BUF_LTP);
+    a.add(R2, R2, R3.into());
+    a.li(R3, BUF_SCRATCH);
+    a.bl("gsm_ltp");
+    a.add(R7, R7, 1u32.into());
+    a.cmp(R7, 4u32.into());
+    a.blt("s2_sf");
+
+    // history = d (copy 160 words).
+    a.li(R0, BUF_D);
+    a.li(R1, BUF_HIST);
+    a.li(R2, 160);
+    a.label("s2_hist");
+    a.ldr_post(R3, R0, 4);
+    a.str_post(R3, R1, 4);
+    a.subs(R2, R2, 1u32.into());
+    a.bne("s2_hist");
+
+    wait_flag(&mut a, cfg.mbox_base(2), R6, 0, "s2_wait_out");
+    mb_burst(&mut a, cfg.mbox_base(2), R6, MB2_LARQ, BUF_LARQ, 8, true);
+    mb_burst(&mut a, cfg.mbox_base(2), R6, MB2_LTP, BUF_LTP, 8, true);
+    mb_burst(&mut a, cfg.mbox_base(2), R6, MB2_D, BUF_D, 160, true);
+    mb_write_imm(&mut a, cfg.mbox_base(2), R6, MB_FLAG, 1);
+    a.subs(R4, R4, 1u32.into());
+    a.bne("frames");
+    a.li(R0, 0);
+    a.swi(0);
+    emit_dsm_driver(&mut a);
+    emit_all_kernels(&mut a);
+    a.assemble(0).expect("stage2 assembles")
+}
+
+/// Builds the stage-3 program (weighting + RPE + APCM + checksum + result).
+fn stage3(cfg: &PipelineCfg) -> Program {
+    let mut a = Asm::new();
+    read_directory(&mut a, cfg.dir_base(), &[(2, R5), (3, R6)]);
+    a.li(R4, cfg.n_frames);
+    a.li(R7, 0); // checksum
+    a.label("frames");
+    wait_flag(&mut a, cfg.mbox_base(2), R5, 1, "s3_wait_in");
+    mb_burst(&mut a, cfg.mbox_base(2), R5, MB2_LARQ, BUF_LARQ, 8, false);
+    mb_burst(&mut a, cfg.mbox_base(2), R5, MB2_LTP, BUF_LTP, 8, false);
+    mb_burst(&mut a, cfg.mbox_base(2), R5, MB2_D, BUF_D, 160, false);
+    mb_write_imm(&mut a, cfg.mbox_base(2), R5, MB_FLAG, 0);
+
+    // Fold larq[0..8].
+    a.li(R8, 0);
+    a.label("s3_larq");
+    a.lsl(R0, R8, 2);
+    a.li(R1, BUF_LARQ);
+    a.ldr_r(R0, R1, R0);
+    fold_checksum(&mut a);
+    a.add(R8, R8, 1u32.into());
+    a.cmp(R8, 8u32.into());
+    a.blt("s3_larq");
+
+    // Per subframe: weight, rpe, fold nc/bc/grid/exp/xmc.
+    a.li(R9, 0); // sf
+    a.label("s3_sf");
+    a.li(R0, 160);
+    a.mul(R0, R9, R0);
+    a.li(R1, BUF_D);
+    a.add(R0, R0, R1.into());
+    a.li(R1, BUF_X);
+    a.li(R2, BUF_SCRATCH);
+    a.bl("gsm_weight");
+    a.li(R0, BUF_X);
+    a.li(R1, BUF_RPE);
+    a.bl("gsm_rpe");
+    // fold nc, bc from BUF_LTP[2*sf], [2*sf+1]
+    a.lsl(R0, R9, 3);
+    a.li(R1, BUF_LTP);
+    a.add(R8, R1, R0.into());
+    a.ldr(R0, R8, 0);
+    fold_checksum(&mut a);
+    a.ldr(R0, R8, 4);
+    fold_checksum(&mut a);
+    // fold grid, exp, xmc[13] from BUF_RPE[0..15]
+    a.li(R8, 0);
+    a.label("s3_rpe");
+    a.lsl(R0, R8, 2);
+    a.li(R1, BUF_RPE);
+    a.ldr_r(R0, R1, R0);
+    fold_checksum(&mut a);
+    a.add(R8, R8, 1u32.into());
+    a.li(R0, 15);
+    a.cmp(R8, R0.into());
+    a.blt("s3_rpe");
+    a.add(R9, R9, 1u32.into());
+    a.cmp(R9, 4u32.into());
+    a.blt("s3_sf");
+
+    a.subs(R4, R4, 1u32.into());
+    a.bne("frames");
+
+    // Publish the result block: [magic, n_frames, checksum].
+    mb_write_imm(&mut a, cfg.dir_base(), R6, 0, RESULT_MAGIC);
+    mb_write_imm(&mut a, cfg.dir_base(), R6, 4, cfg.n_frames);
+    mb_write_reg(&mut a, cfg.dir_base(), R6, 8, R7);
+    a.li(R0, 0);
+    a.swi(0);
+    emit_dsm_driver(&mut a);
+    emit_all_kernels(&mut a);
+    a.assemble(0).expect("stage3 assembles")
+}
+
+/// Builds the four stage programs.
+pub fn stage_programs(cfg: &PipelineCfg) -> Vec<Program> {
+    assert!(!cfg.mem_bases.is_empty());
+    vec![stage0(cfg), stage1(cfg), stage2(cfg), stage3(cfg)]
+}
+
+/// The checksum the pipeline must produce, computed with the reference
+/// encoder over the same synthetic source.
+pub fn expected_checksum(cfg: &PipelineCfg) -> u32 {
+    let mut src = LcgSource::new(cfg.seed);
+    let mut enc = Encoder::new();
+    let mut chk = 0u32;
+    for _ in 0..cfg.n_frames {
+        let frame = enc.encode_frame(&src.next_frame());
+        for w in frame.to_words() {
+            chk = chk.wrapping_mul(31).wrapping_add(w);
+        }
+    }
+    let _ = GsmFrame::WORDS; // layout documented there
+    chk
+}
+
+/// The pipeline's published result block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineResult {
+    /// Must equal [`RESULT_MAGIC`].
+    pub magic: u32,
+    /// Frames processed.
+    pub frames: u32,
+    /// Order-sensitive checksum over every encoded parameter word.
+    pub checksum: u32,
+}
+
+/// Extracts the result block from module 0's wrapper backend after a run.
+///
+/// Reads the directory at Vptr 0 to locate the result block, then decodes
+/// it from host storage.
+pub fn extract_result(backend: &WrapperBackend) -> Option<PipelineResult> {
+    let read_u32 = |vptr: u32| -> Option<u32> {
+        let entry = backend.table().iter().find(|e| e.contains(vptr))?;
+        let off = (vptr - entry.vptr) as usize;
+        Some(u32::from_le_bytes(
+            entry.host.bytes().get(off..off + 4)?.try_into().ok()?,
+        ))
+    };
+    if read_u32(0)? != READY_MAGIC {
+        return None;
+    }
+    let out_vptr = read_u32(16)?;
+    Some(PipelineResult {
+        magic: read_u32(out_vptr)?,
+        frames: read_u32(out_vptr + 4)?,
+        checksum: read_u32(out_vptr + 8)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programs_assemble() {
+        let cfg = PipelineCfg {
+            n_frames: 2,
+            mem_bases: vec![0x8000_0000],
+            seed: 1,
+        };
+        let progs = stage_programs(&cfg);
+        assert_eq!(progs.len(), 4);
+        for (i, p) in progs.iter().enumerate() {
+            assert!(p.words().len() > 100, "stage {i} suspiciously small");
+        }
+        // Multi-memory variant also assembles with distributed mailboxes.
+        let cfg4 = PipelineCfg {
+            n_frames: 2,
+            mem_bases: vec![0x8000_0000, 0x8001_0000, 0x8002_0000, 0x8003_0000],
+            seed: 1,
+        };
+        assert_eq!(stage_programs(&cfg4).len(), 4);
+    }
+
+    #[test]
+    fn expected_checksum_is_stable_and_seed_sensitive() {
+        let mk = |seed, frames| {
+            expected_checksum(&PipelineCfg {
+                n_frames: frames,
+                mem_bases: vec![0],
+                seed,
+            })
+        };
+        assert_eq!(mk(5, 3), mk(5, 3));
+        assert_ne!(mk(5, 3), mk(6, 3));
+        assert_ne!(mk(5, 3), mk(5, 4));
+    }
+}

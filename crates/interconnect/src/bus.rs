@@ -1,0 +1,350 @@
+//! The shared bus: N masters, P slaves, one transaction at a time.
+//!
+//! The bus is the contention point of the co-simulated MPSoC: it arbitrates
+//! among requesting masters, decodes the winning address to a slave,
+//! forwards the request over the slave handshake and routes the response
+//! back. Wait states from slow slaves (e.g. a wrapper executing an
+//! allocation) propagate to the master as delayed acknowledge — exactly
+//! how the paper's ISSs experience memory latency.
+
+use std::any::Any;
+
+use dmi_kernel::{Component, Ctx, Simulator, Wake, Wire};
+
+use crate::arbiter::{Arbiter, ArbiterKind};
+use crate::map::AddressMap;
+
+/// Bus-side view of one master's signals (the mirror of the CPU's
+/// bus-master port bundle; construct it from the same wires).
+#[derive(Debug, Clone, Copy)]
+pub struct MasterIf {
+    /// Request (in).
+    pub req: Wire,
+    /// Write enable (in).
+    pub we: Wire,
+    /// Size (in, 2 bits).
+    pub size: Wire,
+    /// Address (in, 32 bits).
+    pub addr: Wire,
+    /// Write data (in, 32 bits).
+    pub wdata: Wire,
+    /// Acknowledge (out).
+    pub ack: Wire,
+    /// Read data (out, 32 bits).
+    pub rdata: Wire,
+}
+
+impl MasterIf {
+    /// Declares a fresh master interface under `prefix` (tests and
+    /// non-CPU masters; CPU-side bundles are declared by `dmi-iss`).
+    pub fn declare(sim: &mut Simulator, prefix: &str) -> Self {
+        MasterIf {
+            req: sim.wire(format!("{prefix}.req"), 1),
+            we: sim.wire(format!("{prefix}.we"), 1),
+            size: sim.wire(format!("{prefix}.size"), 2),
+            addr: sim.wire(format!("{prefix}.addr"), 32),
+            wdata: sim.wire(format!("{prefix}.wdata"), 32),
+            ack: sim.wire(format!("{prefix}.ack"), 1),
+            rdata: sim.wire(format!("{prefix}.rdata"), 32),
+        }
+    }
+}
+
+/// Bus-side view of one slave's signals (mirror of the memory module's
+/// slave port bundle; construct from the same wires).
+#[derive(Debug, Clone, Copy)]
+pub struct SlaveIf {
+    /// Request (out).
+    pub req: Wire,
+    /// Write enable (out).
+    pub we: Wire,
+    /// Size (out, 2 bits).
+    pub size: Wire,
+    /// Address (out, 32 bits).
+    pub addr: Wire,
+    /// Write data (out, 32 bits).
+    pub wdata: Wire,
+    /// Granted master index (out, 4 bits).
+    pub master: Wire,
+    /// Acknowledge (in).
+    pub ack: Wire,
+    /// Read data (in, 32 bits).
+    pub rdata: Wire,
+}
+
+impl SlaveIf {
+    /// Declares a fresh slave interface under `prefix`.
+    pub fn declare(sim: &mut Simulator, prefix: &str) -> Self {
+        SlaveIf {
+            req: sim.wire(format!("{prefix}.req"), 1),
+            we: sim.wire(format!("{prefix}.we"), 1),
+            size: sim.wire(format!("{prefix}.size"), 2),
+            addr: sim.wire(format!("{prefix}.addr"), 32),
+            wdata: sim.wire(format!("{prefix}.wdata"), 32),
+            master: sim.wire(format!("{prefix}.master"), 4),
+            ack: sim.wire(format!("{prefix}.ack"), 1),
+            rdata: sim.wire(format!("{prefix}.rdata"), 32),
+        }
+    }
+}
+
+/// Data returned to a master whose address decodes to no slave.
+pub const DECODE_ERROR_DATA: u32 = 0xDEAD_DEAD;
+
+/// Configuration of a [`SharedBus`].
+#[derive(Debug, Clone, Copy)]
+pub struct BusConfig {
+    /// Arbitration policy.
+    pub arbiter: ArbiterKind,
+    /// Extra cycles between grant and request forwarding (models a
+    /// multi-cycle arbitration/address phase).
+    pub arbitration_latency: u64,
+}
+
+impl Default for BusConfig {
+    fn default() -> Self {
+        BusConfig {
+            arbiter: ArbiterKind::RoundRobin,
+            arbitration_latency: 1,
+        }
+    }
+}
+
+/// Contention and throughput counters of the bus.
+#[derive(Debug, Clone, Default)]
+pub struct BusStats {
+    /// Completed transactions.
+    pub transactions: u64,
+    /// Requests to unmapped addresses.
+    pub decode_errors: u64,
+    /// Cycles each master spent requesting without being served.
+    pub master_wait_cycles: Vec<u64>,
+    /// Grants per master.
+    pub master_grants: Vec<u64>,
+    /// Transactions per slave.
+    pub slave_transactions: Vec<u64>,
+    /// Cycles with a transaction in flight.
+    pub busy_cycles: u64,
+    /// Cycles with no request pending.
+    pub idle_cycles: u64,
+}
+
+impl BusStats {
+    /// Bus utilisation: busy cycles over total observed cycles.
+    pub fn utilisation(&self) -> f64 {
+        let total = self.busy_cycles + self.idle_cycles;
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BusState {
+    Idle,
+    Arbitrate { master: usize, slave: usize, remaining: u64 },
+    WaitSlave { master: usize, slave: usize },
+    Complete { master: usize },
+}
+
+/// The shared-bus interconnect component.
+#[derive(Debug)]
+pub struct SharedBus {
+    name: String,
+    clk: Wire,
+    masters: Vec<MasterIf>,
+    slaves: Vec<SlaveIf>,
+    map: AddressMap,
+    arbiter: Arbiter,
+    config: BusConfig,
+    state: BusState,
+    cooldown: Vec<bool>,
+    wait_cycles: Vec<u64>,
+    slave_transactions: Vec<u64>,
+    transactions: u64,
+    decode_errors: u64,
+    busy_cycles: u64,
+    idle_cycles: u64,
+}
+
+impl SharedBus {
+    /// Creates a bus over the given interfaces and address map.
+    pub fn new(
+        name: impl Into<String>,
+        clk: Wire,
+        masters: Vec<MasterIf>,
+        slaves: Vec<SlaveIf>,
+        map: AddressMap,
+        config: BusConfig,
+    ) -> Self {
+        let n = masters.len();
+        let p = slaves.len();
+        SharedBus {
+            name: name.into(),
+            clk,
+            masters,
+            slaves,
+            map,
+            arbiter: Arbiter::new(config.arbiter, n),
+            config,
+            state: BusState::Idle,
+            cooldown: vec![false; n],
+            wait_cycles: vec![0; n],
+            slave_transactions: vec![0; p],
+            transactions: 0,
+            decode_errors: 0,
+            busy_cycles: 0,
+            idle_cycles: 0,
+        }
+    }
+
+    /// Contention statistics.
+    pub fn stats(&self) -> BusStats {
+        BusStats {
+            transactions: self.transactions,
+            decode_errors: self.decode_errors,
+            master_wait_cycles: self.wait_cycles.clone(),
+            master_grants: self.arbiter.grants().to_vec(),
+            slave_transactions: self.slave_transactions.clone(),
+            busy_cycles: self.busy_cycles,
+            idle_cycles: self.idle_cycles,
+        }
+    }
+
+    /// Live requests, with post-ack cooldown filtering.
+    fn live_requests(&mut self, ctx: &Ctx<'_>) -> Vec<bool> {
+        (0..self.masters.len())
+            .map(|i| {
+                let req = ctx.read_bit(self.masters[i].req);
+                if !req {
+                    self.cooldown[i] = false;
+                }
+                req && !self.cooldown[i]
+            })
+            .collect()
+    }
+
+    fn count_waiters(&mut self, reqs: &[bool], served: Option<usize>) {
+        for (i, &r) in reqs.iter().enumerate() {
+            if r && Some(i) != served {
+                self.wait_cycles[i] += 1;
+            }
+        }
+    }
+
+    fn forward(&mut self, ctx: &mut Ctx<'_>, master: usize, slave: usize) {
+        let m = self.masters[master];
+        let s = self.slaves[slave];
+        ctx.write_bit(s.req, true);
+        ctx.write_bit(s.we, ctx.read_bit(m.we));
+        ctx.write(s.size, ctx.read(m.size));
+        ctx.write(s.addr, ctx.read(m.addr));
+        ctx.write(s.wdata, ctx.read(m.wdata));
+        ctx.write(s.master, master as u64);
+        self.state = BusState::WaitSlave { master, slave };
+    }
+}
+
+impl Component for SharedBus {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn wake(&mut self, ctx: &mut Ctx<'_>) {
+        match ctx.cause() {
+            Wake::Start => {
+                for s in &self.slaves {
+                    ctx.write_bit(s.req, false);
+                }
+                for m in &self.masters {
+                    ctx.write_bit(m.ack, false);
+                }
+            }
+            Wake::Signal(_) if ctx.is_signal(self.clk) => {
+                let reqs = self.live_requests(ctx);
+                match self.state {
+                    BusState::Idle => {
+                        match self.arbiter.pick(&reqs) {
+                            Some(winner) => {
+                                self.busy_cycles += 1;
+                                self.count_waiters(&reqs, Some(winner));
+                                let addr = ctx.read(self.masters[winner].addr) as u32;
+                                match self.map.decode(addr) {
+                                    Some(slave) => {
+                                        if self.config.arbitration_latency == 0 {
+                                            self.forward(ctx, winner, slave);
+                                        } else {
+                                            self.state = BusState::Arbitrate {
+                                                master: winner,
+                                                slave,
+                                                remaining: self.config.arbitration_latency,
+                                            };
+                                        }
+                                    }
+                                    None => {
+                                        self.decode_errors += 1;
+                                        let m = self.masters[winner];
+                                        ctx.write_bit(m.ack, true);
+                                        ctx.write(m.rdata, DECODE_ERROR_DATA as u64);
+                                        self.state = BusState::Complete { master: winner };
+                                    }
+                                }
+                            }
+                            None => self.idle_cycles += 1,
+                        }
+                    }
+                    BusState::Arbitrate {
+                        master,
+                        slave,
+                        remaining,
+                    } => {
+                        self.busy_cycles += 1;
+                        self.count_waiters(&reqs, Some(master));
+                        if remaining <= 1 {
+                            self.forward(ctx, master, slave);
+                        } else {
+                            self.state = BusState::Arbitrate {
+                                master,
+                                slave,
+                                remaining: remaining - 1,
+                            };
+                        }
+                    }
+                    BusState::WaitSlave { master, slave } => {
+                        self.busy_cycles += 1;
+                        self.count_waiters(&reqs, Some(master));
+                        let s = self.slaves[slave];
+                        if ctx.read_bit(s.ack) {
+                            let data = ctx.read(s.rdata);
+                            ctx.write_bit(s.req, false);
+                            let m = self.masters[master];
+                            ctx.write_bit(m.ack, true);
+                            ctx.write(m.rdata, data);
+                            self.slave_transactions[slave] += 1;
+                            self.state = BusState::Complete { master };
+                        }
+                    }
+                    BusState::Complete { master } => {
+                        self.busy_cycles += 1;
+                        self.count_waiters(&reqs, Some(master));
+                        ctx.write_bit(self.masters[master].ack, false);
+                        self.cooldown[master] = true;
+                        self.transactions += 1;
+                        self.state = BusState::Idle;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,31 @@
+//! # dmi-interconnect — cycle-true interconnect models
+//!
+//! The interconnect of the co-simulated MPSoC: masters (ISSs) on one side,
+//! shared-memory modules on the other. Two topologies:
+//!
+//! * [`SharedBus`] — a single-transaction bus with pluggable arbitration
+//!   ([`ArbiterKind`]); the topology of the paper's experiments;
+//! * [`Crossbar`] — per-slave arbitration with parallel paths, used in the
+//!   ablation experiments to separate interconnect contention from memory
+//!   model cost.
+//!
+//! Address decode is handled by an explicit [`AddressMap`] — the realization
+//! of the paper's `sm_addr` field selecting the memory module.
+//!
+//! The handshake protocol matches `dmi-iss` masters and `dmi-core` slaves:
+//! a master holds `req` with stable payload until it samples `ack`; slaves
+//! assert `ack` for exactly one cycle with `rdata` valid, then wait for
+//! `req` to fall before accepting the next transaction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arbiter;
+mod bus;
+mod crossbar;
+mod map;
+
+pub use arbiter::{Arbiter, ArbiterKind};
+pub use bus::{BusConfig, BusStats, MasterIf, SharedBus, SlaveIf, DECODE_ERROR_DATA};
+pub use crossbar::Crossbar;
+pub use map::{AddressMap, Region};

@@ -1,0 +1,124 @@
+//! Address decoding: which slave answers which address range.
+
+/// One decoded region of the shared address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First byte address of the region.
+    pub base: u32,
+    /// Size in bytes.
+    pub size: u32,
+    /// Index of the slave serving this region.
+    pub slave: usize,
+}
+
+impl Region {
+    /// Whether `addr` falls inside this region.
+    #[inline]
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.base && (addr - self.base) < self.size
+    }
+}
+
+/// The interconnect's address map (the paper's `sm_addr` decode: the
+/// shared-memory address identifying the memory module).
+#[derive(Debug, Clone, Default)]
+pub struct AddressMap {
+    regions: Vec<Region>,
+}
+
+impl AddressMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region overlaps an existing one or has zero size.
+    pub fn add(&mut self, base: u32, size: u32, slave: usize) -> &mut Self {
+        assert!(size > 0, "zero-sized region");
+        let new = Region { base, size, slave };
+        for r in &self.regions {
+            let disjoint = base >= r.base.wrapping_add(r.size) || r.base >= base.wrapping_add(size);
+            assert!(
+                disjoint,
+                "region {base:#x}+{size:#x} overlaps {:#x}+{:#x}",
+                r.base, r.size
+            );
+        }
+        self.regions.push(new);
+        self.regions.sort_by_key(|r| r.base);
+        self
+    }
+
+    /// Decodes an address to its slave index.
+    pub fn decode(&self, addr: u32) -> Option<usize> {
+        let idx = match self.regions.binary_search_by_key(&addr, |r| r.base) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        let r = &self.regions[idx];
+        r.contains(addr).then_some(r.slave)
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// All regions in base order.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_to_correct_slave() {
+        let mut m = AddressMap::new();
+        m.add(0x8000_0000, 0x1000, 0)
+            .add(0x8000_1000, 0x1000, 1)
+            .add(0x9000_0000, 0x100, 2);
+        assert_eq!(m.decode(0x8000_0000), Some(0));
+        assert_eq!(m.decode(0x8000_0FFF), Some(0));
+        assert_eq!(m.decode(0x8000_1000), Some(1));
+        assert_eq!(m.decode(0x9000_0050), Some(2));
+        assert_eq!(m.decode(0x9000_0100), None);
+        assert_eq!(m.decode(0x7FFF_FFFF), None);
+        assert_eq!(m.decode(0x8000_2000), None);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlap_rejected() {
+        let mut m = AddressMap::new();
+        m.add(0x1000, 0x100, 0).add(0x10FF, 0x100, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized")]
+    fn zero_size_rejected() {
+        AddressMap::new().add(0, 0, 0);
+    }
+
+    #[test]
+    fn adjacent_regions_allowed() {
+        let mut m = AddressMap::new();
+        m.add(0x1000, 0x100, 0).add(0x1100, 0x100, 1);
+        assert_eq!(m.decode(0x10FF), Some(0));
+        assert_eq!(m.decode(0x1100), Some(1));
+    }
+}

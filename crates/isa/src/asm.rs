@@ -1,0 +1,1077 @@
+//! Programmatic assembler ("builder API") and assembled programs.
+//!
+//! [`Asm`] is the macro-assembler the software layer uses to generate code:
+//! each method appends one (or a few) instructions; labels and branches are
+//! resolved at [`Asm::assemble`] time. The text assembler in
+//! [`crate::parse`] lowers onto this same builder, so both front ends share
+//! one fixup engine.
+//!
+//! # Examples
+//!
+//! ```
+//! use dmi_isa::{Asm, Reg};
+//!
+//! let mut a = Asm::new();
+//! a.li(Reg::R0, 10);          // counter
+//! a.li(Reg::R1, 0);           // accumulator
+//! a.label("loop");
+//! a.add(Reg::R1, Reg::R1, Reg::R0.into());
+//! a.subs(Reg::R0, Reg::R0, 1u32.into());
+//! a.bne("loop");
+//! a.swi(0);                   // halt
+//! let prog = a.assemble(0x0).unwrap();
+//! assert!(prog.words().len() >= 6);
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::decode::disasm;
+use crate::encode::encode;
+use crate::instr::{
+    AddrMode, DpOp, Instr, MemSize, MulOp, MultiMode, Offset, Operand2, ShiftKind,
+};
+use crate::reg::{Cond, Reg};
+
+/// Errors produced while assembling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A referenced label was never defined.
+    UnknownLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A branch target is beyond the ±8 MiB reach of imm24.
+    BranchOutOfRange {
+        /// The unreachable label.
+        label: String,
+        /// Word index of the branch instruction.
+        at: usize,
+    },
+    /// An immediate cannot be encoded in the requested form.
+    ImmUnencodable(u32),
+    /// A load/store offset exceeds the 9-bit range.
+    OffsetOutOfRange(i64),
+    /// A parse error from the text front end.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnknownLabel(l) => write!(f, "unknown label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::BranchOutOfRange { label, at } => {
+                write!(f, "branch at word {at} cannot reach `{label}`")
+            }
+            AsmError::ImmUnencodable(v) => {
+                write!(f, "immediate {v:#x} has no operand2 encoding")
+            }
+            AsmError::OffsetOutOfRange(v) => write!(f, "offset {v} out of 9-bit range"),
+            AsmError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// A fully assembled, relocated program image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    base: u32,
+    words: Vec<u32>,
+    symbols: HashMap<String, u32>,
+}
+
+impl Program {
+    /// Load address of the first word.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// The machine words in load order.
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// The image as little-endian bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.words.iter().flat_map(|w| w.to_le_bytes()).collect()
+    }
+
+    /// Size of the image in bytes.
+    pub fn len_bytes(&self) -> u32 {
+        (self.words.len() * 4) as u32
+    }
+
+    /// Absolute address of a label, if defined.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// All `(label, address)` pairs, unordered.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.symbols.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Disassembles the whole image with addresses and symbol markers.
+    pub fn disassemble(&self) -> String {
+        let mut by_addr: HashMap<u32, Vec<&str>> = HashMap::new();
+        for (name, addr) in &self.symbols {
+            by_addr.entry(*addr).or_default().push(name);
+        }
+        let mut out = String::new();
+        for (i, &w) in self.words.iter().enumerate() {
+            let addr = self.base + (i as u32) * 4;
+            if let Some(names) = by_addr.get_mut(&addr) {
+                names.sort_unstable();
+                for n in names.iter() {
+                    out.push_str(&format!("{n}:\n"));
+                }
+            }
+            out.push_str(&format!("  {addr:08x}:  {w:08x}  {}\n", disasm(w)));
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FixupKind {
+    /// Patch the imm24 word-offset field of a branch.
+    Branch,
+    /// Patch the imm16 of a MOVW with the low half of the label address.
+    MovwAbs,
+    /// Patch the imm16 of a MOVT with the high half of the label address.
+    MovtAbs,
+    /// Replace the whole word with the label's absolute address.
+    WordAbs,
+}
+
+#[derive(Debug, Clone)]
+struct Fixup {
+    at: usize,
+    label: String,
+    kind: FixupKind,
+}
+
+/// The incremental assembler.
+///
+/// All emit methods default to [`Cond::Al`]; conditional forms take an
+/// explicit [`Cond`] (`*_cond` variants) or use dedicated helpers
+/// (`beq`, `bne`, …).
+#[derive(Debug, Default)]
+pub struct Asm {
+    words: Vec<u32>,
+    labels: HashMap<String, usize>,
+    fixups: Vec<Fixup>,
+}
+
+impl Asm {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of words emitted so far.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Emits a decoded instruction verbatim.
+    pub fn emit(&mut self, instr: Instr) -> &mut Self {
+        self.words.push(encode(&instr));
+        self
+    }
+
+    /// Emits a raw data word.
+    pub fn word(&mut self, w: u32) -> &mut Self {
+        self.words.push(w);
+        self
+    }
+
+    /// Emits raw data words.
+    pub fn words_raw(&mut self, ws: &[u32]) -> &mut Self {
+        self.words.extend_from_slice(ws);
+        self
+    }
+
+    /// Emits `n` zero words.
+    pub fn zeros(&mut self, n: usize) -> &mut Self {
+        self.words.extend(std::iter::repeat(0).take(n));
+        self
+    }
+
+    /// Emits a NUL-terminated string padded to a word boundary.
+    pub fn asciz(&mut self, s: &str) -> &mut Self {
+        let mut bytes: Vec<u8> = s.bytes().collect();
+        bytes.push(0);
+        while bytes.len() % 4 != 0 {
+            bytes.push(0);
+        }
+        for chunk in bytes.chunks(4) {
+            self.words
+                .push(u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+        }
+        self
+    }
+
+    /// Defines a label at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already defined (use [`Asm::try_label`] for a
+    /// fallible form, e.g. from parsers).
+    pub fn label(&mut self, name: impl Into<String>) -> &mut Self {
+        self.try_label(name).expect("duplicate label");
+        self
+    }
+
+    /// Defines a label, reporting duplicates as an error.
+    pub fn try_label(&mut self, name: impl Into<String>) -> Result<(), AsmError> {
+        let name = name.into();
+        if self.labels.insert(name.clone(), self.words.len()).is_some() {
+            return Err(AsmError::DuplicateLabel(name));
+        }
+        Ok(())
+    }
+
+    /// Emits a word that will hold the absolute address of `label`.
+    pub fn word_label(&mut self, label: impl Into<String>) -> &mut Self {
+        self.fixups.push(Fixup {
+            at: self.words.len(),
+            label: label.into(),
+            kind: FixupKind::WordAbs,
+        });
+        self.words.push(0);
+        self
+    }
+
+    // ---- data processing -------------------------------------------------
+
+    /// Emits a data-processing instruction in full generality.
+    pub fn dp(
+        &mut self,
+        cond: Cond,
+        op: DpOp,
+        s: bool,
+        rd: Reg,
+        rn: Reg,
+        op2: Operand2,
+    ) -> &mut Self {
+        self.emit(Instr::Dp {
+            cond,
+            op,
+            s,
+            rd,
+            rn,
+            op2,
+        })
+    }
+}
+
+/// Generates binary ALU methods (`add`, `adds`, `add_cond`, …).
+macro_rules! dp_binary {
+    ($($name:ident, $names:ident, $namec:ident => $op:expr;)*) => {
+        impl Asm {
+            $(
+                #[doc = concat!("Emits `", stringify!($name), " rd, rn, op2`.")]
+                pub fn $name(&mut self, rd: Reg, rn: Reg, op2: Operand2) -> &mut Self {
+                    self.dp(Cond::Al, $op, false, rd, rn, op2)
+                }
+                #[doc = concat!("Emits the flag-setting `", stringify!($name), "s`.")]
+                pub fn $names(&mut self, rd: Reg, rn: Reg, op2: Operand2) -> &mut Self {
+                    self.dp(Cond::Al, $op, true, rd, rn, op2)
+                }
+                #[doc = concat!("Emits a conditional `", stringify!($name), "`.")]
+                pub fn $namec(&mut self, cond: Cond, rd: Reg, rn: Reg, op2: Operand2) -> &mut Self {
+                    self.dp(cond, $op, false, rd, rn, op2)
+                }
+            )*
+        }
+    };
+}
+
+dp_binary! {
+    add, adds, add_cond => DpOp::Add;
+    sub, subs, sub_cond => DpOp::Sub;
+    rsb, rsbs, rsb_cond => DpOp::Rsb;
+    adc, adcs, adc_cond => DpOp::Adc;
+    sbc, sbcs, sbc_cond => DpOp::Sbc;
+    rsc, rscs, rsc_cond => DpOp::Rsc;
+    and, ands, and_cond => DpOp::And;
+    orr, orrs, orr_cond => DpOp::Orr;
+    eor, eors, eor_cond => DpOp::Eor;
+    bic, bics, bic_cond => DpOp::Bic;
+}
+
+impl Asm {
+    /// Emits `mov rd, op2`.
+    pub fn mov(&mut self, rd: Reg, op2: Operand2) -> &mut Self {
+        self.dp(Cond::Al, DpOp::Mov, false, rd, Reg::R0, op2)
+    }
+
+    /// Emits `movs rd, op2`.
+    pub fn movs(&mut self, rd: Reg, op2: Operand2) -> &mut Self {
+        self.dp(Cond::Al, DpOp::Mov, true, rd, Reg::R0, op2)
+    }
+
+    /// Emits a conditional `mov`.
+    pub fn mov_cond(&mut self, cond: Cond, rd: Reg, op2: Operand2) -> &mut Self {
+        self.dp(cond, DpOp::Mov, false, rd, Reg::R0, op2)
+    }
+
+    /// Emits `mvn rd, op2`.
+    pub fn mvn(&mut self, rd: Reg, op2: Operand2) -> &mut Self {
+        self.dp(Cond::Al, DpOp::Mvn, false, rd, Reg::R0, op2)
+    }
+
+    /// Emits `cmp rn, op2`.
+    pub fn cmp(&mut self, rn: Reg, op2: Operand2) -> &mut Self {
+        self.dp(Cond::Al, DpOp::Cmp, true, Reg::R0, rn, op2)
+    }
+
+    /// Emits `cmn rn, op2`.
+    pub fn cmn(&mut self, rn: Reg, op2: Operand2) -> &mut Self {
+        self.dp(Cond::Al, DpOp::Cmn, true, Reg::R0, rn, op2)
+    }
+
+    /// Emits `tst rn, op2`.
+    pub fn tst(&mut self, rn: Reg, op2: Operand2) -> &mut Self {
+        self.dp(Cond::Al, DpOp::Tst, true, Reg::R0, rn, op2)
+    }
+
+    /// Emits `teq rn, op2`.
+    pub fn teq(&mut self, rn: Reg, op2: Operand2) -> &mut Self {
+        self.dp(Cond::Al, DpOp::Teq, true, Reg::R0, rn, op2)
+    }
+
+    /// Emits a logical-shift-left move: `mov rd, rm, lsl #n`.
+    pub fn lsl(&mut self, rd: Reg, rm: Reg, amount: u8) -> &mut Self {
+        self.mov(
+            rd,
+            Operand2::Reg {
+                rm,
+                shift: ShiftKind::Lsl,
+                amount,
+            },
+        )
+    }
+
+    /// Emits `mov rd, rm, lsr #n`.
+    pub fn lsr(&mut self, rd: Reg, rm: Reg, amount: u8) -> &mut Self {
+        self.mov(
+            rd,
+            Operand2::Reg {
+                rm,
+                shift: ShiftKind::Lsr,
+                amount,
+            },
+        )
+    }
+
+    /// Emits `mov rd, rm, asr #n`.
+    pub fn asr(&mut self, rd: Reg, rm: Reg, amount: u8) -> &mut Self {
+        self.mov(
+            rd,
+            Operand2::Reg {
+                rm,
+                shift: ShiftKind::Asr,
+                amount,
+            },
+        )
+    }
+
+    /// Emits `movs rd, rm, asr #n` (flag-setting arithmetic shift).
+    pub fn asrs(&mut self, rd: Reg, rm: Reg, amount: u8) -> &mut Self {
+        self.movs(
+            rd,
+            Operand2::Reg {
+                rm,
+                shift: ShiftKind::Asr,
+                amount,
+            },
+        )
+    }
+
+    /// Emits `mov rd, rm, ror #n`.
+    pub fn ror(&mut self, rd: Reg, rm: Reg, amount: u8) -> &mut Self {
+        self.mov(
+            rd,
+            Operand2::Reg {
+                rm,
+                shift: ShiftKind::Ror,
+                amount,
+            },
+        )
+    }
+
+    /// Loads a full 32-bit constant using the shortest sequence:
+    /// one `mov`/`mvn` when the value has an operand2 encoding, otherwise
+    /// `movw` (+ `movt` when the high half is non-zero).
+    pub fn li(&mut self, rd: Reg, value: u32) -> &mut Self {
+        if let Some(op2) = Operand2::try_imm(value) {
+            return self.mov(rd, op2);
+        }
+        if let Some(op2) = Operand2::try_imm(!value) {
+            return self.mvn(rd, op2);
+        }
+        self.emit(Instr::MovW {
+            cond: Cond::Al,
+            top: false,
+            rd,
+            imm: (value & 0xFFFF) as u16,
+        });
+        if value >> 16 != 0 {
+            self.emit(Instr::MovW {
+                cond: Cond::Al,
+                top: true,
+                rd,
+                imm: (value >> 16) as u16,
+            });
+        }
+        self
+    }
+
+    /// Emits `movw rd, #imm16`.
+    pub fn movw(&mut self, rd: Reg, imm: u16) -> &mut Self {
+        self.emit(Instr::MovW {
+            cond: Cond::Al,
+            top: false,
+            rd,
+            imm,
+        })
+    }
+
+    /// Emits `movt rd, #imm16`.
+    pub fn movt(&mut self, rd: Reg, imm: u16) -> &mut Self {
+        self.emit(Instr::MovW {
+            cond: Cond::Al,
+            top: true,
+            rd,
+            imm,
+        })
+    }
+
+    /// Loads the absolute address of `label` into `rd` (MOVW+MOVT pair,
+    /// patched at assembly time).
+    pub fn adr(&mut self, rd: Reg, label: impl Into<String>) -> &mut Self {
+        let label = label.into();
+        self.fixups.push(Fixup {
+            at: self.words.len(),
+            label: label.clone(),
+            kind: FixupKind::MovwAbs,
+        });
+        self.movw(rd, 0);
+        self.fixups.push(Fixup {
+            at: self.words.len(),
+            label,
+            kind: FixupKind::MovtAbs,
+        });
+        self.movt(rd, 0);
+        self
+    }
+
+    // ---- multiply --------------------------------------------------------
+
+    /// Emits `mul rd, rm, rs`.
+    pub fn mul(&mut self, rd: Reg, rm: Reg, rs: Reg) -> &mut Self {
+        self.emit(Instr::Mul {
+            cond: Cond::Al,
+            op: MulOp::Mul,
+            s: false,
+            rd,
+            rn: Reg::R0,
+            rs,
+            rm,
+        })
+    }
+
+    /// Emits `mla rd, rm, rs, rn` (`rd = rm*rs + rn`).
+    pub fn mla(&mut self, rd: Reg, rm: Reg, rs: Reg, rn: Reg) -> &mut Self {
+        self.emit(Instr::Mul {
+            cond: Cond::Al,
+            op: MulOp::Mla,
+            s: false,
+            rd,
+            rn,
+            rs,
+            rm,
+        })
+    }
+
+    /// Emits `umull rdlo, rdhi, rm, rs`.
+    pub fn umull(&mut self, rdlo: Reg, rdhi: Reg, rm: Reg, rs: Reg) -> &mut Self {
+        self.emit(Instr::Mul {
+            cond: Cond::Al,
+            op: MulOp::Umull,
+            s: false,
+            rd: rdhi,
+            rn: rdlo,
+            rs,
+            rm,
+        })
+    }
+
+    /// Emits `smull rdlo, rdhi, rm, rs`.
+    pub fn smull(&mut self, rdlo: Reg, rdhi: Reg, rm: Reg, rs: Reg) -> &mut Self {
+        self.emit(Instr::Mul {
+            cond: Cond::Al,
+            op: MulOp::Smull,
+            s: false,
+            rd: rdhi,
+            rn: rdlo,
+            rs,
+            rm,
+        })
+    }
+
+    /// Emits `umlal rdlo, rdhi, rm, rs`.
+    pub fn umlal(&mut self, rdlo: Reg, rdhi: Reg, rm: Reg, rs: Reg) -> &mut Self {
+        self.emit(Instr::Mul {
+            cond: Cond::Al,
+            op: MulOp::Umlal,
+            s: false,
+            rd: rdhi,
+            rn: rdlo,
+            rs,
+            rm,
+        })
+    }
+
+    /// Emits `smlal rdlo, rdhi, rm, rs`.
+    pub fn smlal(&mut self, rdlo: Reg, rdhi: Reg, rm: Reg, rs: Reg) -> &mut Self {
+        self.emit(Instr::Mul {
+            cond: Cond::Al,
+            op: MulOp::Smlal,
+            s: false,
+            rd: rdhi,
+            rn: rdlo,
+            rs,
+            rm,
+        })
+    }
+
+    // ---- memory ----------------------------------------------------------
+
+    fn ldst_imm(
+        &mut self,
+        load: bool,
+        size: MemSize,
+        rd: Reg,
+        rn: Reg,
+        offset: i32,
+        mode: AddrMode,
+    ) -> &mut Self {
+        let up = offset >= 0;
+        let mag = offset.unsigned_abs();
+        assert!(mag < 512, "load/store offset out of 9-bit range: {offset}");
+        self.emit(Instr::LdSt {
+            cond: Cond::Al,
+            load,
+            size,
+            rd,
+            rn,
+            offset: Offset::Imm(mag as u16),
+            up,
+            mode,
+        })
+    }
+
+    /// Emits `ldr rd, [rn, #offset]`.
+    pub fn ldr(&mut self, rd: Reg, rn: Reg, offset: i32) -> &mut Self {
+        self.ldst_imm(true, MemSize::Word, rd, rn, offset, AddrMode::Offset)
+    }
+
+    /// Emits `str rd, [rn, #offset]`.
+    pub fn str(&mut self, rd: Reg, rn: Reg, offset: i32) -> &mut Self {
+        self.ldst_imm(false, MemSize::Word, rd, rn, offset, AddrMode::Offset)
+    }
+
+    /// Emits `ldrb rd, [rn, #offset]`.
+    pub fn ldrb(&mut self, rd: Reg, rn: Reg, offset: i32) -> &mut Self {
+        self.ldst_imm(true, MemSize::Byte, rd, rn, offset, AddrMode::Offset)
+    }
+
+    /// Emits `strb rd, [rn, #offset]`.
+    pub fn strb(&mut self, rd: Reg, rn: Reg, offset: i32) -> &mut Self {
+        self.ldst_imm(false, MemSize::Byte, rd, rn, offset, AddrMode::Offset)
+    }
+
+    /// Emits `ldrh rd, [rn, #offset]`.
+    pub fn ldrh(&mut self, rd: Reg, rn: Reg, offset: i32) -> &mut Self {
+        self.ldst_imm(true, MemSize::Half, rd, rn, offset, AddrMode::Offset)
+    }
+
+    /// Emits `strh rd, [rn, #offset]`.
+    pub fn strh(&mut self, rd: Reg, rn: Reg, offset: i32) -> &mut Self {
+        self.ldst_imm(false, MemSize::Half, rd, rn, offset, AddrMode::Offset)
+    }
+
+    /// Emits `ldrsb rd, [rn, #offset]`.
+    pub fn ldrsb(&mut self, rd: Reg, rn: Reg, offset: i32) -> &mut Self {
+        self.ldst_imm(true, MemSize::SByte, rd, rn, offset, AddrMode::Offset)
+    }
+
+    /// Emits `ldrsh rd, [rn, #offset]`.
+    pub fn ldrsh(&mut self, rd: Reg, rn: Reg, offset: i32) -> &mut Self {
+        self.ldst_imm(true, MemSize::SHalf, rd, rn, offset, AddrMode::Offset)
+    }
+
+    /// Emits `ldr rd, [rn], #offset` (post-increment).
+    pub fn ldr_post(&mut self, rd: Reg, rn: Reg, offset: i32) -> &mut Self {
+        self.ldst_imm(true, MemSize::Word, rd, rn, offset, AddrMode::PostIndex)
+    }
+
+    /// Emits `str rd, [rn], #offset` (post-increment).
+    pub fn str_post(&mut self, rd: Reg, rn: Reg, offset: i32) -> &mut Self {
+        self.ldst_imm(false, MemSize::Word, rd, rn, offset, AddrMode::PostIndex)
+    }
+
+    /// Emits `ldrh rd, [rn], #offset` (post-increment).
+    pub fn ldrh_post(&mut self, rd: Reg, rn: Reg, offset: i32) -> &mut Self {
+        self.ldst_imm(true, MemSize::Half, rd, rn, offset, AddrMode::PostIndex)
+    }
+
+    /// Emits `ldrsh rd, [rn], #offset` (post-increment).
+    pub fn ldrsh_post(&mut self, rd: Reg, rn: Reg, offset: i32) -> &mut Self {
+        self.ldst_imm(true, MemSize::SHalf, rd, rn, offset, AddrMode::PostIndex)
+    }
+
+    /// Emits `strh rd, [rn], #offset` (post-increment).
+    pub fn strh_post(&mut self, rd: Reg, rn: Reg, offset: i32) -> &mut Self {
+        self.ldst_imm(false, MemSize::Half, rd, rn, offset, AddrMode::PostIndex)
+    }
+
+    /// Emits `ldr rd, [rn, #offset]!` (pre-index with writeback).
+    pub fn ldr_pre(&mut self, rd: Reg, rn: Reg, offset: i32) -> &mut Self {
+        self.ldst_imm(true, MemSize::Word, rd, rn, offset, AddrMode::PreIndex)
+    }
+
+    /// Emits `str rd, [rn, #offset]!` (pre-index with writeback).
+    pub fn str_pre(&mut self, rd: Reg, rn: Reg, offset: i32) -> &mut Self {
+        self.ldst_imm(false, MemSize::Word, rd, rn, offset, AddrMode::PreIndex)
+    }
+
+    /// Emits `ldr rd, [rn, rm]`.
+    pub fn ldr_r(&mut self, rd: Reg, rn: Reg, rm: Reg) -> &mut Self {
+        self.emit(Instr::LdSt {
+            cond: Cond::Al,
+            load: true,
+            size: MemSize::Word,
+            rd,
+            rn,
+            offset: Offset::Reg(rm),
+            up: true,
+            mode: AddrMode::Offset,
+        })
+    }
+
+    /// Emits `str rd, [rn, rm]`.
+    pub fn str_r(&mut self, rd: Reg, rn: Reg, rm: Reg) -> &mut Self {
+        self.emit(Instr::LdSt {
+            cond: Cond::Al,
+            load: false,
+            size: MemSize::Word,
+            rd,
+            rn,
+            offset: Offset::Reg(rm),
+            up: true,
+            mode: AddrMode::Offset,
+        })
+    }
+
+    /// Emits a load/store in full generality.
+    #[allow(clippy::too_many_arguments)]
+    pub fn ldst(
+        &mut self,
+        cond: Cond,
+        load: bool,
+        size: MemSize,
+        rd: Reg,
+        rn: Reg,
+        offset: Offset,
+        up: bool,
+        mode: AddrMode,
+    ) -> &mut Self {
+        self.emit(Instr::LdSt {
+            cond,
+            load,
+            size,
+            rd,
+            rn,
+            offset,
+            up,
+            mode,
+        })
+    }
+
+    /// Emits `stmdb sp!, {regs}` — push onto a full-descending stack.
+    pub fn push(&mut self, regs: &[Reg]) -> &mut Self {
+        self.emit(Instr::LdStM {
+            cond: Cond::Al,
+            load: false,
+            mode: MultiMode::Db,
+            writeback: true,
+            rn: Reg::SP,
+            list: reg_list(regs),
+        })
+    }
+
+    /// Emits `ldmia sp!, {regs}` — pop from a full-descending stack.
+    pub fn pop(&mut self, regs: &[Reg]) -> &mut Self {
+        self.emit(Instr::LdStM {
+            cond: Cond::Al,
+            load: true,
+            mode: MultiMode::Ia,
+            writeback: true,
+            rn: Reg::SP,
+            list: reg_list(regs),
+        })
+    }
+
+    // ---- control flow ----------------------------------------------------
+
+    fn branch_to(&mut self, cond: Cond, link: bool, label: impl Into<String>) -> &mut Self {
+        self.fixups.push(Fixup {
+            at: self.words.len(),
+            label: label.into(),
+            kind: FixupKind::Branch,
+        });
+        self.emit(Instr::Branch {
+            cond,
+            link,
+            offset: 0,
+        })
+    }
+
+    /// Emits an unconditional branch to `label`.
+    pub fn b(&mut self, label: impl Into<String>) -> &mut Self {
+        self.branch_to(Cond::Al, false, label)
+    }
+
+    /// Emits a conditional branch to `label`.
+    pub fn b_cond(&mut self, cond: Cond, label: impl Into<String>) -> &mut Self {
+        self.branch_to(cond, false, label)
+    }
+
+    /// Emits `beq label`.
+    pub fn beq(&mut self, label: impl Into<String>) -> &mut Self {
+        self.b_cond(Cond::Eq, label)
+    }
+
+    /// Emits `bne label`.
+    pub fn bne(&mut self, label: impl Into<String>) -> &mut Self {
+        self.b_cond(Cond::Ne, label)
+    }
+
+    /// Emits `blt label`.
+    pub fn blt(&mut self, label: impl Into<String>) -> &mut Self {
+        self.b_cond(Cond::Lt, label)
+    }
+
+    /// Emits `ble label`.
+    pub fn ble(&mut self, label: impl Into<String>) -> &mut Self {
+        self.b_cond(Cond::Le, label)
+    }
+
+    /// Emits `bgt label`.
+    pub fn bgt(&mut self, label: impl Into<String>) -> &mut Self {
+        self.b_cond(Cond::Gt, label)
+    }
+
+    /// Emits `bge label`.
+    pub fn bge(&mut self, label: impl Into<String>) -> &mut Self {
+        self.b_cond(Cond::Ge, label)
+    }
+
+    /// Emits `bl label` (call).
+    pub fn bl(&mut self, label: impl Into<String>) -> &mut Self {
+        self.branch_to(Cond::Al, true, label)
+    }
+
+    /// Emits a conditional `bl`.
+    pub fn bl_cond(&mut self, cond: Cond, label: impl Into<String>) -> &mut Self {
+        self.branch_to(cond, true, label)
+    }
+
+    /// Emits `bx rm`.
+    pub fn bx(&mut self, rm: Reg) -> &mut Self {
+        self.emit(Instr::Bx {
+            cond: Cond::Al,
+            link: false,
+            rm,
+        })
+    }
+
+    /// Emits `blx rm` (indirect call).
+    pub fn blx(&mut self, rm: Reg) -> &mut Self {
+        self.emit(Instr::Bx {
+            cond: Cond::Al,
+            link: true,
+            rm,
+        })
+    }
+
+    /// Emits `bx lr` (return).
+    pub fn ret(&mut self) -> &mut Self {
+        self.bx(Reg::LR)
+    }
+
+    /// Emits `swi #imm`.
+    pub fn swi(&mut self, imm: u16) -> &mut Self {
+        self.emit(Instr::Swi {
+            cond: Cond::Al,
+            imm,
+        })
+    }
+
+    /// Emits `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.emit(Instr::Nop { cond: Cond::Al })
+    }
+
+    /// Emits `clz rd, rm`.
+    pub fn clz(&mut self, rd: Reg, rm: Reg) -> &mut Self {
+        self.emit(Instr::Clz {
+            cond: Cond::Al,
+            rd,
+            rm,
+        })
+    }
+
+    // ---- assembly --------------------------------------------------------
+
+    /// Resolves labels and fixups, producing a relocated [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UnknownLabel`] for unresolved references and
+    /// [`AsmError::BranchOutOfRange`] when a branch cannot reach its target.
+    pub fn assemble(&self, base: u32) -> Result<Program, AsmError> {
+        assert_eq!(base % 4, 0, "program base must be word aligned");
+        let mut words = self.words.clone();
+        for fix in &self.fixups {
+            let &target = self
+                .labels
+                .get(&fix.label)
+                .ok_or_else(|| AsmError::UnknownLabel(fix.label.clone()))?;
+            let target_addr = base + (target as u32) * 4;
+            match fix.kind {
+                FixupKind::Branch => {
+                    let diff = target as i64 - fix.at as i64 - 2;
+                    if !(-(1 << 23)..(1 << 23)).contains(&diff) {
+                        return Err(AsmError::BranchOutOfRange {
+                            label: fix.label.clone(),
+                            at: fix.at,
+                        });
+                    }
+                    words[fix.at] =
+                        (words[fix.at] & 0xFF00_0000) | ((diff as u32) & 0x00FF_FFFF);
+                }
+                FixupKind::MovwAbs => {
+                    words[fix.at] = patch_imm16(words[fix.at], (target_addr & 0xFFFF) as u16);
+                }
+                FixupKind::MovtAbs => {
+                    words[fix.at] = patch_imm16(words[fix.at], (target_addr >> 16) as u16);
+                }
+                FixupKind::WordAbs => {
+                    words[fix.at] = target_addr;
+                }
+            }
+        }
+        let symbols = self
+            .labels
+            .iter()
+            .map(|(k, &v)| (k.clone(), base + (v as u32) * 4))
+            .collect();
+        Ok(Program {
+            base,
+            words,
+            symbols,
+        })
+    }
+}
+
+/// Patches the split imm16 field of a MOVW/MOVT encoding.
+fn patch_imm16(word: u32, imm: u16) -> u32 {
+    (word & 0xFFF0_F000) | (((imm as u32) >> 12) << 16) | ((imm as u32) & 0xFFF)
+}
+
+/// Builds a block-transfer register list bitmask.
+///
+/// # Panics
+///
+/// Panics if `regs` is empty.
+pub fn reg_list(regs: &[Reg]) -> u16 {
+    assert!(!regs.is_empty(), "register list must not be empty");
+    regs.iter().fold(0u16, |acc, r| acc | 1 << r.index())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let mut a = Asm::new();
+        a.label("start");
+        a.b("fwd"); // at word 0, target word 3 -> offset 1
+        a.nop();
+        a.nop();
+        a.label("fwd");
+        a.b("start"); // at word 3, target 0 -> offset -5
+        let p = a.assemble(0).unwrap();
+        match decode(p.words()[0]).unwrap() {
+            Instr::Branch { offset, .. } => assert_eq!(offset, 1),
+            other => panic!("expected branch, got {other}"),
+        }
+        match decode(p.words()[3]).unwrap() {
+            Instr::Branch { offset, .. } => assert_eq!(offset, -5),
+            other => panic!("expected branch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn branch_semantics_target_address() {
+        // target = pc + 8 + 4*offset; pc = base + 4*at.
+        let mut a = Asm::new();
+        a.b("next"); // at=0
+        a.label("next"); // word 1
+        let p = a.assemble(0x100).unwrap();
+        let Instr::Branch { offset, .. } = decode(p.words()[0]).unwrap() else {
+            panic!()
+        };
+        let pc = 0x100i64;
+        let target = pc + 8 + 4 * offset as i64;
+        assert_eq!(target as u32, p.symbol("next").unwrap());
+    }
+
+    #[test]
+    fn unknown_label_is_error() {
+        let mut a = Asm::new();
+        a.b("nowhere");
+        assert_eq!(
+            a.assemble(0),
+            Err(AsmError::UnknownLabel("nowhere".into()))
+        );
+    }
+
+    #[test]
+    fn duplicate_label_is_error() {
+        let mut a = Asm::new();
+        a.label("x");
+        assert_eq!(a.try_label("x"), Err(AsmError::DuplicateLabel("x".into())));
+    }
+
+    #[test]
+    fn adr_patches_movw_movt() {
+        let mut a = Asm::new();
+        a.adr(Reg::R0, "data");
+        a.swi(0);
+        a.label("data");
+        a.word(0xDEAD_BEEF);
+        let p = a.assemble(0x0001_0000).unwrap();
+        let addr = p.symbol("data").unwrap();
+        let Instr::MovW { imm: lo, top: false, .. } = decode(p.words()[0]).unwrap() else {
+            panic!()
+        };
+        let Instr::MovW { imm: hi, top: true, .. } = decode(p.words()[1]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(((hi as u32) << 16) | lo as u32, addr);
+    }
+
+    #[test]
+    fn word_label_holds_absolute_address() {
+        let mut a = Asm::new();
+        a.word_label("tgt");
+        a.label("tgt");
+        a.nop();
+        let p = a.assemble(0x40).unwrap();
+        assert_eq!(p.words()[0], p.symbol("tgt").unwrap());
+    }
+
+    #[test]
+    fn li_chooses_short_forms() {
+        let mut a = Asm::new();
+        a.li(Reg::R0, 0xFF); // 1 word: mov
+        assert_eq!(a.len(), 1);
+        let mut a = Asm::new();
+        a.li(Reg::R0, 0xFFFF_FF00); // 1 word: mvn 0xFF
+        assert_eq!(a.len(), 1);
+        let mut a = Asm::new();
+        a.li(Reg::R0, 0x1234); // 1 word: movw
+        assert_eq!(a.len(), 1);
+        let mut a = Asm::new();
+        a.li(Reg::R0, 0x1234_5678); // 2 words
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn asciz_pads_to_word() {
+        let mut a = Asm::new();
+        a.asciz("hi");
+        assert_eq!(a.len(), 1);
+        let mut a = Asm::new();
+        a.asciz("hello"); // 5 + nul = 6 -> 8 bytes
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn push_pop_lists() {
+        assert_eq!(reg_list(&[Reg::R0, Reg::LR]), 0x4001);
+        let mut a = Asm::new();
+        a.push(&[Reg::R4, Reg::LR]);
+        a.pop(&[Reg::R4, Reg::PC]);
+        let p = a.assemble(0).unwrap();
+        assert!(matches!(
+            decode(p.words()[0]).unwrap(),
+            Instr::LdStM {
+                load: false,
+                mode: MultiMode::Db,
+                writeback: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            decode(p.words()[1]).unwrap(),
+            Instr::LdStM {
+                load: true,
+                mode: MultiMode::Ia,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn disassemble_contains_labels_and_text() {
+        let mut a = Asm::new();
+        a.label("entry");
+        a.li(Reg::R0, 1);
+        a.swi(0);
+        let p = a.assemble(0).unwrap();
+        let d = p.disassemble();
+        assert!(d.contains("entry:"));
+        assert!(d.contains("swi #0"));
+    }
+
+    #[test]
+    fn program_bytes_little_endian() {
+        let mut a = Asm::new();
+        a.word(0x0102_0304);
+        let p = a.assemble(0).unwrap();
+        assert_eq!(p.to_bytes(), vec![0x04, 0x03, 0x02, 0x01]);
+        assert_eq!(p.len_bytes(), 4);
+        assert_eq!(p.base(), 0);
+    }
+}

@@ -1,0 +1,448 @@
+//! Binary decoding of SimARM instructions.
+
+use std::fmt;
+
+use crate::encode::{SYS_BLX, SYS_BX, SYS_CLZ, SYS_NOP, SYS_SWI};
+use crate::instr::{
+    AddrMode, DpOp, Instr, MemSize, MulOp, MultiMode, Offset, Operand2, ShiftKind,
+};
+use crate::reg::{Cond, Reg};
+
+/// Error produced when a machine word is not a valid SimARM instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// A must-be-zero field was set.
+    ReservedBits(u32),
+    /// Unknown multiply opcode.
+    InvalidMulOp(u32),
+    /// Unknown memory size code.
+    InvalidMemSize(u32),
+    /// Store with a sign-extended size.
+    SignedStore(u32),
+    /// `P=0, W=1` indexing combination.
+    InvalidAddrMode(u32),
+    /// Block transfer with an empty register list.
+    EmptyRegList(u32),
+    /// Unknown system opcode.
+    InvalidSysOp(u32),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DecodeError::ReservedBits(w) => write!(f, "reserved bits set in {w:#010x}"),
+            DecodeError::InvalidMulOp(w) => write!(f, "invalid multiply opcode in {w:#010x}"),
+            DecodeError::InvalidMemSize(w) => write!(f, "invalid memory size in {w:#010x}"),
+            DecodeError::SignedStore(w) => write!(f, "sign-extended store in {w:#010x}"),
+            DecodeError::InvalidAddrMode(w) => {
+                write!(f, "invalid addressing mode in {w:#010x}")
+            }
+            DecodeError::EmptyRegList(w) => write!(f, "empty register list in {w:#010x}"),
+            DecodeError::InvalidSysOp(w) => write!(f, "invalid system opcode in {w:#010x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[inline]
+fn reg(word: u32, lsb: u32) -> Reg {
+    Reg::new(((word >> lsb) & 0xF) as u8)
+}
+
+fn addr_mode(word: u32) -> Result<AddrMode, DecodeError> {
+    let p = word & (1 << 23) != 0;
+    let w = word & (1 << 21) != 0;
+    match (p, w) {
+        (true, false) => Ok(AddrMode::Offset),
+        (true, true) => Ok(AddrMode::PreIndex),
+        (false, false) => Ok(AddrMode::PostIndex),
+        (false, true) => Err(DecodeError::InvalidAddrMode(word)),
+    }
+}
+
+fn mem_size(word: u32, load: bool) -> Result<MemSize, DecodeError> {
+    let size =
+        MemSize::from_bits((word >> 9) & 7).ok_or(DecodeError::InvalidMemSize(word))?;
+    if !load && size.is_signed() {
+        return Err(DecodeError::SignedStore(word));
+    }
+    Ok(size)
+}
+
+/// Decodes a 32-bit machine word into an instruction.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] describing which constraint the word violates.
+/// `decode(encode(i)) == Ok(i)` holds for every valid instruction `i`
+/// (verified by property tests).
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    let cond = Cond::from_bits(word >> 28);
+    let cls = (word >> 25) & 0b111;
+    match cls {
+        // Data processing, register operand.
+        0b000 => {
+            if word & (1 << 4) != 0 {
+                return Err(DecodeError::ReservedBits(word));
+            }
+            Ok(Instr::Dp {
+                cond,
+                op: DpOp::from_bits(word >> 21),
+                s: word & (1 << 20) != 0,
+                rd: reg(word, 12),
+                rn: reg(word, 16),
+                op2: Operand2::Reg {
+                    rm: reg(word, 0),
+                    shift: ShiftKind::from_bits(word >> 5),
+                    amount: ((word >> 7) & 0x1F) as u8,
+                },
+            })
+        }
+        // Data processing, immediate operand.
+        0b001 => Ok(Instr::Dp {
+            cond,
+            op: DpOp::from_bits(word >> 21),
+            s: word & (1 << 20) != 0,
+            rd: reg(word, 12),
+            rn: reg(word, 16),
+            op2: Operand2::Imm {
+                imm8: (word & 0xFF) as u8,
+                rot: ((word >> 8) & 0xF) as u8,
+            },
+        }),
+        // Multiply.
+        0b010 => {
+            if word & 0xF0 != 0 {
+                return Err(DecodeError::ReservedBits(word));
+            }
+            let op =
+                MulOp::from_bits((word >> 21) & 0xF).ok_or(DecodeError::InvalidMulOp(word))?;
+            let rd = reg(word, 16);
+            let rn = reg(word, 12);
+            if op.is_long() && rd == rn {
+                return Err(DecodeError::ReservedBits(word));
+            }
+            Ok(Instr::Mul {
+                cond,
+                op,
+                s: word & (1 << 20) != 0,
+                rd,
+                rn,
+                rs: reg(word, 8),
+                rm: reg(word, 0),
+            })
+        }
+        // Load/store, immediate offset.
+        0b011 => {
+            if word & (1 << 20) != 0 {
+                return Err(DecodeError::ReservedBits(word));
+            }
+            let load = word & (1 << 24) != 0;
+            Ok(Instr::LdSt {
+                cond,
+                load,
+                size: mem_size(word, load)?,
+                rd: reg(word, 12),
+                rn: reg(word, 16),
+                offset: Offset::Imm((word & 0x1FF) as u16),
+                up: word & (1 << 22) != 0,
+                mode: addr_mode(word)?,
+            })
+        }
+        // Load/store register offset (bit20=0) or block transfer (bit20=1).
+        0b100 => {
+            let load = word & (1 << 24) != 0;
+            if word & (1 << 20) != 0 {
+                let list = (word & 0xFFFF) as u16;
+                if list == 0 {
+                    return Err(DecodeError::EmptyRegList(word));
+                }
+                if word & (1 << 21) != 0 {
+                    return Err(DecodeError::ReservedBits(word));
+                }
+                Ok(Instr::LdStM {
+                    cond,
+                    load,
+                    mode: if word & (1 << 23) != 0 {
+                        MultiMode::Db
+                    } else {
+                        MultiMode::Ia
+                    },
+                    writeback: word & (1 << 22) != 0,
+                    rn: reg(word, 16),
+                    list,
+                })
+            } else {
+                if word & 0x1F0 != 0 {
+                    return Err(DecodeError::ReservedBits(word));
+                }
+                Ok(Instr::LdSt {
+                    cond,
+                    load,
+                    size: mem_size(word, load)?,
+                    rd: reg(word, 12),
+                    rn: reg(word, 16),
+                    offset: Offset::Reg(reg(word, 0)),
+                    up: word & (1 << 22) != 0,
+                    mode: addr_mode(word)?,
+                })
+            }
+        }
+        // Branch.
+        0b101 => {
+            let raw = word & 0x00FF_FFFF;
+            // Sign-extend 24 -> 32 bits.
+            let offset = ((raw << 8) as i32) >> 8;
+            Ok(Instr::Branch {
+                cond,
+                link: word & (1 << 24) != 0,
+                offset,
+            })
+        }
+        // System. Unused operand bits must be zero so that re-encoding a
+        // decoded word reproduces it exactly.
+        0b110 => {
+            let reserved_clear = |mask: u32| {
+                if word & mask != 0 {
+                    Err(DecodeError::ReservedBits(word))
+                } else {
+                    Ok(())
+                }
+            };
+            match (word >> 21) & 0xF {
+                SYS_SWI => {
+                    reserved_clear(0x001F_0000)?;
+                    Ok(Instr::Swi {
+                        cond,
+                        imm: (word & 0xFFFF) as u16,
+                    })
+                }
+                SYS_BX => {
+                    reserved_clear(0x001F_FFF0)?;
+                    Ok(Instr::Bx {
+                        cond,
+                        link: false,
+                        rm: reg(word, 0),
+                    })
+                }
+                SYS_BLX => {
+                    reserved_clear(0x001F_FFF0)?;
+                    Ok(Instr::Bx {
+                        cond,
+                        link: true,
+                        rm: reg(word, 0),
+                    })
+                }
+                SYS_NOP => {
+                    reserved_clear(0x001F_FFFF)?;
+                    Ok(Instr::Nop { cond })
+                }
+                SYS_CLZ => {
+                    reserved_clear(0x001F_0FF0)?;
+                    Ok(Instr::Clz {
+                        cond,
+                        rd: reg(word, 12),
+                        rm: reg(word, 0),
+                    })
+                }
+                _ => Err(DecodeError::InvalidSysOp(word)),
+            }
+        }
+        // Wide move.
+        _ => {
+            if word & (0xF << 20) != 0 {
+                return Err(DecodeError::ReservedBits(word));
+            }
+            Ok(Instr::MovW {
+                cond,
+                top: word & (1 << 24) != 0,
+                rd: reg(word, 12),
+                imm: ((((word >> 16) & 0xF) << 12) | (word & 0xFFF)) as u16,
+            })
+        }
+    }
+}
+
+/// Disassembles a machine word to canonical assembly text, or a `.word`
+/// directive when it does not decode.
+pub fn disasm(word: u32) -> String {
+    match decode(word) {
+        Ok(i) => i.to_string(),
+        Err(_) => format!(".word {word:#010x}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    fn roundtrip(i: Instr) {
+        let w = encode(&i);
+        let d = decode(w).unwrap_or_else(|e| panic!("decode failed for {i}: {e}"));
+        assert_eq!(d, i, "roundtrip mismatch for {i} ({w:#010x})");
+    }
+
+    #[test]
+    fn roundtrip_representatives() {
+        use crate::instr::*;
+        use crate::reg::*;
+        roundtrip(Instr::Dp {
+            cond: Cond::Al,
+            op: DpOp::Add,
+            s: true,
+            rd: Reg::R1,
+            rn: Reg::R2,
+            op2: Operand2::Imm { imm8: 0x7F, rot: 3 },
+        });
+        roundtrip(Instr::Dp {
+            cond: Cond::Lt,
+            op: DpOp::Orr,
+            s: false,
+            rd: Reg::R9,
+            rn: Reg::R10,
+            op2: Operand2::Reg {
+                rm: Reg::R11,
+                shift: ShiftKind::Ror,
+                amount: 31,
+            },
+        });
+        roundtrip(Instr::Mul {
+            cond: Cond::Al,
+            op: MulOp::Smull,
+            s: false,
+            rd: Reg::R3,
+            rn: Reg::R2,
+            rs: Reg::R5,
+            rm: Reg::R4,
+        });
+        roundtrip(Instr::LdSt {
+            cond: Cond::Al,
+            load: true,
+            size: MemSize::SHalf,
+            rd: Reg::R0,
+            rn: Reg::SP,
+            offset: Offset::Imm(511),
+            up: false,
+            mode: AddrMode::PreIndex,
+        });
+        roundtrip(Instr::LdSt {
+            cond: Cond::Ne,
+            load: false,
+            size: MemSize::Word,
+            rd: Reg::R7,
+            rn: Reg::R8,
+            offset: Offset::Reg(Reg::R9),
+            up: true,
+            mode: AddrMode::PostIndex,
+        });
+        roundtrip(Instr::LdStM {
+            cond: Cond::Al,
+            load: false,
+            mode: MultiMode::Db,
+            writeback: true,
+            rn: Reg::SP,
+            list: 0x4FF,
+        });
+        roundtrip(Instr::Branch {
+            cond: Cond::Al,
+            link: true,
+            offset: -(1 << 23),
+        });
+        roundtrip(Instr::Branch {
+            cond: Cond::Eq,
+            link: false,
+            offset: (1 << 23) - 1,
+        });
+        roundtrip(Instr::Bx {
+            cond: Cond::Al,
+            link: false,
+            rm: Reg::LR,
+        });
+        roundtrip(Instr::Bx {
+            cond: Cond::Al,
+            link: true,
+            rm: Reg::R4,
+        });
+        roundtrip(Instr::Swi {
+            cond: Cond::Al,
+            imm: 0xFFFF,
+        });
+        roundtrip(Instr::Nop { cond: Cond::Al });
+        roundtrip(Instr::Clz {
+            cond: Cond::Al,
+            rd: Reg::R0,
+            rm: Reg::R1,
+        });
+        roundtrip(Instr::MovW {
+            cond: Cond::Al,
+            top: true,
+            rd: Reg::R12,
+            imm: 0xFFFF,
+        });
+    }
+
+    #[test]
+    fn invalid_words_error() {
+        // DP-reg with bit4 set.
+        assert!(matches!(
+            decode(0xE000_0010),
+            Err(DecodeError::ReservedBits(_))
+        ));
+        // Multiply with opcode 15.
+        let w = 0xE000_0000 | (0b010 << 25) | (0xF << 21);
+        assert!(matches!(decode(w), Err(DecodeError::InvalidMulOp(_))));
+        // LDST imm with size 7.
+        let w = 0xE000_0000 | (0b011 << 25) | (1 << 24) | (1 << 23) | (7 << 9);
+        assert!(matches!(decode(w), Err(DecodeError::InvalidMemSize(_))));
+        // Signed store.
+        let w = 0xE000_0000 | (0b011 << 25) | (1 << 23) | (3 << 9);
+        assert!(matches!(decode(w), Err(DecodeError::SignedStore(_))));
+        // P=0, W=1.
+        let w = 0xE000_0000 | (0b011 << 25) | (1 << 24) | (1 << 21) | (2 << 9);
+        assert!(matches!(decode(w), Err(DecodeError::InvalidAddrMode(_))));
+        // Block transfer with empty list.
+        let w = 0xE000_0000 | (0b100 << 25) | (1 << 24) | (1 << 20);
+        assert!(matches!(decode(w), Err(DecodeError::EmptyRegList(_))));
+        // System with sysop 9.
+        let w = 0xE000_0000 | (0b110 << 25) | (9 << 21);
+        assert!(matches!(decode(w), Err(DecodeError::InvalidSysOp(_))));
+        // Errors format without panicking.
+        for e in [
+            DecodeError::ReservedBits(1),
+            DecodeError::InvalidMulOp(2),
+            DecodeError::InvalidMemSize(3),
+            DecodeError::SignedStore(4),
+            DecodeError::InvalidAddrMode(5),
+            DecodeError::EmptyRegList(6),
+            DecodeError::InvalidSysOp(7),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn disasm_falls_back_to_word() {
+        assert_eq!(disasm(0xE000_0010), ".word 0xe0000010");
+        assert!(disasm(0xE080_0001).starts_with(".word") == false);
+    }
+
+    #[test]
+    fn branch_sign_extension() {
+        let i = decode(encode(&Instr::Branch {
+            cond: Cond::Al,
+            link: false,
+            offset: -1,
+        }))
+        .unwrap();
+        assert_eq!(
+            i,
+            Instr::Branch {
+                cond: Cond::Al,
+                link: false,
+                offset: -1
+            }
+        );
+    }
+}

@@ -1,0 +1,289 @@
+//! Binary encoding of SimARM instructions.
+//!
+//! `encode` is the single source of truth for the bit layout; the decoder
+//! mirrors it. Field validity is asserted here — the assembler only builds
+//! instructions through checked constructors, so violations are programmer
+//! errors, not data errors.
+
+use crate::instr::{AddrMode, Instr, MemSize, Offset, Operand2};
+
+const CLASS_DP_REG: u32 = 0b000;
+const CLASS_DP_IMM: u32 = 0b001;
+const CLASS_MUL: u32 = 0b010;
+const CLASS_LDST_IMM: u32 = 0b011;
+const CLASS_LDST_REG: u32 = 0b100;
+const CLASS_BRANCH: u32 = 0b101;
+const CLASS_SYS: u32 = 0b110;
+const CLASS_MOVW: u32 = 0b111;
+
+pub(crate) const SYS_SWI: u32 = 0;
+pub(crate) const SYS_BX: u32 = 1;
+pub(crate) const SYS_BLX: u32 = 2;
+pub(crate) const SYS_NOP: u32 = 3;
+pub(crate) const SYS_CLZ: u32 = 4;
+
+#[inline]
+fn class(bits: u32) -> u32 {
+    bits << 25
+}
+
+fn ldst_common(load: bool, up: bool, mode: AddrMode, rn: u32, rd: u32, size: MemSize) -> u32 {
+    let (p, w) = match mode {
+        AddrMode::Offset => (1, 0),
+        AddrMode::PreIndex => (1, 1),
+        AddrMode::PostIndex => (0, 0),
+    };
+    ((load as u32) << 24)
+        | (p << 23)
+        | ((up as u32) << 22)
+        | (w << 21)
+        | (rn << 16)
+        | (rd << 12)
+        | ((size as u32) << 9)
+}
+
+/// Encodes an instruction to its 32-bit machine word.
+///
+/// # Panics
+///
+/// Panics if a field is out of range for its encoding slot (immediate too
+/// wide, store of a sign-extended size, empty register list…). These are
+/// construction bugs; the assembler's checked API prevents them.
+pub fn encode(instr: &Instr) -> u32 {
+    let cond = instr.cond().bits() << 28;
+    match *instr {
+        Instr::Dp {
+            op, s, rd, rn, op2, ..
+        } => {
+            let common = ((op as u32) << 21)
+                | (s as u32) << 20
+                | ((rn.index() as u32) << 16)
+                | ((rd.index() as u32) << 12);
+            match op2 {
+                Operand2::Imm { imm8, rot } => {
+                    assert!(rot < 16, "operand2 rotation out of range");
+                    cond | class(CLASS_DP_IMM) | common | ((rot as u32) << 8) | imm8 as u32
+                }
+                Operand2::Reg { rm, shift, amount } => {
+                    assert!(amount < 32, "shift amount out of range");
+                    cond | class(CLASS_DP_REG)
+                        | common
+                        | ((amount as u32) << 7)
+                        | ((shift as u32) << 5)
+                        | rm.index() as u32
+                }
+            }
+        }
+        Instr::Mul {
+            op,
+            s,
+            rd,
+            rn,
+            rs,
+            rm,
+            ..
+        } => {
+            if op.is_long() {
+                assert!(rd != rn, "long multiply requires distinct rdhi/rdlo");
+            }
+            cond | class(CLASS_MUL)
+                | ((op as u32) << 21)
+                | ((s as u32) << 20)
+                | ((rd.index() as u32) << 16)
+                | ((rn.index() as u32) << 12)
+                | ((rs.index() as u32) << 8)
+                | rm.index() as u32
+        }
+        Instr::LdSt {
+            load,
+            size,
+            rd,
+            rn,
+            offset,
+            up,
+            mode,
+            ..
+        } => {
+            assert!(
+                load || !size.is_signed(),
+                "stores cannot use sign-extended sizes"
+            );
+            let common = ldst_common(
+                load,
+                up,
+                mode,
+                rn.index() as u32,
+                rd.index() as u32,
+                size,
+            );
+            match offset {
+                Offset::Imm(v) => {
+                    assert!(v < 512, "load/store immediate offset out of range (9 bits)");
+                    cond | class(CLASS_LDST_IMM) | common | v as u32
+                }
+                Offset::Reg(rm) => {
+                    cond | class(CLASS_LDST_REG) | common | rm.index() as u32
+                }
+            }
+        }
+        Instr::LdStM {
+            load,
+            mode,
+            writeback,
+            rn,
+            list,
+            ..
+        } => {
+            assert!(list != 0, "block transfer with empty register list");
+            let m = matches!(mode, crate::instr::MultiMode::Db) as u32;
+            cond | class(CLASS_LDST_REG)
+                | ((load as u32) << 24)
+                | (m << 23)
+                | ((writeback as u32) << 22)
+                | (1 << 20)
+                | ((rn.index() as u32) << 16)
+                | list as u32
+        }
+        Instr::Branch { link, offset, .. } => {
+            assert!(
+                (-(1 << 23)..(1 << 23)).contains(&offset),
+                "branch offset out of 24-bit range"
+            );
+            cond | class(CLASS_BRANCH) | ((link as u32) << 24) | (offset as u32 & 0x00FF_FFFF)
+        }
+        Instr::Bx { link, rm, .. } => {
+            let op = if link { SYS_BLX } else { SYS_BX };
+            cond | class(CLASS_SYS) | (op << 21) | rm.index() as u32
+        }
+        Instr::Swi { imm, .. } => cond | class(CLASS_SYS) | (SYS_SWI << 21) | imm as u32,
+        Instr::Nop { .. } => cond | class(CLASS_SYS) | (SYS_NOP << 21),
+        Instr::Clz { rd, rm, .. } => {
+            cond | class(CLASS_SYS)
+                | (SYS_CLZ << 21)
+                | ((rd.index() as u32) << 12)
+                | rm.index() as u32
+        }
+        Instr::MovW { top, rd, imm, .. } => {
+            cond | class(CLASS_MOVW)
+                | ((top as u32) << 24)
+                | (((imm as u32) >> 12) << 16)
+                | ((rd.index() as u32) << 12)
+                | ((imm as u32) & 0xFFF)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::*;
+    use crate::reg::{Cond, Reg};
+
+    #[test]
+    fn classes_are_distinct() {
+        let add = Instr::Dp {
+            cond: Cond::Al,
+            op: DpOp::Add,
+            s: false,
+            rd: Reg::R0,
+            rn: Reg::R0,
+            op2: Operand2::try_imm(1).unwrap(),
+        };
+        let b = Instr::Branch {
+            cond: Cond::Al,
+            link: false,
+            offset: 0,
+        };
+        assert_ne!(encode(&add) >> 25, encode(&b) >> 25);
+    }
+
+    #[test]
+    fn s_bit_is_encoded_as_given() {
+        // Execution semantics treat compares as always flag-setting, but the
+        // encoding is faithful so decode(encode(i)) == i holds exactly.
+        let cmp = Instr::Dp {
+            cond: Cond::Al,
+            op: DpOp::Cmp,
+            s: true,
+            rd: Reg::R0,
+            rn: Reg::R1,
+            op2: Operand2::reg(Reg::R2),
+        };
+        assert_ne!(encode(&cmp) & (1 << 20), 0);
+    }
+
+    #[test]
+    fn branch_offset_masks_to_24_bits() {
+        let b = Instr::Branch {
+            cond: Cond::Al,
+            link: true,
+            offset: -1,
+        };
+        let w = encode(&b);
+        assert_eq!(w & 0x00FF_FFFF, 0x00FF_FFFF);
+        assert_ne!(w & (1 << 24), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "9 bits")]
+    fn oversized_mem_offset_panics() {
+        encode(&Instr::LdSt {
+            cond: Cond::Al,
+            load: true,
+            size: MemSize::Word,
+            rd: Reg::R0,
+            rn: Reg::R1,
+            offset: Offset::Imm(512),
+            up: true,
+            mode: AddrMode::Offset,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "sign-extended")]
+    fn signed_store_panics() {
+        encode(&Instr::LdSt {
+            cond: Cond::Al,
+            load: false,
+            size: MemSize::SByte,
+            rd: Reg::R0,
+            rn: Reg::R1,
+            offset: Offset::Imm(0),
+            up: true,
+            mode: AddrMode::Offset,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "empty register list")]
+    fn empty_reglist_panics() {
+        encode(&Instr::LdStM {
+            cond: Cond::Al,
+            load: true,
+            mode: MultiMode::Ia,
+            writeback: true,
+            rn: Reg::SP,
+            list: 0,
+        });
+    }
+
+    #[test]
+    fn movw_movt_fields() {
+        let w = encode(&Instr::MovW {
+            cond: Cond::Al,
+            top: false,
+            rd: Reg::R3,
+            imm: 0xABCD,
+        });
+        assert_eq!(w & 0xFFF, 0xBCD);
+        assert_eq!((w >> 16) & 0xF, 0xA);
+        assert_eq!((w >> 12) & 0xF, 3);
+        let t = encode(&Instr::MovW {
+            cond: Cond::Al,
+            top: true,
+            rd: Reg::R3,
+            imm: 0xABCD,
+        });
+        assert_eq!(t & (1 << 24), 1 << 24);
+    }
+}

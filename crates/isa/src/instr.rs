@@ -1,0 +1,771 @@
+//! The SimARM instruction set: decoded instruction forms.
+//!
+//! SimARM is an ARM-like 32-bit RISC ISA defined for this project. Its
+//! binary encoding (see [`crate::encode`] / [`crate::decode`]) is custom but
+//! deliberately close in spirit to classic ARM: 4-bit condition on every
+//! instruction, data processing with a barrel shifter, load/store with
+//! pre/post indexing, block transfers, branch-and-link and software
+//! interrupts.
+//!
+//! ## Encoding map (class = bits 27..25)
+//!
+//! | class | format |
+//! |-------|--------|
+//! | 000   | data processing, register operand |
+//! | 001   | data processing, immediate operand (imm8 rotated by 2·rot4) |
+//! | 010   | multiply / multiply-long |
+//! | 011   | load/store, immediate offset (imm9) |
+//! | 100   | load/store, register offset; or block transfer when bit 20 set |
+//! | 101   | branch / branch-and-link (signed imm24 words) |
+//! | 110   | system: SWI, BX/BLX, NOP, CLZ |
+//! | 111   | wide move: MOVW / MOVT (imm16) |
+
+use std::fmt;
+
+use crate::reg::{Cond, Reg};
+
+/// Data-processing opcode (4 bits, ARM numbering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum DpOp {
+    /// Bitwise AND.
+    And = 0,
+    /// Bitwise exclusive OR.
+    Eor = 1,
+    /// Subtract.
+    Sub = 2,
+    /// Reverse subtract (`op2 - rn`).
+    Rsb = 3,
+    /// Add.
+    Add = 4,
+    /// Add with carry.
+    Adc = 5,
+    /// Subtract with carry (borrow).
+    Sbc = 6,
+    /// Reverse subtract with carry.
+    Rsc = 7,
+    /// Test (AND, flags only).
+    Tst = 8,
+    /// Test equivalence (EOR, flags only).
+    Teq = 9,
+    /// Compare (SUB, flags only).
+    Cmp = 10,
+    /// Compare negative (ADD, flags only).
+    Cmn = 11,
+    /// Bitwise OR.
+    Orr = 12,
+    /// Move.
+    Mov = 13,
+    /// Bit clear (`rn & !op2`).
+    Bic = 14,
+    /// Move NOT.
+    Mvn = 15,
+}
+
+impl DpOp {
+    /// Decodes the 4-bit opcode field.
+    pub fn from_bits(bits: u32) -> DpOp {
+        use DpOp::*;
+        match bits & 0xF {
+            0 => And,
+            1 => Eor,
+            2 => Sub,
+            3 => Rsb,
+            4 => Add,
+            5 => Adc,
+            6 => Sbc,
+            7 => Rsc,
+            8 => Tst,
+            9 => Teq,
+            10 => Cmp,
+            11 => Cmn,
+            12 => Orr,
+            13 => Mov,
+            14 => Bic,
+            _ => Mvn,
+        }
+    }
+
+    /// Whether the op writes only flags (TST/TEQ/CMP/CMN): `rd` is ignored
+    /// and the S bit is implied.
+    pub fn is_compare(self) -> bool {
+        matches!(self, DpOp::Tst | DpOp::Teq | DpOp::Cmp | DpOp::Cmn)
+    }
+
+    /// Whether the op ignores `rn` (MOV/MVN).
+    pub fn is_unary(self) -> bool {
+        matches!(self, DpOp::Mov | DpOp::Mvn)
+    }
+
+    /// The assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            DpOp::And => "and",
+            DpOp::Eor => "eor",
+            DpOp::Sub => "sub",
+            DpOp::Rsb => "rsb",
+            DpOp::Add => "add",
+            DpOp::Adc => "adc",
+            DpOp::Sbc => "sbc",
+            DpOp::Rsc => "rsc",
+            DpOp::Tst => "tst",
+            DpOp::Teq => "teq",
+            DpOp::Cmp => "cmp",
+            DpOp::Cmn => "cmn",
+            DpOp::Orr => "orr",
+            DpOp::Mov => "mov",
+            DpOp::Bic => "bic",
+            DpOp::Mvn => "mvn",
+        }
+    }
+}
+
+/// Barrel-shifter operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ShiftKind {
+    /// Logical shift left.
+    Lsl = 0,
+    /// Logical shift right.
+    Lsr = 1,
+    /// Arithmetic shift right.
+    Asr = 2,
+    /// Rotate right.
+    Ror = 3,
+}
+
+impl ShiftKind {
+    /// Decodes the 2-bit shift-type field.
+    pub fn from_bits(bits: u32) -> ShiftKind {
+        match bits & 3 {
+            0 => ShiftKind::Lsl,
+            1 => ShiftKind::Lsr,
+            2 => ShiftKind::Asr,
+            _ => ShiftKind::Ror,
+        }
+    }
+
+    /// The assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            ShiftKind::Lsl => "lsl",
+            ShiftKind::Lsr => "lsr",
+            ShiftKind::Asr => "asr",
+            ShiftKind::Ror => "ror",
+        }
+    }
+}
+
+/// The second operand of a data-processing instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand2 {
+    /// `imm8` rotated right by `2 * rot` (rot in 0..=15).
+    Imm {
+        /// 8-bit payload.
+        imm8: u8,
+        /// Rotation divided by two (0..=15).
+        rot: u8,
+    },
+    /// Register, optionally shifted by a constant amount (0..=31).
+    Reg {
+        /// Source register.
+        rm: Reg,
+        /// Shift operation applied to `rm`.
+        shift: ShiftKind,
+        /// Constant shift amount, 0..=31; 0 means no shift.
+        amount: u8,
+    },
+}
+
+impl Operand2 {
+    /// A plain (unshifted) register operand.
+    pub fn reg(rm: Reg) -> Operand2 {
+        Operand2::Reg {
+            rm,
+            shift: ShiftKind::Lsl,
+            amount: 0,
+        }
+    }
+
+    /// Tries to express `value` as an `imm8`/`rot` pair.
+    ///
+    /// Returns `None` if the value has no such encoding (the assembler then
+    /// falls back to `MOVW`/`MOVT` sequences).
+    pub fn try_imm(value: u32) -> Option<Operand2> {
+        for rot in 0..16u32 {
+            let rotated = value.rotate_left(rot * 2);
+            if rotated <= 0xFF {
+                return Some(Operand2::Imm {
+                    imm8: rotated as u8,
+                    rot: rot as u8,
+                });
+            }
+        }
+        None
+    }
+
+    /// The concrete value of an immediate operand (`None` for registers).
+    pub fn imm_value(self) -> Option<u32> {
+        match self {
+            Operand2::Imm { imm8, rot } => Some((imm8 as u32).rotate_right(rot as u32 * 2)),
+            Operand2::Reg { .. } => None,
+        }
+    }
+}
+
+impl From<Reg> for Operand2 {
+    fn from(rm: Reg) -> Operand2 {
+        Operand2::reg(rm)
+    }
+}
+
+/// Converts a constant to an immediate operand.
+///
+/// # Panics
+///
+/// Panics if the value has no `imm8`/`rot` encoding. Use
+/// [`Operand2::try_imm`] (or `Asm::li` for full 32-bit constants) when the
+/// value is not statically known to be encodable.
+impl From<u32> for Operand2 {
+    fn from(value: u32) -> Operand2 {
+        Operand2::try_imm(value)
+            .unwrap_or_else(|| panic!("{value:#x} has no operand2 encoding"))
+    }
+}
+
+/// Multiply-class opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum MulOp {
+    /// `rd = rm * rs` (low 32 bits).
+    Mul = 0,
+    /// `rd = rm * rs + rn`.
+    Mla = 1,
+    /// Unsigned long multiply: `rdhi:rdlo = rm * rs`.
+    Umull = 2,
+    /// Signed long multiply.
+    Smull = 3,
+    /// Unsigned long multiply-accumulate.
+    Umlal = 4,
+    /// Signed long multiply-accumulate.
+    Smlal = 5,
+}
+
+impl MulOp {
+    /// Decodes the 4-bit multiply opcode field.
+    pub fn from_bits(bits: u32) -> Option<MulOp> {
+        Some(match bits & 0xF {
+            0 => MulOp::Mul,
+            1 => MulOp::Mla,
+            2 => MulOp::Umull,
+            3 => MulOp::Smull,
+            4 => MulOp::Umlal,
+            5 => MulOp::Smlal,
+            _ => return None,
+        })
+    }
+
+    /// Whether this variant produces a 64-bit result pair.
+    pub fn is_long(self) -> bool {
+        matches!(
+            self,
+            MulOp::Umull | MulOp::Smull | MulOp::Umlal | MulOp::Smlal
+        )
+    }
+
+    /// The assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            MulOp::Mul => "mul",
+            MulOp::Mla => "mla",
+            MulOp::Umull => "umull",
+            MulOp::Smull => "smull",
+            MulOp::Umlal => "umlal",
+            MulOp::Smlal => "smlal",
+        }
+    }
+}
+
+/// Transfer size and sign extension of a load/store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum MemSize {
+    /// 8-bit, zero-extended on load.
+    Byte = 0,
+    /// 16-bit, zero-extended on load.
+    Half = 1,
+    /// 32-bit.
+    Word = 2,
+    /// 8-bit, sign-extended (loads only).
+    SByte = 3,
+    /// 16-bit, sign-extended (loads only).
+    SHalf = 4,
+}
+
+impl MemSize {
+    /// Decodes the 3-bit size field.
+    pub fn from_bits(bits: u32) -> Option<MemSize> {
+        Some(match bits & 7 {
+            0 => MemSize::Byte,
+            1 => MemSize::Half,
+            2 => MemSize::Word,
+            3 => MemSize::SByte,
+            4 => MemSize::SHalf,
+            _ => return None,
+        })
+    }
+
+    /// Number of bytes transferred.
+    pub fn bytes(self) -> u32 {
+        match self {
+            MemSize::Byte | MemSize::SByte => 1,
+            MemSize::Half | MemSize::SHalf => 2,
+            MemSize::Word => 4,
+        }
+    }
+
+    /// Whether loads sign-extend.
+    pub fn is_signed(self) -> bool {
+        matches!(self, MemSize::SByte | MemSize::SHalf)
+    }
+
+    /// Mnemonic suffix (`""`, `"b"`, `"h"`, `"sb"`, `"sh"`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            MemSize::Byte => "b",
+            MemSize::Half => "h",
+            MemSize::Word => "",
+            MemSize::SByte => "sb",
+            MemSize::SHalf => "sh",
+        }
+    }
+}
+
+/// Load/store offset operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Offset {
+    /// Unsigned 9-bit byte offset (direction from the `up` flag).
+    Imm(u16),
+    /// Register offset (direction from the `up` flag).
+    Reg(Reg),
+}
+
+/// Indexing mode of a load/store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddrMode {
+    /// `[rn, off]` — offset addressing, `rn` unchanged.
+    Offset,
+    /// `[rn, off]!` — pre-indexed with writeback.
+    PreIndex,
+    /// `[rn], off` — post-indexed (always writes back).
+    PostIndex,
+}
+
+/// Block-transfer address progression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MultiMode {
+    /// Increment after — `ldmia`/`stmia` (POP-style for loads).
+    Ia,
+    /// Decrement before — `ldmdb`/`stmdb` (PUSH-style for stores).
+    Db,
+}
+
+/// A decoded SimARM instruction.
+///
+/// `Display` renders canonical assembly text; the disassembler is
+/// `decode(word)?.to_string()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// Data-processing (ALU) operation.
+    Dp {
+        /// Condition.
+        cond: Cond,
+        /// Opcode.
+        op: DpOp,
+        /// Update flags.
+        s: bool,
+        /// Destination (ignored by compares).
+        rd: Reg,
+        /// First operand (ignored by MOV/MVN).
+        rn: Reg,
+        /// Second operand.
+        op2: Operand2,
+    },
+    /// Multiply / multiply-long.
+    Mul {
+        /// Condition.
+        cond: Cond,
+        /// Opcode.
+        op: MulOp,
+        /// Update N and Z flags.
+        s: bool,
+        /// Destination (high word for long forms).
+        rd: Reg,
+        /// Accumulator for MLA; low word for long forms.
+        rn: Reg,
+        /// Second factor.
+        rs: Reg,
+        /// First factor.
+        rm: Reg,
+    },
+    /// Single load or store.
+    LdSt {
+        /// Condition.
+        cond: Cond,
+        /// Load (true) or store (false).
+        load: bool,
+        /// Transfer size / sign.
+        size: MemSize,
+        /// Data register.
+        rd: Reg,
+        /// Base register.
+        rn: Reg,
+        /// Offset operand.
+        offset: Offset,
+        /// Add (true) or subtract (false) the offset.
+        up: bool,
+        /// Indexing mode.
+        mode: AddrMode,
+    },
+    /// Block transfer (LDM/STM).
+    LdStM {
+        /// Condition.
+        cond: Cond,
+        /// Load (true) or store (false).
+        load: bool,
+        /// Address progression.
+        mode: MultiMode,
+        /// Write the final address back to `rn`.
+        writeback: bool,
+        /// Base register.
+        rn: Reg,
+        /// Bitmask of transferred registers (bit i = `r<i>`).
+        list: u16,
+    },
+    /// PC-relative branch; target = `pc + 8 + 4 * offset`.
+    Branch {
+        /// Condition.
+        cond: Cond,
+        /// Save return address in `lr`.
+        link: bool,
+        /// Signed word offset (24 bits).
+        offset: i32,
+    },
+    /// Branch to register.
+    Bx {
+        /// Condition.
+        cond: Cond,
+        /// Save return address in `lr`.
+        link: bool,
+        /// Target register.
+        rm: Reg,
+    },
+    /// Software interrupt (system call).
+    Swi {
+        /// Condition.
+        cond: Cond,
+        /// Call number.
+        imm: u16,
+    },
+    /// No operation.
+    Nop {
+        /// Condition.
+        cond: Cond,
+    },
+    /// Count leading zeros.
+    Clz {
+        /// Condition.
+        cond: Cond,
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rm: Reg,
+    },
+    /// Wide move: loads a 16-bit immediate into the low (MOVW, zeroing the
+    /// high half) or high (MOVT) half of `rd`.
+    MovW {
+        /// Condition.
+        cond: Cond,
+        /// MOVT (true) or MOVW (false).
+        top: bool,
+        /// Destination.
+        rd: Reg,
+        /// 16-bit immediate.
+        imm: u16,
+    },
+}
+
+impl Instr {
+    /// The condition code of any instruction.
+    pub fn cond(&self) -> Cond {
+        match *self {
+            Instr::Dp { cond, .. }
+            | Instr::Mul { cond, .. }
+            | Instr::LdSt { cond, .. }
+            | Instr::LdStM { cond, .. }
+            | Instr::Branch { cond, .. }
+            | Instr::Bx { cond, .. }
+            | Instr::Swi { cond, .. }
+            | Instr::Nop { cond }
+            | Instr::Clz { cond, .. }
+            | Instr::MovW { cond, .. } => cond,
+        }
+    }
+}
+
+fn fmt_op2(f: &mut fmt::Formatter<'_>, op2: &Operand2) -> fmt::Result {
+    match *op2 {
+        Operand2::Imm { .. } => write!(f, "#{}", op2.imm_value().unwrap()),
+        Operand2::Reg { rm, shift, amount } => {
+            // A zero-amount non-LSL shift is semantically a plain register
+            // but encodes distinctly, so print it to keep Display faithful.
+            if amount == 0 && shift == ShiftKind::Lsl {
+                write!(f, "{rm}")
+            } else {
+                write!(f, "{rm}, {} #{amount}", shift.mnemonic())
+            }
+        }
+    }
+}
+
+fn fmt_reglist(f: &mut fmt::Formatter<'_>, list: u16) -> fmt::Result {
+    f.write_str("{")?;
+    let mut first = true;
+    for i in 0..16 {
+        if list & (1 << i) != 0 {
+            if !first {
+                f.write_str(", ")?;
+            }
+            write!(f, "{}", Reg::new(i))?;
+            first = false;
+        }
+    }
+    f.write_str("}")
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Dp {
+                cond,
+                op,
+                s,
+                rd,
+                rn,
+                op2,
+            } => {
+                let sflag = if s && !op.is_compare() { "s" } else { "" };
+                write!(f, "{}{}{} ", op.mnemonic(), cond, sflag)?;
+                if op.is_compare() {
+                    write!(f, "{rn}, ")?;
+                } else if op.is_unary() {
+                    write!(f, "{rd}, ")?;
+                } else {
+                    write!(f, "{rd}, {rn}, ")?;
+                }
+                fmt_op2(f, &op2)
+            }
+            Instr::Mul {
+                cond,
+                op,
+                s,
+                rd,
+                rn,
+                rs,
+                rm,
+            } => {
+                let sflag = if s { "s" } else { "" };
+                write!(f, "{}{}{} ", op.mnemonic(), cond, sflag)?;
+                match op {
+                    MulOp::Mul => write!(f, "{rd}, {rm}, {rs}"),
+                    MulOp::Mla => write!(f, "{rd}, {rm}, {rs}, {rn}"),
+                    _ => write!(f, "{rn}, {rd}, {rm}, {rs}"),
+                }
+            }
+            Instr::LdSt {
+                cond,
+                load,
+                size,
+                rd,
+                rn,
+                offset,
+                up,
+                mode,
+            } => {
+                let m = if load { "ldr" } else { "str" };
+                write!(f, "{m}{cond}{} {rd}, ", size.suffix())?;
+                let sign = if up { "" } else { "-" };
+                let has_offset = !matches!(offset, Offset::Imm(0));
+                match mode {
+                    AddrMode::Offset | AddrMode::PreIndex => {
+                        write!(f, "[{rn}")?;
+                        if has_offset {
+                            match offset {
+                                Offset::Imm(v) => write!(f, ", #{sign}{v}")?,
+                                Offset::Reg(r) => write!(f, ", {sign}{r}")?,
+                            }
+                        }
+                        write!(f, "]")?;
+                        if mode == AddrMode::PreIndex {
+                            write!(f, "!")?;
+                        }
+                        Ok(())
+                    }
+                    AddrMode::PostIndex => {
+                        write!(f, "[{rn}]")?;
+                        match offset {
+                            Offset::Imm(v) => write!(f, ", #{sign}{v}"),
+                            Offset::Reg(r) => write!(f, ", {sign}{r}"),
+                        }
+                    }
+                }
+            }
+            Instr::LdStM {
+                cond,
+                load,
+                mode,
+                writeback,
+                rn,
+                list,
+            } => {
+                let m = if load { "ldm" } else { "stm" };
+                let am = match mode {
+                    MultiMode::Ia => "ia",
+                    MultiMode::Db => "db",
+                };
+                let wb = if writeback { "!" } else { "" };
+                write!(f, "{m}{am}{cond} {rn}{wb}, ")?;
+                fmt_reglist(f, list)
+            }
+            Instr::Branch { cond, link, offset } => {
+                let m = if link { "bl" } else { "b" };
+                write!(f, "{m}{cond} {:+}", offset)
+            }
+            Instr::Bx { cond, link, rm } => {
+                let m = if link { "blx" } else { "bx" };
+                write!(f, "{m}{cond} {rm}")
+            }
+            Instr::Swi { cond, imm } => write!(f, "swi{cond} #{imm}"),
+            Instr::Nop { cond } => write!(f, "nop{cond}"),
+            Instr::Clz { cond, rd, rm } => write!(f, "clz{cond} {rd}, {rm}"),
+            Instr::MovW { cond, top, rd, imm } => {
+                let m = if top { "movt" } else { "movw" };
+                write!(f, "{m}{cond} {rd}, #{imm}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn try_imm_finds_rotations() {
+        assert_eq!(
+            Operand2::try_imm(0xFF),
+            Some(Operand2::Imm { imm8: 0xFF, rot: 0 })
+        );
+        // 0x3F0 = 0xFC ror 30  (rotate_left by 2*15 = 30 brings it to <= 0xFF)
+        let op = Operand2::try_imm(0x3F0).expect("encodable");
+        assert_eq!(op.imm_value(), Some(0x3F0));
+        // 0xFF000000 = 0xFF ror 8
+        let op = Operand2::try_imm(0xFF00_0000).expect("encodable");
+        assert_eq!(op.imm_value(), Some(0xFF00_0000));
+        // 0x101 cannot be expressed as a rotated byte.
+        assert_eq!(Operand2::try_imm(0x101), None);
+        // Zero encodes trivially.
+        assert_eq!(Operand2::try_imm(0).unwrap().imm_value(), Some(0));
+    }
+
+    #[test]
+    fn display_dp() {
+        let i = Instr::Dp {
+            cond: Cond::Al,
+            op: DpOp::Add,
+            s: false,
+            rd: Reg::R0,
+            rn: Reg::R1,
+            op2: Operand2::try_imm(4).unwrap(),
+        };
+        assert_eq!(i.to_string(), "add r0, r1, #4");
+        let i = Instr::Dp {
+            cond: Cond::Eq,
+            op: DpOp::Cmp,
+            s: true,
+            rd: Reg::R0,
+            rn: Reg::R2,
+            op2: Operand2::reg(Reg::R3),
+        };
+        assert_eq!(i.to_string(), "cmpeq r2, r3");
+        let i = Instr::Dp {
+            cond: Cond::Al,
+            op: DpOp::Mov,
+            s: true,
+            rd: Reg::R5,
+            rn: Reg::R0,
+            op2: Operand2::Reg {
+                rm: Reg::R6,
+                shift: ShiftKind::Asr,
+                amount: 3,
+            },
+        };
+        assert_eq!(i.to_string(), "movs r5, r6, asr #3");
+    }
+
+    #[test]
+    fn display_mem_and_branch() {
+        let i = Instr::LdSt {
+            cond: Cond::Al,
+            load: true,
+            size: MemSize::Word,
+            rd: Reg::R0,
+            rn: Reg::SP,
+            offset: Offset::Imm(8),
+            up: true,
+            mode: AddrMode::Offset,
+        };
+        assert_eq!(i.to_string(), "ldr r0, [sp, #8]");
+        let i = Instr::LdSt {
+            cond: Cond::Al,
+            load: false,
+            size: MemSize::Byte,
+            rd: Reg::R1,
+            rn: Reg::R2,
+            offset: Offset::Imm(1),
+            up: true,
+            mode: AddrMode::PostIndex,
+        };
+        assert_eq!(i.to_string(), "strb r1, [r2], #1");
+        let i = Instr::Branch {
+            cond: Cond::Ne,
+            link: false,
+            offset: -3,
+        };
+        assert_eq!(i.to_string(), "bne -3");
+        let i = Instr::LdStM {
+            cond: Cond::Al,
+            load: false,
+            mode: MultiMode::Db,
+            writeback: true,
+            rn: Reg::SP,
+            list: 0b0100_0000_0000_0011,
+        };
+        assert_eq!(i.to_string(), "stmdb sp!, {r0, r1, lr}");
+    }
+
+    #[test]
+    fn accessors() {
+        assert!(DpOp::Cmp.is_compare());
+        assert!(!DpOp::Add.is_compare());
+        assert!(DpOp::Mov.is_unary());
+        assert!(MulOp::Smull.is_long());
+        assert!(!MulOp::Mla.is_long());
+        assert_eq!(MemSize::Half.bytes(), 2);
+        assert_eq!(MemSize::Word.bytes(), 4);
+        assert!(MemSize::SByte.is_signed());
+        let i = Instr::Nop { cond: Cond::Hi };
+        assert_eq!(i.cond(), Cond::Hi);
+        assert_eq!(i.to_string(), "nophi");
+    }
+}

@@ -1,0 +1,50 @@
+//! # dmi-isa — the SimARM instruction set
+//!
+//! SimARM is an ARM-like 32-bit RISC ISA built for the DATE'05 dynamic
+//! memory integration reproduction. The original paper runs GSM binaries on
+//! SimIt-ARM instruction-set simulators; SimARM plays that role here: an
+//! ISA rich enough to express real DSP workloads (conditional execution,
+//! barrel shifter, long multiply-accumulate, block transfers) with a fully
+//! specified binary encoding, assembler and disassembler.
+//!
+//! The crate provides four layers:
+//!
+//! * [`Instr`] and friends — the decoded instruction AST;
+//! * [`encode`] / [`decode`] / [`disasm`] — the binary contract
+//!   (`decode(encode(i)) == Ok(i)` is property-tested);
+//! * [`Asm`] — a programmatic macro-assembler with labels and fixups, used
+//!   by the workload generators in higher crates;
+//! * [`assemble_text`] — a text front end over the same builder.
+//!
+//! ## Example: assemble and disassemble
+//!
+//! ```
+//! use dmi_isa::{assemble_text, disasm};
+//!
+//! let prog = assemble_text(r#"
+//!         li   r0, #3
+//!         li   r1, #4
+//!         mul  r2, r0, r1
+//!         swi  #0           ; halt
+//! "#, 0).unwrap();
+//! assert_eq!(disasm(prog.words()[2]), "mul r2, r0, r1");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asm;
+mod decode;
+mod encode;
+mod instr;
+mod parse;
+mod reg;
+
+pub use asm::{reg_list, Asm, AsmError, Program};
+pub use decode::{decode, disasm, DecodeError};
+pub use encode::encode;
+pub use instr::{
+    AddrMode, DpOp, Instr, MemSize, MulOp, MultiMode, Offset, Operand2, ShiftKind,
+};
+pub use parse::assemble_text;
+pub use reg::{Cond, Reg};

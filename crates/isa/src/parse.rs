@@ -1,0 +1,989 @@
+//! Text assembler: parses SimARM assembly source onto the [`Asm`] builder.
+//!
+//! Supported syntax (one statement per line):
+//!
+//! ```text
+//! ; comment        // comment        @ comment
+//! label:
+//! .equ NAME, expr          ; constant definition
+//! .word expr [, expr ...]  ; literal words (or `=label` for an address)
+//! .zero n                  ; n zero words
+//! .asciz "text"
+//! mnemonic operands
+//! ```
+//!
+//! Mnemonics follow ARM conventions: optional condition and `s` suffixes
+//! (`addne`, `subs`, `ldrbeq`, `stmdb`, `bne`, …), `#imm` immediates
+//! (decimal, hex `0x`, binary `0b`, or a `.equ` name), `[rn, #off]`,
+//! `[rn, rm]`, `[rn], #off` post-indexing, `!` writeback and `{r0-r3, lr}`
+//! register lists. `li rd, #imm32` and `adr rd, label` are pseudo
+//! instructions lowered to MOVW/MOVT sequences.
+
+use std::collections::HashMap;
+
+use crate::asm::{reg_list, Asm, AsmError, Program};
+use crate::instr::{
+    AddrMode, DpOp, Instr, MemSize, MulOp, MultiMode, Offset, Operand2, ShiftKind,
+};
+use crate::reg::{Cond, Reg};
+
+/// Assembles SimARM source text into a program loaded at `base`.
+///
+/// # Errors
+///
+/// Returns [`AsmError::Parse`] with a 1-based line number for syntax errors,
+/// or any label-resolution error from the underlying builder.
+///
+/// # Examples
+///
+/// ```
+/// use dmi_isa::assemble_text;
+///
+/// let prog = assemble_text(r#"
+///     .equ LIMIT, 5
+///         li   r0, #0
+///         li   r1, #LIMIT
+///     loop:
+///         add  r0, r0, #1
+///         cmp  r0, r1
+///         bne  loop
+///         swi  #0
+/// "#, 0).unwrap();
+/// assert!(prog.symbol("loop").is_some());
+/// ```
+pub fn assemble_text(source: &str, base: u32) -> Result<Program, AsmError> {
+    let mut asm = Asm::new();
+    let mut equs: HashMap<String, i64> = HashMap::new();
+
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        parse_line(raw_line, line_no, &mut asm, &mut equs)?;
+    }
+    asm.assemble(base)
+}
+
+fn err(line: usize, msg: impl Into<String>) -> AsmError {
+    AsmError::Parse {
+        line,
+        msg: msg.into(),
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // Comments start with ';', '@' or '//' outside of string literals.
+    let mut in_str = false;
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if in_str {
+            if c == '"' {
+                in_str = false;
+            }
+        } else {
+            match c {
+                '"' => in_str = true,
+                ';' | '@' => return &line[..i],
+                '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => return &line[..i],
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    line
+}
+
+fn parse_line(
+    raw: &str,
+    line_no: usize,
+    asm: &mut Asm,
+    equs: &mut HashMap<String, i64>,
+) -> Result<(), AsmError> {
+    let mut line = strip_comment(raw).trim();
+    // Labels (possibly several) at line start.
+    while let Some(colon) = line.find(':') {
+        let (candidate, rest) = line.split_at(colon);
+        let candidate = candidate.trim();
+        if candidate.is_empty() || !is_ident(candidate) {
+            break;
+        }
+        asm.try_label(candidate)?;
+        line = rest[1..].trim();
+    }
+    if line.is_empty() {
+        return Ok(());
+    }
+    if let Some(directive) = line.strip_prefix('.') {
+        return parse_directive(directive, line_no, asm, equs);
+    }
+    parse_instruction(line, line_no, asm, equs)
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && !s.chars().next().unwrap().is_ascii_digit()
+}
+
+fn parse_directive(
+    directive: &str,
+    line_no: usize,
+    asm: &mut Asm,
+    equs: &mut HashMap<String, i64>,
+) -> Result<(), AsmError> {
+    let (name, rest) = directive
+        .split_once(char::is_whitespace)
+        .unwrap_or((directive, ""));
+    let rest = rest.trim();
+    match name {
+        "equ" | "set" => {
+            let (sym, val) = rest
+                .split_once(',')
+                .ok_or_else(|| err(line_no, ".equ requires `name, value`"))?;
+            let value = parse_int(val.trim(), equs)
+                .ok_or_else(|| err(line_no, format!("bad .equ value `{}`", val.trim())))?;
+            equs.insert(sym.trim().to_owned(), value);
+            Ok(())
+        }
+        "word" => {
+            for part in rest.split(',') {
+                let part = part.trim();
+                if let Some(label) = part.strip_prefix('=') {
+                    asm.word_label(label.trim());
+                } else {
+                    let v = parse_int(part, equs)
+                        .ok_or_else(|| err(line_no, format!("bad word `{part}`")))?;
+                    asm.word(v as u32);
+                }
+            }
+            Ok(())
+        }
+        "zero" | "space" => {
+            let n = parse_int(rest, equs)
+                .ok_or_else(|| err(line_no, format!("bad count `{rest}`")))?;
+            asm.zeros(n as usize);
+            Ok(())
+        }
+        "asciz" | "string" => {
+            let s = rest
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .ok_or_else(|| err(line_no, "expected quoted string"))?;
+            asm.asciz(s);
+            Ok(())
+        }
+        "align" | "global" | "globl" | "text" | "data" => Ok(()), // accepted, no-op
+        other => Err(err(line_no, format!("unknown directive `.{other}`"))),
+    }
+}
+
+fn parse_int(s: &str, equs: &HashMap<String, i64>) -> Option<i64> {
+    let s = s.trim();
+    if let Some(v) = equs.get(s) {
+        return Some(*v);
+    }
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b.trim()),
+        None => (false, s),
+    };
+    let mag = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else if let Some(bin) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
+        i64::from_str_radix(bin, 2).ok()?
+    } else if body.chars().all(|c| c.is_ascii_digit()) && !body.is_empty() {
+        body.parse().ok()?
+    } else if let Some(v) = equs.get(body) {
+        *v
+    } else {
+        return None;
+    };
+    Some(if neg { -mag } else { mag })
+}
+
+fn parse_reg(s: &str) -> Option<Reg> {
+    let s = s.trim().to_ascii_lowercase();
+    Some(match s.as_str() {
+        "sp" => Reg::SP,
+        "lr" => Reg::LR,
+        "pc" => Reg::PC,
+        "fp" => Reg::R11,
+        "ip" => Reg::R12,
+        _ => {
+            let n: u8 = s.strip_prefix('r')?.parse().ok()?;
+            if n > 15 {
+                return None;
+            }
+            Reg::new(n)
+        }
+    })
+}
+
+/// Splits top-level commas (not inside `[]`, `{}` or quotes).
+fn split_operands(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '[' | '{' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ']' | '}' => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                parts.push(cur.trim().to_owned());
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur.trim().to_owned());
+    }
+    parts
+}
+
+fn parse_imm(s: &str, equs: &HashMap<String, i64>) -> Option<i64> {
+    parse_int(s.trim().strip_prefix('#')?, equs)
+}
+
+fn parse_shift(parts: &[String], equs: &HashMap<String, i64>) -> Option<(ShiftKind, u8)> {
+    if parts.is_empty() {
+        return Some((ShiftKind::Lsl, 0));
+    }
+    if parts.len() != 1 {
+        return None;
+    }
+    let p = parts[0].to_ascii_lowercase();
+    let (kind, rest) = if let Some(r) = p.strip_prefix("lsl") {
+        (ShiftKind::Lsl, r)
+    } else if let Some(r) = p.strip_prefix("lsr") {
+        (ShiftKind::Lsr, r)
+    } else if let Some(r) = p.strip_prefix("asr") {
+        (ShiftKind::Asr, r)
+    } else if let Some(r) = p.strip_prefix("ror") {
+        (ShiftKind::Ror, r)
+    } else {
+        return None;
+    };
+    let amount = parse_int(rest.trim().strip_prefix('#')?, equs)?;
+    if !(0..32).contains(&amount) {
+        return None;
+    }
+    Some((kind, amount as u8))
+}
+
+/// Parses operand2: `#imm`, `rm`, or `rm, shift #n` (already comma-split).
+fn parse_op2(parts: &[String], equs: &HashMap<String, i64>) -> Option<Operand2> {
+    if parts.is_empty() {
+        return None;
+    }
+    if let Some(v) = parse_imm(&parts[0], equs) {
+        if parts.len() != 1 {
+            return None;
+        }
+        return Operand2::try_imm(v as u32);
+    }
+    let rm = parse_reg(&parts[0])?;
+    let (shift, amount) = parse_shift(&parts[1..], equs)?;
+    Some(Operand2::Reg { rm, shift, amount })
+}
+
+fn parse_reglist(s: &str) -> Option<u16> {
+    let body = s.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let mut regs = Vec::new();
+    for part in body.split(',') {
+        let part = part.trim();
+        if let Some((lo, hi)) = part.split_once('-') {
+            let lo = parse_reg(lo)?;
+            let hi = parse_reg(hi)?;
+            if lo.index() > hi.index() {
+                return None;
+            }
+            for i in lo.index()..=hi.index() {
+                regs.push(Reg::new(i));
+            }
+        } else {
+            regs.push(parse_reg(part)?);
+        }
+    }
+    if regs.is_empty() {
+        None
+    } else {
+        Some(reg_list(&regs))
+    }
+}
+
+/// Splits a mnemonic into `(base, cond, s)` trying known suffix layouts.
+fn split_mnemonic<'a>(mnem: &'a str, bases: &[&'static str]) -> Option<(&'static str, Cond, bool)> {
+    // Longest base first so `mul` does not shadow `mull`-style names.
+    let mut sorted: Vec<&'static str> = bases.to_vec();
+    sorted.sort_by_key(|b| std::cmp::Reverse(b.len()));
+    for base in sorted {
+        if let Some(rest) = mnem.strip_prefix(base) {
+            // rest in { "", cond, "s", cond+"s", "s"+cond }
+            if rest.is_empty() {
+                return Some((base, Cond::Al, false));
+            }
+            if rest == "s" {
+                return Some((base, Cond::Al, true));
+            }
+            if let Some(c) = Cond::from_suffix(rest) {
+                return Some((base, c, false));
+            }
+            if let Some(r) = rest.strip_suffix('s') {
+                if let Some(c) = Cond::from_suffix(r) {
+                    return Some((base, c, true));
+                }
+            }
+            if let Some(r) = rest.strip_prefix('s') {
+                if let Some(c) = Cond::from_suffix(r) {
+                    return Some((base, c, true));
+                }
+            }
+        }
+    }
+    None
+}
+
+const DP_BASES: &[&str] = &[
+    "and", "eor", "sub", "rsb", "add", "adc", "sbc", "rsc", "tst", "teq", "cmp", "cmn", "orr",
+    "mov", "bic", "mvn", "lsl", "lsr", "asr", "ror",
+];
+
+const MUL_BASES: &[&str] = &["mul", "mla", "umull", "smull", "umlal", "smlal"];
+
+fn dp_op(base: &str) -> Option<DpOp> {
+    Some(match base {
+        "and" => DpOp::And,
+        "eor" => DpOp::Eor,
+        "sub" => DpOp::Sub,
+        "rsb" => DpOp::Rsb,
+        "add" => DpOp::Add,
+        "adc" => DpOp::Adc,
+        "sbc" => DpOp::Sbc,
+        "rsc" => DpOp::Rsc,
+        "tst" => DpOp::Tst,
+        "teq" => DpOp::Teq,
+        "cmp" => DpOp::Cmp,
+        "cmn" => DpOp::Cmn,
+        "orr" => DpOp::Orr,
+        "mov" => DpOp::Mov,
+        "bic" => DpOp::Bic,
+        "mvn" => DpOp::Mvn,
+        _ => return None,
+    })
+}
+
+#[allow(clippy::too_many_lines)]
+fn parse_instruction(
+    line: &str,
+    line_no: usize,
+    asm: &mut Asm,
+    equs: &HashMap<String, i64>,
+) -> Result<(), AsmError> {
+    let (mnem_raw, rest) = line
+        .split_once(char::is_whitespace)
+        .unwrap_or((line, ""));
+    let mnem = mnem_raw.to_ascii_lowercase();
+    let ops = split_operands(rest.trim());
+    let bad = |msg: &str| err(line_no, format!("{msg} in `{line}`"));
+
+    // Branches first ('b' prefix collides with everything).
+    if mnem == "bx" || mnem == "blx" || mnem.starts_with("bx") || mnem.starts_with("blx") {
+        let (link, rest) = if let Some(r) = mnem.strip_prefix("blx") {
+            (true, r)
+        } else {
+            (false, mnem.strip_prefix("bx").unwrap())
+        };
+        if let Some(cond) = Cond::from_suffix(rest) {
+            let rm = ops
+                .first()
+                .and_then(|s| parse_reg(s))
+                .ok_or_else(|| bad("expected register"))?;
+            asm.emit(Instr::Bx { cond, link, rm });
+            return Ok(());
+        }
+    }
+    if mnem.starts_with('b') && !mnem.starts_with("bic") {
+        // Try bl+cond then b+cond.
+        let attempt = |prefix: &str| -> Option<(bool, Cond)> {
+            mnem.strip_prefix(prefix)
+                .and_then(Cond::from_suffix)
+                .map(|c| (prefix == "bl", c))
+        };
+        if let Some((link, cond)) = attempt("bl").or_else(|| attempt("b")) {
+            let target = ops.first().ok_or_else(|| bad("expected branch target"))?;
+            if !is_ident(target) {
+                return Err(bad("branch target must be a label"));
+            }
+            if link {
+                asm.bl_cond(cond, target.clone());
+            } else {
+                asm.b_cond(cond, target.clone());
+            }
+            return Ok(());
+        }
+    }
+
+    // Pseudo instructions.
+    if mnem == "li" {
+        let rd = ops
+            .first()
+            .and_then(|s| parse_reg(s))
+            .ok_or_else(|| bad("expected register"))?;
+        let v = ops
+            .get(1)
+            .and_then(|s| parse_imm(s, equs))
+            .ok_or_else(|| bad("expected immediate"))?;
+        asm.li(rd, v as u32);
+        return Ok(());
+    }
+    if mnem == "adr" {
+        let rd = ops
+            .first()
+            .and_then(|s| parse_reg(s))
+            .ok_or_else(|| bad("expected register"))?;
+        let label = ops.get(1).ok_or_else(|| bad("expected label"))?;
+        asm.adr(rd, label.clone());
+        return Ok(());
+    }
+    if mnem == "ret" {
+        asm.ret();
+        return Ok(());
+    }
+    if let Some(cond) = mnem.strip_prefix("nop").and_then(Cond::from_suffix) {
+        asm.emit(Instr::Nop { cond });
+        return Ok(());
+    }
+    if let Some(cond) = mnem.strip_prefix("swi").and_then(Cond::from_suffix) {
+        let imm = ops
+            .first()
+            .and_then(|s| parse_imm(s, equs))
+            .ok_or_else(|| bad("expected immediate"))?;
+        asm.emit(Instr::Swi {
+            cond,
+            imm: imm as u16,
+        });
+        return Ok(());
+    }
+    if let Some(cond) = mnem.strip_prefix("clz").and_then(Cond::from_suffix) {
+        let rd = ops
+            .first()
+            .and_then(|s| parse_reg(s))
+            .ok_or_else(|| bad("expected register"))?;
+        let rm = ops
+            .get(1)
+            .and_then(|s| parse_reg(s))
+            .ok_or_else(|| bad("expected register"))?;
+        asm.emit(Instr::Clz { cond, rd, rm });
+        return Ok(());
+    }
+    if let Some(rest) = mnem.strip_prefix("movw") {
+        if let Some(cond) = Cond::from_suffix(rest) {
+            return emit_movw(asm, cond, false, &ops, equs).map_err(|m| bad(&m));
+        }
+    }
+    if let Some(rest) = mnem.strip_prefix("movt") {
+        if let Some(cond) = Cond::from_suffix(rest) {
+            return emit_movw(asm, cond, true, &ops, equs).map_err(|m| bad(&m));
+        }
+    }
+    if mnem == "push" || mnem == "pop" {
+        let list = ops
+            .first()
+            .and_then(|s| parse_reglist(s))
+            .ok_or_else(|| bad("expected register list"))?;
+        asm.emit(Instr::LdStM {
+            cond: Cond::Al,
+            load: mnem == "pop",
+            mode: if mnem == "pop" {
+                MultiMode::Ia
+            } else {
+                MultiMode::Db
+            },
+            writeback: true,
+            rn: Reg::SP,
+            list,
+        });
+        return Ok(());
+    }
+
+    // Block transfers: ldm/stm + ia/db/fd + cond.
+    for (prefix, load) in [("ldm", true), ("stm", false)] {
+        if let Some(rest) = mnem.strip_prefix(prefix) {
+            let (mode, rest) = if let Some(r) = rest.strip_prefix("ia") {
+                (MultiMode::Ia, r)
+            } else if let Some(r) = rest.strip_prefix("db") {
+                (MultiMode::Db, r)
+            } else if let Some(r) = rest.strip_prefix("fd") {
+                // Full-descending aliases: ldmfd == ldmia, stmfd == stmdb.
+                (if load { MultiMode::Ia } else { MultiMode::Db }, r)
+            } else {
+                continue;
+            };
+            let Some(cond) = Cond::from_suffix(rest) else {
+                continue;
+            };
+            let rn_part = ops.first().ok_or_else(|| bad("expected base register"))?;
+            let writeback = rn_part.ends_with('!');
+            let rn = parse_reg(rn_part.trim_end_matches('!'))
+                .ok_or_else(|| bad("bad base register"))?;
+            let list = ops
+                .get(1)
+                .and_then(|s| parse_reglist(s))
+                .ok_or_else(|| bad("expected register list"))?;
+            asm.emit(Instr::LdStM {
+                cond,
+                load,
+                mode,
+                writeback,
+                rn,
+                list,
+            });
+            return Ok(());
+        }
+    }
+
+    // Single loads/stores.
+    for (prefix, load) in [("ldr", true), ("str", false)] {
+        if let Some(rest) = mnem.strip_prefix(prefix) {
+            let sizes: &[(&str, MemSize)] = &[
+                ("sb", MemSize::SByte),
+                ("sh", MemSize::SHalf),
+                ("b", MemSize::Byte),
+                ("h", MemSize::Half),
+                ("", MemSize::Word),
+            ];
+            let mut found = None;
+            for &(suffix, size) in sizes {
+                // Accept size+cond and cond+size orders.
+                if let Some(r) = rest.strip_prefix(suffix) {
+                    if let Some(c) = Cond::from_suffix(r) {
+                        found = Some((size, c));
+                        break;
+                    }
+                }
+                if let Some(r) = rest.strip_suffix(suffix) {
+                    if let Some(c) = Cond::from_suffix(r) {
+                        found = Some((size, c));
+                        break;
+                    }
+                }
+            }
+            let Some((size, cond)) = found else { continue };
+            return parse_mem_operands(asm, cond, load, size, &ops, equs).map_err(|m| bad(&m));
+        }
+    }
+
+    // Multiplies.
+    if let Some((base, cond, s)) = split_mnemonic(&mnem, MUL_BASES) {
+        let r = |i: usize| -> Result<Reg, AsmError> {
+            ops.get(i)
+                .and_then(|x| parse_reg(x))
+                .ok_or_else(|| bad("expected register"))
+        };
+        let instr = match base {
+            "mul" => Instr::Mul {
+                cond,
+                op: MulOp::Mul,
+                s,
+                rd: r(0)?,
+                rn: Reg::R0,
+                rs: r(2)?,
+                rm: r(1)?,
+            },
+            "mla" => Instr::Mul {
+                cond,
+                op: MulOp::Mla,
+                s,
+                rd: r(0)?,
+                rn: r(3)?,
+                rs: r(2)?,
+                rm: r(1)?,
+            },
+            long => {
+                let op = match long {
+                    "umull" => MulOp::Umull,
+                    "smull" => MulOp::Smull,
+                    "umlal" => MulOp::Umlal,
+                    _ => MulOp::Smlal,
+                };
+                Instr::Mul {
+                    cond,
+                    op,
+                    s,
+                    rn: r(0)?,
+                    rd: r(1)?,
+                    rm: r(2)?,
+                    rs: r(3)?,
+                }
+            }
+        };
+        asm.emit(instr);
+        return Ok(());
+    }
+
+    // Data processing (includes shift aliases).
+    if let Some((base, cond, s)) = split_mnemonic(&mnem, DP_BASES) {
+        // Shift aliases: `lsl rd, rm, #n` -> `mov rd, rm, lsl #n`.
+        if let Some(kind) = match base {
+            "lsl" => Some(ShiftKind::Lsl),
+            "lsr" => Some(ShiftKind::Lsr),
+            "asr" => Some(ShiftKind::Asr),
+            "ror" => Some(ShiftKind::Ror),
+            _ => None,
+        } {
+            let rd = ops
+                .first()
+                .and_then(|x| parse_reg(x))
+                .ok_or_else(|| bad("expected register"))?;
+            let rm = ops
+                .get(1)
+                .and_then(|x| parse_reg(x))
+                .ok_or_else(|| bad("expected register"))?;
+            let amount = ops
+                .get(2)
+                .and_then(|x| parse_imm(x, equs))
+                .ok_or_else(|| bad("expected shift amount"))?;
+            if !(0..32).contains(&amount) {
+                return Err(bad("shift amount out of range"));
+            }
+            asm.dp(
+                cond,
+                DpOp::Mov,
+                s,
+                rd,
+                Reg::R0,
+                Operand2::Reg {
+                    rm,
+                    shift: kind,
+                    amount: amount as u8,
+                },
+            );
+            return Ok(());
+        }
+        let op = dp_op(base).expect("base is a dp op");
+        // Compares always set flags; the S suffix is implied.
+        let s = s || op.is_compare();
+        let (rd, rn, op2_parts): (Reg, Reg, &[String]) = if op.is_compare() {
+            let rn = ops
+                .first()
+                .and_then(|x| parse_reg(x))
+                .ok_or_else(|| bad("expected register"))?;
+            (Reg::R0, rn, &ops[1..])
+        } else if op.is_unary() {
+            let rd = ops
+                .first()
+                .and_then(|x| parse_reg(x))
+                .ok_or_else(|| bad("expected register"))?;
+            (rd, Reg::R0, &ops[1..])
+        } else {
+            let rd = ops
+                .first()
+                .and_then(|x| parse_reg(x))
+                .ok_or_else(|| bad("expected register"))?;
+            let rn = ops
+                .get(1)
+                .and_then(|x| parse_reg(x))
+                .ok_or_else(|| bad("expected register"))?;
+            (rd, rn, &ops[2..])
+        };
+        let op2 = parse_op2(op2_parts, equs).ok_or_else(|| bad("bad operand2"))?;
+        asm.dp(cond, op, s, rd, rn, op2);
+        return Ok(());
+    }
+
+    Err(err(line_no, format!("unknown mnemonic `{mnem_raw}`")))
+}
+
+fn emit_movw(
+    asm: &mut Asm,
+    cond: Cond,
+    top: bool,
+    ops: &[String],
+    equs: &HashMap<String, i64>,
+) -> Result<(), String> {
+    let rd = ops
+        .first()
+        .and_then(|s| parse_reg(s))
+        .ok_or("expected register")?;
+    let imm = ops
+        .get(1)
+        .and_then(|s| parse_imm(s, equs))
+        .ok_or("expected immediate")?;
+    if !(0..=0xFFFF).contains(&imm) {
+        return Err("imm16 out of range".into());
+    }
+    asm.emit(Instr::MovW {
+        cond,
+        top,
+        rd,
+        imm: imm as u16,
+    });
+    Ok(())
+}
+
+fn parse_mem_operands(
+    asm: &mut Asm,
+    cond: Cond,
+    load: bool,
+    size: MemSize,
+    ops: &[String],
+    equs: &HashMap<String, i64>,
+) -> Result<(), String> {
+    let rd = ops
+        .first()
+        .and_then(|s| parse_reg(s))
+        .ok_or("expected data register")?;
+    let addr = ops.get(1).ok_or("expected address operand")?;
+
+    // Post-index form: `[rn], #off` or `[rn], rm` arrives as two operands
+    // because of the top-level comma: ops[1] = "[rn]", ops[2] = offset.
+    if addr.ends_with(']') && ops.len() > 2 {
+        let rn = parse_reg(
+            addr.trim()
+                .strip_prefix('[')
+                .and_then(|s| s.strip_suffix(']'))
+                .ok_or("bad base register")?,
+        )
+        .ok_or("bad base register")?;
+        let (offset, up) = parse_offset(&ops[2], equs)?;
+        asm.ldst(cond, load, size, rd, rn, offset, up, AddrMode::PostIndex);
+        return Ok(());
+    }
+
+    let (body, mode) = if let Some(b) = addr.strip_suffix('!') {
+        (b.trim(), AddrMode::PreIndex)
+    } else {
+        (addr.trim(), AddrMode::Offset)
+    };
+    let inner = body
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or("expected [rn, ...] address")?;
+    let parts = split_operands(inner);
+    let rn = parts
+        .first()
+        .and_then(|s| parse_reg(s))
+        .ok_or("bad base register")?;
+    let (offset, up) = if parts.len() > 1 {
+        parse_offset(&parts[1], equs)?
+    } else {
+        (Offset::Imm(0), true)
+    };
+    asm.ldst(cond, load, size, rd, rn, offset, up, mode);
+    Ok(())
+}
+
+fn parse_offset(s: &str, equs: &HashMap<String, i64>) -> Result<(Offset, bool), String> {
+    let s = s.trim();
+    if let Some(v) = parse_imm(s, equs) {
+        if v.unsigned_abs() >= 512 {
+            return Err(format!("offset {v} out of 9-bit range"));
+        }
+        return Ok((Offset::Imm(v.unsigned_abs() as u16), v >= 0));
+    }
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let rm = parse_reg(body).ok_or_else(|| format!("bad offset `{s}`"))?;
+    Ok((Offset::Reg(rm), !neg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+
+    fn one(src: &str) -> Instr {
+        let p = assemble_text(src, 0).unwrap_or_else(|e| panic!("{src}: {e}"));
+        decode(p.words()[0]).unwrap()
+    }
+
+    #[test]
+    fn dp_forms() {
+        assert_eq!(one("add r0, r1, #4").to_string(), "add r0, r1, #4");
+        assert_eq!(one("subs r2, r3, r4").to_string(), "subs r2, r3, r4");
+        assert_eq!(one("addne r0, r0, #1").to_string(), "addne r0, r0, #1");
+        assert_eq!(
+            one("orr r1, r2, r3, lsl #4").to_string(),
+            "orr r1, r2, r3, lsl #4"
+        );
+        assert_eq!(one("cmp r1, #0").to_string(), "cmp r1, #0");
+        assert_eq!(one("mvn r0, r1").to_string(), "mvn r0, r1");
+        assert_eq!(one("lsl r0, r1, #3").to_string(), "mov r0, r1, lsl #3");
+        assert_eq!(one("asrs r0, r1, #2").to_string(), "movs r0, r1, asr #2");
+    }
+
+    #[test]
+    fn mem_forms() {
+        assert_eq!(one("ldr r0, [r1]").to_string(), "ldr r0, [r1]");
+        assert_eq!(one("ldr r0, [r1, #8]").to_string(), "ldr r0, [r1, #8]");
+        assert_eq!(one("str r0, [r1, #-4]").to_string(), "str r0, [r1, #-4]");
+        assert_eq!(one("ldrb r0, [r1, r2]").to_string(), "ldrb r0, [r1, r2]");
+        assert_eq!(
+            one("ldrsh r0, [r1, #2]").to_string(),
+            "ldrsh r0, [r1, #2]"
+        );
+        assert_eq!(one("ldr r0, [r1], #4").to_string(), "ldr r0, [r1], #4");
+        assert_eq!(
+            one("str r0, [r1, #4]!").to_string(),
+            "str r0, [r1, #4]!"
+        );
+        assert_eq!(one("ldreq r0, [r1]").to_string(), "ldreq r0, [r1]");
+        // Both suffix orders are accepted; canonical output is cond-first.
+        assert_eq!(one("ldrbne r0, [r1]").to_string(), "ldrneb r0, [r1]");
+        assert_eq!(one("ldrneb r0, [r1]").to_string(), "ldrneb r0, [r1]");
+    }
+
+    #[test]
+    fn block_and_stack_forms() {
+        assert_eq!(
+            one("push {r0, r1, lr}").to_string(),
+            "stmdb sp!, {r0, r1, lr}"
+        );
+        assert_eq!(one("pop {r0-r2}").to_string(), "ldmia sp!, {r0, r1, r2}");
+        assert_eq!(
+            one("stmdb sp!, {r4, lr}").to_string(),
+            "stmdb sp!, {r4, lr}"
+        );
+        assert_eq!(
+            one("ldmfd sp!, {r4, pc}").to_string(),
+            "ldmia sp!, {r4, pc}"
+        );
+    }
+
+    #[test]
+    fn branch_forms() {
+        let p = assemble_text("start: b start", 0).unwrap();
+        assert!(matches!(
+            decode(p.words()[0]).unwrap(),
+            Instr::Branch { link: false, .. }
+        ));
+        let p = assemble_text("f: bl f\nbne f\nbls f", 0).unwrap();
+        assert!(matches!(
+            decode(p.words()[0]).unwrap(),
+            Instr::Branch { link: true, .. }
+        ));
+        assert!(matches!(
+            decode(p.words()[1]).unwrap(),
+            Instr::Branch {
+                cond: Cond::Ne,
+                link: false,
+                ..
+            }
+        ));
+        // "bls" must parse as b + ls, not bl + s.
+        assert!(matches!(
+            decode(p.words()[2]).unwrap(),
+            Instr::Branch {
+                cond: Cond::Ls,
+                link: false,
+                ..
+            }
+        ));
+        assert_eq!(one("bx lr").to_string(), "bx lr");
+        assert_eq!(one("blx r3").to_string(), "blx r3");
+    }
+
+    #[test]
+    fn mul_forms() {
+        assert_eq!(one("mul r0, r1, r2").to_string(), "mul r0, r1, r2");
+        assert_eq!(
+            one("mla r0, r1, r2, r3").to_string(),
+            "mla r0, r1, r2, r3"
+        );
+        assert_eq!(
+            one("smull r0, r1, r2, r3").to_string(),
+            "smull r0, r1, r2, r3"
+        );
+    }
+
+    #[test]
+    fn misc_forms() {
+        assert_eq!(one("nop").to_string(), "nop");
+        assert_eq!(one("swi #17").to_string(), "swi #17");
+        assert_eq!(one("clz r0, r1").to_string(), "clz r0, r1");
+        assert_eq!(one("movw r0, #0xFFFF").to_string(), "movw r0, #65535");
+        assert_eq!(one("movt r0, #1").to_string(), "movt r0, #1");
+        assert_eq!(one("ret").to_string(), "bx lr");
+    }
+
+    #[test]
+    fn equ_and_directives() {
+        let p = assemble_text(
+            r#"
+            .equ SIZE, 0x20
+            .equ NEG, -4
+                li r0, #SIZE
+                ldr r1, [r2, #NEG]
+            data:
+                .word 1, 2, 0x30
+                .word =data
+                .zero 2
+                .asciz "ok"
+            "#,
+            0x1000,
+        )
+        .unwrap();
+        assert_eq!(p.words()[2], 1);
+        assert_eq!(p.words()[3], 2);
+        assert_eq!(p.words()[4], 0x30);
+        assert_eq!(p.words()[5], p.symbol("data").unwrap());
+        assert_eq!(p.words()[6], 0);
+        assert_eq!(p.words()[8], u32::from_le_bytes(*b"ok\0\0"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble_text("  nop\n  frobnicate r0\n", 0).unwrap_err();
+        match e {
+            AsmError::Parse { line, msg } => {
+                assert_eq!(line, 2);
+                assert!(msg.contains("frobnicate"));
+            }
+            other => panic!("unexpected error {other}"),
+        }
+        assert!(assemble_text("add r0", 0).is_err());
+        assert!(assemble_text("ldr r0, [r1, #9999]", 0).is_err());
+        assert!(assemble_text("b 123", 0).is_err());
+    }
+
+    #[test]
+    fn comments_and_labels() {
+        let p = assemble_text(
+            "; full line\nstart: nop // trailing\n  @ another\nend: nop ; x\n",
+            0,
+        )
+        .unwrap();
+        assert_eq!(p.symbol("start"), Some(0));
+        assert_eq!(p.symbol("end"), Some(4));
+        assert_eq!(p.words().len(), 2);
+    }
+
+    #[test]
+    fn full_program_assembles_and_runs_shape() {
+        let src = r#"
+        .equ N, 10
+            li   r0, #0         ; sum
+            li   r1, #1         ; i
+        loop:
+            add  r0, r0, r1
+            add  r1, r1, #1
+            cmp  r1, #N
+            ble  loop
+            swi  #0
+        "#;
+        let p = assemble_text(src, 0).unwrap();
+        assert!(p.words().len() >= 7);
+        let text = p.disassemble();
+        assert!(text.contains("loop:"));
+        assert!(text.contains("ble"));
+    }
+}

@@ -1,0 +1,317 @@
+//! Registers and condition codes of the SimARM ISA.
+
+use std::fmt;
+
+/// One of the sixteen general-purpose registers.
+///
+/// `r13` is the conventional stack pointer ([`Reg::SP`]), `r14` the link
+/// register ([`Reg::LR`]) and `r15` the program counter ([`Reg::PC`]).
+///
+/// # Examples
+///
+/// ```
+/// use dmi_isa::Reg;
+/// assert_eq!(Reg::SP, Reg::new(13));
+/// assert_eq!(Reg::R4.index(), 4);
+/// assert_eq!(Reg::PC.to_string(), "pc");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// General-purpose register 0.
+    pub const R0: Reg = Reg(0);
+    /// General-purpose register 1.
+    pub const R1: Reg = Reg(1);
+    /// General-purpose register 2.
+    pub const R2: Reg = Reg(2);
+    /// General-purpose register 3.
+    pub const R3: Reg = Reg(3);
+    /// General-purpose register 4.
+    pub const R4: Reg = Reg(4);
+    /// General-purpose register 5.
+    pub const R5: Reg = Reg(5);
+    /// General-purpose register 6.
+    pub const R6: Reg = Reg(6);
+    /// General-purpose register 7.
+    pub const R7: Reg = Reg(7);
+    /// General-purpose register 8.
+    pub const R8: Reg = Reg(8);
+    /// General-purpose register 9.
+    pub const R9: Reg = Reg(9);
+    /// General-purpose register 10.
+    pub const R10: Reg = Reg(10);
+    /// General-purpose register 11.
+    pub const R11: Reg = Reg(11);
+    /// General-purpose register 12.
+    pub const R12: Reg = Reg(12);
+    /// Stack pointer (`r13`).
+    pub const SP: Reg = Reg(13);
+    /// Link register (`r14`).
+    pub const LR: Reg = Reg(14);
+    /// Program counter (`r15`).
+    pub const PC: Reg = Reg(15);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 15`.
+    #[inline]
+    pub const fn new(index: u8) -> Reg {
+        assert!(index < 16, "register index out of range");
+        Reg(index)
+    }
+
+    /// The register's index, `0..=15`.
+    #[inline]
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the program counter.
+    #[inline]
+    pub const fn is_pc(self) -> bool {
+        self.0 == 15
+    }
+
+    /// All sixteen registers, in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..16).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            13 => f.write_str("sp"),
+            14 => f.write_str("lr"),
+            15 => f.write_str("pc"),
+            n => write!(f, "r{n}"),
+        }
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(r: Reg) -> u8 {
+        r.0
+    }
+}
+
+/// Condition code governing whether an instruction executes.
+///
+/// Encodings match the classic ARM numbering; [`Cond::Nv`] ("never") is a
+/// valid encoding that always suppresses execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
+pub enum Cond {
+    /// Equal (`Z == 1`).
+    Eq = 0,
+    /// Not equal (`Z == 0`).
+    Ne = 1,
+    /// Carry set / unsigned higher-or-same.
+    Cs = 2,
+    /// Carry clear / unsigned lower.
+    Cc = 3,
+    /// Minus / negative (`N == 1`).
+    Mi = 4,
+    /// Plus / positive or zero (`N == 0`).
+    Pl = 5,
+    /// Overflow set (`V == 1`).
+    Vs = 6,
+    /// Overflow clear (`V == 0`).
+    Vc = 7,
+    /// Unsigned higher (`C == 1 && Z == 0`).
+    Hi = 8,
+    /// Unsigned lower-or-same (`C == 0 || Z == 1`).
+    Ls = 9,
+    /// Signed greater-or-equal (`N == V`).
+    Ge = 10,
+    /// Signed less-than (`N != V`).
+    Lt = 11,
+    /// Signed greater-than (`Z == 0 && N == V`).
+    Gt = 12,
+    /// Signed less-or-equal (`Z == 1 || N != V`).
+    Le = 13,
+    /// Always.
+    #[default]
+    Al = 14,
+    /// Never (reserved in ARM; here: architecturally a no-op).
+    Nv = 15,
+}
+
+impl Cond {
+    /// Decodes a 4-bit condition field.
+    #[inline]
+    pub fn from_bits(bits: u32) -> Cond {
+        match bits & 0xF {
+            0 => Cond::Eq,
+            1 => Cond::Ne,
+            2 => Cond::Cs,
+            3 => Cond::Cc,
+            4 => Cond::Mi,
+            5 => Cond::Pl,
+            6 => Cond::Vs,
+            7 => Cond::Vc,
+            8 => Cond::Hi,
+            9 => Cond::Ls,
+            10 => Cond::Ge,
+            11 => Cond::Lt,
+            12 => Cond::Gt,
+            13 => Cond::Le,
+            14 => Cond::Al,
+            _ => Cond::Nv,
+        }
+    }
+
+    /// The 4-bit encoding of this condition.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        self as u32
+    }
+
+    /// Evaluates the condition against NZCV flags.
+    pub fn holds(self, n: bool, z: bool, c: bool, v: bool) -> bool {
+        match self {
+            Cond::Eq => z,
+            Cond::Ne => !z,
+            Cond::Cs => c,
+            Cond::Cc => !c,
+            Cond::Mi => n,
+            Cond::Pl => !n,
+            Cond::Vs => v,
+            Cond::Vc => !v,
+            Cond::Hi => c && !z,
+            Cond::Ls => !c || z,
+            Cond::Ge => n == v,
+            Cond::Lt => n != v,
+            Cond::Gt => !z && n == v,
+            Cond::Le => z || n != v,
+            Cond::Al => true,
+            Cond::Nv => false,
+        }
+    }
+
+    /// The assembly suffix (`""` for always, `"eq"`, `"ne"`, …).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Cs => "cs",
+            Cond::Cc => "cc",
+            Cond::Mi => "mi",
+            Cond::Pl => "pl",
+            Cond::Vs => "vs",
+            Cond::Vc => "vc",
+            Cond::Hi => "hi",
+            Cond::Ls => "ls",
+            Cond::Ge => "ge",
+            Cond::Lt => "lt",
+            Cond::Gt => "gt",
+            Cond::Le => "le",
+            Cond::Al => "",
+            Cond::Nv => "nv",
+        }
+    }
+
+    /// Parses a condition suffix; `""` yields [`Cond::Al`].
+    pub fn from_suffix(s: &str) -> Option<Cond> {
+        Some(match s {
+            "" | "al" => Cond::Al,
+            "eq" => Cond::Eq,
+            "ne" => Cond::Ne,
+            "cs" | "hs" => Cond::Cs,
+            "cc" | "lo" => Cond::Cc,
+            "mi" => Cond::Mi,
+            "pl" => Cond::Pl,
+            "vs" => Cond::Vs,
+            "vc" => Cond::Vc,
+            "hi" => Cond::Hi,
+            "ls" => Cond::Ls,
+            "ge" => Cond::Ge,
+            "lt" => Cond::Lt,
+            "gt" => Cond::Gt,
+            "le" => Cond::Le,
+            "nv" => Cond::Nv,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_constants_and_display() {
+        assert_eq!(Reg::SP.index(), 13);
+        assert_eq!(Reg::LR.index(), 14);
+        assert!(Reg::PC.is_pc());
+        assert!(!Reg::R0.is_pc());
+        assert_eq!(Reg::R7.to_string(), "r7");
+        assert_eq!(Reg::SP.to_string(), "sp");
+        assert_eq!(Reg::LR.to_string(), "lr");
+        assert_eq!(Reg::all().count(), 16);
+        assert_eq!(u8::from(Reg::R9), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "register index")]
+    fn reg_out_of_range() {
+        Reg::new(16);
+    }
+
+    #[test]
+    fn cond_bits_roundtrip() {
+        for bits in 0..16u32 {
+            assert_eq!(Cond::from_bits(bits).bits(), bits);
+        }
+    }
+
+    #[test]
+    fn cond_suffix_roundtrip() {
+        for bits in 0..16u32 {
+            let c = Cond::from_bits(bits);
+            if c == Cond::Al {
+                assert_eq!(Cond::from_suffix(""), Some(Cond::Al));
+            } else {
+                assert_eq!(Cond::from_suffix(c.suffix()), Some(c));
+            }
+        }
+        assert_eq!(Cond::from_suffix("hs"), Some(Cond::Cs));
+        assert_eq!(Cond::from_suffix("lo"), Some(Cond::Cc));
+        assert_eq!(Cond::from_suffix("zz"), None);
+    }
+
+    #[test]
+    fn cond_evaluation_truth_table() {
+        // (n, z, c, v)
+        let f = false;
+        let t = true;
+        assert!(Cond::Eq.holds(f, t, f, f));
+        assert!(!Cond::Eq.holds(f, f, f, f));
+        assert!(Cond::Ne.holds(f, f, f, f));
+        assert!(Cond::Cs.holds(f, f, t, f));
+        assert!(Cond::Cc.holds(f, f, f, f));
+        assert!(Cond::Mi.holds(t, f, f, f));
+        assert!(Cond::Pl.holds(f, f, f, f));
+        assert!(Cond::Vs.holds(f, f, f, t));
+        assert!(Cond::Vc.holds(f, f, f, f));
+        assert!(Cond::Hi.holds(f, f, t, f));
+        assert!(!Cond::Hi.holds(f, t, t, f));
+        assert!(Cond::Ls.holds(f, t, t, f));
+        assert!(Cond::Ge.holds(t, f, f, t));
+        assert!(Cond::Lt.holds(t, f, f, f));
+        assert!(Cond::Gt.holds(f, f, f, f));
+        assert!(!Cond::Gt.holds(f, t, f, f));
+        assert!(Cond::Le.holds(f, t, f, f));
+        assert!(Cond::Al.holds(f, f, f, f));
+        assert!(!Cond::Nv.holds(t, t, t, t));
+    }
+}

@@ -1,0 +1,184 @@
+//! The external-bus interface seen by the CPU core.
+//!
+//! Accesses outside the private memory range are routed through [`ExtBus`].
+//! In co-simulation the implementation drives the interconnect's handshake
+//! signals; a transaction then takes several simulated cycles, during which
+//! the access returns [`ExtResult::Stall`] and the core holds the faulting
+//! instruction uncommitted. Tests use in-process implementations that
+//! respond immediately.
+
+/// Width of an external transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtWidth {
+    /// 8-bit transfer.
+    Byte,
+    /// 16-bit transfer.
+    Half,
+    /// 32-bit transfer.
+    Word,
+}
+
+impl ExtWidth {
+    /// Size in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            ExtWidth::Byte => 1,
+            ExtWidth::Half => 2,
+            ExtWidth::Word => 4,
+        }
+    }
+
+    /// Encoding used on the bus `size` signal.
+    pub fn bits(self) -> u64 {
+        match self {
+            ExtWidth::Byte => 0,
+            ExtWidth::Half => 1,
+            ExtWidth::Word => 2,
+        }
+    }
+
+    /// Decodes the bus `size` signal.
+    pub fn from_bits(bits: u64) -> Option<ExtWidth> {
+        Some(match bits {
+            0 => ExtWidth::Byte,
+            1 => ExtWidth::Half,
+            2 => ExtWidth::Word,
+            _ => return None,
+        })
+    }
+}
+
+/// Outcome of an external access attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtResult {
+    /// The access completed with this value (zero for writes).
+    Done(u32),
+    /// The access is in flight; retry the instruction later.
+    Stall,
+    /// No device responds at this address.
+    Fault,
+}
+
+/// A bus the CPU can issue single-beat external accesses on.
+pub trait ExtBus {
+    /// Attempts a read of `width` at `addr`.
+    fn ext_read(&mut self, addr: u32, width: ExtWidth) -> ExtResult;
+    /// Attempts a write of `width` at `addr`.
+    fn ext_write(&mut self, addr: u32, value: u32, width: ExtWidth) -> ExtResult;
+}
+
+/// An [`ExtBus`] that faults every access — for CPUs with no bus connection.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoBus;
+
+impl ExtBus for NoBus {
+    fn ext_read(&mut self, _addr: u32, _width: ExtWidth) -> ExtResult {
+        ExtResult::Fault
+    }
+    fn ext_write(&mut self, _addr: u32, _value: u32, _width: ExtWidth) -> ExtResult {
+        ExtResult::Fault
+    }
+}
+
+/// An [`ExtBus`] backed by a flat vector with zero latency — for unit tests
+/// and single-process experiments.
+#[derive(Debug, Clone)]
+pub struct FlatBus {
+    base: u32,
+    bytes: Vec<u8>,
+    /// Number of accesses served.
+    pub accesses: u64,
+}
+
+impl FlatBus {
+    /// Creates a zeroed flat bus memory of `size` bytes at `base`.
+    pub fn new(base: u32, size: u32) -> Self {
+        FlatBus {
+            base,
+            bytes: vec![0; size as usize],
+            accesses: 0,
+        }
+    }
+
+    fn offset(&self, addr: u32, width: ExtWidth) -> Option<usize> {
+        let end = addr.checked_add(width.bytes())?;
+        if addr < self.base || end - self.base > self.bytes.len() as u32 {
+            return None;
+        }
+        Some((addr - self.base) as usize)
+    }
+}
+
+impl ExtBus for FlatBus {
+    fn ext_read(&mut self, addr: u32, width: ExtWidth) -> ExtResult {
+        let Some(i) = self.offset(addr, width) else {
+            return ExtResult::Fault;
+        };
+        self.accesses += 1;
+        let v = match width {
+            ExtWidth::Byte => self.bytes[i] as u32,
+            ExtWidth::Half => u16::from_le_bytes([self.bytes[i], self.bytes[i + 1]]) as u32,
+            ExtWidth::Word => u32::from_le_bytes([
+                self.bytes[i],
+                self.bytes[i + 1],
+                self.bytes[i + 2],
+                self.bytes[i + 3],
+            ]),
+        };
+        ExtResult::Done(v)
+    }
+
+    fn ext_write(&mut self, addr: u32, value: u32, width: ExtWidth) -> ExtResult {
+        let Some(i) = self.offset(addr, width) else {
+            return ExtResult::Fault;
+        };
+        self.accesses += 1;
+        match width {
+            ExtWidth::Byte => self.bytes[i] = value as u8,
+            ExtWidth::Half => self.bytes[i..i + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+            ExtWidth::Word => self.bytes[i..i + 4].copy_from_slice(&value.to_le_bytes()),
+        }
+        ExtResult::Done(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_encoding() {
+        for w in [ExtWidth::Byte, ExtWidth::Half, ExtWidth::Word] {
+            assert_eq!(ExtWidth::from_bits(w.bits()), Some(w));
+        }
+        assert_eq!(ExtWidth::from_bits(3), None);
+        assert_eq!(ExtWidth::Word.bytes(), 4);
+    }
+
+    #[test]
+    fn flat_bus_round_trips() {
+        let mut b = FlatBus::new(0x8000_0000, 0x100);
+        assert_eq!(
+            b.ext_write(0x8000_0010, 0xCAFEBABE, ExtWidth::Word),
+            ExtResult::Done(0)
+        );
+        assert_eq!(
+            b.ext_read(0x8000_0010, ExtWidth::Word),
+            ExtResult::Done(0xCAFEBABE)
+        );
+        assert_eq!(
+            b.ext_read(0x8000_0010, ExtWidth::Byte),
+            ExtResult::Done(0xBE)
+        );
+        assert_eq!(b.ext_read(0x7FFF_FFFF, ExtWidth::Byte), ExtResult::Fault);
+        assert_eq!(b.ext_read(0x8000_00FF, ExtWidth::Word), ExtResult::Fault);
+        assert_eq!(b.accesses, 3);
+    }
+
+    #[test]
+    fn no_bus_always_faults() {
+        let mut n = NoBus;
+        assert_eq!(n.ext_read(0, ExtWidth::Word), ExtResult::Fault);
+        assert_eq!(n.ext_write(0, 0, ExtWidth::Byte), ExtResult::Fault);
+    }
+}

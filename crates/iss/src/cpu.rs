@@ -1,0 +1,846 @@
+//! The SimARM CPU core: a cycle-approximate interpreter.
+//!
+//! `CpuCore` is deliberately kernel-independent: it executes one instruction
+//! per [`CpuCore::step`] call against its private memory and an [`ExtBus`]
+//! for everything outside it. The co-simulation component
+//! ([`crate::CpuComponent`]) wraps a core and maps step results onto
+//! simulated clock cycles; unit tests drive cores directly.
+//!
+//! ## External accesses and the retry protocol
+//!
+//! When an instruction touches the external window the core *attempts* the
+//! access through the bus. If the bus answers [`ExtResult::Stall`], the core
+//! returns [`StepEvent::Stalled`] **without committing any state** — the
+//! program counter still points at the instruction. The caller re-invokes
+//! `step` once the bus has a response ready; the instruction then re-executes
+//! and completes. Because operands cannot change while the CPU is stalled,
+//! the retry is exact. Only single-beat transfers may go external: block
+//! transfers (LDM/STM) into the window fault, as the shared-memory API uses
+//! scalar MMIO operations only.
+
+use dmi_isa::{
+    decode, AddrMode, DecodeError, DpOp, Instr, MemSize, MulOp, MultiMode, Offset, Operand2,
+    Program, Reg, ShiftKind,
+};
+
+use crate::bus::{ExtBus, ExtResult, ExtWidth};
+use crate::flags::{add_with_carry, Flags};
+use crate::localmem::LocalMemory;
+use crate::syscall::{Console, Syscall};
+
+/// Per-instruction-class base cycle costs of the timing model.
+///
+/// External accesses add the bus transaction latency on top of the base
+/// cost, because the core retries the instruction when the bus answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleCosts {
+    /// Data-processing (ALU) operations.
+    pub alu: u64,
+    /// 32-bit multiply (MUL/MLA).
+    pub mul: u64,
+    /// 64-bit multiply (UMULL/SMULL/UMLAL/SMLAL).
+    pub mull: u64,
+    /// Single load, local.
+    pub load: u64,
+    /// Single store, local.
+    pub store: u64,
+    /// Taken branch (including any write to `pc`).
+    pub branch: u64,
+    /// Block transfer base cost.
+    pub ldm_base: u64,
+    /// Block transfer per-register cost.
+    pub ldm_per_reg: u64,
+    /// Software interrupt.
+    pub swi: u64,
+    /// Condition-false (skipped) instruction.
+    pub skipped: u64,
+}
+
+impl Default for CycleCosts {
+    fn default() -> Self {
+        CycleCosts {
+            alu: 1,
+            mul: 3,
+            mull: 4,
+            load: 2,
+            store: 1,
+            branch: 2,
+            ldm_base: 1,
+            ldm_per_reg: 1,
+            swi: 3,
+            skipped: 1,
+        }
+    }
+}
+
+/// An unrecoverable execution error. Faults are sticky: once raised, every
+/// further `step` returns the same fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CpuFault {
+    /// Instruction fetch outside private memory.
+    FetchOutOfRange(u32),
+    /// The fetched word is not a valid instruction.
+    Undefined {
+        /// Address of the word.
+        addr: u32,
+        /// The decode failure.
+        err: DecodeError,
+    },
+    /// Data access outside private memory and below the external window.
+    DataAbort {
+        /// Faulting address.
+        addr: u32,
+    },
+    /// Misaligned data access.
+    Unaligned {
+        /// Faulting address.
+        addr: u32,
+        /// Required alignment in bytes.
+        align: u32,
+    },
+    /// The external bus reported no device at this address.
+    ExternalFault {
+        /// Faulting address.
+        addr: u32,
+    },
+    /// Block transfer targeting the external window.
+    ExternalBlockTransfer {
+        /// Faulting address.
+        addr: u32,
+    },
+    /// SWI with an unknown call number.
+    UnknownSyscall(u16),
+    /// `pc` used as the destination of an instruction that cannot branch.
+    InvalidPcUse {
+        /// Address of the instruction.
+        addr: u32,
+    },
+}
+
+impl std::fmt::Display for CpuFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CpuFault::FetchOutOfRange(a) => write!(f, "instruction fetch at {a:#010x} out of range"),
+            CpuFault::Undefined { addr, err } => {
+                write!(f, "undefined instruction at {addr:#010x}: {err}")
+            }
+            CpuFault::DataAbort { addr } => write!(f, "data abort at {addr:#010x}"),
+            CpuFault::Unaligned { addr, align } => {
+                write!(f, "unaligned {align}-byte access at {addr:#010x}")
+            }
+            CpuFault::ExternalFault { addr } => {
+                write!(f, "external bus fault at {addr:#010x}")
+            }
+            CpuFault::ExternalBlockTransfer { addr } => {
+                write!(f, "block transfer into external window at {addr:#010x}")
+            }
+            CpuFault::UnknownSyscall(n) => write!(f, "unknown syscall #{n}"),
+            CpuFault::InvalidPcUse { addr } => {
+                write!(f, "invalid pc destination at {addr:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CpuFault {}
+
+/// Result of one `step` call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepEvent {
+    /// The instruction committed, consuming this many cycles.
+    Executed {
+        /// Base cycle cost charged by the timing model.
+        cycles: u64,
+    },
+    /// An external access is in flight; nothing committed. Retry later.
+    Stalled,
+    /// The CPU has halted (idempotent).
+    Halted,
+    /// A sticky fault (idempotent).
+    Fault(CpuFault),
+}
+
+/// Execution statistics of one core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpuStats {
+    /// Committed instructions.
+    pub instructions: u64,
+    /// Committed loads (any width, local or external).
+    pub loads: u64,
+    /// Committed stores.
+    pub stores: u64,
+    /// Completed external reads.
+    pub ext_reads: u64,
+    /// Completed external writes.
+    pub ext_writes: u64,
+    /// Taken branches (including pc writes).
+    pub branches: u64,
+    /// Executed software interrupts.
+    pub swis: u64,
+    /// Instructions skipped by a false condition.
+    pub cond_skipped: u64,
+}
+
+/// The CPU core state and interpreter.
+#[derive(Debug)]
+pub struct CpuCore {
+    id: u32,
+    regs: [u32; 16],
+    flags: Flags,
+    local: LocalMemory,
+    ext_base: u32,
+    costs: CycleCosts,
+    halted: bool,
+    exit_code: u32,
+    cycles: u64,
+    console: Console,
+    stats: CpuStats,
+    fault: Option<CpuFault>,
+}
+
+impl CpuCore {
+    /// Default start of the external (shared) window.
+    pub const DEFAULT_EXT_BASE: u32 = 0x8000_0000;
+
+    /// Creates a core with the given hardware id and private memory.
+    /// `sp` starts at the top of private memory; `pc` at its base.
+    pub fn new(id: u32, local: LocalMemory) -> Self {
+        let sp = local.base() + local.size();
+        let pc = local.base();
+        let mut regs = [0u32; 16];
+        regs[13] = sp;
+        regs[15] = pc;
+        CpuCore {
+            id,
+            regs,
+            flags: Flags::default(),
+            local,
+            ext_base: Self::DEFAULT_EXT_BASE,
+            costs: CycleCosts::default(),
+            halted: false,
+            exit_code: 0,
+            cycles: 0,
+            console: Console::new(),
+            stats: CpuStats::default(),
+            fault: None,
+        }
+    }
+
+    /// Overrides the external-window base address.
+    pub fn set_ext_base(&mut self, base: u32) {
+        self.ext_base = base;
+    }
+
+    /// Overrides the timing model.
+    pub fn set_costs(&mut self, costs: CycleCosts) {
+        self.costs = costs;
+    }
+
+    /// Loads a program into private memory and jumps to its base.
+    pub fn load_program(&mut self, program: &Program) {
+        self.local.load_program(program);
+        self.regs[15] = program.base();
+    }
+
+    /// The hardware id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Reads a register (raw value; no pc adjustment).
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index() as usize]
+    }
+
+    /// Writes a register.
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        self.regs[r.index() as usize] = value;
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u32 {
+        self.regs[15]
+    }
+
+    /// Jumps to an address.
+    pub fn set_pc(&mut self, pc: u32) {
+        self.regs[15] = pc;
+    }
+
+    /// The condition flags.
+    pub fn flags(&self) -> Flags {
+        self.flags
+    }
+
+    /// Whether the core has executed a halt.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Exit code passed to the halt syscall (`r0`).
+    pub fn exit_code(&self) -> u32 {
+        self.exit_code
+    }
+
+    /// Cycles consumed so far under the timing model.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> CpuStats {
+        self.stats
+    }
+
+    /// Console output captured from SWI services.
+    pub fn console(&self) -> &Console {
+        &self.console
+    }
+
+    /// The sticky fault, if any.
+    pub fn fault(&self) -> Option<&CpuFault> {
+        self.fault.as_ref()
+    }
+
+    /// Private memory (diagnostics and loaders).
+    pub fn local(&self) -> &LocalMemory {
+        &self.local
+    }
+
+    /// Mutable private memory (test setup).
+    pub fn local_mut(&mut self) -> &mut LocalMemory {
+        &mut self.local
+    }
+
+    #[inline]
+    fn is_external(&self, addr: u32) -> bool {
+        addr >= self.ext_base
+    }
+
+    /// Register read with pc-relative semantics: `pc` reads as the address
+    /// of the current instruction plus 8.
+    #[inline]
+    fn read_op(&self, r: Reg) -> u32 {
+        if r.is_pc() {
+            self.regs[15].wrapping_add(8)
+        } else {
+            self.regs[r.index() as usize]
+        }
+    }
+
+    fn raise(&mut self, fault: CpuFault) -> StepEvent {
+        self.fault = Some(fault.clone());
+        StepEvent::Fault(fault)
+    }
+
+    fn done(&mut self, cycles: u64) -> StepEvent {
+        self.cycles += cycles;
+        self.stats.instructions += 1;
+        StepEvent::Executed { cycles }
+    }
+
+    #[inline]
+    fn advance(&mut self) {
+        self.regs[15] = self.regs[15].wrapping_add(4);
+    }
+
+    /// Computes the barrel-shifter output and its carry-out (when defined).
+    fn shifter(&self, op2: Operand2) -> (u32, Option<bool>) {
+        match op2 {
+            Operand2::Imm { imm8, rot } => {
+                let v = (imm8 as u32).rotate_right(rot as u32 * 2);
+                let carry = if rot != 0 {
+                    Some(v & 0x8000_0000 != 0)
+                } else {
+                    None
+                };
+                (v, carry)
+            }
+            Operand2::Reg { rm, shift, amount } => {
+                let v = self.read_op(rm);
+                if amount == 0 {
+                    return (v, None);
+                }
+                let a = amount as u32;
+                match shift {
+                    ShiftKind::Lsl => (v << a, Some(v & (1 << (32 - a)) != 0)),
+                    ShiftKind::Lsr => (v >> a, Some(v & (1 << (a - 1)) != 0)),
+                    ShiftKind::Asr => {
+                        (((v as i32) >> a) as u32, Some(v & (1 << (a - 1)) != 0))
+                    }
+                    ShiftKind::Ror => (v.rotate_right(a), Some(v & (1 << (a - 1)) != 0)),
+                }
+            }
+        }
+    }
+
+    /// Executes one instruction. See the module docs for the stall/retry
+    /// contract on external accesses.
+    pub fn step(&mut self, ext: &mut dyn ExtBus) -> StepEvent {
+        if let Some(f) = &self.fault {
+            return StepEvent::Fault(f.clone());
+        }
+        if self.halted {
+            return StepEvent::Halted;
+        }
+        let pc = self.regs[15];
+        let word = match self.local.read32(pc) {
+            Ok(w) => w,
+            Err(_) => return self.raise(CpuFault::FetchOutOfRange(pc)),
+        };
+        let instr = match decode(word) {
+            Ok(i) => i,
+            Err(err) => return self.raise(CpuFault::Undefined { addr: pc, err }),
+        };
+        if !self.flags.check(instr.cond()) {
+            self.stats.cond_skipped += 1;
+            self.advance();
+            return self.done(self.costs.skipped);
+        }
+        match instr {
+            Instr::Dp {
+                op, s, rd, rn, op2, ..
+            } => self.exec_dp(op, s, rd, rn, op2),
+            Instr::Mul {
+                op, s, rd, rn, rs, rm, ..
+            } => self.exec_mul(op, s, rd, rn, rs, rm),
+            Instr::LdSt {
+                load,
+                size,
+                rd,
+                rn,
+                offset,
+                up,
+                mode,
+                ..
+            } => self.exec_ldst(ext, load, size, rd, rn, offset, up, mode),
+            Instr::LdStM {
+                load,
+                mode,
+                writeback,
+                rn,
+                list,
+                ..
+            } => self.exec_ldstm(load, mode, writeback, rn, list),
+            Instr::Branch { link, offset, .. } => {
+                let target = self
+                    .regs[15]
+                    .wrapping_add(8)
+                    .wrapping_add((offset as u32).wrapping_mul(4));
+                if link {
+                    self.regs[14] = self.regs[15].wrapping_add(4);
+                }
+                self.regs[15] = target;
+                self.stats.branches += 1;
+                self.done(self.costs.branch)
+            }
+            Instr::Bx { link, rm, .. } => {
+                let target = self.read_op(rm) & !3;
+                if link {
+                    self.regs[14] = self.regs[15].wrapping_add(4);
+                }
+                self.regs[15] = target;
+                self.stats.branches += 1;
+                self.done(self.costs.branch)
+            }
+            Instr::Swi { imm, .. } => self.exec_swi(imm),
+            Instr::Nop { .. } => {
+                self.advance();
+                self.done(self.costs.alu)
+            }
+            Instr::Clz { rd, rm, .. } => {
+                if rd.is_pc() {
+                    return self.raise(CpuFault::InvalidPcUse { addr: pc });
+                }
+                let v = self.read_op(rm).leading_zeros();
+                self.regs[rd.index() as usize] = v;
+                self.advance();
+                self.done(self.costs.alu)
+            }
+            Instr::MovW { top, rd, imm, .. } => {
+                if rd.is_pc() {
+                    return self.raise(CpuFault::InvalidPcUse { addr: pc });
+                }
+                let old = self.regs[rd.index() as usize];
+                self.regs[rd.index() as usize] = if top {
+                    (old & 0x0000_FFFF) | ((imm as u32) << 16)
+                } else {
+                    imm as u32
+                };
+                self.advance();
+                self.done(self.costs.alu)
+            }
+        }
+    }
+
+    fn exec_dp(&mut self, op: DpOp, s: bool, rd: Reg, rn: Reg, op2: Operand2) -> StepEvent {
+        let (op2v, shifter_carry) = self.shifter(op2);
+        let rnv = self.read_op(rn);
+        let c_in = self.flags.c;
+
+        // (result, arithmetic carry/overflow if any, writes rd)
+        let (result, arith): (u32, Option<(bool, bool)>) = match op {
+            DpOp::And | DpOp::Tst => (rnv & op2v, None),
+            DpOp::Eor | DpOp::Teq => (rnv ^ op2v, None),
+            DpOp::Sub | DpOp::Cmp => {
+                let (r, c, v) = add_with_carry(rnv, !op2v, true);
+                (r, Some((c, v)))
+            }
+            DpOp::Rsb => {
+                let (r, c, v) = add_with_carry(op2v, !rnv, true);
+                (r, Some((c, v)))
+            }
+            DpOp::Add | DpOp::Cmn => {
+                let (r, c, v) = add_with_carry(rnv, op2v, false);
+                (r, Some((c, v)))
+            }
+            DpOp::Adc => {
+                let (r, c, v) = add_with_carry(rnv, op2v, c_in);
+                (r, Some((c, v)))
+            }
+            DpOp::Sbc => {
+                let (r, c, v) = add_with_carry(rnv, !op2v, c_in);
+                (r, Some((c, v)))
+            }
+            DpOp::Rsc => {
+                let (r, c, v) = add_with_carry(op2v, !rnv, c_in);
+                (r, Some((c, v)))
+            }
+            DpOp::Orr => (rnv | op2v, None),
+            DpOp::Mov => (op2v, None),
+            DpOp::Bic => (rnv & !op2v, None),
+            DpOp::Mvn => (!op2v, None),
+        };
+
+        // Compares always update flags; other ops only with S.
+        if s || op.is_compare() {
+            self.flags.set_nz(result);
+            match arith {
+                Some((c, v)) => {
+                    self.flags.c = c;
+                    self.flags.v = v;
+                }
+                None => {
+                    if let Some(c) = shifter_carry {
+                        self.flags.c = c;
+                    }
+                }
+            }
+        }
+
+        if op.is_compare() {
+            self.advance();
+            return self.done(self.costs.alu);
+        }
+        if rd.is_pc() {
+            self.regs[15] = result & !3;
+            self.stats.branches += 1;
+            return self.done(self.costs.branch);
+        }
+        self.regs[rd.index() as usize] = result;
+        self.advance();
+        self.done(self.costs.alu)
+    }
+
+    fn exec_mul(&mut self, op: MulOp, s: bool, rd: Reg, rn: Reg, rs: Reg, rm: Reg) -> StepEvent {
+        let pc = self.regs[15];
+        if rd.is_pc() || (op.is_long() && rn.is_pc()) || (op == MulOp::Mla && rn.is_pc()) {
+            return self.raise(CpuFault::InvalidPcUse { addr: pc });
+        }
+        let rmv = self.read_op(rm);
+        let rsv = self.read_op(rs);
+        match op {
+            MulOp::Mul | MulOp::Mla => {
+                let mut r = rmv.wrapping_mul(rsv);
+                if op == MulOp::Mla {
+                    r = r.wrapping_add(self.read_op(rn));
+                }
+                self.regs[rd.index() as usize] = r;
+                if s {
+                    self.flags.set_nz(r);
+                }
+                self.advance();
+                self.done(self.costs.mul)
+            }
+            MulOp::Umull | MulOp::Umlal | MulOp::Smull | MulOp::Smlal => {
+                let product = match op {
+                    MulOp::Umull | MulOp::Umlal => (rmv as u64).wrapping_mul(rsv as u64),
+                    _ => ((rmv as i32 as i64).wrapping_mul(rsv as i32 as i64)) as u64,
+                };
+                let acc = if matches!(op, MulOp::Umlal | MulOp::Smlal) {
+                    ((self.regs[rd.index() as usize] as u64) << 32)
+                        | self.regs[rn.index() as usize] as u64
+                } else {
+                    0
+                };
+                let r = product.wrapping_add(acc);
+                self.regs[rn.index() as usize] = r as u32; // low
+                self.regs[rd.index() as usize] = (r >> 32) as u32; // high
+                if s {
+                    self.flags.set_nz64(r);
+                }
+                self.advance();
+                self.done(self.costs.mull)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_ldst(
+        &mut self,
+        ext: &mut dyn ExtBus,
+        load: bool,
+        size: MemSize,
+        rd: Reg,
+        rn: Reg,
+        offset: Offset,
+        up: bool,
+        mode: AddrMode,
+    ) -> StepEvent {
+        let rnv = self.read_op(rn);
+        let offv = match offset {
+            Offset::Imm(v) => v as u32,
+            Offset::Reg(rm) => self.read_op(rm),
+        };
+        let indexed = if up {
+            rnv.wrapping_add(offv)
+        } else {
+            rnv.wrapping_sub(offv)
+        };
+        let addr = match mode {
+            AddrMode::Offset | AddrMode::PreIndex => indexed,
+            AddrMode::PostIndex => rnv,
+        };
+        let width = size.bytes();
+        if addr % width != 0 {
+            return self.raise(CpuFault::Unaligned { addr, align: width });
+        }
+
+        let value: u32;
+        if self.is_external(addr) {
+            let ext_width = match size {
+                MemSize::Byte | MemSize::SByte => ExtWidth::Byte,
+                MemSize::Half | MemSize::SHalf => ExtWidth::Half,
+                MemSize::Word => ExtWidth::Word,
+            };
+            let result = if load {
+                ext.ext_read(addr, ext_width)
+            } else {
+                ext.ext_write(addr, self.read_op(rd) & width_mask(width), ext_width)
+            };
+            match result {
+                ExtResult::Stall => return StepEvent::Stalled,
+                ExtResult::Fault => return self.raise(CpuFault::ExternalFault { addr }),
+                ExtResult::Done(v) => {
+                    if load {
+                        self.stats.ext_reads += 1;
+                    } else {
+                        self.stats.ext_writes += 1;
+                    }
+                    value = extend(v, size);
+                }
+            }
+        } else {
+            let r = if load {
+                match width {
+                    1 => self.local.read8(addr).map(|v| v as u32),
+                    2 => self.local.read16(addr).map(|v| v as u32),
+                    _ => self.local.read32(addr),
+                }
+            } else {
+                let sv = self.read_op(rd);
+                match width {
+                    1 => self.local.write8(addr, sv as u8).map(|()| 0),
+                    2 => self.local.write16(addr, sv as u16).map(|()| 0),
+                    _ => self.local.write32(addr, sv).map(|()| 0),
+                }
+            };
+            match r {
+                Ok(v) => value = extend(v, size),
+                Err(_) => return self.raise(CpuFault::DataAbort { addr }),
+            }
+        }
+
+        // Commit phase: writeback, destination, pc.
+        if mode != AddrMode::Offset {
+            self.regs[rn.index() as usize] = indexed;
+        }
+        let mut branched = false;
+        if load {
+            self.stats.loads += 1;
+            if rd.is_pc() {
+                self.regs[15] = value & !3;
+                self.stats.branches += 1;
+                branched = true;
+            } else {
+                // On rd == rn with writeback, the loaded value wins.
+                self.regs[rd.index() as usize] = value;
+            }
+        } else {
+            self.stats.stores += 1;
+        }
+        if !branched {
+            self.advance();
+        }
+        let cost = if load {
+            self.costs.load
+        } else {
+            self.costs.store
+        };
+        self.done(if branched { cost + self.costs.branch } else { cost })
+    }
+
+    fn exec_ldstm(
+        &mut self,
+        load: bool,
+        mode: MultiMode,
+        writeback: bool,
+        rn: Reg,
+        list: u16,
+    ) -> StepEvent {
+        let rnv = self.read_op(rn);
+        let count = list.count_ones();
+        let start = match mode {
+            MultiMode::Ia => rnv,
+            MultiMode::Db => rnv.wrapping_sub(4 * count),
+        };
+        if start % 4 != 0 {
+            return self.raise(CpuFault::Unaligned {
+                addr: start,
+                align: 4,
+            });
+        }
+        if self.is_external(start) || self.is_external(start.wrapping_add(4 * count - 1)) {
+            return self.raise(CpuFault::ExternalBlockTransfer { addr: start });
+        }
+
+        // Pre-read stored values (so a base in the list stores its original
+        // value regardless of writeback ordering).
+        let mut addr = start;
+        if load {
+            let mut loaded: Vec<(Reg, u32)> = Vec::with_capacity(count as usize);
+            for i in 0..16 {
+                if list & (1 << i) != 0 {
+                    match self.local.read32(addr) {
+                        Ok(v) => loaded.push((Reg::new(i), v)),
+                        Err(_) => return self.raise(CpuFault::DataAbort { addr }),
+                    }
+                    addr = addr.wrapping_add(4);
+                }
+            }
+            if writeback {
+                let final_base = match mode {
+                    MultiMode::Ia => rnv.wrapping_add(4 * count),
+                    MultiMode::Db => start,
+                };
+                self.regs[rn.index() as usize] = final_base;
+            }
+            let mut branched = false;
+            for (r, v) in loaded {
+                if r.is_pc() {
+                    self.regs[15] = v & !3;
+                    self.stats.branches += 1;
+                    branched = true;
+                } else {
+                    self.regs[r.index() as usize] = v;
+                }
+            }
+            self.stats.loads += count as u64;
+            if !branched {
+                self.advance();
+            }
+            self.done(self.costs.ldm_base + self.costs.ldm_per_reg * count as u64)
+        } else {
+            for i in 0..16 {
+                if list & (1 << i) != 0 {
+                    let v = self.read_op(Reg::new(i));
+                    if self.local.write32(addr, v).is_err() {
+                        return self.raise(CpuFault::DataAbort { addr });
+                    }
+                    addr = addr.wrapping_add(4);
+                }
+            }
+            if writeback {
+                let final_base = match mode {
+                    MultiMode::Ia => rnv.wrapping_add(4 * count),
+                    MultiMode::Db => start,
+                };
+                self.regs[rn.index() as usize] = final_base;
+            }
+            self.stats.stores += count as u64;
+            self.advance();
+            self.done(self.costs.ldm_base + self.costs.ldm_per_reg * count as u64)
+        }
+    }
+
+    fn exec_swi(&mut self, imm: u16) -> StepEvent {
+        let Some(call) = Syscall::from_imm(imm) else {
+            return self.raise(CpuFault::UnknownSyscall(imm));
+        };
+        self.stats.swis += 1;
+        match call {
+            Syscall::Halt => {
+                self.halted = true;
+                self.exit_code = self.regs[0];
+                self.advance();
+                self.done(self.costs.swi)
+            }
+            Syscall::PutChar => {
+                self.console.put(self.regs[0] as u8);
+                self.advance();
+                self.done(self.costs.swi)
+            }
+            Syscall::Cycles => {
+                self.regs[0] = self.cycles as u32;
+                self.regs[1] = (self.cycles >> 32) as u32;
+                self.advance();
+                self.done(self.costs.swi)
+            }
+            Syscall::PutInt => {
+                let text = format!("{}\n", self.regs[0] as i32);
+                self.console.put_str(&text);
+                self.advance();
+                self.done(self.costs.swi)
+            }
+            Syscall::CpuId => {
+                self.regs[0] = self.id;
+                self.advance();
+                self.done(self.costs.swi)
+            }
+        }
+    }
+
+    /// Runs until halt, fault, or `max_steps` instructions. Intended for
+    /// tests and stand-alone (non-co-simulated) execution; stalls from the
+    /// bus are returned as-is.
+    pub fn run(&mut self, ext: &mut dyn ExtBus, max_steps: u64) -> StepEvent {
+        for _ in 0..max_steps {
+            match self.step(ext) {
+                StepEvent::Executed { .. } => {}
+                other => return other,
+            }
+        }
+        StepEvent::Executed { cycles: 0 }
+    }
+}
+
+#[inline]
+fn width_mask(width: u32) -> u32 {
+    match width {
+        1 => 0xFF,
+        2 => 0xFFFF,
+        _ => u32::MAX,
+    }
+}
+
+/// Zero/sign-extends a loaded raw value according to the memory size.
+#[inline]
+fn extend(v: u32, size: MemSize) -> u32 {
+    match size {
+        MemSize::Byte => v & 0xFF,
+        MemSize::Half => v & 0xFFFF,
+        MemSize::Word => v,
+        MemSize::SByte => v as u8 as i8 as i32 as u32,
+        MemSize::SHalf => v as u16 as i16 as i32 as u32,
+    }
+}

@@ -1,0 +1,102 @@
+//! Processor status flags.
+
+use dmi_isa::Cond;
+
+/// The NZCV condition flags of the CPSR.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Flags {
+    /// Negative (bit 31 of the result).
+    pub n: bool,
+    /// Zero.
+    pub z: bool,
+    /// Carry / not-borrow.
+    pub c: bool,
+    /// Signed overflow.
+    pub v: bool,
+}
+
+impl Flags {
+    /// Evaluates a condition code against these flags.
+    #[inline]
+    pub fn check(&self, cond: Cond) -> bool {
+        cond.holds(self.n, self.z, self.c, self.v)
+    }
+
+    /// Sets N and Z from a 32-bit result, leaving C and V untouched.
+    #[inline]
+    pub fn set_nz(&mut self, result: u32) {
+        self.n = result & 0x8000_0000 != 0;
+        self.z = result == 0;
+    }
+
+    /// Sets N and Z from a 64-bit result (long multiplies).
+    #[inline]
+    pub fn set_nz64(&mut self, result: u64) {
+        self.n = result & 0x8000_0000_0000_0000 != 0;
+        self.z = result == 0;
+    }
+}
+
+/// Computes `a + b + carry_in`, returning `(result, carry_out, overflow)`.
+#[inline]
+pub fn add_with_carry(a: u32, b: u32, carry_in: bool) -> (u32, bool, bool) {
+    let wide = a as u64 + b as u64 + carry_in as u64;
+    let result = wide as u32;
+    let carry = wide > u32::MAX as u64;
+    let overflow = (!(a ^ b) & (a ^ result)) & 0x8000_0000 != 0;
+    (result, carry, overflow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nz_from_results() {
+        let mut f = Flags::default();
+        f.set_nz(0);
+        assert!(f.z && !f.n);
+        f.set_nz(0x8000_0000);
+        assert!(!f.z && f.n);
+        f.set_nz64(0);
+        assert!(f.z);
+        f.set_nz64(1 << 63);
+        assert!(f.n && !f.z);
+    }
+
+    #[test]
+    fn adder_carry_and_overflow() {
+        // Simple add, no carry.
+        assert_eq!(add_with_carry(1, 2, false), (3, false, false));
+        // Unsigned wraparound sets carry.
+        assert_eq!(add_with_carry(u32::MAX, 1, false), (0, true, false));
+        // Positive + positive -> negative sets V.
+        let (r, c, v) = add_with_carry(0x7FFF_FFFF, 1, false);
+        assert_eq!(r, 0x8000_0000);
+        assert!(!c && v);
+        // Negative + negative -> positive sets V and C.
+        let (r, c, v) = add_with_carry(0x8000_0000, 0x8000_0000, false);
+        assert_eq!(r, 0);
+        assert!(c && v);
+        // Subtraction via complement: a - b == a + !b + 1.
+        let (r, c, v) = add_with_carry(5, !3, true);
+        assert_eq!(r, 2);
+        assert!(c && !v, "no borrow -> carry set");
+        let (r, c, _) = add_with_carry(3, !5, true);
+        assert_eq!(r, -2i32 as u32);
+        assert!(!c, "borrow -> carry clear");
+    }
+
+    #[test]
+    fn check_delegates_to_cond() {
+        let f = Flags {
+            n: false,
+            z: true,
+            c: false,
+            v: false,
+        };
+        assert!(f.check(Cond::Eq));
+        assert!(!f.check(Cond::Ne));
+        assert!(f.check(Cond::Al));
+    }
+}

@@ -1,0 +1,192 @@
+//! Per-CPU private memory.
+//!
+//! Each ISS owns a flat private RAM holding its program, stack and local
+//! data, modelled as a plain byte array with zero wait states (accesses cost
+//! only the instruction's base cycles). Anything outside this range is an
+//! *external* access routed to the bus — in this framework, the shared
+//! memory window.
+
+use dmi_isa::Program;
+
+/// Byte-addressable private RAM with little-endian layout.
+#[derive(Debug, Clone)]
+pub struct LocalMemory {
+    base: u32,
+    bytes: Vec<u8>,
+}
+
+/// A memory access violation inside the private range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfRange {
+    /// The faulting byte address.
+    pub addr: u32,
+    /// Transfer width in bytes.
+    pub width: u32,
+}
+
+impl LocalMemory {
+    /// Creates a zeroed memory of `size` bytes starting at `base`.
+    pub fn new(base: u32, size: u32) -> Self {
+        LocalMemory {
+            base,
+            bytes: vec![0; size as usize],
+        }
+    }
+
+    /// First valid address.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Size in bytes.
+    pub fn size(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    /// Whether an access of `width` bytes at `addr` lies fully inside.
+    #[inline]
+    pub fn contains(&self, addr: u32, width: u32) -> bool {
+        addr >= self.base
+            && addr
+                .checked_add(width)
+                .is_some_and(|end| end - self.base <= self.bytes.len() as u32)
+    }
+
+    #[inline]
+    fn index(&self, addr: u32, width: u32) -> Result<usize, OutOfRange> {
+        if self.contains(addr, width) {
+            Ok((addr - self.base) as usize)
+        } else {
+            Err(OutOfRange { addr, width })
+        }
+    }
+
+    /// Reads a byte.
+    pub fn read8(&self, addr: u32) -> Result<u8, OutOfRange> {
+        Ok(self.bytes[self.index(addr, 1)?])
+    }
+
+    /// Reads a little-endian halfword.
+    pub fn read16(&self, addr: u32) -> Result<u16, OutOfRange> {
+        let i = self.index(addr, 2)?;
+        Ok(u16::from_le_bytes([self.bytes[i], self.bytes[i + 1]]))
+    }
+
+    /// Reads a little-endian word.
+    pub fn read32(&self, addr: u32) -> Result<u32, OutOfRange> {
+        let i = self.index(addr, 4)?;
+        Ok(u32::from_le_bytes([
+            self.bytes[i],
+            self.bytes[i + 1],
+            self.bytes[i + 2],
+            self.bytes[i + 3],
+        ]))
+    }
+
+    /// Writes a byte.
+    pub fn write8(&mut self, addr: u32, value: u8) -> Result<(), OutOfRange> {
+        let i = self.index(addr, 1)?;
+        self.bytes[i] = value;
+        Ok(())
+    }
+
+    /// Writes a little-endian halfword.
+    pub fn write16(&mut self, addr: u32, value: u16) -> Result<(), OutOfRange> {
+        let i = self.index(addr, 2)?;
+        self.bytes[i..i + 2].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Writes a little-endian word.
+    pub fn write32(&mut self, addr: u32, value: u32) -> Result<(), OutOfRange> {
+        let i = self.index(addr, 4)?;
+        self.bytes[i..i + 4].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Copies a program image into memory at its base address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image does not fit inside this memory.
+    pub fn load_program(&mut self, program: &Program) {
+        let bytes = program.to_bytes();
+        let start = (program.base() - self.base) as usize;
+        self.bytes[start..start + bytes.len()].copy_from_slice(&bytes);
+    }
+
+    /// Reads `len` bytes starting at `addr` (test/diagnostic helper).
+    pub fn read_slice(&self, addr: u32, len: usize) -> Result<&[u8], OutOfRange> {
+        let i = self.index(addr, len as u32)?;
+        Ok(&self.bytes[i..i + len])
+    }
+
+    /// Writes a byte slice at `addr` (test/diagnostic helper).
+    pub fn write_slice(&mut self, addr: u32, data: &[u8]) -> Result<(), OutOfRange> {
+        let i = self.index(addr, data.len() as u32)?;
+        self.bytes[i..i + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_all_widths() {
+        let mut m = LocalMemory::new(0x1000, 0x100);
+        m.write8(0x1000, 0xAB).unwrap();
+        assert_eq!(m.read8(0x1000).unwrap(), 0xAB);
+        m.write16(0x1002, 0xBEEF).unwrap();
+        assert_eq!(m.read16(0x1002).unwrap(), 0xBEEF);
+        m.write32(0x1004, 0xDEAD_BEEF).unwrap();
+        assert_eq!(m.read32(0x1004).unwrap(), 0xDEAD_BEEF);
+        // Little-endian byte order.
+        assert_eq!(m.read8(0x1004).unwrap(), 0xEF);
+        assert_eq!(m.read8(0x1007).unwrap(), 0xDE);
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let mut m = LocalMemory::new(0x1000, 0x10);
+        assert!(m.read8(0xFFF).is_err());
+        assert!(m.read32(0x100D).is_err(), "word straddles the end");
+        assert!(m.read32(0x100C).is_ok(), "last aligned word is fine");
+        assert!(m.write8(0x1010, 0).is_err());
+        assert_eq!(
+            m.read8(0x2000).unwrap_err(),
+            OutOfRange {
+                addr: 0x2000,
+                width: 1
+            }
+        );
+    }
+
+    #[test]
+    fn contains_handles_overflowing_addresses() {
+        let m = LocalMemory::new(0, 0x10);
+        assert!(!m.contains(u32::MAX, 4));
+        assert!(m.contains(0xC, 4));
+        assert!(!m.contains(0xD, 4));
+    }
+
+    #[test]
+    fn loads_programs_at_base() {
+        let mut a = dmi_isa::Asm::new();
+        a.word(0x11223344).word(0x55667788);
+        let p = a.assemble(0x20).unwrap();
+        let mut m = LocalMemory::new(0, 0x100);
+        m.load_program(&p);
+        assert_eq!(m.read32(0x20).unwrap(), 0x11223344);
+        assert_eq!(m.read32(0x24).unwrap(), 0x55667788);
+    }
+
+    #[test]
+    fn slice_helpers() {
+        let mut m = LocalMemory::new(0, 0x20);
+        m.write_slice(4, &[1, 2, 3]).unwrap();
+        assert_eq!(m.read_slice(4, 3).unwrap(), &[1, 2, 3]);
+        assert!(m.write_slice(0x1E, &[1, 2, 3]).is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! Software-interrupt (SWI) services.
+//!
+//! The runtime environment offered to simulated programs is intentionally
+//! tiny: halt, console output and introspection. Everything else — in
+//! particular all dynamic shared-memory operations — goes through the
+//! memory-mapped wrapper protocol, exactly as in the paper.
+
+/// SWI numbers understood by the ISS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum Syscall {
+    /// Stop this CPU; `r0` is the exit code.
+    Halt = 0,
+    /// Append the low byte of `r0` to the console.
+    PutChar = 1,
+    /// Return the CPU cycle counter: low half in `r0`, high half in `r1`.
+    Cycles = 2,
+    /// Append the signed decimal of `r0` and a newline to the console.
+    PutInt = 3,
+    /// Return this CPU's hardware id in `r0`.
+    CpuId = 4,
+}
+
+impl Syscall {
+    /// Decodes an SWI immediate.
+    pub fn from_imm(imm: u16) -> Option<Syscall> {
+        Some(match imm {
+            0 => Syscall::Halt,
+            1 => Syscall::PutChar,
+            2 => Syscall::Cycles,
+            3 => Syscall::PutInt,
+            4 => Syscall::CpuId,
+            _ => return None,
+        })
+    }
+}
+
+/// Captured console output of one CPU.
+#[derive(Debug, Clone, Default)]
+pub struct Console {
+    bytes: Vec<u8>,
+}
+
+impl Console {
+    /// Creates an empty console.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one byte.
+    pub fn put(&mut self, byte: u8) {
+        self.bytes.push(byte);
+    }
+
+    /// Appends text.
+    pub fn put_str(&mut self, s: &str) {
+        self.bytes.extend_from_slice(s.as_bytes());
+    }
+
+    /// The raw captured bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The output interpreted as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.bytes).into_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_known_numbers() {
+        assert_eq!(Syscall::from_imm(0), Some(Syscall::Halt));
+        assert_eq!(Syscall::from_imm(1), Some(Syscall::PutChar));
+        assert_eq!(Syscall::from_imm(2), Some(Syscall::Cycles));
+        assert_eq!(Syscall::from_imm(3), Some(Syscall::PutInt));
+        assert_eq!(Syscall::from_imm(4), Some(Syscall::CpuId));
+        assert_eq!(Syscall::from_imm(99), None);
+    }
+
+    #[test]
+    fn console_collects_output() {
+        let mut c = Console::new();
+        c.put(b'h');
+        c.put_str("i!");
+        assert_eq!(c.bytes(), b"hi!");
+        assert_eq!(c.text(), "hi!");
+    }
+}

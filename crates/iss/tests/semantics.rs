@@ -1,0 +1,553 @@
+//! Per-instruction semantics tests for the CPU core, driven through the
+//! assembler so the whole ISA pipeline is exercised end to end.
+
+use dmi_isa::{Asm, Cond, Reg};
+use dmi_iss::{CpuCore, CpuFault, FlatBus, LocalMemory, NoBus, StepEvent};
+
+const R0: Reg = Reg::R0;
+const R1: Reg = Reg::R1;
+const R2: Reg = Reg::R2;
+const R3: Reg = Reg::R3;
+const R4: Reg = Reg::R4;
+
+/// Assembles `body`, appends a halt, runs to completion, returns the core.
+fn run(build: impl FnOnce(&mut Asm)) -> CpuCore {
+    let mut a = Asm::new();
+    build(&mut a);
+    a.swi(0);
+    let prog = a.assemble(0).unwrap();
+    let mut cpu = CpuCore::new(0, LocalMemory::new(0, 0x10000));
+    cpu.load_program(&prog);
+    match cpu.run(&mut NoBus, 1_000_000) {
+        StepEvent::Halted => cpu,
+        other => panic!("program did not halt: {other:?}\nfault: {:?}", cpu.fault()),
+    }
+}
+
+/// Assembles source text, runs to completion, returns the core.
+fn run_text(src: &str) -> CpuCore {
+    let prog = dmi_isa::assemble_text(src, 0).unwrap();
+    let mut cpu = CpuCore::new(0, LocalMemory::new(0, 0x10000));
+    cpu.load_program(&prog);
+    match cpu.run(&mut NoBus, 1_000_000) {
+        StepEvent::Halted => cpu,
+        other => panic!("program did not halt: {other:?}\nfault: {:?}", cpu.fault()),
+    }
+}
+
+#[test]
+fn arithmetic_basics() {
+    let cpu = run(|a| {
+        a.li(R0, 20);
+        a.li(R1, 22);
+        a.add(R2, R0, R1.into());
+        a.sub(R3, R2, 2u32.into());
+        a.rsb(R4, R0, R1.into()); // 22 - 20
+    });
+    assert_eq!(cpu.reg(R2), 42);
+    assert_eq!(cpu.reg(R3), 40);
+    assert_eq!(cpu.reg(R4), 2);
+}
+
+#[test]
+fn logic_and_moves() {
+    let cpu = run(|a| {
+        a.li(R0, 0b1100);
+        a.li(R1, 0b1010);
+        a.and(R2, R0, R1.into());
+        a.orr(R3, R0, R1.into());
+        a.eor(R4, R0, R1.into());
+        a.bic(Reg::R5, R0, R1.into());
+        a.mvn(Reg::R6, R0.into());
+    });
+    assert_eq!(cpu.reg(R2), 0b1000);
+    assert_eq!(cpu.reg(R3), 0b1110);
+    assert_eq!(cpu.reg(R4), 0b0110);
+    assert_eq!(cpu.reg(Reg::R5), 0b0100);
+    assert_eq!(cpu.reg(Reg::R6), !0b1100u32);
+}
+
+#[test]
+fn carry_chain_64bit_add() {
+    // 64-bit add: (0xFFFFFFFF, 1) + (1, 0) = (0, 2) with adc.
+    let cpu = run(|a| {
+        a.li(R0, 0xFFFF_FFFF); // low a
+        a.li(R1, 1); // high a
+        a.li(R2, 1); // low b
+        a.li(R3, 0); // high b
+        a.adds(R0, R0, R2.into());
+        a.adc(R1, R1, R3.into());
+    });
+    assert_eq!(cpu.reg(R0), 0);
+    assert_eq!(cpu.reg(R1), 2);
+}
+
+#[test]
+fn flags_and_conditional_execution() {
+    let cpu = run_text(
+        r#"
+        li   r0, #5
+        cmp  r0, #5
+        moveq r1, #1
+        movne r2, #1
+        cmp  r0, #6
+        movlt r3, #1
+        movge r4, #1
+        swi  #0
+    "#,
+    );
+    assert_eq!(cpu.reg(R1), 1, "eq taken");
+    assert_eq!(cpu.reg(R2), 0, "ne skipped");
+    assert_eq!(cpu.reg(R3), 1, "lt taken");
+    assert_eq!(cpu.reg(R4), 0, "ge skipped");
+    assert!(cpu.stats().cond_skipped >= 2);
+}
+
+#[test]
+fn shifts_update_carry() {
+    let cpu = run_text(
+        r#"
+        li   r0, #0x81
+        movs r1, r0, lsr #1   ; shifts a 1 out -> carry set
+        movcs r2, #1
+        movs r3, r0, lsl #1
+        swi  #0
+    "#,
+    );
+    assert_eq!(cpu.reg(R1), 0x40);
+    assert_eq!(cpu.reg(R2), 1, "carry from lsr");
+    assert_eq!(cpu.reg(R3), 0x102);
+}
+
+#[test]
+fn asr_is_arithmetic() {
+    let cpu = run(|a| {
+        a.li(R0, 0x8000_0000);
+        a.asr(R1, R0, 31);
+        a.lsr(R2, R0, 31);
+    });
+    assert_eq!(cpu.reg(R1), 0xFFFF_FFFF);
+    assert_eq!(cpu.reg(R2), 1);
+}
+
+#[test]
+fn multiply_family() {
+    let cpu = run(|a| {
+        a.li(R0, 7);
+        a.li(R1, 6);
+        a.mul(R2, R0, R1); // 42
+        a.li(R3, 100);
+        a.mla(R4, R0, R1, R3); // 142
+        a.li(Reg::R5, 0xFFFF_FFFF);
+        a.li(Reg::R6, 2);
+        a.umull(Reg::R7, Reg::R8, Reg::R5, Reg::R6); // 0x1_FFFF_FFFE
+        a.li(Reg::R9, 0xFFFF_FFFF); // -1
+        a.smull(Reg::R10, Reg::R11, Reg::R9, Reg::R6); // -2
+    });
+    assert_eq!(cpu.reg(R2), 42);
+    assert_eq!(cpu.reg(R4), 142);
+    assert_eq!(cpu.reg(Reg::R7), 0xFFFF_FFFE);
+    assert_eq!(cpu.reg(Reg::R8), 1);
+    assert_eq!(cpu.reg(Reg::R10), 0xFFFF_FFFE); // -2 low
+    assert_eq!(cpu.reg(Reg::R11), 0xFFFF_FFFF); // -2 high
+}
+
+#[test]
+fn long_multiply_accumulate() {
+    // smlal accumulating 2 * (3 iterations of 10*10).
+    let cpu = run_text(
+        r#"
+        li   r4, #3      ; counter
+        li   r0, #0      ; acc lo
+        li   r1, #0      ; acc hi
+        li   r2, #10
+    loop:
+        smlal r0, r1, r2, r2
+        subs r4, r4, #1
+        bne  loop
+        swi  #0
+    "#,
+    );
+    assert_eq!(cpu.reg(R0), 300);
+    assert_eq!(cpu.reg(R1), 0);
+}
+
+#[test]
+fn loads_stores_all_widths() {
+    let cpu = run(|a| {
+        a.li(R0, 0x2000); // buffer
+        a.li(R1, 0xDEAD_BEEF);
+        a.str(R1, R0, 0);
+        a.ldr(R2, R0, 0);
+        a.ldrb(R3, R0, 0); // 0xEF
+        a.ldrh(R4, R0, 0); // 0xBEEF
+        a.ldrsb(Reg::R5, R0, 0); // sign-extended 0xEF
+        a.ldrsh(Reg::R6, R0, 0); // sign-extended 0xBEEF
+        a.li(Reg::R7, 0x12);
+        a.strb(Reg::R7, R0, 1);
+        a.ldr(Reg::R8, R0, 0);
+    });
+    assert_eq!(cpu.reg(R2), 0xDEAD_BEEF);
+    assert_eq!(cpu.reg(R3), 0xEF);
+    assert_eq!(cpu.reg(R4), 0xBEEF);
+    assert_eq!(cpu.reg(Reg::R5), 0xFFFF_FFEF);
+    assert_eq!(cpu.reg(Reg::R6), 0xFFFF_BEEF);
+    assert_eq!(cpu.reg(Reg::R8), 0xDEAD_12EF);
+}
+
+#[test]
+fn addressing_modes_writeback() {
+    let cpu = run(|a| {
+        a.li(R0, 0x2000);
+        a.li(R1, 0x11);
+        a.str_post(R1, R0, 4); // [0x2000] = 0x11, r0 = 0x2004
+        a.li(R1, 0x22);
+        a.str_post(R1, R0, 4); // [0x2004] = 0x22, r0 = 0x2008
+        a.li(R2, 0x2000);
+        a.ldr_pre(R3, R2, 4); // r3 = [0x2004], r2 = 0x2004
+        a.ldr(R4, R2, -4); // r4 = [0x2000]
+    });
+    assert_eq!(cpu.reg(R0), 0x2008);
+    assert_eq!(cpu.reg(R2), 0x2004);
+    assert_eq!(cpu.reg(R3), 0x22);
+    assert_eq!(cpu.reg(R4), 0x11);
+}
+
+#[test]
+fn register_offset_addressing() {
+    let cpu = run(|a| {
+        a.li(R0, 0x2000);
+        a.li(R1, 8);
+        a.li(R2, 0xABCD);
+        a.str_r(R2, R0, R1);
+        a.ldr_r(R3, R0, R1);
+        a.ldr(R4, R0, 8);
+    });
+    assert_eq!(cpu.reg(R3), 0xABCD);
+    assert_eq!(cpu.reg(R4), 0xABCD);
+}
+
+#[test]
+fn block_transfer_push_pop() {
+    let cpu = run(|a| {
+        a.li(R0, 1);
+        a.li(R1, 2);
+        a.li(R2, 3);
+        a.push(&[R0, R1, R2]);
+        a.li(R0, 0);
+        a.li(R1, 0);
+        a.li(R2, 0);
+        a.pop(&[R0, R1, R2]);
+    });
+    assert_eq!(cpu.reg(R0), 1);
+    assert_eq!(cpu.reg(R1), 2);
+    assert_eq!(cpu.reg(R2), 3);
+    // Stack pointer restored.
+    assert_eq!(cpu.reg(Reg::SP), 0x10000);
+}
+
+#[test]
+fn function_call_and_return() {
+    let cpu = run_text(
+        r#"
+            li   r0, #10
+            bl   double
+            bl   double
+            swi  #0
+        double:
+            add  r0, r0, r0
+            bx   lr
+    "#,
+    );
+    assert_eq!(cpu.reg(R0), 40);
+    assert!(cpu.stats().branches >= 4);
+}
+
+#[test]
+fn nested_calls_with_stack() {
+    let cpu = run_text(
+        r#"
+            li   r0, #5
+            bl   fact
+            swi  #0
+        ; r0 = fact(r0), recursive
+        fact:
+            cmp  r0, #1
+            bxle lr
+            push {r4, lr}
+            mov  r4, r0
+            sub  r0, r0, #1
+            bl   fact
+            mul  r0, r4, r0
+            pop  {r4, lr}
+            bx   lr
+    "#,
+    );
+    assert_eq!(cpu.reg(R0), 120);
+}
+
+#[test]
+fn pc_relative_and_pc_write() {
+    let cpu = run_text(
+        r#"
+            adr  r0, table
+            ldr  r1, [r0]
+            ldr  r2, [r0, #4]
+            b    over
+        table:
+            .word 0x1111
+            .word 0x2222
+        over:
+            swi  #0
+    "#,
+    );
+    assert_eq!(cpu.reg(R1), 0x1111);
+    assert_eq!(cpu.reg(R2), 0x2222);
+}
+
+#[test]
+fn clz_counts_leading_zeros() {
+    let cpu = run(|a| {
+        a.li(R0, 1);
+        a.clz(R1, R0); // 31
+        a.li(R0, 0);
+        a.clz(R2, R0); // 32
+        a.li(R0, 0x8000_0000);
+        a.clz(R3, R0); // 0
+    });
+    assert_eq!(cpu.reg(R1), 31);
+    assert_eq!(cpu.reg(R2), 32);
+    assert_eq!(cpu.reg(R3), 0);
+}
+
+#[test]
+fn movw_movt_compose() {
+    let cpu = run(|a| {
+        a.movw(R0, 0x5678);
+        a.movt(R0, 0x1234);
+        a.movw(R1, 0xFFFF);
+    });
+    assert_eq!(cpu.reg(R0), 0x1234_5678);
+    assert_eq!(cpu.reg(R1), 0x0000_FFFF);
+}
+
+#[test]
+fn syscalls_console_and_cycles() {
+    let cpu = run_text(
+        r#"
+        li   r0, #72      ; 'H'
+        swi  #1
+        li   r0, #105     ; 'i'
+        swi  #1
+        li   r0, #42
+        swi  #3           ; putint
+        swi  #2           ; cycles -> r0/r1
+        swi  #4           ; cpuid -> r0
+        swi  #0
+    "#,
+    );
+    assert_eq!(cpu.console().text(), "Hi42\n");
+    assert_eq!(cpu.reg(R0), 0, "cpu id 0");
+    assert!(cpu.cycles() > 0);
+}
+
+#[test]
+fn halt_exit_code_and_idempotence() {
+    let mut a = Asm::new();
+    a.li(R0, 7);
+    a.swi(0);
+    let prog = a.assemble(0).unwrap();
+    let mut cpu = CpuCore::new(3, LocalMemory::new(0, 0x1000));
+    cpu.load_program(&prog);
+    assert_eq!(cpu.run(&mut NoBus, 100), StepEvent::Halted);
+    assert_eq!(cpu.exit_code(), 7);
+    assert!(cpu.is_halted());
+    assert_eq!(cpu.step(&mut NoBus), StepEvent::Halted);
+    assert_eq!(cpu.id(), 3);
+}
+
+#[test]
+fn faults_are_sticky() {
+    let mut a = Asm::new();
+    a.li(R0, 0x3001); // unaligned
+    a.ldr(R1, R0, 0);
+    let prog = a.assemble(0).unwrap();
+    let mut cpu = CpuCore::new(0, LocalMemory::new(0, 0x4000));
+    cpu.load_program(&prog);
+    let ev = cpu.run(&mut NoBus, 100);
+    match ev {
+        StepEvent::Fault(CpuFault::Unaligned { addr, align }) => {
+            assert_eq!(addr, 0x3001);
+            assert_eq!(align, 4);
+        }
+        other => panic!("expected unaligned fault, got {other:?}"),
+    }
+    // Sticky: same fault again.
+    assert!(matches!(
+        cpu.step(&mut NoBus),
+        StepEvent::Fault(CpuFault::Unaligned { .. })
+    ));
+}
+
+#[test]
+fn data_abort_between_local_and_window() {
+    let mut a = Asm::new();
+    a.li(R0, 0x0100_0000); // beyond local, below ext window
+    a.ldr(R1, R0, 0);
+    let prog = a.assemble(0).unwrap();
+    let mut cpu = CpuCore::new(0, LocalMemory::new(0, 0x4000));
+    cpu.load_program(&prog);
+    assert!(matches!(
+        cpu.run(&mut NoBus, 100),
+        StepEvent::Fault(CpuFault::DataAbort { addr: 0x0100_0000 })
+    ));
+}
+
+#[test]
+fn undefined_instruction_faults() {
+    let mut cpu = CpuCore::new(0, LocalMemory::new(0, 0x1000));
+    cpu.local_mut().write32(0, 0xE000_0010).unwrap(); // reserved bit set
+    assert!(matches!(
+        cpu.step(&mut NoBus),
+        StepEvent::Fault(CpuFault::Undefined { addr: 0, .. })
+    ));
+}
+
+#[test]
+fn unknown_syscall_faults() {
+    let mut a = Asm::new();
+    a.swi(999);
+    let prog = a.assemble(0).unwrap();
+    let mut cpu = CpuCore::new(0, LocalMemory::new(0, 0x1000));
+    cpu.load_program(&prog);
+    assert!(matches!(
+        cpu.run(&mut NoBus, 10),
+        StepEvent::Fault(CpuFault::UnknownSyscall(999))
+    ));
+}
+
+#[test]
+fn external_accesses_via_flat_bus() {
+    let mut a = Asm::new();
+    a.li(R0, 0x8000_0000);
+    a.li(R1, 0xCAFE_F00D);
+    a.str(R1, R0, 0);
+    a.ldr(R2, R0, 0);
+    a.ldrh(R3, R0, 0);
+    a.swi(0);
+    let prog = a.assemble(0).unwrap();
+    let mut cpu = CpuCore::new(0, LocalMemory::new(0, 0x1000));
+    cpu.load_program(&prog);
+    let mut bus = FlatBus::new(0x8000_0000, 0x1000);
+    assert_eq!(cpu.run(&mut bus, 100), StepEvent::Halted);
+    assert_eq!(cpu.reg(R2), 0xCAFE_F00D);
+    assert_eq!(cpu.reg(R3), 0xF00D);
+    assert_eq!(cpu.stats().ext_reads, 2);
+    assert_eq!(cpu.stats().ext_writes, 1);
+}
+
+#[test]
+fn external_block_transfer_faults() {
+    let prog = dmi_isa::assemble_text(
+        r#"
+        li r0, #0x80000000
+        stmia r0, {r1, r2}
+    "#,
+        0,
+    )
+    .unwrap();
+    let mut cpu = CpuCore::new(0, LocalMemory::new(0, 0x1000));
+    cpu.load_program(&prog);
+    let mut bus = FlatBus::new(0x8000_0000, 0x1000);
+    assert!(matches!(
+        cpu.run(&mut bus, 100),
+        StepEvent::Fault(CpuFault::ExternalBlockTransfer { .. })
+    ));
+}
+
+#[test]
+fn timing_model_counts_cycles() {
+    // 2 li (movw) + mul + halt under default costs: 1 + 1 + 3 + 3 = 8.
+    let cpu = run(|a| {
+        a.movw(R0, 3);
+        a.movw(R1, 4);
+        a.mul(R2, R0, R1);
+    });
+    assert_eq!(cpu.cycles(), 8);
+    assert_eq!(cpu.stats().instructions, 4);
+}
+
+#[test]
+fn memcpy_program() {
+    // Copy 16 words through registers, checking a realistic loop.
+    let cpu = run_text(
+        r#"
+        .equ SRC, 0x2000
+        .equ DST, 0x3000
+            li   r0, #SRC
+            li   r1, #DST
+            li   r2, #16       ; words
+            li   r3, #0
+        fill:                   ; src[i] = i * 3
+            li   r5, #3
+            mul  r4, r3, r5
+            str  r4, [r0], #4
+            add  r3, r3, #1
+            cmp  r3, r2
+            bne  fill
+            li   r0, #SRC
+        copy:
+            ldr  r4, [r0], #4
+            str  r4, [r1], #4
+            subs r2, r2, #1
+            bne  copy
+            swi  #0
+    "#,
+    );
+    // Verify a few copied words.
+    assert_eq!(cpu.local().read32(0x3000).unwrap(), 0);
+    assert_eq!(cpu.local().read32(0x3004).unwrap(), 3);
+    assert_eq!(cpu.local().read32(0x303C).unwrap(), 45);
+}
+
+#[test]
+fn bubble_sort_program() {
+    let cpu = run_text(
+        r#"
+        .equ BUF, 0x2000
+        .equ N, 8
+            ; fill with descending values 8..1
+            li   r0, #BUF
+            li   r1, #N
+        fill:
+            str  r1, [r0], #4
+            subs r1, r1, #1
+            bne  fill
+            ; bubble sort
+            li   r6, #N
+        outer:
+            li   r0, #BUF
+            li   r5, #0          ; swapped flag
+            li   r7, #1          ; index
+        inner:
+            ldr  r2, [r0]
+            ldr  r3, [r0, #4]
+            cmp  r2, r3
+            ble  noswap
+            str  r3, [r0]
+            str  r2, [r0, #4]
+            li   r5, #1
+        noswap:
+            add  r0, r0, #4
+            add  r7, r7, #1
+            cmp  r7, #N
+            blt  inner
+            cmp  r5, #0
+            bne  outer
+            swi  #0
+    "#,
+    );
+    for i in 0..8u32 {
+        assert_eq!(cpu.local().read32(0x2000 + i * 4).unwrap(), i + 1);
+    }
+}

@@ -1,0 +1,115 @@
+//! Components: the active entities of a simulation.
+//!
+//! A component is a struct owning its own state and holding [`Wire`]
+//! handles for the signals it reads and drives. The kernel wakes a component
+//! when an event addressed to it fires (a timer it scheduled, or a change on
+//! a signal it subscribed to) and hands it a [`Ctx`] to interact with the
+//! simulation.
+//!
+//! [`Wire`]: crate::Wire
+//! [`Ctx`]: crate::Ctx
+
+use std::any::Any;
+
+use crate::ctx::Ctx;
+use crate::signal::SignalId;
+
+/// Identifier of a component registered with a [`Simulator`].
+///
+/// [`Simulator`]: crate::Simulator
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(u32);
+
+impl ComponentId {
+    /// Constructs an id from a raw index. Exposed for tests and data
+    /// structures; kernels hand out ids via `Simulator::add_component`.
+    #[inline]
+    pub fn from_raw(index: usize) -> Self {
+        ComponentId(index as u32)
+    }
+
+    /// The raw index form.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Why a component was woken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wake {
+    /// First wake, at time zero, before any clock edge. Components use it to
+    /// initialize their outputs.
+    Start,
+    /// A subscribed signal committed a matching change.
+    Signal(SignalId),
+    /// A timer scheduled via [`Ctx::schedule_in`] fired; the payload is the
+    /// tag passed at scheduling time.
+    ///
+    /// [`Ctx::schedule_in`]: crate::Ctx::schedule_in
+    Timer(u64),
+}
+
+/// An active simulation entity.
+///
+/// Implementations typically look like small hardware blocks: read inputs
+/// with [`Ctx::read`], compute, drive outputs with [`Ctx::write`].
+///
+/// The `as_any` methods allow retrieving a concrete component back from the
+/// simulator after a run (for statistics and result extraction):
+///
+/// ```
+/// use dmi_kernel::{Component, Ctx, Simulator, Wake};
+///
+/// struct Counter { count: u64 }
+/// impl Component for Counter {
+///     fn name(&self) -> &str { "counter" }
+///     fn wake(&mut self, _ctx: &mut Ctx<'_>) { self.count += 1; }
+///     fn as_any(&self) -> &dyn std::any::Any { self }
+///     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+/// }
+///
+/// let mut sim = Simulator::new();
+/// let id = sim.add_component(Box::new(Counter { count: 0 }));
+/// sim.run_for(10);
+/// let c: &Counter = sim.component(id).unwrap();
+/// assert_eq!(c.count, 1); // the Start wake
+/// ```
+///
+/// [`Ctx::read`]: crate::Ctx::read
+/// [`Ctx::write`]: crate::Ctx::write
+pub trait Component: Any {
+    /// Instance name, used in diagnostics and traces.
+    fn name(&self) -> &str;
+
+    /// Called whenever an event addressed to this component fires.
+    /// [`Ctx::cause`] reports why.
+    ///
+    /// [`Ctx::cause`]: crate::Ctx::cause
+    fn wake(&mut self, ctx: &mut Ctx<'_>);
+
+    /// Upcast for post-run state extraction.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast for post-run state extraction.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_id_roundtrip() {
+        let id = ComponentId::from_raw(17);
+        assert_eq!(id.index(), 17);
+        assert_eq!(id, ComponentId::from_raw(17));
+        assert!(ComponentId::from_raw(1) < ComponentId::from_raw(2));
+    }
+
+    #[test]
+    fn wake_is_comparable() {
+        assert_eq!(Wake::Start, Wake::Start);
+        assert_ne!(Wake::Timer(1), Wake::Timer(2));
+    }
+}

@@ -1,0 +1,187 @@
+//! Event queue.
+//!
+//! The kernel is driven by a priority queue of events keyed by
+//! `(time, delta, seq)`:
+//!
+//! * `time` — the simulated tick the event fires at;
+//! * `delta` — the delta cycle within that tick (SystemC-style evaluate /
+//!   update micro-steps that consume no simulated time);
+//! * `seq` — a monotonically increasing sequence number that makes ordering
+//!   of simultaneous events *stable*: events scheduled first fire first.
+//!
+//! The stable ordering is what makes whole simulations bit-reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::component::ComponentId;
+use crate::time::SimTime;
+
+/// What an event does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// First wake of a component, at time zero.
+    Start(ComponentId),
+    /// Wake a component; the payload is an opaque tag the component chose
+    /// when it scheduled the wake (see [`Ctx::schedule_in`]).
+    ///
+    /// [`Ctx::schedule_in`]: crate::Ctx::schedule_in
+    Wake(ComponentId, u64),
+    /// Wake a component because a signal it subscribed to changed.
+    SignalWake(ComponentId, crate::signal::SignalId),
+    /// Toggle kernel-managed clock number `usize`.
+    ClockToggle(usize),
+}
+
+/// A scheduled event with its full ordering key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Simulated tick the event fires at.
+    pub time: SimTime,
+    /// Delta cycle within the tick.
+    pub delta: u32,
+    /// Stable tie-breaker: scheduling order.
+    pub seq: u64,
+    /// The action to perform.
+    pub kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.time, other.delta, other.seq).cmp(&(self.time, self.delta, self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-queue of events ordered by `(time, delta, seq)`.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+    peak_len: usize,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules an event, assigning it the next sequence number.
+    pub fn push(&mut self, time: SimTime, delta: u32, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event {
+            time,
+            delta,
+            seq,
+            kind,
+        });
+        self.peak_len = self.peak_len.max(self.heap.len());
+    }
+
+    /// The key of the earliest pending event, if any.
+    pub fn peek_key(&self) -> Option<(SimTime, u32)> {
+        self.heap.peek().map(|e| (e.time, e.delta))
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Pops the earliest event only if it fires exactly at `(time, delta)`.
+    pub fn pop_at(&mut self, time: SimTime, delta: u32) -> Option<Event> {
+        match self.heap.peek() {
+            Some(e) if e.time == time && e.delta == delta => self.heap.pop(),
+            _ => None,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Largest number of simultaneously pending events seen so far.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    /// Total number of events ever scheduled.
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wake(c: usize) -> EventKind {
+        EventKind::Wake(ComponentId::from_raw(c), 0)
+    }
+
+    #[test]
+    fn orders_by_time_then_delta_then_seq() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ticks(5), 0, wake(0));
+        q.push(SimTime::from_ticks(1), 2, wake(1));
+        q.push(SimTime::from_ticks(1), 0, wake(2));
+        q.push(SimTime::from_ticks(1), 0, wake(3));
+
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order.len(), 4);
+        // t=1,d=0 events first, in scheduling order (seq 2 then 3).
+        assert_eq!(order[0].kind, wake(2));
+        assert_eq!(order[1].kind, wake(3));
+        assert_eq!(order[2].kind, wake(1)); // t=1, d=2
+        assert_eq!(order[3].kind, wake(0)); // t=5
+    }
+
+    #[test]
+    fn pop_at_only_matches_exact_key() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ticks(3), 1, wake(7));
+        assert!(q.pop_at(SimTime::from_ticks(3), 0).is_none());
+        assert!(q.pop_at(SimTime::from_ticks(2), 1).is_none());
+        let e = q.pop_at(SimTime::from_ticks(3), 1).expect("event present");
+        assert_eq!(e.kind, wake(7));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn counters_track_usage() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.len(), 0);
+        for i in 0..10 {
+            q.push(SimTime::from_ticks(i), 0, wake(i as usize));
+        }
+        assert_eq!(q.len(), 10);
+        assert_eq!(q.peak_len(), 10);
+        assert_eq!(q.scheduled_total(), 10);
+        while q.pop().is_some() {}
+        assert_eq!(q.peak_len(), 10);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_key_reports_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_key(), None);
+        q.push(SimTime::from_ticks(9), 3, wake(0));
+        q.push(SimTime::from_ticks(2), 1, wake(1));
+        assert_eq!(q.peek_key(), Some((SimTime::from_ticks(2), 1)));
+    }
+}

@@ -1,0 +1,68 @@
+//! # dmi-kernel — discrete-event simulation kernel
+//!
+//! A compact SystemC-style simulation kernel: the substrate on which the
+//! DATE'05 *dynamic memory integration* co-simulation framework is rebuilt.
+//! The original paper runs on a C++/SystemC kernel; this crate provides the
+//! equivalent semantics in safe Rust:
+//!
+//! * **events** ordered by `(time, delta, sequence)` — deterministic and
+//!   reproducible across runs;
+//! * **signals** (1–64 bit values) with evaluate→update *delta cycles*:
+//!   writes become visible only when a delta commits, so clocked components
+//!   behave like flip-flops and combinational components settle within a
+//!   time step;
+//! * **components** — plain structs implementing [`Component`], woken by
+//!   subscriptions ([`Edge`]-filtered) or timers;
+//! * **clocks** managed by the kernel;
+//! * **VCD tracing** of any subset of signals.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dmi_kernel::{Component, Ctx, Edge, Simulator, Wake, Wire};
+//!
+//! /// A free-running counter driving an 8-bit bus.
+//! struct Counter { clk: Wire, out: Wire, n: u64 }
+//!
+//! impl Component for Counter {
+//!     fn name(&self) -> &str { "counter" }
+//!     fn wake(&mut self, ctx: &mut Ctx<'_>) {
+//!         if ctx.is_signal(self.clk) {
+//!             self.n += 1;
+//!             ctx.write(self.out, self.n);
+//!         }
+//!     }
+//!     fn as_any(&self) -> &dyn std::any::Any { self }
+//!     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+//! }
+//!
+//! let mut sim = Simulator::new();
+//! let clk = sim.add_clock("clk", 10);
+//! let out = sim.wire("count", 8);
+//! let id = sim.add_component(Box::new(Counter { clk, out, n: 0 }));
+//! sim.subscribe(id, clk, Edge::Rising);
+//! let summary = sim.run_for(100);
+//! assert_eq!(sim.peek(out), 10);
+//! assert!(summary.stop.is_none());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod component;
+mod ctx;
+mod event;
+mod signal;
+mod sim;
+mod stats;
+mod time;
+mod trace;
+
+pub use component::{Component, ComponentId, Wake};
+pub use ctx::{Ctx, StopReason};
+pub use event::{Event, EventKind, EventQueue};
+pub use signal::{Change, Edge, SignalBoard, SignalId, Wire};
+pub use sim::{RunLimit, RunSummary, Simulator};
+pub use stats::KernelStats;
+pub use time::SimTime;
+pub use trace::{TraceRecord, Tracer};

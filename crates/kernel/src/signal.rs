@@ -1,0 +1,382 @@
+//! Signals: the communication fabric between components.
+//!
+//! A signal carries an unsigned value of 1–64 bits, like a wire bundle in
+//! hardware. Signals are *double buffered*: during a delta cycle components
+//! read the *current* value and write the *next* value; the kernel then
+//! commits all writes at once (the SystemC evaluate→update model). A write
+//! only counts as a *change* — and only wakes subscribed components — if the
+//! committed value differs from the previous one.
+//!
+//! Values wider than the declared width are masked on write, mirroring how a
+//! hardware assignment truncates to the target width.
+
+use crate::component::ComponentId;
+
+/// Identifier of a signal inside a [`SignalBoard`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignalId(pub(crate) u32);
+
+impl SignalId {
+    /// Raw index form, for use in data structures.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A typed handle to a signal: its id plus its declared bit width.
+///
+/// `Wire` is `Copy` and is the value components store in their port structs.
+///
+/// # Examples
+///
+/// ```
+/// use dmi_kernel::Simulator;
+///
+/// let mut sim = Simulator::new();
+/// let w = sim.wire("top.addr", 32);
+/// assert_eq!(w.width(), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Wire {
+    pub(crate) id: SignalId,
+    pub(crate) width: u8,
+}
+
+impl Wire {
+    /// The signal id this wire refers to.
+    #[inline]
+    pub fn id(self) -> SignalId {
+        self.id
+    }
+
+    /// Declared width in bits (1–64).
+    #[inline]
+    pub fn width(self) -> u8 {
+        self.width
+    }
+}
+
+/// Edge filter for signal subscriptions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Edge {
+    /// 0 → 1 transition. Only meaningful for 1-bit signals.
+    Rising,
+    /// 1 → 0 transition. Only meaningful for 1-bit signals.
+    Falling,
+    /// Any change of value.
+    Any,
+}
+
+impl Edge {
+    /// Whether a committed transition `old → new` matches this filter.
+    #[inline]
+    pub fn matches(self, old: u64, new: u64) -> bool {
+        match self {
+            Edge::Rising => old == 0 && new == 1,
+            Edge::Falling => old == 1 && new == 0,
+            Edge::Any => old != new,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Slot {
+    name: String,
+    width: u8,
+    mask: u64,
+    cur: u64,
+    next: u64,
+    dirty: bool,
+    subs: Vec<(ComponentId, Edge)>,
+    traced: bool,
+}
+
+/// A committed signal change: `(signal, old value, new value)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Change {
+    /// The signal that changed.
+    pub signal: SignalId,
+    /// Value before the commit.
+    pub old: u64,
+    /// Value after the commit.
+    pub new: u64,
+}
+
+/// Storage and delta-commit machinery for all signals of a simulation.
+#[derive(Debug, Default)]
+pub struct SignalBoard {
+    slots: Vec<Slot>,
+    pending: Vec<SignalId>,
+    writes_total: u64,
+    commits_total: u64,
+}
+
+fn width_mask(width: u8) -> u64 {
+    debug_assert!((1..=64).contains(&width));
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+impl SignalBoard {
+    /// Creates an empty board.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a new signal and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    pub fn declare(&mut self, name: impl Into<String>, width: u8) -> Wire {
+        assert!(
+            (1..=64).contains(&width),
+            "signal width must be 1..=64, got {width}"
+        );
+        let id = SignalId(self.slots.len() as u32);
+        self.slots.push(Slot {
+            name: name.into(),
+            width,
+            mask: width_mask(width),
+            cur: 0,
+            next: 0,
+            dirty: false,
+            subs: Vec::new(),
+            traced: false,
+        });
+        Wire { id, width }
+    }
+
+    /// Current (committed) value of a signal.
+    #[inline]
+    pub fn read(&self, wire: Wire) -> u64 {
+        self.slots[wire.id.index()].cur
+    }
+
+    /// Current value interpreted as a boolean (non-zero = true).
+    #[inline]
+    pub fn read_bit(&self, wire: Wire) -> bool {
+        self.read(wire) != 0
+    }
+
+    /// Writes the *next* value of a signal; it becomes visible after the
+    /// next delta commit. The value is masked to the signal's width.
+    /// The last write in a delta cycle wins.
+    #[inline]
+    pub fn write(&mut self, wire: Wire, value: u64) {
+        let slot = &mut self.slots[wire.id.index()];
+        slot.next = value & slot.mask;
+        self.writes_total += 1;
+        if !slot.dirty {
+            slot.dirty = true;
+            self.pending.push(wire.id);
+        }
+    }
+
+    /// Forces the *current* value without delta semantics. Only for
+    /// initialization before the simulation starts.
+    pub fn poke(&mut self, wire: Wire, value: u64) {
+        let slot = &mut self.slots[wire.id.index()];
+        slot.cur = value & slot.mask;
+        slot.next = slot.cur;
+    }
+
+    /// Subscribes a component to changes of `wire` matching `edge`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge filter other than [`Edge::Any`] is used on a signal
+    /// wider than one bit.
+    pub fn subscribe(&mut self, wire: Wire, component: ComponentId, edge: Edge) {
+        let slot = &mut self.slots[wire.id.index()];
+        assert!(
+            edge == Edge::Any || slot.width == 1,
+            "edge-filtered subscription on multi-bit signal {}",
+            slot.name
+        );
+        slot.subs.push((component, edge));
+    }
+
+    /// Commits all pending writes, appending actual changes to `out`.
+    ///
+    /// Returns the number of signals whose value changed.
+    pub fn commit(&mut self, out: &mut Vec<Change>) -> usize {
+        self.commits_total += 1;
+        let mut changed = 0;
+        for id in self.pending.drain(..) {
+            let slot = &mut self.slots[id.index()];
+            slot.dirty = false;
+            if slot.next != slot.cur {
+                out.push(Change {
+                    signal: id,
+                    old: slot.cur,
+                    new: slot.next,
+                });
+                slot.cur = slot.next;
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// Whether any write is pending (committed or not it may be a no-op).
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Subscribers of a signal, as `(component, edge)` pairs.
+    pub fn subscribers(&self, id: SignalId) -> &[(ComponentId, Edge)] {
+        &self.slots[id.index()].subs
+    }
+
+    /// The hierarchical name a signal was declared with.
+    pub fn name(&self, id: SignalId) -> &str {
+        &self.slots[id.index()].name
+    }
+
+    /// Declared width of a signal.
+    pub fn width(&self, id: SignalId) -> u8 {
+        self.slots[id.index()].width
+    }
+
+    /// Marks a signal for tracing (used by the VCD tracer).
+    pub fn set_traced(&mut self, id: SignalId, traced: bool) {
+        self.slots[id.index()].traced = traced;
+    }
+
+    /// Whether a signal is marked for tracing.
+    pub fn is_traced(&self, id: SignalId) -> bool {
+        self.slots[id.index()].traced
+    }
+
+    /// Number of declared signals.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no signals are declared.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total writes issued since construction.
+    pub fn writes_total(&self) -> u64 {
+        self.writes_total
+    }
+
+    /// Total delta commits performed since construction.
+    pub fn commits_total(&self) -> u64 {
+        self.commits_total
+    }
+
+    /// Iterates over `(id, name, width)` of all signals.
+    pub fn iter_meta(&self) -> impl Iterator<Item = (SignalId, &str, u8)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SignalId(i as u32), s.name.as_str(), s.width))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_read_write_commit() {
+        let mut b = SignalBoard::new();
+        let w = b.declare("w", 8);
+        assert_eq!(b.read(w), 0);
+        b.write(w, 0x1ff); // masked to 8 bits
+        assert_eq!(b.read(w), 0, "write not visible before commit");
+        let mut ch = Vec::new();
+        assert_eq!(b.commit(&mut ch), 1);
+        assert_eq!(b.read(w), 0xff);
+        assert_eq!(ch.len(), 1);
+        assert_eq!(ch[0].old, 0);
+        assert_eq!(ch[0].new, 0xff);
+    }
+
+    #[test]
+    fn no_change_write_is_not_reported() {
+        let mut b = SignalBoard::new();
+        let w = b.declare("w", 4);
+        b.write(w, 0);
+        let mut ch = Vec::new();
+        assert_eq!(b.commit(&mut ch), 0);
+        assert!(ch.is_empty());
+    }
+
+    #[test]
+    fn last_write_wins_within_delta() {
+        let mut b = SignalBoard::new();
+        let w = b.declare("w", 16);
+        b.write(w, 1);
+        b.write(w, 2);
+        b.write(w, 3);
+        let mut ch = Vec::new();
+        assert_eq!(b.commit(&mut ch), 1);
+        assert_eq!(b.read(w), 3);
+    }
+
+    #[test]
+    fn width_64_mask_is_full() {
+        let mut b = SignalBoard::new();
+        let w = b.declare("wide", 64);
+        b.write(w, u64::MAX);
+        let mut ch = Vec::new();
+        b.commit(&mut ch);
+        assert_eq!(b.read(w), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "signal width")]
+    fn zero_width_rejected() {
+        SignalBoard::new().declare("bad", 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge-filtered")]
+    fn edge_subscription_on_bus_rejected() {
+        let mut b = SignalBoard::new();
+        let w = b.declare("bus", 8);
+        b.subscribe(w, ComponentId::from_raw(0), Edge::Rising);
+    }
+
+    #[test]
+    fn edge_matching() {
+        assert!(Edge::Rising.matches(0, 1));
+        assert!(!Edge::Rising.matches(1, 0));
+        assert!(!Edge::Rising.matches(0, 0));
+        assert!(Edge::Falling.matches(1, 0));
+        assert!(!Edge::Falling.matches(0, 1));
+        assert!(Edge::Any.matches(3, 4));
+        assert!(!Edge::Any.matches(4, 4));
+    }
+
+    #[test]
+    fn poke_bypasses_delta() {
+        let mut b = SignalBoard::new();
+        let w = b.declare("w", 8);
+        b.poke(w, 7);
+        assert_eq!(b.read(w), 7);
+    }
+
+    #[test]
+    fn counters() {
+        let mut b = SignalBoard::new();
+        let w = b.declare("w", 8);
+        b.write(w, 1);
+        b.write(w, 2);
+        let mut ch = Vec::new();
+        b.commit(&mut ch);
+        assert_eq!(b.writes_total(), 2);
+        assert_eq!(b.commits_total(), 1);
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+    }
+}

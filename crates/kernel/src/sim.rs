@@ -1,0 +1,814 @@
+//! The simulator: owns components, signals, clocks and the event loop.
+
+use std::time::{Duration, Instant};
+
+use crate::component::{Component, ComponentId, Wake};
+use crate::ctx::{Ctx, StopReason};
+use crate::event::{EventKind, EventQueue};
+use crate::signal::{Change, Edge, SignalBoard, Wire};
+use crate::stats::KernelStats;
+use crate::time::SimTime;
+use crate::trace::Tracer;
+
+/// How long a [`Simulator::run`] call may execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunLimit {
+    /// Absolute simulated time to stop at (inclusive of events at earlier
+    /// times, exclusive of events after it).
+    pub deadline: SimTime,
+    /// Maximum number of events to dispatch in this call, as a safety net
+    /// for runaway models. `u64::MAX` means unlimited.
+    pub max_events: u64,
+}
+
+impl RunLimit {
+    /// Run for `ticks` ticks past the current simulation time.
+    pub fn for_ticks(ticks: u64) -> Self {
+        RunLimit {
+            deadline: SimTime::from_ticks(ticks),
+            max_events: u64::MAX,
+        }
+    }
+
+    /// Run until the given absolute time.
+    pub fn until(deadline: SimTime) -> Self {
+        RunLimit {
+            deadline,
+            max_events: u64::MAX,
+        }
+    }
+
+    /// Run until a component stops the simulation or the queue drains.
+    pub fn unbounded() -> Self {
+        RunLimit {
+            deadline: SimTime::MAX,
+            max_events: u64::MAX,
+        }
+    }
+
+    /// Caps the number of dispatched events.
+    pub fn with_max_events(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
+        self
+    }
+}
+
+/// Result of one [`Simulator::run`] call.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Simulated time when the run ended.
+    pub end_time: SimTime,
+    /// Counter deltas for this run only.
+    pub stats: KernelStats,
+    /// Host wall-clock time the run took.
+    pub wall: Duration,
+    /// Why the run ended early, if a component stopped it.
+    pub stop: Option<StopReason>,
+}
+
+impl RunSummary {
+    /// Simulated ticks per host second — the *simulation speed* metric the
+    /// paper's evaluation reports (higher is better).
+    pub fn ticks_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            f64::INFINITY
+        } else {
+            self.end_time.ticks() as f64 / secs
+        }
+    }
+
+    /// Whether the run ended because a component signalled an error.
+    pub fn is_error(&self) -> bool {
+        self.stop.as_ref().is_some_and(StopReason::is_error)
+    }
+}
+
+#[derive(Debug)]
+struct ClockDef {
+    wire: Wire,
+    half_period: u64,
+}
+
+/// Discrete-event simulator with SystemC-style delta cycles.
+///
+/// Build phase: declare signals with [`wire`](Self::wire), register
+/// components with [`add_component`](Self::add_component), connect
+/// sensitivities with [`subscribe`](Self::subscribe) and create clocks with
+/// [`add_clock`](Self::add_clock). Run phase: [`run_for`](Self::run_for) /
+/// [`run`](Self::run).
+///
+/// # Examples
+///
+/// ```
+/// use dmi_kernel::{Component, Ctx, Edge, Simulator, Wake};
+///
+/// /// Toggles its output on every rising clock edge.
+/// struct Blinker {
+///     clk: dmi_kernel::Wire,
+///     out: dmi_kernel::Wire,
+///     state: bool,
+/// }
+/// impl Component for Blinker {
+///     fn name(&self) -> &str { "blinker" }
+///     fn wake(&mut self, ctx: &mut Ctx<'_>) {
+///         if ctx.is_signal(self.clk) {
+///             self.state = !self.state;
+///             ctx.write_bit(self.out, self.state);
+///         }
+///     }
+///     fn as_any(&self) -> &dyn std::any::Any { self }
+///     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+/// }
+///
+/// let mut sim = Simulator::new();
+/// let clk = sim.add_clock("clk", 10);
+/// let out = sim.wire("out", 1);
+/// let id = sim.add_component(Box::new(Blinker { clk, out, state: false }));
+/// sim.subscribe(id, clk, Edge::Rising);
+/// sim.run_for(100);
+/// assert!(sim.stats().wakes > 5);
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    comps: Vec<Option<Box<dyn Component>>>,
+    comp_names: Vec<String>,
+    signals: SignalBoard,
+    queue: EventQueue,
+    clocks: Vec<ClockDef>,
+    time: SimTime,
+    stop: Option<StopReason>,
+    stats: KernelStats,
+    tracer: Tracer,
+    delta_limit: u32,
+    // Scratch buffers reused across deltas to avoid per-cycle allocation.
+    changes: Vec<Change>,
+    woken: Vec<bool>,
+    woken_list: Vec<ComponentId>,
+}
+
+impl std::fmt::Debug for dyn Component {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Component({})", self.name())
+    }
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulator {
+    /// Creates an empty simulator.
+    pub fn new() -> Self {
+        Simulator {
+            comps: Vec::new(),
+            comp_names: Vec::new(),
+            signals: SignalBoard::new(),
+            queue: EventQueue::new(),
+            clocks: Vec::new(),
+            time: SimTime::ZERO,
+            stop: None,
+            stats: KernelStats::default(),
+            tracer: Tracer::new(),
+            delta_limit: 10_000,
+            changes: Vec::new(),
+            woken: Vec::new(),
+            woken_list: Vec::new(),
+        }
+    }
+
+    /// Declares a signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=64`.
+    pub fn wire(&mut self, name: impl Into<String>, width: u8) -> Wire {
+        self.signals.declare(name, width)
+    }
+
+    /// Registers a component and schedules its [`Wake::Start`] at time zero.
+    pub fn add_component(&mut self, component: Box<dyn Component>) -> ComponentId {
+        let id = ComponentId::from_raw(self.comps.len());
+        self.comp_names.push(component.name().to_owned());
+        self.comps.push(Some(component));
+        self.woken.push(false);
+        self.queue.push(self.time, 0, EventKind::Start(id));
+        id
+    }
+
+    /// Subscribes a component to changes of `wire` matching `edge`.
+    pub fn subscribe(&mut self, component: ComponentId, wire: Wire, edge: Edge) {
+        self.signals.subscribe(wire, component, edge);
+    }
+
+    /// Creates a kernel-managed clock signal with the given full period in
+    /// ticks. The clock starts low; its first rising edge fires at
+    /// `t = period`, then edges alternate every `period / 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not an even number of at least 2 ticks.
+    pub fn add_clock(&mut self, name: impl Into<String>, period: u64) -> Wire {
+        assert!(
+            period >= 2 && period % 2 == 0,
+            "clock period must be even and >= 2, got {period}"
+        );
+        let wire = self.signals.declare(name, 1);
+        let idx = self.clocks.len();
+        self.clocks.push(ClockDef {
+            wire,
+            half_period: period / 2,
+        });
+        self.queue
+            .push(SimTime::from_ticks(period), 0, EventKind::ClockToggle(idx));
+        wire
+    }
+
+    /// Marks a signal for tracing; its committed changes are recorded and
+    /// can be rendered to VCD with [`write_vcd`](Self::write_vcd).
+    pub fn trace(&mut self, wire: Wire) {
+        self.signals.set_traced(wire.id(), true);
+        self.tracer.add_signal(wire.id());
+    }
+
+    /// Traces every signal whose hierarchical name satisfies `pred`.
+    /// Returns the number of signals now being traced.
+    ///
+    /// Convenient for post-build instrumentation:
+    /// `sim.trace_matching(|n| n.starts_with("cpu0.bus"))`.
+    pub fn trace_matching(&mut self, pred: impl Fn(&str) -> bool) -> usize {
+        let ids: Vec<_> = self
+            .signals
+            .iter_meta()
+            .filter(|(_, name, _)| pred(name))
+            .map(|(id, _, _)| id)
+            .collect();
+        for id in &ids {
+            self.signals.set_traced(*id, true);
+            self.tracer.add_signal(*id);
+        }
+        ids.len()
+    }
+
+    /// Current simulated time.
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// Cumulative kernel statistics across all runs.
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// The signal board (for name/width introspection and test harnesses).
+    pub fn signals(&self) -> &SignalBoard {
+        &self.signals
+    }
+
+    /// The recorded trace.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Writes all traced signals as a VCD file covering the run so far.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the file.
+    pub fn write_vcd(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        self.tracer.write_vcd(path, &self.signals, self.time)
+    }
+
+    /// Immutable access to a component by id, downcast to its concrete type.
+    ///
+    /// Returns `None` if the id is stale or `T` is not the component's type.
+    pub fn component<T: 'static>(&self, id: ComponentId) -> Option<&T> {
+        self.comps
+            .get(id.index())?
+            .as_ref()?
+            .as_any()
+            .downcast_ref::<T>()
+    }
+
+    /// Mutable access to a component by id, downcast to its concrete type.
+    pub fn component_mut<T: 'static>(&mut self, id: ComponentId) -> Option<&mut T> {
+        self.comps
+            .get_mut(id.index())?
+            .as_mut()?
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
+    /// The name a component was registered with.
+    pub fn component_name(&self, id: ComponentId) -> &str {
+        &self.comp_names[id.index()]
+    }
+
+    /// Number of registered components.
+    pub fn component_count(&self) -> usize {
+        self.comps.len()
+    }
+
+    /// Forces a signal's current value before the first run (test stimuli).
+    pub fn poke(&mut self, wire: Wire, value: u64) {
+        self.signals.poke(wire, value);
+    }
+
+    /// Reads a signal's committed value.
+    pub fn peek(&self, wire: Wire) -> u64 {
+        self.signals.read(wire)
+    }
+
+    /// Runs for `ticks` ticks past the current time.
+    pub fn run_for(&mut self, ticks: u64) -> RunSummary {
+        let deadline = self.time.saturating_add(ticks);
+        self.run(RunLimit::until(deadline))
+    }
+
+    /// Runs until a component stops the simulation, the event queue drains,
+    /// or `max_ticks` elapse — whichever comes first.
+    pub fn run_until_stopped(&mut self, max_ticks: u64) -> RunSummary {
+        let deadline = self.time.saturating_add(max_ticks);
+        self.run(RunLimit::until(deadline))
+    }
+
+    /// Runs the event loop under the given limit.
+    ///
+    /// A previously recorded stop reason is cleared so the simulation can be
+    /// resumed after inspection.
+    pub fn run(&mut self, limit: RunLimit) -> RunSummary {
+        let wall_start = Instant::now();
+        let stats_start = self.stats;
+        self.stop = None;
+        let mut events_left = limit.max_events;
+
+        'outer: while self.stop.is_none() {
+            let Some((t, first_delta)) = self.queue.peek_key() else {
+                break;
+            };
+            if t > limit.deadline {
+                self.time = limit.deadline;
+                break;
+            }
+            self.time = t;
+            self.stats.time_steps += 1;
+
+            let mut delta = first_delta;
+            loop {
+                // Evaluate: dispatch every event scheduled for (t, delta).
+                while let Some(ev) = self.queue.pop_at(t, delta) {
+                    if events_left == 0 {
+                        self.stop = Some(StopReason::Error("event budget exhausted".into()));
+                        break 'outer;
+                    }
+                    events_left -= 1;
+                    self.stats.events += 1;
+                    match ev.kind {
+                        EventKind::Start(cid) => self.dispatch(cid, Wake::Start, t, delta),
+                        EventKind::Wake(cid, tag) => self.dispatch(cid, Wake::Timer(tag), t, delta),
+                        EventKind::SignalWake(cid, sid) => {
+                            self.dispatch(cid, Wake::Signal(sid), t, delta)
+                        }
+                        EventKind::ClockToggle(k) => {
+                            let clock = &self.clocks[k];
+                            let cur = self.signals.read(clock.wire);
+                            self.signals.write(clock.wire, cur ^ 1);
+                            let next_t = t + clock.half_period;
+                            self.queue.push(next_t, 0, EventKind::ClockToggle(k));
+                        }
+                    }
+                }
+
+                // Update: commit writes, wake subscribers in the next delta.
+                self.changes.clear();
+                self.signals.commit(&mut self.changes);
+                self.stats.deltas += 1;
+
+                for i in 0..self.changes.len() {
+                    let ch = self.changes[i];
+                    if self.signals.is_traced(ch.signal) {
+                        self.tracer.record(t, ch.signal, ch.new);
+                    }
+                    // Clone-free iteration: subscriber lists are only
+                    // mutated during build, never during a run.
+                    let subs = self.signals.subscribers(ch.signal).len();
+                    for s in 0..subs {
+                        let (cid, edge) = self.signals.subscribers(ch.signal)[s];
+                        if edge.matches(ch.old, ch.new) && !self.woken[cid.index()] {
+                            self.woken[cid.index()] = true;
+                            self.woken_list.push(cid);
+                            self.queue
+                                .push(t, delta + 1, EventKind::SignalWake(cid, ch.signal));
+                        }
+                    }
+                }
+                for cid in self.woken_list.drain(..) {
+                    self.woken[cid.index()] = false;
+                }
+
+                if self.stop.is_some() {
+                    break;
+                }
+                match self.queue.peek_key() {
+                    Some((tt, dd)) if tt == t => {
+                        if dd - first_delta > self.delta_limit {
+                            self.stop = Some(StopReason::Error(format!(
+                                "delta-cycle limit ({}) exceeded at {t}: combinational loop?",
+                                self.delta_limit
+                            )));
+                            break;
+                        }
+                        delta = dd;
+                    }
+                    _ => break,
+                }
+            }
+        }
+
+        RunSummary {
+            end_time: self.time,
+            stats: self.stats.since(&stats_start),
+            wall: wall_start.elapsed(),
+            stop: self.stop.clone(),
+        }
+    }
+
+    fn dispatch(&mut self, cid: ComponentId, cause: Wake, time: SimTime, delta: u32) {
+        let mut comp = self.comps[cid.index()]
+            .take()
+            .expect("component re-entered during its own wake");
+        {
+            let mut ctx = Ctx {
+                signals: &mut self.signals,
+                queue: &mut self.queue,
+                time,
+                delta,
+                cause,
+                self_id: cid,
+                stop: &mut self.stop,
+            };
+            comp.wake(&mut ctx);
+        }
+        self.comps[cid.index()] = Some(comp);
+        self.stats.wakes += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::any::Any;
+
+    /// Counts rising edges of a clock.
+    struct EdgeCounter {
+        clk: Wire,
+        edges: u64,
+    }
+    impl Component for EdgeCounter {
+        fn name(&self) -> &str {
+            "edge_counter"
+        }
+        fn wake(&mut self, ctx: &mut Ctx<'_>) {
+            if ctx.is_signal(self.clk) {
+                self.edges += 1;
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn clock_generates_expected_edges() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", 10);
+        let id = sim.add_component(Box::new(EdgeCounter { clk, edges: 0 }));
+        sim.subscribe(id, clk, Edge::Rising);
+        sim.run_for(100);
+        // Rising edges at t = 10, 20, ..., 100 -> 10 edges.
+        let c: &EdgeCounter = sim.component(id).unwrap();
+        assert_eq!(c.edges, 10);
+    }
+
+    #[test]
+    fn falling_edges_offset_by_half_period() {
+        struct FallCounter {
+            clk: Wire,
+            times: Vec<u64>,
+        }
+        impl Component for FallCounter {
+            fn name(&self) -> &str {
+                "fall"
+            }
+            fn wake(&mut self, ctx: &mut Ctx<'_>) {
+                if ctx.is_signal(self.clk) {
+                    self.times.push(ctx.time().ticks());
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", 10);
+        let id = sim.add_component(Box::new(FallCounter {
+            clk,
+            times: vec![],
+        }));
+        sim.subscribe(id, clk, Edge::Falling);
+        sim.run_for(40);
+        let c: &FallCounter = sim.component(id).unwrap();
+        assert_eq!(c.times, vec![15, 25, 35]);
+    }
+
+    /// Two-stage pipeline through signals: checks flip-flop semantics, i.e.
+    /// a clocked reader sees the value from *before* the edge.
+    struct Stage {
+        clk: Wire,
+        input: Wire,
+        output: Wire,
+        seen: Vec<u64>,
+    }
+    impl Component for Stage {
+        fn name(&self) -> &str {
+            "stage"
+        }
+        fn wake(&mut self, ctx: &mut Ctx<'_>) {
+            if ctx.is_signal(self.clk) {
+                let v = ctx.read(self.input);
+                self.seen.push(v);
+                ctx.write(self.output, v + 1);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn registered_semantics_between_clocked_components() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", 10);
+        let a = sim.wire("a", 32);
+        let b = sim.wire("b", 32);
+        // stage1: a -> b (+1), stage2: b -> a (+1). Values advance one hop
+        // per cycle; both read pre-edge values.
+        let s1 = sim.add_component(Box::new(Stage {
+            clk,
+            input: a,
+            output: b,
+            seen: vec![],
+        }));
+        let s2 = sim.add_component(Box::new(Stage {
+            clk,
+            input: b,
+            output: a,
+            seen: vec![],
+        }));
+        sim.subscribe(s1, clk, Edge::Rising);
+        sim.subscribe(s2, clk, Edge::Rising);
+        sim.run_for(30); // edges at 10, 20, 30
+        let st1: &Stage = sim.component(s1).unwrap();
+        let st2: &Stage = sim.component(s2).unwrap();
+        // cycle1: both read 0. cycle2: s1 reads a=1 (s2 wrote 0+1),
+        // s2 reads b=1. cycle3: both read 2.
+        assert_eq!(st1.seen, vec![0, 1, 2]);
+        assert_eq!(st2.seen, vec![0, 1, 2]);
+    }
+
+    /// A combinational inverter: output follows !input within the same time
+    /// step via an extra delta cycle.
+    struct Inverter {
+        input: Wire,
+        output: Wire,
+    }
+    impl Component for Inverter {
+        fn name(&self) -> &str {
+            "inv"
+        }
+        fn wake(&mut self, ctx: &mut Ctx<'_>) {
+            let v = ctx.read_bit(self.input);
+            ctx.write_bit(self.output, !v);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn combinational_logic_settles_within_time_step() {
+        let mut sim = Simulator::new();
+        let a = sim.wire("a", 1);
+        let b = sim.wire("b", 1);
+        let inv = sim.add_component(Box::new(Inverter {
+            input: a,
+            output: b,
+        }));
+        sim.subscribe(inv, a, Edge::Any);
+
+        struct Driver {
+            a: Wire,
+        }
+        impl Component for Driver {
+            fn name(&self) -> &str {
+                "drv"
+            }
+            fn wake(&mut self, ctx: &mut Ctx<'_>) {
+                match ctx.cause() {
+                    Wake::Start => {
+                        ctx.schedule_in(5, 1);
+                    }
+                    Wake::Timer(_) => {
+                        ctx.write_bit(self.a, true);
+                    }
+                    _ => {}
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        sim.add_component(Box::new(Driver { a }));
+        // After the Start wake the inverter has settled b = !0 = 1.
+        sim.run_for(2);
+        assert_eq!(sim.peek(a), 0);
+        assert_eq!(sim.peek(b), 1, "inverter settled from Start wake");
+        // After the driver raises a at t=5 the inverter follows within the
+        // same time step (extra delta cycles, no tick advance).
+        sim.run_for(18);
+        assert_eq!(sim.peek(a), 1);
+        assert_eq!(sim.peek(b), 0, "inverter output follows input");
+    }
+
+    /// Ring oscillator: inverter feeding itself must hit the delta limit
+    /// and stop with an error rather than hanging.
+    #[test]
+    fn combinational_loop_detected() {
+        let mut sim = Simulator::new();
+        let a = sim.wire("a", 1);
+        let inv = sim.add_component(Box::new(Inverter {
+            input: a,
+            output: a,
+        }));
+        sim.subscribe(inv, a, Edge::Any);
+
+        struct Kick {
+            a: Wire,
+        }
+        impl Component for Kick {
+            fn name(&self) -> &str {
+                "kick"
+            }
+            fn wake(&mut self, ctx: &mut Ctx<'_>) {
+                if ctx.cause() == Wake::Start {
+                    ctx.write_bit(self.a, true);
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        sim.add_component(Box::new(Kick { a }));
+        let summary = sim.run_for(10);
+        assert!(summary.is_error());
+        assert!(summary
+            .stop
+            .unwrap()
+            .message()
+            .contains("delta-cycle limit"));
+    }
+
+    #[test]
+    fn stop_finishes_run_early() {
+        struct Stopper;
+        impl Component for Stopper {
+            fn name(&self) -> &str {
+                "stopper"
+            }
+            fn wake(&mut self, ctx: &mut Ctx<'_>) {
+                match ctx.cause() {
+                    Wake::Start => ctx.schedule_in(7, 0),
+                    Wake::Timer(_) => ctx.stop("workload complete"),
+                    _ => {}
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim = Simulator::new();
+        sim.add_clock("clk", 2);
+        sim.add_component(Box::new(Stopper));
+        let summary = sim.run_for(1000);
+        assert_eq!(summary.end_time.ticks(), 7);
+        assert!(!summary.is_error());
+        assert_eq!(summary.stop.unwrap().message(), "workload complete");
+    }
+
+    #[test]
+    fn event_budget_stops_runaway() {
+        let mut sim = Simulator::new();
+        sim.add_clock("clk", 2);
+        let summary = sim.run(RunLimit::unbounded().with_max_events(100));
+        assert!(summary.is_error());
+        assert!(summary.stop.unwrap().message().contains("event budget"));
+    }
+
+    #[test]
+    fn timer_zero_fires_next_delta_same_time() {
+        struct Chain {
+            fired_at: Vec<(u64, u32)>,
+        }
+        impl Component for Chain {
+            fn name(&self) -> &str {
+                "chain"
+            }
+            fn wake(&mut self, ctx: &mut Ctx<'_>) {
+                self.fired_at.push((ctx.time().ticks(), ctx.delta()));
+                match ctx.cause() {
+                    Wake::Start => ctx.schedule_in(0, 1),
+                    Wake::Timer(1) => ctx.schedule_in(0, 2),
+                    _ => {}
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim = Simulator::new();
+        let id = sim.add_component(Box::new(Chain { fired_at: vec![] }));
+        sim.run_for(5);
+        let c: &Chain = sim.component(id).unwrap();
+        assert_eq!(c.fired_at.len(), 3);
+        assert!(c.fired_at.iter().all(|&(t, _)| t == 0));
+        assert_eq!(c.fired_at[0].1, 0);
+        assert!(c.fired_at[1].1 > c.fired_at[0].1);
+        assert!(c.fired_at[2].1 > c.fired_at[1].1);
+    }
+
+    #[test]
+    fn component_downcast_and_names() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", 4);
+        let id = sim.add_component(Box::new(EdgeCounter { clk, edges: 0 }));
+        assert_eq!(sim.component_name(id), "edge_counter");
+        assert_eq!(sim.component_count(), 1);
+        assert!(sim.component::<EdgeCounter>(id).is_some());
+        assert!(sim.component::<Inverter>(id).is_none());
+        sim.component_mut::<EdgeCounter>(id).unwrap().edges = 5;
+        assert_eq!(sim.component::<EdgeCounter>(id).unwrap().edges, 5);
+    }
+
+    #[test]
+    fn resume_after_deadline_continues_time() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", 10);
+        let id = sim.add_component(Box::new(EdgeCounter { clk, edges: 0 }));
+        sim.subscribe(id, clk, Edge::Rising);
+        sim.run_for(50);
+        assert_eq!(sim.component::<EdgeCounter>(id).unwrap().edges, 5);
+        sim.run_for(50);
+        assert_eq!(sim.component::<EdgeCounter>(id).unwrap().edges, 10);
+        assert_eq!(sim.time().ticks(), 100);
+    }
+
+    #[test]
+    fn vcd_tracing_records_clock() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", 10);
+        sim.trace(clk);
+        sim.run_for(20);
+        let recs = sim.tracer().records();
+        assert_eq!(recs.len(), 3, "edges at 10, 15, 20");
+        let vcd = sim.tracer().to_vcd(sim.signals(), sim.time());
+        assert!(vcd.contains("$var wire 1 ! clk $end"));
+        assert!(vcd.contains("#10\n1!"));
+        assert!(vcd.contains("#15\n0!"));
+    }
+}

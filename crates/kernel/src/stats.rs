@@ -1,0 +1,58 @@
+//! Kernel execution statistics.
+
+/// Cumulative counters maintained by the kernel across all runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Events dispatched (all kinds).
+    pub events: u64,
+    /// Component wakes executed.
+    pub wakes: u64,
+    /// Delta cycles evaluated.
+    pub deltas: u64,
+    /// Distinct simulated time points visited.
+    pub time_steps: u64,
+}
+
+impl KernelStats {
+    /// Component-wise difference `self - earlier`, used to compute per-run
+    /// summaries from cumulative counters.
+    pub fn since(&self, earlier: &KernelStats) -> KernelStats {
+        KernelStats {
+            events: self.events - earlier.events,
+            wakes: self.wakes - earlier.wakes,
+            deltas: self.deltas - earlier.deltas,
+            time_steps: self.time_steps - earlier.time_steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts_fieldwise() {
+        let a = KernelStats {
+            events: 10,
+            wakes: 8,
+            deltas: 6,
+            time_steps: 4,
+        };
+        let b = KernelStats {
+            events: 3,
+            wakes: 2,
+            deltas: 1,
+            time_steps: 0,
+        };
+        let d = a.since(&b);
+        assert_eq!(
+            d,
+            KernelStats {
+                events: 7,
+                wakes: 6,
+                deltas: 5,
+                time_steps: 4
+            }
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Simulation time.
+//!
+//! Time is measured in integer *ticks*. The kernel attaches no physical unit
+//! to a tick; by convention the systems built on top of this crate use one
+//! tick per clock-phase step and derive physical time from the configured
+//! clock period. Keeping time integral makes event ordering exact and runs
+//! reproducible.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in ticks since simulation start.
+///
+/// `SimTime` is a transparent wrapper around `u64` providing checked
+/// arithmetic and a stable `Display` format. It orders totally, so it can be
+/// used directly as an event-queue key.
+///
+/// # Examples
+///
+/// ```
+/// use dmi_kernel::SimTime;
+///
+/// let t = SimTime::from_ticks(10) + 5;
+/// assert_eq!(t.ticks(), 15);
+/// assert!(t > SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable time; used as an "unbounded" run limit.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from a raw tick count.
+    #[inline]
+    pub const fn from_ticks(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+
+    /// Returns the raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Checked addition of a tick delta; `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, ticks: u64) -> Option<Self> {
+        self.0.checked_add(ticks).map(SimTime)
+    }
+
+    /// Saturating addition of a tick delta.
+    #[inline]
+    pub fn saturating_add(self, ticks: u64) -> Self {
+        SimTime(self.0.saturating_add(ticks))
+    }
+
+    /// Ticks elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is later than `self`.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> u64 {
+        debug_assert!(earlier.0 <= self.0, "since() called with a later time");
+        self.0.wrapping_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}t", self.0)
+    }
+}
+
+impl From<u64> for SimTime {
+    fn from(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+}
+
+impl From<SimTime> for u64 {
+    fn from(t: SimTime) -> u64 {
+        t.0
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        assert_eq!(SimTime::ZERO.ticks(), 0);
+        assert_eq!(SimTime::from_ticks(42).ticks(), 42);
+        assert_eq!(u64::from(SimTime::from_ticks(7)), 7);
+        assert_eq!(SimTime::from(9u64).ticks(), 9);
+    }
+
+    #[test]
+    fn ordering_is_total_on_ticks() {
+        assert!(SimTime::from_ticks(1) < SimTime::from_ticks(2));
+        assert!(SimTime::MAX > SimTime::ZERO);
+        assert_eq!(SimTime::from_ticks(5), SimTime::from_ticks(5));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_ticks(10);
+        assert_eq!((t + 5).ticks(), 15);
+        assert_eq!(t.checked_add(5), Some(SimTime::from_ticks(15)));
+        assert_eq!(SimTime::MAX.checked_add(1), None);
+        assert_eq!(SimTime::MAX.saturating_add(10), SimTime::MAX);
+        assert_eq!(SimTime::from_ticks(15) - t, 5);
+        assert_eq!(SimTime::from_ticks(15).since(t), 5);
+        let mut m = t;
+        m += 3;
+        assert_eq!(m.ticks(), 13);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(SimTime::from_ticks(123).to_string(), "123t");
+        assert_eq!(SimTime::ZERO.to_string(), "0t");
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests: simulations are bit-reproducible and delta semantics
+//! hold under randomized component networks.
+
+use std::any::Any;
+
+use dmi_kernel::{Component, Ctx, Edge, Simulator, Wake, Wire};
+use proptest::prelude::*;
+
+/// A clocked component that applies a small PRNG-driven mutation to a bus
+/// every cycle and remembers everything it observed.
+struct Scrambler {
+    clk: Wire,
+    input: Wire,
+    output: Wire,
+    state: u64,
+    observed: Vec<u64>,
+}
+
+impl Component for Scrambler {
+    fn name(&self) -> &str {
+        "scrambler"
+    }
+    fn wake(&mut self, ctx: &mut Ctx<'_>) {
+        if ctx.is_signal(self.clk) {
+            let v = ctx.read(self.input);
+            self.observed.push(v);
+            // xorshift-style scramble; deterministic given inputs.
+            self.state ^= v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            self.state ^= self.state << 13;
+            self.state ^= self.state >> 7;
+            ctx.write(self.output, self.state);
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Builds a ring of `n` scramblers over `n` buses and runs for `ticks`.
+/// Returns the concatenated observation log and final bus values.
+fn run_ring(n: usize, seeds: &[u64], ticks: u64) -> (Vec<u64>, Vec<u64>) {
+    let mut sim = Simulator::new();
+    let clk = sim.add_clock("clk", 10);
+    let buses: Vec<Wire> = (0..n)
+        .map(|i| sim.wire(format!("bus{i}"), 64))
+        .collect();
+    let mut ids = Vec::new();
+    for i in 0..n {
+        let id = sim.add_component(Box::new(Scrambler {
+            clk,
+            input: buses[i],
+            output: buses[(i + 1) % n],
+            state: seeds[i],
+            observed: Vec::new(),
+        }));
+        sim.subscribe(id, clk, Edge::Rising);
+        ids.push(id);
+    }
+    sim.run_for(ticks);
+    let mut log = Vec::new();
+    for &id in &ids {
+        let s: &Scrambler = sim.component(id).unwrap();
+        log.extend_from_slice(&s.observed);
+        log.push(s.state);
+    }
+    let finals = buses.iter().map(|&b| sim.peek(b)).collect();
+    (log, finals)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Two identical runs produce identical observation logs and signal
+    /// values — the kernel is deterministic.
+    #[test]
+    fn ring_simulation_is_deterministic(
+        n in 1usize..8,
+        seeds in prop::collection::vec(any::<u64>(), 8),
+        ticks in 1u64..400,
+    ) {
+        let a = run_ring(n, &seeds, ticks);
+        let b = run_ring(n, &seeds, ticks);
+        prop_assert_eq!(a, b);
+    }
+
+    /// A single scrambler observing its own output sees each value exactly
+    /// one cycle late (flip-flop semantics), regardless of parameters.
+    #[test]
+    fn self_loop_is_one_cycle_delayed(seed in any::<u64>(), cycles in 1u64..200) {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", 2);
+        let bus = sim.wire("bus", 64);
+        let id = sim.add_component(Box::new(Scrambler {
+            clk,
+            input: bus,
+            output: bus,
+            state: seed,
+            observed: Vec::new(),
+        }));
+        sim.subscribe(id, clk, Edge::Rising);
+        sim.run_for(cycles * 2);
+        let s: &Scrambler = sim.component(id).unwrap();
+        prop_assert_eq!(s.observed.len() as u64, cycles);
+        // First observation is the reset value of the bus.
+        prop_assert_eq!(s.observed[0], 0);
+        // Each later observation equals the value committed one cycle prior;
+        // recompute the expected chain.
+        let mut state = seed;
+        for i in 1..s.observed.len() {
+            let v = s.observed[i - 1];
+            state ^= v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            state ^= state << 13;
+            state ^= state >> 7;
+            prop_assert_eq!(s.observed[i], state);
+        }
+    }
+}
+
+#[test]
+fn trace_is_reproducible() {
+    let mk = || {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", 10);
+        let bus = sim.wire("bus", 64);
+        let id = sim.add_component(Box::new(Scrambler {
+            clk,
+            input: bus,
+            output: bus,
+            state: 42,
+            observed: Vec::new(),
+        }));
+        sim.subscribe(id, clk, Edge::Rising);
+        sim.trace(clk);
+        sim.trace(bus);
+        sim.run_for(500);
+        sim.tracer().to_vcd(sim.signals(), sim.time())
+    };
+    assert_eq!(mk(), mk());
+}

@@ -1,0 +1,199 @@
+//! The DSM driver: the paper's high-level API, lowered to SimARM assembly.
+//!
+//! "High level APIs very similar to the host machine functions are used by
+//! the ISSs" — this module emits those routines. Each is a subroutine
+//! following the standard calling convention (arguments in `r0..r3`,
+//! result in `r0`, `r12` scratch, `r4..r11` callee-saved) that drives the
+//! memory-mapped command protocol of a shared-memory module.
+//!
+//! | routine | C formalism | arguments |
+//! |---|---|---|
+//! | `dsm_alloc` | `vptr = dsm_alloc(mem, dim, type)` | r0 = module base, r1 = dim, r2 = type |
+//! | `dsm_free` | `dsm_free(mem, vptr)` | r1 = vptr |
+//! | `dsm_write` | `dsm_write(mem, vptr, value, width)` | r2 = value, r3 = width code |
+//! | `dsm_read` | `value = dsm_read(mem, vptr, width)` | r2 = width code |
+//! | `dsm_write_burst` | `dsm_write_burst(mem, vptr, buf, len)` | r2 = local buffer, r3 = words |
+//! | `dsm_read_burst` | `dsm_read_burst(mem, vptr, buf, len)` | r2 = local buffer, r3 = words |
+//! | `dsm_reserve` | `ok = dsm_reserve(mem, vptr)` | returns 1 when acquired |
+//! | `dsm_reserve_spin` | `dsm_reserve_spin(mem, vptr)` | spins until acquired |
+//! | `dsm_release` | `dsm_release(mem, vptr)` | |
+//! | `dsm_status` | `s = dsm_status(mem)` | last status |
+//! | `dsm_info` | `n = dsm_info(mem)` | free bytes |
+
+use dmi_core::regs;
+use dmi_core::Opcode;
+use dmi_isa::{Asm, Reg};
+
+const R0: Reg = Reg::R0;
+const R1: Reg = Reg::R1;
+const R2: Reg = Reg::R2;
+const R3: Reg = Reg::R3;
+const R4: Reg = Reg::R4;
+const R12: Reg = Reg::R12;
+
+/// Emits all DSM driver routines into `asm`.
+///
+/// Call once per program, anywhere unreachable by fall-through (typically
+/// after the final `swi #0`). Programs then invoke the routines with
+/// `bl dsm_alloc` etc.
+pub fn emit_dsm_driver(asm: &mut Asm) {
+    emit_alloc(asm);
+    emit_free(asm);
+    emit_write(asm);
+    emit_read(asm);
+    emit_write_burst(asm);
+    emit_read_burst(asm);
+    emit_reserve(asm);
+    emit_reserve_spin(asm);
+    emit_release(asm);
+    emit_status(asm);
+    emit_info(asm);
+}
+
+/// Stores `opcode` into CMD — the transaction whose ack carries the
+/// operation's latency.
+fn fire(asm: &mut Asm, opcode: Opcode) {
+    asm.li(R12, opcode as u32);
+    asm.str(R12, R0, regs::CMD as i32);
+}
+
+fn emit_alloc(asm: &mut Asm) {
+    asm.label("dsm_alloc");
+    asm.str(R1, R0, regs::ARG0 as i32); // dim
+    asm.str(R2, R0, regs::ARG1 as i32); // type
+    fire(asm, Opcode::Alloc);
+    asm.ldr(R0, R0, regs::RESULT as i32); // vptr
+    asm.ret();
+}
+
+fn emit_free(asm: &mut Asm) {
+    asm.label("dsm_free");
+    asm.str(R1, R0, regs::ARG0 as i32);
+    fire(asm, Opcode::Free);
+    asm.ret();
+}
+
+fn emit_write(asm: &mut Asm) {
+    asm.label("dsm_write");
+    asm.str(R1, R0, regs::ARG0 as i32); // vptr
+    asm.str(R2, R0, regs::ARG1 as i32); // value
+    asm.str(R3, R0, regs::ARG2 as i32); // width
+    fire(asm, Opcode::Write);
+    asm.ret();
+}
+
+fn emit_read(asm: &mut Asm) {
+    asm.label("dsm_read");
+    asm.str(R1, R0, regs::ARG0 as i32); // vptr
+    asm.str(R2, R0, regs::ARG2 as i32); // width
+    fire(asm, Opcode::Read);
+    asm.ldr(R0, R0, regs::RESULT as i32);
+    asm.ret();
+}
+
+fn emit_write_burst(asm: &mut Asm) {
+    asm.label("dsm_write_burst");
+    asm.push(&[R4, Reg::LR]);
+    asm.str(R1, R0, regs::ARG0 as i32); // vptr
+    asm.li(R12, 2); // width: words
+    asm.str(R12, R0, regs::ARG1 as i32);
+    asm.str(R3, R0, regs::ARG2 as i32); // len
+    fire(asm, Opcode::WriteBurst);
+    asm.label("dsm_wb_loop");
+    asm.ldr_post(R4, R2, 4); // next local word
+    asm.str(R4, R0, regs::DATA as i32); // beat
+    asm.subs(R3, R3, 1u32.into());
+    asm.bne("dsm_wb_loop");
+    asm.pop(&[R4, Reg::LR]);
+    asm.ret();
+}
+
+fn emit_read_burst(asm: &mut Asm) {
+    asm.label("dsm_read_burst");
+    asm.push(&[R4, Reg::LR]);
+    asm.str(R1, R0, regs::ARG0 as i32); // vptr
+    asm.li(R12, 2); // width: words
+    asm.str(R12, R0, regs::ARG1 as i32);
+    asm.str(R3, R0, regs::ARG2 as i32); // len
+    fire(asm, Opcode::ReadBurst);
+    asm.label("dsm_rb_loop");
+    asm.ldr(R4, R0, regs::DATA as i32); // beat
+    asm.str_post(R4, R2, 4); // store locally
+    asm.subs(R3, R3, 1u32.into());
+    asm.bne("dsm_rb_loop");
+    asm.pop(&[R4, Reg::LR]);
+    asm.ret();
+}
+
+fn emit_reserve(asm: &mut Asm) {
+    asm.label("dsm_reserve");
+    asm.str(R1, R0, regs::ARG0 as i32);
+    fire(asm, Opcode::Reserve);
+    asm.ldr(R0, R0, regs::RESULT as i32); // 1 = acquired
+    asm.ret();
+}
+
+fn emit_reserve_spin(asm: &mut Asm) {
+    asm.label("dsm_reserve_spin");
+    asm.label("dsm_rs_loop");
+    asm.str(R1, R0, regs::ARG0 as i32);
+    fire(asm, Opcode::Reserve);
+    asm.ldr(R12, R0, regs::RESULT as i32);
+    asm.cmp(R12, 1u32.into());
+    asm.bne("dsm_rs_loop");
+    asm.ret();
+}
+
+fn emit_release(asm: &mut Asm) {
+    asm.label("dsm_release");
+    asm.str(R1, R0, regs::ARG0 as i32);
+    fire(asm, Opcode::Release);
+    asm.ret();
+}
+
+fn emit_status(asm: &mut Asm) {
+    asm.label("dsm_status");
+    asm.ldr(R0, R0, regs::STATUS as i32);
+    asm.ret();
+}
+
+fn emit_info(asm: &mut Asm) {
+    asm.label("dsm_info");
+    asm.ldr(R0, R0, regs::INFO as i32);
+    asm.ret();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn driver_assembles_with_all_symbols() {
+        let mut a = Asm::new();
+        a.swi(0);
+        emit_dsm_driver(&mut a);
+        let p = a.assemble(0).unwrap();
+        for sym in [
+            "dsm_alloc",
+            "dsm_free",
+            "dsm_write",
+            "dsm_read",
+            "dsm_write_burst",
+            "dsm_read_burst",
+            "dsm_reserve",
+            "dsm_reserve_spin",
+            "dsm_release",
+            "dsm_status",
+            "dsm_info",
+        ] {
+            assert!(p.symbol(sym).is_some(), "missing symbol {sym}");
+        }
+        // Every word decodes (no garbage emitted).
+        for (i, w) in p.words().iter().enumerate() {
+            assert!(
+                dmi_isa::decode(*w).is_ok(),
+                "word {i} ({w:#010x}) does not decode"
+            );
+        }
+    }
+}

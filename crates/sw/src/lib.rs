@@ -1,0 +1,46 @@
+//! # dmi-sw — the software layer of the DMI co-simulation framework
+//!
+//! The paper's Figure 1 shows a *software layer* above the design-model
+//! layer: the programs the ISSs execute and the high-level memory API they
+//! use. This crate provides both:
+//!
+//! * [`emit_dsm_driver`] — the C-formalism API (`dsm_alloc`, `dsm_free`,
+//!   `dsm_read`, `dsm_write`, bursts, reservations) lowered to SimARM
+//!   subroutines that drive the wrapper's MMIO command protocol;
+//! * [`workloads`] — self-checking workload programs (allocation churn,
+//!   scalar/burst traffic, linked lists, producer/consumer pipes,
+//!   reservation-guarded counters) used by the tests and every experiment;
+//! * [`FunctionalDsmBus`] — an instant-completion protocol adapter for
+//!   running driver code on a bare [`CpuCore`](dmi_iss::CpuCore), i.e. the
+//!   untimed functional simulation mode.
+//!
+//! ## Example: run a workload functionally
+//!
+//! ```
+//! use dmi_core::{WrapperBackend, WrapperConfig};
+//! use dmi_iss::{CpuCore, LocalMemory, StepEvent};
+//! use dmi_sw::{workloads, FunctionalDsmBus};
+//!
+//! let cfg = workloads::WorkloadCfg { iterations: 4, ..Default::default() };
+//! let prog = workloads::alloc_churn(&cfg);
+//!
+//! let mut bus = FunctionalDsmBus::new();
+//! bus.add_module(cfg.mem_base, 0x1000,
+//!     Box::new(WrapperBackend::new(WrapperConfig::default())));
+//!
+//! let mut cpu = CpuCore::new(0, LocalMemory::new(0, 0x10000));
+//! cpu.load_program(&prog);
+//! assert_eq!(cpu.run(&mut bus, 1_000_000), StepEvent::Halted);
+//! assert_eq!(cpu.exit_code(), 0, "workload self-check passed");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod driver;
+mod funcbus;
+pub mod workloads;
+
+pub use driver::emit_dsm_driver;
+pub use funcbus::FunctionalDsmBus;
+pub use workloads::WorkloadCfg;

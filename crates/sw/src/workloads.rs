@@ -1,0 +1,507 @@
+//! Workload program builders.
+//!
+//! Each builder returns an assembled [`Program`] exercising the dynamic
+//! shared memory through the DSM driver. Programs halt with exit code 0 on
+//! success and a non-zero code on any self-check failure, so both the
+//! functional tests and the co-simulation experiments can assert
+//! correctness, not just completion.
+
+use dmi_core::NULL_VPTR;
+use dmi_isa::{Asm, Cond, Program, Reg};
+
+use crate::driver::emit_dsm_driver;
+
+const R0: Reg = Reg::R0;
+const R1: Reg = Reg::R1;
+const R2: Reg = Reg::R2;
+const R3: Reg = Reg::R3;
+const R4: Reg = Reg::R4;
+const R5: Reg = Reg::R5;
+const R6: Reg = Reg::R6;
+const R7: Reg = Reg::R7;
+const R8: Reg = Reg::R8;
+const R9: Reg = Reg::R9;
+const R10: Reg = Reg::R10;
+
+/// Width code for 32-bit elements (protocol `ElemType::U32`).
+const W32: u32 = 2;
+
+/// Parameters shared by the workload builders.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadCfg {
+    /// MMIO base of the shared-memory module the program talks to.
+    pub mem_base: u32,
+    /// Main loop iterations.
+    pub iterations: u32,
+    /// Working-set size in 32-bit words.
+    pub buf_words: u32,
+    /// Burst length in words (burst workloads).
+    pub burst_len: u32,
+}
+
+impl Default for WorkloadCfg {
+    fn default() -> Self {
+        WorkloadCfg {
+            mem_base: 0x8000_0000,
+            iterations: 16,
+            buf_words: 16,
+            burst_len: 16,
+        }
+    }
+}
+
+/// Emits the common failure epilogue: label `fail` halts with exit code 1.
+fn fail_exit(a: &mut Asm) {
+    a.label("fail");
+    a.li(R0, 1);
+    a.swi(0);
+}
+
+/// Emits `swi #0` with exit code 0.
+fn ok_exit(a: &mut Asm) {
+    a.li(R0, 0);
+    a.swi(0);
+}
+
+/// Branches to `fail` when `reg` holds the null vptr.
+fn check_not_null(a: &mut Asm, reg: Reg) {
+    debug_assert_eq!(NULL_VPTR, u32::MAX);
+    a.cmn(reg, 1u32.into()); // reg + 1 == 0 <=> reg == 0xFFFF_FFFF
+    a.beq("fail");
+}
+
+/// Allocation churn: repeatedly allocate, write, read back, verify, free.
+///
+/// The canonical dynamic-data stress test (experiment E3): every iteration
+/// exercises the full table life-cycle and the data path.
+pub fn alloc_churn(cfg: &WorkloadCfg) -> Program {
+    let mut a = Asm::new();
+    a.li(R4, cfg.iterations);
+    a.label("outer");
+    // vptr = dsm_alloc(mem, buf_words, U32)
+    a.li(R0, cfg.mem_base);
+    a.li(R1, cfg.buf_words);
+    a.li(R2, W32);
+    a.bl("dsm_alloc");
+    check_not_null(&mut a, R0);
+    a.mov(R5, R0.into());
+    // dsm_write(mem, vptr, iter, W32); dsm_write(mem, vptr+4, iter^0x55, W32)
+    a.li(R0, cfg.mem_base);
+    a.mov(R1, R5.into());
+    a.mov(R2, R4.into());
+    a.li(R3, W32);
+    a.bl("dsm_write");
+    a.li(R0, cfg.mem_base);
+    a.add(R1, R5, 4u32.into());
+    a.eor(R2, R4, 0x55u32.into());
+    a.li(R3, W32);
+    a.bl("dsm_write");
+    // verify both
+    a.li(R0, cfg.mem_base);
+    a.mov(R1, R5.into());
+    a.li(R2, W32);
+    a.bl("dsm_read");
+    a.cmp(R0, R4.into());
+    a.bne("fail");
+    a.li(R0, cfg.mem_base);
+    a.add(R1, R5, 4u32.into());
+    a.li(R2, W32);
+    a.bl("dsm_read");
+    a.eor(R6, R4, 0x55u32.into());
+    a.cmp(R0, R6.into());
+    a.bne("fail");
+    // dsm_free(mem, vptr)
+    a.li(R0, cfg.mem_base);
+    a.mov(R1, R5.into());
+    a.bl("dsm_free");
+    a.subs(R4, R4, 1u32.into());
+    a.bne("outer");
+    ok_exit(&mut a);
+    fail_exit(&mut a);
+    emit_dsm_driver(&mut a);
+    a.assemble(0).expect("alloc_churn assembles")
+}
+
+/// Scalar read/write traffic against one shared buffer (experiment E2,
+/// wrapper side): allocate once, then cycle writes and verifying reads.
+pub fn scalar_rw(cfg: &WorkloadCfg) -> Program {
+    let mut a = Asm::new();
+    a.li(R0, cfg.mem_base);
+    a.li(R1, cfg.buf_words);
+    a.li(R2, W32);
+    a.bl("dsm_alloc");
+    check_not_null(&mut a, R0);
+    a.mov(R5, R0.into()); // vptr base
+    a.li(R4, cfg.iterations);
+    a.li(R6, 0); // byte offset cursor
+    a.label("loop");
+    // dsm_write(mem, vptr + off, iter, W32)
+    a.li(R0, cfg.mem_base);
+    a.add(R1, R5, R6.into());
+    a.mov(R2, R4.into());
+    a.li(R3, W32);
+    a.bl("dsm_write");
+    // verify
+    a.li(R0, cfg.mem_base);
+    a.add(R1, R5, R6.into());
+    a.li(R2, W32);
+    a.bl("dsm_read");
+    a.cmp(R0, R4.into());
+    a.bne("fail");
+    // advance cursor, wrap at buffer end
+    a.add(R6, R6, 4u32.into());
+    a.li(R7, cfg.buf_words * 4);
+    a.cmp(R6, R7.into());
+    a.mov_cond(Cond::Eq, R6, 0u32.into());
+    a.subs(R4, R4, 1u32.into());
+    a.bne("loop");
+    ok_exit(&mut a);
+    fail_exit(&mut a);
+    emit_dsm_driver(&mut a);
+    a.assemble(0).expect("scalar_rw assembles")
+}
+
+/// The same scalar traffic as [`scalar_rw`], but issued as raw loads and
+/// stores against a directly-addressed static memory window (experiment
+/// E2, static-table side). No protocol, no allocation — the traditional
+/// baseline.
+pub fn scalar_rw_static(cfg: &WorkloadCfg) -> Program {
+    let mut a = Asm::new();
+    a.li(R5, cfg.mem_base);
+    a.li(R4, cfg.iterations);
+    a.li(R6, 0); // byte offset cursor
+    a.label("loop");
+    a.str_r(R4, R5, R6); // mem[off] = iter
+    a.ldr_r(R7, R5, R6); // verify
+    a.cmp(R7, R4.into());
+    a.bne("fail");
+    a.add(R6, R6, 4u32.into());
+    a.li(R7, cfg.buf_words * 4);
+    a.cmp(R6, R7.into());
+    a.mov_cond(Cond::Eq, R6, 0u32.into());
+    a.subs(R4, R4, 1u32.into());
+    a.bne("loop");
+    ok_exit(&mut a);
+    fail_exit(&mut a);
+    a.assemble(0).expect("scalar_rw_static assembles")
+}
+
+/// Burst copy (experiment E6): stream a local buffer to shared memory with
+/// `dsm_write_burst`, read it back with `dsm_read_burst`, verify.
+pub fn burst_copy(cfg: &WorkloadCfg) -> Program {
+    let n = cfg.burst_len;
+    let mut a = Asm::new();
+    a.li(R0, cfg.mem_base);
+    a.li(R1, n);
+    a.li(R2, W32);
+    a.bl("dsm_alloc");
+    check_not_null(&mut a, R0);
+    a.mov(R5, R0.into());
+    // Fill the local source: src[i] = 7*i + 3.
+    a.adr(R6, "src");
+    a.li(R7, n);
+    a.li(R8, 0);
+    a.label("fill");
+    a.li(R9, 7);
+    a.mul(R10, R8, R9);
+    a.add(R10, R10, 3u32.into());
+    a.str_post(R10, R6, 4);
+    a.add(R8, R8, 1u32.into());
+    a.cmp(R8, R7.into());
+    a.bne("fill");
+    // Main loop: burst out, burst back.
+    a.li(R4, cfg.iterations);
+    a.label("loop");
+    a.li(R0, cfg.mem_base);
+    a.mov(R1, R5.into());
+    a.adr(R2, "src");
+    a.li(R3, n);
+    a.bl("dsm_write_burst");
+    a.li(R0, cfg.mem_base);
+    a.mov(R1, R5.into());
+    a.adr(R2, "dst");
+    a.li(R3, n);
+    a.bl("dsm_read_burst");
+    a.subs(R4, R4, 1u32.into());
+    a.bne("loop");
+    // Verify dst == src.
+    a.adr(R6, "src");
+    a.adr(R7, "dst");
+    a.li(R8, n);
+    a.label("verify");
+    a.ldr_post(R9, R6, 4);
+    a.ldr_post(R10, R7, 4);
+    a.cmp(R9, R10.into());
+    a.bne("fail");
+    a.subs(R8, R8, 1u32.into());
+    a.bne("verify");
+    ok_exit(&mut a);
+    fail_exit(&mut a);
+    emit_dsm_driver(&mut a);
+    a.label("src");
+    a.zeros(n as usize);
+    a.label("dst");
+    a.zeros(n as usize);
+    a.assemble(0).expect("burst_copy assembles")
+}
+
+/// The same data volume as [`burst_copy`] moved with scalar `dsm_write` /
+/// `dsm_read` calls — the per-element baseline the I/O arrays beat.
+pub fn scalar_copy(cfg: &WorkloadCfg) -> Program {
+    let n = cfg.burst_len;
+    let mut a = Asm::new();
+    a.li(R0, cfg.mem_base);
+    a.li(R1, n);
+    a.li(R2, W32);
+    a.bl("dsm_alloc");
+    check_not_null(&mut a, R0);
+    a.mov(R5, R0.into());
+    a.li(R4, cfg.iterations);
+    a.label("loop");
+    // Write n elements: value = 7*i + 3.
+    a.li(R8, 0);
+    a.label("wr");
+    a.li(R9, 7);
+    a.mul(R2, R8, R9);
+    a.add(R2, R2, 3u32.into());
+    a.li(R0, cfg.mem_base);
+    a.lsl(R1, R8, 2);
+    a.add(R1, R5, R1.into());
+    a.li(R3, W32);
+    a.bl("dsm_write");
+    a.add(R8, R8, 1u32.into());
+    a.li(R9, n);
+    a.cmp(R8, R9.into());
+    a.bne("wr");
+    // Read and verify n elements.
+    a.li(R8, 0);
+    a.label("rd");
+    a.li(R0, cfg.mem_base);
+    a.lsl(R1, R8, 2);
+    a.add(R1, R5, R1.into());
+    a.li(R2, W32);
+    a.bl("dsm_read");
+    a.li(R9, 7);
+    a.mul(R9, R8, R9);
+    a.add(R9, R9, 3u32.into());
+    a.cmp(R0, R9.into());
+    a.bne("fail");
+    a.add(R8, R8, 1u32.into());
+    a.li(R9, n);
+    a.cmp(R8, R9.into());
+    a.bne("rd");
+    a.subs(R4, R4, 1u32.into());
+    a.bne("loop");
+    ok_exit(&mut a);
+    fail_exit(&mut a);
+    emit_dsm_driver(&mut a);
+    a.assemble(0).expect("scalar_copy assembles")
+}
+
+/// Linked-list build + traversal: every `next` pointer is a Vptr and every
+/// hop reads `node + 4` — a direct stress of the paper's
+/// pointer-arithmetic resolution. The list holds `iterations` nodes.
+pub fn linked_list(cfg: &WorkloadCfg) -> Program {
+    let n = cfg.iterations;
+    let expected: u32 = (n as u64 * (n as u64 + 1) / 2) as u32;
+    let mut a = Asm::new();
+    a.li(R7, NULL_VPTR); // head = null
+    a.li(R4, n);
+    a.label("build");
+    // node = dsm_alloc(mem, 2, U32); node.value = i; node.next = head
+    a.li(R0, cfg.mem_base);
+    a.li(R1, 2);
+    a.li(R2, W32);
+    a.bl("dsm_alloc");
+    check_not_null(&mut a, R0);
+    a.mov(R5, R0.into());
+    a.li(R0, cfg.mem_base);
+    a.mov(R1, R5.into());
+    a.mov(R2, R4.into());
+    a.li(R3, W32);
+    a.bl("dsm_write");
+    a.li(R0, cfg.mem_base);
+    a.add(R1, R5, 4u32.into());
+    a.mov(R2, R7.into());
+    a.li(R3, W32);
+    a.bl("dsm_write");
+    a.mov(R7, R5.into());
+    a.subs(R4, R4, 1u32.into());
+    a.bne("build");
+    // Traverse, summing values.
+    a.li(R8, 0);
+    a.label("trav");
+    a.cmn(R7, 1u32.into()); // head == null?
+    a.beq("check");
+    a.li(R0, cfg.mem_base);
+    a.mov(R1, R7.into());
+    a.li(R2, W32);
+    a.bl("dsm_read");
+    a.add(R8, R8, R0.into());
+    a.li(R0, cfg.mem_base);
+    a.add(R1, R7, 4u32.into());
+    a.li(R2, W32);
+    a.bl("dsm_read");
+    a.mov(R7, R0.into());
+    a.b("trav");
+    a.label("check");
+    a.li(R9, expected);
+    a.cmp(R8, R9.into());
+    a.bne("fail");
+    ok_exit(&mut a);
+    fail_exit(&mut a);
+    emit_dsm_driver(&mut a);
+    a.assemble(0).expect("linked_list assembles")
+}
+
+/// Producer half of the flag-handshake pipe: sends `1..=iterations`
+/// through a two-word control block (`[flag, data]`) at Vptr 0.
+///
+/// The producer performs the module's *first* allocation, so the control
+/// block lands at Vptr 0 (the paper defines the first Vptr to be zero) —
+/// that is the rendezvous convention with [`pipe_consumer`].
+pub fn pipe_producer(cfg: &WorkloadCfg) -> Program {
+    let mut a = Asm::new();
+    a.li(R0, cfg.mem_base);
+    a.li(R1, 2);
+    a.li(R2, W32);
+    a.bl("dsm_alloc");
+    check_not_null(&mut a, R0);
+    a.li(R4, cfg.iterations);
+    a.li(R6, 1); // next value to send
+    a.label("loop");
+    // wait for flag == 0
+    a.label("wait");
+    a.li(R0, cfg.mem_base);
+    a.li(R1, 0);
+    a.li(R2, W32);
+    a.bl("dsm_read");
+    a.cmp(R0, 0u32.into());
+    a.bne("wait");
+    // data := value
+    a.li(R0, cfg.mem_base);
+    a.li(R1, 4);
+    a.mov(R2, R6.into());
+    a.li(R3, W32);
+    a.bl("dsm_write");
+    // flag := 1
+    a.li(R0, cfg.mem_base);
+    a.li(R1, 0);
+    a.li(R2, 1);
+    a.li(R3, W32);
+    a.bl("dsm_write");
+    a.add(R6, R6, 1u32.into());
+    a.subs(R4, R4, 1u32.into());
+    a.bne("loop");
+    ok_exit(&mut a);
+    fail_exit(&mut a);
+    emit_dsm_driver(&mut a);
+    a.assemble(0).expect("pipe_producer assembles")
+}
+
+/// Consumer half of the flag-handshake pipe: receives `iterations` values
+/// from Vptr 0 and verifies their sum.
+pub fn pipe_consumer(cfg: &WorkloadCfg) -> Program {
+    let n = cfg.iterations as u64;
+    let expected: u32 = (n * (n + 1) / 2) as u32;
+    let mut a = Asm::new();
+    a.li(R4, cfg.iterations);
+    a.li(R8, 0); // sum
+    a.label("loop");
+    // Wait for flag == 1. Before the producer's first allocation the read
+    // errors and returns the null marker, which also fails the compare.
+    a.label("wait");
+    a.li(R0, cfg.mem_base);
+    a.li(R1, 0);
+    a.li(R2, W32);
+    a.bl("dsm_read");
+    a.cmp(R0, 1u32.into());
+    a.bne("wait");
+    // sum += data
+    a.li(R0, cfg.mem_base);
+    a.li(R1, 4);
+    a.li(R2, W32);
+    a.bl("dsm_read");
+    a.add(R8, R8, R0.into());
+    // flag := 0
+    a.li(R0, cfg.mem_base);
+    a.li(R1, 0);
+    a.li(R2, 0);
+    a.li(R3, W32);
+    a.bl("dsm_write");
+    a.subs(R4, R4, 1u32.into());
+    a.bne("loop");
+    a.li(R9, expected);
+    a.cmp(R8, R9.into());
+    a.bne("fail");
+    ok_exit(&mut a);
+    fail_exit(&mut a);
+    emit_dsm_driver(&mut a);
+    a.assemble(0).expect("pipe_consumer assembles")
+}
+
+/// Reservation-guarded shared counter: every CPU increments the counter at
+/// Vptr 0 `iterations` times inside a reserve/release critical section.
+/// When `allocator` is set, the program performs the initial allocation
+/// (exactly one CPU per memory must).
+pub fn reserved_counter(cfg: &WorkloadCfg, allocator: bool) -> Program {
+    let mut a = Asm::new();
+    if allocator {
+        a.li(R0, cfg.mem_base);
+        a.li(R1, 1);
+        a.li(R2, W32);
+        a.bl("dsm_alloc");
+        check_not_null(&mut a, R0);
+    }
+    a.li(R4, cfg.iterations);
+    a.label("loop");
+    // acquire
+    a.li(R0, cfg.mem_base);
+    a.li(R1, 0);
+    a.bl("dsm_reserve_spin");
+    // counter += 1
+    a.li(R0, cfg.mem_base);
+    a.li(R1, 0);
+    a.li(R2, W32);
+    a.bl("dsm_read");
+    a.add(R6, R0, 1u32.into());
+    a.li(R0, cfg.mem_base);
+    a.li(R1, 0);
+    a.mov(R2, R6.into());
+    a.li(R3, W32);
+    a.bl("dsm_write");
+    // release
+    a.li(R0, cfg.mem_base);
+    a.li(R1, 0);
+    a.bl("dsm_release");
+    a.subs(R4, R4, 1u32.into());
+    a.bne("loop");
+    ok_exit(&mut a);
+    fail_exit(&mut a);
+    emit_dsm_driver(&mut a);
+    a.assemble(0).expect("reserved_counter assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_workloads_assemble() {
+        let cfg = WorkloadCfg::default();
+        for (name, p) in [
+            ("alloc_churn", alloc_churn(&cfg)),
+            ("scalar_rw", scalar_rw(&cfg)),
+            ("scalar_rw_static", scalar_rw_static(&cfg)),
+            ("burst_copy", burst_copy(&cfg)),
+            ("scalar_copy", scalar_copy(&cfg)),
+            ("linked_list", linked_list(&cfg)),
+            ("pipe_producer", pipe_producer(&cfg)),
+            ("pipe_consumer", pipe_consumer(&cfg)),
+            ("reserved_counter", reserved_counter(&cfg, true)),
+        ] {
+            assert!(!p.words().is_empty(), "{name} is empty");
+            assert!(p.symbol("fail").is_some(), "{name} lacks fail path");
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! System construction and execution: wiring CPUs, interconnect and
+//! memories on one simulation kernel.
+
+use dmi_core::{
+    MemoryModule, SimHeapBackend, SlavePorts, StaticTableMemory, WrapperBackend,
+};
+use dmi_interconnect::{AddressMap, BusStats, Crossbar, MasterIf, SharedBus, SlaveIf};
+use dmi_iss::{BusMasterPorts, CpuComponent, CpuCore, HaltMonitor, LocalMemory};
+use dmi_kernel::{ComponentId, Edge, Simulator};
+
+use crate::config::{mem_base, InterconnectKind, MemModelKind, SystemConfig, MEM_WINDOW};
+use crate::report::{CpuReport, MemReport, RunReport};
+
+/// A built co-simulated MPSoC, ready to run.
+///
+/// # Examples
+///
+/// ```
+/// use dmi_sw::{workloads, WorkloadCfg};
+/// use dmi_system::{mem_base, McSystem, SystemConfig};
+///
+/// let cfg = WorkloadCfg {
+///     mem_base: mem_base(0),
+///     iterations: 5,
+///     ..WorkloadCfg::default()
+/// };
+/// let mut system = McSystem::build(SystemConfig {
+///     programs: vec![workloads::alloc_churn(&cfg)],
+///     ..SystemConfig::default()
+/// });
+/// let report = system.run(1_000_000);
+/// assert!(report.all_ok());
+/// ```
+#[derive(Debug)]
+pub struct McSystem {
+    sim: Simulator,
+    clock_period: u64,
+    cpu_ids: Vec<ComponentId>,
+    mem_ids: Vec<ComponentId>,
+    mem_kinds: Vec<&'static str>,
+    bus_id: ComponentId,
+    crossbar: bool,
+}
+
+impl McSystem {
+    /// Builds the system described by `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.programs` or `config.memories` is empty, or if a
+    /// CPU count above 16 is requested (the master-id field is 4 bits).
+    pub fn build(config: SystemConfig) -> McSystem {
+        assert!(!config.programs.is_empty(), "at least one CPU required");
+        assert!(!config.memories.is_empty(), "at least one memory required");
+        assert!(config.programs.len() <= 16, "at most 16 bus masters");
+
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", config.clock_period);
+
+        // CPUs.
+        let mut cpu_ids = Vec::new();
+        let mut master_ifs = Vec::new();
+        let mut halted_wires = Vec::new();
+        for (i, program) in config.programs.iter().enumerate() {
+            let ports = BusMasterPorts::declare(&mut sim, &format!("cpu{i}.bus"));
+            let halted = sim.wire(format!("cpu{i}.halted"), 1);
+            let mut core = CpuCore::new(i as u32, LocalMemory::new(0, config.local_mem_size));
+            core.load_program(program);
+            let comp = CpuComponent::new(format!("cpu{i}"), core, clk, ports, halted);
+            let id = sim.add_component(Box::new(comp));
+            sim.subscribe(id, clk, Edge::Rising);
+            cpu_ids.push(id);
+            halted_wires.push(halted);
+            master_ifs.push(MasterIf {
+                req: ports.req,
+                we: ports.we,
+                size: ports.size,
+                addr: ports.addr,
+                wdata: ports.wdata,
+                ack: ports.ack,
+                rdata: ports.rdata,
+            });
+        }
+
+        // Memories.
+        let mut mem_ids = Vec::new();
+        let mut mem_kinds = Vec::new();
+        let mut slave_ifs = Vec::new();
+        let mut map = AddressMap::new();
+        for (j, kind) in config.memories.iter().enumerate() {
+            let ports = SlavePorts::declare(&mut sim, &format!("mem{j}.s"));
+            let base = mem_base(j);
+            map.add(base, MEM_WINDOW, j);
+            let id = match kind {
+                MemModelKind::Wrapper(w) => {
+                    let backend = Box::new(WrapperBackend::new(*w));
+                    sim.add_component(Box::new(MemoryModule::new(
+                        format!("mem{j}"),
+                        clk,
+                        ports,
+                        base,
+                        backend,
+                    )))
+                }
+                MemModelKind::SimHeap(h) => {
+                    let backend = Box::new(SimHeapBackend::new(*h));
+                    sim.add_component(Box::new(MemoryModule::new(
+                        format!("mem{j}"),
+                        clk,
+                        ports,
+                        base,
+                        backend,
+                    )))
+                }
+                MemModelKind::Static(s) => sim.add_component(Box::new(StaticTableMemory::new(
+                    format!("mem{j}"),
+                    clk,
+                    ports,
+                    base,
+                    *s,
+                ))),
+            };
+            sim.subscribe(id, clk, Edge::Rising);
+            mem_ids.push(id);
+            mem_kinds.push(kind.name());
+            slave_ifs.push(SlaveIf {
+                req: ports.req,
+                we: ports.we,
+                size: ports.size,
+                addr: ports.addr,
+                wdata: ports.wdata,
+                master: ports.master,
+                ack: ports.ack,
+                rdata: ports.rdata,
+            });
+        }
+
+        // Interconnect.
+        let (bus_id, crossbar) = match config.interconnect {
+            InterconnectKind::SharedBus(bus_cfg) => {
+                let bus = SharedBus::new("bus", clk, master_ifs, slave_ifs, map, bus_cfg);
+                let id = sim.add_component(Box::new(bus));
+                (id, false)
+            }
+            InterconnectKind::Crossbar(arb) => {
+                let xbar = Crossbar::new("xbar", clk, master_ifs, slave_ifs, map, arb);
+                let id = sim.add_component(Box::new(xbar));
+                (id, true)
+            }
+        };
+        sim.subscribe(bus_id, clk, Edge::Rising);
+
+        // Completion monitor.
+        let mon = sim.add_component(Box::new(HaltMonitor::new(halted_wires.clone())));
+        for w in halted_wires {
+            sim.subscribe(mon, w, Edge::Rising);
+        }
+
+        McSystem {
+            sim,
+            clock_period: config.clock_period,
+            cpu_ids,
+            mem_ids,
+            mem_kinds,
+            bus_id,
+            crossbar,
+        }
+    }
+
+    /// Runs until every CPU halts or `max_cycles` clock cycles elapse,
+    /// and collects the full report.
+    pub fn run(&mut self, max_cycles: u64) -> RunReport {
+        let t0 = self.sim.time();
+        let summary = self
+            .sim
+            .run_until_stopped(max_cycles.saturating_mul(self.clock_period));
+        let sim_cycles = summary.end_time.since(t0) / self.clock_period;
+
+        let finished = summary
+            .stop
+            .as_ref()
+            .is_some_and(|s| !s.is_error());
+        let error = summary.stop.as_ref().and_then(|s| {
+            s.is_error().then(|| s.message().to_owned())
+        });
+
+        let cpus = self
+            .cpu_ids
+            .iter()
+            .map(|&id| {
+                let c: &CpuComponent = self.sim.component(id).expect("cpu component");
+                let core = c.core();
+                CpuReport {
+                    halted: core.is_halted(),
+                    exit_code: core.exit_code(),
+                    isa: core.stats(),
+                    cosim: c.stats(),
+                    cpu_cycles: core.cycles(),
+                    console: core.console().text(),
+                }
+            })
+            .collect();
+
+        let mems = self
+            .mem_ids
+            .iter()
+            .zip(&self.mem_kinds)
+            .map(|(&id, &kind)| {
+                if let Some(m) = self.sim.component::<MemoryModule>(id) {
+                    MemReport {
+                        kind,
+                        backend: m.backend().stats(),
+                        module: m.stats(),
+                    }
+                } else {
+                    let s: &StaticTableMemory =
+                        self.sim.component(id).expect("static memory component");
+                    MemReport {
+                        kind,
+                        backend: Default::default(),
+                        module: s.stats(),
+                    }
+                }
+            })
+            .collect();
+
+        let bus: BusStats = if self.crossbar {
+            self.sim
+                .component::<Crossbar>(self.bus_id)
+                .expect("crossbar")
+                .stats()
+        } else {
+            self.sim
+                .component::<SharedBus>(self.bus_id)
+                .expect("shared bus")
+                .stats()
+        };
+
+        RunReport {
+            sim_cycles,
+            wall: summary.wall,
+            finished,
+            error,
+            cpus,
+            mems,
+            bus,
+            kernel: summary.stats,
+        }
+    }
+
+    /// Number of CPUs.
+    pub fn cpu_count(&self) -> usize {
+        self.cpu_ids.len()
+    }
+
+    /// Number of shared memories.
+    pub fn mem_count(&self) -> usize {
+        self.mem_ids.len()
+    }
+
+    /// Direct access to a CPU component (post-run inspection).
+    pub fn cpu(&self, i: usize) -> &CpuComponent {
+        self.sim.component(self.cpu_ids[i]).expect("cpu component")
+    }
+
+    /// Direct access to a protocol memory module (None for static RAM).
+    pub fn memory(&self, j: usize) -> Option<&MemoryModule> {
+        self.sim.component(self.mem_ids[j])
+    }
+
+    /// The underlying simulator (tracing, advanced inspection).
+    pub fn simulator(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// Mutable simulator access (e.g. to enable VCD tracing before a run).
+    pub fn simulator_mut(&mut self) -> &mut Simulator {
+        &mut self.sim
+    }
+}

@@ -1,0 +1,102 @@
+//! System configuration: the knobs of the design-space exploration the
+//! framework exists to support.
+
+use dmi_core::{SimHeapConfig, StaticMemConfig, WrapperConfig};
+use dmi_interconnect::{ArbiterKind, BusConfig};
+use dmi_isa::Program;
+
+/// Which memory model backs a shared-memory module.
+#[derive(Debug, Clone, Copy)]
+pub enum MemModelKind {
+    /// The paper's host-backed dynamic memory wrapper.
+    Wrapper(WrapperConfig),
+    /// The detailed in-simulation allocator baseline.
+    SimHeap(SimHeapConfig),
+    /// A directly-addressed static table (no dynamic protocol).
+    Static(StaticMemConfig),
+}
+
+impl MemModelKind {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MemModelKind::Wrapper(_) => "wrapper",
+            MemModelKind::SimHeap(_) => "simheap",
+            MemModelKind::Static(_) => "static",
+        }
+    }
+}
+
+/// Interconnect topology.
+#[derive(Debug, Clone, Copy)]
+pub enum InterconnectKind {
+    /// Single shared bus (the paper's topology).
+    SharedBus(BusConfig),
+    /// Crossbar with per-slave arbitration (ablation).
+    Crossbar(ArbiterKind),
+}
+
+/// Base address of shared-memory module `i` in the CPUs' address space.
+///
+/// Each module owns a 64 KiB window starting at `0x8000_0000`.
+pub const fn mem_base(i: usize) -> u32 {
+    0x8000_0000 + (i as u32) * 0x0001_0000
+}
+
+/// Size of each module's decode window.
+pub const MEM_WINDOW: u32 = 0x0001_0000;
+
+/// Full description of a co-simulated MPSoC.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Clock period in kernel ticks (must be even; 2 = fastest).
+    pub clock_period: u64,
+    /// Private memory per CPU in bytes.
+    pub local_mem_size: u32,
+    /// One program per CPU (CPU count = `programs.len()`).
+    pub programs: Vec<Program>,
+    /// One entry per shared-memory module, decoded at [`mem_base`]`(i)`.
+    pub memories: Vec<MemModelKind>,
+    /// Interconnect topology.
+    pub interconnect: InterconnectKind,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            clock_period: 2,
+            local_mem_size: 0x40000,
+            programs: Vec::new(),
+            memories: vec![MemModelKind::Wrapper(WrapperConfig::default())],
+            interconnect: InterconnectKind::SharedBus(BusConfig::default()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_bases_are_disjoint_windows() {
+        assert_eq!(mem_base(0), 0x8000_0000);
+        assert_eq!(mem_base(1), 0x8001_0000);
+        assert_eq!(mem_base(2) - mem_base(1), MEM_WINDOW);
+    }
+
+    #[test]
+    fn model_names() {
+        assert_eq!(
+            MemModelKind::Wrapper(WrapperConfig::default()).name(),
+            "wrapper"
+        );
+        assert_eq!(
+            MemModelKind::SimHeap(SimHeapConfig::default()).name(),
+            "simheap"
+        );
+        assert_eq!(
+            MemModelKind::Static(StaticMemConfig::default()).name(),
+            "static"
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! # dmi-system — the MPSoC co-simulation framework
+//!
+//! The top of the stack: this crate assembles the framework of the paper's
+//! Figure 1 — ISSs ([`dmi-iss`](dmi_iss)) and hardware modules
+//! ([`dmi-core`](dmi_core) memories, [`dmi-interconnect`](dmi_interconnect))
+//! on a simulation kernel ([`dmi-kernel`](dmi_kernel)) — from a declarative
+//! [`SystemConfig`], runs it, and reports the *simulation speed* metrics
+//! the paper's evaluation is based on.
+//!
+//! The [`experiments`] module reproduces every experiment of the paper and
+//! the extended evaluation documented in `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod build;
+mod config;
+pub mod experiments;
+mod report;
+
+pub use build::McSystem;
+pub use config::{mem_base, InterconnectKind, MemModelKind, SystemConfig, MEM_WINDOW};
+pub use report::{CpuReport, MemReport, RunReport};

@@ -1,0 +1,144 @@
+//! Run reports: what a co-simulation measured.
+
+use std::time::Duration;
+
+use dmi_core::{MemStats, ModuleStats};
+use dmi_interconnect::BusStats;
+use dmi_iss::{CpuComponentStats, CpuStats};
+use dmi_kernel::KernelStats;
+
+/// Per-CPU outcome of a run.
+#[derive(Debug, Clone)]
+pub struct CpuReport {
+    /// Whether the CPU reached its halt.
+    pub halted: bool,
+    /// Exit code (`r0` at halt).
+    pub exit_code: u32,
+    /// ISA-level statistics.
+    pub isa: CpuStats,
+    /// Co-simulation statistics (bus waits, transactions).
+    pub cosim: CpuComponentStats,
+    /// Cycles consumed under the CPU timing model.
+    pub cpu_cycles: u64,
+    /// Console output.
+    pub console: String,
+}
+
+/// Per-memory outcome of a run.
+#[derive(Debug, Clone)]
+pub struct MemReport {
+    /// Model name ("wrapper", "simheap", "static").
+    pub kind: &'static str,
+    /// Backend counters (zeroed for static memories).
+    pub backend: MemStats,
+    /// Handshake/FSM counters.
+    pub module: ModuleStats,
+}
+
+/// The result of one co-simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Simulated clock cycles elapsed in this run.
+    pub sim_cycles: u64,
+    /// Host wall-clock time.
+    pub wall: Duration,
+    /// Whether every CPU halted (workload completed).
+    pub finished: bool,
+    /// Kernel-reported error, if the run aborted.
+    pub error: Option<String>,
+    /// Per-CPU reports.
+    pub cpus: Vec<CpuReport>,
+    /// Per-memory reports.
+    pub mems: Vec<MemReport>,
+    /// Interconnect statistics.
+    pub bus: BusStats,
+    /// Kernel statistics for this run.
+    pub kernel: KernelStats,
+}
+
+impl RunReport {
+    /// Simulation speed: simulated clock cycles per host second — the
+    /// metric the paper's evaluation reports.
+    pub fn cycles_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            f64::INFINITY
+        } else {
+            self.sim_cycles as f64 / secs
+        }
+    }
+
+    /// Simulated instructions per host second across all CPUs (MIPS-style
+    /// throughput metric).
+    pub fn instructions_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        let instr: u64 = self.cpus.iter().map(|c| c.isa.instructions).sum();
+        if secs == 0.0 {
+            f64::INFINITY
+        } else {
+            instr as f64 / secs
+        }
+    }
+
+    /// Whether every CPU exited with code zero.
+    pub fn all_ok(&self) -> bool {
+        self.finished && self.cpus.iter().all(|c| c.halted && c.exit_code == 0)
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} cycles in {:?} ({:.0} cyc/s), finished={}, exits=[{}]",
+            self.sim_cycles,
+            self.wall,
+            self.cycles_per_sec(),
+            self.finished,
+            self.cpus
+                .iter()
+                .map(|c| c.exit_code.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy() -> RunReport {
+        RunReport {
+            sim_cycles: 1000,
+            wall: Duration::from_millis(10),
+            finished: true,
+            error: None,
+            cpus: vec![CpuReport {
+                halted: true,
+                exit_code: 0,
+                isa: CpuStats::default(),
+                cosim: CpuComponentStats::default(),
+                cpu_cycles: 900,
+                console: String::new(),
+            }],
+            mems: vec![],
+            bus: BusStats::default(),
+            kernel: KernelStats::default(),
+        }
+    }
+
+    #[test]
+    fn speed_metric() {
+        let r = dummy();
+        let speed = r.cycles_per_sec();
+        assert!((speed - 100_000.0).abs() < 1.0, "speed {speed}");
+        assert!(r.all_ok());
+        assert!(r.summary().contains("1000 cycles"));
+    }
+
+    #[test]
+    fn failed_exit_breaks_all_ok() {
+        let mut r = dummy();
+        r.cpus[0].exit_code = 1;
+        assert!(!r.all_ok());
+    }
+}

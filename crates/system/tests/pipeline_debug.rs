@@ -1,0 +1,109 @@
+//! Diagnostic: run the pipeline stages sequentially (1 frame) on the
+//! functional bus and compare each stage's local buffers to the reference.
+
+use dmi_core::{WrapperBackend, WrapperConfig};
+use dmi_gsm::pipeline::{self, PipelineCfg};
+use dmi_gsm::reference as r;
+use dmi_iss::{CpuCore, LocalMemory, StepEvent};
+use dmi_sw::FunctionalDsmBus;
+
+const MEM0: u32 = 0x8000_0000;
+
+fn read_words(cpu: &CpuCore, addr: u32, n: usize) -> Vec<i32> {
+    (0..n)
+        .map(|i| cpu.local().read32(addr + (i as u32) * 4).unwrap() as i32)
+        .collect()
+}
+
+#[test]
+fn stage_by_stage_against_reference() {
+    let seed = 0xBEEF;
+    let cfg = PipelineCfg {
+        n_frames: 1,
+        mem_bases: vec![MEM0],
+        seed,
+    };
+    let progs = pipeline::stage_programs(&cfg);
+    let mut bus = FunctionalDsmBus::new();
+    bus.add_module(
+        MEM0,
+        0x1_0000,
+        Box::new(WrapperBackend::new(WrapperConfig::default())),
+    );
+
+    // Reference values.
+    let mut src = r::LcgSource::new(seed);
+    let s = src.next_frame();
+    let mut pre = r::PreState::default();
+    let d = r::preprocess(&s, &mut pre);
+    let (l_acf, _) = r::autocorrelation(&d);
+    let rc = r::reflection_coefficients(&l_acf);
+    let larq = r::quantize_lar(&r::rc_to_lar(&rc));
+    let mut enc = r::Encoder::new();
+    let mut src2 = r::LcgSource::new(seed);
+    let frame = enc.encode_frame(&src2.next_frame());
+
+    let mut cpus: Vec<CpuCore> = progs
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let mut c = CpuCore::new(i as u32, LocalMemory::new(0, 0x40000));
+            c.load_program(p);
+            c
+        })
+        .collect();
+
+    // Run stages to completion in order (1 frame => no back-pressure).
+    for (i, cpu) in cpus.iter_mut().enumerate() {
+        bus.master = i as u8;
+        match cpu.run(&mut bus, 500_000_000) {
+            StepEvent::Halted => assert_eq!(cpu.exit_code(), 0, "stage {i} exit"),
+            other => panic!("stage {i} did not halt: {other:?} fault {:?}", cpu.fault()),
+        }
+    }
+
+    // Stage 0 locals.
+    assert_eq!(read_words(&cpus[0], 0x10000, 160), s.to_vec(), "stage0 input");
+    assert_eq!(read_words(&cpus[0], 0x10400, 160), d.to_vec(), "stage0 d");
+    assert_eq!(
+        read_words(&cpus[0], 0x10700, 9),
+        l_acf.to_vec(),
+        "stage0 acf"
+    );
+    // Stage 1 locals.
+    assert_eq!(
+        read_words(&cpus[1], 0x10700, 9),
+        l_acf.to_vec(),
+        "stage1 received acf"
+    );
+    assert_eq!(read_words(&cpus[1], 0x10400, 160), d.to_vec(), "stage1 d");
+    assert_eq!(read_words(&cpus[1], 0x10740, 8), rc.to_vec(), "stage1 rc");
+    assert_eq!(
+        read_words(&cpus[1], 0x10780, 8),
+        larq.to_vec(),
+        "stage1 larq"
+    );
+    // Stage 2 locals: nc/bc per subframe.
+    let ltp_words = read_words(&cpus[2], 0x107C0, 8);
+    let want_ltp: Vec<i32> = frame
+        .subs
+        .iter()
+        .flat_map(|sub| [sub.nc, sub.bc])
+        .collect();
+    assert_eq!(ltp_words, want_ltp, "stage2 ltp params");
+    // Stage 3: last subframe's rpe output.
+    let rpe = read_words(&cpus[3], 0x10B00, 15);
+    let last = &frame.subs[3];
+    assert_eq!(rpe[0], last.grid, "stage3 grid");
+    assert_eq!(rpe[1], last.exp, "stage3 exp");
+    assert_eq!(&rpe[2..15], &last.xmc, "stage3 xmc");
+
+    // Full checksum.
+    let backend = bus
+        .backend(0)
+        .as_any()
+        .downcast_ref::<WrapperBackend>()
+        .unwrap();
+    let result = pipeline::extract_result(backend).expect("result block");
+    assert_eq!(result.checksum, pipeline::expected_checksum(&cfg));
+}

@@ -1,0 +1,54 @@
+//! Quickstart: build a 2-CPU MPSoC with one dynamic shared memory, run an
+//! allocation-churn workload cycle-true, and print the report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dmi_sim::sw::{workloads, WorkloadCfg};
+use dmi_sim::system::{mem_base, McSystem, SystemConfig};
+
+fn main() {
+    let wl = WorkloadCfg {
+        mem_base: mem_base(0),
+        iterations: 100,
+        buf_words: 16,
+        ..WorkloadCfg::default()
+    };
+
+    // Two CPUs churning allocations on the same wrapper memory.
+    let mut system = McSystem::build(SystemConfig {
+        programs: vec![workloads::alloc_churn(&wl), workloads::alloc_churn(&wl)],
+        ..SystemConfig::default()
+    });
+
+    let report = system.run(100_000_000);
+    println!("run: {}", report.summary());
+    println!(
+        "simulation speed: {:.0} cycles/s, {:.0} instr/s",
+        report.cycles_per_sec(),
+        report.instructions_per_sec()
+    );
+    for (i, cpu) in report.cpus.iter().enumerate() {
+        println!(
+            "cpu{i}: {} instructions, {} bus transactions, {} wait cycles, exit {}",
+            cpu.isa.instructions, cpu.cosim.transactions, cpu.cosim.bus_wait_cycles, cpu.exit_code
+        );
+    }
+    let mem = &report.mems[0];
+    println!(
+        "memory ({}): {} allocs, {} frees, {} reads, {} writes, {} host bytes",
+        mem.kind,
+        mem.backend.allocs,
+        mem.backend.frees,
+        mem.backend.reads,
+        mem.backend.writes,
+        mem.backend.host.bytes_allocated
+    );
+    println!(
+        "bus: {} transactions, {:.1}% utilisation",
+        report.bus.transactions,
+        100.0 * report.bus.utilisation()
+    );
+    assert!(report.all_ok(), "workload self-check failed");
+}

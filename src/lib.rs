@@ -1,0 +1,52 @@
+//! # dmi-sim — fast dynamic memory integration for MPSoC co-simulation
+//!
+//! A Rust reproduction of O. Villa, P. Schaumont, I. Verbauwhede,
+//! M. Monchiero, G. Palermo, *"Fast Dynamic Memory Integration in
+//! Co-Simulation Frameworks for Multiprocessor System on-Chip"* (DATE 2005).
+//!
+//! This facade crate re-exports the full stack:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`kernel`] | `dmi-kernel` | discrete-event simulation kernel (SystemC substitute) |
+//! | [`isa`] | `dmi-isa` | SimARM ISA, assembler, disassembler |
+//! | [`iss`] | `dmi-iss` | cycle-approximate instruction-set simulator |
+//! | [`interconnect`] | `dmi-interconnect` | shared bus / crossbar |
+//! | [`core`] | `dmi-core` | **the paper's dynamic memory wrapper** + baselines |
+//! | [`sw`] | `dmi-sw` | DSM driver API and workload programs |
+//! | [`gsm`] | `dmi-gsm` | GSM-style encoder workload (reference + ISS) |
+//! | [`system`] | `dmi-system` | topology builder, run reports, experiments |
+//!
+//! See `README.md` for a guided tour, `DESIGN.md` for the architecture and
+//! `EXPERIMENTS.md` for the reproduced evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dmi_sim::sw::{workloads, WorkloadCfg};
+//! use dmi_sim::system::{mem_base, McSystem, SystemConfig};
+//!
+//! let cfg = WorkloadCfg {
+//!     mem_base: mem_base(0),
+//!     iterations: 8,
+//!     ..WorkloadCfg::default()
+//! };
+//! let mut system = McSystem::build(SystemConfig {
+//!     programs: vec![workloads::alloc_churn(&cfg)],
+//!     ..SystemConfig::default()
+//! });
+//! let report = system.run(1_000_000);
+//! assert!(report.all_ok());
+//! println!("{}", report.summary());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use dmi_core as core;
+pub use dmi_gsm as gsm;
+pub use dmi_interconnect as interconnect;
+pub use dmi_isa as isa;
+pub use dmi_iss as iss;
+pub use dmi_kernel as kernel;
+pub use dmi_sw as sw;
+pub use dmi_system as system;
