@@ -5,19 +5,28 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dmi_core::{ElemType, PointerTable, VptrPolicy};
 
 fn table_ops(c: &mut Criterion) {
+    // Resolution scaling, with the translation cache on (the default) and
+    // off (pure binary search) — the A/B the TLB is judged by.
     let mut g = c.benchmark_group("e4_table_resolution");
-    for log2_n in [4u32, 8, 12] {
-        let n = 1u32 << log2_n;
-        let mut t = PointerTable::new(u32::MAX, VptrPolicy::PaperMonotonic);
-        let vptrs: Vec<u32> = (0..n).map(|_| t.alloc(4, ElemType::U32).unwrap()).collect();
-        g.bench_with_input(BenchmarkId::new("entries", n), &n, |b, &n| {
-            let mut i = 0u32;
-            b.iter(|| {
-                let v = vptrs[(i % n) as usize] + (i % 16);
-                i = i.wrapping_add(1);
-                t.resolve(v)
+    for cached in [true, false] {
+        for log2_n in [4u32, 8, 12, 14] {
+            let n = 1u32 << log2_n;
+            let mut t = PointerTable::with_translation_cache(
+                u32::MAX,
+                VptrPolicy::PaperMonotonic,
+                cached,
+            );
+            let vptrs: Vec<u32> = (0..n).map(|_| t.alloc(4, ElemType::U32).unwrap()).collect();
+            let label = if cached { "entries" } else { "entries_uncached" };
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                let mut i = 0u32;
+                b.iter(|| {
+                    let v = vptrs[(i % n) as usize] + (i % 16);
+                    i = i.wrapping_add(1);
+                    t.resolve(v)
+                });
             });
-        });
+        }
     }
     g.finish();
 

@@ -30,8 +30,24 @@ pub struct MemStats {
     pub denials: u64,
     /// Total simulated busy cycles charged by the backend.
     pub busy_cycles: u64,
+    /// Translations served by the wrapper's TLB (zero for other models).
+    pub tlb_hits: u64,
+    /// Translations that fell through to the pointer-table search.
+    pub tlb_misses: u64,
     /// Host-side allocation activity (non-zero only for the wrapper).
     pub host: HostStats,
+}
+
+impl MemStats {
+    /// TLB hit rate over all translations (0.0 when none were served).
+    pub fn tlb_hit_rate(&self) -> f64 {
+        let total = self.tlb_hits + self.tlb_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.tlb_hits as f64 / total as f64
+        }
+    }
 }
 
 /// One beat of an active burst.
@@ -66,6 +82,32 @@ impl BeatResult {
     }
 }
 
+/// Outcome of a batched multi-beat transfer
+/// ([`DsmBackend::burst_read_block`] / [`DsmBackend::burst_write_block`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockResult {
+    /// [`Status::Ok`], or the error the first failing beat reported.
+    pub status: Status,
+    /// Beats actually transferred before completion or the error.
+    pub beats: u32,
+    /// Total simulated cycles the transferred beats occupy the module —
+    /// identical to the sum the per-beat path would have charged.
+    pub cycles: u64,
+    /// Simulated cycles of each individual beat, so a caller draining a
+    /// block buffer can keep charging cycle-true per-beat latencies.
+    pub cycles_per_beat: u64,
+}
+
+/// Snapshot of a master's active burst, for callers that want to batch
+/// ([`DsmBackend::burst_info`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstInfo {
+    /// Direction: write (`true`) or read (`false`).
+    pub writing: bool,
+    /// Beats not yet transferred.
+    pub remaining: u32,
+}
+
 /// A shared-memory model: functional semantics plus timing.
 ///
 /// Implementations in this crate: [`WrapperBackend`] (the paper's
@@ -89,6 +131,94 @@ pub trait DsmBackend: std::fmt::Debug {
 
     /// Produces one beat of `master`'s active burst read.
     fn burst_read_beat(&mut self, master: u8) -> BeatResult;
+
+    /// Describes `master`'s active burst, if the model supports batching.
+    ///
+    /// Returning `None` (the default) tells callers to use the per-beat
+    /// interface; models that implement the block transfers below should
+    /// return the live state so front-ends (the memory module FSM) can
+    /// stream a whole burst in one backend call.
+    ///
+    /// **Contract for implementors:** by returning `Some`, a backend
+    /// opts into block streaming and promises that (a) its successful
+    /// *read* beats all charge the same cycle cost (the front-end
+    /// replays `BlockResult::cycles_per_beat` for every streamed beat),
+    /// and (b) a failing `burst_read_beat` is idempotent — it charges no
+    /// cycles and mutates no state, so the front-end may re-issue it to
+    /// surface the error. Backends with non-uniform read beats must keep
+    /// the default `None` and stay on the per-beat path.
+    fn burst_info(&self, master: u8) -> Option<BurstInfo> {
+        let _ = master;
+        None
+    }
+
+    /// Batched form of [`burst_read_beat`](Self::burst_read_beat): fills
+    /// `out` with up to `out.len()` beats in one call.
+    ///
+    /// Functionally and in charged cycles this must be *bit-identical* to
+    /// calling `burst_read_beat` `out.len()` times — batching is a host-side
+    /// fast path, never a timing-model change. The default implementation
+    /// is exactly that loop.
+    fn burst_read_block(&mut self, master: u8, out: &mut [u32]) -> BlockResult {
+        let mut cycles = 0;
+        let mut per_beat = 0;
+        for (i, slot) in out.iter_mut().enumerate() {
+            let beat = self.burst_read_beat(master);
+            if !beat.status.is_ok() {
+                return BlockResult {
+                    status: beat.status,
+                    beats: i as u32,
+                    cycles,
+                    cycles_per_beat: per_beat,
+                };
+            }
+            *slot = beat.data;
+            cycles += beat.cycles;
+            // The first beat is the representative per-beat cost (a final
+            // beat may carry extra completion work).
+            if i == 0 {
+                per_beat = beat.cycles;
+            }
+        }
+        BlockResult {
+            status: Status::Ok,
+            beats: out.len() as u32,
+            cycles,
+            cycles_per_beat: per_beat,
+        }
+    }
+
+    /// Batched form of [`burst_write_beat`](Self::burst_write_beat): feeds
+    /// all of `values` in one call. Same bit-identical contract (and
+    /// default implementation) as [`burst_read_block`](Self::burst_read_block).
+    fn burst_write_block(&mut self, master: u8, values: &[u32]) -> BlockResult {
+        let mut cycles = 0;
+        let mut per_beat = 0;
+        for (i, v) in values.iter().enumerate() {
+            let beat = self.burst_write_beat(master, *v);
+            if !beat.status.is_ok() {
+                return BlockResult {
+                    status: beat.status,
+                    beats: i as u32,
+                    cycles,
+                    cycles_per_beat: per_beat,
+                };
+            }
+            cycles += beat.cycles;
+            // First beat as the representative cost: the final beat of a
+            // write burst additionally carries the commit step, which must
+            // not inflate per-beat charging.
+            if i == 0 {
+                per_beat = beat.cycles;
+            }
+        }
+        BlockResult {
+            status: Status::Ok,
+            beats: values.len() as u32,
+            cycles,
+            cycles_per_beat: per_beat,
+        }
+    }
 
     /// Remaining capacity in bytes (INFO register).
     fn free_bytes(&self) -> u32;

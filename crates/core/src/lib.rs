@@ -62,7 +62,7 @@ mod table;
 mod translator;
 mod wrapper;
 
-pub use backend::{BeatResult, DsmBackend, MemStats};
+pub use backend::{BeatResult, BlockResult, BurstInfo, DsmBackend, MemStats};
 pub use delay::{DelayModel, LinDelay};
 pub use host::{HostAlloc, HostStats};
 pub use module::{MemoryModule, ModuleStats, SlavePorts};

@@ -6,6 +6,20 @@
 //! off the acknowledge for the number of cycles the delay model dictates.
 //! Incoming signals are evaluated cycle by cycle, exactly as the paper
 //! describes.
+//!
+//! ## Burst streaming
+//!
+//! When the backend supports batching ([`DsmBackend::burst_info`]), the
+//! module drains a whole read burst from the backend in **one**
+//! [`DsmBackend::burst_read_block`] call on the first DATA read and serves
+//! the remaining beats from a module-local buffer — while still charging
+//! the backend-reported per-beat cycles on every DATA access, so bus-level
+//! timing is bit-identical to the per-beat path (see
+//! `tests/stream_equivalence.rs` in this crate). This relies on the
+//! uniform-beat contract `burst_info` implementors sign up to (see its
+//! docs); backends with non-uniform beats stay on the per-beat path by
+//! returning `None`. Streaming can be disabled with
+//! [`MemoryModule::set_stream_bursts`] for A/B comparisons.
 
 use std::any::Any;
 
@@ -100,6 +114,22 @@ impl Default for MasterCtx {
     }
 }
 
+/// Module-local buffer holding the not-yet-served tail of a read burst
+/// drained from the backend in one block call.
+#[derive(Debug, Default)]
+struct StreamBuf {
+    data: Vec<u32>,
+    pos: usize,
+    beat_cycles: u64,
+}
+
+impl StreamBuf {
+    fn clear(&mut self) {
+        self.data.clear();
+        self.pos = 0;
+    }
+}
+
 /// A shared-memory module on the bus: FSM + exchangeable backend.
 #[derive(Debug)]
 pub struct MemoryModule {
@@ -111,10 +141,16 @@ pub struct MemoryModule {
     ctxs: [MasterCtx; 16],
     state: FsmState,
     stats: ModuleStats,
+    /// Whether read bursts are drained from the backend in one block call.
+    stream_bursts: bool,
+    /// Per-master stream buffers (mirror of the backend's banked ports).
+    streams: [StreamBuf; 16],
 }
 
 impl MemoryModule {
-    /// Creates a module decoding its register block at `base`.
+    /// Creates a module decoding its register block at `base`. Burst
+    /// streaming is on by default (it is cycle-identical; see the module
+    /// docs).
     pub fn new(
         name: impl Into<String>,
         clk: Wire,
@@ -131,7 +167,14 @@ impl MemoryModule {
             ctxs: [MasterCtx::default(); 16],
             state: FsmState::Idle,
             stats: ModuleStats::default(),
+            stream_bursts: true,
+            streams: Default::default(),
         }
+    }
+
+    /// Enables or disables the batched read-burst fast path (A/B testing).
+    pub fn set_stream_bursts(&mut self, on: bool) {
+        self.stream_bursts = on;
     }
 
     /// The backend (for statistics extraction after a run).
@@ -162,6 +205,11 @@ impl MemoryModule {
         match (offset, we) {
             (regs::CMD, true) => match Opcode::from_u32(wdata) {
                 Some(op) => {
+                    // The backend aborts this master's unfinished burst on
+                    // any real command; drop the streamed tail with it.
+                    if !matches!(op, Opcode::Nop) {
+                        self.streams[master].clear();
+                    }
                     let mc = self.ctxs[master];
                     let r = self.backend.execute(&Request {
                         op,
@@ -197,6 +245,39 @@ impl MemoryModule {
                 (0, b.cycles)
             }
             (regs::DATA, false) => {
+                // Fast path: serve the beat from the module-local stream
+                // buffer, draining the backend once per burst.
+                if self.stream_bursts {
+                    let s = &mut self.streams[master];
+                    if s.pos < s.data.len() {
+                        let v = s.data[s.pos];
+                        s.pos += 1;
+                        self.ctxs[master].status = Status::Ok;
+                        return (v, s.beat_cycles);
+                    }
+                    if let Some(info) = self.backend.burst_info(master as u8) {
+                        if !info.writing && info.remaining > 0 {
+                            let s = &mut self.streams[master];
+                            s.clear();
+                            s.data.resize(info.remaining as usize, 0);
+                            let r = self.backend.burst_read_block(master as u8, &mut s.data);
+                            // A backend may deliver fewer beats than it
+                            // advertised (a mid-burst error): keep only
+                            // what was actually transferred so the error
+                            // surfaces on the right beat, exactly where
+                            // the per-beat path would have reported it.
+                            s.data.truncate(r.beats as usize);
+                            if r.beats > 0 {
+                                s.beat_cycles = r.cycles_per_beat;
+                                s.pos = 1;
+                                self.ctxs[master].status = Status::Ok;
+                                return (s.data[0], s.beat_cycles);
+                            }
+                            // Zero beats: fall through to the per-beat
+                            // call, which reproduces the error verbatim.
+                        }
+                    }
+                }
                 let b = self.backend.burst_read_beat(master as u8);
                 self.ctxs[master].status = b.status;
                 (b.data, b.cycles)

@@ -272,6 +272,6 @@ mod tests {
         for (i, r) in all.iter().enumerate() {
             assert_eq!(*r, (i as u32) * 4);
         }
-        assert!(BLOCK_SIZE >= INFO + 4);
+        const { assert!(BLOCK_SIZE >= INFO + 4) };
     }
 }

@@ -83,7 +83,7 @@ impl SimHeapBackend {
     /// multiple of 8.
     pub fn new(config: SimHeapConfig) -> Self {
         assert!(
-            config.capacity >= MIN_BLOCK && config.capacity % 8 == 0,
+            config.capacity >= MIN_BLOCK && config.capacity.is_multiple_of(8),
             "simheap capacity must be a multiple of 8 and at least {MIN_BLOCK}"
         );
         let mut heap = SimHeapBackend {

@@ -21,9 +21,108 @@
 //! * [`VptrPolicy::PaperMonotonic`] — the rule as published;
 //! * [`VptrPolicy::FirstFitReuse`] — first-fit reuse of virtual-address
 //!   gaps left by frees.
+//!
+//! ## Translation lookaside cache
+//!
+//! Every simulated memory access funnels through [`PointerTable::resolve`],
+//! so its cost bounds the whole co-simulation's speed (the paper's
+//! `ticks_per_sec` metric). The table therefore fronts the binary search
+//! with a small TLB: a *last-hit slot* (covers repeated access to the same
+//! allocation, e.g. burst beats and loop bodies) plus a *direct-mapped
+//! cache* keyed by vptr page ([`TLB_PAGE_BITS`]-sized pages) that turns
+//! repeat lookups anywhere in the working set into O(1) probes.
+//!
+//! **Determinism / correctness invariant:** a TLB line is only a *hint*.
+//! Every hit is validated against the live entry (`Entry::contains`), and
+//! because live ranges are disjoint, a validated hit is always the unique
+//! correct translation — a stale line can produce a miss, never a wrong
+//! answer. Lines are additionally invalidated wholesale on free (the
+//! "table re-compacted" step shifts entry indices) via a generation
+//! counter, so the cache state never outlives the entry layout it
+//! describes. Functional results are therefore bit-identical with the TLB
+//! on or off; only host-side speed differs.
 
 use crate::host::{HostAlloc, HostStats};
 use crate::protocol::ElemType;
+
+/// Log2 of the TLB page size in bytes (16-byte pages: fine enough that
+/// small allocations get their own line, coarse enough to cover a burst).
+pub const TLB_PAGE_BITS: u32 = 4;
+
+/// Lines allocated for a fresh table (grown adaptively, power of two).
+const TLB_MIN_LINES: usize = 64;
+
+/// Upper bound on TLB lines (65536 lines = 12-byte lines, ~768 KiB host
+/// memory when fully grown; only reached by tables with >16k live entries).
+const TLB_MAX_LINES: usize = 1 << 16;
+
+/// Sentinel: no page can hash to this tag (vptr >> 4 is at most 2^28 - 1).
+const TLB_EMPTY: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct TlbLine {
+    /// Page tag (`vptr >> TLB_PAGE_BITS`); [`TLB_EMPTY`] when unused.
+    page: u32,
+    /// Entry index the page translated to when the line was filled.
+    idx: u32,
+    /// Generation the line was filled in; stale generations are misses.
+    gen: u32,
+}
+
+const EMPTY_LINE: TlbLine = TlbLine {
+    page: TLB_EMPTY,
+    idx: u32::MAX,
+    gen: 0,
+};
+
+/// The translation lookaside cache fronting the pointer table's binary
+/// search. See the module docs for the validation invariant.
+#[derive(Debug)]
+struct Tlb {
+    lines: Box<[TlbLine]>,
+    /// Index of the entry that served the last hit ([`u32::MAX`] = none).
+    last: u32,
+    /// Current generation; bumped on free to invalidate all lines at once.
+    gen: u32,
+}
+
+impl Tlb {
+    fn new() -> Self {
+        Tlb {
+            lines: vec![EMPTY_LINE; TLB_MIN_LINES].into_boxed_slice(),
+            last: u32::MAX,
+            gen: 0,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, page: u32) -> usize {
+        (page as usize) & (self.lines.len() - 1)
+    }
+
+    /// O(1) wholesale invalidation: bump the generation. The rare wrap
+    /// falls back to clearing the lines so an ancient generation can never
+    /// false-hit.
+    fn invalidate(&mut self) {
+        self.last = u32::MAX;
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            self.lines.fill(EMPTY_LINE);
+        }
+    }
+
+    /// Grows the cache so `entries` live allocations keep conflict misses
+    /// rare under a sweep of the whole table.
+    fn grow_for(&mut self, entries: usize) {
+        if entries * 2 <= self.lines.len() || self.lines.len() >= TLB_MAX_LINES {
+            return;
+        }
+        let target = (entries * 4)
+            .next_power_of_two()
+            .clamp(TLB_MIN_LINES, TLB_MAX_LINES);
+        self.lines = vec![EMPTY_LINE; target].into_boxed_slice();
+    }
+}
 
 /// How virtual pointers for new allocations are chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -106,10 +205,28 @@ pub struct TableStats {
     pub lookups: u64,
     /// Pointer-arithmetic (containment) resolutions served.
     pub arith_resolutions: u64,
+    /// Resolutions served by the TLB (last-hit slot or direct-mapped line).
+    pub tlb_hits: u64,
+    /// Resolutions that fell through to the binary search.
+    pub tlb_misses: u64,
+    /// Wholesale TLB invalidations (one per free/compaction).
+    pub tlb_invalidations: u64,
     /// Table re-compactions performed on free.
     pub compactions: u64,
     /// Peak number of simultaneous entries.
     pub peak_entries: usize,
+}
+
+impl TableStats {
+    /// TLB hit rate over all resolutions (0.0 when none were served).
+    pub fn tlb_hit_rate(&self) -> f64 {
+        let total = self.tlb_hits + self.tlb_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.tlb_hits as f64 / total as f64
+        }
+    }
 }
 
 /// The pointer table of one dynamic shared memory.
@@ -126,11 +243,22 @@ pub struct PointerTable {
     policy: VptrPolicy,
     stats: TableStats,
     host_stats: HostStats,
+    tlb: Tlb,
+    /// Whether [`resolve`](Self::resolve) may serve from the TLB.
+    tlb_enabled: bool,
 }
 
 impl PointerTable {
-    /// Creates a table managing `capacity` bytes of simulated memory.
+    /// Creates a table managing `capacity` bytes of simulated memory,
+    /// with the translation cache enabled.
     pub fn new(capacity: u32, policy: VptrPolicy) -> Self {
+        Self::with_translation_cache(capacity, policy, true)
+    }
+
+    /// Creates a table with the translation cache explicitly enabled or
+    /// disabled. Disabling exists for A/B equivalence testing — results
+    /// are bit-identical either way, only host-side speed differs.
+    pub fn with_translation_cache(capacity: u32, policy: VptrPolicy, cache: bool) -> Self {
         PointerTable {
             entries: Vec::new(),
             capacity,
@@ -138,6 +266,8 @@ impl PointerTable {
             policy,
             stats: TableStats::default(),
             host_stats: HostStats::default(),
+            tlb: Tlb::new(),
+            tlb_enabled: cache,
         }
     }
 
@@ -259,6 +389,13 @@ impl PointerTable {
         self.used += size;
         self.stats.allocs += 1;
         self.stats.peak_entries = self.stats.peak_entries.max(self.entries.len());
+        // Inserting shifts the indices of entries above `pos`; stale TLB
+        // lines for those entries fail containment validation and refill
+        // lazily, so no invalidation is required here. Growing keeps the
+        // direct map conflict-free as the live population climbs.
+        if self.tlb_enabled {
+            self.tlb.grow_for(self.entries.len());
+        }
         Ok(vptr)
     }
 
@@ -281,6 +418,12 @@ impl PointerTable {
         // Vec::remove shifts the tail down — the "re-compacted" table.
         let entry = self.entries.remove(idx);
         self.stats.compactions += 1;
+        // The compaction moved entry indices: invalidate the whole TLB in
+        // O(1) by bumping its generation.
+        if self.tlb_enabled {
+            self.tlb.invalidate();
+            self.stats.tlb_invalidations += 1;
+        }
         self.used -= entry.size;
         self.stats.frees += 1;
         self.host_stats.frees += 1;
@@ -301,15 +444,75 @@ impl PointerTable {
     ///
     /// Exact base pointers resolve with offset zero; interior pointers
     /// (`vptr = base + k`) resolve to `(entry, k)` as the paper describes.
+    ///
+    /// Served by the TLB when possible (see the module docs); a hit and a
+    /// miss return identical results — only the host-side cost differs.
     pub fn resolve(&mut self, vptr: u32) -> Option<(usize, u32)> {
         self.stats.arith_resolutions += 1;
+
+        if self.tlb_enabled {
+            // Fast path 1: the last-hit slot.
+            let last = self.tlb.last as usize;
+            if let Some(e) = self.entries.get(last) {
+                if e.contains(vptr) {
+                    self.stats.tlb_hits += 1;
+                    return Some((last, vptr - e.vptr));
+                }
+            }
+
+            // Fast path 2: the direct-mapped line for this page.
+            let page = vptr >> TLB_PAGE_BITS;
+            let slot = self.tlb.slot(page);
+            let line = self.tlb.lines[slot];
+            if line.page == page && line.gen == self.tlb.gen {
+                if let Some(e) = self.entries.get(line.idx as usize) {
+                    if e.contains(vptr) {
+                        self.stats.tlb_hits += 1;
+                        self.tlb.last = line.idx;
+                        return Some((line.idx as usize, vptr - e.vptr));
+                    }
+                }
+            }
+            self.stats.tlb_misses += 1;
+        }
+
+        // Slow path: binary search, then fill the line and last-hit slot.
         let idx = match self.entries.binary_search_by_key(&vptr, |e| e.vptr) {
             Ok(i) => i,
             Err(0) => return None,
             Err(i) => i - 1,
         };
         let e = &self.entries[idx];
-        e.contains(vptr).then(|| (idx, vptr - e.vptr))
+        if !e.contains(vptr) {
+            return None;
+        }
+        if self.tlb_enabled {
+            let page = vptr >> TLB_PAGE_BITS;
+            let slot = self.tlb.slot(page);
+            self.tlb.lines[slot] = TlbLine {
+                page,
+                idx: idx as u32,
+                gen: self.tlb.gen,
+            };
+            self.tlb.last = idx as u32;
+        }
+        Some((idx, vptr - e.vptr))
+    }
+
+    /// [`resolve`](Self::resolve) with a caller-provided entry-index hint
+    /// (a per-master translation slot in the wrapper). A valid hint skips
+    /// even the shared TLB probe; an invalid one falls back to `resolve`.
+    pub fn resolve_hinted(&mut self, vptr: u32, hint: u32) -> Option<(usize, u32)> {
+        if self.tlb_enabled {
+            if let Some(e) = self.entries.get(hint as usize) {
+                if e.contains(vptr) {
+                    self.stats.arith_resolutions += 1;
+                    self.stats.tlb_hits += 1;
+                    return Some((hint as usize, vptr - e.vptr));
+                }
+            }
+        }
+        self.resolve(vptr)
     }
 
     /// Entry access by index (from [`resolve`](Self::resolve)).
@@ -568,6 +771,104 @@ mod tests {
         let b = t.alloc(4, ElemType::U32).unwrap();
         let (idx, _) = t.resolve(b).unwrap();
         assert!(t.entry(idx).host.bytes().iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn tlb_serves_repeat_lookups() {
+        let mut t = table(4096);
+        let a = t.alloc(16, ElemType::U32).unwrap();
+        let b = t.alloc(16, ElemType::U32).unwrap();
+        // First touch of each allocation misses, repeats hit.
+        assert!(t.resolve(a).is_some());
+        assert!(t.resolve(a + 4).is_some());
+        assert!(t.resolve(a + 60).is_some());
+        let s = t.stats();
+        assert_eq!(s.tlb_misses, 1, "only the first access searches");
+        assert_eq!(s.tlb_hits, 2);
+        // Different allocation: one more miss, then hits.
+        assert!(t.resolve(b + 8).is_some());
+        assert!(t.resolve(b + 12).is_some());
+        let s = t.stats();
+        assert_eq!(s.tlb_misses, 2);
+        assert_eq!(s.tlb_hits, 3);
+        assert!(s.tlb_hit_rate() > 0.5);
+    }
+
+    #[test]
+    fn tlb_invalidated_on_free() {
+        let mut t = table(4096);
+        let a = t.alloc(16, ElemType::U32).unwrap();
+        let b = t.alloc(16, ElemType::U32).unwrap();
+        assert!(t.resolve(a).is_some());
+        assert!(t.resolve(b).is_some());
+        t.free(a, 0).unwrap();
+        assert_eq!(t.stats().tlb_invalidations, 1);
+        // The freed range must not resolve, hot TLB or not.
+        assert_eq!(t.resolve(a), None);
+        assert_eq!(t.resolve(a + 8), None);
+        // The survivor still resolves correctly (index shifted from 1 to 0).
+        let (idx, off) = t.resolve(b + 4).unwrap();
+        assert_eq!(t.entry(idx).vptr, b);
+        assert_eq!(off, 4);
+    }
+
+    #[test]
+    fn tlb_correct_across_first_fit_reuse() {
+        // Reusing a freed vptr range for a new allocation must translate to
+        // the new entry, never the stale one.
+        let mut t = PointerTable::new(4096, VptrPolicy::FirstFitReuse);
+        let a = t.alloc(16, ElemType::U32).unwrap(); // [0, 64)
+        let _b = t.alloc(16, ElemType::U32).unwrap(); // [64, 128)
+        assert!(t.resolve(a + 32).is_some()); // warm the TLB for a's pages
+        t.free(a, 0).unwrap();
+        let c = t.alloc(8, ElemType::U32).unwrap(); // reuses [0, 32)
+        assert_eq!(c, a, "first-fit reuses the gap");
+        let (idx, off) = t.resolve(c + 16).unwrap();
+        assert_eq!(t.entry(idx).vptr, c);
+        assert_eq!(t.entry(idx).size, 32, "resolved to the new allocation");
+        assert_eq!(off, 16);
+        assert_eq!(t.resolve(c + 40), None, "beyond the new allocation");
+    }
+
+    #[test]
+    fn resolve_hinted_validates_hint() {
+        let mut t = table(4096);
+        let a = t.alloc(4, ElemType::U32).unwrap();
+        let b = t.alloc(4, ElemType::U32).unwrap();
+        let (bi, _) = t.resolve(b).unwrap();
+        // Correct hint short-circuits.
+        let hits_before = t.stats().tlb_hits;
+        let (idx, off) = t.resolve_hinted(b + 4, bi as u32).unwrap();
+        assert_eq!((idx, off), (bi, 4));
+        assert_eq!(t.stats().tlb_hits, hits_before + 1);
+        // Wrong and out-of-range hints fall back to the normal path.
+        let (idx, off) = t.resolve_hinted(a, bi as u32).unwrap();
+        assert_eq!(t.entry(idx).vptr, a);
+        assert_eq!(off, 0);
+        assert_eq!(t.resolve_hinted(a + 2, u32::MAX).unwrap().1, 2);
+        assert_eq!(t.resolve_hinted(0xFFFF, 0), None);
+    }
+
+    #[test]
+    fn tlb_scales_with_table_population() {
+        // A sweep over many entries should be TLB-hot on the second pass.
+        let mut t = PointerTable::new(u32::MAX, VptrPolicy::PaperMonotonic);
+        let vptrs: Vec<u32> = (0..2048)
+            .map(|_| t.alloc(4, ElemType::U32).unwrap())
+            .collect();
+        for &v in &vptrs {
+            t.resolve(v + 3);
+        }
+        let cold = t.stats();
+        for &v in &vptrs {
+            t.resolve(v + 7);
+        }
+        let warm = t.stats();
+        assert_eq!(
+            warm.tlb_misses, cold.tlb_misses,
+            "second sweep is entirely TLB hits"
+        );
+        assert_eq!(warm.tlb_hits - cold.tlb_hits, 2048);
     }
 
     #[test]

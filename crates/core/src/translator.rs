@@ -55,6 +55,88 @@ impl Translator {
         true
     }
 
+    /// Stages `values.len()` elements into a host buffer in one pass — the
+    /// bulk equivalent of repeated [`store`](Self::store) calls, used by the
+    /// burst fast path to commit a whole I/O array at once.
+    ///
+    /// Returns `false` (without writing) when the span escapes the buffer.
+    #[must_use]
+    pub fn store_slice(&self, buf: &mut [u8], offset: u32, values: &[u32], elem: ElemType) -> bool {
+        let width = elem.bytes() as usize;
+        let total = values.len() * width;
+        let Some(dst) = buf
+            .get_mut(offset as usize..)
+            .and_then(|s| s.get_mut(..total))
+        else {
+            return false;
+        };
+        match (self.sim_endian, elem) {
+            // The common case: word elements in simulated little-endian
+            // order; one flat pass the compiler vectorises.
+            (Endian::Little, ElemType::U32) => {
+                for (c, v) in dst.chunks_exact_mut(4).zip(values) {
+                    c.copy_from_slice(&v.to_le_bytes());
+                }
+            }
+            _ => {
+                for (c, v) in dst.chunks_exact_mut(width).zip(values) {
+                    let bytes = match self.sim_endian {
+                        Endian::Little => v.to_le_bytes(),
+                        Endian::Big => v.to_be_bytes(),
+                    };
+                    match self.sim_endian {
+                        Endian::Little => c.copy_from_slice(&bytes[..width]),
+                        Endian::Big => c.copy_from_slice(&bytes[4 - width..]),
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Loads `len` elements from `offset` into `out` in one pass — the bulk
+    /// equivalent of repeated [`load`](Self::load) calls, used to stage a
+    /// burst read's I/O array from the host allocation.
+    ///
+    /// Returns `false` (without touching `out`) when the span escapes the
+    /// buffer.
+    #[must_use]
+    pub fn load_slice(
+        &self,
+        buf: &[u8],
+        offset: u32,
+        len: u32,
+        elem: ElemType,
+        out: &mut Vec<u32>,
+    ) -> bool {
+        let width = elem.bytes() as usize;
+        let total = len as usize * width;
+        let Some(src) = buf.get(offset as usize..).and_then(|s| s.get(..total)) else {
+            return false;
+        };
+        out.reserve(len as usize);
+        match (self.sim_endian, elem) {
+            (Endian::Little, ElemType::U32) => out.extend(
+                src.chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().expect("chunk of 4"))),
+            ),
+            _ => out.extend(src.chunks_exact(width).map(|c| {
+                let mut bytes = [0u8; 4];
+                match self.sim_endian {
+                    Endian::Little => {
+                        bytes[..width].copy_from_slice(c);
+                        u32::from_le_bytes(bytes)
+                    }
+                    Endian::Big => {
+                        bytes[4 - width..].copy_from_slice(c);
+                        u32::from_be_bytes(bytes)
+                    }
+                }
+            })),
+        }
+        true
+    }
+
     /// Loads an element value from `offset` in a host buffer.
     ///
     /// Returns `None` when the access would escape the buffer.
@@ -122,6 +204,43 @@ mod tests {
         assert_eq!(t.load(&buf, 2, ElemType::U32), None);
         assert_eq!(t.load(&buf, 4, ElemType::U8), None);
         assert!(t.store(&mut buf, 3, 0xFF, ElemType::U8));
+    }
+
+    #[test]
+    fn slice_ops_match_element_ops() {
+        for endian in [Endian::Little, Endian::Big] {
+            let t = Translator::new(endian);
+            for elem in [ElemType::U8, ElemType::U16, ElemType::U32] {
+                let values = [0xDEAD_BEEF, 0x0102_0304, 0, 0xFFFF_FFFF, 0x8000_0001];
+                let mut bulk = vec![0u8; 64];
+                let mut scalar = vec![0u8; 64];
+                assert!(t.store_slice(&mut bulk, 4, &values, elem));
+                for (i, v) in values.iter().enumerate() {
+                    assert!(t.store(&mut scalar, 4 + (i as u32) * elem.bytes(), *v, elem));
+                }
+                assert_eq!(bulk, scalar, "{endian:?}/{elem:?} stores");
+                let mut out = Vec::new();
+                assert!(t.load_slice(&bulk, 4, values.len() as u32, elem, &mut out));
+                let per: Vec<u32> = (0..values.len())
+                    .map(|i| t.load(&bulk, 4 + (i as u32) * elem.bytes(), elem).unwrap())
+                    .collect();
+                assert_eq!(out, per, "{endian:?}/{elem:?} loads");
+            }
+        }
+    }
+
+    #[test]
+    fn slice_ops_bounds_checked() {
+        let t = Translator::default();
+        let mut buf = [0u8; 8];
+        assert!(!t.store_slice(&mut buf, 4, &[1, 2], ElemType::U32));
+        assert!(buf.iter().all(|&b| b == 0), "failed store writes nothing");
+        let mut out = Vec::new();
+        assert!(!t.load_slice(&buf, 4, 2, ElemType::U32, &mut out));
+        assert!(out.is_empty());
+        assert!(t.store_slice(&mut buf, 0, &[7, 9], ElemType::U32));
+        assert!(t.load_slice(&buf, 0, 2, ElemType::U32, &mut out));
+        assert_eq!(out, vec![7, 9]);
     }
 
     #[test]

@@ -11,8 +11,23 @@
 //! buffer and move to host memory in one step when the communication
 //! completes (writes), or are staged from host memory at burst setup
 //! (reads).
+//!
+//! ## Hot-path engineering
+//!
+//! Three fast paths keep the host cost per simulated access near-constant
+//! without changing any functional result or charged cycle:
+//!
+//! * **Per-master translation hints** — each master's last translated
+//!   entry index short-circuits [`PointerTable::resolve`] for the common
+//!   stride-through-one-buffer pattern (validated, so never stale-wrong);
+//! * **Bulk I/O-array staging** — burst reads stage and burst writes
+//!   commit through [`Translator::load_slice`]/[`Translator::store_slice`]
+//!   in one pass over the host allocation instead of one call per element;
+//! * **I/O-array reuse** — the paper's banked per-port burst buffers are
+//!   allocated once per master and recycled, so burst setup does not touch
+//!   the host allocator.
 
-use crate::backend::{BeatResult, DsmBackend, MemStats};
+use crate::backend::{BeatResult, BlockResult, BurstInfo, DsmBackend, MemStats};
 use crate::delay::DelayModel;
 use crate::protocol::{ElemType, Opcode, OpResult, Request, Status};
 use crate::table::{AllocError, PointerTable, PtrError, VptrPolicy};
@@ -36,8 +51,6 @@ struct BurstState {
     done: u32,
     /// Write (true) or read (false).
     writing: bool,
-    /// The I/O array.
-    iobuf: Vec<u32>,
 }
 
 /// Configuration of a [`WrapperBackend`].
@@ -51,6 +64,11 @@ pub struct WrapperConfig {
     pub endian: Endian,
     /// Delay parameters of the cycle-true part.
     pub delays: DelayModel,
+    /// Whether the translation fast paths (pointer-table TLB and
+    /// per-master hints) are used. On by default; turning it off exists
+    /// for A/B equivalence testing — functional results and charged
+    /// cycles are bit-identical either way (`tests/table_props.rs`).
+    pub translation_cache: bool,
 }
 
 impl Default for WrapperConfig {
@@ -60,6 +78,7 @@ impl Default for WrapperConfig {
             policy: VptrPolicy::PaperMonotonic,
             endian: Endian::Little,
             delays: DelayModel::default(),
+            translation_cache: true,
         }
     }
 }
@@ -70,8 +89,14 @@ pub struct WrapperBackend {
     table: PointerTable,
     translator: Translator,
     delays: DelayModel,
-    /// Per-master I/O arrays (the paper's burst buffers, banked per port).
+    /// Per-master burst state (the paper's per-port burst engines).
     burst: [Option<BurstState>; 16],
+    /// Per-master I/O arrays, allocated once and recycled across bursts.
+    iobufs: [Vec<u32>; 16],
+    /// Per-master translation hints: last entry index each master touched.
+    /// Hints are validated against the live table on use, so a stale hint
+    /// costs one containment check and never a wrong translation.
+    xlat_hint: [u32; 16],
     stats: MemStats,
 }
 
@@ -79,10 +104,16 @@ impl WrapperBackend {
     /// Creates a wrapper with the given configuration.
     pub fn new(config: WrapperConfig) -> Self {
         WrapperBackend {
-            table: PointerTable::new(config.capacity, config.policy),
+            table: PointerTable::with_translation_cache(
+                config.capacity,
+                config.policy,
+                config.translation_cache,
+            ),
             translator: Translator::new(config.endian),
             delays: config.delays,
             burst: Default::default(),
+            iobufs: Default::default(),
+            xlat_hint: [u32::MAX; 16],
             stats: MemStats::default(),
         }
     }
@@ -149,7 +180,8 @@ impl WrapperBackend {
     }
 
     /// Resolves a data access: entry index, offset, elem, after reservation
-    /// and bounds checks.
+    /// and bounds checks. Translation goes through the calling master's
+    /// hint slot first, then the table's TLB.
     fn data_target(
         &mut self,
         vptr: u32,
@@ -157,7 +189,12 @@ impl WrapperBackend {
         master: u8,
         len_elems: u32,
     ) -> Result<(usize, u32, ElemType), Status> {
-        let (idx, offset) = self.table.resolve(vptr).ok_or(Status::BadPointer)?;
+        let slot = master as usize & 0xF;
+        let (idx, offset) = self
+            .table
+            .resolve_hinted(vptr, self.xlat_hint[slot])
+            .ok_or(Status::BadPointer)?;
+        self.xlat_hint[slot] = idx as u32;
         let elem = self.elem_for(width_code, idx).ok_or(Status::BadArgs)?;
         let entry = self.table.entry(idx);
         if !entry.accessible_by(master) {
@@ -209,32 +246,49 @@ impl WrapperBackend {
             Ok((idx, offset, elem)) => {
                 let len = req.arg2;
                 let total_bytes = len * elem.bytes();
-                let mut iobuf = Vec::with_capacity(len as usize);
-                if !writing {
-                    // Stage host data into the I/O array now; beats then
-                    // stream it out.
+                let slot = req.master as usize & 0xF;
+                // Recycle the master's I/O array: no host allocation on the
+                // burst hot path after the first use of each port.
+                let iobuf = &mut self.iobufs[slot];
+                iobuf.clear();
+                if writing {
+                    iobuf.reserve(len as usize);
+                } else {
+                    // Stage host data into the I/O array in one bulk pass;
+                    // beats then stream it out.
                     let entry = self.table.entry(idx);
-                    for i in 0..len {
-                        let v = self
-                            .translator
-                            .load(entry.host.bytes(), offset + i * elem.bytes(), elem)
-                            .expect("bounds pre-checked");
-                        iobuf.push(v);
-                    }
+                    let ok = self
+                        .translator
+                        .load_slice(entry.host.bytes(), offset, len, elem, iobuf);
+                    debug_assert!(ok, "bounds pre-checked");
                 }
-                self.burst[req.master as usize & 0xF] = Some(BurstState {
+                self.burst[slot] = Some(BurstState {
                     entry: idx,
                     offset,
                     elem,
                     len,
                     done: 0,
                     writing,
-                    iobuf,
                 });
                 OpResult::ok(0, self.delays.burst_setup.cycles(total_bytes))
             }
             Err(s) => OpResult::err(s, self.delays.burst_setup.cycles(0)),
         }
+    }
+
+    /// Commits a completed write burst's I/O array to the host allocation
+    /// in one bulk pass, returning the extra cycles of the commit step.
+    fn commit_write_burst(&mut self, slot: usize) -> u64 {
+        let burst = self.burst[slot].take().expect("active write burst");
+        let entry = self.table.entry_mut(burst.entry);
+        let ok = self.translator.store_slice(
+            entry.host.bytes_mut(),
+            burst.offset,
+            &self.iobufs[slot],
+            burst.elem,
+        );
+        debug_assert!(ok, "bounds pre-checked at setup");
+        self.delays.write.cycles(0)
     }
 
     fn do_reserve(&mut self, req: &Request) -> OpResult {
@@ -290,25 +344,14 @@ impl DsmBackend for WrapperBackend {
         if !burst.writing {
             return BeatResult::err(Status::BadArgs, self.delays.reg_access.max(1));
         }
-        burst.iobuf.push(value);
+        self.iobufs[slot].push(value);
         burst.done += 1;
+        let complete = burst.done == burst.len;
         let mut cycles = self.delays.burst_beat;
-        if burst.done == burst.len {
+        if complete {
             // Communication complete: move the I/O array to the host
             // allocation in one step.
-            let burst = self.burst[slot].take().expect("checked above");
-            let translator = self.translator;
-            let entry = self.table.entry_mut(burst.entry);
-            for (i, v) in burst.iobuf.iter().enumerate() {
-                let ok = translator.store(
-                    entry.host.bytes_mut(),
-                    burst.offset + (i as u32) * burst.elem.bytes(),
-                    *v,
-                    burst.elem,
-                );
-                debug_assert!(ok, "bounds pre-checked at setup");
-            }
-            cycles += self.delays.write.cycles(0);
+            cycles += self.commit_write_burst(slot);
         }
         self.stats.burst_beats += 1;
         self.stats.busy_cycles += cycles;
@@ -323,7 +366,7 @@ impl DsmBackend for WrapperBackend {
         if burst.writing || burst.done >= burst.len {
             return BeatResult::err(Status::BadArgs, self.delays.reg_access.max(1));
         }
-        let value = burst.iobuf[burst.done as usize];
+        let value = self.iobufs[slot][burst.done as usize];
         burst.done += 1;
         if burst.done == burst.len {
             self.burst[slot] = None;
@@ -334,14 +377,111 @@ impl DsmBackend for WrapperBackend {
         BeatResult::ok(value, cycles)
     }
 
+    fn burst_info(&self, master: u8) -> Option<BurstInfo> {
+        self.burst[master as usize & 0xF].as_ref().map(|b| BurstInfo {
+            writing: b.writing,
+            remaining: b.len - b.done,
+        })
+    }
+
+    fn burst_read_block(&mut self, master: u8, out: &mut [u32]) -> BlockResult {
+        let slot = master as usize & 0xF;
+        let per_beat = self.delays.burst_beat;
+        let Some(burst) = self.burst[slot].as_mut() else {
+            return BlockResult {
+                status: Status::BadArgs,
+                beats: 0,
+                cycles: 0,
+                cycles_per_beat: per_beat,
+            };
+        };
+        if burst.writing {
+            return BlockResult {
+                status: Status::BadArgs,
+                beats: 0,
+                cycles: 0,
+                cycles_per_beat: per_beat,
+            };
+        }
+        // Bulk slice copy out of the staged I/O array — one memcpy instead
+        // of one virtual call per beat.
+        let n = (out.len() as u32).min(burst.len - burst.done);
+        let from = burst.done as usize;
+        out[..n as usize].copy_from_slice(&self.iobufs[slot][from..from + n as usize]);
+        burst.done += n;
+        let exhausted = burst.done == burst.len;
+        if exhausted {
+            self.burst[slot] = None;
+        }
+        let cycles = n as u64 * per_beat;
+        self.stats.burst_beats += n as u64;
+        self.stats.busy_cycles += cycles;
+        BlockResult {
+            // Mirror the per-beat loop: asking for more beats than remain
+            // ends with the error the next per-beat call would return.
+            status: if (out.len() as u32) > n {
+                Status::BadArgs
+            } else {
+                Status::Ok
+            },
+            beats: n,
+            cycles,
+            cycles_per_beat: per_beat,
+        }
+    }
+
+    fn burst_write_block(&mut self, master: u8, values: &[u32]) -> BlockResult {
+        let slot = master as usize & 0xF;
+        let per_beat = self.delays.burst_beat;
+        let Some(burst) = self.burst[slot].as_mut() else {
+            return BlockResult {
+                status: Status::BadArgs,
+                beats: 0,
+                cycles: 0,
+                cycles_per_beat: per_beat,
+            };
+        };
+        if !burst.writing {
+            return BlockResult {
+                status: Status::BadArgs,
+                beats: 0,
+                cycles: 0,
+                cycles_per_beat: per_beat,
+            };
+        }
+        let n = (values.len() as u32).min(burst.len - burst.done);
+        self.iobufs[slot].extend_from_slice(&values[..n as usize]);
+        burst.done += n;
+        let complete = burst.done == burst.len;
+        let mut cycles = n as u64 * per_beat;
+        if complete {
+            cycles += self.commit_write_burst(slot);
+        }
+        self.stats.burst_beats += n as u64;
+        self.stats.busy_cycles += cycles;
+        BlockResult {
+            status: if (values.len() as u32) > n {
+                Status::BadArgs
+            } else {
+                Status::Ok
+            },
+            beats: n,
+            cycles,
+            cycles_per_beat: per_beat,
+        }
+    }
+
     fn free_bytes(&self) -> u32 {
         self.table.free_bytes()
     }
 
     fn stats(&self) -> MemStats {
         let mut s = self.stats;
+        let t = self.table.stats();
         s.host = self.table.host_stats();
-        s.denials = self.table.stats().denials;
+        s.denials = t.denials;
+        s.tlb_hits = t.tlb_hits;
+        s.tlb_misses = t.tlb_misses;
         s
     }
 

@@ -1,0 +1,244 @@
+//! Equivalence tests for the burst fast paths: with module-side burst
+//! streaming (one `burst_read_block` backend call per burst) on or off,
+//! every bus-visible observable — read data, per-transaction latency,
+//! status — must be *bit-identical*. The fast path may only change host
+//! speed, never simulated behaviour.
+
+use std::any::Any;
+
+use dmi_core::{
+    regs, ElemType, MemoryModule, Opcode, SlavePorts, Status, WrapperBackend, WrapperConfig,
+    WIDTH_FROM_TABLE,
+};
+use dmi_kernel::{Component, Ctx, Edge, Simulator, Wire};
+
+/// A scripted bus master driving the slave handshake directly.
+#[derive(Debug)]
+struct ScriptMaster {
+    clk: Wire,
+    ports: SlavePorts,
+    script: Vec<(u32, bool, u32)>,
+    results: Vec<u32>,
+    latencies: Vec<u64>,
+    issued_at: u64,
+    cycle: u64,
+    index: usize,
+    busy: bool,
+}
+
+impl Component for ScriptMaster {
+    fn name(&self) -> &str {
+        "script_master"
+    }
+    fn wake(&mut self, ctx: &mut Ctx<'_>) {
+        if !ctx.is_signal(self.clk) {
+            return;
+        }
+        self.cycle += 1;
+        if self.busy {
+            if ctx.read_bit(self.ports.ack) {
+                self.results.push(ctx.read(self.ports.rdata) as u32);
+                self.latencies.push(self.cycle - self.issued_at);
+                ctx.write_bit(self.ports.req, false);
+                self.busy = false;
+                self.index += 1;
+                if self.index == self.script.len() {
+                    ctx.stop("script done");
+                }
+            }
+            return;
+        }
+        if self.index < self.script.len() {
+            let (addr, we, wdata) = self.script[self.index];
+            ctx.write_bit(self.ports.req, true);
+            ctx.write_bit(self.ports.we, we);
+            ctx.write(self.ports.addr, addr as u64);
+            ctx.write(self.ports.wdata, wdata as u64);
+            ctx.write(self.ports.master, 0);
+            self.issued_at = self.cycle;
+            self.busy = true;
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+const BASE: u32 = 0x8000_0000;
+
+/// Runs `script` against a wrapper-backed module and returns
+/// `(results, latencies, module transactions, backend burst beats)`.
+fn run_script(script: Vec<(u32, bool, u32)>, streaming: bool) -> (Vec<u32>, Vec<u64>, u64, u64) {
+    let mut sim = Simulator::new();
+    let clk = sim.add_clock("clk", 2);
+    let ports = SlavePorts::declare(&mut sim, "mem.s");
+    let backend = Box::new(WrapperBackend::new(WrapperConfig {
+        capacity: 65536,
+        ..WrapperConfig::default()
+    }));
+    let mut module = MemoryModule::new("mem", clk, ports, BASE, backend);
+    module.set_stream_bursts(streaming);
+    let mid = sim.add_component(Box::new(module));
+    sim.subscribe(mid, clk, Edge::Rising);
+    let n = script.len();
+    let master = ScriptMaster {
+        clk,
+        ports,
+        script,
+        results: Vec::new(),
+        latencies: Vec::new(),
+        issued_at: 0,
+        cycle: 0,
+        index: 0,
+        busy: false,
+    };
+    let sid = sim.add_component(Box::new(master));
+    sim.subscribe(sid, clk, Edge::Rising);
+    let summary = sim.run_until_stopped(10_000_000);
+    assert!(summary.stop.is_some(), "script did not finish ({n} ops)");
+    let m: &ScriptMaster = sim.component(sid).unwrap();
+    let module: &MemoryModule = sim.component(mid).unwrap();
+    (
+        m.results.clone(),
+        m.latencies.clone(),
+        module.stats().transactions,
+        module.backend().stats().burst_beats,
+    )
+}
+
+/// Asserts the two paths observe exactly the same behaviour on `script`.
+///
+/// `burst_beats` counts beats transferred *between module and backend*:
+/// streaming drains a whole burst up front, so on aborted bursts it may
+/// exceed the number of beats the master consumed — never the other way
+/// around. Every bus-visible observable must still match exactly.
+fn assert_equivalent(script: Vec<(u32, bool, u32)>) {
+    let (r_on, l_on, t_on, b_on) = run_script(script.clone(), true);
+    let (r_off, l_off, t_off, b_off) = run_script(script, false);
+    assert_eq!(r_on, r_off, "read data must be bit-identical");
+    assert_eq!(l_on, l_off, "per-transaction latencies must be identical");
+    assert_eq!(t_on, t_off, "transaction counts must match");
+    assert!(
+        b_on >= b_off,
+        "streaming may prefetch but never under-transfer: {b_on} vs {b_off}"
+    );
+}
+
+fn burst_write_read_script(len: u32) -> Vec<(u32, bool, u32)> {
+    let mut s = vec![
+        (BASE + regs::ARG0, true, len),
+        (BASE + regs::ARG1, true, ElemType::U32 as u32),
+        (BASE + regs::CMD, true, Opcode::Alloc as u32),
+        (BASE + regs::RESULT, false, 0),
+        // Write burst of `len` beats at vptr 0.
+        (BASE + regs::ARG0, true, 0),
+        (BASE + regs::ARG1, true, WIDTH_FROM_TABLE),
+        (BASE + regs::ARG2, true, len),
+        (BASE + regs::CMD, true, Opcode::WriteBurst as u32),
+    ];
+    for i in 0..len {
+        s.push((BASE + regs::DATA, true, 0x1000 + i));
+    }
+    // Read it back as a burst.
+    s.push((BASE + regs::CMD, true, Opcode::ReadBurst as u32));
+    for _ in 0..len {
+        s.push((BASE + regs::DATA, false, 0));
+    }
+    s.push((BASE + regs::STATUS, false, 0));
+    s
+}
+
+#[test]
+fn burst_round_trip_is_equivalent() {
+    for len in [1u32, 2, 7, 64] {
+        assert_equivalent(burst_write_read_script(len));
+        // Fully consumed bursts additionally keep exact beat accounting.
+        let (_, _, _, b_on) = run_script(burst_write_read_script(len), true);
+        let (_, _, _, b_off) = run_script(burst_write_read_script(len), false);
+        assert_eq!(b_on, b_off, "fully consumed bursts count identically");
+    }
+}
+
+#[test]
+fn burst_round_trip_returns_written_data() {
+    let (results, _, _, _) = run_script(burst_write_read_script(8), true);
+    // The last 9 results are the 8 read beats plus STATUS.
+    let beats = &results[results.len() - 9..results.len() - 1];
+    let expect: Vec<u32> = (0..8).map(|i| 0x1000 + i).collect();
+    assert_eq!(beats, expect.as_slice());
+    assert_eq!(results[results.len() - 1], Status::Ok as u32);
+}
+
+#[test]
+fn aborted_burst_is_equivalent() {
+    // Setup a read burst, consume two beats, then abort with a scalar read
+    // command and keep using the module. Streaming must drop its buffered
+    // tail exactly like the backend drops its I/O array.
+    let mut s = vec![
+        (BASE + regs::ARG0, true, 8),
+        (BASE + regs::ARG1, true, ElemType::U32 as u32),
+        (BASE + regs::CMD, true, Opcode::Alloc as u32),
+        (BASE + regs::ARG0, true, 0),
+        (BASE + regs::ARG1, true, 0xAB),
+        (BASE + regs::ARG2, true, 2),
+        (BASE + regs::CMD, true, Opcode::Write as u32),
+        // Burst read, 2 of 8 beats consumed.
+        (BASE + regs::ARG1, true, WIDTH_FROM_TABLE),
+        (BASE + regs::ARG2, true, 8),
+        (BASE + regs::CMD, true, Opcode::ReadBurst as u32),
+        (BASE + regs::DATA, false, 0),
+        (BASE + regs::DATA, false, 0),
+        // Abort with a scalar read; then DATA reads must error identically.
+        (BASE + regs::ARG2, true, 2),
+        (BASE + regs::CMD, true, Opcode::Read as u32),
+        (BASE + regs::RESULT, false, 0),
+        (BASE + regs::DATA, false, 0),
+        (BASE + regs::STATUS, false, 0),
+    ];
+    // A fresh burst afterwards still works.
+    s.extend([
+        (BASE + regs::ARG1, true, WIDTH_FROM_TABLE),
+        (BASE + regs::ARG2, true, 4),
+        (BASE + regs::CMD, true, Opcode::ReadBurst as u32),
+        (BASE + regs::DATA, false, 0),
+        (BASE + regs::DATA, false, 0),
+        (BASE + regs::DATA, false, 0),
+        (BASE + regs::DATA, false, 0),
+        (BASE + regs::STATUS, false, 0),
+    ]);
+    assert_equivalent(s);
+}
+
+#[test]
+fn overrun_burst_is_equivalent() {
+    // Reading one beat more than the burst length errors the same way.
+    let mut s = burst_write_read_script(3);
+    s.push((BASE + regs::DATA, false, 0));
+    s.push((BASE + regs::STATUS, false, 0));
+    assert_equivalent(s);
+}
+
+#[test]
+fn wrong_direction_data_access_is_equivalent() {
+    // DATA write during a read burst errors without killing the burst.
+    let s = vec![
+        (BASE + regs::ARG0, true, 4),
+        (BASE + regs::ARG1, true, ElemType::U32 as u32),
+        (BASE + regs::CMD, true, Opcode::Alloc as u32),
+        (BASE + regs::ARG0, true, 0),
+        (BASE + regs::ARG1, true, WIDTH_FROM_TABLE),
+        (BASE + regs::ARG2, true, 4),
+        (BASE + regs::CMD, true, Opcode::ReadBurst as u32),
+        (BASE + regs::DATA, false, 0),
+        (BASE + regs::DATA, true, 0xBAD), // wrong direction
+        (BASE + regs::STATUS, false, 0),
+        (BASE + regs::DATA, false, 0), // burst continues
+        (BASE + regs::DATA, false, 0),
+        (BASE + regs::DATA, false, 0),
+        (BASE + regs::STATUS, false, 0),
+    ];
+    assert_equivalent(s);
+}

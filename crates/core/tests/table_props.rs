@@ -154,6 +154,154 @@ proptest! {
         prop_assert!(big.status.is_ok());
     }
 
+    /// The TLB never serves a stale translation: resolutions on a table
+    /// with the cache enabled are identical, op for op, to resolutions on
+    /// a cache-less shadow table fed the same operation sequence —
+    /// including across frees (invalidation), first-fit vptr reuse and
+    /// entry-index shifts.
+    #[test]
+    fn tlb_resolutions_match_uncached_table(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+        probes in prop::collection::vec(0u32..4096, 16),
+        first_fit in any::<bool>(),
+    ) {
+        let policy = if first_fit { VptrPolicy::FirstFitReuse } else { VptrPolicy::PaperMonotonic };
+        let mut cached = PointerTable::with_translation_cache(4096, policy, true);
+        let mut plain = PointerTable::with_translation_cache(4096, policy, false);
+        let mut live: Vec<u32> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Alloc { dim, elem } => {
+                    let elem = ElemType::from_u32(elem as u32).unwrap();
+                    let a = cached.alloc(dim, elem);
+                    let b = plain.alloc(dim, elem);
+                    prop_assert_eq!(a, b);
+                    if let Ok(v) = a { live.push(v); }
+                }
+                Op::Free { pick } if !live.is_empty() => {
+                    let v = live.remove(pick % live.len());
+                    let a = cached.free(v, 0);
+                    let b = plain.free(v, 0);
+                    prop_assert_eq!(a, b);
+                }
+                Op::Read { pick, off } | Op::Write { pick, off, .. } if !live.is_empty() => {
+                    let v = live[pick % live.len()].wrapping_add(off);
+                    let a = cached.resolve(v).map(|(i, o)| (cached.entry(i).vptr, o));
+                    let b = plain.resolve(v).map(|(i, o)| (plain.entry(i).vptr, o));
+                    prop_assert_eq!(a, b, "resolve({:#x})", v);
+                }
+                _ => {}
+            }
+            // Sweep fixed probe addresses after every op: any stale TLB
+            // line would show up as a divergence here.
+            for &p in &probes {
+                let a = cached.resolve(p).map(|(i, o)| (cached.entry(i).vptr, o));
+                let b = plain.resolve(p).map(|(i, o)| (plain.entry(i).vptr, o));
+                prop_assert_eq!(a, b, "probe {:#x}", p);
+            }
+        }
+    }
+
+    /// Wrapper equivalence: with the translation cache on vs off, every
+    /// operation's result, status and charged cycles are bit-identical —
+    /// the fast path may only change host speed, never simulated
+    /// behaviour.
+    #[test]
+    fn wrapper_equivalent_with_and_without_tlb(
+        ops in prop::collection::vec(op_strategy(), 1..100),
+    ) {
+        let mut fast = WrapperBackend::new(WrapperConfig::default());
+        let mut slow = WrapperBackend::new(WrapperConfig {
+            translation_cache: false,
+            ..WrapperConfig::default()
+        });
+        let req = |op, a0, a1, a2| Request { op, arg0: a0, arg1: a1, arg2: a2, master: 0 };
+        let mut live: Vec<u32> = Vec::new();
+        for op in ops {
+            let r = match op {
+                Op::Alloc { dim, elem } => {
+                    let a = fast.execute(&req(Opcode::Alloc, dim, elem as u32, 0));
+                    let b = slow.execute(&req(Opcode::Alloc, dim, elem as u32, 0));
+                    if a.status.is_ok() { live.push(a.result); }
+                    (a, b)
+                }
+                Op::Free { pick } if !live.is_empty() => {
+                    let v = live.remove(pick % live.len());
+                    (fast.execute(&req(Opcode::Free, v, 0, 0)),
+                     slow.execute(&req(Opcode::Free, v, 0, 0)))
+                }
+                Op::Write { pick, off, value } if !live.is_empty() => {
+                    let v = live[pick % live.len()].wrapping_add(off);
+                    (fast.execute(&req(Opcode::Write, v, value, 0)),
+                     slow.execute(&req(Opcode::Write, v, value, 0)))
+                }
+                Op::Read { pick, off } if !live.is_empty() => {
+                    let v = live[pick % live.len()].wrapping_add(off);
+                    (fast.execute(&req(Opcode::Read, v, 0, 0)),
+                     slow.execute(&req(Opcode::Read, v, 0, 0)))
+                }
+                Op::Reserve { pick, master } if !live.is_empty() => {
+                    let v = live[pick % live.len()];
+                    let rq = |m| Request { op: Opcode::Reserve, arg0: v, arg1: 0, arg2: 0, master: m };
+                    (fast.execute(&rq(master)), slow.execute(&rq(master)))
+                }
+                Op::Release { pick, master } if !live.is_empty() => {
+                    let v = live[pick % live.len()];
+                    let rq = |m| Request { op: Opcode::Release, arg0: v, arg1: 0, arg2: 0, master: m };
+                    (fast.execute(&rq(master)), slow.execute(&rq(master)))
+                }
+                _ => continue,
+            };
+            prop_assert_eq!(r.0.status, r.1.status);
+            prop_assert_eq!(r.0.result, r.1.result);
+            prop_assert_eq!(r.0.cycles, r.1.cycles, "charged cycles must match");
+        }
+    }
+
+    /// Batched burst blocks are bit-identical to per-beat transfers: data,
+    /// per-beat cycle charges and final memory state all match.
+    #[test]
+    fn burst_blocks_equal_beats(
+        data in prop::collection::vec(any::<u32>(), 1..48),
+    ) {
+        let req = |op, a0, a1, a2| Request { op, arg0: a0, arg1: a1, arg2: a2, master: 0 };
+        let len = data.len() as u32;
+
+        let mut a = WrapperBackend::new(WrapperConfig::default());
+        let va = a.execute(&req(Opcode::Alloc, len, ElemType::U32 as u32, 0)).result;
+        prop_assert!(a.execute(&req(Opcode::WriteBurst, va, 2, len)).status.is_ok());
+        let block = a.burst_write_block(0, &data);
+        prop_assert_eq!(block.status, Status::Ok);
+        prop_assert_eq!(block.beats, len);
+
+        let mut b = WrapperBackend::new(WrapperConfig::default());
+        let vb = b.execute(&req(Opcode::Alloc, len, ElemType::U32 as u32, 0)).result;
+        prop_assert!(b.execute(&req(Opcode::WriteBurst, vb, 2, len)).status.is_ok());
+        let mut beat_cycles = 0;
+        for v in &data {
+            let beat = b.burst_write_beat(0, *v);
+            prop_assert!(beat.status.is_ok());
+            beat_cycles += beat.cycles;
+        }
+        prop_assert_eq!(block.cycles, beat_cycles, "identical charged cycles");
+
+        // Read back through a block on one side, beats on the other.
+        prop_assert!(a.execute(&req(Opcode::ReadBurst, va, 2, len)).status.is_ok());
+        prop_assert!(b.execute(&req(Opcode::ReadBurst, vb, 2, len)).status.is_ok());
+        let mut out = vec![0u32; data.len()];
+        let rblock = a.burst_read_block(0, &mut out);
+        prop_assert_eq!(rblock.status, Status::Ok);
+        let mut read_cycles = 0;
+        for (i, expect) in data.iter().enumerate() {
+            let beat = b.burst_read_beat(0);
+            prop_assert!(beat.status.is_ok());
+            prop_assert_eq!(beat.data, *expect, "beat {}", i);
+            prop_assert_eq!(out[i], *expect, "block element {}", i);
+            read_cycles += beat.cycles;
+        }
+        prop_assert_eq!(rblock.cycles, read_cycles);
+    }
+
     /// Burst transfers and scalar writes are equivalent on the wrapper.
     #[test]
     fn burst_equals_scalar_writes(data in prop::collection::vec(any::<u32>(), 1..32)) {

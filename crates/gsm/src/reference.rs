@@ -191,9 +191,7 @@ pub fn ltp(sub: &[i32; SUB_SAMPLES], prev: &[i32; LTP_MAX]) -> (usize, i32) {
         let v = dq[LTP_MAX + k - best_lag];
         energy = energy.wrapping_add(v.wrapping_mul(v));
     }
-    let bc = if l_max <= 0 {
-        0
-    } else if l_max < energy >> 2 {
+    let bc = if l_max <= 0 || l_max < energy >> 2 {
         0
     } else if l_max < energy >> 1 {
         1
@@ -485,7 +483,7 @@ mod tests {
         sub[20] = 8192; // unit-ish impulse (after >>2: 2048)
         let x = weighting_filter(&sub);
         // Center tap: 2048 * 8192 >> 13 = 2048.
-        assert_eq!(x[20], 2048 + (4096 >> 13));
+        assert_eq!(x[20], 2048);
         // Symmetric neighbours equal.
         assert_eq!(x[19], x[21]);
         assert_eq!(x[18], x[22]);

@@ -99,6 +99,17 @@ pub struct BusConfig {
     /// Extra cycles between grant and request forwarding (models a
     /// multi-cycle arbitration/address phase).
     pub arbitration_latency: u64,
+    /// Back-to-back grant retention: when the arbiter picks the same
+    /// master that completed the previous transaction and the address
+    /// decodes to the same slave, skip the arbitration-latency phase and
+    /// forward immediately — the grant is effectively held across the
+    /// beats of a burst (AMBA-style locked/streamed transfers).
+    ///
+    /// This is a *timing-model* option: arbitration fairness is unchanged
+    /// (the arbiter still picks every cycle), only the re-arbitration
+    /// penalty for consecutive same-master/same-slave transfers is
+    /// elided. Off by default so existing cycle traces stay comparable.
+    pub burst_grant: bool,
 }
 
 impl Default for BusConfig {
@@ -106,6 +117,7 @@ impl Default for BusConfig {
         BusConfig {
             arbiter: ArbiterKind::RoundRobin,
             arbitration_latency: 1,
+            burst_grant: false,
         }
     }
 }
@@ -127,6 +139,9 @@ pub struct BusStats {
     pub busy_cycles: u64,
     /// Cycles with no request pending.
     pub idle_cycles: u64,
+    /// Transactions that skipped re-arbitration through burst grant
+    /// retention ([`BusConfig::burst_grant`]).
+    pub retained_grants: u64,
 }
 
 impl BusStats {
@@ -167,6 +182,14 @@ pub struct SharedBus {
     decode_errors: u64,
     busy_cycles: u64,
     idle_cycles: u64,
+    /// `(master, slave)` of the last completed transaction, for
+    /// [`BusConfig::burst_grant`] retention.
+    last_route: Option<(usize, usize)>,
+    /// Transactions that skipped re-arbitration via grant retention.
+    retained_grants: u64,
+    /// Reusable request-line buffer: the bus samples every master each
+    /// clock cycle, so this must not allocate per cycle.
+    req_scratch: Vec<bool>,
 }
 
 impl SharedBus {
@@ -197,6 +220,9 @@ impl SharedBus {
             decode_errors: 0,
             busy_cycles: 0,
             idle_cycles: 0,
+            last_route: None,
+            retained_grants: 0,
+            req_scratch: vec![false; n],
         }
     }
 
@@ -210,26 +236,27 @@ impl SharedBus {
             slave_transactions: self.slave_transactions.clone(),
             busy_cycles: self.busy_cycles,
             idle_cycles: self.idle_cycles,
+            retained_grants: self.retained_grants,
         }
     }
 
-    /// Live requests, with post-ack cooldown filtering.
-    fn live_requests(&mut self, ctx: &Ctx<'_>) -> Vec<bool> {
-        (0..self.masters.len())
-            .map(|i| {
-                let req = ctx.read_bit(self.masters[i].req);
-                if !req {
-                    self.cooldown[i] = false;
-                }
-                req && !self.cooldown[i]
-            })
-            .collect()
+    /// Samples live requests into the reusable scratch buffer
+    /// (`self.req_scratch`), with post-ack cooldown filtering.
+    /// Allocation-free: this runs every clock cycle.
+    fn sample_requests(&mut self, ctx: &Ctx<'_>) {
+        for i in 0..self.masters.len() {
+            let req = ctx.read_bit(self.masters[i].req);
+            if !req {
+                self.cooldown[i] = false;
+            }
+            self.req_scratch[i] = req && !self.cooldown[i];
+        }
     }
 
-    fn count_waiters(&mut self, reqs: &[bool], served: Option<usize>) {
+    fn count_waiters(wait_cycles: &mut [u64], reqs: &[bool], served: Option<usize>) {
         for (i, &r) in reqs.iter().enumerate() {
             if r && Some(i) != served {
-                self.wait_cycles[i] += 1;
+                wait_cycles[i] += 1;
             }
         }
     }
@@ -263,17 +290,30 @@ impl Component for SharedBus {
                 }
             }
             Wake::Signal(_) if ctx.is_signal(self.clk) => {
-                let reqs = self.live_requests(ctx);
+                self.sample_requests(ctx);
                 match self.state {
                     BusState::Idle => {
-                        match self.arbiter.pick(&reqs) {
+                        match self.arbiter.pick(&self.req_scratch) {
                             Some(winner) => {
                                 self.busy_cycles += 1;
-                                self.count_waiters(&reqs, Some(winner));
+                                Self::count_waiters(
+                                    &mut self.wait_cycles,
+                                    &self.req_scratch,
+                                    Some(winner),
+                                );
                                 let addr = ctx.read(self.masters[winner].addr) as u32;
                                 match self.map.decode(addr) {
                                     Some(slave) => {
-                                        if self.config.arbitration_latency == 0 {
+                                        // With zero arbitration latency there
+                                        // is no phase to skip: retention would
+                                        // change nothing, so don't count it.
+                                        let retained = self.config.burst_grant
+                                            && self.config.arbitration_latency > 0
+                                            && self.last_route == Some((winner, slave));
+                                        if retained {
+                                            self.retained_grants += 1;
+                                        }
+                                        if retained || self.config.arbitration_latency == 0 {
                                             self.forward(ctx, winner, slave);
                                         } else {
                                             self.state = BusState::Arbitrate {
@@ -285,6 +325,7 @@ impl Component for SharedBus {
                                     }
                                     None => {
                                         self.decode_errors += 1;
+                                        self.last_route = None;
                                         let m = self.masters[winner];
                                         ctx.write_bit(m.ack, true);
                                         ctx.write(m.rdata, DECODE_ERROR_DATA as u64);
@@ -301,7 +342,7 @@ impl Component for SharedBus {
                         remaining,
                     } => {
                         self.busy_cycles += 1;
-                        self.count_waiters(&reqs, Some(master));
+                        Self::count_waiters(&mut self.wait_cycles, &self.req_scratch, Some(master));
                         if remaining <= 1 {
                             self.forward(ctx, master, slave);
                         } else {
@@ -314,7 +355,7 @@ impl Component for SharedBus {
                     }
                     BusState::WaitSlave { master, slave } => {
                         self.busy_cycles += 1;
-                        self.count_waiters(&reqs, Some(master));
+                        Self::count_waiters(&mut self.wait_cycles, &self.req_scratch, Some(master));
                         let s = self.slaves[slave];
                         if ctx.read_bit(s.ack) {
                             let data = ctx.read(s.rdata);
@@ -323,12 +364,13 @@ impl Component for SharedBus {
                             ctx.write_bit(m.ack, true);
                             ctx.write(m.rdata, data);
                             self.slave_transactions[slave] += 1;
+                            self.last_route = Some((master, slave));
                             self.state = BusState::Complete { master };
                         }
                     }
                     BusState::Complete { master } => {
                         self.busy_cycles += 1;
-                        self.count_waiters(&reqs, Some(master));
+                        Self::count_waiters(&mut self.wait_cycles, &self.req_scratch, Some(master));
                         ctx.write_bit(self.masters[master].ack, false);
                         self.cooldown[master] = true;
                         self.transactions += 1;

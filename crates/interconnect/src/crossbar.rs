@@ -43,6 +43,10 @@ pub struct Crossbar {
     idle_cycles: u64,
     /// Error completions pending: master indices acked this cycle.
     error_complete: Vec<usize>,
+    /// Reusable request-line buffers: the crossbar samples every master
+    /// each clock cycle, so these must not allocate per cycle.
+    req_scratch: Vec<bool>,
+    lane_scratch: Vec<bool>,
 }
 
 impl Crossbar {
@@ -74,6 +78,8 @@ impl Crossbar {
             busy_cycles: 0,
             idle_cycles: 0,
             error_complete: Vec::new(),
+            req_scratch: vec![false; n],
+            lane_scratch: vec![false; n],
         }
     }
 
@@ -95,6 +101,7 @@ impl Crossbar {
             slave_transactions: self.slave_transactions.clone(),
             busy_cycles: self.busy_cycles,
             idle_cycles: self.idle_cycles,
+            retained_grants: 0,
         }
     }
 }
@@ -116,14 +123,15 @@ impl Component for Crossbar {
             }
             Wake::Signal(_) if ctx.is_signal(self.clk) => {
                 let n = self.masters.len();
-                // Refresh request view and cooldowns.
-                let mut reqs = vec![false; n];
-                for i in 0..n {
+                // Refresh request view and cooldowns (reusing the scratch
+                // buffer: no allocation on the per-cycle path).
+                let mut reqs = std::mem::take(&mut self.req_scratch);
+                for (i, rq) in reqs.iter_mut().enumerate() {
                     let r = ctx.read_bit(self.masters[i].req);
                     if !r {
                         self.cooldown[i] = false;
                     }
-                    reqs[i] = r && !self.cooldown[i] && !self.in_service[i];
+                    *rq = r && !self.cooldown[i] && !self.in_service[i];
                 }
 
                 // Finish error completions from last cycle.
@@ -135,6 +143,7 @@ impl Component for Crossbar {
                 }
 
                 // Route decode errors (not tied to any lane).
+                #[allow(clippy::needless_range_loop)] // reqs[i] is also written
                 for i in 0..n {
                     if reqs[i] {
                         let addr = ctx.read(self.masters[i].addr) as u32;
@@ -154,16 +163,16 @@ impl Component for Crossbar {
                     match self.lanes[lane] {
                         LaneState::Idle => {
                             // Requests targeting this lane's slave.
-                            let mut lane_reqs = vec![false; n];
-                            for i in 0..n {
-                                if reqs[i] {
+                            let mut lane_reqs = std::mem::take(&mut self.lane_scratch);
+                            for (i, lr) in lane_reqs.iter_mut().enumerate() {
+                                *lr = reqs[i] && {
                                     let addr = ctx.read(self.masters[i].addr) as u32;
-                                    if self.map.decode(addr) == Some(lane) {
-                                        lane_reqs[i] = true;
-                                    }
-                                }
+                                    self.map.decode(addr) == Some(lane)
+                                };
                             }
-                            if let Some(winner) = self.arbiters[lane].pick(&lane_reqs) {
+                            let pick = self.arbiters[lane].pick(&lane_reqs);
+                            self.lane_scratch = lane_reqs;
+                            if let Some(winner) = pick {
                                 any_busy = true;
                                 reqs[winner] = false;
                                 self.in_service[winner] = true;
@@ -203,8 +212,8 @@ impl Component for Crossbar {
                 }
 
                 // Wait accounting: requesting but not in service.
-                for i in 0..n {
-                    if reqs[i] && !self.in_service[i] {
+                for (i, &rq) in reqs.iter().enumerate() {
+                    if rq && !self.in_service[i] {
                         self.wait_cycles[i] += 1;
                     }
                 }
@@ -213,6 +222,7 @@ impl Component for Crossbar {
                 } else {
                     self.idle_cycles += 1;
                 }
+                self.req_scratch = reqs;
             }
             _ => {}
         }

@@ -45,19 +45,18 @@ impl Component for TestRam {
                         let addr = ctx.read(self.ports.addr) as u32;
                         let off = (addr - self.base) as usize;
                         self.last_master = ctx.read(self.ports.master);
-                        let data;
-                        if ctx.read_bit(self.ports.we) {
+                        let data = if ctx.read_bit(self.ports.we) {
                             let w = ctx.read(self.ports.wdata) as u32;
                             self.bytes[off..off + 4].copy_from_slice(&w.to_le_bytes());
-                            data = 0;
+                            0
                         } else {
-                            data = u32::from_le_bytes([
+                            u32::from_le_bytes([
                                 self.bytes[off],
                                 self.bytes[off + 1],
                                 self.bytes[off + 2],
                                 self.bytes[off + 3],
-                            ]);
-                        }
+                            ])
+                        };
                         self.state = RamState::Exec {
                             remaining: self.latency,
                             data,
@@ -200,6 +199,17 @@ fn run_system(
     ram_latency: u64,
     crossbar: bool,
 ) -> Harness {
+    run_system_cfg(scripts, n_rams, ram_latency, crossbar, BusConfig::default())
+}
+
+/// [`run_system`] with an explicit shared-bus configuration.
+fn run_system_cfg(
+    scripts: Vec<Vec<(u32, bool, u32)>>,
+    n_rams: usize,
+    ram_latency: u64,
+    crossbar: bool,
+    bus_config: BusConfig,
+) -> Harness {
     let mut sim = Simulator::new();
     let clk = sim.add_clock("clk", 2);
 
@@ -268,7 +278,7 @@ fn run_system(
             masters.clone(),
             slaves.clone(),
             map,
-            BusConfig::default(),
+            bus_config,
         );
         let id = sim.add_component(Box::new(bus));
         sim.subscribe(id, clk, Edge::Rising);
@@ -475,6 +485,7 @@ fn fixed_priority_prefers_low_index() {
         BusConfig {
             arbiter: ArbiterKind::FixedPriority,
             arbitration_latency: 1,
+            ..BusConfig::default()
         },
     );
     let bid = sim.add_component(Box::new(bus));
@@ -492,5 +503,61 @@ fn fixed_priority_prefers_low_index() {
     assert!(
         w[1] > w[0],
         "fixed priority should starve master 1: waits {w:?}"
+    );
+}
+
+#[test]
+fn burst_grant_elides_rearbitration_for_streams() {
+    // One master streaming 20 accesses to the same slave: with grant
+    // retention every transaction after the first skips the
+    // arbitration-latency phase, so per-transaction latency drops.
+    let script: Vec<(u32, bool, u32)> = (0..20).map(|i| (MEM0 + i * 4, false, 0)).collect();
+    let slow = run_system_cfg(vec![script.clone()], 1, 1, false, BusConfig::default());
+    let fast = run_system_cfg(
+        vec![script],
+        1,
+        1,
+        false,
+        BusConfig {
+            burst_grant: true,
+            ..BusConfig::default()
+        },
+    );
+    let (r_slow, l_slow) = master_results(&slow, 0);
+    let (r_fast, l_fast) = master_results(&fast, 0);
+    assert_eq!(r_slow, r_fast, "burst grant never changes data");
+    let total_slow: u64 = l_slow.iter().sum();
+    let total_fast: u64 = l_fast.iter().sum();
+    assert!(
+        total_fast + 19 <= total_slow,
+        "retained grants should save one cycle per back-to-back transfer: {total_fast} vs {total_slow}"
+    );
+    let bus: &SharedBus = fast.sim.component(fast.bus_id).unwrap();
+    assert_eq!(bus.stats().retained_grants, 19, "all but the first retain");
+    let bus: &SharedBus = slow.sim.component(slow.bus_id).unwrap();
+    assert_eq!(bus.stats().retained_grants, 0, "off by default");
+}
+
+#[test]
+fn burst_grant_preserves_fairness_under_contention() {
+    // Two masters hammering the same slave: retention must not starve the
+    // round-robin loser — both scripts still complete, and grants stay
+    // balanced.
+    let script: Vec<(u32, bool, u32)> = (0..16).map(|i| (MEM0 + i * 4, false, 0)).collect();
+    let h = run_system_cfg(
+        vec![script.clone(), script],
+        1,
+        1,
+        false,
+        BusConfig {
+            burst_grant: true,
+            ..BusConfig::default()
+        },
+    );
+    let bus: &SharedBus = h.sim.component(h.bus_id).unwrap();
+    let g = bus.stats().master_grants.clone();
+    assert!(
+        (g[0] as i64 - g[1] as i64).abs() <= 1,
+        "round-robin fairness survives grant retention: {g:?}"
     );
 }

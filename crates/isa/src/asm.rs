@@ -206,7 +206,7 @@ impl Asm {
 
     /// Emits `n` zero words.
     pub fn zeros(&mut self, n: usize) -> &mut Self {
-        self.words.extend(std::iter::repeat(0).take(n));
+        self.words.extend(std::iter::repeat_n(0, n));
         self
     }
 
@@ -214,7 +214,7 @@ impl Asm {
     pub fn asciz(&mut self, s: &str) -> &mut Self {
         let mut bytes: Vec<u8> = s.bytes().collect();
         bytes.push(0);
-        while bytes.len() % 4 != 0 {
+        while !bytes.len().is_multiple_of(4) {
             bytes.push(0);
         }
         for chunk in bytes.chunks(4) {

@@ -425,7 +425,7 @@ mod tests {
     #[test]
     fn disasm_falls_back_to_word() {
         assert_eq!(disasm(0xE000_0010), ".word 0xe0000010");
-        assert!(disasm(0xE080_0001).starts_with(".word") == false);
+        assert!(!disasm(0xE080_0001).starts_with(".word"));
     }
 
     #[test]

@@ -319,7 +319,7 @@ fn parse_reglist(s: &str) -> Option<u16> {
 }
 
 /// Splits a mnemonic into `(base, cond, s)` trying known suffix layouts.
-fn split_mnemonic<'a>(mnem: &'a str, bases: &[&'static str]) -> Option<(&'static str, Cond, bool)> {
+fn split_mnemonic(mnem: &str, bases: &[&'static str]) -> Option<(&'static str, Cond, bool)> {
     // Longest base first so `mul` does not shadow `mull`-style names.
     let mut sorted: Vec<&'static str> = bases.to_vec();
     sorted.sort_by_key(|b| std::cmp::Reverse(b.len()));

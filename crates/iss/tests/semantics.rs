@@ -1,7 +1,7 @@
 //! Per-instruction semantics tests for the CPU core, driven through the
 //! assembler so the whole ISA pipeline is exercised end to end.
 
-use dmi_isa::{Asm, Cond, Reg};
+use dmi_isa::{Asm, Reg};
 use dmi_iss::{CpuCore, CpuFault, FlatBus, LocalMemory, NoBus, StepEvent};
 
 const R0: Reg = Reg::R0;

@@ -1,7 +1,7 @@
 //! The context handed to a component on wake.
 
 use crate::component::{ComponentId, Wake};
-use crate::event::{EventKind, EventQueue};
+use crate::event::{EventKind, Queue};
 use crate::signal::{SignalBoard, Wire};
 use crate::time::SimTime;
 
@@ -33,10 +33,9 @@ impl StopReason {
 /// `Ctx` exposes reading and driving signals, timers, the current time and
 /// the stop control. All signal writes go through delta-cycle semantics:
 /// they become visible to readers only after the current delta commits.
-#[derive(Debug)]
 pub struct Ctx<'a> {
     pub(crate) signals: &'a mut SignalBoard,
-    pub(crate) queue: &'a mut EventQueue,
+    pub(crate) queue: &'a mut dyn Queue,
     pub(crate) time: SimTime,
     pub(crate) delta: u32,
     pub(crate) cause: Wake,

@@ -60,9 +60,9 @@ mod trace;
 
 pub use component::{Component, ComponentId, Wake};
 pub use ctx::{Ctx, StopReason};
-pub use event::{Event, EventKind, EventQueue};
+pub use event::{Event, EventKind, EventQueue, Queue, WheelQueue, WHEEL_SLOTS};
 pub use signal::{Change, Edge, SignalBoard, SignalId, Wire};
-pub use sim::{RunLimit, RunSummary, Simulator};
+pub use sim::{RunLimit, RunQueue, RunSummary, Simulator};
 pub use stats::KernelStats;
 pub use time::SimTime;
 pub use trace::{TraceRecord, Tracer};

@@ -4,28 +4,58 @@ use std::time::{Duration, Instant};
 
 use crate::component::{Component, ComponentId, Wake};
 use crate::ctx::{Ctx, StopReason};
-use crate::event::{EventKind, EventQueue};
+use crate::event::{EventKind, Queue};
+
+/// The queue implementation the run loop is compiled against.
+///
+/// A *compile-time* choice (cargo feature `wheel-queue`), deliberately not
+/// a runtime one: the run loop is extremely sensitive to its queue's code
+/// shape — measurements showed that merely instantiating the loop for a
+/// second queue type costs ~25% wall clock on the small-system path (code
+/// placement/inlining interactions), and even one extra never-taken
+/// branch with a call in its arm costs several percent. Selecting the
+/// implementation per build keeps exactly one monomorphization and zero
+/// per-event dispatch overhead; both implementations are key-exact, so
+/// simulations are bit-identical either way (see the `event` module
+/// docs and `tests/determinism.rs`).
+#[cfg(not(feature = "wheel-queue"))]
+pub type RunQueue = crate::event::EventQueue;
+/// The queue implementation the run loop is compiled against (the time
+/// wheel: build with `--features dmi-kernel/wheel-queue` for large
+/// systems; see the `event` module docs).
+#[cfg(feature = "wheel-queue")]
+pub type RunQueue = crate::event::WheelQueue;
 use crate::signal::{Change, Edge, SignalBoard, Wire};
 use crate::stats::KernelStats;
 use crate::time::SimTime;
 use crate::trace::Tracer;
 
+/// When a [`Simulator::run`] call must stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Deadline {
+    /// Absolute simulated time (inclusive of events at earlier times,
+    /// exclusive of events after it).
+    Absolute(SimTime),
+    /// Resolved against the current simulation time when the run starts.
+    TicksFromNow(u64),
+}
+
 /// How long a [`Simulator::run`] call may execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunLimit {
-    /// Absolute simulated time to stop at (inclusive of events at earlier
-    /// times, exclusive of events after it).
-    pub deadline: SimTime,
+    deadline: Deadline,
     /// Maximum number of events to dispatch in this call, as a safety net
     /// for runaway models. `u64::MAX` means unlimited.
-    pub max_events: u64,
+    max_events: u64,
 }
 
 impl RunLimit {
-    /// Run for `ticks` ticks past the current simulation time.
+    /// Run for `ticks` ticks past the simulation time current when
+    /// [`Simulator::run`] is called (resolved at that point, so the same
+    /// limit value can be reused across consecutive runs).
     pub fn for_ticks(ticks: u64) -> Self {
         RunLimit {
-            deadline: SimTime::from_ticks(ticks),
+            deadline: Deadline::TicksFromNow(ticks),
             max_events: u64::MAX,
         }
     }
@@ -33,7 +63,7 @@ impl RunLimit {
     /// Run until the given absolute time.
     pub fn until(deadline: SimTime) -> Self {
         RunLimit {
-            deadline,
+            deadline: Deadline::Absolute(deadline),
             max_events: u64::MAX,
         }
     }
@@ -41,7 +71,7 @@ impl RunLimit {
     /// Run until a component stops the simulation or the queue drains.
     pub fn unbounded() -> Self {
         RunLimit {
-            deadline: SimTime::MAX,
+            deadline: Deadline::Absolute(SimTime::MAX),
             max_events: u64::MAX,
         }
     }
@@ -50,6 +80,14 @@ impl RunLimit {
     pub fn with_max_events(mut self, max_events: u64) -> Self {
         self.max_events = max_events;
         self
+    }
+
+    /// The absolute deadline this limit means when starting from `now`.
+    fn resolve(&self, now: SimTime) -> SimTime {
+        match self.deadline {
+            Deadline::Absolute(t) => t,
+            Deadline::TicksFromNow(ticks) => now.saturating_add(ticks),
+        }
     }
 }
 
@@ -134,7 +172,7 @@ pub struct Simulator {
     comps: Vec<Option<Box<dyn Component>>>,
     comp_names: Vec<String>,
     signals: SignalBoard,
-    queue: EventQueue,
+    queue: RunQueue,
     clocks: Vec<ClockDef>,
     time: SimTime,
     stop: Option<StopReason>,
@@ -166,7 +204,7 @@ impl Simulator {
             comps: Vec::new(),
             comp_names: Vec::new(),
             signals: SignalBoard::new(),
-            queue: EventQueue::new(),
+            queue: RunQueue::new(),
             clocks: Vec::new(),
             time: SimTime::ZERO,
             stop: None,
@@ -212,7 +250,7 @@ impl Simulator {
     /// Panics if `period` is not an even number of at least 2 ticks.
     pub fn add_clock(&mut self, name: impl Into<String>, period: u64) -> Wire {
         assert!(
-            period >= 2 && period % 2 == 0,
+            period >= 2 && period.is_multiple_of(2),
             "clock period must be even and >= 2, got {period}"
         );
         let wire = self.signals.declare(name, 1);
@@ -323,15 +361,13 @@ impl Simulator {
 
     /// Runs for `ticks` ticks past the current time.
     pub fn run_for(&mut self, ticks: u64) -> RunSummary {
-        let deadline = self.time.saturating_add(ticks);
-        self.run(RunLimit::until(deadline))
+        self.run(RunLimit::for_ticks(ticks))
     }
 
     /// Runs until a component stops the simulation, the event queue drains,
     /// or `max_ticks` elapse — whichever comes first.
     pub fn run_until_stopped(&mut self, max_ticks: u64) -> RunSummary {
-        let deadline = self.time.saturating_add(max_ticks);
-        self.run(RunLimit::until(deadline))
+        self.run(RunLimit::for_ticks(max_ticks))
     }
 
     /// Runs the event loop under the given limit.
@@ -339,17 +375,25 @@ impl Simulator {
     /// A previously recorded stop reason is cleared so the simulation can be
     /// resumed after inspection.
     pub fn run(&mut self, limit: RunLimit) -> RunSummary {
+        let mut queue = std::mem::take(&mut self.queue);
+        let summary = self.run_core(limit, &mut queue);
+        self.queue = queue;
+        summary
+    }
+
+    fn run_core(&mut self, limit: RunLimit, queue: &mut RunQueue) -> RunSummary {
         let wall_start = Instant::now();
         let stats_start = self.stats;
         self.stop = None;
         let mut events_left = limit.max_events;
+        let deadline = limit.resolve(self.time);
 
         'outer: while self.stop.is_none() {
-            let Some((t, first_delta)) = self.queue.peek_key() else {
+            let Some((t, first_delta)) = queue.peek_key() else {
                 break;
             };
-            if t > limit.deadline {
-                self.time = limit.deadline;
+            if t > deadline {
+                self.time = deadline;
                 break;
             }
             self.time = t;
@@ -358,7 +402,7 @@ impl Simulator {
             let mut delta = first_delta;
             loop {
                 // Evaluate: dispatch every event scheduled for (t, delta).
-                while let Some(ev) = self.queue.pop_at(t, delta) {
+                while let Some(ev) = queue.pop_at(t, delta) {
                     if events_left == 0 {
                         self.stop = Some(StopReason::Error("event budget exhausted".into()));
                         break 'outer;
@@ -366,17 +410,17 @@ impl Simulator {
                     events_left -= 1;
                     self.stats.events += 1;
                     match ev.kind {
-                        EventKind::Start(cid) => self.dispatch(cid, Wake::Start, t, delta),
-                        EventKind::Wake(cid, tag) => self.dispatch(cid, Wake::Timer(tag), t, delta),
+                        EventKind::Start(cid) => self.dispatch(queue, cid, Wake::Start, t, delta),
+                        EventKind::Wake(cid, tag) => self.dispatch(queue, cid, Wake::Timer(tag), t, delta),
                         EventKind::SignalWake(cid, sid) => {
-                            self.dispatch(cid, Wake::Signal(sid), t, delta)
+                            self.dispatch(queue, cid, Wake::Signal(sid), t, delta)
                         }
                         EventKind::ClockToggle(k) => {
                             let clock = &self.clocks[k];
                             let cur = self.signals.read(clock.wire);
                             self.signals.write(clock.wire, cur ^ 1);
                             let next_t = t + clock.half_period;
-                            self.queue.push(next_t, 0, EventKind::ClockToggle(k));
+                            queue.push(next_t, 0, EventKind::ClockToggle(k));
                         }
                     }
                 }
@@ -399,8 +443,7 @@ impl Simulator {
                         if edge.matches(ch.old, ch.new) && !self.woken[cid.index()] {
                             self.woken[cid.index()] = true;
                             self.woken_list.push(cid);
-                            self.queue
-                                .push(t, delta + 1, EventKind::SignalWake(cid, ch.signal));
+                            queue.push(t, delta + 1, EventKind::SignalWake(cid, ch.signal));
                         }
                     }
                 }
@@ -411,7 +454,7 @@ impl Simulator {
                 if self.stop.is_some() {
                     break;
                 }
-                match self.queue.peek_key() {
+                match queue.peek_key() {
                     Some((tt, dd)) if tt == t => {
                         if dd - first_delta > self.delta_limit {
                             self.stop = Some(StopReason::Error(format!(
@@ -435,14 +478,21 @@ impl Simulator {
         }
     }
 
-    fn dispatch(&mut self, cid: ComponentId, cause: Wake, time: SimTime, delta: u32) {
+    fn dispatch(
+        &mut self,
+        queue: &mut RunQueue,
+        cid: ComponentId,
+        cause: Wake,
+        time: SimTime,
+        delta: u32,
+    ) {
         let mut comp = self.comps[cid.index()]
             .take()
             .expect("component re-entered during its own wake");
         {
             let mut ctx = Ctx {
                 signals: &mut self.signals,
-                queue: &mut self.queue,
+                queue,
                 time,
                 delta,
                 cause,
@@ -796,6 +846,24 @@ mod tests {
         sim.run_for(50);
         assert_eq!(sim.component::<EdgeCounter>(id).unwrap().edges, 10);
         assert_eq!(sim.time().ticks(), 100);
+    }
+
+    #[test]
+    fn for_ticks_is_relative_to_current_time() {
+        // Regression: `RunLimit::for_ticks(n)` used to construct an
+        // *absolute* deadline of `n`, so a second run with the same limit
+        // made no progress. It must mean "n ticks past the current time",
+        // resolved when the run starts.
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", 10);
+        let id = sim.add_component(Box::new(EdgeCounter { clk, edges: 0 }));
+        sim.subscribe(id, clk, Edge::Rising);
+        let limit = RunLimit::for_ticks(50);
+        sim.run(limit);
+        assert_eq!(sim.time().ticks(), 50);
+        sim.run(limit); // the very same limit value advances again
+        assert_eq!(sim.time().ticks(), 100);
+        assert_eq!(sim.component::<EdgeCounter>(id).unwrap().edges, 10);
     }
 
     #[test]

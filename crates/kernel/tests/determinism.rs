@@ -3,7 +3,7 @@
 
 use std::any::Any;
 
-use dmi_kernel::{Component, Ctx, Edge, Simulator, Wake, Wire};
+use dmi_kernel::{Component, Ctx, Edge, Simulator, Wire};
 use proptest::prelude::*;
 
 /// A clocked component that applies a small PRNG-driven mutation to a bus

@@ -1,0 +1,299 @@
+//! A dependency-free stand-in for the [criterion](https://docs.rs/criterion)
+//! benchmark harness, covering the API subset the `dmi-bench` suite uses.
+//!
+//! This build environment has no network access, so the real crate cannot be
+//! fetched; this shim keeps `cargo bench` working with the same bench
+//! sources. It is deliberately simple: per benchmark it runs a warm-up, then
+//! `sample_size` timed samples (each auto-scaled to a minimum duration) and
+//! reports the min / median / max nanoseconds per iteration in a
+//! criterion-like one-line format.
+//!
+//! Environment knobs:
+//!
+//! * `DMI_BENCH_SAMPLES` — override the per-group sample count (CI smoke
+//!   runs set this to `1`);
+//! * `DMI_BENCH_JSON` — if set, append one JSON line per benchmark to the
+//!   given file (`{"name": ..., "median_ns": ...}`), which is what the
+//!   repo's `BENCH_*.json` trajectory is built from.
+
+use std::hint::black_box as std_black_box;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier of a parameterised benchmark: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `{function_name}/{parameter}`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Iterations to run per sample (set by the harness).
+    iters: u64,
+    /// Measured duration of the sample.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `f`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    /// Target duration per sample; iteration count is scaled to reach it.
+    target_sample: Duration,
+    warm_up: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let samples = std::env::var("DMI_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok());
+        Config {
+            sample_size: samples.unwrap_or(10),
+            target_sample: Duration::from_millis(if samples == Some(1) { 1 } else { 50 }),
+            warm_up: Duration::from_millis(if samples == Some(1) { 0 } else { 200 }),
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, cfg: Config, mut f: F) {
+    // Warm-up and iteration-count calibration.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warm_start = Instant::now();
+    let per_iter;
+    loop {
+        f(&mut b);
+        if warm_start.elapsed() >= cfg.warm_up {
+            per_iter = b.elapsed.checked_div(b.iters as u32).unwrap_or_default();
+            break;
+        }
+        b.iters = (b.iters * 2).min(1 << 20);
+    }
+    let iters_per_sample = if per_iter.is_zero() {
+        1000
+    } else {
+        (cfg.target_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64
+    };
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(cfg.sample_size);
+    for _ in 0..cfg.sample_size {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+    }
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples_ns[samples_ns.len() / 2];
+    let min = samples_ns[0];
+    let max = samples_ns[samples_ns.len() - 1];
+    println!(
+        "{name:<50} time: [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max)
+    );
+    if let Ok(path) = std::env::var("DMI_BENCH_JSON") {
+        if let Ok(mut fh) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            let _ = writeln!(
+                fh,
+                "{{\"name\":\"{name}\",\"min_ns\":{min:.1},\"median_ns\":{median:.1},\"max_ns\":{max:.1}}}"
+            );
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// The benchmark manager: entry point handed to `criterion_group!` targets.
+pub struct Criterion {
+    cfg: Config,
+    /// When true (cargo test mode), run each benchmark body once and skip
+    /// timing entirely.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            cfg: Config::default(),
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    fn run<F: FnMut(&mut Bencher)>(&self, name: &str, mut f: F) {
+        if self.test_mode {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            println!("{name}: test-mode ok");
+        } else {
+            run_one(name, self.cfg, f);
+        }
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run(id, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            cfg: Config::default(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    cfg: Config,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if std::env::var("DMI_BENCH_SAMPLES").is_err() {
+            self.cfg.sample_size = n.max(1);
+        }
+        self
+    }
+
+    /// Sets the target measurement time (accepted for API compatibility).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.target_sample = d.checked_div(self.cfg.sample_size as u32).unwrap_or(d);
+        self
+    }
+
+    fn full_name(&self, id: &str) -> String {
+        format!("{}/{}", self.name, id)
+    }
+
+    /// Benchmarks `f` under `{group}/{id}`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchId,
+        f: F,
+    ) -> &mut Self {
+        let name = self.full_name(&id.into_bench_id());
+        if self.criterion.test_mode {
+            self.criterion.run(&name, f);
+        } else {
+            run_one(&name, self.cfg, f);
+        }
+        self
+    }
+
+    /// Benchmarks `f` with `input` under `{group}/{id}`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Anything usable as a benchmark identifier within a group.
+pub trait IntoBenchId {
+    /// Renders the identifier.
+    fn into_bench_id(self) -> String;
+}
+
+impl IntoBenchId for &str {
+    fn into_bench_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchId for String {
+    fn into_bench_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchId for BenchmarkId {
+    fn into_bench_id(self) -> String {
+        self.id
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

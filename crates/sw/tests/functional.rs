@@ -2,9 +2,7 @@
 //! each runs to completion on a bare CPU core against the real protocol
 //! semantics (wrapper and, where supported, simulated-heap backends).
 
-use dmi_core::{
-    DsmBackend, SimHeapBackend, SimHeapConfig, VptrPolicy, WrapperBackend, WrapperConfig,
-};
+use dmi_core::{SimHeapBackend, SimHeapConfig, VptrPolicy, WrapperBackend, WrapperConfig};
 use dmi_iss::{CpuCore, LocalMemory, StepEvent};
 use dmi_sw::{workloads, FunctionalDsmBus, WorkloadCfg};
 
@@ -181,7 +179,7 @@ fn reserved_counter_no_lost_updates() {
     b.load_program(&workloads::reserved_counter(&cfg, false));
     let mut step = 0u64;
     while !(a.is_halted() && b.is_halted()) {
-        let (cpu, master) = if step % 2 == 0 { (&mut a, 0) } else { (&mut b, 1) };
+        let (cpu, master) = if step.is_multiple_of(2) { (&mut a, 0) } else { (&mut b, 1) };
         bus.master = master;
         match cpu.step(&mut bus) {
             StepEvent::Executed { .. } | StepEvent::Halted => {}

@@ -100,6 +100,32 @@ impl RunReport {
                 .join(","),
         )
     }
+
+    /// Per-memory hot-path summary: one line per module with TLB hit
+    /// rate and burst activity (diagnostics for the wrapper's fast
+    /// paths; static memories report no translations).
+    pub fn memory_summary(&self) -> String {
+        self.mems
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let b = &m.backend;
+                format!(
+                    "mem{i} ({}): {} reads, {} writes, {} beats, \
+                     tlb {:.1}% hit ({} hits / {} misses), {} host allocs",
+                    m.kind,
+                    b.reads,
+                    b.writes,
+                    b.burst_beats,
+                    100.0 * b.tlb_hit_rate(),
+                    b.tlb_hits,
+                    b.tlb_misses,
+                    b.host.allocs,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
 }
 
 #[cfg(test)]
@@ -140,5 +166,24 @@ mod tests {
         let mut r = dummy();
         r.cpus[0].exit_code = 1;
         assert!(!r.all_ok());
+    }
+
+    #[test]
+    fn memory_summary_reports_tlb_rate() {
+        let mut r = dummy();
+        r.mems.push(MemReport {
+            kind: "wrapper",
+            backend: MemStats {
+                reads: 10,
+                writes: 5,
+                tlb_hits: 9,
+                tlb_misses: 1,
+                ..MemStats::default()
+            },
+            module: ModuleStats::default(),
+        });
+        let s = r.memory_summary();
+        assert!(s.contains("tlb 90.0% hit"), "{s}");
+        assert!(s.contains("wrapper"), "{s}");
     }
 }

@@ -24,6 +24,7 @@ fn main() {
 
     let report = system.run(100_000_000);
     println!("run: {}", report.summary());
+    println!("{}", report.memory_summary());
     println!(
         "simulation speed: {:.0} cycles/s, {:.0} instr/s",
         report.cycles_per_sec(),
