@@ -98,6 +98,20 @@ pub struct BlockResult {
     pub cycles_per_beat: u64,
 }
 
+impl BlockResult {
+    /// A rejected block transfer: no beats moved, no cycles charged (the
+    /// front-end re-issues a per-beat call to surface the error with its
+    /// cycle cost). `cycles_per_beat` is advisory only when `beats == 0`.
+    pub fn rejected(status: Status, cycles_per_beat: u64) -> Self {
+        BlockResult {
+            status,
+            beats: 0,
+            cycles: 0,
+            cycles_per_beat,
+        }
+    }
+}
+
 /// Snapshot of a master's active burst, for callers that want to batch
 /// ([`DsmBackend::burst_info`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,428 @@
+//! Sorted-gap index: O(log n) address-ordered first-fit placement.
+//!
+//! The [`VptrPolicy::FirstFitReuse`](crate::VptrPolicy) placement rule is
+//! "lowest virtual address whose free gap fits the request". The obvious
+//! implementation — walking the live entries — is O(live entries) per
+//! allocation, which dominates allocation-churn workloads as populations
+//! grow (ROADMAP open item). This module maintains the *free gaps* instead,
+//! in a treap (randomised balanced BST) keyed by gap start and augmented
+//! with the maximum gap length per subtree:
+//!
+//! * **first-fit query** — descend left when the left subtree's `max`
+//!   fits, else take the current node, else descend right: the leftmost
+//!   (lowest-address) fitting gap in O(log n);
+//! * **consume / release** — allocation shrinks the gap it lands in;
+//!   free re-inserts a gap and coalesces with both neighbours (found by
+//!   floor / exact lookup), all O(log n).
+//!
+//! Priorities are a deterministic hash of the gap start, so the tree shape
+//! — and therefore host performance — is reproducible run to run. The
+//! placement *outcomes* are property-tested equivalent to the linear scan
+//! (`tests/table_props.rs`).
+//!
+//! The managed space is `[0, u32::MAX)`: the paper's rule caps an
+//! allocation's end at `u32::MAX`, so the initial (empty-table) gap is
+//! `(start = 0, len = u32::MAX)` and every gap length fits in `u32`.
+
+/// splitmix64 finalizer: deterministic treap priority from the gap start.
+#[inline]
+fn priority(start: u32) -> u64 {
+    let mut z = (start as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug)]
+struct Node {
+    start: u32,
+    len: u32,
+    /// Maximum gap length in this subtree (augmentation for first-fit).
+    max: u32,
+    prio: u64,
+    left: Option<Box<Node>>,
+    right: Option<Box<Node>>,
+}
+
+impl Node {
+    fn new(start: u32, len: u32) -> Box<Node> {
+        Box::new(Node {
+            start,
+            len,
+            max: len,
+            prio: priority(start),
+            left: None,
+            right: None,
+        })
+    }
+
+    #[inline]
+    fn update(&mut self) {
+        let mut m = self.len;
+        if let Some(l) = &self.left {
+            m = m.max(l.max);
+        }
+        if let Some(r) = &self.right {
+            m = m.max(r.max);
+        }
+        self.max = m;
+    }
+}
+
+fn rotate_right(mut n: Box<Node>) -> Box<Node> {
+    let mut l = n.left.take().expect("rotate_right needs a left child");
+    n.left = l.right.take();
+    n.update();
+    l.right = Some(n);
+    l.update();
+    l
+}
+
+fn rotate_left(mut n: Box<Node>) -> Box<Node> {
+    let mut r = n.right.take().expect("rotate_left needs a right child");
+    n.right = r.left.take();
+    n.update();
+    r.left = Some(n);
+    r.update();
+    r
+}
+
+fn insert(node: Option<Box<Node>>, new: Box<Node>) -> Box<Node> {
+    let Some(mut n) = node else { return new };
+    if new.start < n.start {
+        n.left = Some(insert(n.left.take(), new));
+        n.update();
+        if n.left.as_ref().expect("just inserted").prio > n.prio {
+            n = rotate_right(n);
+        }
+    } else {
+        debug_assert!(new.start > n.start, "duplicate gap start");
+        n.right = Some(insert(n.right.take(), new));
+        n.update();
+        if n.right.as_ref().expect("just inserted").prio > n.prio {
+            n = rotate_left(n);
+        }
+    }
+    n
+}
+
+/// Removes the node with `start`, returning the new subtree and the
+/// removed gap's length (`None` if absent).
+fn remove(node: Option<Box<Node>>, start: u32) -> (Option<Box<Node>>, Option<u32>) {
+    let Some(mut n) = node else { return (None, None) };
+    if start < n.start {
+        let (sub, len) = remove(n.left.take(), start);
+        n.left = sub;
+        n.update();
+        (Some(n), len)
+    } else if start > n.start {
+        let (sub, len) = remove(n.right.take(), start);
+        n.right = sub;
+        n.update();
+        (Some(n), len)
+    } else {
+        let len = n.len;
+        (delete_root(n), Some(len))
+    }
+}
+
+/// Deletes a tree's root by rotating it down until it has at most one
+/// child (preserving the heap priorities of everything above it).
+fn delete_root(mut n: Box<Node>) -> Option<Box<Node>> {
+    match (n.left.take(), n.right.take()) {
+        (None, None) => None,
+        (Some(l), None) => Some(l),
+        (None, Some(r)) => Some(r),
+        (l, r) => {
+            n.left = l;
+            n.right = r;
+            let left_wins =
+                n.left.as_ref().expect("set").prio > n.right.as_ref().expect("set").prio;
+            let mut top = if left_wins {
+                rotate_right(n)
+            } else {
+                rotate_left(n)
+            };
+            // The doomed node is now the child the rotation pushed down.
+            if left_wins {
+                top.right = delete_root(top.right.take().expect("rotated down"));
+            } else {
+                top.left = delete_root(top.left.take().expect("rotated down"));
+            }
+            top.update();
+            Some(top)
+        }
+    }
+}
+
+/// The gap index: maximal free intervals of the virtual space, keyed by
+/// start address.
+#[derive(Debug, Default)]
+pub struct GapIndex {
+    root: Option<Box<Node>>,
+    count: usize,
+}
+
+impl GapIndex {
+    /// An index describing a fully free space: one gap covering
+    /// `[0, u32::MAX)`.
+    pub fn new_full() -> Self {
+        GapIndex {
+            root: Some(Node::new(0, u32::MAX)),
+            count: 1,
+        }
+    }
+
+    /// Number of gaps tracked.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Lowest gap start whose gap holds at least `size` bytes (first fit
+    /// in address order), in O(log n).
+    pub fn first_fit(&self, size: u32) -> Option<u32> {
+        let mut cur = self.root.as_deref()?;
+        if cur.max < size {
+            return None;
+        }
+        loop {
+            if let Some(l) = cur.left.as_deref() {
+                if l.max >= size {
+                    cur = l;
+                    continue;
+                }
+            }
+            if cur.len >= size {
+                return Some(cur.start);
+            }
+            match cur.right.as_deref() {
+                Some(r) if r.max >= size => cur = r,
+                _ => unreachable!("ancestor max promised a fit"),
+            }
+        }
+    }
+
+    /// Exact-length lookup of the gap starting at `start`.
+    fn gap_at(&self, start: u32) -> Option<u32> {
+        let mut cur = self.root.as_deref()?;
+        loop {
+            cur = match start.cmp(&cur.start) {
+                std::cmp::Ordering::Less => cur.left.as_deref()?,
+                std::cmp::Ordering::Greater => cur.right.as_deref()?,
+                std::cmp::Ordering::Equal => return Some(cur.len),
+            };
+        }
+    }
+
+    /// Greatest `(start, len)` with `start <= x`.
+    fn floor(&self, x: u32) -> Option<(u32, u32)> {
+        let mut best = None;
+        let mut cur = self.root.as_deref();
+        while let Some(n) = cur {
+            if n.start <= x {
+                best = Some((n.start, n.len));
+                cur = n.right.as_deref();
+            } else {
+                cur = n.left.as_deref();
+            }
+        }
+        best
+    }
+
+    fn insert_gap(&mut self, start: u32, len: u32) {
+        debug_assert!(len > 0, "zero-length gap");
+        self.root = Some(insert(self.root.take(), Node::new(start, len)));
+        self.count += 1;
+    }
+
+    fn remove_gap(&mut self, start: u32) -> u32 {
+        let (root, len) = remove(self.root.take(), start);
+        self.root = root;
+        let len = len.expect("removing a gap that is not tracked");
+        self.count -= 1;
+        len
+    }
+
+    /// Consumes `size` bytes at the head of the gap starting at `start`
+    /// (the position [`first_fit`](Self::first_fit) returned).
+    pub fn consume(&mut self, start: u32, size: u32) {
+        let len = self.remove_gap(start);
+        debug_assert!(len >= size, "gap shorter than the allocation");
+        if len > size {
+            self.insert_gap(start + size, len - size);
+        }
+    }
+
+    /// Releases `[start, start + len)` back to the free space, coalescing
+    /// with adjacent gaps.
+    pub fn release(&mut self, start: u32, len: u32) {
+        let mut s = start;
+        let mut l = len;
+        if let Some((ps, pl)) = self.floor(start) {
+            debug_assert!(
+                ps.wrapping_add(pl) <= start || ps >= start,
+                "released range overlaps a tracked gap"
+            );
+            if ps + pl == start {
+                self.remove_gap(ps);
+                s = ps;
+                l += pl;
+            }
+        }
+        let end = start + len;
+        if let Some(nl) = self.gap_at(end) {
+            self.remove_gap(end);
+            l += nl;
+        }
+        self.insert_gap(s, l);
+    }
+
+    /// All gaps in address order (testing / invariant checking).
+    pub fn collect(&self) -> Vec<(u32, u32)> {
+        fn walk(n: Option<&Node>, out: &mut Vec<(u32, u32)>) {
+            if let Some(n) = n {
+                walk(n.left.as_deref(), out);
+                out.push((n.start, n.len));
+                walk(n.right.as_deref(), out);
+            }
+        }
+        let mut out = Vec::with_capacity(self.count);
+        walk(self.root.as_deref(), &mut out);
+        out
+    }
+
+    /// Verifies the treap invariants (ordering, heap priorities, max
+    /// augmentation, gap disjointness); returns the first violation.
+    pub fn check(&self) -> Result<(), String> {
+        fn walk(n: &Node) -> Result<(u32, u32), String> {
+            let mut max = n.len;
+            if let Some(l) = n.left.as_deref() {
+                if l.prio > n.prio {
+                    return Err(format!("heap violation at {:#x}", n.start));
+                }
+                let (_lo, l_max) = walk(l)?;
+                if l.start >= n.start {
+                    return Err(format!("order violation at {:#x}", n.start));
+                }
+                max = max.max(l_max);
+            }
+            if let Some(r) = n.right.as_deref() {
+                if r.prio > n.prio {
+                    return Err(format!("heap violation at {:#x}", n.start));
+                }
+                let (_lo, r_max) = walk(r)?;
+                if r.start <= n.start {
+                    return Err(format!("order violation at {:#x}", n.start));
+                }
+                max = max.max(r_max);
+            }
+            if n.max != max {
+                return Err(format!(
+                    "max augmentation stale at {:#x}: {} != {}",
+                    n.start, n.max, max
+                ));
+            }
+            Ok((n.start, max))
+        }
+        if let Some(r) = self.root.as_deref() {
+            walk(r)?;
+        }
+        // Gaps must be disjoint and non-adjacent (adjacent gaps should
+        // have been coalesced).
+        let gaps = self.collect();
+        for w in gaps.windows(2) {
+            let (s0, l0) = w[0];
+            let (s1, _) = w[1];
+            if s0 as u64 + l0 as u64 >= s1 as u64 {
+                return Err(format!(
+                    "gaps not disjoint/coalesced: ({s0:#x},{l0:#x}) then {s1:#x}"
+                ));
+            }
+        }
+        if gaps.len() != self.count {
+            return Err(format!(
+                "count {} != tracked {}",
+                gaps.len(),
+                self.count
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_space_first_fits_at_zero() {
+        let g = GapIndex::new_full();
+        assert_eq!(g.first_fit(1), Some(0));
+        assert_eq!(g.first_fit(u32::MAX), Some(0));
+        assert_eq!(g.len(), 1);
+        g.check().unwrap();
+    }
+
+    #[test]
+    fn consume_release_roundtrip_coalesces() {
+        let mut g = GapIndex::new_full();
+        g.consume(0, 64); // [0,64) allocated
+        assert_eq!(g.first_fit(1), Some(64));
+        g.consume(64, 32); // [64,96) allocated
+        g.consume(96, 16); // [96,112)
+        g.check().unwrap();
+        // Free the middle: a fresh gap, not adjacent to the tail gap.
+        g.release(64, 32);
+        assert_eq!(g.first_fit(32), Some(64));
+        assert_eq!(g.first_fit(33), Some(112));
+        g.check().unwrap();
+        // Free the head: coalesces with [64,96).
+        g.release(0, 64);
+        assert_eq!(g.first_fit(96), Some(0));
+        g.check().unwrap();
+        // Free the last block: everything coalesces back to one gap.
+        g.release(96, 16);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.collect(), vec![(0, u32::MAX)]);
+        g.check().unwrap();
+    }
+
+    #[test]
+    fn first_fit_prefers_lowest_address() {
+        let mut g = GapIndex::new_full();
+        // Allocate everything, then punch three gaps of sizes 8, 32, 16.
+        g.consume(0, 1000);
+        g.release(100, 8);
+        g.release(300, 32);
+        g.release(500, 16);
+        assert_eq!(g.first_fit(8), Some(100));
+        assert_eq!(g.first_fit(9), Some(300));
+        assert_eq!(g.first_fit(16), Some(300), "lowest fitting, not best fit");
+        assert_eq!(g.first_fit(33), Some(1000), "tail gap");
+        g.check().unwrap();
+    }
+
+    #[test]
+    fn many_gaps_stay_balanced_and_consistent() {
+        let mut g = GapIndex::new_full();
+        g.consume(0, 64 * 1024);
+        // Punch alternating gaps.
+        for i in 0..1024u32 {
+            g.release(i * 64, 32);
+        }
+        g.check().unwrap();
+        assert_eq!(g.len(), 1025); // 1024 punched + tail
+        assert_eq!(g.first_fit(32), Some(0));
+        // Consume a few, release them, verify convergence.
+        for i in 0..256u32 {
+            g.consume(i * 64, 32);
+        }
+        g.check().unwrap();
+        for i in 0..256u32 {
+            g.release(i * 64, 32);
+        }
+        g.check().unwrap();
+        assert_eq!(g.len(), 1025);
+    }
+}

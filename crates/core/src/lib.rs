@@ -53,6 +53,7 @@
 
 mod backend;
 mod delay;
+mod gaps;
 mod host;
 mod module;
 mod protocol;
@@ -68,7 +69,7 @@ pub use host::{HostAlloc, HostStats};
 pub use module::{MemoryModule, ModuleStats, SlavePorts};
 pub use protocol::{regs, ElemType, OpResult, Opcode, Request, Status, NULL_VPTR};
 pub use simheap::{SimHeapBackend, SimHeapConfig};
-pub use staticmem::{StaticMemConfig, StaticTableMemory};
+pub use staticmem::{StaticMemConfig, StaticTableBackend, StaticTableMemory};
 pub use table::{AllocError, Entry, PointerTable, PtrError, TableStats, VptrPolicy};
 pub use translator::{Endian, Translator};
 pub use wrapper::{WrapperBackend, WrapperConfig, WIDTH_FROM_TABLE};

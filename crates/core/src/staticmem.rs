@@ -12,7 +12,11 @@ use std::any::Any;
 
 use dmi_kernel::{Component, Ctx, Wake, Wire};
 
+use crate::backend::{BeatResult, BlockResult, BurstInfo, DsmBackend, MemStats};
 use crate::module::{ModuleStats, SlavePorts};
+use crate::protocol::{ElemType, Opcode, OpResult, Request, Status};
+use crate::translator::{Endian, Translator};
+use crate::wrapper::WIDTH_FROM_TABLE;
 
 /// Configuration of a [`StaticTableMemory`].
 #[derive(Debug, Clone, Copy)]
@@ -190,6 +194,290 @@ impl Component for StaticTableMemory {
     }
 }
 
+#[derive(Debug)]
+struct StaticBurst {
+    offset: u32,
+    elem: ElemType,
+    len: u32,
+    done: u32,
+    writing: bool,
+    iobuf: Vec<u32>,
+}
+
+/// The static table as a protocol backend: a flat array behind the same
+/// command register block as the dynamic models, so the traditional
+/// baseline can sit behind [`crate::MemoryModule`] and be compared
+/// handshake-for-handshake (including the burst streaming fast path).
+///
+/// Allocation, free and reservations answer [`Status::Unsupported`] —
+/// that *is* the baseline's limitation the paper starts from; data
+/// accesses address the array directly by offset. Reads charge
+/// `read_latency` and writes `write_latency` per element; burst data
+/// beats stream the banked I/O array at one cycle per beat with the
+/// element transfers charged at setup (reads) or commit (writes).
+#[derive(Debug)]
+pub struct StaticTableBackend {
+    mem: Vec<u8>,
+    config: StaticMemConfig,
+    translator: Translator,
+    burst: [Option<StaticBurst>; 16],
+    stats: MemStats,
+}
+
+impl StaticTableBackend {
+    /// Creates a zeroed table of `config.capacity` bytes.
+    pub fn new(config: StaticMemConfig) -> Self {
+        StaticTableBackend {
+            mem: vec![0; config.capacity as usize],
+            config,
+            translator: Translator::new(Endian::Little),
+            burst: Default::default(),
+            stats: MemStats::default(),
+        }
+    }
+
+    fn elem_from(&self, code: u32) -> Option<ElemType> {
+        if code == WIDTH_FROM_TABLE {
+            // No allocation metadata to consult; default to words.
+            Some(ElemType::U32)
+        } else {
+            ElemType::from_u32(code)
+        }
+    }
+
+    fn bounds(&self, offset: u32, bytes: u32) -> Result<(), Status> {
+        if offset
+            .checked_add(bytes)
+            .is_none_or(|end| end > self.mem.len() as u32)
+        {
+            Err(Status::OutOfBounds)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn charge(&mut self, r: OpResult) -> OpResult {
+        self.stats.busy_cycles += r.cycles;
+        if !r.status.is_ok() {
+            self.stats.errors += 1;
+        }
+        r
+    }
+}
+
+impl DsmBackend for StaticTableBackend {
+    fn kind(&self) -> &'static str {
+        "static"
+    }
+
+    fn execute(&mut self, req: &Request) -> OpResult {
+        if !matches!(req.op, Opcode::Nop) {
+            self.burst[req.master as usize & 0xF] = None;
+        }
+        let rd_lat = self.config.read_latency;
+        let wr_lat = self.config.write_latency;
+        let result = match req.op {
+            Opcode::Nop => OpResult::ok(0, 0),
+            Opcode::Alloc | Opcode::Free | Opcode::Reserve | Opcode::Release => {
+                OpResult::err(Status::Unsupported, rd_lat.max(1))
+            }
+            Opcode::Write => {
+                let Some(elem) = self.elem_from(req.arg2) else {
+                    return self.charge(OpResult::err(Status::BadArgs, wr_lat.max(1)));
+                };
+                if let Err(s) = self.bounds(req.arg0, elem.bytes()) {
+                    return self.charge(OpResult::err(s, wr_lat.max(1)));
+                }
+                let t = self.translator;
+                let ok = t.store(&mut self.mem, req.arg0, req.arg1, elem);
+                debug_assert!(ok);
+                self.stats.writes += 1;
+                OpResult::ok(0, wr_lat)
+            }
+            Opcode::Read => {
+                let Some(elem) = self.elem_from(req.arg2) else {
+                    return self.charge(OpResult::err(Status::BadArgs, rd_lat.max(1)));
+                };
+                if let Err(s) = self.bounds(req.arg0, elem.bytes()) {
+                    return self.charge(OpResult::err(s, rd_lat.max(1)));
+                }
+                let v = self
+                    .translator
+                    .load(&self.mem, req.arg0, elem)
+                    .expect("bounds checked");
+                self.stats.reads += 1;
+                OpResult::ok(v, rd_lat)
+            }
+            Opcode::WriteBurst | Opcode::ReadBurst => {
+                let writing = req.op == Opcode::WriteBurst;
+                // Setup and argument errors charge the latency of the
+                // direction being set up, mirroring the scalar ops.
+                let lat = if writing { wr_lat } else { rd_lat };
+                let Some(elem) = self.elem_from(req.arg1) else {
+                    return self.charge(OpResult::err(Status::BadArgs, lat.max(1)));
+                };
+                let Some(total) = req.arg2.checked_mul(elem.bytes()).filter(|&b| b > 0) else {
+                    return self.charge(OpResult::err(Status::BadArgs, lat.max(1)));
+                };
+                if let Err(s) = self.bounds(req.arg0, total) {
+                    return self.charge(OpResult::err(s, lat.max(1)));
+                }
+                let mut iobuf = Vec::with_capacity(req.arg2 as usize);
+                let mut cycles = lat.max(1);
+                if !writing {
+                    // Stage the whole block at setup: a static RAM burst
+                    // read is `read_latency` per element up front.
+                    let ok = self.translator.load_slice(
+                        &self.mem,
+                        req.arg0,
+                        req.arg2,
+                        elem,
+                        &mut iobuf,
+                    );
+                    debug_assert!(ok, "bounds checked");
+                    cycles += rd_lat * req.arg2 as u64;
+                }
+                self.burst[req.master as usize & 0xF] = Some(StaticBurst {
+                    offset: req.arg0,
+                    elem,
+                    len: req.arg2,
+                    done: 0,
+                    writing,
+                    iobuf,
+                });
+                OpResult::ok(0, cycles)
+            }
+            Opcode::Info => OpResult::ok(self.mem.len() as u32, rd_lat),
+        };
+        self.charge(result)
+    }
+
+    fn burst_write_beat(&mut self, master: u8, value: u32) -> BeatResult {
+        let slot = master as usize & 0xF;
+        let Some(burst) = self.burst[slot].as_mut() else {
+            return BeatResult::err(Status::BadArgs, 1);
+        };
+        if !burst.writing {
+            return BeatResult::err(Status::BadArgs, 1);
+        }
+        burst.iobuf.push(value);
+        burst.done += 1;
+        let mut cycles = 1;
+        if burst.done == burst.len {
+            let burst = self.burst[slot].take().expect("checked above");
+            let t = self.translator;
+            let ok = t.store_slice(&mut self.mem, burst.offset, &burst.iobuf, burst.elem);
+            debug_assert!(ok, "bounds checked at setup");
+            cycles += self.config.write_latency * burst.len as u64;
+        }
+        self.stats.burst_beats += 1;
+        self.stats.busy_cycles += cycles;
+        BeatResult::ok(0, cycles)
+    }
+
+    fn burst_read_beat(&mut self, master: u8) -> BeatResult {
+        let slot = master as usize & 0xF;
+        let Some(burst) = self.burst[slot].as_mut() else {
+            return BeatResult::err(Status::BadArgs, 1);
+        };
+        if burst.writing || burst.done >= burst.len {
+            return BeatResult::err(Status::BadArgs, 1);
+        }
+        let value = burst.iobuf[burst.done as usize];
+        burst.done += 1;
+        if burst.done == burst.len {
+            self.burst[slot] = None;
+        }
+        self.stats.burst_beats += 1;
+        self.stats.busy_cycles += 1;
+        BeatResult::ok(value, 1)
+    }
+
+    fn burst_info(&self, master: u8) -> Option<BurstInfo> {
+        self.burst[master as usize & 0xF].as_ref().map(|b| BurstInfo {
+            writing: b.writing,
+            remaining: b.len - b.done,
+        })
+    }
+
+    fn burst_read_block(&mut self, master: u8, out: &mut [u32]) -> BlockResult {
+        let slot = master as usize & 0xF;
+        let Some(burst) = self.burst[slot].as_mut() else {
+            return BlockResult::rejected(Status::BadArgs, 1);
+        };
+        if burst.writing {
+            return BlockResult::rejected(Status::BadArgs, 1);
+        }
+        let n = (out.len() as u32).min(burst.len - burst.done);
+        let from = burst.done as usize;
+        out[..n as usize].copy_from_slice(&burst.iobuf[from..from + n as usize]);
+        burst.done += n;
+        if burst.done == burst.len {
+            self.burst[slot] = None;
+        }
+        let cycles = n as u64;
+        self.stats.burst_beats += n as u64;
+        self.stats.busy_cycles += cycles;
+        BlockResult {
+            status: if (out.len() as u32) > n {
+                Status::BadArgs
+            } else {
+                Status::Ok
+            },
+            beats: n,
+            cycles,
+            cycles_per_beat: 1,
+        }
+    }
+
+    fn burst_write_block(&mut self, master: u8, values: &[u32]) -> BlockResult {
+        let slot = master as usize & 0xF;
+        let Some(burst) = self.burst[slot].as_mut() else {
+            return BlockResult::rejected(Status::BadArgs, 1);
+        };
+        if !burst.writing {
+            return BlockResult::rejected(Status::BadArgs, 1);
+        }
+        let n = (values.len() as u32).min(burst.len - burst.done);
+        burst.iobuf.extend_from_slice(&values[..n as usize]);
+        burst.done += n;
+        let complete = burst.done == burst.len;
+        let mut cycles = n as u64;
+        if complete {
+            let burst = self.burst[slot].take().expect("checked above");
+            let t = self.translator;
+            let ok = t.store_slice(&mut self.mem, burst.offset, &burst.iobuf, burst.elem);
+            debug_assert!(ok, "bounds checked at setup");
+            cycles += self.config.write_latency * burst.len as u64;
+        }
+        self.stats.burst_beats += n as u64;
+        self.stats.busy_cycles += cycles;
+        BlockResult {
+            status: if (values.len() as u32) > n {
+                Status::BadArgs
+            } else {
+                Status::Ok
+            },
+            beats: n,
+            cycles,
+            cycles_per_beat: 1,
+        }
+    }
+
+    fn free_bytes(&self) -> u32 {
+        // No allocation concept: the whole table is always "available".
+        self.mem.len() as u32
+    }
+
+    fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,5 +596,113 @@ mod tests {
             (BASE + 0x200, false, 0, 2), // zero
         ]);
         assert_eq!(r[1], 0);
+    }
+
+    fn breq(op: Opcode, arg0: u32, arg1: u32, arg2: u32) -> Request {
+        Request {
+            op,
+            arg0,
+            arg1,
+            arg2,
+            master: 0,
+        }
+    }
+
+    fn backend(cap: u32) -> StaticTableBackend {
+        StaticTableBackend::new(StaticMemConfig {
+            capacity: cap,
+            read_latency: 2,
+            write_latency: 1,
+        })
+    }
+
+    #[test]
+    fn backend_scalar_round_trip_and_unsupported_protocol() {
+        let mut m = backend(256);
+        assert_eq!(m.kind(), "static");
+        assert_eq!(
+            m.execute(&breq(Opcode::Alloc, 4, 2, 0)).status,
+            Status::Unsupported
+        );
+        assert_eq!(
+            m.execute(&breq(Opcode::Reserve, 0, 0, 0)).status,
+            Status::Unsupported
+        );
+        assert!(m.execute(&breq(Opcode::Write, 0x10, 0xBEEF, 2)).status.is_ok());
+        assert_eq!(m.execute(&breq(Opcode::Read, 0x10, 0, 2)).result, 0xBEEF);
+        assert_eq!(
+            m.execute(&breq(Opcode::Read, 0x100, 0, 2)).status,
+            Status::OutOfBounds
+        );
+        assert_eq!(m.execute(&breq(Opcode::Info, 0, 0, 0)).result, 256);
+        assert_eq!(m.free_bytes(), 256);
+    }
+
+    #[test]
+    fn backend_bursts_round_trip_per_beat_and_block() {
+        let mut m = backend(256);
+        assert!(m.execute(&breq(Opcode::WriteBurst, 0x20, 2, 4)).status.is_ok());
+        for i in 0..4u32 {
+            assert!(m.burst_write_beat(0, 0x50 + i).status.is_ok());
+        }
+        // Per-beat read back.
+        assert!(m.execute(&breq(Opcode::ReadBurst, 0x20, 2, 4)).status.is_ok());
+        assert_eq!(
+            m.burst_info(0),
+            Some(BurstInfo {
+                writing: false,
+                remaining: 4
+            })
+        );
+        for i in 0..4u32 {
+            assert_eq!(m.burst_read_beat(0).data, 0x50 + i);
+        }
+        assert_eq!(m.burst_read_beat(0).status, Status::BadArgs);
+        // Block read back.
+        assert!(m.execute(&breq(Opcode::ReadBurst, 0x20, 2, 4)).status.is_ok());
+        let mut out = [0u32; 4];
+        let r = m.burst_read_block(0, &mut out);
+        assert_eq!(r.status, Status::Ok);
+        assert_eq!(r.beats, 4);
+        assert_eq!(out, [0x50, 0x51, 0x52, 0x53]);
+        // Block write path.
+        let s = m.execute(&breq(Opcode::WriteBurst, 0x40, 2, 3));
+        assert!(s.status.is_ok());
+        let w = m.burst_write_block(0, &[9, 8, 7]);
+        assert_eq!(w.status, Status::Ok);
+        assert_eq!(w.beats, 3);
+        assert_eq!(m.execute(&breq(Opcode::Read, 0x44, 0, 2)).result, 8);
+    }
+
+    #[test]
+    fn backend_block_cycles_match_beats() {
+        // Same data through blocks and through beats: identical charged
+        // cycles (the stream_equivalence contract).
+        let data: Vec<u32> = (0..9).map(|i| i * 3 + 1).collect();
+        let len = data.len() as u32;
+        let mut a = backend(256);
+        let mut b = backend(256);
+        assert!(a.execute(&breq(Opcode::WriteBurst, 0, 2, len)).status.is_ok());
+        assert!(b.execute(&breq(Opcode::WriteBurst, 0, 2, len)).status.is_ok());
+        let block = a.burst_write_block(0, &data);
+        let mut beat_cycles = 0;
+        for v in &data {
+            let beat = b.burst_write_beat(0, *v);
+            assert!(beat.status.is_ok());
+            beat_cycles += beat.cycles;
+        }
+        assert_eq!(block.cycles, beat_cycles);
+        assert!(a.execute(&breq(Opcode::ReadBurst, 0, 2, len)).status.is_ok());
+        assert!(b.execute(&breq(Opcode::ReadBurst, 0, 2, len)).status.is_ok());
+        let mut out = vec![0u32; data.len()];
+        let rblock = a.burst_read_block(0, &mut out);
+        let mut read_cycles = 0;
+        for (i, expect) in data.iter().enumerate() {
+            let beat = b.burst_read_beat(0);
+            assert_eq!(beat.data, *expect, "beat {i}");
+            read_cycles += beat.cycles;
+        }
+        assert_eq!(out, data);
+        assert_eq!(rblock.cycles, read_cycles);
     }
 }

@@ -42,6 +42,7 @@
 //! describes. Functional results are therefore bit-identical with the TLB
 //! on or off; only host-side speed differs.
 
+use crate::gaps::GapIndex;
 use crate::host::{HostAlloc, HostStats};
 use crate::protocol::ElemType;
 
@@ -246,6 +247,9 @@ pub struct PointerTable {
     tlb: Tlb,
     /// Whether [`resolve`](Self::resolve) may serve from the TLB.
     tlb_enabled: bool,
+    /// Free-gap index mirroring `entries` (first-fit placement in
+    /// O(log n)); maintained only under [`VptrPolicy::FirstFitReuse`].
+    gaps: Option<GapIndex>,
 }
 
 impl PointerTable {
@@ -268,6 +272,7 @@ impl PointerTable {
             host_stats: HostStats::default(),
             tlb: Tlb::new(),
             tlb_enabled: cache,
+            gaps: (policy == VptrPolicy::FirstFitReuse).then(GapIndex::new_full),
         }
     }
 
@@ -328,19 +333,36 @@ impl PointerTable {
                     .ok_or(AllocError::VirtualExhausted),
             },
             VptrPolicy::FirstFitReuse => {
-                let mut cursor: u32 = 0;
-                for e in &self.entries {
-                    if e.vptr - cursor >= size {
-                        return Ok(cursor);
-                    }
-                    cursor = e.vptr + e.size; // dense, no overflow: ranges are disjoint in u32
-                }
-                cursor
-                    .checked_add(size)
-                    .map(|_| cursor)
-                    .ok_or(AllocError::VirtualExhausted)
+                // O(log n) address-ordered first fit over the gap index;
+                // placement outcomes are property-tested identical to the
+                // original linear entry scan (`place_scan`).
+                let placed = self
+                    .gaps
+                    .as_ref()
+                    .expect("gap index exists under FirstFitReuse")
+                    .first_fit(size)
+                    .ok_or(AllocError::VirtualExhausted);
+                debug_assert_eq!(placed, self.place_scan(size), "gap index diverged");
+                placed
             }
         }
+    }
+
+    /// The original O(live entries) first-fit scan, kept as the oracle the
+    /// gap index is validated against (debug assertions and property
+    /// tests).
+    fn place_scan(&self, size: u32) -> Result<u32, AllocError> {
+        let mut cursor: u32 = 0;
+        for e in &self.entries {
+            if e.vptr - cursor >= size {
+                return Ok(cursor);
+            }
+            cursor = e.vptr + e.size; // dense, no overflow: ranges are disjoint in u32
+        }
+        cursor
+            .checked_add(size)
+            .map(|_| cursor)
+            .ok_or(AllocError::VirtualExhausted)
     }
 
     /// Allocates `dim` elements of `elem`, returning the new vptr.
@@ -386,6 +408,9 @@ impl PointerTable {
             .binary_search_by_key(&vptr, |e| e.vptr)
             .unwrap_err();
         self.entries.insert(pos, entry);
+        if let Some(g) = &mut self.gaps {
+            g.consume(vptr, size);
+        }
         self.used += size;
         self.stats.allocs += 1;
         self.stats.peak_entries = self.stats.peak_entries.max(self.entries.len());
@@ -417,6 +442,9 @@ impl PointerTable {
         }
         // Vec::remove shifts the tail down — the "re-compacted" table.
         let entry = self.entries.remove(idx);
+        if let Some(g) = &mut self.gaps {
+            g.release(entry.vptr, entry.size);
+        }
         self.stats.compactions += 1;
         // The compaction moved entry indices: invalidate the whole TLB in
         // O(1) by bumping its generation.
@@ -584,6 +612,28 @@ impl PointerTable {
         }
         if self.used > self.capacity {
             return Err("used exceeds capacity".into());
+        }
+        if let Some(g) = &self.gaps {
+            g.check()?;
+            // The gap index must be the exact complement of the entries.
+            let mut expected: Vec<(u32, u32)> = Vec::new();
+            let mut cursor: u32 = 0;
+            for e in &self.entries {
+                if e.vptr > cursor {
+                    expected.push((cursor, e.vptr - cursor));
+                }
+                cursor = e.vptr + e.size;
+            }
+            if cursor < u32::MAX {
+                expected.push((cursor, u32::MAX - cursor));
+            }
+            if g.collect() != expected {
+                return Err(format!(
+                    "gap index {:x?} != complement of entries {:x?}",
+                    g.collect(),
+                    expected
+                ));
+            }
         }
         Ok(())
     }

@@ -388,20 +388,10 @@ impl DsmBackend for WrapperBackend {
         let slot = master as usize & 0xF;
         let per_beat = self.delays.burst_beat;
         let Some(burst) = self.burst[slot].as_mut() else {
-            return BlockResult {
-                status: Status::BadArgs,
-                beats: 0,
-                cycles: 0,
-                cycles_per_beat: per_beat,
-            };
+            return BlockResult::rejected(Status::BadArgs, per_beat);
         };
         if burst.writing {
-            return BlockResult {
-                status: Status::BadArgs,
-                beats: 0,
-                cycles: 0,
-                cycles_per_beat: per_beat,
-            };
+            return BlockResult::rejected(Status::BadArgs, per_beat);
         }
         // Bulk slice copy out of the staged I/O array — one memcpy instead
         // of one virtual call per beat.
@@ -434,20 +424,10 @@ impl DsmBackend for WrapperBackend {
         let slot = master as usize & 0xF;
         let per_beat = self.delays.burst_beat;
         let Some(burst) = self.burst[slot].as_mut() else {
-            return BlockResult {
-                status: Status::BadArgs,
-                beats: 0,
-                cycles: 0,
-                cycles_per_beat: per_beat,
-            };
+            return BlockResult::rejected(Status::BadArgs, per_beat);
         };
         if !burst.writing {
-            return BlockResult {
-                status: Status::BadArgs,
-                beats: 0,
-                cycles: 0,
-                cycles_per_beat: per_beat,
-            };
+            return BlockResult::rejected(Status::BadArgs, per_beat);
         }
         let n = (values.len() as u32).min(burst.len - burst.done);
         self.iobufs[slot].extend_from_slice(&values[..n as usize]);

@@ -7,8 +7,8 @@
 use std::any::Any;
 
 use dmi_core::{
-    regs, ElemType, MemoryModule, Opcode, SlavePorts, Status, WrapperBackend, WrapperConfig,
-    WIDTH_FROM_TABLE,
+    regs, DsmBackend, ElemType, MemoryModule, Opcode, SimHeapBackend, SimHeapConfig, SlavePorts,
+    StaticMemConfig, StaticTableBackend, Status, WrapperBackend, WrapperConfig, WIDTH_FROM_TABLE,
 };
 use dmi_kernel::{Component, Ctx, Edge, Simulator, Wire};
 
@@ -69,16 +69,46 @@ impl Component for ScriptMaster {
 
 const BASE: u32 = 0x8000_0000;
 
-/// Runs `script` against a wrapper-backed module and returns
-/// `(results, latencies, module transactions, backend burst beats)`.
+/// Backend under test, constructed fresh per run.
+type BackendFactory = fn() -> Box<dyn DsmBackend>;
+
+fn wrapper_backend() -> Box<dyn DsmBackend> {
+    Box::new(WrapperBackend::new(WrapperConfig {
+        capacity: 65536,
+        ..WrapperConfig::default()
+    }))
+}
+
+fn simheap_backend() -> Box<dyn DsmBackend> {
+    Box::new(SimHeapBackend::new(SimHeapConfig {
+        capacity: 65536,
+        ..SimHeapConfig::default()
+    }))
+}
+
+fn static_backend() -> Box<dyn DsmBackend> {
+    Box::new(StaticTableBackend::new(StaticMemConfig {
+        capacity: 65536,
+        ..StaticMemConfig::default()
+    }))
+}
+
+/// Runs `script` against a wrapper-backed module (the default subject).
 fn run_script(script: Vec<(u32, bool, u32)>, streaming: bool) -> (Vec<u32>, Vec<u64>, u64, u64) {
+    run_script_on(wrapper_backend, script, streaming)
+}
+
+/// Runs `script` against a module over the given backend and returns
+/// `(results, latencies, module transactions, backend burst beats)`.
+fn run_script_on(
+    mk: BackendFactory,
+    script: Vec<(u32, bool, u32)>,
+    streaming: bool,
+) -> (Vec<u32>, Vec<u64>, u64, u64) {
     let mut sim = Simulator::new();
     let clk = sim.add_clock("clk", 2);
     let ports = SlavePorts::declare(&mut sim, "mem.s");
-    let backend = Box::new(WrapperBackend::new(WrapperConfig {
-        capacity: 65536,
-        ..WrapperConfig::default()
-    }));
+    let backend = mk();
     let mut module = MemoryModule::new("mem", clk, ports, BASE, backend);
     module.set_stream_bursts(streaming);
     let mid = sim.add_component(Box::new(module));
@@ -116,8 +146,12 @@ fn run_script(script: Vec<(u32, bool, u32)>, streaming: bool) -> (Vec<u32>, Vec<
 /// exceed the number of beats the master consumed — never the other way
 /// around. Every bus-visible observable must still match exactly.
 fn assert_equivalent(script: Vec<(u32, bool, u32)>) {
-    let (r_on, l_on, t_on, b_on) = run_script(script.clone(), true);
-    let (r_off, l_off, t_off, b_off) = run_script(script, false);
+    assert_equivalent_on(wrapper_backend, script)
+}
+
+fn assert_equivalent_on(mk: BackendFactory, script: Vec<(u32, bool, u32)>) {
+    let (r_on, l_on, t_on, b_on) = run_script_on(mk, script.clone(), true);
+    let (r_off, l_off, t_off, b_off) = run_script_on(mk, script, false);
     assert_eq!(r_on, r_off, "read data must be bit-identical");
     assert_eq!(l_on, l_off, "per-transaction latencies must be identical");
     assert_eq!(t_on, t_off, "transaction counts must match");
@@ -241,4 +275,99 @@ fn wrong_direction_data_access_is_equivalent() {
         (BASE + regs::STATUS, false, 0),
     ];
     assert_equivalent(s);
+}
+
+/// Burst write + read back addressed by raw offset (no allocation): the
+/// script the in-simulation heap and the static table share, since the
+/// latter supports no ALLOC.
+fn raw_burst_script(offset: u32, len: u32) -> Vec<(u32, bool, u32)> {
+    let mut s = vec![
+        (BASE + regs::ARG0, true, offset),
+        (BASE + regs::ARG1, true, ElemType::U32 as u32),
+        (BASE + regs::ARG2, true, len),
+        (BASE + regs::CMD, true, Opcode::WriteBurst as u32),
+    ];
+    for i in 0..len {
+        s.push((BASE + regs::DATA, true, 0x9000 + i * 5));
+    }
+    s.push((BASE + regs::CMD, true, Opcode::ReadBurst as u32));
+    for _ in 0..len {
+        s.push((BASE + regs::DATA, false, 0));
+    }
+    s.push((BASE + regs::STATUS, false, 0));
+    s
+}
+
+/// Read burst set up, partially consumed, aborted by a scalar command,
+/// then re-issued — all by raw offset.
+fn raw_aborted_script(offset: u32) -> Vec<(u32, bool, u32)> {
+    vec![
+        (BASE + regs::ARG0, true, offset),
+        (BASE + regs::ARG1, true, 0xAB),
+        (BASE + regs::ARG2, true, 2),
+        (BASE + regs::CMD, true, Opcode::Write as u32),
+        (BASE + regs::ARG1, true, ElemType::U32 as u32),
+        (BASE + regs::ARG2, true, 8),
+        (BASE + regs::CMD, true, Opcode::ReadBurst as u32),
+        (BASE + regs::DATA, false, 0),
+        (BASE + regs::DATA, false, 0),
+        // Abort with a scalar read; DATA then errors identically.
+        (BASE + regs::ARG2, true, 2),
+        (BASE + regs::CMD, true, Opcode::Read as u32),
+        (BASE + regs::RESULT, false, 0),
+        (BASE + regs::DATA, false, 0),
+        (BASE + regs::STATUS, false, 0),
+        // A fresh burst afterwards still works.
+        (BASE + regs::ARG1, true, ElemType::U32 as u32),
+        (BASE + regs::ARG2, true, 4),
+        (BASE + regs::CMD, true, Opcode::ReadBurst as u32),
+        (BASE + regs::DATA, false, 0),
+        (BASE + regs::DATA, false, 0),
+        (BASE + regs::DATA, false, 0),
+        (BASE + regs::DATA, false, 0),
+        (BASE + regs::STATUS, false, 0),
+    ]
+}
+
+#[test]
+fn simheap_bursts_are_equivalent() {
+    for len in [1u32, 2, 7, 64] {
+        assert_equivalent_on(simheap_backend, raw_burst_script(0x40, len));
+    }
+    assert_equivalent_on(simheap_backend, raw_aborted_script(0x40));
+    // Over-reading one beat past the burst errors identically.
+    let mut s = raw_burst_script(0x40, 3);
+    s.push((BASE + regs::DATA, false, 0));
+    s.push((BASE + regs::STATUS, false, 0));
+    assert_equivalent_on(simheap_backend, s);
+}
+
+#[test]
+fn simheap_burst_data_round_trips_when_streamed() {
+    let (results, _, _, _) = run_script_on(simheap_backend, raw_burst_script(0x40, 8), true);
+    let beats = &results[results.len() - 9..results.len() - 1];
+    let expect: Vec<u32> = (0..8).map(|i| 0x9000 + i * 5).collect();
+    assert_eq!(beats, expect.as_slice());
+    assert_eq!(results[results.len() - 1], Status::Ok as u32);
+}
+
+#[test]
+fn static_table_bursts_are_equivalent() {
+    for len in [1u32, 2, 7, 64] {
+        assert_equivalent_on(static_backend, raw_burst_script(0x40, len));
+    }
+    assert_equivalent_on(static_backend, raw_aborted_script(0x40));
+    let mut s = raw_burst_script(0x40, 3);
+    s.push((BASE + regs::DATA, false, 0));
+    s.push((BASE + regs::STATUS, false, 0));
+    assert_equivalent_on(static_backend, s);
+}
+
+#[test]
+fn static_table_burst_data_round_trips_when_streamed() {
+    let (results, _, _, _) = run_script_on(static_backend, raw_burst_script(0x80, 8), true);
+    let beats = &results[results.len() - 9..results.len() - 1];
+    let expect: Vec<u32> = (0..8).map(|i| 0x9000 + i * 5).collect();
+    assert_eq!(beats, expect.as_slice());
+    assert_eq!(results[results.len() - 1], Status::Ok as u32);
 }

@@ -15,9 +15,39 @@ use crate::arbiter::{Arbiter, ArbiterKind};
 use crate::bus::{BusStats, MasterIf, SlaveIf, DECODE_ERROR_DATA};
 use crate::map::AddressMap;
 
+/// Configuration of a [`Crossbar`].
+#[derive(Debug, Clone, Copy)]
+pub struct CrossbarConfig {
+    /// Per-lane arbitration policy.
+    pub arbiter: ArbiterKind,
+    /// Extra cycles between a lane's grant and request forwarding
+    /// (models a multi-cycle arbitration/address phase). Zero — the
+    /// default — forwards in the grant cycle, the crossbar's original
+    /// timing.
+    pub arbitration_latency: u64,
+    /// Back-to-back grant retention, ported from
+    /// [`BusConfig::burst_grant`](crate::BusConfig::burst_grant): when a
+    /// lane's arbiter picks the same master that completed the lane's
+    /// previous transaction, the arbitration-latency phase is skipped —
+    /// the grant is effectively held across the beats of a burst.
+    /// Timing-model option only; fairness is unchanged. Off by default.
+    pub burst_grant: bool,
+}
+
+impl Default for CrossbarConfig {
+    fn default() -> Self {
+        CrossbarConfig {
+            arbiter: ArbiterKind::RoundRobin,
+            arbitration_latency: 0,
+            burst_grant: false,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum LaneState {
     Idle,
+    Arbitrate { master: usize, remaining: u64 },
     WaitSlave { master: usize },
     Complete { master: usize },
 }
@@ -30,8 +60,14 @@ pub struct Crossbar {
     masters: Vec<MasterIf>,
     slaves: Vec<SlaveIf>,
     map: AddressMap,
+    config: CrossbarConfig,
     lanes: Vec<LaneState>,
     arbiters: Vec<Arbiter>,
+    /// Master that completed each lane's previous transaction, for
+    /// [`CrossbarConfig::burst_grant`] retention.
+    lane_last: Vec<Option<usize>>,
+    /// Transactions that skipped re-arbitration via grant retention.
+    retained_grants: u64,
     cooldown: Vec<bool>,
     /// Master currently being served (by any lane or error path).
     in_service: Vec<bool>,
@@ -50,7 +86,8 @@ pub struct Crossbar {
 }
 
 impl Crossbar {
-    /// Creates a crossbar over the given interfaces and address map.
+    /// Creates a crossbar with default timing (forward in the grant
+    /// cycle, no grant retention).
     pub fn new(
         name: impl Into<String>,
         clk: Wire,
@@ -58,6 +95,28 @@ impl Crossbar {
         slaves: Vec<SlaveIf>,
         map: AddressMap,
         arbiter: ArbiterKind,
+    ) -> Self {
+        Self::with_config(
+            name,
+            clk,
+            masters,
+            slaves,
+            map,
+            CrossbarConfig {
+                arbiter,
+                ..CrossbarConfig::default()
+            },
+        )
+    }
+
+    /// Creates a crossbar over the given interfaces and address map.
+    pub fn with_config(
+        name: impl Into<String>,
+        clk: Wire,
+        masters: Vec<MasterIf>,
+        slaves: Vec<SlaveIf>,
+        map: AddressMap,
+        config: CrossbarConfig,
     ) -> Self {
         let n = masters.len();
         let p = slaves.len();
@@ -67,8 +126,11 @@ impl Crossbar {
             masters,
             slaves,
             map,
+            config,
             lanes: vec![LaneState::Idle; p],
-            arbiters: (0..p).map(|_| Arbiter::new(arbiter, n)).collect(),
+            arbiters: (0..p).map(|_| Arbiter::new(config.arbiter, n)).collect(),
+            lane_last: vec![None; p],
+            retained_grants: 0,
             cooldown: vec![false; n],
             in_service: vec![false; n],
             wait_cycles: vec![0; n],
@@ -101,8 +163,21 @@ impl Crossbar {
             slave_transactions: self.slave_transactions.clone(),
             busy_cycles: self.busy_cycles,
             idle_cycles: self.idle_cycles,
-            retained_grants: 0,
+            retained_grants: self.retained_grants,
         }
+    }
+
+    /// Forwards `master`'s request onto `lane`'s slave.
+    fn forward(&mut self, ctx: &mut Ctx<'_>, lane: usize, master: usize) {
+        let m = self.masters[master];
+        let s = self.slaves[lane];
+        ctx.write_bit(s.req, true);
+        ctx.write_bit(s.we, ctx.read_bit(m.we));
+        ctx.write(s.size, ctx.read(m.size));
+        ctx.write(s.addr, ctx.read(m.addr));
+        ctx.write(s.wdata, ctx.read(m.wdata));
+        ctx.write(s.master, master as u64);
+        self.lanes[lane] = LaneState::WaitSlave { master };
     }
 }
 
@@ -176,15 +251,33 @@ impl Component for Crossbar {
                                 any_busy = true;
                                 reqs[winner] = false;
                                 self.in_service[winner] = true;
-                                let m = self.masters[winner];
-                                let s = self.slaves[lane];
-                                ctx.write_bit(s.req, true);
-                                ctx.write_bit(s.we, ctx.read_bit(m.we));
-                                ctx.write(s.size, ctx.read(m.size));
-                                ctx.write(s.addr, ctx.read(m.addr));
-                                ctx.write(s.wdata, ctx.read(m.wdata));
-                                ctx.write(s.master, winner as u64);
-                                self.lanes[lane] = LaneState::WaitSlave { master: winner };
+                                // Grant retention (with zero latency there
+                                // is no phase to skip — don't count it).
+                                let retained = self.config.burst_grant
+                                    && self.config.arbitration_latency > 0
+                                    && self.lane_last[lane] == Some(winner);
+                                if retained {
+                                    self.retained_grants += 1;
+                                }
+                                if retained || self.config.arbitration_latency == 0 {
+                                    self.forward(ctx, lane, winner);
+                                } else {
+                                    self.lanes[lane] = LaneState::Arbitrate {
+                                        master: winner,
+                                        remaining: self.config.arbitration_latency,
+                                    };
+                                }
+                            }
+                        }
+                        LaneState::Arbitrate { master, remaining } => {
+                            any_busy = true;
+                            if remaining <= 1 {
+                                self.forward(ctx, lane, master);
+                            } else {
+                                self.lanes[lane] = LaneState::Arbitrate {
+                                    master,
+                                    remaining: remaining - 1,
+                                };
                             }
                         }
                         LaneState::WaitSlave { master } => {
@@ -206,6 +299,7 @@ impl Component for Crossbar {
                             self.cooldown[master] = true;
                             self.in_service[master] = false;
                             self.transactions += 1;
+                            self.lane_last[lane] = Some(master);
                             self.lanes[lane] = LaneState::Idle;
                         }
                     }

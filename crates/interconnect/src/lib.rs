@@ -27,5 +27,5 @@ mod map;
 
 pub use arbiter::{Arbiter, ArbiterKind};
 pub use bus::{BusConfig, BusStats, MasterIf, SharedBus, SlaveIf, DECODE_ERROR_DATA};
-pub use crossbar::Crossbar;
+pub use crossbar::{Crossbar, CrossbarConfig};
 pub use map::{AddressMap, Region};

@@ -4,7 +4,7 @@
 use std::any::Any;
 
 use dmi_interconnect::{
-    AddressMap, ArbiterKind, BusConfig, Crossbar, MasterIf, SharedBus, SlaveIf,
+    AddressMap, ArbiterKind, BusConfig, Crossbar, CrossbarConfig, MasterIf, SharedBus, SlaveIf,
     DECODE_ERROR_DATA,
 };
 use dmi_kernel::{Component, Ctx, Edge, Simulator, Wake, Wire};
@@ -199,7 +199,31 @@ fn run_system(
     ram_latency: u64,
     crossbar: bool,
 ) -> Harness {
-    run_system_cfg(scripts, n_rams, ram_latency, crossbar, BusConfig::default())
+    run_system_full(
+        scripts,
+        n_rams,
+        ram_latency,
+        crossbar,
+        BusConfig::default(),
+        CrossbarConfig::default(),
+    )
+}
+
+/// [`run_system`] with an explicit crossbar configuration.
+fn run_system_xbar(
+    scripts: Vec<Vec<(u32, bool, u32)>>,
+    n_rams: usize,
+    ram_latency: u64,
+    xbar_config: CrossbarConfig,
+) -> Harness {
+    run_system_full(
+        scripts,
+        n_rams,
+        ram_latency,
+        true,
+        BusConfig::default(),
+        xbar_config,
+    )
 }
 
 /// [`run_system`] with an explicit shared-bus configuration.
@@ -209,6 +233,24 @@ fn run_system_cfg(
     ram_latency: u64,
     crossbar: bool,
     bus_config: BusConfig,
+) -> Harness {
+    run_system_full(
+        scripts,
+        n_rams,
+        ram_latency,
+        crossbar,
+        bus_config,
+        CrossbarConfig::default(),
+    )
+}
+
+fn run_system_full(
+    scripts: Vec<Vec<(u32, bool, u32)>>,
+    n_rams: usize,
+    ram_latency: u64,
+    crossbar: bool,
+    bus_config: BusConfig,
+    xbar_config: CrossbarConfig,
 ) -> Harness {
     let mut sim = Simulator::new();
     let clk = sim.add_clock("clk", 2);
@@ -260,13 +302,13 @@ fn run_system_cfg(
     }
 
     let bus_id = if crossbar {
-        let xbar = Crossbar::new(
+        let xbar = Crossbar::with_config(
             "xbar",
             clk,
             masters.clone(),
             slaves.clone(),
             map,
-            ArbiterKind::RoundRobin,
+            xbar_config,
         );
         let id = sim.add_component(Box::new(xbar));
         sim.subscribe(id, clk, Edge::Rising);
@@ -556,6 +598,117 @@ fn burst_grant_preserves_fairness_under_contention() {
     );
     let bus: &SharedBus = h.sim.component(h.bus_id).unwrap();
     let g = bus.stats().master_grants.clone();
+    assert!(
+        (g[0] as i64 - g[1] as i64).abs() <= 1,
+        "round-robin fairness survives grant retention: {g:?}"
+    );
+}
+
+#[test]
+fn crossbar_arbitration_latency_slows_lanes() {
+    // The same stream with a 1-cycle arbitration phase per transaction is
+    // strictly slower than the default forward-in-grant-cycle timing.
+    let script: Vec<(u32, bool, u32)> = (0..10).map(|i| (MEM0 + i * 4, false, 0)).collect();
+    let fast = run_system_xbar(vec![script.clone()], 1, 1, CrossbarConfig::default());
+    let slow = run_system_xbar(
+        vec![script],
+        1,
+        1,
+        CrossbarConfig {
+            arbitration_latency: 1,
+            ..CrossbarConfig::default()
+        },
+    );
+    let (r_fast, l_fast) = master_results(&fast, 0);
+    let (r_slow, l_slow) = master_results(&slow, 0);
+    assert_eq!(r_fast, r_slow, "latency never changes data");
+    let t_fast: u64 = l_fast.iter().sum();
+    let t_slow: u64 = l_slow.iter().sum();
+    assert!(
+        t_slow >= t_fast + 10,
+        "one extra cycle per transaction: {t_slow} vs {t_fast}"
+    );
+}
+
+#[test]
+fn crossbar_burst_grant_elides_rearbitration_for_streams() {
+    // Mirror of `burst_grant_elides_rearbitration_for_streams` on the
+    // shared bus: one master streaming to one slave, with a 1-cycle
+    // arbitration phase. Retention removes it for every transaction after
+    // the first.
+    let script: Vec<(u32, bool, u32)> = (0..20).map(|i| (MEM0 + i * 4, false, 0)).collect();
+    let base = CrossbarConfig {
+        arbitration_latency: 1,
+        ..CrossbarConfig::default()
+    };
+    let slow = run_system_xbar(vec![script.clone()], 1, 1, base);
+    let fast = run_system_xbar(
+        vec![script],
+        1,
+        1,
+        CrossbarConfig {
+            burst_grant: true,
+            ..base
+        },
+    );
+    let (r_slow, l_slow) = master_results(&slow, 0);
+    let (r_fast, l_fast) = master_results(&fast, 0);
+    assert_eq!(r_slow, r_fast, "burst grant never changes data");
+    let total_slow: u64 = l_slow.iter().sum();
+    let total_fast: u64 = l_fast.iter().sum();
+    assert!(
+        total_fast + 19 <= total_slow,
+        "retained grants should save one cycle per back-to-back transfer: \
+         {total_fast} vs {total_slow}"
+    );
+    let x: &Crossbar = fast.sim.component(fast.bus_id).unwrap();
+    assert_eq!(x.stats().retained_grants, 19, "all but the first retain");
+    let x: &Crossbar = slow.sim.component(slow.bus_id).unwrap();
+    assert_eq!(x.stats().retained_grants, 0, "off by default");
+}
+
+#[test]
+fn crossbar_burst_grant_retains_per_lane() {
+    // Two masters streaming to *different* slaves: each lane retains its
+    // own master's grant independently — full parallelism plus retention.
+    let s0: Vec<_> = (0..10).map(|i| (MEM0 + i * 4, false, 0)).collect();
+    let s1: Vec<_> = (0..10).map(|i| (MEM1 + i * 4, false, 0)).collect();
+    let h = run_system_xbar(
+        vec![s0, s1],
+        2,
+        1,
+        CrossbarConfig {
+            arbitration_latency: 1,
+            burst_grant: true,
+            ..CrossbarConfig::default()
+        },
+    );
+    let x: &Crossbar = h.sim.component(h.bus_id).unwrap();
+    let stats = x.stats();
+    assert_eq!(stats.transactions, 20);
+    assert_eq!(
+        stats.retained_grants, 18,
+        "each lane retains all but its first grant"
+    );
+}
+
+#[test]
+fn crossbar_burst_grant_preserves_fairness_under_contention() {
+    // Two masters hammering the same slave: retention must not starve the
+    // round-robin loser.
+    let script: Vec<(u32, bool, u32)> = (0..16).map(|i| (MEM0 + i * 4, false, 0)).collect();
+    let h = run_system_xbar(
+        vec![script.clone(), script],
+        1,
+        1,
+        CrossbarConfig {
+            arbitration_latency: 1,
+            burst_grant: true,
+            ..CrossbarConfig::default()
+        },
+    );
+    let x: &Crossbar = h.sim.component(h.bus_id).unwrap();
+    let g = x.stats().master_grants.clone();
     assert!(
         (g[0] as i64 - g[1] as i64).abs() <= 1,
         "round-robin fairness survives grant retention: {g:?}"

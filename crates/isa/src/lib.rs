@@ -7,9 +7,12 @@
 //! barrel shifter, long multiply-accumulate, block transfers) with a fully
 //! specified binary encoding, assembler and disassembler.
 //!
-//! The crate provides four layers:
+//! The crate provides five layers:
 //!
 //! * [`Instr`] and friends — the decoded instruction AST;
+//! * [`MicroOp`] / [`predecode`] — the flat, dispatch-friendly execution
+//!   form interpreters cache (design rationale on [`predecode`] and
+//!   [`MicroOp`]);
 //! * [`encode`] / [`decode`] / [`disasm`] — the binary contract
 //!   (`decode(encode(i)) == Ok(i)` is property-tested);
 //! * [`Asm`] — a programmatic macro-assembler with labels and fixups, used
@@ -37,6 +40,7 @@ mod asm;
 mod decode;
 mod encode;
 mod instr;
+mod microop;
 mod parse;
 mod reg;
 
@@ -46,5 +50,6 @@ pub use encode::encode;
 pub use instr::{
     AddrMode, DpOp, Instr, MemSize, MulOp, MultiMode, Offset, Operand2, ShiftKind,
 };
+pub use microop::{predecode, predecode_word, MicroOp, UopKind, UopOffset};
 pub use parse::assemble_text;
 pub use reg::{Cond, Reg};

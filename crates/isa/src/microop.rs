@@ -1,0 +1,494 @@
+//! Predecoded micro-operations: the flat execution form of SimARM.
+//!
+//! [`decode`](crate::decode) produces the faithful instruction AST
+//! ([`Instr`]) — the right shape for assemblers, disassemblers and
+//! round-trip property tests, but a poor shape for an interpreter hot
+//! loop: executing it means re-walking nested enums (operand kinds,
+//! addressing modes, size/sign splits) on every simulated instruction.
+//!
+//! A [`MicroOp`] is the same instruction *flattened for dispatch*:
+//!
+//! * rotated immediates are materialised (value **and** shifter carry-out
+//!   precomputed, so the barrel shifter vanishes from the immediate path);
+//! * load/store offsets are pre-signed (`up`/`down` folded into a wrapping
+//!   addend) and the indexing mode is reduced to two booleans;
+//! * branch targets are pre-folded into a single wrapping delta from the
+//!   instruction address;
+//! * statically illegal `pc` destinations (multiplies, CLZ, wide moves)
+//!   collapse into a dedicated [`UopKind::PcFault`] arm, so the executor
+//!   never re-checks them;
+//! * every remaining variant carries exactly the fields its executor arm
+//!   needs, at one `match` level.
+//!
+//! Predecoding is pure: `predecode(i)` never fails for a valid [`Instr`],
+//! and [`predecode_word`] fails exactly when [`decode`](crate::decode)
+//! does. Executing a micro-op must be observably identical (architectural
+//! state, cycle charges, fault behaviour) to interpreting the `Instr` it
+//! came from — the `dmi-iss` crate property-tests that equivalence against
+//! its reference interpreter.
+
+use crate::decode::{decode, DecodeError};
+use crate::instr::{AddrMode, DpOp, Instr, MemSize, MulOp, MultiMode, Offset, Operand2, ShiftKind};
+use crate::reg::{Cond, Reg};
+
+/// A predecoded load/store offset: direction is already folded in, so the
+/// effective address is always `rn + offset` (wrapping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UopOffset {
+    /// Immediate byte offset, pre-negated when the instruction subtracts.
+    Imm(u32),
+    /// Register offset, added.
+    RegAdd(Reg),
+    /// Register offset, subtracted.
+    RegSub(Reg),
+}
+
+/// The operation of a [`MicroOp`] — one flat dispatch level.
+///
+/// Variant order follows hot-path frequency in the workloads this
+/// repository simulates (ALU and branches first, block transfers and
+/// system operations last).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UopKind {
+    /// ALU operation with an immediate operand: the rotation is already
+    /// applied and the shifter carry-out precomputed.
+    AluImm {
+        /// Opcode.
+        op: DpOp,
+        /// Update flags (compares always do).
+        s: bool,
+        /// Destination (ignored by compares).
+        rd: Reg,
+        /// First operand (ignored by MOV/MVN).
+        rn: Reg,
+        /// Materialised operand-2 value.
+        imm: u32,
+        /// Shifter carry-out (`None` when the rotation is zero).
+        carry: Option<bool>,
+    },
+    /// ALU operation with a (possibly shifted) register operand.
+    AluReg {
+        /// Opcode.
+        op: DpOp,
+        /// Update flags.
+        s: bool,
+        /// Destination.
+        rd: Reg,
+        /// First operand.
+        rn: Reg,
+        /// Second-operand register.
+        rm: Reg,
+        /// Shift applied to `rm`.
+        shift: ShiftKind,
+        /// Shift amount (0 = plain register).
+        amount: u8,
+    },
+    /// PC-relative branch; target = instruction address + `delta`.
+    Branch {
+        /// Save the return address in `lr`.
+        link: bool,
+        /// Pre-folded wrapping delta (`8 + 4 * signed offset`).
+        delta: u32,
+    },
+    /// Single load.
+    Load {
+        /// Transfer size / sign extension.
+        size: MemSize,
+        /// Destination register.
+        rd: Reg,
+        /// Base register.
+        rn: Reg,
+        /// Pre-signed offset.
+        offset: UopOffset,
+        /// Write the indexed address back to `rn`.
+        writeback: bool,
+        /// Post-indexed: access at `rn`, not at `rn + offset`.
+        post: bool,
+    },
+    /// Single store.
+    Store {
+        /// Transfer size.
+        size: MemSize,
+        /// Source register.
+        rd: Reg,
+        /// Base register.
+        rn: Reg,
+        /// Pre-signed offset.
+        offset: UopOffset,
+        /// Write the indexed address back to `rn`.
+        writeback: bool,
+        /// Post-indexed addressing.
+        post: bool,
+    },
+    /// 32-bit multiply (MUL / MLA).
+    Mul32 {
+        /// Accumulate `rn` (MLA).
+        acc: bool,
+        /// Update N and Z.
+        s: bool,
+        /// Destination.
+        rd: Reg,
+        /// Accumulator operand (MLA only).
+        rn: Reg,
+        /// Second factor.
+        rs: Reg,
+        /// First factor.
+        rm: Reg,
+    },
+    /// Long multiply (UMULL / SMULL / UMLAL / SMLAL).
+    Mul64 {
+        /// Signed variant.
+        signed: bool,
+        /// Accumulate the existing `rd:rn` pair.
+        acc: bool,
+        /// Update N and Z from the 64-bit result.
+        s: bool,
+        /// High-word destination.
+        rd: Reg,
+        /// Low-word destination.
+        rn: Reg,
+        /// Second factor.
+        rs: Reg,
+        /// First factor.
+        rm: Reg,
+    },
+    /// Branch to register (BX / BLX).
+    BranchReg {
+        /// Save the return address in `lr`.
+        link: bool,
+        /// Target register.
+        rm: Reg,
+    },
+    /// Block load (LDM).
+    LoadMulti {
+        /// Base register.
+        rn: Reg,
+        /// Register list bitmask.
+        list: u16,
+        /// Write the final address back.
+        writeback: bool,
+        /// Decrement-before progression (IA otherwise).
+        db: bool,
+    },
+    /// Block store (STM).
+    StoreMulti {
+        /// Base register.
+        rn: Reg,
+        /// Register list bitmask.
+        list: u16,
+        /// Write the final address back.
+        writeback: bool,
+        /// Decrement-before progression.
+        db: bool,
+    },
+    /// Wide move: 16-bit immediate into the low or high half of `rd`.
+    MovImm16 {
+        /// MOVT (true) or MOVW (false).
+        top: bool,
+        /// Destination.
+        rd: Reg,
+        /// Immediate.
+        imm: u16,
+    },
+    /// Count leading zeros.
+    Clz {
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rm: Reg,
+    },
+    /// Software interrupt.
+    Swi {
+        /// Call number.
+        imm: u16,
+    },
+    /// No operation.
+    Nop,
+    /// Statically invalid `pc` destination: raises the invalid-pc fault
+    /// when (and only when) the instruction's condition passes.
+    PcFault,
+}
+
+/// A predecoded SimARM instruction: condition plus flat operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroOp {
+    /// Condition code (checked once, before dispatch).
+    pub cond: Cond,
+    /// The flattened operation.
+    pub kind: UopKind,
+}
+
+/// Whether the multiply form uses `pc` illegally (mirrors the reference
+/// interpreter's run-time check, hoisted to predecode time).
+fn mul_pc_fault(op: MulOp, rd: Reg, rn: Reg) -> bool {
+    rd.is_pc() || (op.is_long() && rn.is_pc()) || (op == MulOp::Mla && rn.is_pc())
+}
+
+/// Flattens a decoded instruction into its micro-op.
+pub fn predecode(instr: Instr) -> MicroOp {
+    let cond = instr.cond();
+    let kind = match instr {
+        Instr::Dp {
+            op, s, rd, rn, op2, ..
+        } => match op2 {
+            Operand2::Imm { imm8, rot } => {
+                let imm = (imm8 as u32).rotate_right(rot as u32 * 2);
+                let carry = (rot != 0).then_some(imm & 0x8000_0000 != 0);
+                UopKind::AluImm {
+                    op,
+                    s,
+                    rd,
+                    rn,
+                    imm,
+                    carry,
+                }
+            }
+            Operand2::Reg { rm, shift, amount } => UopKind::AluReg {
+                op,
+                s,
+                rd,
+                rn,
+                rm,
+                shift,
+                amount,
+            },
+        },
+        Instr::Mul {
+            op, s, rd, rn, rs, rm, ..
+        } => {
+            if mul_pc_fault(op, rd, rn) {
+                UopKind::PcFault
+            } else if op.is_long() {
+                UopKind::Mul64 {
+                    signed: matches!(op, MulOp::Smull | MulOp::Smlal),
+                    acc: matches!(op, MulOp::Umlal | MulOp::Smlal),
+                    s,
+                    rd,
+                    rn,
+                    rs,
+                    rm,
+                }
+            } else {
+                UopKind::Mul32 {
+                    acc: op == MulOp::Mla,
+                    s,
+                    rd,
+                    rn,
+                    rs,
+                    rm,
+                }
+            }
+        }
+        Instr::LdSt {
+            load,
+            size,
+            rd,
+            rn,
+            offset,
+            up,
+            mode,
+            ..
+        } => {
+            let offset = match (offset, up) {
+                (Offset::Imm(v), true) => UopOffset::Imm(v as u32),
+                (Offset::Imm(v), false) => UopOffset::Imm((v as u32).wrapping_neg()),
+                (Offset::Reg(rm), true) => UopOffset::RegAdd(rm),
+                (Offset::Reg(rm), false) => UopOffset::RegSub(rm),
+            };
+            let writeback = mode != AddrMode::Offset;
+            let post = mode == AddrMode::PostIndex;
+            if load {
+                UopKind::Load {
+                    size,
+                    rd,
+                    rn,
+                    offset,
+                    writeback,
+                    post,
+                }
+            } else {
+                UopKind::Store {
+                    size,
+                    rd,
+                    rn,
+                    offset,
+                    writeback,
+                    post,
+                }
+            }
+        }
+        Instr::LdStM {
+            load,
+            mode,
+            writeback,
+            rn,
+            list,
+            ..
+        } => {
+            let db = mode == MultiMode::Db;
+            if load {
+                UopKind::LoadMulti {
+                    rn,
+                    list,
+                    writeback,
+                    db,
+                }
+            } else {
+                UopKind::StoreMulti {
+                    rn,
+                    list,
+                    writeback,
+                    db,
+                }
+            }
+        }
+        Instr::Branch { link, offset, .. } => UopKind::Branch {
+            link,
+            delta: 8u32.wrapping_add((offset as u32).wrapping_mul(4)),
+        },
+        Instr::Bx { link, rm, .. } => UopKind::BranchReg { link, rm },
+        Instr::Swi { imm, .. } => UopKind::Swi { imm },
+        Instr::Nop { .. } => UopKind::Nop,
+        Instr::Clz { rd, rm, .. } => {
+            if rd.is_pc() {
+                UopKind::PcFault
+            } else {
+                UopKind::Clz { rd, rm }
+            }
+        }
+        Instr::MovW { top, rd, imm, .. } => {
+            if rd.is_pc() {
+                UopKind::PcFault
+            } else {
+                UopKind::MovImm16 { top, rd, imm }
+            }
+        }
+    };
+    MicroOp { cond, kind }
+}
+
+/// Decodes and flattens a machine word in one step.
+///
+/// # Errors
+///
+/// Fails exactly when [`decode`](crate::decode) fails.
+pub fn predecode_word(word: u32) -> Result<MicroOp, DecodeError> {
+    decode(word).map(predecode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imm_operand_is_materialised_with_carry() {
+        // 0xFF rotated right by 8 -> 0xFF00_0000, top bit clear.
+        let i = Instr::Dp {
+            cond: Cond::Al,
+            op: DpOp::Add,
+            s: true,
+            rd: Reg::R0,
+            rn: Reg::R1,
+            op2: Operand2::Imm { imm8: 0xFF, rot: 4 },
+        };
+        match predecode(i).kind {
+            UopKind::AluImm { imm, carry, .. } => {
+                assert_eq!(imm, 0xFF00_0000);
+                assert_eq!(carry, Some(true));
+            }
+            k => panic!("unexpected kind {k:?}"),
+        }
+        // Zero rotation leaves the carry undefined.
+        let i = Instr::Dp {
+            cond: Cond::Al,
+            op: DpOp::Mov,
+            s: true,
+            rd: Reg::R0,
+            rn: Reg::R0,
+            op2: Operand2::Imm { imm8: 0x80, rot: 0 },
+        };
+        match predecode(i).kind {
+            UopKind::AluImm { imm, carry, .. } => {
+                assert_eq!(imm, 0x80);
+                assert_eq!(carry, None);
+            }
+            k => panic!("unexpected kind {k:?}"),
+        }
+    }
+
+    #[test]
+    fn store_offset_is_pre_negated() {
+        let i = Instr::LdSt {
+            cond: Cond::Al,
+            load: false,
+            size: MemSize::Word,
+            rd: Reg::R1,
+            rn: Reg::SP,
+            offset: Offset::Imm(8),
+            up: false,
+            mode: AddrMode::PreIndex,
+        };
+        match predecode(i).kind {
+            UopKind::Store {
+                offset, writeback, post, ..
+            } => {
+                assert_eq!(offset, UopOffset::Imm(8u32.wrapping_neg()));
+                assert!(writeback);
+                assert!(!post);
+            }
+            k => panic!("unexpected kind {k:?}"),
+        }
+    }
+
+    #[test]
+    fn branch_delta_folds_pipeline_offset() {
+        let i = Instr::Branch {
+            cond: Cond::Ne,
+            link: true,
+            offset: -3,
+        };
+        let u = predecode(i);
+        assert_eq!(u.cond, Cond::Ne);
+        assert_eq!(
+            u.kind,
+            UopKind::Branch {
+                link: true,
+                delta: 8u32.wrapping_sub(12),
+            }
+        );
+    }
+
+    #[test]
+    fn static_pc_faults_collapse() {
+        let i = Instr::MovW {
+            cond: Cond::Al,
+            top: false,
+            rd: Reg::PC,
+            imm: 0,
+        };
+        assert_eq!(predecode(i).kind, UopKind::PcFault);
+        let i = Instr::Mul {
+            cond: Cond::Al,
+            op: MulOp::Smlal,
+            s: false,
+            rd: Reg::R1,
+            rn: Reg::PC,
+            rs: Reg::R2,
+            rm: Reg::R3,
+        };
+        assert_eq!(predecode(i).kind, UopKind::PcFault);
+        let i = Instr::Clz {
+            cond: Cond::Al,
+            rd: Reg::PC,
+            rm: Reg::R0,
+        };
+        assert_eq!(predecode(i).kind, UopKind::PcFault);
+    }
+
+    #[test]
+    fn predecode_word_mirrors_decode_errors() {
+        assert!(predecode_word(0xE000_0010).is_err());
+        let w = crate::encode(&Instr::Nop { cond: Cond::Al });
+        assert_eq!(predecode_word(w).unwrap().kind, UopKind::Nop);
+    }
+}

@@ -6,6 +6,39 @@
 //! ([`crate::CpuComponent`]) wraps a core and maps step results onto
 //! simulated clock cycles; unit tests drive cores directly.
 //!
+//! ## Two dispatch engines
+//!
+//! The core carries two observably identical execution engines, selected at
+//! run time with [`CpuCore::set_predecode`]:
+//!
+//! * the **reference interpreter** — the original word-at-a-time path:
+//!   fetch, [`decode`] into the [`Instr`] AST, walk its nested operand/
+//!   addressing-mode matches. Simple, obviously faithful, slow.
+//! * the **predecoded engine** (default) — fetches through a per-core
+//!   *decoded-instruction cache*: each line holds the [`MicroOp`] flattened
+//!   form of one program word, so the hot loop replaces `decode` plus the
+//!   nested match walk with one direct-mapped probe and one flat dispatch.
+//!
+//! Both engines charge identical cycles, update identical statistics and
+//! raise identical faults; `tests/predecode_equivalence.rs` property-tests
+//! that over the whole encodable instruction space.
+//!
+//! ## Decoded-instruction cache correctness
+//!
+//! A cache line is a *hint*, never an authority (the same discipline as the
+//! pointer-table TLB in `dmi-core`). Each line records the raw instruction
+//! word it was decoded from plus the [`LocalMemory`] write *generation* it
+//! was last validated at:
+//!
+//! * generation unchanged → memory untouched since validation → the line is
+//!   provably current and the fetch is skipped entirely;
+//! * generation moved (any local write — data or code) → the line
+//!   revalidates by refetching the word and comparing; a match refreshes
+//!   the line, a mismatch (self-modifying code) re-decodes.
+//!
+//! A stale line can therefore cost a refetch, never a wrong execution, and
+//! functional results are bit-identical with the cache on or off.
+//!
 //! ## External accesses and the retry protocol
 //!
 //! When an instruction touches the external window the core *attempts* the
@@ -19,14 +52,25 @@
 //! scalar MMIO operations only.
 
 use dmi_isa::{
-    decode, AddrMode, DecodeError, DpOp, Instr, MemSize, MulOp, MultiMode, Offset, Operand2,
-    Program, Reg, ShiftKind,
+    decode, predecode_word, AddrMode, DecodeError, DpOp, Instr, MemSize, MicroOp, MulOp,
+    MultiMode, Offset, Operand2, Program, Reg, ShiftKind, UopKind, UopOffset,
 };
 
 use crate::bus::{ExtBus, ExtResult, ExtWidth};
 use crate::flags::{add_with_carry, Flags};
 use crate::localmem::LocalMemory;
 use crate::syscall::{Console, Syscall};
+
+/// Default state of the predecode engine, read once per core from the
+/// `DMI_PREDECODE` environment variable (`"0"` or `"off"` selects the
+/// reference interpreter). CI uses this to run the whole test suite on
+/// both dispatch paths without code changes.
+pub fn predecode_default() -> bool {
+    match std::env::var("DMI_PREDECODE") {
+        Ok(v) => !(v == "0" || v.eq_ignore_ascii_case("off")),
+        Err(_) => true,
+    }
+}
 
 /// Per-instruction-class base cycle costs of the timing model.
 ///
@@ -179,6 +223,103 @@ pub struct CpuStats {
     pub swis: u64,
     /// Instructions skipped by a false condition.
     pub cond_skipped: u64,
+    /// Fetches served by the decoded-instruction cache (predecode engine
+    /// only; zero on the reference path).
+    pub icache_hits: u64,
+    /// Fetches that decoded and filled a cache line (predecode engine
+    /// only).
+    pub icache_misses: u64,
+}
+
+impl CpuStats {
+    /// Decoded-instruction-cache hit rate (0.0 when no cached fetches were
+    /// served, e.g. on the reference path).
+    pub fn icache_hit_rate(&self) -> f64 {
+        let total = self.icache_hits + self.icache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.icache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Sentinel tag marking an unused cache line (no valid word index reaches
+/// it: indices are bounded by `local size / 4` < 2^30).
+const IC_EMPTY: u32 = u32::MAX;
+
+/// Cache lines for the smallest memories (power of two).
+const IC_MIN_LINES: usize = 64;
+
+/// Line-count cap: 16k lines cover a 64 KiB code working set — far beyond
+/// the workloads here — while keeping the cache ~0.5 MiB per core.
+const IC_MAX_LINES: usize = 1 << 14;
+
+#[derive(Debug, Clone, Copy)]
+struct IcLine {
+    /// Word index (`(pc - base) / 4`) this line describes; [`IC_EMPTY`]
+    /// when unused.
+    tag: u32,
+    /// Raw instruction word the micro-op was decoded from.
+    word: u32,
+    /// Local-memory generation the line was last validated at.
+    gen: u64,
+    /// The predecoded operation.
+    op: MicroOp,
+}
+
+const IC_EMPTY_LINE: IcLine = IcLine {
+    tag: IC_EMPTY,
+    word: 0,
+    gen: 0,
+    op: MicroOp {
+        cond: dmi_isa::Cond::Nv,
+        kind: UopKind::Nop,
+    },
+};
+
+/// The decoded-instruction cache: direct-mapped over word indices.
+#[derive(Debug)]
+struct ICache {
+    lines: Box<[IcLine]>,
+    /// Addressable instruction words in local memory (`size / 4`); word
+    /// indices at or above this cannot be fetched as a full word.
+    words: u32,
+    /// Predicted next fetch: after a lookup at `pc`, the sequential
+    /// successor `(pc + 4, widx + 1)`. A matching prediction skips the
+    /// range/alignment computation of the full lookup (the fused
+    /// fetch+predecode fast path).
+    fused_pc: u32,
+    fused_widx: u32,
+}
+
+impl ICache {
+    fn new(mem_size: u32) -> Self {
+        let words = mem_size / 4;
+        let len = (words as usize)
+            .next_power_of_two()
+            .clamp(IC_MIN_LINES, IC_MAX_LINES);
+        ICache {
+            lines: vec![IC_EMPTY_LINE; len].into_boxed_slice(),
+            words,
+            fused_pc: 0,
+            // `fused_widx >= words` never matches, so the predictor starts
+            // cold without a separate validity flag.
+            fused_widx: u32::MAX,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, widx: u32) -> usize {
+        (widx as usize) & (self.lines.len() - 1)
+    }
+
+    /// Records the sequential successor of a completed lookup.
+    #[inline]
+    fn predict(&mut self, pc: u32, widx: u32) {
+        self.fused_pc = pc.wrapping_add(4);
+        self.fused_widx = widx + 1; // >= words naturally invalidates
+    }
 }
 
 /// The CPU core state and interpreter.
@@ -196,6 +337,8 @@ pub struct CpuCore {
     console: Console,
     stats: CpuStats,
     fault: Option<CpuFault>,
+    icache: ICache,
+    predecode: bool,
 }
 
 impl CpuCore {
@@ -210,6 +353,7 @@ impl CpuCore {
         let mut regs = [0u32; 16];
         regs[13] = sp;
         regs[15] = pc;
+        let icache = ICache::new(local.size());
         CpuCore {
             id,
             regs,
@@ -223,6 +367,8 @@ impl CpuCore {
             console: Console::new(),
             stats: CpuStats::default(),
             fault: None,
+            icache,
+            predecode: predecode_default(),
         }
     }
 
@@ -234,6 +380,20 @@ impl CpuCore {
     /// Overrides the timing model.
     pub fn set_costs(&mut self, costs: CycleCosts) {
         self.costs = costs;
+    }
+
+    /// Selects the dispatch engine: predecoded micro-ops with the
+    /// decoded-instruction cache (`true`, the default) or the reference
+    /// word-at-a-time interpreter (`false`). Both are observably
+    /// identical; the switch exists for A/B measurement and differential
+    /// testing.
+    pub fn set_predecode(&mut self, on: bool) {
+        self.predecode = on;
+    }
+
+    /// Which dispatch engine is active.
+    pub fn predecode_enabled(&self) -> bool {
+        self.predecode
     }
 
     /// Loads a program into private memory and jumps to its base.
@@ -272,6 +432,12 @@ impl CpuCore {
         self.flags
     }
 
+    /// Overwrites the NZCV flags (test setup, e.g. differential harnesses
+    /// that must start both engines from an arbitrary flag state).
+    pub fn set_flags(&mut self, flags: Flags) {
+        self.flags = flags;
+    }
+
     /// Whether the core has executed a halt.
     pub fn is_halted(&self) -> bool {
         self.halted
@@ -307,7 +473,9 @@ impl CpuCore {
         &self.local
     }
 
-    /// Mutable private memory (test setup).
+    /// Mutable private memory (test setup). Safe with the decoded-
+    /// instruction cache: every mutation moves the memory's write
+    /// generation, which forces cache lines to revalidate.
     pub fn local_mut(&mut self) -> &mut LocalMemory {
         &mut self.local
     }
@@ -344,6 +512,23 @@ impl CpuCore {
         self.regs[15] = self.regs[15].wrapping_add(4);
     }
 
+    /// Barrel shift of a register value by a constant amount (the
+    /// `Operand2::Reg` path), returning value and carry-out.
+    #[inline]
+    fn shift_reg(&self, rm: Reg, shift: ShiftKind, amount: u8) -> (u32, Option<bool>) {
+        let v = self.read_op(rm);
+        if amount == 0 {
+            return (v, None);
+        }
+        let a = amount as u32;
+        match shift {
+            ShiftKind::Lsl => (v << a, Some(v & (1 << (32 - a)) != 0)),
+            ShiftKind::Lsr => (v >> a, Some(v & (1 << (a - 1)) != 0)),
+            ShiftKind::Asr => (((v as i32) >> a) as u32, Some(v & (1 << (a - 1)) != 0)),
+            ShiftKind::Ror => (v.rotate_right(a), Some(v & (1 << (a - 1)) != 0)),
+        }
+    }
+
     /// Computes the barrel-shifter output and its carry-out (when defined).
     fn shifter(&self, op2: Operand2) -> (u32, Option<bool>) {
         match op2 {
@@ -356,26 +541,12 @@ impl CpuCore {
                 };
                 (v, carry)
             }
-            Operand2::Reg { rm, shift, amount } => {
-                let v = self.read_op(rm);
-                if amount == 0 {
-                    return (v, None);
-                }
-                let a = amount as u32;
-                match shift {
-                    ShiftKind::Lsl => (v << a, Some(v & (1 << (32 - a)) != 0)),
-                    ShiftKind::Lsr => (v >> a, Some(v & (1 << (a - 1)) != 0)),
-                    ShiftKind::Asr => {
-                        (((v as i32) >> a) as u32, Some(v & (1 << (a - 1)) != 0))
-                    }
-                    ShiftKind::Ror => (v.rotate_right(a), Some(v & (1 << (a - 1)) != 0)),
-                }
-            }
+            Operand2::Reg { rm, shift, amount } => self.shift_reg(rm, shift, amount),
         }
     }
 
     /// Executes one instruction. See the module docs for the stall/retry
-    /// contract on external accesses.
+    /// contract on external accesses and the dispatch-engine selection.
     pub fn step(&mut self, ext: &mut dyn ExtBus) -> StepEvent {
         if let Some(f) = &self.fault {
             return StepEvent::Fault(f.clone());
@@ -383,6 +554,220 @@ impl CpuCore {
         if self.halted {
             return StepEvent::Halted;
         }
+        if self.predecode {
+            self.step_predecoded(ext)
+        } else {
+            self.step_reference(ext)
+        }
+    }
+
+    /// The predecoded engine: fetch through the decoded-instruction cache,
+    /// dispatch one flat match over the micro-op.
+    fn step_predecoded(&mut self, ext: &mut dyn ExtBus) -> StepEvent {
+        let pc = self.regs[15];
+        let gen = self.local.generation();
+
+        // Resolve the cacheable word index: the fused fast path reuses the
+        // successor predicted by the previous fetch; otherwise derive it
+        // from scratch (and bypass the cache for unaligned or out-of-range
+        // program counters, which mirror the reference fetch exactly).
+        let widx = if pc == self.icache.fused_pc && self.icache.fused_widx < self.icache.words {
+            self.icache.fused_widx
+        } else {
+            let off = pc.wrapping_sub(self.local.base());
+            let size = self.local.size();
+            if off & 3 == 0 && off < size && size - off >= 4 {
+                off >> 2
+            } else {
+                // Not cacheable: fetch and predecode in place.
+                let word = match self.local.read32(pc) {
+                    Ok(w) => w,
+                    Err(_) => return self.raise(CpuFault::FetchOutOfRange(pc)),
+                };
+                let op = match predecode_word(word) {
+                    Ok(op) => op,
+                    Err(err) => return self.raise(CpuFault::Undefined { addr: pc, err }),
+                };
+                return self.exec_uop(ext, op);
+            }
+        };
+
+        let slot = self.icache.slot(widx);
+        let line = self.icache.lines[slot];
+        if line.tag == widx {
+            if line.gen == gen {
+                // Memory untouched since validation: the line is provably
+                // current — skip the fetch entirely.
+                self.stats.icache_hits += 1;
+                self.icache.predict(pc, widx);
+                return self.exec_uop(ext, line.op);
+            }
+            // Generation moved: revalidate against the live word
+            // (self-modifying-code safety — see the module docs).
+            let word = self.local.read32(pc).expect("cacheable range");
+            if line.word == word {
+                self.icache.lines[slot].gen = gen;
+                self.stats.icache_hits += 1;
+                self.icache.predict(pc, widx);
+                return self.exec_uop(ext, line.op);
+            }
+        }
+
+        // Miss: fetch, predecode, fill.
+        self.stats.icache_misses += 1;
+        let word = self.local.read32(pc).expect("cacheable range");
+        let op = match predecode_word(word) {
+            Ok(op) => op,
+            Err(err) => return self.raise(CpuFault::Undefined { addr: pc, err }),
+        };
+        self.icache.lines[slot] = IcLine {
+            tag: widx,
+            word,
+            gen,
+            op,
+        };
+        self.icache.predict(pc, widx);
+        self.exec_uop(ext, op)
+    }
+
+    /// Executes one predecoded micro-op: one condition check, one flat
+    /// dispatch. Hot arms (ALU, branch, load/store) lead.
+    fn exec_uop(&mut self, ext: &mut dyn ExtBus, uop: MicroOp) -> StepEvent {
+        if !self.flags.check(uop.cond) {
+            self.stats.cond_skipped += 1;
+            self.advance();
+            return self.done(self.costs.skipped);
+        }
+        match uop.kind {
+            UopKind::AluImm {
+                op, s, rd, rn, imm, carry,
+            } => self.exec_alu(op, s, rd, rn, imm, carry),
+            UopKind::AluReg {
+                op, s, rd, rn, rm, shift, amount,
+            } => {
+                let (op2v, carry) = self.shift_reg(rm, shift, amount);
+                self.exec_alu(op, s, rd, rn, op2v, carry)
+            }
+            UopKind::Branch { link, delta } => {
+                let target = self.regs[15].wrapping_add(delta);
+                if link {
+                    self.regs[14] = self.regs[15].wrapping_add(4);
+                }
+                self.regs[15] = target;
+                self.stats.branches += 1;
+                self.done(self.costs.branch)
+            }
+            UopKind::Load {
+                size, rd, rn, offset, writeback, post,
+            } => {
+                let rnv = self.read_op(rn);
+                let indexed = rnv.wrapping_add(self.offset_value(offset));
+                let addr = if post { rnv } else { indexed };
+                self.exec_ldst_at(ext, true, size, rd, rn, indexed, addr, writeback)
+            }
+            UopKind::Store {
+                size, rd, rn, offset, writeback, post,
+            } => {
+                let rnv = self.read_op(rn);
+                let indexed = rnv.wrapping_add(self.offset_value(offset));
+                let addr = if post { rnv } else { indexed };
+                self.exec_ldst_at(ext, false, size, rd, rn, indexed, addr, writeback)
+            }
+            UopKind::Mul32 {
+                acc, s, rd, rn, rs, rm,
+            } => {
+                let mut r = self.read_op(rm).wrapping_mul(self.read_op(rs));
+                if acc {
+                    r = r.wrapping_add(self.read_op(rn));
+                }
+                self.regs[rd.index() as usize] = r;
+                if s {
+                    self.flags.set_nz(r);
+                }
+                self.advance();
+                self.done(self.costs.mul)
+            }
+            UopKind::Mul64 {
+                signed, acc, s, rd, rn, rs, rm,
+            } => {
+                let rmv = self.read_op(rm);
+                let rsv = self.read_op(rs);
+                let product = if signed {
+                    ((rmv as i32 as i64).wrapping_mul(rsv as i32 as i64)) as u64
+                } else {
+                    (rmv as u64).wrapping_mul(rsv as u64)
+                };
+                let a = if acc {
+                    ((self.regs[rd.index() as usize] as u64) << 32)
+                        | self.regs[rn.index() as usize] as u64
+                } else {
+                    0
+                };
+                let r = product.wrapping_add(a);
+                self.regs[rn.index() as usize] = r as u32; // low
+                self.regs[rd.index() as usize] = (r >> 32) as u32; // high
+                if s {
+                    self.flags.set_nz64(r);
+                }
+                self.advance();
+                self.done(self.costs.mull)
+            }
+            UopKind::BranchReg { link, rm } => {
+                let target = self.read_op(rm) & !3;
+                if link {
+                    self.regs[14] = self.regs[15].wrapping_add(4);
+                }
+                self.regs[15] = target;
+                self.stats.branches += 1;
+                self.done(self.costs.branch)
+            }
+            UopKind::LoadMulti {
+                rn, list, writeback, db,
+            } => self.exec_ldstm_flat(true, db, writeback, rn, list),
+            UopKind::StoreMulti {
+                rn, list, writeback, db,
+            } => self.exec_ldstm_flat(false, db, writeback, rn, list),
+            UopKind::MovImm16 { top, rd, imm } => {
+                let old = self.regs[rd.index() as usize];
+                self.regs[rd.index() as usize] = if top {
+                    (old & 0x0000_FFFF) | ((imm as u32) << 16)
+                } else {
+                    imm as u32
+                };
+                self.advance();
+                self.done(self.costs.alu)
+            }
+            UopKind::Clz { rd, rm } => {
+                let v = self.read_op(rm).leading_zeros();
+                self.regs[rd.index() as usize] = v;
+                self.advance();
+                self.done(self.costs.alu)
+            }
+            UopKind::Swi { imm } => self.exec_swi(imm),
+            UopKind::Nop => {
+                self.advance();
+                self.done(self.costs.alu)
+            }
+            UopKind::PcFault => {
+                let pc = self.regs[15];
+                self.raise(CpuFault::InvalidPcUse { addr: pc })
+            }
+        }
+    }
+
+    #[inline]
+    fn offset_value(&self, offset: UopOffset) -> u32 {
+        match offset {
+            UopOffset::Imm(v) => v,
+            UopOffset::RegAdd(rm) => self.read_op(rm),
+            UopOffset::RegSub(rm) => self.read_op(rm).wrapping_neg(),
+        }
+    }
+
+    /// The reference engine: the original fetch → [`decode`] → nested-match
+    /// interpreter, kept verbatim as the behavioural oracle for the
+    /// predecoded path (and selectable at run time for A/B measurement).
+    fn step_reference(&mut self, ext: &mut dyn ExtBus) -> StepEvent {
         let pc = self.regs[15];
         let word = match self.local.read32(pc) {
             Ok(w) => w,
@@ -473,12 +858,22 @@ impl CpuCore {
         }
     }
 
-    fn exec_dp(&mut self, op: DpOp, s: bool, rd: Reg, rn: Reg, op2: Operand2) -> StepEvent {
-        let (op2v, shifter_carry) = self.shifter(op2);
+    /// ALU execution from a resolved operand-2 value (shared by both
+    /// engines; the predecoded path arrives here with the shifter already
+    /// folded away for immediates).
+    fn exec_alu(
+        &mut self,
+        op: DpOp,
+        s: bool,
+        rd: Reg,
+        rn: Reg,
+        op2v: u32,
+        shifter_carry: Option<bool>,
+    ) -> StepEvent {
         let rnv = self.read_op(rn);
         let c_in = self.flags.c;
 
-        // (result, arithmetic carry/overflow if any, writes rd)
+        // (result, arithmetic carry/overflow if any)
         let (result, arith): (u32, Option<(bool, bool)>) = match op {
             DpOp::And | DpOp::Tst => (rnv & op2v, None),
             DpOp::Eor | DpOp::Teq => (rnv ^ op2v, None),
@@ -540,6 +935,11 @@ impl CpuCore {
         self.regs[rd.index() as usize] = result;
         self.advance();
         self.done(self.costs.alu)
+    }
+
+    fn exec_dp(&mut self, op: DpOp, s: bool, rd: Reg, rn: Reg, op2: Operand2) -> StepEvent {
+        let (op2v, shifter_carry) = self.shifter(op2);
+        self.exec_alu(op, s, rd, rn, op2v, shifter_carry)
     }
 
     fn exec_mul(&mut self, op: MulOp, s: bool, rd: Reg, rn: Reg, rs: Reg, rm: Reg) -> StepEvent {
@@ -611,8 +1011,34 @@ impl CpuCore {
             AddrMode::Offset | AddrMode::PreIndex => indexed,
             AddrMode::PostIndex => rnv,
         };
+        self.exec_ldst_at(
+            ext,
+            load,
+            size,
+            rd,
+            rn,
+            indexed,
+            addr,
+            mode != AddrMode::Offset,
+        )
+    }
+
+    /// Load/store execution from a resolved effective address (shared by
+    /// both engines).
+    #[allow(clippy::too_many_arguments)]
+    fn exec_ldst_at(
+        &mut self,
+        ext: &mut dyn ExtBus,
+        load: bool,
+        size: MemSize,
+        rd: Reg,
+        rn: Reg,
+        indexed: u32,
+        addr: u32,
+        writeback: bool,
+    ) -> StepEvent {
         let width = size.bytes();
-        if addr % width != 0 {
+        if !addr.is_multiple_of(width) {
             return self.raise(CpuFault::Unaligned { addr, align: width });
         }
 
@@ -662,7 +1088,7 @@ impl CpuCore {
         }
 
         // Commit phase: writeback, destination, pc.
-        if mode != AddrMode::Offset {
+        if writeback {
             self.regs[rn.index() as usize] = indexed;
         }
         let mut branched = false;
@@ -698,12 +1124,22 @@ impl CpuCore {
         rn: Reg,
         list: u16,
     ) -> StepEvent {
+        self.exec_ldstm_flat(load, mode == MultiMode::Db, writeback, rn, list)
+    }
+
+    /// Block-transfer execution with the address progression reduced to a
+    /// boolean (shared by both engines).
+    fn exec_ldstm_flat(
+        &mut self,
+        load: bool,
+        db: bool,
+        writeback: bool,
+        rn: Reg,
+        list: u16,
+    ) -> StepEvent {
         let rnv = self.read_op(rn);
         let count = list.count_ones();
-        let start = match mode {
-            MultiMode::Ia => rnv,
-            MultiMode::Db => rnv.wrapping_sub(4 * count),
-        };
+        let start = if db { rnv.wrapping_sub(4 * count) } else { rnv };
         if start % 4 != 0 {
             return self.raise(CpuFault::Unaligned {
                 addr: start,
@@ -729,9 +1165,10 @@ impl CpuCore {
                 }
             }
             if writeback {
-                let final_base = match mode {
-                    MultiMode::Ia => rnv.wrapping_add(4 * count),
-                    MultiMode::Db => start,
+                let final_base = if db {
+                    start
+                } else {
+                    rnv.wrapping_add(4 * count)
                 };
                 self.regs[rn.index() as usize] = final_base;
             }
@@ -761,9 +1198,10 @@ impl CpuCore {
                 }
             }
             if writeback {
-                let final_base = match mode {
-                    MultiMode::Ia => rnv.wrapping_add(4 * count),
-                    MultiMode::Db => start,
+                let final_base = if db {
+                    start
+                } else {
+                    rnv.wrapping_add(4 * count)
                 };
                 self.regs[rn.index() as usize] = final_base;
             }

@@ -9,10 +9,20 @@
 use dmi_isa::Program;
 
 /// Byte-addressable private RAM with little-endian layout.
+///
+/// The memory keeps a monotonically increasing *write generation*
+/// ([`LocalMemory::generation`]), bumped by every mutation. Consumers that
+/// cache derived views of the contents — the ISS's decoded-instruction
+/// cache in particular — record the generation at fill time: an unchanged
+/// generation proves the underlying bytes are untouched, and a moved one
+/// tells the consumer to re-validate (the same pattern as the pointer
+/// table's TLB generation in `dmi-core`).
 #[derive(Debug, Clone)]
 pub struct LocalMemory {
     base: u32,
     bytes: Vec<u8>,
+    /// Bumped on every mutation; see the struct docs.
+    gen: u64,
 }
 
 /// A memory access violation inside the private range.
@@ -30,7 +40,14 @@ impl LocalMemory {
         LocalMemory {
             base,
             bytes: vec![0; size as usize],
+            gen: 0,
         }
+    }
+
+    /// The current write generation (bumped on every mutation).
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.gen
     }
 
     /// First valid address.
@@ -86,6 +103,7 @@ impl LocalMemory {
     /// Writes a byte.
     pub fn write8(&mut self, addr: u32, value: u8) -> Result<(), OutOfRange> {
         let i = self.index(addr, 1)?;
+        self.gen = self.gen.wrapping_add(1);
         self.bytes[i] = value;
         Ok(())
     }
@@ -93,6 +111,7 @@ impl LocalMemory {
     /// Writes a little-endian halfword.
     pub fn write16(&mut self, addr: u32, value: u16) -> Result<(), OutOfRange> {
         let i = self.index(addr, 2)?;
+        self.gen = self.gen.wrapping_add(1);
         self.bytes[i..i + 2].copy_from_slice(&value.to_le_bytes());
         Ok(())
     }
@@ -100,6 +119,7 @@ impl LocalMemory {
     /// Writes a little-endian word.
     pub fn write32(&mut self, addr: u32, value: u32) -> Result<(), OutOfRange> {
         let i = self.index(addr, 4)?;
+        self.gen = self.gen.wrapping_add(1);
         self.bytes[i..i + 4].copy_from_slice(&value.to_le_bytes());
         Ok(())
     }
@@ -112,6 +132,7 @@ impl LocalMemory {
     pub fn load_program(&mut self, program: &Program) {
         let bytes = program.to_bytes();
         let start = (program.base() - self.base) as usize;
+        self.gen = self.gen.wrapping_add(1);
         self.bytes[start..start + bytes.len()].copy_from_slice(&bytes);
     }
 
@@ -124,6 +145,7 @@ impl LocalMemory {
     /// Writes a byte slice at `addr` (test/diagnostic helper).
     pub fn write_slice(&mut self, addr: u32, data: &[u8]) -> Result<(), OutOfRange> {
         let i = self.index(addr, data.len() as u32)?;
+        self.gen = self.gen.wrapping_add(1);
         self.bytes[i..i + data.len()].copy_from_slice(data);
         Ok(())
     }
@@ -180,6 +202,26 @@ mod tests {
         m.load_program(&p);
         assert_eq!(m.read32(0x20).unwrap(), 0x11223344);
         assert_eq!(m.read32(0x24).unwrap(), 0x55667788);
+    }
+
+    #[test]
+    fn generation_tracks_every_mutation() {
+        let mut m = LocalMemory::new(0, 0x100);
+        let g0 = m.generation();
+        assert!(m.read32(0).is_ok());
+        assert_eq!(m.generation(), g0, "reads do not move the generation");
+        m.write8(0, 1).unwrap();
+        m.write16(2, 2).unwrap();
+        m.write32(4, 3).unwrap();
+        m.write_slice(8, &[1, 2]).unwrap();
+        assert_eq!(m.generation(), g0 + 4);
+        // Failed writes leave the generation untouched.
+        assert!(m.write32(0x1000, 0).is_err());
+        assert_eq!(m.generation(), g0 + 4);
+        let mut a = dmi_isa::Asm::new();
+        a.word(1);
+        m.load_program(&a.assemble(0).unwrap());
+        assert_eq!(m.generation(), g0 + 5);
     }
 
     #[test]

@@ -16,6 +16,13 @@
 //! * **clocks** managed by the kernel;
 //! * **VCD tracing** of any subset of signals.
 //!
+//! Subscriber wakes produced by a delta's update phase are carried
+//! directly to the next delta in a scratch list instead of round-tripping
+//! through the priority queue — dispatch order is provably identical
+//! (queued timers at the next delta always precede them in sequence
+//! number), and it roughly halves the per-clock-edge kernel overhead of
+//! clocked systems (see `sim.rs`).
+//!
 //! ## Quickstart
 //!
 //! ```

@@ -183,6 +183,13 @@ pub struct Simulator {
     changes: Vec<Change>,
     woken: Vec<bool>,
     woken_list: Vec<ComponentId>,
+    /// Signal wakes produced by the current delta's update phase, carried
+    /// directly to the next delta instead of through the event queue.
+    /// Dispatch order is identical (queued timers at `(t, delta + 1)`
+    /// always precede the update phase's wakes in sequence number), but
+    /// the ~one-wake-per-subscriber-per-edge traffic skips the priority
+    /// queue entirely — the single hottest path of clocked systems.
+    pending_wakes: Vec<(ComponentId, crate::signal::SignalId)>,
 }
 
 impl std::fmt::Debug for dyn Component {
@@ -214,6 +221,7 @@ impl Simulator {
             changes: Vec::new(),
             woken: Vec::new(),
             woken_list: Vec::new(),
+            pending_wakes: Vec::new(),
         }
     }
 
@@ -401,10 +409,13 @@ impl Simulator {
 
             let mut delta = first_delta;
             loop {
-                // Evaluate: dispatch every event scheduled for (t, delta).
+                // Evaluate: dispatch every queued event scheduled for
+                // (t, delta) — their sequence numbers always precede the
+                // previous update phase's signal wakes…
                 while let Some(ev) = queue.pop_at(t, delta) {
                     if events_left == 0 {
                         self.stop = Some(StopReason::Error("event budget exhausted".into()));
+                        self.requeue_pending_wakes(queue, t, delta);
                         break 'outer;
                     }
                     events_left -= 1;
@@ -423,6 +434,29 @@ impl Simulator {
                             queue.push(next_t, 0, EventKind::ClockToggle(k));
                         }
                     }
+                }
+                // …then the carried signal wakes, in subscription-scan
+                // order — the exact order the queued `SignalWake` events
+                // used to pop in, without the queue round-trip.
+                if !self.pending_wakes.is_empty() {
+                    let mut wakes = std::mem::take(&mut self.pending_wakes);
+                    for (i, &(cid, sid)) in wakes.iter().enumerate() {
+                        if events_left == 0 {
+                            // Re-queue the undispatched tail at its due
+                            // (t, delta) so a resumed run replays exactly.
+                            for &(cid, sid) in &wakes[i..] {
+                                queue.push(t, delta, EventKind::SignalWake(cid, sid));
+                            }
+                            self.stop =
+                                Some(StopReason::Error("event budget exhausted".into()));
+                            break 'outer;
+                        }
+                        events_left -= 1;
+                        self.stats.events += 1;
+                        self.dispatch(queue, cid, Wake::Signal(sid), t, delta);
+                    }
+                    wakes.clear();
+                    self.pending_wakes = wakes; // keep the capacity
                 }
 
                 // Update: commit writes, wake subscribers in the next delta.
@@ -443,7 +477,7 @@ impl Simulator {
                         if edge.matches(ch.old, ch.new) && !self.woken[cid.index()] {
                             self.woken[cid.index()] = true;
                             self.woken_list.push(cid);
-                            queue.push(t, delta + 1, EventKind::SignalWake(cid, ch.signal));
+                            self.pending_wakes.push((cid, ch.signal));
                         }
                     }
                 }
@@ -452,29 +486,60 @@ impl Simulator {
                 }
 
                 if self.stop.is_some() {
+                    // A stopping run may leave this delta's subscriber
+                    // wakes undispatched: park them in the queue at their
+                    // due (t, delta + 1) so resuming the simulation
+                    // replays them exactly — identical to the behaviour
+                    // when every wake was a queued event.
+                    self.requeue_pending_wakes(queue, t, delta + 1);
                     break;
                 }
-                match queue.peek_key() {
-                    Some((tt, dd)) if tt == t => {
+                // Continue while this time step has more work: carried
+                // wakes always run in the next delta; queued events at a
+                // later delta of `t` otherwise set the next delta.
+                let next = if self.pending_wakes.is_empty() {
+                    match queue.peek_key() {
+                        Some((tt, dd)) if tt == t => Some(dd),
+                        _ => None,
+                    }
+                } else {
+                    Some(delta + 1)
+                };
+                match next {
+                    Some(dd) => {
                         if dd - first_delta > self.delta_limit {
                             self.stop = Some(StopReason::Error(format!(
                                 "delta-cycle limit ({}) exceeded at {t}: combinational loop?",
                                 self.delta_limit
                             )));
+                            self.requeue_pending_wakes(queue, t, dd);
                             break;
                         }
                         delta = dd;
                     }
-                    _ => break,
+                    None => break,
                 }
             }
         }
 
+        debug_assert!(
+            self.pending_wakes.is_empty(),
+            "carried wakes must never outlive a run call"
+        );
         RunSummary {
             end_time: self.time,
             stats: self.stats.since(&stats_start),
             wall: wall_start.elapsed(),
             stop: self.stop.clone(),
+        }
+    }
+
+    /// Moves any carried-but-undispatched subscriber wakes back into the
+    /// event queue at `(t, delta)`, so an interrupted run can resume with
+    /// exactly the dispatch sequence the fully-queued implementation had.
+    fn requeue_pending_wakes(&mut self, queue: &mut RunQueue, t: SimTime, delta: u32) {
+        for (cid, sid) in self.pending_wakes.drain(..) {
+            queue.push(t, delta, EventKind::SignalWake(cid, sid));
         }
     }
 
@@ -776,6 +841,76 @@ mod tests {
         assert_eq!(summary.end_time.ticks(), 7);
         assert!(!summary.is_error());
         assert_eq!(summary.stop.unwrap().message(), "workload complete");
+    }
+
+    #[test]
+    fn resume_after_stop_replays_carried_wakes() {
+        // A component writes a wire and stops the run in the same delta:
+        // the subscriber wake produced by that delta's update phase is
+        // still pending when the run returns. Resuming must dispatch it
+        // at the original simulated time — the exact behaviour of the
+        // fully-queued SignalWake implementation.
+        struct WriteAndStop {
+            w: Wire,
+        }
+        impl Component for WriteAndStop {
+            fn name(&self) -> &str {
+                "write_and_stop"
+            }
+            fn wake(&mut self, ctx: &mut Ctx<'_>) {
+                match ctx.cause() {
+                    Wake::Start => ctx.schedule_in(5, 0),
+                    Wake::Timer(_) => {
+                        ctx.write_bit(self.w, true);
+                        ctx.stop("paused mid-delta");
+                    }
+                    _ => {}
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        struct TimeStamper {
+            w: Wire,
+            seen: Vec<u64>,
+        }
+        impl Component for TimeStamper {
+            fn name(&self) -> &str {
+                "stamper"
+            }
+            fn wake(&mut self, ctx: &mut Ctx<'_>) {
+                if ctx.is_signal(self.w) {
+                    self.seen.push(ctx.time().ticks());
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim = Simulator::new();
+        let w = sim.wire("w", 1);
+        sim.add_component(Box::new(WriteAndStop { w }));
+        let sid = sim.add_component(Box::new(TimeStamper { w, seen: vec![] }));
+        sim.subscribe(sid, w, Edge::Rising);
+        let summary = sim.run_for(100);
+        assert_eq!(summary.stop.unwrap().message(), "paused mid-delta");
+        assert!(
+            sim.component::<TimeStamper>(sid).unwrap().seen.is_empty(),
+            "the wake was parked, not dispatched"
+        );
+        sim.run_for(100);
+        assert_eq!(
+            sim.component::<TimeStamper>(sid).unwrap().seen,
+            vec![5],
+            "resumed wake fires at its original time"
+        );
     }
 
     #[test]

@@ -65,6 +65,7 @@ impl McSystem {
             let ports = BusMasterPorts::declare(&mut sim, &format!("cpu{i}.bus"));
             let halted = sim.wire(format!("cpu{i}.halted"), 1);
             let mut core = CpuCore::new(i as u32, LocalMemory::new(0, config.local_mem_size));
+            core.set_predecode(config.predecode);
             core.load_program(program);
             let comp = CpuComponent::new(format!("cpu{i}"), core, clk, ports, halted);
             let id = sim.add_component(Box::new(comp));
@@ -142,8 +143,8 @@ impl McSystem {
                 let id = sim.add_component(Box::new(bus));
                 (id, false)
             }
-            InterconnectKind::Crossbar(arb) => {
-                let xbar = Crossbar::new("xbar", clk, master_ifs, slave_ifs, map, arb);
+            InterconnectKind::Crossbar(cfg) => {
+                let xbar = Crossbar::with_config("xbar", clk, master_ifs, slave_ifs, map, cfg);
                 let id = sim.add_component(Box::new(xbar));
                 (id, true)
             }

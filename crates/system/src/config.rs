@@ -2,7 +2,7 @@
 //! framework exists to support.
 
 use dmi_core::{SimHeapConfig, StaticMemConfig, WrapperConfig};
-use dmi_interconnect::{ArbiterKind, BusConfig};
+use dmi_interconnect::{BusConfig, CrossbarConfig};
 use dmi_isa::Program;
 
 /// Which memory model backs a shared-memory module.
@@ -33,7 +33,7 @@ pub enum InterconnectKind {
     /// Single shared bus (the paper's topology).
     SharedBus(BusConfig),
     /// Crossbar with per-slave arbitration (ablation).
-    Crossbar(ArbiterKind),
+    Crossbar(CrossbarConfig),
 }
 
 /// Base address of shared-memory module `i` in the CPUs' address space.
@@ -59,6 +59,13 @@ pub struct SystemConfig {
     pub memories: Vec<MemModelKind>,
     /// Interconnect topology.
     pub interconnect: InterconnectKind,
+    /// Whether the ISSs dispatch predecoded micro-ops through their
+    /// decoded-instruction caches (the default) or run the reference
+    /// word-at-a-time interpreter. Runtime-selectable for A/B
+    /// measurement; results are bit-identical either way. Defaults from
+    /// the `DMI_PREDECODE` environment variable (see
+    /// [`dmi_iss::predecode_default`]).
+    pub predecode: bool,
 }
 
 impl Default for SystemConfig {
@@ -69,6 +76,7 @@ impl Default for SystemConfig {
             programs: Vec::new(),
             memories: vec![MemModelKind::Wrapper(WrapperConfig::default())],
             interconnect: InterconnectKind::SharedBus(BusConfig::default()),
+            predecode: dmi_iss::predecode_default(),
         }
     }
 }

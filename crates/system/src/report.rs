@@ -101,6 +101,30 @@ impl RunReport {
         )
     }
 
+    /// Per-CPU dispatch summary: one line per core with instruction
+    /// count and decoded-instruction-cache hit rate (diagnostics for the
+    /// ISS predecode fast path; reference-interpreter runs report no
+    /// cached fetches).
+    pub fn cpu_summary(&self) -> String {
+        self.cpus
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let s = &c.isa;
+                format!(
+                    "cpu{i}: {} instrs, {} branches, icache {:.1}% hit \
+                     ({} hits / {} misses)",
+                    s.instructions,
+                    s.branches,
+                    100.0 * s.icache_hit_rate(),
+                    s.icache_hits,
+                    s.icache_misses,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
     /// Per-memory hot-path summary: one line per module with TLB hit
     /// rate and burst activity (diagnostics for the wrapper's fast
     /// paths; static memories report no translations).

@@ -2,7 +2,7 @@
 //! real workload programs cycle by cycle.
 
 use dmi_core::{SimHeapConfig, StaticMemConfig, WrapperConfig};
-use dmi_interconnect::ArbiterKind;
+use dmi_interconnect::CrossbarConfig;
 use dmi_sw::{workloads, WorkloadCfg};
 use dmi_system::{mem_base, InterconnectKind, McSystem, MemModelKind, SystemConfig};
 
@@ -160,7 +160,7 @@ fn crossbar_and_bus_give_same_results() {
     let bus_report = bus_sys.run(50_000_000);
     assert!(bus_report.all_ok());
 
-    let mut xbar_sys = build(InterconnectKind::Crossbar(ArbiterKind::RoundRobin));
+    let mut xbar_sys = build(InterconnectKind::Crossbar(CrossbarConfig::default()));
     let xbar_report = xbar_sys.run(50_000_000);
     assert!(xbar_report.all_ok());
 
