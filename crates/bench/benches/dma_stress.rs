@@ -1,0 +1,53 @@
+//! DMA traffic-generator stress: pure interconnect + memory-model load
+//! with zero ISSs, at increasing master counts, on both topologies.
+//!
+//! This is the workload the `BusMaster` trait unlocks: arbitration and
+//! slave-port behaviour under saturated request lines, with no
+//! instruction-stream cost mixed in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmi_masters::{DmaConfig, DmaEngine, DmaKind};
+use dmi_system::{mem_base, InterconnectKind, MemSpec, SystemBuilder};
+
+/// Builds and runs `n` fill engines hammering `n_mems` static memories;
+/// returns simulated cycles to completion.
+fn run(n: usize, n_mems: usize, crossbar: bool) -> u64 {
+    let mut b = SystemBuilder::new();
+    if crossbar {
+        b = b.interconnect(InterconnectKind::Crossbar(Default::default()));
+    }
+    for j in 0..n_mems {
+        b.add_memory(MemSpec::static_table(mem_base(j)));
+    }
+    for i in 0..n {
+        b.add_master(Box::new(DmaEngine::new(DmaConfig {
+            kind: DmaKind::Fill { seed: i as u32 },
+            // Engines spread over the memories; disjoint 1 KiB blocks.
+            dst: mem_base(i % n_mems) + (i as u32 / n_mems as u32) * 0x400,
+            words: 128,
+            passes: 4,
+            ..DmaConfig::default()
+        })));
+    }
+    let mut sys = b.build().expect("stress system");
+    let r = sys.run(u64::MAX / 4);
+    assert!(r.all_ok(), "{}", r.summary());
+    r.sim_cycles
+}
+
+fn dma_stress(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dma_stress");
+    g.sample_size(10);
+    for n in [1usize, 4, 8, 16] {
+        g.bench_with_input(BenchmarkId::new("bus_1mem", n), &n, |b, &n| {
+            b.iter(|| run(n, 1, false));
+        });
+        g.bench_with_input(BenchmarkId::new("xbar_4mem", n), &n, |b, &n| {
+            b.iter(|| run(n, 4.min(n), true));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, dma_stress);
+criterion_main!(benches);

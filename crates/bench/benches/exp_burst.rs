@@ -1,16 +1,17 @@
-//! E6 — I/O-array burst vs scalar transfer bench across burst lengths.
+//! E6 — I/O-array burst vs scalar transfer bench across burst lengths,
+//! under both interconnect timing presets (seed timing vs throughput's
+//! burst grant retention — the numbers behind the `burst_grant` default
+//! decision in `ROADMAP.md`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dmi_core::WrapperConfig;
 use dmi_sw::{workloads, WorkloadCfg};
-use dmi_system::{mem_base, McSystem, MemModelKind, SystemConfig};
+use dmi_system::{mem_base, CpuSpec, MemSpec, Preset, SystemBuilder};
 
-fn run(prog: dmi_isa::Program) -> u64 {
-    let mut sys = McSystem::build(SystemConfig {
-        programs: vec![prog],
-        memories: vec![MemModelKind::Wrapper(WrapperConfig::default())],
-        ..SystemConfig::default()
-    });
+fn run(prog: dmi_isa::Program, preset: Preset) -> u64 {
+    let mut b = SystemBuilder::new().preset(preset);
+    b.add_cpu(CpuSpec::new(prog));
+    b.add_memory(MemSpec::wrapper(mem_base(0)));
+    let mut sys = b.build().expect("burst system");
     let r = sys.run(u64::MAX / 4);
     assert!(r.all_ok());
     r.sim_cycles
@@ -27,10 +28,13 @@ fn burst(c: &mut Criterion) {
             ..WorkloadCfg::default()
         };
         g.bench_with_input(BenchmarkId::new("burst", len), &wl, |b, wl| {
-            b.iter(|| run(workloads::burst_copy(wl)));
+            b.iter(|| run(workloads::burst_copy(wl), Preset::SeedTiming));
+        });
+        g.bench_with_input(BenchmarkId::new("burst_throughput", len), &wl, |b, wl| {
+            b.iter(|| run(workloads::burst_copy(wl), Preset::Throughput));
         });
         g.bench_with_input(BenchmarkId::new("scalar", len), &wl, |b, wl| {
-            b.iter(|| run(workloads::scalar_copy(wl)));
+            b.iter(|| run(workloads::scalar_copy(wl), Preset::SeedTiming));
         });
     }
     g.finish();

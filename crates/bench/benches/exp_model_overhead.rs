@@ -4,14 +4,15 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use dmi_core::{SimHeapConfig, StaticMemConfig, WrapperConfig};
 use dmi_sw::{workloads, WorkloadCfg};
-use dmi_system::{mem_base, McSystem, MemModelKind, SystemConfig};
+use dmi_system::{mem_base, CpuSpec, MemModelKind, MemSpec, SystemBuilder};
 
 fn run(programs: Vec<dmi_isa::Program>, mem: MemModelKind) -> u64 {
-    let mut sys = McSystem::build(SystemConfig {
-        programs,
-        memories: vec![mem],
-        ..SystemConfig::default()
-    });
+    let mut b = SystemBuilder::new();
+    for program in programs {
+        b.add_cpu(CpuSpec::new(program));
+    }
+    b.add_memory(MemSpec::new(mem, mem_base(0)));
+    let mut sys = b.build().expect("bench system");
     let r = sys.run(u64::MAX / 4);
     assert!(r.all_ok(), "{}", r.summary());
     r.sim_cycles

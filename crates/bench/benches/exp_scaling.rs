@@ -1,9 +1,8 @@
 //! E5 — ISS-count scaling bench.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dmi_core::WrapperConfig;
 use dmi_sw::{workloads, WorkloadCfg};
-use dmi_system::{mem_base, McSystem, MemModelKind, SystemConfig};
+use dmi_system::{mem_base, CpuSpec, MemSpec, SystemBuilder};
 
 fn scaling(c: &mut Criterion) {
     let wl = WorkloadCfg {
@@ -17,11 +16,12 @@ fn scaling(c: &mut Criterion) {
     for n in [1usize, 2, 4, 8] {
         g.bench_with_input(BenchmarkId::new("cpus", n), &n, |b, &n| {
             b.iter(|| {
-                let mut sys = McSystem::build(SystemConfig {
-                    programs: vec![workloads::scalar_rw(&wl); n],
-                    memories: vec![MemModelKind::Wrapper(WrapperConfig::default())],
-                    ..SystemConfig::default()
-                });
+                let mut sb = SystemBuilder::new();
+                for _ in 0..n {
+                    sb.add_cpu(CpuSpec::new(workloads::scalar_rw(&wl)));
+                }
+                sb.add_memory(MemSpec::wrapper(mem_base(0)));
+                let mut sys = sb.build().expect("scaling system");
                 let r = sys.run(u64::MAX / 4);
                 assert!(r.all_ok());
                 r.sim_cycles

@@ -38,6 +38,9 @@ fn main() {
     if want("e8") {
         println!("{}", exp::e8_gsm_throughput(8).to_markdown());
     }
+    if want("e9") {
+        println!("{}", exp::e9_presets(32, 64).to_markdown());
+    }
 }
 
 /// E4 — pointer-table operation cost vs live-entry count (host-side

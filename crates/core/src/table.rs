@@ -543,6 +543,21 @@ impl PointerTable {
         self.resolve(vptr)
     }
 
+    /// Immutable, statistics-free resolve for observers (watchpoints,
+    /// debug dumps): the same binary search over the vptr-sorted entries
+    /// as [`resolve`](Self::resolve)'s slow path, but without touching
+    /// the TLB or any counter — safe to call every polling slice without
+    /// perturbing the measured simulation.
+    pub fn peek(&self, vptr: u32) -> Option<(usize, u32)> {
+        let idx = match self.entries.binary_search_by_key(&vptr, |e| e.vptr) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        let e = &self.entries[idx];
+        e.contains(vptr).then(|| (idx, vptr - e.vptr))
+    }
+
     /// Entry access by index (from [`resolve`](Self::resolve)).
     pub fn entry(&self, idx: usize) -> &Entry {
         &self.entries[idx]

@@ -24,8 +24,10 @@ mod arbiter;
 mod bus;
 mod crossbar;
 mod map;
+mod master;
 
 pub use arbiter::{Arbiter, ArbiterKind};
 pub use bus::{BusConfig, BusStats, MasterIf, SharedBus, SlaveIf, DECODE_ERROR_DATA};
 pub use crossbar::{Crossbar, CrossbarConfig};
-pub use map::{AddressMap, Region};
+pub use map::{AddressMap, MapError, Region};
+pub use master::{BusMaster, MasterProbe, MasterStats, MasterWiring};

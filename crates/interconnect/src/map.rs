@@ -19,6 +19,48 @@ impl Region {
     }
 }
 
+/// Why a region could not be added to an [`AddressMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapError {
+    /// The region's size is zero.
+    ZeroSize {
+        /// Base address of the rejected region.
+        base: u32,
+    },
+    /// The region's end address wraps past the top of the address space.
+    AddressWrap {
+        /// Base address of the rejected region.
+        base: u32,
+        /// Size of the rejected region.
+        size: u32,
+    },
+    /// The region overlaps one already in the map.
+    Overlap {
+        /// The rejected region.
+        new: Region,
+        /// The existing region it collides with.
+        existing: Region,
+    },
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::ZeroSize { base } => write!(f, "zero-sized region at {base:#x}"),
+            MapError::AddressWrap { base, size } => {
+                write!(f, "region {base:#x}+{size:#x} wraps the address space")
+            }
+            MapError::Overlap { new, existing } => write!(
+                f,
+                "region {:#x}+{:#x} overlaps {:#x}+{:#x} (slave {})",
+                new.base, new.size, existing.base, existing.size, existing.slave
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
 /// The interconnect's address map (the paper's `sm_addr` decode: the
 /// shared-memory address identifying the memory module).
 #[derive(Debug, Clone, Default)]
@@ -32,24 +74,49 @@ impl AddressMap {
         Self::default()
     }
 
+    /// Adds a region, validating size and non-overlap.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MapError`] if the region is zero-sized, wraps the top of
+    /// the address space, or overlaps a region already in the map. The map
+    /// is unchanged on error.
+    pub fn try_add(&mut self, base: u32, size: u32, slave: usize) -> Result<(), MapError> {
+        if size == 0 {
+            return Err(MapError::ZeroSize { base });
+        }
+        if base.checked_add(size - 1).is_none() {
+            return Err(MapError::AddressWrap { base, size });
+        }
+        let new = Region { base, size, slave };
+        for r in &self.regions {
+            // u64 arithmetic: `base + size` may be 2^32 for a region
+            // touching the top of the address space.
+            let disjoint = base as u64 >= r.base as u64 + r.size as u64
+                || r.base as u64 >= base as u64 + size as u64;
+            if !disjoint {
+                return Err(MapError::Overlap {
+                    new,
+                    existing: *r,
+                });
+            }
+        }
+        self.regions.push(new);
+        self.regions.sort_by_key(|r| r.base);
+        Ok(())
+    }
+
     /// Adds a region.
     ///
     /// # Panics
     ///
-    /// Panics if the region overlaps an existing one or has zero size.
+    /// Panics if the region overlaps an existing one, has zero size, or
+    /// wraps the address space. [`try_add`](Self::try_add) is the
+    /// non-panicking form.
     pub fn add(&mut self, base: u32, size: u32, slave: usize) -> &mut Self {
-        assert!(size > 0, "zero-sized region");
-        let new = Region { base, size, slave };
-        for r in &self.regions {
-            let disjoint = base >= r.base.wrapping_add(r.size) || r.base >= base.wrapping_add(size);
-            assert!(
-                disjoint,
-                "region {base:#x}+{size:#x} overlaps {:#x}+{:#x}",
-                r.base, r.size
-            );
+        if let Err(e) = self.try_add(base, size, slave) {
+            panic!("{e}");
         }
-        self.regions.push(new);
-        self.regions.sort_by_key(|r| r.base);
         self
     }
 
@@ -112,6 +179,42 @@ mod tests {
     #[should_panic(expected = "zero-sized")]
     fn zero_size_rejected() {
         AddressMap::new().add(0, 0, 0);
+    }
+
+    #[test]
+    fn try_add_reports_typed_errors() {
+        let mut m = AddressMap::new();
+        m.try_add(0x1000, 0x100, 0).unwrap();
+        assert_eq!(
+            m.try_add(0x2000, 0, 1),
+            Err(MapError::ZeroSize { base: 0x2000 })
+        );
+        assert_eq!(
+            m.try_add(0xFFFF_FF00, 0x200, 1),
+            Err(MapError::AddressWrap {
+                base: 0xFFFF_FF00,
+                size: 0x200
+            })
+        );
+        let err = m.try_add(0x10FF, 0x100, 1).unwrap_err();
+        assert!(matches!(err, MapError::Overlap { existing, .. }
+            if existing.base == 0x1000 && existing.slave == 0));
+        assert!(err.to_string().contains("overlaps"));
+        // Failed adds leave the map unchanged.
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn region_touching_top_of_address_space_allowed() {
+        let mut m = AddressMap::new();
+        m.try_add(0xFFFF_0000, 0x1_0000, 0).unwrap();
+        assert_eq!(m.decode(0xFFFF_FFFF), Some(0));
+        // A region inside one that touches the top is still an overlap
+        // (regression: the old wrapping check declared them disjoint).
+        assert!(matches!(
+            m.try_add(0xFFFF_8000, 0x100, 1),
+            Err(MapError::Overlap { .. })
+        ));
     }
 
     #[test]

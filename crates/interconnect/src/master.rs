@@ -1,0 +1,74 @@
+//! First-class bus masters.
+//!
+//! The interconnect arbitrates among *masters* — anything that drives the
+//! req/ack handshake of a [`MasterIf`](crate::MasterIf). ISSs are one kind
+//! of master (`dmi-iss`'s `CpuComponent`), but design-space exploration
+//! wants others: DMA engines, traffic generators, accelerator front-ends.
+//! The [`BusMaster`] trait is the registration contract a system builder
+//! uses to wire such components without knowing their concrete types.
+//!
+//! A `BusMaster` value is a *specification*: the builder declares the
+//! signal bundle, hands it over as a [`MasterWiring`], and the
+//! specification turns itself into the kernel [`Component`] that drives
+//! those wires. The component must follow the master handshake documented
+//! on [`MasterIf`]: hold `req` with stable payload until `ack` is sampled,
+//! then drop `req` for at least one cycle.
+
+use std::any::Any;
+
+use dmi_kernel::{Component, Wire};
+
+use crate::bus::MasterIf;
+
+/// The signals a non-CPU bus master is wired to.
+#[derive(Debug, Clone, Copy)]
+pub struct MasterWiring {
+    /// System clock; the component is subscribed to its rising edge.
+    pub clk: Wire,
+    /// The master-side handshake bundle. The component drives `req`, `we`,
+    /// `size`, `addr` and `wdata`, and samples `ack` / `rdata`.
+    pub ports: MasterIf,
+    /// 1-bit completion output. Drive it high (once) when the master has
+    /// finished its programmed work; the system's halt monitor treats it
+    /// like a CPU's `halted` wire. Masters that never finish (free-running
+    /// traffic generators) simply leave it low.
+    pub done: Wire,
+}
+
+/// Generic progress counters a bus-master component can report.
+///
+/// The concrete component keeps whatever richer statistics it wants; these
+/// are the common denominators a run report can show for any master.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MasterStats {
+    /// Rising clock edges observed while not done.
+    pub active_cycles: u64,
+    /// Edges spent with a request outstanding but unacknowledged.
+    pub bus_wait_cycles: u64,
+    /// Completed bus transactions.
+    pub transactions: u64,
+    /// Whether the master has raised its `done` output.
+    pub done: bool,
+}
+
+/// Probe resolving a type-erased component back to its [`MasterStats`]
+/// (the component arrives as `&dyn Any` from the simulator's store).
+pub type MasterProbe = fn(&dyn Any) -> Option<MasterStats>;
+
+/// A specification for a non-CPU bus master, consumed at system build time.
+pub trait BusMaster: std::fmt::Debug {
+    /// Short kind label used for signal prefixes and reports
+    /// (e.g. `"dma"`).
+    fn kind(&self) -> &'static str;
+
+    /// Returns the probe that recovers [`MasterStats`] from the built
+    /// component after (or during) a run. The default reports nothing.
+    fn probe(&self) -> MasterProbe {
+        |_| None
+    }
+
+    /// Consumes the specification and produces the kernel component wired
+    /// to `wiring`. `name` is the instance name the builder assigned
+    /// (unique per system, e.g. `"dma0"`).
+    fn into_component(self: Box<Self>, name: String, wiring: MasterWiring) -> Box<dyn Component>;
+}

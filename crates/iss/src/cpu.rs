@@ -602,8 +602,18 @@ impl CpuCore {
                 self.icache.predict(pc, widx);
                 return self.exec_uop(ext, line.op);
             }
-            // Generation moved: revalidate against the live word
-            // (self-modifying-code safety — see the module docs).
+            // Generation moved: if the memory's dirty window proves no
+            // write since validation touched this word, the line is
+            // current without a fetch — the fast path store-heavy loops
+            // stay on (stores land in data, fetches in code). Otherwise
+            // revalidate against the live word (self-modifying-code
+            // safety — see the module docs).
+            if self.local.untouched_since(line.gen, pc, 4) {
+                self.icache.lines[slot].gen = gen;
+                self.stats.icache_hits += 1;
+                self.icache.predict(pc, widx);
+                return self.exec_uop(ext, line.op);
+            }
             let word = self.local.read32(pc).expect("cacheable range");
             if line.word == word {
                 self.icache.lines[slot].gen = gen;

@@ -23,7 +23,27 @@ pub struct LocalMemory {
     bytes: Vec<u8>,
     /// Bumped on every mutation; see the struct docs.
     gen: u64,
+    /// Dirty-window invariant: every mutation with generation strictly
+    /// greater than `dirty_since` touched only byte offsets in
+    /// `dirty_lo..dirty_hi`. Consumers holding a generation `g >=
+    /// dirty_since` can prove a range untouched since `g` by showing it
+    /// disjoint from the window ([`untouched_since`]
+    /// (Self::untouched_since)) — without this, a store-heavy loop forces
+    /// the decoded-instruction cache to re-read every fetch after every
+    /// store, because the generation alone is memory-wide.
+    dirty_since: u64,
+    /// First dirty byte offset (`u32::MAX` when the window is empty).
+    dirty_lo: u32,
+    /// One past the last dirty byte offset (0 when the window is empty).
+    dirty_hi: u32,
 }
+
+/// Reset the dirty window once it covers this fraction of the memory
+/// (expressed as a shift: window > size/2). A huge window proves nothing
+/// for anybody; collapsing it re-arms the filter for consumers that
+/// revalidate afterwards, at the cost of one word-compare for lines
+/// validated before the reset.
+const DIRTY_RESET_FRACTION_SHIFT: u32 = 1;
 
 /// A memory access violation inside the private range.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +61,9 @@ impl LocalMemory {
             base,
             bytes: vec![0; size as usize],
             gen: 0,
+            dirty_since: 0,
+            dirty_lo: u32::MAX,
+            dirty_hi: 0,
         }
     }
 
@@ -48,6 +71,44 @@ impl LocalMemory {
     #[inline]
     pub fn generation(&self) -> u64 {
         self.gen
+    }
+
+    /// Records a mutation of `width` bytes at offset `off`: bumps the
+    /// generation and grows the dirty window.
+    #[inline]
+    fn mark_dirty(&mut self, off: usize, width: usize) {
+        self.gen = self.gen.wrapping_add(1);
+        self.dirty_lo = self.dirty_lo.min(off as u32);
+        self.dirty_hi = self.dirty_hi.max((off + width) as u32);
+        if (self.dirty_hi - self.dirty_lo) as usize > self.bytes.len() >> DIRTY_RESET_FRACTION_SHIFT
+        {
+            self.reset_dirty_window();
+        }
+    }
+
+    /// Collapses the dirty window: from here on it only covers future
+    /// mutations. Always safe (the invariant becomes vacuous); consumers
+    /// holding generations older than the current one fall back to their
+    /// slow-path revalidation once.
+    pub fn reset_dirty_window(&mut self) {
+        self.dirty_since = self.gen;
+        self.dirty_lo = u32::MAX;
+        self.dirty_hi = 0;
+    }
+
+    /// Whether the byte range `[addr, addr + width)` is provably untouched
+    /// by every mutation performed after generation `since`.
+    ///
+    /// `false` means "unknown", not "touched": the proof only exists when
+    /// `since` is at or after the window's base generation and the range
+    /// avoids the window. Out-of-range addresses are never provable.
+    #[inline]
+    pub fn untouched_since(&self, since: u64, addr: u32, width: u32) -> bool {
+        if since < self.dirty_since || !self.contains(addr, width) {
+            return false;
+        }
+        let off = addr - self.base;
+        off >= self.dirty_hi || off + width <= self.dirty_lo
     }
 
     /// First valid address.
@@ -103,7 +164,7 @@ impl LocalMemory {
     /// Writes a byte.
     pub fn write8(&mut self, addr: u32, value: u8) -> Result<(), OutOfRange> {
         let i = self.index(addr, 1)?;
-        self.gen = self.gen.wrapping_add(1);
+        self.mark_dirty(i, 1);
         self.bytes[i] = value;
         Ok(())
     }
@@ -111,7 +172,7 @@ impl LocalMemory {
     /// Writes a little-endian halfword.
     pub fn write16(&mut self, addr: u32, value: u16) -> Result<(), OutOfRange> {
         let i = self.index(addr, 2)?;
-        self.gen = self.gen.wrapping_add(1);
+        self.mark_dirty(i, 2);
         self.bytes[i..i + 2].copy_from_slice(&value.to_le_bytes());
         Ok(())
     }
@@ -119,12 +180,15 @@ impl LocalMemory {
     /// Writes a little-endian word.
     pub fn write32(&mut self, addr: u32, value: u32) -> Result<(), OutOfRange> {
         let i = self.index(addr, 4)?;
-        self.gen = self.gen.wrapping_add(1);
+        self.mark_dirty(i, 4);
         self.bytes[i..i + 4].copy_from_slice(&value.to_le_bytes());
         Ok(())
     }
 
-    /// Copies a program image into memory at its base address.
+    /// Copies a program image into memory at its base address, then
+    /// collapses the dirty window: a fresh image invalidates everything
+    /// anyway, and execution after a load should start with a re-armed
+    /// filter.
     ///
     /// # Panics
     ///
@@ -132,8 +196,9 @@ impl LocalMemory {
     pub fn load_program(&mut self, program: &Program) {
         let bytes = program.to_bytes();
         let start = (program.base() - self.base) as usize;
-        self.gen = self.gen.wrapping_add(1);
+        self.mark_dirty(start, bytes.len());
         self.bytes[start..start + bytes.len()].copy_from_slice(&bytes);
+        self.reset_dirty_window();
     }
 
     /// Reads `len` bytes starting at `addr` (test/diagnostic helper).
@@ -145,7 +210,7 @@ impl LocalMemory {
     /// Writes a byte slice at `addr` (test/diagnostic helper).
     pub fn write_slice(&mut self, addr: u32, data: &[u8]) -> Result<(), OutOfRange> {
         let i = self.index(addr, data.len() as u32)?;
-        self.gen = self.gen.wrapping_add(1);
+        self.mark_dirty(i, data.len());
         self.bytes[i..i + data.len()].copy_from_slice(data);
         Ok(())
     }
@@ -222,6 +287,70 @@ mod tests {
         a.word(1);
         m.load_program(&a.assemble(0).unwrap());
         assert_eq!(m.generation(), g0 + 5);
+    }
+
+    #[test]
+    fn dirty_window_proves_disjoint_ranges_untouched() {
+        let mut m = LocalMemory::new(0x1000, 0x100);
+        let g0 = m.generation();
+        // Nothing written yet: everything in range is untouched since g0.
+        assert!(m.untouched_since(g0, 0x1000, 4));
+        m.write32(0x1080, 1).unwrap();
+        m.write8(0x1090, 2).unwrap();
+        // The code at the bottom is provably untouched...
+        assert!(m.untouched_since(g0, 0x1000, 4));
+        assert!(m.untouched_since(g0, 0x107C, 4), "adjacent below");
+        assert!(m.untouched_since(g0, 0x1091, 4), "adjacent above");
+        // ...but the written window is not.
+        assert!(!m.untouched_since(g0, 0x1080, 4));
+        assert!(!m.untouched_since(g0, 0x108C, 8), "straddles the window");
+        // The window is cumulative, not per-generation: even a current
+        // generation cannot prove bytes inside it (conservative "unknown").
+        let g1 = m.generation();
+        assert!(!m.untouched_since(g1, 0x1080, 4));
+        // Out-of-range is never provable.
+        assert!(!m.untouched_since(g1, 0x2000, 4));
+    }
+
+    #[test]
+    fn dirty_window_resets_are_conservative() {
+        let mut m = LocalMemory::new(0, 0x100);
+        let g0 = m.generation();
+        m.write8(0x10, 1).unwrap();
+        // An explicit reset forgets the proof for older generations…
+        m.reset_dirty_window();
+        assert!(!m.untouched_since(g0, 0x80, 4), "pre-reset gen: unknown");
+        // …but re-arms the filter for generations taken at/after it.
+        let g1 = m.generation();
+        m.write8(0x10, 2).unwrap();
+        assert!(m.untouched_since(g1, 0x80, 4));
+        assert!(!m.untouched_since(g1, 0x10, 1));
+    }
+
+    #[test]
+    fn dirty_window_collapses_when_it_covers_half_the_memory() {
+        let mut m = LocalMemory::new(0, 0x100);
+        let g0 = m.generation();
+        // Writes at both extremes blow the window past size/2 → auto
+        // reset; older generations lose the proof everywhere.
+        m.write8(0x00, 1).unwrap();
+        m.write8(0xF0, 2).unwrap();
+        assert!(!m.untouched_since(g0, 0x80, 4));
+        // Post-reset generations regain it.
+        let g1 = m.generation();
+        m.write8(0x20, 3).unwrap();
+        assert!(m.untouched_since(g1, 0x80, 4));
+    }
+
+    #[test]
+    fn load_program_rearms_the_dirty_window() {
+        let mut m = LocalMemory::new(0, 0x100);
+        let mut a = dmi_isa::Asm::new();
+        a.word(1).word(2);
+        m.load_program(&a.assemble(0).unwrap());
+        let g = m.generation();
+        m.write32(0x80, 7).unwrap();
+        assert!(m.untouched_since(g, 0, 8), "code untouched by data store");
     }
 
     #[test]

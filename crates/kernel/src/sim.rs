@@ -338,6 +338,13 @@ impl Simulator {
             .downcast_ref::<T>()
     }
 
+    /// Type-erased access to a component by id (for callers holding a
+    /// probe function instead of a concrete type, e.g. bus-master stats
+    /// collection).
+    pub fn component_any(&self, id: ComponentId) -> Option<&dyn std::any::Any> {
+        Some(self.comps.get(id.index())?.as_ref()?.as_any())
+    }
+
     /// Mutable access to a component by id, downcast to its concrete type.
     pub fn component_mut<T: 'static>(&mut self, id: ComponentId) -> Option<&mut T> {
         self.comps

@@ -1,0 +1,535 @@
+//! The DMA engine: a programmable block copy/fill bus master.
+//!
+//! One transfer is one word-sized bus transaction (the handshake of
+//! `dmi-iss`'s CPU masters: raise `req` with stable payload, hold until
+//! `ack`, drop `req` for at least one cycle). A *copy* moves each word
+//! with a read transaction followed by a write; a *fill* writes a
+//! deterministic pattern. The engine runs `passes` passes over the block
+//! and can insert idle cycles between transfers to model a throttled or
+//! bursty requester.
+
+use std::any::Any;
+
+use dmi_interconnect::{BusMaster, MasterProbe, MasterStats, MasterWiring};
+use dmi_kernel::{Component, Ctx, Wake};
+
+/// What the engine does with each word of the block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DmaKind {
+    /// Read `src + i·stride`, then write the data to `dst + i·stride`.
+    Copy {
+        /// Source byte address of word 0.
+        src: u32,
+    },
+    /// Write `seed + pass·words + i` to `dst + i·stride` (self-describing
+    /// pattern: a checker can recompute every expected word).
+    Fill {
+        /// First pattern word.
+        seed: u32,
+    },
+}
+
+/// Programming of a [`DmaEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct DmaConfig {
+    /// Transfer kind (copy or pattern fill).
+    pub kind: DmaKind,
+    /// Destination byte address of word 0.
+    pub dst: u32,
+    /// Words per pass.
+    pub words: u32,
+    /// Byte stride between consecutive words (normally 4).
+    pub stride: u32,
+    /// Passes over the block before raising `done`.
+    pub passes: u32,
+    /// Idle cycles inserted between transfers (0 = back-to-back, which
+    /// still leaves the mandatory one low-`req` cycle between
+    /// transactions).
+    pub gap_cycles: u32,
+}
+
+impl Default for DmaConfig {
+    fn default() -> Self {
+        DmaConfig {
+            kind: DmaKind::Fill { seed: 0 },
+            dst: 0x8000_0000,
+            words: 16,
+            stride: 4,
+            passes: 1,
+            gap_cycles: 0,
+        }
+    }
+}
+
+impl DmaConfig {
+    /// The pattern word a [`DmaKind::Fill`] engine writes at (`pass`,
+    /// `word`) — what a checker should expect to find at
+    /// `dst + word·stride` after the final pass.
+    pub fn fill_word(seed: u32, words: u32, pass: u32, word: u32) -> u32 {
+        seed.wrapping_add(pass.wrapping_mul(words)).wrapping_add(word)
+    }
+}
+
+/// Execution counters of a DMA component.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DmaStats {
+    /// Rising clock edges observed while not done.
+    pub active_cycles: u64,
+    /// Edges spent with `req` high and no `ack`.
+    pub bus_wait_cycles: u64,
+    /// Completed bus transactions (a copy costs two per word).
+    pub transactions: u64,
+    /// Words fully transferred.
+    pub words_done: u64,
+    /// Whether the engine has raised `done`.
+    pub done: bool,
+}
+
+/// The [`BusMaster`] specification for a DMA engine.
+#[derive(Debug, Clone, Copy)]
+pub struct DmaEngine {
+    config: DmaConfig,
+}
+
+impl DmaEngine {
+    /// Creates an engine specification.
+    pub fn new(config: DmaConfig) -> Self {
+        DmaEngine { config }
+    }
+
+    /// The programmed configuration.
+    pub fn config(&self) -> &DmaConfig {
+        &self.config
+    }
+}
+
+impl BusMaster for DmaEngine {
+    fn kind(&self) -> &'static str {
+        "dma"
+    }
+
+    fn probe(&self) -> MasterProbe {
+        |any| {
+            any.downcast_ref::<DmaComponent>().map(|c| {
+                let s = c.stats();
+                MasterStats {
+                    active_cycles: s.active_cycles,
+                    bus_wait_cycles: s.bus_wait_cycles,
+                    transactions: s.transactions,
+                    done: s.done,
+                }
+            })
+        }
+    }
+
+    fn into_component(self: Box<Self>, name: String, wiring: MasterWiring) -> Box<dyn Component> {
+        Box::new(DmaComponent::new(name, self.config, wiring))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Idle for `0..=n` more edges, then issue the current transfer.
+    Gap(u32),
+    /// Request on the wires, waiting for acknowledge.
+    WaitAck,
+    /// All passes complete, `done` driven.
+    Finished,
+}
+
+/// The kernel component executing a [`DmaConfig`]. Built via
+/// [`DmaEngine`]'s [`BusMaster`] impl; subscribe it to the clock's rising
+/// edge.
+#[derive(Debug)]
+pub struct DmaComponent {
+    name: String,
+    config: DmaConfig,
+    wiring: MasterWiring,
+    phase: Phase,
+    /// Current pass (0-based).
+    pass: u32,
+    /// Current word within the pass.
+    word: u32,
+    /// For copies: `false` = read transaction, `true` = write-back.
+    writeback: bool,
+    /// Data captured by the read half of a copy.
+    captured: u32,
+    stats: DmaStats,
+}
+
+impl DmaComponent {
+    /// Creates the component (normally done by the builder through
+    /// [`BusMaster::into_component`]).
+    pub fn new(name: impl Into<String>, config: DmaConfig, wiring: MasterWiring) -> Self {
+        DmaComponent {
+            name: name.into(),
+            config,
+            wiring,
+            phase: Phase::Gap(0),
+            pass: 0,
+            word: 0,
+            writeback: false,
+            captured: 0,
+            stats: DmaStats::default(),
+        }
+    }
+
+    /// Execution counters.
+    pub fn stats(&self) -> DmaStats {
+        self.stats
+    }
+
+    /// Whether all programmed passes have completed.
+    pub fn is_done(&self) -> bool {
+        self.stats.done
+    }
+
+    fn offset(&self) -> u32 {
+        self.word.wrapping_mul(self.config.stride)
+    }
+
+    /// The bus operation of the current transfer: `(addr, we, wdata)`.
+    fn current_op(&self) -> (u32, bool, u32) {
+        let off = self.offset();
+        match self.config.kind {
+            DmaKind::Copy { src } if !self.writeback => (src.wrapping_add(off), false, 0),
+            DmaKind::Copy { .. } => (self.config.dst.wrapping_add(off), true, self.captured),
+            DmaKind::Fill { seed } => (
+                self.config.dst.wrapping_add(off),
+                true,
+                DmaConfig::fill_word(seed, self.config.words, self.pass, self.word),
+            ),
+        }
+    }
+
+    fn issue(&mut self, ctx: &mut Ctx<'_>) {
+        let (addr, we, wdata) = self.current_op();
+        let p = self.wiring.ports;
+        ctx.write_bit(p.req, true);
+        ctx.write_bit(p.we, we);
+        ctx.write(p.size, 2); // word transfers
+        ctx.write(p.addr, addr as u64);
+        ctx.write(p.wdata, wdata as u64);
+        self.phase = Phase::WaitAck;
+    }
+
+    fn finish(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.write_bit(self.wiring.done, true);
+        self.stats.done = true;
+        self.phase = Phase::Finished;
+    }
+
+    /// Advances to the next transfer after an acknowledged transaction.
+    fn advance(&mut self, ctx: &mut Ctx<'_>) {
+        self.stats.transactions += 1;
+        let word_complete = match self.config.kind {
+            DmaKind::Copy { .. } if !self.writeback => {
+                self.writeback = true;
+                false
+            }
+            _ => {
+                self.writeback = false;
+                true
+            }
+        };
+        if word_complete {
+            self.stats.words_done += 1;
+            self.word += 1;
+            if self.word >= self.config.words {
+                self.word = 0;
+                self.pass += 1;
+                if self.pass >= self.config.passes {
+                    self.finish(ctx);
+                    return;
+                }
+            }
+        }
+        self.phase = Phase::Gap(self.config.gap_cycles);
+    }
+}
+
+impl Component for DmaComponent {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn wake(&mut self, ctx: &mut Ctx<'_>) {
+        match ctx.cause() {
+            Wake::Start => {
+                let p = self.wiring.ports;
+                ctx.write_bit(p.req, false);
+                ctx.write_bit(p.we, false);
+                ctx.write(p.size, 0);
+                ctx.write(p.addr, 0);
+                ctx.write(p.wdata, 0);
+                ctx.write_bit(self.wiring.done, false);
+            }
+            Wake::Signal(_) if ctx.is_signal(self.wiring.clk) => {
+                if self.phase == Phase::Finished {
+                    return;
+                }
+                self.stats.active_cycles += 1;
+                match self.phase {
+                    Phase::Gap(0) => {
+                        // Nothing programmed at all: raise done and rest.
+                        if self.config.words == 0 || self.config.passes == 0 {
+                            self.finish(ctx);
+                        } else {
+                            self.issue(ctx);
+                        }
+                    }
+                    Phase::Gap(n) => self.phase = Phase::Gap(n - 1),
+                    Phase::WaitAck => {
+                        let p = self.wiring.ports;
+                        if ctx.read_bit(p.ack) {
+                            self.captured = ctx.read(p.rdata) as u32;
+                            ctx.write_bit(p.req, false);
+                            self.advance(ctx);
+                        } else {
+                            self.stats.bus_wait_cycles += 1;
+                        }
+                    }
+                    Phase::Finished => unreachable!(),
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmi_core::{SlavePorts, StaticMemConfig, StaticTableMemory};
+    use dmi_interconnect::{
+        AddressMap, BusConfig, MasterIf, SharedBus, SlaveIf,
+    };
+    use dmi_kernel::{Edge, Simulator};
+
+    /// Wires one DMA engine and one static memory on a shared bus.
+    fn build(config: DmaConfig) -> (Simulator, dmi_kernel::ComponentId, dmi_kernel::ComponentId) {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", 2);
+
+        let ports = MasterIf::declare(&mut sim, "dma0.bus");
+        let done = sim.wire("dma0.done", 1);
+        let spec: Box<dyn BusMaster> = Box::new(DmaEngine::new(config));
+        let comp = spec.into_component(
+            "dma0".into(),
+            MasterWiring {
+                clk,
+                ports,
+                done,
+            },
+        );
+        let dma_id = sim.add_component(comp);
+        sim.subscribe(dma_id, clk, Edge::Rising);
+
+        let sports = SlavePorts::declare(&mut sim, "mem0.s");
+        let mem_id = sim.add_component(Box::new(StaticTableMemory::new(
+            "mem0",
+            clk,
+            sports,
+            0x8000_0000,
+            StaticMemConfig {
+                capacity: 0x1000,
+                ..StaticMemConfig::default()
+            },
+        )));
+        sim.subscribe(mem_id, clk, Edge::Rising);
+
+        let mut map = AddressMap::new();
+        map.add(0x8000_0000, 0x1000, 0);
+        let bus = SharedBus::new(
+            "bus",
+            clk,
+            vec![ports],
+            vec![SlaveIf {
+                req: sports.req,
+                we: sports.we,
+                size: sports.size,
+                addr: sports.addr,
+                wdata: sports.wdata,
+                master: sports.master,
+                ack: sports.ack,
+                rdata: sports.rdata,
+            }],
+            map,
+            BusConfig::default(),
+        );
+        let bus_id = sim.add_component(Box::new(bus));
+        sim.subscribe(bus_id, clk, Edge::Rising);
+        (sim, dma_id, mem_id)
+    }
+
+    fn mem_word(sim: &Simulator, id: dmi_kernel::ComponentId, off: usize) -> u32 {
+        let m: &StaticTableMemory = sim.component(id).unwrap();
+        u32::from_le_bytes(m.bytes()[off..off + 4].try_into().unwrap())
+    }
+
+    #[test]
+    fn fill_writes_the_pattern() {
+        let cfg = DmaConfig {
+            kind: DmaKind::Fill { seed: 0x100 },
+            dst: 0x8000_0000,
+            words: 8,
+            passes: 2,
+            ..DmaConfig::default()
+        };
+        let (mut sim, dma_id, mem_id) = build(cfg);
+        sim.run_for(10_000);
+        let dma: &DmaComponent = sim.component(dma_id).unwrap();
+        assert!(dma.is_done());
+        assert_eq!(dma.stats().words_done, 16, "8 words x 2 passes");
+        assert_eq!(dma.stats().transactions, 16);
+        for i in 0..8u32 {
+            // The last pass (pass 1) wins.
+            assert_eq!(
+                mem_word(&sim, mem_id, (i * 4) as usize),
+                DmaConfig::fill_word(0x100, 8, 1, i),
+                "word {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn copy_moves_a_block() {
+        // Fill the source region first, then copy it.
+        let fill = DmaConfig {
+            kind: DmaKind::Fill { seed: 0xABC0 },
+            dst: 0x8000_0000,
+            words: 4,
+            ..DmaConfig::default()
+        };
+        let (mut sim, _, mem_id) = build(fill);
+        sim.run_for(10_000);
+        // Second system: copy within the same memory image is simpler to
+        // set up as its own run; emulate by re-filling then copying via a
+        // fresh system whose source was pre-filled through the same DMA
+        // path. Here: copy from the filled region to a disjoint one.
+        let copy = DmaConfig {
+            kind: DmaKind::Copy { src: 0x8000_0000 },
+            dst: 0x8000_0100,
+            words: 4,
+            ..DmaConfig::default()
+        };
+        // Chain: run the copy against the already-filled memory by reusing
+        // the simulator is not possible (new wires needed), so verify the
+        // copy end-to-end in one system with both engines instead.
+        drop(sim);
+        let _ = mem_id;
+
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", 2);
+        let mut masters = Vec::new();
+        let mut ids = Vec::new();
+        for (i, cfg) in [fill, copy].into_iter().enumerate() {
+            let ports = MasterIf::declare(&mut sim, &format!("dma{i}.bus"));
+            let done = sim.wire(format!("dma{i}.done"), 1);
+            // Stagger the copy far enough behind the fill that the source
+            // block is complete before the first copy read (fill takes
+            // ~6 cycles/word here; 200 cycles is conservative).
+            let cfg = if i == 1 {
+                DmaConfig {
+                    gap_cycles: 0,
+                    ..cfg
+                }
+            } else {
+                cfg
+            };
+            let mut comp = DmaComponent::new(
+                format!("dma{i}"),
+                cfg,
+                MasterWiring { clk, ports, done },
+            );
+            if i == 1 {
+                comp.phase = Phase::Gap(200);
+            }
+            let id = sim.add_component(Box::new(comp));
+            sim.subscribe(id, clk, Edge::Rising);
+            ids.push(id);
+            masters.push(ports);
+        }
+        let sports = SlavePorts::declare(&mut sim, "mem0.s");
+        let mem_id = sim.add_component(Box::new(StaticTableMemory::new(
+            "mem0",
+            clk,
+            sports,
+            0x8000_0000,
+            StaticMemConfig {
+                capacity: 0x1000,
+                ..StaticMemConfig::default()
+            },
+        )));
+        sim.subscribe(mem_id, clk, Edge::Rising);
+        let mut map = AddressMap::new();
+        map.add(0x8000_0000, 0x1000, 0);
+        let bus_id = sim.add_component(Box::new(SharedBus::new(
+            "bus",
+            clk,
+            masters,
+            vec![SlaveIf {
+                req: sports.req,
+                we: sports.we,
+                size: sports.size,
+                addr: sports.addr,
+                wdata: sports.wdata,
+                master: sports.master,
+                ack: sports.ack,
+                rdata: sports.rdata,
+            }],
+            map,
+            BusConfig::default(),
+        )));
+        sim.subscribe(bus_id, clk, Edge::Rising);
+
+        sim.run_for(20_000);
+        for id in &ids {
+            let d: &DmaComponent = sim.component(*id).unwrap();
+            assert!(d.is_done(), "{} incomplete: {:?}", sim.component_name(*id), d.stats());
+        }
+        let copy_stats = sim.component::<DmaComponent>(ids[1]).unwrap().stats();
+        assert_eq!(copy_stats.transactions, 8, "copy = read + write per word");
+        for i in 0..4u32 {
+            assert_eq!(
+                mem_word(&sim, mem_id, (0x100 + i * 4) as usize),
+                DmaConfig::fill_word(0xABC0, 4, 0, i),
+                "copied word {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_length_program_finishes_immediately() {
+        let cfg = DmaConfig {
+            words: 0,
+            ..DmaConfig::default()
+        };
+        let (mut sim, dma_id, _) = build(cfg);
+        sim.run_for(100);
+        let dma: &DmaComponent = sim.component(dma_id).unwrap();
+        assert!(dma.is_done());
+        assert_eq!(dma.stats().transactions, 0);
+    }
+
+    #[test]
+    fn probe_recovers_master_stats() {
+        let spec = DmaEngine::new(DmaConfig::default());
+        let probe = spec.probe();
+        let (mut sim, dma_id, _) = build(DmaConfig::default());
+        sim.run_for(10_000);
+        let dma: &DmaComponent = sim.component(dma_id).unwrap();
+        let stats = probe(dma.as_any()).expect("probe hits DmaComponent");
+        assert!(stats.done);
+        assert_eq!(stats.transactions, 16);
+        assert!(probe(&0u32 as &dyn Any).is_none());
+    }
+}

@@ -1,0 +1,20 @@
+//! # dmi-masters — non-CPU bus masters
+//!
+//! Design-space exploration needs traffic on the interconnect that does
+//! not come from an ISS: DMA block movers, fill engines, synthetic
+//! traffic generators. This crate provides such components behind the
+//! [`BusMaster`](dmi_interconnect::BusMaster) registration trait, so a
+//! system builder can wire them exactly like CPUs.
+//!
+//! The first citizen is [`DmaEngine`]: a programmable block copy/fill
+//! engine speaking the standard master handshake, word transfers with a
+//! configurable stride, pass count and inter-transfer gap. It stresses
+//! arbitration and memory models without any instruction stream — a
+//! system of only DMA engines is a pure interconnect benchmark.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dma;
+
+pub use dma::{DmaComponent, DmaConfig, DmaEngine, DmaKind, DmaStats};

@@ -50,6 +50,42 @@ impl Default for WorkloadCfg {
     }
 }
 
+impl WorkloadCfg {
+    /// Default parameters against the memory decoded at `mem_base` —
+    /// matches the explicit-window builder flow, where the base comes
+    /// from the `MemSpec` the program is paired with:
+    ///
+    /// ```text
+    /// let mem = b.add_memory(MemSpec::wrapper(BASE));
+    /// b.add_cpu(CpuSpec::new(workloads::alloc_churn(
+    ///     &WorkloadCfg::at(BASE).iterations(100))));
+    /// ```
+    pub fn at(mem_base: u32) -> Self {
+        WorkloadCfg {
+            mem_base,
+            ..WorkloadCfg::default()
+        }
+    }
+
+    /// Sets the main-loop iteration count.
+    pub fn iterations(mut self, n: u32) -> Self {
+        self.iterations = n;
+        self
+    }
+
+    /// Sets the working-set size in 32-bit words.
+    pub fn buf_words(mut self, n: u32) -> Self {
+        self.buf_words = n;
+        self
+    }
+
+    /// Sets the burst length in words (burst workloads).
+    pub fn burst_len(mut self, n: u32) -> Self {
+        self.burst_len = n;
+        self
+    }
+}
+
 /// Emits the common failure epilogue: label `fail` halts with exit code 1.
 fn fail_exit(a: &mut Asm) {
     a.label("fail");

@@ -1,17 +1,39 @@
-//! System construction and execution: wiring CPUs, interconnect and
-//! memories on one simulation kernel.
+//! The built system and its execution surface: running to a typed stop
+//! condition, mid-run snapshots, post-run inspection.
 
-use dmi_core::{
-    MemoryModule, SimHeapBackend, SlavePorts, StaticTableMemory, WrapperBackend,
-};
-use dmi_interconnect::{AddressMap, BusStats, Crossbar, MasterIf, SharedBus, SlaveIf};
-use dmi_iss::{BusMasterPorts, CpuComponent, CpuCore, HaltMonitor, LocalMemory};
-use dmi_kernel::{ComponentId, Edge, Simulator};
+use std::time::Instant;
 
-use crate::config::{mem_base, InterconnectKind, MemModelKind, SystemConfig, MEM_WINDOW};
-use crate::report::{CpuReport, MemReport, RunReport};
+use dmi_core::{MemoryModule, StaticTableMemory, WrapperBackend};
+use dmi_interconnect::{BusStats, Crossbar, MasterProbe, MasterStats, Region, SharedBus};
+use dmi_iss::CpuComponent;
+use dmi_kernel::{ComponentId, KernelStats, SimTime, Simulator};
+
+use crate::builder::{CpuHandle, MasterHandle, MemHandle};
+use crate::config::SystemConfig;
+use crate::report::{CpuReport, MasterReport, MemReport, RunReport};
+use crate::run_ctl::{StopCause, StopCondition};
+
+/// Builder-recorded identity of one non-CPU bus master.
+#[derive(Debug)]
+pub(crate) struct MasterInfo {
+    /// Instance name (`"dma0"`, …).
+    pub name: String,
+    /// Kind label from the [`BusMaster`](dmi_interconnect::BusMaster)
+    /// spec.
+    pub kind: &'static str,
+    /// The built component.
+    pub id: ComponentId,
+    /// Stats probe over the type-erased component.
+    pub probe: MasterProbe,
+}
 
 /// A built co-simulated MPSoC, ready to run.
+///
+/// Construct it with [`SystemBuilder`](crate::SystemBuilder) (the
+/// composable API) or [`McSystem::build`] (the declarative
+/// [`SystemConfig`] shim). Run it with [`run`](Self::run) or
+/// [`run_until`](Self::run_until); observe it mid-run with
+/// [`snapshot`](Self::snapshot) and [`watch_value`](Self::watch_value).
 ///
 /// # Examples
 ///
@@ -36,154 +58,290 @@ pub struct McSystem {
     sim: Simulator,
     clock_period: u64,
     cpu_ids: Vec<ComponentId>,
+    masters: Vec<MasterInfo>,
     mem_ids: Vec<ComponentId>,
     mem_kinds: Vec<&'static str>,
+    mem_regions: Vec<Region>,
     bus_id: ComponentId,
     crossbar: bool,
+    /// Simulated time when the current observation epoch started (the
+    /// last `run`/`run_until` call; snapshots report cycles since then).
+    epoch: SimTime,
+    /// Kernel stats at the epoch start.
+    epoch_stats: KernelStats,
 }
 
 impl McSystem {
-    /// Builds the system described by `config`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `config.programs` or `config.memories` is empty, or if a
-    /// CPU count above 16 is requested (the master-id field is 4 bits).
-    pub fn build(config: SystemConfig) -> McSystem {
-        assert!(!config.programs.is_empty(), "at least one CPU required");
-        assert!(!config.memories.is_empty(), "at least one memory required");
-        assert!(config.programs.len() <= 16, "at most 16 bus masters");
-
-        let mut sim = Simulator::new();
-        let clk = sim.add_clock("clk", config.clock_period);
-
-        // CPUs.
-        let mut cpu_ids = Vec::new();
-        let mut master_ifs = Vec::new();
-        let mut halted_wires = Vec::new();
-        for (i, program) in config.programs.iter().enumerate() {
-            let ports = BusMasterPorts::declare(&mut sim, &format!("cpu{i}.bus"));
-            let halted = sim.wire(format!("cpu{i}.halted"), 1);
-            let mut core = CpuCore::new(i as u32, LocalMemory::new(0, config.local_mem_size));
-            core.set_predecode(config.predecode);
-            core.load_program(program);
-            let comp = CpuComponent::new(format!("cpu{i}"), core, clk, ports, halted);
-            let id = sim.add_component(Box::new(comp));
-            sim.subscribe(id, clk, Edge::Rising);
-            cpu_ids.push(id);
-            halted_wires.push(halted);
-            master_ifs.push(MasterIf {
-                req: ports.req,
-                we: ports.we,
-                size: ports.size,
-                addr: ports.addr,
-                wdata: ports.wdata,
-                ack: ports.ack,
-                rdata: ports.rdata,
-            });
-        }
-
-        // Memories.
-        let mut mem_ids = Vec::new();
-        let mut mem_kinds = Vec::new();
-        let mut slave_ifs = Vec::new();
-        let mut map = AddressMap::new();
-        for (j, kind) in config.memories.iter().enumerate() {
-            let ports = SlavePorts::declare(&mut sim, &format!("mem{j}.s"));
-            let base = mem_base(j);
-            map.add(base, MEM_WINDOW, j);
-            let id = match kind {
-                MemModelKind::Wrapper(w) => {
-                    let backend = Box::new(WrapperBackend::new(*w));
-                    sim.add_component(Box::new(MemoryModule::new(
-                        format!("mem{j}"),
-                        clk,
-                        ports,
-                        base,
-                        backend,
-                    )))
-                }
-                MemModelKind::SimHeap(h) => {
-                    let backend = Box::new(SimHeapBackend::new(*h));
-                    sim.add_component(Box::new(MemoryModule::new(
-                        format!("mem{j}"),
-                        clk,
-                        ports,
-                        base,
-                        backend,
-                    )))
-                }
-                MemModelKind::Static(s) => sim.add_component(Box::new(StaticTableMemory::new(
-                    format!("mem{j}"),
-                    clk,
-                    ports,
-                    base,
-                    *s,
-                ))),
-            };
-            sim.subscribe(id, clk, Edge::Rising);
-            mem_ids.push(id);
-            mem_kinds.push(kind.name());
-            slave_ifs.push(SlaveIf {
-                req: ports.req,
-                we: ports.we,
-                size: ports.size,
-                addr: ports.addr,
-                wdata: ports.wdata,
-                master: ports.master,
-                ack: ports.ack,
-                rdata: ports.rdata,
-            });
-        }
-
-        // Interconnect.
-        let (bus_id, crossbar) = match config.interconnect {
-            InterconnectKind::SharedBus(bus_cfg) => {
-                let bus = SharedBus::new("bus", clk, master_ifs, slave_ifs, map, bus_cfg);
-                let id = sim.add_component(Box::new(bus));
-                (id, false)
-            }
-            InterconnectKind::Crossbar(cfg) => {
-                let xbar = Crossbar::with_config("xbar", clk, master_ifs, slave_ifs, map, cfg);
-                let id = sim.add_component(Box::new(xbar));
-                (id, true)
-            }
-        };
-        sim.subscribe(bus_id, clk, Edge::Rising);
-
-        // Completion monitor.
-        let mon = sim.add_component(Box::new(HaltMonitor::new(halted_wires.clone())));
-        for w in halted_wires {
-            sim.subscribe(mon, w, Edge::Rising);
-        }
-
+    /// Assembles the struct from builder output (crate-internal; the
+    /// public constructors are `SystemBuilder::build` and
+    /// [`McSystem::build`]).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        sim: Simulator,
+        clock_period: u64,
+        cpu_ids: Vec<ComponentId>,
+        masters: Vec<MasterInfo>,
+        mem_ids: Vec<ComponentId>,
+        mem_kinds: Vec<&'static str>,
+        mem_regions: Vec<Region>,
+        bus_id: ComponentId,
+        crossbar: bool,
+    ) -> Self {
+        let epoch = sim.time();
+        let epoch_stats = sim.stats();
         McSystem {
             sim,
-            clock_period: config.clock_period,
+            clock_period,
             cpu_ids,
+            masters,
             mem_ids,
             mem_kinds,
+            mem_regions,
             bus_id,
             crossbar,
+            epoch,
+            epoch_stats,
         }
     }
 
-    /// Runs until every CPU halts or `max_cycles` clock cycles elapse,
-    /// and collects the full report.
-    pub fn run(&mut self, max_cycles: u64) -> RunReport {
-        let t0 = self.sim.time();
-        let summary = self
-            .sim
-            .run_until_stopped(max_cycles.saturating_mul(self.clock_period));
-        let sim_cycles = summary.end_time.since(t0) / self.clock_period;
+    /// Builds the system described by `config` — the declarative shim
+    /// over [`SystemBuilder`](crate::SystemBuilder), kept cycle-bit-
+    /// identical to the historical constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration (empty programs/memories, more
+    /// than 16 masters, …). Use `config.into_builder().build()` for the
+    /// `Result` form with typed [`BuildError`](crate::BuildError)s.
+    pub fn build(config: SystemConfig) -> McSystem {
+        config
+            .into_builder()
+            .build()
+            .unwrap_or_else(|e| panic!("invalid SystemConfig: {e}"))
+    }
 
-        let finished = summary
-            .stop
-            .as_ref()
-            .is_some_and(|s| !s.is_error());
-        let error = summary.stop.as_ref().and_then(|s| {
-            s.is_error().then(|| s.message().to_owned())
-        });
+    /// Runs until every CPU halts (and every master finishes) or
+    /// `max_cycles` clock cycles elapse, and collects the full report.
+    pub fn run(&mut self, max_cycles: u64) -> RunReport {
+        self.run_until(&StopCondition::cycles(max_cycles))
+    }
+
+    /// Runs until the first term of `cond` fires (the halt monitor is
+    /// always armed on top) and collects the full report, including the
+    /// [`StopCause`].
+    ///
+    /// Conditions with watchpoints or no-progress detection run the
+    /// kernel in polling slices of [`poll_every`]
+    /// (StopCondition::poll_every) cycles; pure cycle-budget/all-halted
+    /// conditions run in a single uninterrupted slice (identical to the
+    /// historical `run`).
+    pub fn run_until(&mut self, cond: &StopCondition) -> RunReport {
+        let t0 = self.sim.time();
+        let stats0 = self.sim.stats();
+        self.epoch = t0;
+        self.epoch_stats = stats0;
+        let wall_start = Instant::now();
+        let budget = cond.cycles;
+
+        let cause;
+        let mut error = None;
+
+        if !cond.needs_poll() {
+            // Single slice: bit-identical to the historical run loop.
+            let max_cycles = budget.unwrap_or(u64::MAX / 4);
+            let summary = self
+                .sim
+                .run_until_stopped(max_cycles.saturating_mul(self.clock_period));
+            (cause, error) = Self::classify(summary.stop.as_ref());
+        } else {
+            let poll = cond.poll_cycles();
+            let mut elapsed = 0u64;
+            let mut last_progress = self.progress_counter();
+            let mut stagnant = 0u64;
+            loop {
+                let slice = match budget {
+                    Some(b) => poll.min(b - elapsed),
+                    None => poll,
+                };
+                let summary = self
+                    .sim
+                    .run_until_stopped(slice.saturating_mul(self.clock_period));
+                elapsed += slice;
+                if summary.stop.is_some() {
+                    (cause, error) = Self::classify(summary.stop.as_ref());
+                    break;
+                }
+                if let Some(i) = self.watch_hit(cond) {
+                    cause = StopCause::Watchpoint(i);
+                    break;
+                }
+                if let Some(window) = cond.no_progress {
+                    let p = self.progress_counter();
+                    if p == last_progress {
+                        stagnant += slice;
+                        if stagnant >= window {
+                            cause = StopCause::NoProgress;
+                            break;
+                        }
+                    } else {
+                        last_progress = p;
+                        stagnant = 0;
+                    }
+                }
+                if budget.is_some_and(|b| elapsed >= b) {
+                    cause = StopCause::CycleBudget;
+                    break;
+                }
+            }
+        }
+
+        self.collect(
+            t0,
+            &stats0,
+            wall_start.elapsed(),
+            cause,
+            error,
+        )
+    }
+
+    /// A mid-run (or post-run) report over the current observation epoch:
+    /// cycles and kernel stats since the last `run`/`run_until` call
+    /// started, component counters at their live values. Does not advance
+    /// the simulation.
+    ///
+    /// The snapshot's `wall` field is zero (wall time belongs to run
+    /// calls). Its cause reflects live state: [`StopCause::AllHalted`]
+    /// once every CPU has halted and every master is done (so `all_ok()`
+    /// works on a post-completion snapshot), the budget sentinel
+    /// [`StopCause::CycleBudget`] otherwise.
+    pub fn snapshot(&self) -> RunReport {
+        let cause = if self.everything_finished() {
+            StopCause::AllHalted
+        } else {
+            StopCause::CycleBudget
+        };
+        self.collect(
+            self.epoch,
+            &self.epoch_stats,
+            std::time::Duration::ZERO,
+            cause,
+            None,
+        )
+    }
+
+    /// Live completion state: every CPU halted and every master done
+    /// (what the halt monitor watches, read directly from the
+    /// components).
+    fn everything_finished(&self) -> bool {
+        self.cpu_ids.iter().all(|&id| {
+            self.sim
+                .component::<CpuComponent>(id)
+                .expect("cpu component")
+                .core()
+                .is_halted()
+        }) && self
+            .masters
+            .iter()
+            .all(|m| self.master_stats_by_id(m).done)
+    }
+
+    fn classify(stop: Option<&dmi_kernel::StopReason>) -> (StopCause, Option<String>) {
+        match stop {
+            Some(s) if s.is_error() => (StopCause::Error, Some(s.message().to_owned())),
+            Some(_) => (StopCause::AllHalted, None),
+            None => (StopCause::CycleBudget, None),
+        }
+    }
+
+    /// Total forward progress: retired instructions plus completed
+    /// interconnect transactions (the no-progress detector's metric).
+    fn progress_counter(&self) -> u64 {
+        let instrs: u64 = self
+            .cpu_ids
+            .iter()
+            .map(|&id| {
+                self.sim
+                    .component::<CpuComponent>(id)
+                    .expect("cpu component")
+                    .core()
+                    .stats()
+                    .instructions
+            })
+            .sum();
+        instrs + self.bus_stats().transactions
+    }
+
+    fn watch_hit(&self, cond: &StopCondition) -> Option<usize> {
+        cond.watches
+            .iter()
+            .position(|w| self.watch_value(w.mem, w.location) == Some(w.value))
+    }
+
+    /// Reads a word from a shared memory without disturbing the
+    /// simulation — the mid-run observation hook watchpoints are built
+    /// on.
+    ///
+    /// `location` is model-specific: a byte offset into the table for
+    /// static memories, a virtual pointer (Vptr) resolved through the
+    /// pointer table for wrapper memories. Returns `None` for locations
+    /// that resolve nowhere and for models without an inspection path
+    /// (SimHeap).
+    pub fn watch_value(&self, mem: MemHandle, location: u32) -> Option<u32> {
+        let j = mem.0;
+        let id = *self.mem_ids.get(j)?;
+        match *self.mem_kinds.get(j)? {
+            "static" => {
+                let m: &StaticTableMemory = self.sim.component(id)?;
+                let off = location as usize;
+                let bytes = m.bytes().get(off..off + 4)?;
+                Some(u32::from_le_bytes(bytes.try_into().ok()?))
+            }
+            "wrapper" => {
+                let m: &MemoryModule = self.sim.component(id)?;
+                let w = m.backend().as_any().downcast_ref::<WrapperBackend>()?;
+                // `peek` is the immutable O(log n) resolve: no TLB or
+                // counter perturbation, cheap enough for every poll slice.
+                let (idx, off) = w.table().peek(location)?;
+                let off = off as usize;
+                Some(u32::from_le_bytes(
+                    w.table()
+                        .entry(idx)
+                        .host
+                        .bytes()
+                        .get(off..off + 4)?
+                        .try_into()
+                        .ok()?,
+                ))
+            }
+            _ => None,
+        }
+    }
+
+    fn bus_stats(&self) -> BusStats {
+        if self.crossbar {
+            self.sim
+                .component::<Crossbar>(self.bus_id)
+                .expect("crossbar")
+                .stats()
+        } else {
+            self.sim
+                .component::<SharedBus>(self.bus_id)
+                .expect("shared bus")
+                .stats()
+        }
+    }
+
+    /// Gathers the full report for the epoch starting at `t0`.
+    fn collect(
+        &self,
+        t0: SimTime,
+        stats0: &KernelStats,
+        wall: std::time::Duration,
+        cause: StopCause,
+        error: Option<String>,
+    ) -> RunReport {
+        let sim_cycles = self.sim.time().since(t0) / self.clock_period;
+        let finished = cause == StopCause::AllHalted;
 
         let cpus = self
             .cpu_ids
@@ -199,6 +357,16 @@ impl McSystem {
                     cpu_cycles: core.cycles(),
                     console: core.console().text(),
                 }
+            })
+            .collect();
+
+        let masters = self
+            .masters
+            .iter()
+            .map(|m| MasterReport {
+                name: m.name.clone(),
+                kind: m.kind,
+                stats: self.master_stats_by_id(m),
             })
             .collect();
 
@@ -225,33 +393,35 @@ impl McSystem {
             })
             .collect();
 
-        let bus: BusStats = if self.crossbar {
-            self.sim
-                .component::<Crossbar>(self.bus_id)
-                .expect("crossbar")
-                .stats()
-        } else {
-            self.sim
-                .component::<SharedBus>(self.bus_id)
-                .expect("shared bus")
-                .stats()
-        };
-
         RunReport {
             sim_cycles,
-            wall: summary.wall,
+            wall,
             finished,
+            cause,
             error,
             cpus,
+            masters,
             mems,
-            bus,
-            kernel: summary.stats,
+            bus: self.bus_stats(),
+            kernel: self.sim.stats().since(stats0),
         }
+    }
+
+    fn master_stats_by_id(&self, m: &MasterInfo) -> MasterStats {
+        self.sim
+            .component_any(m.id)
+            .and_then(|any| (m.probe)(any))
+            .unwrap_or_default()
     }
 
     /// Number of CPUs.
     pub fn cpu_count(&self) -> usize {
         self.cpu_ids.len()
+    }
+
+    /// Number of non-CPU bus masters.
+    pub fn master_count(&self) -> usize {
+        self.masters.len()
     }
 
     /// Number of shared memories.
@@ -264,9 +434,29 @@ impl McSystem {
         self.sim.component(self.cpu_ids[i]).expect("cpu component")
     }
 
+    /// CPU access by typed handle.
+    pub fn cpu_by(&self, h: CpuHandle) -> &CpuComponent {
+        self.cpu(h.0)
+    }
+
+    /// Live [`MasterStats`] of a non-CPU master, by typed handle.
+    pub fn master_stats(&self, h: MasterHandle) -> MasterStats {
+        self.master_stats_by_id(&self.masters[h.0])
+    }
+
     /// Direct access to a protocol memory module (None for static RAM).
     pub fn memory(&self, j: usize) -> Option<&MemoryModule> {
         self.sim.component(self.mem_ids[j])
+    }
+
+    /// Memory access by typed handle.
+    pub fn memory_by(&self, h: MemHandle) -> Option<&MemoryModule> {
+        self.memory(h.0)
+    }
+
+    /// The decode region a memory answers, by typed handle.
+    pub fn mem_region(&self, h: MemHandle) -> Region {
+        self.mem_regions[h.0]
     }
 
     /// The underlying simulator (tracing, advanced inspection).

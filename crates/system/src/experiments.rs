@@ -7,11 +7,11 @@
 
 use std::time::Duration;
 
-use dmi_core::{SimHeapConfig, StaticMemConfig, WrapperConfig};
+use dmi_core::{SimHeapConfig, WrapperConfig};
 use dmi_gsm::pipeline::{self, PipelineCfg};
 use dmi_sw::{workloads, WorkloadCfg};
 
-use crate::{mem_base, McSystem, MemModelKind, RunReport, SystemConfig};
+use crate::{mem_base, CpuSpec, MemModelKind, MemSpec, Preset, RunReport, SystemBuilder};
 
 /// One measured configuration.
 #[derive(Debug, Clone)]
@@ -88,11 +88,14 @@ pub fn run_gsm_pipeline(n_frames: u32, n_mems: usize, seed: u32) -> RunReport {
         mem_bases: (0..n_mems).map(mem_base).collect(),
         seed,
     };
-    let mut sys = McSystem::build(SystemConfig {
-        programs: pipeline::stage_programs(&cfg),
-        memories: vec![MemModelKind::Wrapper(WrapperConfig::default()); n_mems],
-        ..SystemConfig::default()
-    });
+    let mut b = SystemBuilder::new();
+    for program in pipeline::stage_programs(&cfg) {
+        b.add_cpu(CpuSpec::new(program));
+    }
+    for i in 0..n_mems {
+        b.add_memory(MemSpec::wrapper(mem_base(i)));
+    }
+    let mut sys = b.build().expect("gsm pipeline system");
     sys.run(u64::MAX / 4)
 }
 
@@ -126,20 +129,20 @@ pub fn e2_model_overhead(iterations: u32) -> Experiment {
     };
     let mut rows = Vec::new();
 
-    let mut sys = McSystem::build(SystemConfig {
-        programs: vec![workloads::scalar_rw_static(&wl); 4],
-        memories: vec![MemModelKind::Static(StaticMemConfig::default())],
-        ..SystemConfig::default()
-    });
-    let r = sys.run(u64::MAX / 4);
+    let mut b = SystemBuilder::new();
+    for _ in 0..4 {
+        b.add_cpu(CpuSpec::new(workloads::scalar_rw_static(&wl)));
+    }
+    b.add_memory(MemSpec::static_table(mem_base(0)));
+    let r = b.build().expect("static system").run(u64::MAX / 4);
     rows.push(ExpRow::from_report("4 ISS, static table, raw ld/st", &r));
 
-    let mut sys = McSystem::build(SystemConfig {
-        programs: vec![workloads::scalar_rw(&wl); 4],
-        memories: vec![MemModelKind::Wrapper(WrapperConfig::default())],
-        ..SystemConfig::default()
-    });
-    let r = sys.run(u64::MAX / 4);
+    let mut b = SystemBuilder::new();
+    for _ in 0..4 {
+        b.add_cpu(CpuSpec::new(workloads::scalar_rw(&wl)));
+    }
+    b.add_memory(MemSpec::wrapper(mem_base(0)));
+    let r = b.build().expect("wrapper system").run(u64::MAX / 4);
     rows.push(ExpRow::from_report("4 ISS, wrapper, DSM protocol", &r));
 
     Experiment {
@@ -173,12 +176,10 @@ pub fn e3_dynamic_models(iterations: u32) -> Experiment {
             MemModelKind::SimHeap(SimHeapConfig::default()),
         ),
     ] {
-        let mut sys = McSystem::build(SystemConfig {
-            programs: vec![workloads::linked_list(&wl)],
-            memories: vec![kind],
-            ..SystemConfig::default()
-        });
-        let r = sys.run(u64::MAX / 4);
+        let mut b = SystemBuilder::new();
+        b.add_cpu(CpuSpec::new(workloads::linked_list(&wl)));
+        b.add_memory(MemSpec::new(kind, mem_base(0)));
+        let r = b.build().expect("dynamic-model system").run(u64::MAX / 4);
         rows.push(ExpRow::from_report(
             format!("{label}, {iterations}-node list"),
             &r,
@@ -207,12 +208,12 @@ pub fn e5_scaling(iterations: u32) -> Experiment {
             buf_words: 32,
             ..WorkloadCfg::default()
         };
-        let mut sys = McSystem::build(SystemConfig {
-            programs: vec![workloads::scalar_rw(&wl); n],
-            memories: vec![MemModelKind::Wrapper(WrapperConfig::default())],
-            ..SystemConfig::default()
-        });
-        let r = sys.run(u64::MAX / 4);
+        let mut b = SystemBuilder::new();
+        for _ in 0..n {
+            b.add_cpu(CpuSpec::new(workloads::scalar_rw(&wl)));
+        }
+        b.add_memory(MemSpec::wrapper(mem_base(0)));
+        let r = b.build().expect("scaling system").run(u64::MAX / 4);
         rows.push(ExpRow::from_report(format!("{n} ISS"), &r));
     }
     Experiment {
@@ -238,12 +239,10 @@ pub fn e6_burst(iterations: u32, burst_len: u32) -> Experiment {
         ("burst (I/O array)", workloads::burst_copy(&wl)),
         ("scalar ops", workloads::scalar_copy(&wl)),
     ] {
-        let mut sys = McSystem::build(SystemConfig {
-            programs: vec![prog],
-            memories: vec![MemModelKind::Wrapper(WrapperConfig::default())],
-            ..SystemConfig::default()
-        });
-        let r = sys.run(u64::MAX / 4);
+        let mut b = SystemBuilder::new();
+        b.add_cpu(CpuSpec::new(prog));
+        b.add_memory(MemSpec::wrapper(mem_base(0)));
+        let r = b.build().expect("burst system").run(u64::MAX / 4);
         rows.push(ExpRow::from_report(
             format!("{label}, {burst_len} words × {iterations}"),
             &r,
@@ -257,6 +256,50 @@ pub fn e6_burst(iterations: u32, burst_len: u32) -> Experiment {
                 transfers pay it per element (simulated cycles show the \
                 factor)."
             .into(),
+    }
+}
+
+/// E9 — interconnect timing presets: [`Preset::SeedTiming`] vs
+/// [`Preset::Throughput`] (burst grant retention) on the burst workload.
+/// The measured numbers behind the `burst_grant` default decision are
+/// recorded in `ROADMAP.md`.
+pub fn e9_presets(iterations: u32, burst_len: u32) -> Experiment {
+    let wl = WorkloadCfg {
+        mem_base: mem_base(0),
+        iterations,
+        burst_len,
+        ..WorkloadCfg::default()
+    };
+    let mut rows = Vec::new();
+    let mut cycles = [0u64; 2];
+    for (i, (label, preset)) in [
+        ("seed timing (no grant retention)", Preset::SeedTiming),
+        ("throughput (burst grant retention)", Preset::Throughput),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut b = SystemBuilder::new().preset(preset);
+        b.add_cpu(CpuSpec::new(workloads::burst_copy(&wl)));
+        b.add_memory(MemSpec::wrapper(mem_base(0)));
+        let r = b.build().expect("preset system").run(u64::MAX / 4);
+        cycles[i] = r.sim_cycles;
+        rows.push(ExpRow::from_report(
+            format!("{label}, {burst_len} words × {iterations}"),
+            &r,
+        ));
+    }
+    let saved = 100.0 * (1.0 - cycles[1] as f64 / cycles[0] as f64);
+    Experiment {
+        id: "E9",
+        title: "Interconnect timing presets: seed timing vs throughput",
+        rows,
+        notes: format!(
+            "Grant retention removes the re-arbitration cycle of consecutive \
+             same-master/same-slave transfers: {saved:.1}% fewer simulated \
+             cycles on this burst workload. Seed timing stays the default so \
+             cycle counts remain comparable with the recorded trajectory."
+        ),
     }
 }
 
@@ -319,6 +362,16 @@ mod tests {
         assert!(
             burst < scalar,
             "burst {burst} should need fewer simulated cycles than scalar {scalar}"
+        );
+    }
+
+    #[test]
+    fn e9_presets_run_small() {
+        let e9 = e9_presets(2, 16);
+        assert!(e9.rows.iter().all(|r| r.ok), "{:?}", e9.rows);
+        assert!(
+            e9.rows[1].sim_cycles < e9.rows[0].sim_cycles,
+            "retention must save simulated cycles"
         );
     }
 

@@ -3,9 +3,23 @@
 //! The top of the stack: this crate assembles the framework of the paper's
 //! Figure 1 — ISSs ([`dmi-iss`](dmi_iss)) and hardware modules
 //! ([`dmi-core`](dmi_core) memories, [`dmi-interconnect`](dmi_interconnect))
-//! on a simulation kernel ([`dmi-kernel`](dmi_kernel)) — from a declarative
-//! [`SystemConfig`], runs it, and reports the *simulation speed* metrics
-//! the paper's evaluation is based on.
+//! on a simulation kernel ([`dmi-kernel`](dmi_kernel)), runs it, and
+//! reports the *simulation speed* metrics the paper's evaluation is based
+//! on.
+//!
+//! Two construction APIs:
+//!
+//! * [`SystemBuilder`] — the composable API: heterogeneous CPUs
+//!   ([`CpuSpec`]), memories with explicit address windows ([`MemSpec`]),
+//!   non-CPU bus masters (the [`BusMaster`](dmi_interconnect::BusMaster)
+//!   trait), validated construction ([`BuildError`]);
+//! * [`SystemConfig`] — the declarative shim for homogeneous scenarios,
+//!   lowered onto the builder and pinned cycle-bit-identical.
+//!
+//! Execution is typed too: [`McSystem::run_until`] takes a composable
+//! [`StopCondition`] (all-halted, cycle budget, watchpoints, no-progress
+//! detection) and [`McSystem::snapshot`] reports mid-run statistics. See
+//! `README.md` in this crate for the guided tour and the migration notes.
 //!
 //! The [`experiments`] module reproduces every experiment of the paper and
 //! the extended evaluation documented in `EXPERIMENTS.md`.
@@ -14,10 +28,17 @@
 #![warn(missing_docs)]
 
 mod build;
+mod builder;
 mod config;
 pub mod experiments;
 mod report;
+mod run_ctl;
 
 pub use build::McSystem;
+pub use builder::{
+    BuildError, CpuHandle, CpuSpec, MasterHandle, MemHandle, MemSpec, Preset, SystemBuilder,
+    DEFAULT_LOCAL_MEM,
+};
 pub use config::{mem_base, InterconnectKind, MemModelKind, SystemConfig, MEM_WINDOW};
-pub use report::{CpuReport, MemReport, RunReport};
+pub use report::{CpuReport, MasterReport, MemReport, RunReport};
+pub use run_ctl::{StopCause, StopCondition};

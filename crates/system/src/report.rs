@@ -3,9 +3,11 @@
 use std::time::Duration;
 
 use dmi_core::{MemStats, ModuleStats};
-use dmi_interconnect::BusStats;
+use dmi_interconnect::{BusStats, MasterStats};
 use dmi_iss::{CpuComponentStats, CpuStats};
 use dmi_kernel::KernelStats;
+
+use crate::run_ctl::StopCause;
 
 /// Per-CPU outcome of a run.
 #[derive(Debug, Clone)]
@@ -22,6 +24,19 @@ pub struct CpuReport {
     pub cpu_cycles: u64,
     /// Console output.
     pub console: String,
+}
+
+/// Per-master outcome of a run (non-CPU masters: DMA engines, traffic
+/// generators).
+#[derive(Debug, Clone)]
+pub struct MasterReport {
+    /// Instance name (`"dma0"`, …).
+    pub name: String,
+    /// Kind label from the master's
+    /// [`BusMaster`](dmi_interconnect::BusMaster) spec.
+    pub kind: &'static str,
+    /// Generic progress counters (zeroed when the master reports none).
+    pub stats: MasterStats,
 }
 
 /// Per-memory outcome of a run.
@@ -42,12 +57,17 @@ pub struct RunReport {
     pub sim_cycles: u64,
     /// Host wall-clock time.
     pub wall: Duration,
-    /// Whether every CPU halted (workload completed).
+    /// Whether every CPU halted and every master finished (workload
+    /// completed).
     pub finished: bool,
+    /// Why the run stopped.
+    pub cause: StopCause,
     /// Kernel-reported error, if the run aborted.
     pub error: Option<String>,
     /// Per-CPU reports.
     pub cpus: Vec<CpuReport>,
+    /// Per-master reports (non-CPU masters, in registration order).
+    pub masters: Vec<MasterReport>,
     /// Per-memory reports.
     pub mems: Vec<MemReport>,
     /// Interconnect statistics.
@@ -80,9 +100,12 @@ impl RunReport {
         }
     }
 
-    /// Whether every CPU exited with code zero.
+    /// Whether the workload completed cleanly: every CPU exited with code
+    /// zero and every master finished its programmed work.
     pub fn all_ok(&self) -> bool {
-        self.finished && self.cpus.iter().all(|c| c.halted && c.exit_code == 0)
+        self.finished
+            && self.cpus.iter().all(|c| c.halted && c.exit_code == 0)
+            && self.masters.iter().all(|m| m.stats.done)
     }
 
     /// One-line human summary.
@@ -161,6 +184,7 @@ mod tests {
             sim_cycles: 1000,
             wall: Duration::from_millis(10),
             finished: true,
+            cause: StopCause::AllHalted,
             error: None,
             cpus: vec![CpuReport {
                 halted: true,
@@ -170,6 +194,7 @@ mod tests {
                 cpu_cycles: 900,
                 console: String::new(),
             }],
+            masters: vec![],
             mems: vec![],
             bus: BusStats::default(),
             kernel: KernelStats::default(),
@@ -190,6 +215,19 @@ mod tests {
         let mut r = dummy();
         r.cpus[0].exit_code = 1;
         assert!(!r.all_ok());
+    }
+
+    #[test]
+    fn unfinished_master_breaks_all_ok() {
+        let mut r = dummy();
+        r.masters.push(MasterReport {
+            name: "dma0".into(),
+            kind: "dma",
+            stats: MasterStats::default(),
+        });
+        assert!(!r.all_ok(), "master not done");
+        r.masters[0].stats.done = true;
+        assert!(r.all_ok());
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! Typed run control: *when* a co-simulation should stop, and *why* it
+//! did.
+//!
+//! [`McSystem::run_until`](crate::McSystem::run_until) takes a
+//! [`StopCondition`] — a disjunction of stop terms built with the
+//! constructors below and combined with [`or`](StopCondition::or). The
+//! returned [`RunReport`](crate::RunReport) carries the [`StopCause`]
+//! that actually ended the run, so long experiments can be driven in
+//! observed increments instead of one opaque `run(max_cycles)`.
+//!
+//! The system's halt monitor is always armed: whatever else is requested,
+//! a run ends (with [`StopCause::AllHalted`]) once every CPU has halted
+//! and every master has raised `done`.
+
+use crate::builder::MemHandle;
+
+/// Why a [`run_until`](crate::McSystem::run_until) call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// Every CPU halted and every master finished (or a component
+    /// cooperatively stopped the kernel).
+    AllHalted,
+    /// The cycle budget was exhausted.
+    CycleBudget,
+    /// A watchpoint matched; the payload is the index of the watch term
+    /// in the order the condition's `watch_word` terms were composed.
+    Watchpoint(usize),
+    /// No CPU instruction and no interconnect transaction completed for a
+    /// full no-progress window: the system is deadlocked or idle.
+    ///
+    /// Busy-wait loops *do* retire instructions and therefore count as
+    /// progress; use a watchpoint or cycle budget for those.
+    NoProgress,
+    /// A component stopped the kernel with an error (see
+    /// [`RunReport::error`](crate::RunReport::error)).
+    Error,
+}
+
+/// One watched shared-memory word.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Watch {
+    /// Which memory module to inspect.
+    pub mem: MemHandle,
+    /// Model-specific location of the watched word: a byte offset into
+    /// the table for static memories, a virtual pointer (Vptr) for
+    /// wrapper memories.
+    pub location: u32,
+    /// Value that triggers the stop.
+    pub value: u32,
+}
+
+/// Default polling granularity for watchpoint / no-progress evaluation,
+/// in clock cycles.
+const DEFAULT_POLL_CYCLES: u64 = 256;
+
+/// A composable stop condition; see the module docs.
+#[derive(Debug, Clone)]
+pub struct StopCondition {
+    pub(crate) cycles: Option<u64>,
+    pub(crate) watches: Vec<Watch>,
+    pub(crate) no_progress: Option<u64>,
+    /// Explicit [`poll_every`](Self::poll_every) setting; `None` = the
+    /// default granularity. Kept optional so `or`-composition with terms
+    /// that never set it cannot clobber an explicit choice.
+    pub(crate) poll: Option<u64>,
+}
+
+impl StopCondition {
+    fn empty() -> Self {
+        StopCondition {
+            cycles: None,
+            watches: Vec::new(),
+            no_progress: None,
+            poll: None,
+        }
+    }
+
+    /// The effective polling granularity in cycles.
+    pub(crate) fn poll_cycles(&self) -> u64 {
+        self.poll.unwrap_or(DEFAULT_POLL_CYCLES)
+    }
+
+    /// Stop only when everything has halted (the halt monitor's implicit
+    /// condition, stated explicitly). A run with just this condition can
+    /// run forever if the workload never finishes — combine with
+    /// [`cycles`](Self::cycles) as a safety net.
+    pub fn all_halted() -> Self {
+        Self::empty()
+    }
+
+    /// Stop after `n` clock cycles (counted from this `run_until` call).
+    pub fn cycles(n: u64) -> Self {
+        StopCondition {
+            cycles: Some(n),
+            ..Self::empty()
+        }
+    }
+
+    /// Stop when the watched word equals `value`.
+    ///
+    /// `location` is model-specific: a byte offset into the table for
+    /// static memories, a virtual pointer (Vptr) for wrapper memories.
+    /// SimHeap memories expose no cheap inspection path and never match.
+    /// Evaluated every [`poll_every`](Self::poll_every) cycles — the stop
+    /// lands on a poll boundary at or after the write, not on its exact
+    /// cycle.
+    pub fn watch_word(mem: MemHandle, location: u32, value: u32) -> Self {
+        StopCondition {
+            watches: vec![Watch {
+                mem,
+                location,
+                value,
+            }],
+            ..Self::empty()
+        }
+    }
+
+    /// Stop once no CPU instruction and no interconnect transaction has
+    /// completed for `window_cycles` consecutive cycles (deadlock / idle
+    /// detection, quantised to the poll granularity).
+    pub fn no_progress(window_cycles: u64) -> Self {
+        StopCondition {
+            no_progress: Some(window_cycles),
+            ..Self::empty()
+        }
+    }
+
+    /// Combines two conditions: stop when *either* fires. Watch terms
+    /// keep their left-to-right composition order (the order
+    /// [`StopCause::Watchpoint`] indexes).
+    pub fn or(mut self, other: StopCondition) -> Self {
+        self.cycles = match (self.cycles, other.cycles) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.watches.extend(other.watches);
+        self.no_progress = match (self.no_progress, other.no_progress) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        // Only *explicit* poll settings participate: a term that never
+        // called `poll_every` must not drag the granularity back to the
+        // default.
+        self.poll = match (self.poll, other.poll) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self
+    }
+
+    /// Sets the polling granularity (in cycles) for watchpoint and
+    /// no-progress evaluation. Smaller = more precise stop, more host
+    /// overhead. Ignored when the condition has nothing to poll.
+    pub fn poll_every(mut self, cycles: u64) -> Self {
+        self.poll = Some(cycles.max(1));
+        self
+    }
+
+    /// Whether this condition needs mid-run polling (watchpoints or
+    /// no-progress detection).
+    pub(crate) fn needs_poll(&self) -> bool {
+        !self.watches.is_empty() || self.no_progress.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn or_takes_the_tighter_bounds() {
+        let c = StopCondition::cycles(1000)
+            .or(StopCondition::cycles(500))
+            .or(StopCondition::no_progress(64).poll_every(16))
+            .or(StopCondition::watch_word(MemHandle(0), 4, 7));
+        assert_eq!(c.cycles, Some(500));
+        assert_eq!(c.no_progress, Some(64));
+        assert_eq!(c.watches.len(), 1);
+        assert_eq!(c.poll_cycles(), 16);
+        assert!(c.needs_poll());
+        assert!(!StopCondition::cycles(10).needs_poll());
+    }
+
+    #[test]
+    fn terms_without_explicit_poll_do_not_clobber_it() {
+        // Regression: every term used to carry the 256-cycle default, so
+        // or()'s min dragged an explicit coarser setting back down.
+        let c = StopCondition::watch_word(MemHandle(0), 4, 7)
+            .poll_every(4096)
+            .or(StopCondition::cycles(1_000_000));
+        assert_eq!(c.poll_cycles(), 4096);
+        // Two explicit settings: tightest wins.
+        let c = StopCondition::watch_word(MemHandle(0), 4, 7)
+            .poll_every(4096)
+            .or(StopCondition::no_progress(64).poll_every(128));
+        assert_eq!(c.poll_cycles(), 128);
+        // No explicit setting anywhere: the default.
+        let c = StopCondition::watch_word(MemHandle(0), 4, 7);
+        assert_eq!(c.poll_cycles(), DEFAULT_POLL_CYCLES);
+    }
+}

@@ -1,0 +1,394 @@
+//! The builder API contract:
+//!
+//! * the `SystemConfig` shim lowers onto `SystemBuilder` **cycle-bit-
+//!   identically** (differential test on the GSM headline scenario);
+//! * every `BuildError` variant is reachable and typed;
+//! * non-CPU masters are first-class: a DMA-only system (zero CPUs)
+//!   builds, runs and stops on its own completion;
+//! * typed run control: watchpoints, no-progress detection, snapshots.
+
+use dmi_core::WrapperConfig;
+use dmi_gsm::pipeline::{self, PipelineCfg};
+use dmi_masters::{DmaConfig, DmaEngine, DmaKind};
+use dmi_sw::{workloads, WorkloadCfg};
+use dmi_system::{
+    mem_base, BuildError, CpuSpec, InterconnectKind, McSystem, MemModelKind, MemSpec, Preset,
+    RunReport, StopCause, StopCondition, SystemBuilder, SystemConfig, MEM_WINDOW,
+};
+
+/// The paper's headline scenario (GSM pipeline, 4 ISSs, 1 wrapper
+/// memory) through the declarative shim.
+fn gsm_via_shim(n_frames: u32) -> RunReport {
+    let cfg = PipelineCfg {
+        n_frames,
+        mem_bases: vec![mem_base(0)],
+        seed: 0x5EED,
+    };
+    let mut sys = McSystem::build(SystemConfig {
+        programs: pipeline::stage_programs(&cfg),
+        memories: vec![MemModelKind::Wrapper(WrapperConfig::default())],
+        ..SystemConfig::default()
+    });
+    sys.run(u64::MAX / 4)
+}
+
+/// The same scenario hand-built on the composable builder.
+fn gsm_via_builder(n_frames: u32) -> RunReport {
+    let cfg = PipelineCfg {
+        n_frames,
+        mem_bases: vec![mem_base(0)],
+        seed: 0x5EED,
+    };
+    let mut b = SystemBuilder::new();
+    for program in pipeline::stage_programs(&cfg) {
+        b.add_cpu(CpuSpec::new(program));
+    }
+    b.add_memory(MemSpec::wrapper(mem_base(0)));
+    let mut sys = b.build().expect("valid system");
+    sys.run(u64::MAX / 4)
+}
+
+#[test]
+fn shim_and_builder_are_cycle_bit_identical_on_gsm_headline() {
+    let a = gsm_via_shim(2);
+    let b = gsm_via_builder(2);
+    assert!(a.all_ok(), "{}", a.summary());
+    assert!(b.all_ok(), "{}", b.summary());
+    assert_eq!(a.sim_cycles, b.sim_cycles, "simulated cycle counts differ");
+    assert_eq!(a.kernel.events, b.kernel.events, "kernel event counts differ");
+    assert_eq!(a.kernel.deltas, b.kernel.deltas, "delta counts differ");
+    assert_eq!(a.bus.transactions, b.bus.transactions);
+    assert_eq!(a.bus.busy_cycles, b.bus.busy_cycles);
+    for (i, (ca, cb)) in a.cpus.iter().zip(&b.cpus).enumerate() {
+        assert_eq!(ca.isa.instructions, cb.isa.instructions, "cpu{i} instructions");
+        assert_eq!(ca.cpu_cycles, cb.cpu_cycles, "cpu{i} cycles");
+        assert_eq!(
+            ca.cosim.bus_wait_cycles, cb.cosim.bus_wait_cycles,
+            "cpu{i} bus waits"
+        );
+    }
+}
+
+#[test]
+fn build_errors_are_typed() {
+    // Empty system.
+    assert!(matches!(
+        SystemBuilder::new().build().unwrap_err(),
+        BuildError::EmptySystem
+    ));
+
+    let wl = WorkloadCfg::default();
+    let prog = workloads::alloc_churn(&wl);
+
+    // No memories.
+    let mut b = SystemBuilder::new();
+    b.add_cpu(CpuSpec::new(prog.clone()));
+    assert!(matches!(b.build().unwrap_err(), BuildError::NoMemories));
+
+    // More than 16 masters.
+    let mut b = SystemBuilder::new();
+    b.add_memory(MemSpec::wrapper(mem_base(0)));
+    for _ in 0..17 {
+        b.add_cpu(CpuSpec::new(prog.clone()));
+    }
+    assert!(matches!(
+        b.build().unwrap_err(),
+        BuildError::TooManyMasters { count: 17 }
+    ));
+
+    // Bad clock period (odd, and below 2).
+    for period in [3u64, 0] {
+        let mut b = SystemBuilder::new().clock_period(period);
+        b.add_cpu(CpuSpec::new(prog.clone()));
+        b.add_memory(MemSpec::wrapper(mem_base(0)));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::BadClockPeriod { .. }
+        ));
+    }
+
+    // Program too large for its (per-CPU) local memory.
+    let mut b = SystemBuilder::new();
+    b.add_cpu(CpuSpec::new(prog.clone()).local_mem_size(16));
+    b.add_memory(MemSpec::wrapper(mem_base(0)));
+    let err = b.build().unwrap_err();
+    assert!(
+        matches!(err, BuildError::ProgramTooLarge { cpu: 0, have: 16, .. }),
+        "{err}"
+    );
+
+    // Zero-sized window.
+    let mut b = SystemBuilder::new();
+    b.add_cpu(CpuSpec::new(prog.clone()));
+    b.add_memory(MemSpec::wrapper(mem_base(0)).window(0));
+    assert!(matches!(
+        b.build().unwrap_err(),
+        BuildError::ZeroWindow { .. }
+    ));
+
+    // Window wrapping the address space.
+    let mut b = SystemBuilder::new();
+    b.add_cpu(CpuSpec::new(prog.clone()));
+    b.add_memory(MemSpec::wrapper(0xFFFF_0000).window(0x2_0000));
+    assert!(matches!(
+        b.build().unwrap_err(),
+        BuildError::WindowWraps { .. }
+    ));
+
+    // Overlapping windows.
+    let mut b = SystemBuilder::new();
+    b.add_cpu(CpuSpec::new(prog));
+    b.add_memory(MemSpec::wrapper(mem_base(0)));
+    b.add_memory(MemSpec::wrapper(mem_base(0) + MEM_WINDOW / 2));
+    let err = b.build().unwrap_err();
+    assert!(
+        matches!(err, BuildError::OverlappingWindows { .. }),
+        "{err}"
+    );
+    assert!(err.to_string().contains("overlaps"));
+}
+
+#[test]
+fn variable_window_sizes_validate_and_decode() {
+    // A big window followed by a small one directly above it: legal under
+    // explicit windows, impossible under the old fixed 64 KiB layout.
+    let wl = WorkloadCfg {
+        mem_base: 0x9000_0000,
+        iterations: 4,
+        ..WorkloadCfg::default()
+    };
+    let mut b = SystemBuilder::new();
+    b.add_cpu(CpuSpec::new(workloads::alloc_churn(&wl)));
+    let big = b.add_memory(MemSpec::wrapper(0x8000_0000).window(0x0100_0000));
+    let small = b.add_memory(MemSpec::wrapper(0x9000_0000).window(0x1000));
+    let mut sys = b.build().expect("non-overlapping windows are valid");
+    assert_eq!(sys.mem_region(big).size, 0x0100_0000);
+    assert_eq!(sys.mem_region(small).base, 0x9000_0000);
+    let report = sys.run(50_000_000);
+    assert!(report.all_ok(), "{}", report.summary());
+    // The workload talked to the *small* window.
+    assert!(report.mems[small.index()].backend.allocs > 0);
+    assert_eq!(report.mems[big.index()].backend.allocs, 0);
+}
+
+#[test]
+fn dma_only_system_builds_and_runs() {
+    // Zero CPUs: two fill engines stressing one static memory.
+    let mut b = SystemBuilder::new();
+    let mem = b.add_memory(MemSpec::static_table(0x8000_0000));
+    let d0 = b.add_master(Box::new(DmaEngine::new(DmaConfig {
+        kind: DmaKind::Fill { seed: 0x1000 },
+        dst: 0x8000_0000,
+        words: 32,
+        ..DmaConfig::default()
+    })));
+    let d1 = b.add_master(Box::new(DmaEngine::new(DmaConfig {
+        kind: DmaKind::Fill { seed: 0x2000 },
+        dst: 0x8000_0400,
+        words: 32,
+        ..DmaConfig::default()
+    })));
+    let mut sys = b.build().expect("CPU-less system is valid");
+    assert_eq!(sys.cpu_count(), 0);
+    assert_eq!(sys.master_count(), 2);
+
+    let report = sys.run(1_000_000);
+    assert!(report.finished, "{:?}", report.cause);
+    assert_eq!(report.cause, StopCause::AllHalted);
+    assert!(report.all_ok());
+    assert_eq!(report.masters.len(), 2);
+    for m in &report.masters {
+        assert_eq!(m.kind, "dma");
+        assert!(m.stats.done);
+        assert_eq!(m.stats.transactions, 32);
+    }
+    assert_eq!(report.masters[0].name, "dma0");
+    assert_eq!(report.masters[1].name, "dma1");
+    assert_eq!(sys.master_stats(d0).transactions, 32);
+    assert_eq!(sys.master_stats(d1).transactions, 32);
+    // Both engines' patterns landed (mid-run observation hook, post-run).
+    assert_eq!(sys.watch_value(mem, 0), Some(0x1000));
+    assert_eq!(sys.watch_value(mem, 0x400), Some(0x2000));
+    // The bus saw both masters.
+    assert_eq!(report.bus.transactions, 64);
+}
+
+#[test]
+fn cpus_and_dma_share_the_interconnect() {
+    let wl = WorkloadCfg {
+        mem_base: mem_base(0),
+        iterations: 8,
+        ..WorkloadCfg::default()
+    };
+    let mut b = SystemBuilder::new();
+    b.add_memory(MemSpec::wrapper(mem_base(0)));
+    let stress = b.add_memory(MemSpec::static_table(mem_base(1)));
+    b.add_cpu(CpuSpec::new(workloads::alloc_churn(&wl)));
+    b.add_master(Box::new(DmaEngine::new(DmaConfig {
+        kind: DmaKind::Fill { seed: 7 },
+        dst: mem_base(1),
+        words: 64,
+        passes: 4,
+        ..DmaConfig::default()
+    })));
+    let mut sys = b.build().unwrap();
+    let report = sys.run(50_000_000);
+    assert!(report.all_ok(), "{}", report.summary());
+    assert_eq!(report.cpus.len(), 1);
+    assert_eq!(report.masters.len(), 1);
+    assert!(report.masters[0].stats.bus_wait_cycles > 0 || report.bus.transactions > 0);
+    assert_eq!(
+        sys.watch_value(stress, 63 * 4),
+        Some(DmaConfig::fill_word(7, 64, 3, 63))
+    );
+}
+
+#[test]
+fn watchpoint_stops_mid_run() {
+    // A DMA fill marches through a static memory; watch for the moment a
+    // late word appears, well before the engine finishes all passes.
+    let mut b = SystemBuilder::new();
+    let mem = b.add_memory(MemSpec::static_table(0x8000_0000));
+    b.add_master(Box::new(DmaEngine::new(DmaConfig {
+        kind: DmaKind::Fill { seed: 0xAA00 },
+        dst: 0x8000_0000,
+        words: 256,
+        passes: 64,
+        ..DmaConfig::default()
+    })));
+    let mut sys = b.build().unwrap();
+    let watched = DmaConfig::fill_word(0xAA00, 256, 0, 128);
+    let cond = StopCondition::watch_word(mem, 128 * 4, watched)
+        .or(StopCondition::cycles(10_000_000))
+        .poll_every(64);
+    let report = sys.run_until(&cond);
+    assert_eq!(report.cause, StopCause::Watchpoint(0), "{}", report.summary());
+    assert!(!report.finished);
+    assert_eq!(sys.watch_value(mem, 128 * 4), Some(watched));
+    // Resume to completion: the same system keeps running.
+    let rest = sys.run_until(&StopCondition::cycles(50_000_000));
+    assert_eq!(rest.cause, StopCause::AllHalted);
+    assert!(rest.masters[0].stats.done);
+}
+
+#[test]
+fn no_progress_detects_an_idle_system() {
+    // A throttled DMA: after its first transfer it sits idle for far
+    // longer than the no-progress window.
+    let mut b = SystemBuilder::new();
+    b.add_memory(MemSpec::static_table(0x8000_0000));
+    b.add_master(Box::new(DmaEngine::new(DmaConfig {
+        kind: DmaKind::Fill { seed: 1 },
+        dst: 0x8000_0000,
+        words: 2,
+        gap_cycles: 1_000_000,
+        ..DmaConfig::default()
+    })));
+    let mut sys = b.build().unwrap();
+    let report = sys.run_until(
+        &StopCondition::no_progress(2_000)
+            .or(StopCondition::cycles(100_000))
+            .poll_every(128),
+    );
+    assert_eq!(report.cause, StopCause::NoProgress, "{}", report.summary());
+    assert!(!report.finished);
+}
+
+#[test]
+fn snapshot_observes_without_advancing() {
+    let wl = WorkloadCfg {
+        mem_base: mem_base(0),
+        iterations: 50,
+        ..WorkloadCfg::default()
+    };
+    let mut sys = McSystem::build(SystemConfig {
+        programs: vec![workloads::alloc_churn(&wl)],
+        ..SystemConfig::default()
+    });
+    let mid = sys.run_until(&StopCondition::cycles(5_000));
+    assert_eq!(mid.cause, StopCause::CycleBudget);
+    let snap = sys.snapshot();
+    assert_eq!(snap.sim_cycles, mid.sim_cycles, "snapshot does not advance");
+    assert_eq!(
+        snap.cpus[0].isa.instructions,
+        mid.cpus[0].isa.instructions
+    );
+    let snap2 = sys.snapshot();
+    assert_eq!(snap2.sim_cycles, snap.sim_cycles);
+    // Finish the workload; per-epoch cycles restart with the new call.
+    let done = sys.run_until(&StopCondition::all_halted().or(StopCondition::cycles(
+        100_000_000,
+    )));
+    assert_eq!(done.cause, StopCause::AllHalted);
+    assert!(done.all_ok());
+    assert!(
+        done.cpus[0].isa.instructions > mid.cpus[0].isa.instructions,
+        "component counters are cumulative"
+    );
+    // A snapshot taken after completion reflects the live halted state.
+    let final_snap = sys.snapshot();
+    assert_eq!(final_snap.cause, StopCause::AllHalted);
+    assert!(final_snap.all_ok(), "post-completion snapshot is all_ok");
+}
+
+#[test]
+fn presets_toggle_grant_retention() {
+    let wl = WorkloadCfg {
+        mem_base: mem_base(0),
+        iterations: 8,
+        burst_len: 32,
+        ..WorkloadCfg::default()
+    };
+    let run_with = |preset| {
+        let mut b = SystemBuilder::new().preset(preset);
+        b.add_memory(MemSpec::wrapper(mem_base(0)));
+        b.add_cpu(CpuSpec::new(workloads::burst_copy(&wl)));
+        let mut sys = b.build().unwrap();
+        sys.run(u64::MAX / 4)
+    };
+    let seed = run_with(Preset::SeedTiming);
+    let thr = run_with(Preset::Throughput);
+    assert!(seed.all_ok() && thr.all_ok());
+    assert_eq!(seed.bus.retained_grants, 0, "seed timing retains nothing");
+    assert!(thr.bus.retained_grants > 0, "throughput preset retains grants");
+    assert!(
+        thr.sim_cycles < seed.sim_cycles,
+        "retention saves simulated cycles: {} vs {}",
+        thr.sim_cycles,
+        seed.sim_cycles
+    );
+    // Seed timing is the default (no preset = same cycles).
+    let mut b = SystemBuilder::new();
+    b.add_memory(MemSpec::wrapper(mem_base(0)));
+    b.add_cpu(CpuSpec::new(workloads::burst_copy(&wl)));
+    let default_run = b.build().unwrap().run(u64::MAX / 4);
+    assert_eq!(default_run.sim_cycles, seed.sim_cycles);
+}
+
+#[test]
+fn crossbar_preset_applies_too() {
+    let wl = WorkloadCfg {
+        mem_base: mem_base(0),
+        iterations: 4,
+        burst_len: 16,
+        ..WorkloadCfg::default()
+    };
+    let mut b = SystemBuilder::new()
+        .interconnect(InterconnectKind::Crossbar(dmi_interconnect_crossbar_cfg()))
+        .preset(Preset::Throughput);
+    b.add_memory(MemSpec::wrapper(mem_base(0)));
+    b.add_cpu(CpuSpec::new(workloads::burst_copy(&wl)));
+    let mut sys = b.build().unwrap();
+    let r = sys.run(u64::MAX / 4);
+    assert!(r.all_ok());
+    assert!(r.bus.retained_grants > 0);
+}
+
+/// Crossbar config with a nonzero arbitration latency, so grant
+/// retention has a phase to skip.
+fn dmi_interconnect_crossbar_cfg() -> dmi_interconnect::CrossbarConfig {
+    dmi_interconnect::CrossbarConfig {
+        arbitration_latency: 1,
+        ..Default::default()
+    }
+}

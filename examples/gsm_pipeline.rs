@@ -7,9 +7,9 @@
 //! cargo run --release --example gsm_pipeline
 //! ```
 
-use dmi_sim::core::{MemStats, WrapperBackend, WrapperConfig};
+use dmi_sim::core::{MemStats, WrapperBackend};
 use dmi_sim::gsm::pipeline::{self, PipelineCfg};
-use dmi_sim::system::{mem_base, McSystem, MemModelKind, SystemConfig};
+use dmi_sim::system::{mem_base, CpuSpec, MemSpec, SystemBuilder};
 
 fn run(n_frames: u32, n_mems: usize) -> (dmi_sim::system::RunReport, u32) {
     let cfg = PipelineCfg {
@@ -17,11 +17,14 @@ fn run(n_frames: u32, n_mems: usize) -> (dmi_sim::system::RunReport, u32) {
         mem_bases: (0..n_mems).map(mem_base).collect(),
         seed: 0xBEEF,
     };
-    let mut sys = McSystem::build(SystemConfig {
-        programs: pipeline::stage_programs(&cfg),
-        memories: vec![MemModelKind::Wrapper(WrapperConfig::default()); n_mems],
-        ..SystemConfig::default()
-    });
+    let mut b = SystemBuilder::new();
+    for program in pipeline::stage_programs(&cfg) {
+        b.add_cpu(CpuSpec::new(program));
+    }
+    for i in 0..n_mems {
+        b.add_memory(MemSpec::wrapper(mem_base(i)));
+    }
+    let mut sys = b.build().expect("valid system");
     let report = sys.run(u64::MAX / 4);
     assert!(report.all_ok(), "{}", report.summary());
     let backend = sys

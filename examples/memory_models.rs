@@ -1,15 +1,14 @@
 //! Memory-model comparison: the same dynamic workload on the paper's
 //! host-backed wrapper vs the detailed in-simulation allocator, and the
 //! equivalent static traffic on a raw table — the motivation of the paper
-//! in one run.
+//! in one run, composed on the `SystemBuilder`.
 //!
 //! ```sh
 //! cargo run --release --example memory_models
 //! ```
 
-use dmi_sim::core::{SimHeapConfig, StaticMemConfig, WrapperConfig};
 use dmi_sim::sw::{workloads, WorkloadCfg};
-use dmi_sim::system::{mem_base, McSystem, MemModelKind, SystemConfig};
+use dmi_sim::system::{mem_base, CpuSpec, MemSpec, SystemBuilder};
 
 fn main() {
     let wl = WorkloadCfg {
@@ -21,28 +20,29 @@ fn main() {
 
     println!("workload: {} alloc/write/read/free iterations x 2 CPUs\n", wl.iterations);
 
-    for (label, kind, program) in [
+    for (label, spec, program) in [
         (
             "wrapper (host-backed dynamic memory, the paper)",
-            MemModelKind::Wrapper(WrapperConfig::default()),
+            MemSpec::wrapper(mem_base(0)),
             workloads::alloc_churn(&wl),
         ),
         (
             "simheap (allocator simulated inside the memory)",
-            MemModelKind::SimHeap(SimHeapConfig::default()),
+            MemSpec::simheap(mem_base(0)),
             workloads::alloc_churn(&wl),
         ),
         (
             "static table (no dynamic memory: raw loads/stores)",
-            MemModelKind::Static(StaticMemConfig::default()),
+            MemSpec::static_table(mem_base(0)),
             workloads::scalar_rw_static(&wl),
         ),
     ] {
-        let mut sys = McSystem::build(SystemConfig {
-            programs: vec![program.clone(), program],
-            memories: vec![kind],
-            ..SystemConfig::default()
-        });
+        let mut b = SystemBuilder::new();
+        let mem = b.add_memory(spec);
+        for _ in 0..2 {
+            b.add_cpu(CpuSpec::new(program.clone()));
+        }
+        let mut sys = b.build().expect("valid system");
         let report = sys.run(u64::MAX / 4);
         assert!(report.all_ok(), "{label}: {}", report.summary());
         println!("== {label} ==");
@@ -52,7 +52,7 @@ fn main() {
             report.wall,
             report.cycles_per_sec()
         );
-        let m = &report.mems[0];
+        let m = &report.mems[mem.index()];
         println!(
             "   memory busy {} cycles over {} transactions\n",
             m.module.busy_cycles, m.module.transactions

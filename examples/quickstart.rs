@@ -1,12 +1,13 @@
-//! Quickstart: build a 2-CPU MPSoC with one dynamic shared memory, run an
-//! allocation-churn workload cycle-true, and print the report.
+//! Quickstart: compose a 2-CPU MPSoC with one dynamic shared memory on
+//! the `SystemBuilder`, run the allocation-churn workload cycle-true
+//! under a typed stop condition, and print the report.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
 use dmi_sim::sw::{workloads, WorkloadCfg};
-use dmi_sim::system::{mem_base, McSystem, SystemConfig};
+use dmi_sim::system::{mem_base, CpuSpec, MemSpec, StopCondition, SystemBuilder};
 
 fn main() {
     let wl = WorkloadCfg {
@@ -17,13 +18,19 @@ fn main() {
     };
 
     // Two CPUs churning allocations on the same wrapper memory.
-    let mut system = McSystem::build(SystemConfig {
-        programs: vec![workloads::alloc_churn(&wl), workloads::alloc_churn(&wl)],
-        ..SystemConfig::default()
-    });
+    let mut b = SystemBuilder::new();
+    let mem = b.add_memory(MemSpec::wrapper(mem_base(0)));
+    for _ in 0..2 {
+        b.add_cpu(CpuSpec::new(workloads::alloc_churn(&wl)));
+    }
+    let mut system = b.build().expect("valid system");
 
-    let report = system.run(100_000_000);
-    println!("run: {}", report.summary());
+    // Run with an explicit stop condition: completion, or a 100M-cycle
+    // budget as a safety net. The report says which one fired.
+    let report = system.run_until(
+        &StopCondition::all_halted().or(StopCondition::cycles(100_000_000)),
+    );
+    println!("run: {} (stop cause: {:?})", report.summary(), report.cause);
     println!("{}", report.memory_summary());
     println!(
         "simulation speed: {:.0} cycles/s, {:.0} instr/s",
@@ -36,15 +43,15 @@ fn main() {
             cpu.isa.instructions, cpu.cosim.transactions, cpu.cosim.bus_wait_cycles, cpu.exit_code
         );
     }
-    let mem = &report.mems[0];
+    let m = &report.mems[mem.index()];
     println!(
         "memory ({}): {} allocs, {} frees, {} reads, {} writes, {} host bytes",
-        mem.kind,
-        mem.backend.allocs,
-        mem.backend.frees,
-        mem.backend.reads,
-        mem.backend.writes,
-        mem.backend.host.bytes_allocated
+        m.kind,
+        m.backend.allocs,
+        m.backend.frees,
+        m.backend.reads,
+        m.backend.writes,
+        m.backend.host.bytes_allocated
     );
     println!(
         "bus: {} transactions, {:.1}% utilisation",

@@ -1,12 +1,14 @@
-//! VCD waveform tracing: capture the bus handshake of a small run and
-//! write it to `dmi_trace.vcd` for any waveform viewer (GTKWave etc.).
+//! VCD waveform tracing: capture the bus handshake of a small
+//! heterogeneous run — one CPU plus one DMA engine — and write it to
+//! `dmi_trace.vcd` for any waveform viewer (GTKWave etc.).
 //!
 //! ```sh
 //! cargo run --release --example wave_trace && head -40 dmi_trace.vcd
 //! ```
 
+use dmi_sim::masters::{DmaConfig, DmaEngine, DmaKind};
 use dmi_sim::sw::{workloads, WorkloadCfg};
-use dmi_sim::system::{mem_base, McSystem, SystemConfig};
+use dmi_sim::system::{mem_base, CpuSpec, MemSpec, SystemBuilder};
 
 fn main() {
     let wl = WorkloadCfg {
@@ -15,20 +17,34 @@ fn main() {
         buf_words: 4,
         ..WorkloadCfg::default()
     };
-    let mut sys = McSystem::build(SystemConfig {
-        programs: vec![workloads::alloc_churn(&wl)],
-        ..SystemConfig::default()
-    });
+    let mut b = SystemBuilder::new();
+    b.add_memory(MemSpec::wrapper(mem_base(0)));
+    b.add_memory(MemSpec::static_table(mem_base(1)));
+    b.add_cpu(CpuSpec::new(workloads::alloc_churn(&wl)));
+    b.add_master(Box::new(DmaEngine::new(DmaConfig {
+        kind: DmaKind::Fill { seed: 0xD0 },
+        dst: mem_base(1),
+        words: 8,
+        ..DmaConfig::default()
+    })));
+    let mut sys = b.build().expect("valid system");
 
-    // Record the clock, the CPU's bus-master signals and the memory
-    // module's slave handshake.
+    // Record the clock, the CPU's and the DMA's bus-master signals and
+    // the first memory module's slave handshake.
     let traced = sys.simulator_mut().trace_matching(|name| {
-        name == "clk" || name.starts_with("cpu0.bus") || name.starts_with("mem0.s")
+        name == "clk"
+            || name.starts_with("cpu0.bus")
+            || name.starts_with("dma0.bus")
+            || name.starts_with("mem0.s")
     });
     println!("tracing {traced} signals");
 
     let report = sys.run(10_000_000);
     println!("{}", report.summary());
+    println!(
+        "dma0: {} transactions, done={}",
+        report.masters[0].stats.transactions, report.masters[0].stats.done
+    );
     assert!(report.all_ok());
 
     sys.simulator()

@@ -15,7 +15,8 @@
 //! | [`core`] | `dmi-core` | **the paper's dynamic memory wrapper** + baselines |
 //! | [`sw`] | `dmi-sw` | DSM driver API and workload programs |
 //! | [`gsm`] | `dmi-gsm` | GSM-style encoder workload (reference + ISS) |
-//! | [`system`] | `dmi-system` | topology builder, run reports, experiments |
+//! | [`masters`] | `dmi-masters` | non-CPU bus masters (DMA / traffic generators) |
+//! | [`system`] | `dmi-system` | system builder, run control, reports, experiments |
 //!
 //! See `README.md` for a guided tour, `DESIGN.md` for the architecture and
 //! `EXPERIMENTS.md` for the reproduced evaluation.
@@ -48,5 +49,6 @@ pub use dmi_interconnect as interconnect;
 pub use dmi_isa as isa;
 pub use dmi_iss as iss;
 pub use dmi_kernel as kernel;
+pub use dmi_masters as masters;
 pub use dmi_sw as sw;
 pub use dmi_system as system;
