@@ -6,8 +6,8 @@
 //! instruction-stream cost mixed in.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dmi_masters::{DmaConfig, DmaEngine, DmaKind};
-use dmi_system::{mem_base, InterconnectKind, MemSpec, SystemBuilder};
+use dmi_masters::{BurstSpec, DmaConfig, DmaEngine, DmaKind};
+use dmi_system::{mem_base, InterconnectKind, MemSpec, Preset, SystemBuilder};
 
 /// Builds and runs `n` fill engines hammering `n_mems` static memories;
 /// returns simulated cycles to completion.
@@ -35,6 +35,32 @@ fn run(n: usize, n_mems: usize, crossbar: bool) -> u64 {
     r.sim_cycles
 }
 
+/// `n` burst-mode fill engines driving one wrapper memory's register
+/// block: every payload word crosses the slave-side banked I/O arrays
+/// (`WriteBurst`/`ReadBurst` + streamed `DATA` beats) instead of scalar
+/// stores, under the chosen interconnect timing preset.
+fn run_burst(n: usize, preset: Preset) -> u64 {
+    let mut b = SystemBuilder::new().preset(preset);
+    b.add_memory(MemSpec::wrapper(mem_base(0)));
+    for i in 0..n {
+        b.add_master(Box::new(DmaEngine::new(DmaConfig {
+            kind: DmaKind::Fill { seed: i as u32 },
+            dst: mem_base(0),
+            words: 128,
+            passes: 2,
+            burst: Some(BurstSpec {
+                beats: 16,
+                verify: true,
+            }),
+            ..DmaConfig::default()
+        })));
+    }
+    let mut sys = b.build().expect("burst stress system");
+    let r = sys.run(u64::MAX / 4);
+    assert!(r.all_ok(), "{}", r.summary());
+    r.sim_cycles
+}
+
 fn dma_stress(c: &mut Criterion) {
     let mut g = c.benchmark_group("dma_stress");
     g.sample_size(10);
@@ -44,6 +70,16 @@ fn dma_stress(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("xbar_4mem", n), &n, |b, &n| {
             b.iter(|| run(n, 4.min(n), true));
+        });
+    }
+    // The burst-capable engines, under both interconnect timing presets
+    // (seed-comparable re-arbitration vs AMBA-style grant retention).
+    for n in [1usize, 8] {
+        g.bench_with_input(BenchmarkId::new("burst_seed", n), &n, |b, &n| {
+            b.iter(|| run_burst(n, Preset::SeedTiming));
+        });
+        g.bench_with_input(BenchmarkId::new("burst_throughput", n), &n, |b, &n| {
+            b.iter(|| run_burst(n, Preset::Throughput));
         });
     }
     g.finish();

@@ -225,6 +225,21 @@ impl SimHeapBackend {
         }
         r
     }
+
+    /// Debug peek of one word of the simulated arena, by byte offset
+    /// (the model's vptrs *are* arena offsets, so a vptr handed out by
+    /// ALLOC reads back the live payload).
+    ///
+    /// Purely observational: no cycles are charged, no counters move, no
+    /// burst state is touched — cheap enough for watchpoint polling
+    /// (`StopCondition::watch_word` in `dmi-system` is built on it).
+    /// Returns `None` when the word would escape the arena.
+    pub fn peek_word(&self, offset: u32) -> Option<u32> {
+        if offset.checked_add(4).is_none_or(|end| end > self.len()) {
+            return None;
+        }
+        self.translator.load(&self.mem, offset, ElemType::U32)
+    }
 }
 
 impl DsmBackend for SimHeapBackend {
@@ -662,5 +677,19 @@ mod tests {
     #[should_panic(expected = "multiple of 8")]
     fn bad_capacity_rejected() {
         heap(20);
+    }
+
+    #[test]
+    fn peek_word_observes_without_charging() {
+        let mut h = heap(256);
+        let p = h.execute(&req(Opcode::Alloc, 4, ElemType::U32 as u32, 0)).result;
+        let _ = h.execute(&req(Opcode::Write, p, 0x1234_5678, 2));
+        let busy = h.stats().busy_cycles;
+        let touches = h.word_touches;
+        assert_eq!(h.peek_word(p), Some(0x1234_5678));
+        assert_eq!(h.peek_word(253), None, "word straddles the arena end");
+        assert_eq!(h.peek_word(4096), None, "outside the arena");
+        assert_eq!(h.stats().busy_cycles, busy, "no cycles charged");
+        assert_eq!(h.word_touches, touches, "no simulated word touches");
     }
 }

@@ -13,10 +13,11 @@
 //!
 //! ## Two implementations, one ordering
 //!
-//! Two queue types implement the same [`Queue`] interface; the simulator
-//! compiles its run loop against one of them, selected per *build* by the
-//! `wheel-queue` cargo feature (see `RunQueue` in `sim.rs` for why the
-//! choice is not made at runtime):
+//! Two queue types implement the same [`Queue`] interface; the
+//! simulator's run loop is monomorphized once per implementation and the
+//! live one is **auto-selected from a system-size hint** when the first
+//! run starts (see `QueueKind` in `sim.rs`; the `wheel-queue` cargo
+//! feature survives as a forced override pinning the wheel):
 //!
 //! * [`EventQueue`] — a plain binary heap. With the handful of pending
 //!   events a small clocked co-simulation keeps (one clock toggle plus
@@ -25,8 +26,9 @@
 //!   run-loop inlines these few instructions, and measurements showed
 //!   that even one extra never-taken branch with a function call in its
 //!   arm costs several percent of total simulation wall clock — which is
-//!   why the choice between implementations is made **per build**,
-//!   outside the per-event path, instead of adaptively inside it;
+//!   why the choice between implementations is made **once per run
+//!   call**, outside the per-event path, instead of adaptively inside
+//!   it;
 //! * [`WheelQueue`] — a hierarchical time wheel for big systems (many
 //!   components, standing event populations in the hundreds or more):
 //!   [`WHEEL_SLOTS`] single-tick buckets cover the ticks
@@ -139,6 +141,17 @@ pub trait Queue {
     fn push_event(&mut self, ev: Event);
     /// Hands the internal sequence counter to a successor queue.
     fn set_next_seq(&mut self, next_seq: u64);
+    /// Moves every pending event out, earliest first (queue-to-queue
+    /// migration; re-insert with [`push_event`](Self::push_event),
+    /// then hand over the counter with
+    /// [`set_next_seq`](Self::set_next_seq)).
+    fn drain_ordered(&mut self) -> Vec<Event> {
+        let mut events = Vec::with_capacity(self.len());
+        while let Some(ev) = self.pop() {
+            events.push(ev);
+        }
+        events
+    }
 }
 
 /// Min-queue of events ordered by `(time, delta, seq)`, as a plain
@@ -156,19 +169,10 @@ impl EventQueue {
     pub fn new() -> Self {
         Self::default()
     }
-
-    /// Moves every pending event out, earliest first (queue-to-queue
-    /// migration; re-insert with [`Queue::push_event`]).
-    pub fn drain_ordered(&mut self) -> Vec<Event> {
-        std::mem::take(&mut self.heap)
-            .into_sorted_vec()
-            .into_iter()
-            .rev()
-            .collect()
-    }
 }
 
 impl Queue for EventQueue {
+    #[inline]
     fn push(&mut self, time: SimTime, delta: u32, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -181,14 +185,17 @@ impl Queue for EventQueue {
         self.peak_len = self.peak_len.max(self.heap.len());
     }
 
+    #[inline]
     fn peek_key(&self) -> Option<(SimTime, u32)> {
         self.heap.peek().map(|e| (e.time, e.delta))
     }
 
+    #[inline]
     fn pop(&mut self) -> Option<Event> {
         self.heap.pop()
     }
 
+    #[inline]
     fn pop_at(&mut self, time: SimTime, delta: u32) -> Option<Event> {
         match self.heap.peek() {
             Some(e) if e.time == time && e.delta == delta => self.heap.pop(),
@@ -196,6 +203,7 @@ impl Queue for EventQueue {
         }
     }
 
+    #[inline]
     fn len(&self) -> usize {
         self.heap.len()
     }
@@ -393,6 +401,7 @@ impl WheelQueue {
 }
 
 impl Queue for WheelQueue {
+    #[inline]
     fn push(&mut self, time: SimTime, delta: u32, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -422,10 +431,12 @@ impl Queue for WheelQueue {
         self.peak_len = self.peak_len.max(self.len);
     }
 
+    #[inline]
     fn peek_key(&self) -> Option<(SimTime, u32)> {
         self.earliest_loc().map(|(key, _)| (key.0, key.1))
     }
 
+    #[inline]
     fn pop(&mut self) -> Option<Event> {
         let (_, loc) = self.earliest_loc()?;
         Some(match loc {
@@ -434,6 +445,7 @@ impl Queue for WheelQueue {
         })
     }
 
+    #[inline]
     fn pop_at(&mut self, time: SimTime, delta: u32) -> Option<Event> {
         // Pop only the *globally earliest* event, and only if it matches —
         // the same contract as the heap implementation. Popping a matching
@@ -449,6 +461,7 @@ impl Queue for WheelQueue {
         })
     }
 
+    #[inline]
     fn len(&self) -> usize {
         self.len
     }

@@ -16,12 +16,19 @@
 //! * **clocks** managed by the kernel;
 //! * **VCD tracing** of any subset of signals.
 //!
-//! Subscriber wakes produced by a delta's update phase are carried
-//! directly to the next delta in a scratch list instead of round-tripping
-//! through the priority queue — dispatch order is provably identical
-//! (queued timers at the next delta always precede them in sequence
-//! number), and it roughly halves the per-clock-edge kernel overhead of
-//! clocked systems (see `sim.rs`).
+//! The clocked hot path is specialized end to end (see `README.md` and
+//! `sim.rs`): subscriber wakes produced by a delta's update phase are
+//! carried directly to the next delta in a scratch list instead of
+//! round-tripping through the priority queue, carried wakes of one edge
+//! are dispatched as a batch through a single reusable [`Ctx`] frame,
+//! and a clock toggle whose edge provably has no observer (per-signal
+//! edge-subscriber summaries) skips the commit scan and wake pass
+//! entirely. Dispatch order is provably identical to the unspecialized
+//! reference path, which stays available for differential testing
+//! (`DMI_KERNEL_SPECIALIZE=0`, like the ISS's `DMI_PREDECODE=0`). The
+//! event-queue implementation (binary heap vs time wheel) is
+//! auto-selected from a system-size hint at the first run — see
+//! [`QueueKind`].
 //!
 //! ## Quickstart
 //!
@@ -69,7 +76,10 @@ pub use component::{Component, ComponentId, Wake};
 pub use ctx::{Ctx, StopReason};
 pub use event::{Event, EventKind, EventQueue, Queue, WheelQueue, WHEEL_SLOTS};
 pub use signal::{Change, Edge, SignalBoard, SignalId, Wire};
-pub use sim::{RunLimit, RunQueue, RunSummary, Simulator};
+pub use sim::{
+    clock_specialization_default, QueueKind, RunLimit, RunSummary, Simulator,
+    QUEUE_AUTO_WHEEL_COMPONENTS,
+};
 pub use stats::KernelStats;
 pub use time::SimTime;
 pub use trace::{TraceRecord, Tracer};

@@ -6,25 +6,7 @@ use crate::component::{Component, ComponentId, Wake};
 use crate::ctx::{Ctx, StopReason};
 use crate::event::{EventKind, Queue};
 
-/// The queue implementation the run loop is compiled against.
-///
-/// A *compile-time* choice (cargo feature `wheel-queue`), deliberately not
-/// a runtime one: the run loop is extremely sensitive to its queue's code
-/// shape — measurements showed that merely instantiating the loop for a
-/// second queue type costs ~25% wall clock on the small-system path (code
-/// placement/inlining interactions), and even one extra never-taken
-/// branch with a call in its arm costs several percent. Selecting the
-/// implementation per build keeps exactly one monomorphization and zero
-/// per-event dispatch overhead; both implementations are key-exact, so
-/// simulations are bit-identical either way (see the `event` module
-/// docs and `tests/determinism.rs`).
-#[cfg(not(feature = "wheel-queue"))]
-pub type RunQueue = crate::event::EventQueue;
-/// The queue implementation the run loop is compiled against (the time
-/// wheel: build with `--features dmi-kernel/wheel-queue` for large
-/// systems; see the `event` module docs).
-#[cfg(feature = "wheel-queue")]
-pub type RunQueue = crate::event::WheelQueue;
+use crate::event::{EventQueue, WheelQueue};
 use crate::signal::{Change, Edge, SignalBoard, Wire};
 use crate::stats::KernelStats;
 use crate::time::SimTime;
@@ -128,6 +110,91 @@ struct ClockDef {
     half_period: u64,
 }
 
+/// Which event-queue implementation the run loop executes against.
+///
+/// Both implementations order by the exact `(time, delta, seq)` key, so a
+/// simulation is **bit-identical** whichever one serves it (see the
+/// `event` module docs and `tests/determinism.rs`); the choice is purely
+/// a host-performance one:
+///
+/// * [`Heap`](QueueKind::Heap) — the binary heap. With the single-digit
+///   standing event population a clocked co-simulation keeps (one toggle
+///   per clock plus the current delta cascade — subscriber wakes are
+///   *carried*, not queued), it occupies a couple of cache lines and is
+///   unbeatable.
+/// * [`Wheel`](QueueKind::Wheel) — the hierarchical time wheel, which
+///   turns the heap's `O(log n)` sift traffic into `O(1)` bucket appends.
+///   It wins only once the *standing* population is large (measured
+///   crossover ≈ 64 pending events on the `event_queue_hold` microbench),
+///   i.e. systems with very many concurrently scheduled timers.
+///
+/// By default the simulator picks automatically when the first run
+/// starts, from the system-size hint described on
+/// [`Simulator::set_queue_kind`]. The run loop is compiled **once per
+/// implementation** (two monomorphizations of the same generic loop,
+/// selected once per `run` call, never per event), so one binary serves
+/// both without per-event dispatch overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueKind {
+    /// Binary-heap queue ([`EventQueue`]) — small standing populations.
+    Heap,
+    /// Time-wheel queue ([`WheelQueue`]) — large standing populations.
+    Wheel,
+}
+
+/// Component count at or above which the automatic queue selection picks
+/// the time wheel.
+///
+/// The hint errs high on purpose: since subscriber wakes are carried
+/// between deltas instead of queued, even a 256-component clocked system
+/// keeps a single-digit standing event population, and the binary heap
+/// measures at or ahead of the wheel there
+/// (`kernel_1k_cycles_256_components`). Only systems big enough to
+/// plausibly hold tens of concurrent timers get the wheel by default;
+/// anything with a known queue-heavy schedule can pin
+/// [`QueueKind::Wheel`] explicitly.
+pub const QUEUE_AUTO_WHEEL_COMPONENTS: usize = 512;
+
+/// The queue slot: exactly one of the two implementations is live.
+#[derive(Debug)]
+enum QueueSlot {
+    Heap(EventQueue),
+    Wheel(WheelQueue),
+}
+
+impl QueueSlot {
+    fn kind(&self) -> QueueKind {
+        match self {
+            QueueSlot::Heap(_) => QueueKind::Heap,
+            QueueSlot::Wheel(_) => QueueKind::Wheel,
+        }
+    }
+
+    /// Build-phase push (cold: component registration and clock setup).
+    fn push(&mut self, time: SimTime, delta: u32, kind: EventKind) {
+        match self {
+            QueueSlot::Heap(q) => q.push(time, delta, kind),
+            QueueSlot::Wheel(q) => q.push(time, delta, kind),
+        }
+    }
+
+}
+
+/// Default for the kernel's clocked-path specialization (the
+/// edge-summary commit skip and the batched same-edge dispatch), read
+/// from the `DMI_KERNEL_SPECIALIZE` environment variable: `0` or `off`
+/// selects the unspecialized reference path. On by default.
+///
+/// The reference path is kept purely so differential tests (and CI) can
+/// pin the specialized path bit-identical to it — like `DMI_PREDECODE=0`
+/// for the ISS dispatch engines.
+pub fn clock_specialization_default() -> bool {
+    match std::env::var("DMI_KERNEL_SPECIALIZE") {
+        Ok(v) => !(v == "0" || v.eq_ignore_ascii_case("off")),
+        Err(_) => true,
+    }
+}
+
 /// Discrete-event simulator with SystemC-style delta cycles.
 ///
 /// Build phase: declare signals with [`wire`](Self::wire), register
@@ -172,13 +239,26 @@ pub struct Simulator {
     comps: Vec<Option<Box<dyn Component>>>,
     comp_names: Vec<String>,
     signals: SignalBoard,
-    queue: RunQueue,
+    queue: QueueSlot,
+    /// Explicit or auto-decided queue implementation; `None` until the
+    /// first run (or an explicit [`set_queue_kind`]
+    /// (Self::set_queue_kind)) pins it.
+    queue_choice: Option<QueueKind>,
     clocks: Vec<ClockDef>,
     time: SimTime,
     stop: Option<StopReason>,
     stats: KernelStats,
     tracer: Tracer,
     delta_limit: u32,
+    /// Whether the clocked-path specialization (edge-summary commit
+    /// skip and batched same-edge dispatch) is active; the `false` path
+    /// is the unspecialized reference implementation kept for
+    /// differential testing. See [`clock_specialization_default`].
+    specialize: bool,
+    /// Clock toggles that took the quiet fast path (observability for
+    /// tests and tuning; not part of [`KernelStats`], which must be
+    /// identical with specialization on or off).
+    quiet_toggles: u64,
     // Scratch buffers reused across deltas to avoid per-cycle allocation.
     changes: Vec<Change>,
     woken: Vec<bool>,
@@ -190,6 +270,10 @@ pub struct Simulator {
     /// the ~one-wake-per-subscriber-per-edge traffic skips the priority
     /// queue entirely — the single hottest path of clocked systems.
     pending_wakes: Vec<(ComponentId, crate::signal::SignalId)>,
+    /// Clock wires whose current-delta toggle was proven unobservable
+    /// (no matching edge subscriber, no tracer, no competing write) and
+    /// deferred to the update phase as a quiet in-place flip.
+    fast_toggles: Vec<Wire>,
 }
 
 impl std::fmt::Debug for dyn Component {
@@ -211,17 +295,103 @@ impl Simulator {
             comps: Vec::new(),
             comp_names: Vec::new(),
             signals: SignalBoard::new(),
-            queue: RunQueue::new(),
+            queue: QueueSlot::Heap(EventQueue::new()),
+            queue_choice: None,
             clocks: Vec::new(),
             time: SimTime::ZERO,
             stop: None,
             stats: KernelStats::default(),
             tracer: Tracer::new(),
             delta_limit: 10_000,
+            specialize: clock_specialization_default(),
+            quiet_toggles: 0,
             changes: Vec::new(),
             woken: Vec::new(),
             woken_list: Vec::new(),
             pending_wakes: Vec::new(),
+            fast_toggles: Vec::new(),
+        }
+    }
+
+    /// The queue implementation currently live (before the first run this
+    /// is the build-phase staging queue; the pinned choice is made when
+    /// [`run`](Self::run) first executes, unless set explicitly).
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue.kind()
+    }
+
+    /// Pins the event-queue implementation, migrating any pending events
+    /// (original sequence numbers preserved, so the pop order — and hence
+    /// the simulation — cannot change; see `tests/determinism.rs`).
+    ///
+    /// Without an explicit choice, the first [`run`](Self::run) call
+    /// auto-selects from a system-size hint: the time wheel when at least
+    /// [`QUEUE_AUTO_WHEEL_COMPONENTS`] components are registered (or
+    /// always, when the `wheel-queue` cargo feature forces it), the
+    /// binary heap otherwise. The rationale for the threshold is on
+    /// [`QueueKind`].
+    pub fn set_queue_kind(&mut self, kind: QueueKind) {
+        self.queue_choice = Some(kind);
+        self.migrate_queue(kind);
+    }
+
+    /// Enables or disables the clocked-path specialization (A/B and
+    /// differential testing; results are bit-identical either way).
+    /// Defaults from the `DMI_KERNEL_SPECIALIZE` environment variable —
+    /// see [`clock_specialization_default`].
+    pub fn set_clock_specialization(&mut self, on: bool) {
+        self.specialize = on;
+    }
+
+    /// Number of clock toggles that took the quiet fast path (skipped
+    /// commit scan and wake pass) across all runs.
+    pub fn quiet_toggles(&self) -> u64 {
+        self.quiet_toggles
+    }
+
+    /// The queue kind the auto-selection hint resolves to right now.
+    fn auto_queue_kind(&self) -> QueueKind {
+        if cfg!(feature = "wheel-queue") || self.comps.len() >= QUEUE_AUTO_WHEEL_COMPONENTS {
+            QueueKind::Wheel
+        } else {
+            QueueKind::Heap
+        }
+    }
+
+    /// Swaps the live queue implementation for `kind`, re-inserting every
+    /// pending event with its original sequence number.
+    fn migrate_queue(&mut self, kind: QueueKind) {
+        if self.queue.kind() == kind {
+            return;
+        }
+        let (events, next_seq) = match &mut self.queue {
+            QueueSlot::Heap(q) => (q.drain_ordered(), q.scheduled_total()),
+            QueueSlot::Wheel(q) => (q.drain_ordered(), q.scheduled_total()),
+        };
+        self.queue = match kind {
+            QueueKind::Heap => QueueSlot::Heap(EventQueue::new()),
+            QueueKind::Wheel => {
+                let mut q = WheelQueue::new();
+                // Anchor the horizon at the earliest pending tick (the
+                // documented migration recipe) or the current time.
+                q.set_cursor(
+                    events
+                        .first()
+                        .map(|e| e.time.ticks())
+                        .unwrap_or(self.time.ticks()),
+                );
+                QueueSlot::Wheel(q)
+            }
+        };
+        for ev in events {
+            match &mut self.queue {
+                QueueSlot::Heap(q) => q.push_event(ev),
+                QueueSlot::Wheel(q) => q.push_event(ev),
+            }
+        }
+        match &mut self.queue {
+            QueueSlot::Heap(q) => q.set_next_seq(next_seq),
+            QueueSlot::Wheel(q) => q.set_next_seq(next_seq),
         }
     }
 
@@ -389,14 +559,43 @@ impl Simulator {
     ///
     /// A previously recorded stop reason is cleared so the simulation can be
     /// resumed after inspection.
+    ///
+    /// The first call pins the queue implementation (see
+    /// [`set_queue_kind`](Self::set_queue_kind)); the loop itself is
+    /// monomorphized per implementation and selected here, once per call
+    /// — never inside the per-event path.
     pub fn run(&mut self, limit: RunLimit) -> RunSummary {
-        let mut queue = std::mem::take(&mut self.queue);
-        let summary = self.run_core(limit, &mut queue);
-        self.queue = queue;
-        summary
+        if self.queue_choice.is_none() {
+            let kind = self.auto_queue_kind();
+            self.queue_choice = Some(kind);
+            self.migrate_queue(kind);
+        }
+        // The slot is taken out for the duration of the run so the loop
+        // borrows the queue and the simulator independently.
+        match std::mem::replace(&mut self.queue, QueueSlot::Heap(EventQueue::new())) {
+            QueueSlot::Heap(mut q) => {
+                let summary = self.run_core(limit, &mut q);
+                self.queue = QueueSlot::Heap(q);
+                summary
+            }
+            QueueSlot::Wheel(mut q) => {
+                let summary = self.run_core(limit, &mut q);
+                self.queue = QueueSlot::Wheel(q);
+                summary
+            }
+        }
     }
 
-    fn run_core(&mut self, limit: RunLimit, queue: &mut RunQueue) -> RunSummary {
+    /// The event loop. Generic over the queue implementation — exactly
+    /// two monomorphizations exist, and `#[inline(never)]` keeps each one
+    /// a single outlined function so that carrying both in one binary
+    /// does not perturb the code placement of either (the historical
+    /// per-build feature selection existed because a naive second
+    /// instantiation cost ~25 % wall clock on the small-system path; the
+    /// benches `kernel_micro` / `exp_headline` pin the shaped version at
+    /// parity with a single-queue build).
+    #[inline(never)]
+    fn run_core<Q: Queue>(&mut self, limit: RunLimit, queue: &mut Q) -> RunSummary {
         let wall_start = Instant::now();
         let stats_start = self.stats;
         self.stop = None;
@@ -421,7 +620,13 @@ impl Simulator {
                 // previous update phase's signal wakes…
                 while let Some(ev) = queue.pop_at(t, delta) {
                     if events_left == 0 {
+                        // Out of budget with work still due: put the
+                        // just-popped event back (original sequence
+                        // number, so a resumed run replays the exact
+                        // dispatch order an unbounded run would have).
+                        queue.push_event(ev);
                         self.stop = Some(StopReason::Error("event budget exhausted".into()));
+                        self.park_fast_toggles();
                         self.requeue_pending_wakes(queue, t, delta);
                         break 'outer;
                     }
@@ -435,8 +640,26 @@ impl Simulator {
                         }
                         EventKind::ClockToggle(k) => {
                             let clock = &self.clocks[k];
-                            let cur = self.signals.read(clock.wire);
-                            self.signals.write(clock.wire, cur ^ 1);
+                            let wire = clock.wire;
+                            let cur = self.signals.read(wire);
+                            let rising = cur == 0;
+                            // Edge-filtered fast path: a toggle whose
+                            // resulting edge has no matching subscriber
+                            // (and no tracer, and no competing write) is
+                            // unobservable — defer a quiet in-place flip
+                            // to this delta's update phase and skip the
+                            // commit/scan machinery entirely. For a
+                            // system clocking everything on the rising
+                            // edge, every second half-period becomes a
+                            // toggle-only event.
+                            if self.specialize
+                                && self.signals.try_begin_quiet_toggle(wire, rising)
+                            {
+                                self.quiet_toggles += 1;
+                                self.fast_toggles.push(wire);
+                            } else {
+                                self.signals.write(wire, cur ^ 1);
+                            }
                             let next_t = t + clock.half_period;
                             queue.push(next_t, 0, EventKind::ClockToggle(k));
                         }
@@ -447,40 +670,90 @@ impl Simulator {
                 // used to pop in, without the queue round-trip.
                 if !self.pending_wakes.is_empty() {
                     let mut wakes = std::mem::take(&mut self.pending_wakes);
-                    for (i, &(cid, sid)) in wakes.iter().enumerate() {
-                        if events_left == 0 {
-                            // Re-queue the undispatched tail at its due
-                            // (t, delta) so a resumed run replays exactly.
-                            for &(cid, sid) in &wakes[i..] {
-                                queue.push(t, delta, EventKind::SignalWake(cid, sid));
+                    // Batched same-edge dispatch: one `Ctx` frame serves
+                    // the whole batch, with only the per-wake cause /
+                    // self-id fields updated inside the loop — the frame
+                    // rebuild (borrows, time, delta, stop) is hoisted out.
+                    // Dispatch order is the slice order, identical to the
+                    // per-wake reference path below (pinned by
+                    // `tests/clock_specialization.rs`).
+                    let mut budget_hit = None;
+                    if self.specialize {
+                        let mut ctx = Ctx {
+                            signals: &mut self.signals,
+                            queue,
+                            time: t,
+                            delta,
+                            cause: Wake::Start, // overwritten before first use
+                            self_id: ComponentId::from_raw(0),
+                            stop: &mut self.stop,
+                        };
+                        for (i, &(cid, sid)) in wakes.iter().enumerate() {
+                            if events_left == 0 {
+                                budget_hit = Some(i);
+                                break;
                             }
-                            self.stop =
-                                Some(StopReason::Error("event budget exhausted".into()));
-                            break 'outer;
+                            events_left -= 1;
+                            self.stats.events += 1;
+                            let mut comp = self.comps[cid.index()]
+                                .take()
+                                .expect("component re-entered during its own wake");
+                            ctx.cause = Wake::Signal(sid);
+                            ctx.self_id = cid;
+                            comp.wake(&mut ctx);
+                            self.comps[cid.index()] = Some(comp);
+                            self.stats.wakes += 1;
                         }
-                        events_left -= 1;
-                        self.stats.events += 1;
-                        self.dispatch(queue, cid, Wake::Signal(sid), t, delta);
+                    } else {
+                        // Reference path: per-wake dispatch with a fresh
+                        // `Ctx` each time.
+                        for (i, &(cid, sid)) in wakes.iter().enumerate() {
+                            if events_left == 0 {
+                                budget_hit = Some(i);
+                                break;
+                            }
+                            events_left -= 1;
+                            self.stats.events += 1;
+                            self.dispatch(queue, cid, Wake::Signal(sid), t, delta);
+                        }
+                    }
+                    if let Some(i) = budget_hit {
+                        // Re-queue the undispatched tail at its due
+                        // (t, delta) so a resumed run replays exactly.
+                        for &(cid, sid) in &wakes[i..] {
+                            queue.push(t, delta, EventKind::SignalWake(cid, sid));
+                        }
+                        self.stop = Some(StopReason::Error("event budget exhausted".into()));
+                        self.park_fast_toggles();
+                        break 'outer;
                     }
                     wakes.clear();
                     self.pending_wakes = wakes; // keep the capacity
                 }
 
-                // Update: commit writes, wake subscribers in the next delta.
+                // Update: first finish any quiet clock toggles (their
+                // transition has no observer, so flipping in place here —
+                // where the ordinary write would have committed — is
+                // indistinguishable from the reference path), then commit
+                // writes and wake subscribers in the next delta.
+                if !self.fast_toggles.is_empty() {
+                    for w in self.fast_toggles.drain(..) {
+                        self.signals.apply_quiet_toggle(w);
+                    }
+                }
                 self.changes.clear();
                 self.signals.commit(&mut self.changes);
                 self.stats.deltas += 1;
 
-                for i in 0..self.changes.len() {
-                    let ch = self.changes[i];
+                for &ch in &self.changes {
                     if self.signals.is_traced(ch.signal) {
                         self.tracer.record(t, ch.signal, ch.new);
                     }
                     // Clone-free iteration: subscriber lists are only
-                    // mutated during build, never during a run.
-                    let subs = self.signals.subscribers(ch.signal).len();
-                    for s in 0..subs {
-                        let (cid, edge) = self.signals.subscribers(ch.signal)[s];
+                    // mutated during build, never during a run, so the
+                    // slice borrow is safe alongside the wake bookkeeping
+                    // (disjoint fields).
+                    for &(cid, edge) in self.signals.subscribers(ch.signal) {
                         if edge.matches(ch.old, ch.new) && !self.woken[cid.index()] {
                             self.woken[cid.index()] = true;
                             self.woken_list.push(cid);
@@ -533,6 +806,10 @@ impl Simulator {
             self.pending_wakes.is_empty(),
             "carried wakes must never outlive a run call"
         );
+        debug_assert!(
+            self.fast_toggles.is_empty(),
+            "deferred quiet toggles must never outlive a run call"
+        );
         RunSummary {
             end_time: self.time,
             stats: self.stats.since(&stats_start),
@@ -544,15 +821,25 @@ impl Simulator {
     /// Moves any carried-but-undispatched subscriber wakes back into the
     /// event queue at `(t, delta)`, so an interrupted run can resume with
     /// exactly the dispatch sequence the fully-queued implementation had.
-    fn requeue_pending_wakes(&mut self, queue: &mut RunQueue, t: SimTime, delta: u32) {
+    fn requeue_pending_wakes<Q: Queue>(&mut self, queue: &mut Q, t: SimTime, delta: u32) {
         for (cid, sid) in self.pending_wakes.drain(..) {
             queue.push(t, delta, EventKind::SignalWake(cid, sid));
         }
     }
 
-    fn dispatch(
+    /// Converts still-deferred quiet clock toggles back into ordinary
+    /// pending writes (a run breaking off mid-delta never reaches the
+    /// update phase that would have finished them); the resumed run's
+    /// first commit then applies them exactly like the reference path.
+    fn park_fast_toggles(&mut self) {
+        for w in self.fast_toggles.drain(..) {
+            self.signals.requeue_quiet_toggle(w);
+        }
+    }
+
+    fn dispatch<Q: Queue>(
         &mut self,
-        queue: &mut RunQueue,
+        queue: &mut Q,
         cid: ComponentId,
         cause: Wake,
         time: SimTime,

@@ -1,0 +1,370 @@
+//! Differential tests for the kernel's clocked-path specialization and
+//! the runtime queue selection.
+//!
+//! The specialized path (edge-summary quiet toggles + batched same-edge
+//! dispatch) must be **bit-identical** to the unspecialized reference
+//! path kept behind `Simulator::set_clock_specialization(false)` /
+//! `DMI_KERNEL_SPECIALIZE=0`: same wake sequences (order, times, deltas,
+//! causes), same observed signal values, same [`KernelStats`], same
+//! traces — under randomized subscribe/clock topologies, timer
+//! interleavings and event-budget interruptions. The same harness pins
+//! the binary-heap and time-wheel run loops identical.
+
+use std::any::Any;
+
+use dmi_kernel::{
+    Component, Ctx, Edge, KernelStats, QueueKind, RunLimit, SimTime, Simulator, Wake, Wire,
+    QUEUE_AUTO_WHEEL_COMPONENTS,
+};
+use proptest::prelude::*;
+
+/// A probe component: logs every wake (time, delta, cause, the values of
+/// all watched wires — including clock wires, which is what makes the
+/// deferred quiet-toggle semantics observable), optionally drives an
+/// output and optionally keeps a timer chain running.
+struct Probe {
+    watched: Vec<Wire>,
+    out: Option<Wire>,
+    timer_period: Option<u64>,
+    counter: u64,
+    log: Vec<WakeRecord>,
+}
+
+impl Component for Probe {
+    fn name(&self) -> &str {
+        "probe"
+    }
+    fn wake(&mut self, ctx: &mut Ctx<'_>) {
+        let cause = match ctx.cause() {
+            Wake::Start => 0,
+            Wake::Timer(tag) => 1_000 + tag,
+            Wake::Signal(sid) => 1_000_000 + sid.index() as u64,
+        };
+        let vals = self.watched.iter().map(|w| ctx.read(*w)).collect();
+        self.log.push((ctx.time().ticks(), ctx.delta(), cause, vals));
+        self.counter += 1;
+        if let Some(out) = self.out {
+            ctx.write(out, self.counter);
+        }
+        if matches!(ctx.cause(), Wake::Start | Wake::Timer(_)) {
+            if let Some(p) = self.timer_period {
+                ctx.schedule_in(p, 1);
+            }
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// One randomized component description.
+#[derive(Debug, Clone)]
+struct CompCfg {
+    /// Clock index to subscribe to, and the edge filter.
+    clock: usize,
+    edge: usize, // 0 = Rising, 1 = Falling, 2 = Any
+    /// Also subscribe to the previous component's output wire.
+    chain: bool,
+    /// Drive an output wire.
+    drives: bool,
+    /// Timer period (0 = none); odd values land between clock edges,
+    /// even values exactly on toggle ticks — the interleaving the
+    /// deferred-toggle semantics must survive.
+    timer: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Topology {
+    clock_periods: Vec<u64>,
+    comps: Vec<CompCfg>,
+    trace_clock0: bool,
+    ticks: u64,
+    /// Event budget per run slice (0 = single unbounded run). Small
+    /// budgets force the run to break off mid-delta and resume, which
+    /// exercises the quiet-toggle parking and wake-requeue paths.
+    budget: u64,
+}
+
+fn topology_strategy() -> impl Strategy<Value = Topology> {
+    let comp = (0usize..2, 0usize..3, any::<bool>(), any::<bool>(), 0u64..7).prop_map(
+        |(clock, edge, chain, drives, timer)| CompCfg {
+            clock,
+            edge,
+            chain,
+            drives,
+            timer,
+        },
+    );
+    (
+        prop::collection::vec(prop_oneof![Just(2u64), Just(4), Just(6), Just(10)], 1..3),
+        prop::collection::vec(comp, 1..6),
+        any::<bool>(),
+        20u64..300,
+        prop_oneof![Just(0u64), 1u64..40],
+    )
+        .prop_map(|(clock_periods, comps, trace_clock0, ticks, budget)| Topology {
+            clock_periods,
+            comps,
+            trace_clock0,
+            ticks,
+            budget,
+        })
+}
+
+/// One logged wake: `(time, delta, cause code, watched values)`.
+type WakeRecord = (u64, u32, u64, Vec<u64>);
+
+/// Everything a run observably produced.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    logs: Vec<Vec<WakeRecord>>,
+    stats: KernelStats,
+    writes_total: u64,
+    end_time: u64,
+    finals: Vec<u64>,
+    vcd: String,
+}
+
+fn run_topology(top: &Topology, specialize: bool, queue: QueueKind) -> Observed {
+    let mut sim = Simulator::new();
+    sim.set_clock_specialization(specialize);
+    sim.set_queue_kind(queue);
+    let clocks: Vec<Wire> = top
+        .clock_periods
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| sim.add_clock(format!("clk{i}"), p))
+        .collect();
+    if top.trace_clock0 {
+        sim.trace(clocks[0]);
+    }
+    let mut prev_out: Option<Wire> = None;
+    let mut ids = Vec::new();
+    let mut wires = clocks.clone();
+    for (i, c) in top.comps.iter().enumerate() {
+        let out = c
+            .drives
+            .then(|| sim.wire(format!("out{i}"), 32));
+        let mut watched = clocks.clone();
+        if let Some(p) = prev_out {
+            watched.push(p);
+        }
+        let id = sim.add_component(Box::new(Probe {
+            watched,
+            out,
+            timer_period: (c.timer > 0).then_some(c.timer),
+            counter: 0,
+            log: Vec::new(),
+        }));
+        let clk = clocks[c.clock % clocks.len()];
+        let edge = [Edge::Rising, Edge::Falling, Edge::Any][c.edge];
+        sim.subscribe(id, clk, edge);
+        if c.chain {
+            if let Some(p) = prev_out {
+                sim.subscribe(id, p, Edge::Any);
+            }
+        }
+        if let Some(o) = out {
+            wires.push(o);
+            prev_out = Some(o);
+        }
+        ids.push(id);
+    }
+
+    if top.budget == 0 {
+        sim.run_for(top.ticks);
+    } else {
+        // Sliced execution: keep resuming past event-budget stops until
+        // the deadline is reached (bounded by a generous iteration cap).
+        let deadline = SimTime::from_ticks(top.ticks);
+        let mut guard = 0;
+        loop {
+            let s = sim.run(RunLimit::until(deadline).with_max_events(top.budget));
+            guard += 1;
+            assert!(guard < 100_000, "budget slices never converged");
+            match s.stop {
+                Some(r) if r.message().contains("event budget") => continue,
+                _ => break,
+            }
+        }
+    }
+
+    Observed {
+        logs: ids
+            .iter()
+            .map(|&id| sim.component::<Probe>(id).unwrap().log.clone())
+            .collect(),
+        stats: sim.stats(),
+        writes_total: sim.signals().writes_total(),
+        end_time: sim.time().ticks(),
+        finals: wires.iter().map(|&w| sim.peek(w)).collect(),
+        vcd: sim.tracer().to_vcd(sim.signals(), sim.time()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Specialized and reference clocked paths are bit-identical on
+    /// randomized topologies, including sliced budget-interrupted runs.
+    #[test]
+    fn specialization_is_bit_identical(top in topology_strategy()) {
+        let fast = run_topology(&top, true, QueueKind::Heap);
+        let reference = run_topology(&top, false, QueueKind::Heap);
+        prop_assert_eq!(&fast, &reference);
+    }
+
+    /// The heap and wheel run loops execute the same simulation.
+    #[test]
+    fn queue_kinds_are_bit_identical(top in topology_strategy()) {
+        let heap = run_topology(&top, true, QueueKind::Heap);
+        let wheel = run_topology(&top, true, QueueKind::Wheel);
+        prop_assert_eq!(&heap, &wheel);
+    }
+
+    /// Event-budget slicing is replay-exact: resuming past budget stops
+    /// reproduces exactly the simulation one unbounded run performs —
+    /// same wake sequences, signal values, traces and counters. (Only
+    /// `time_steps` may differ: a resumed run re-visits the time point
+    /// it was interrupted at.)
+    #[test]
+    fn budget_slicing_is_replay_exact(
+        top in topology_strategy().prop_filter("sliced", |t| t.budget > 0)
+    ) {
+        let sliced = run_topology(&top, true, QueueKind::Heap);
+        let whole = run_topology(&Topology { budget: 0, ..top.clone() }, true, QueueKind::Heap);
+        prop_assert_eq!(&sliced.logs, &whole.logs);
+        prop_assert_eq!(&sliced.finals, &whole.finals);
+        prop_assert_eq!(&sliced.vcd, &whole.vcd);
+        prop_assert_eq!(sliced.end_time, whole.end_time);
+        prop_assert_eq!(sliced.writes_total, whole.writes_total);
+        prop_assert_eq!(sliced.stats.events, whole.stats.events);
+        prop_assert_eq!(sliced.stats.wakes, whole.stats.wakes);
+        prop_assert_eq!(sliced.stats.deltas, whole.stats.deltas);
+    }
+}
+
+/// Counts rising edges of a wire (shared by the directed tests below).
+struct EdgeCounter {
+    clk: Wire,
+    edges: u64,
+}
+impl Component for EdgeCounter {
+    fn name(&self) -> &str {
+        "edge_counter"
+    }
+    fn wake(&mut self, ctx: &mut Ctx<'_>) {
+        if ctx.is_signal(self.clk) {
+            self.edges += 1;
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn rising_only_sim(specialize: bool) -> (Simulator, dmi_kernel::ComponentId) {
+    let mut sim = Simulator::new();
+    sim.set_clock_specialization(specialize);
+    let clk = sim.add_clock("clk", 10);
+    let id = sim.add_component(Box::new(EdgeCounter { clk, edges: 0 }));
+    sim.subscribe(id, clk, Edge::Rising);
+    (sim, id)
+}
+
+/// With only Rising subscribers, every falling toggle takes the quiet
+/// fast path — and the observable simulation is unchanged.
+#[test]
+fn falling_edges_take_the_quiet_path() {
+    let (mut sim, id) = rising_only_sim(true);
+    sim.run_for(100);
+    assert_eq!(sim.component::<EdgeCounter>(id).unwrap().edges, 10);
+    // Rising edges at 10, 20, ..., falling at 15, 25, ...: 9 falling
+    // toggles inside 100 ticks, all quiet.
+    assert_eq!(sim.quiet_toggles(), 9);
+
+    let (mut reference, rid) = rising_only_sim(false);
+    reference.run_for(100);
+    assert_eq!(reference.quiet_toggles(), 0);
+    assert_eq!(
+        reference.component::<EdgeCounter>(rid).unwrap().edges,
+        10
+    );
+    assert_eq!(reference.stats(), sim.stats(), "KernelStats must match");
+    assert_eq!(
+        reference.signals().writes_total(),
+        sim.signals().writes_total()
+    );
+}
+
+/// A traced clock never takes the quiet path (the tracer must see every
+/// transition).
+#[test]
+fn traced_clock_stays_on_the_slow_path() {
+    let mut sim = Simulator::new();
+    sim.set_clock_specialization(true);
+    let clk = sim.add_clock("clk", 10);
+    let id = sim.add_component(Box::new(EdgeCounter { clk, edges: 0 }));
+    sim.subscribe(id, clk, Edge::Rising);
+    sim.trace(clk);
+    sim.run_for(100);
+    assert_eq!(sim.quiet_toggles(), 0, "traced clocks are never quiet");
+    assert_eq!(sim.tracer().records().len(), 19, "all 19 edges recorded");
+    let _ = sim.component::<EdgeCounter>(id);
+}
+
+/// Queue auto-selection: small systems pin the heap, systems at or above
+/// the component threshold pin the wheel, and the `wheel-queue` feature
+/// forces the wheel everywhere.
+#[test]
+fn queue_auto_selection_follows_the_size_hint() {
+    let (mut small, _) = rising_only_sim(true);
+    small.run_for(10);
+    if cfg!(feature = "wheel-queue") {
+        assert_eq!(small.queue_kind(), QueueKind::Wheel, "feature forces the wheel");
+    } else {
+        assert_eq!(small.queue_kind(), QueueKind::Heap);
+    }
+
+    let mut big = Simulator::new();
+    let clk = big.add_clock("clk", 10);
+    for _ in 0..QUEUE_AUTO_WHEEL_COMPONENTS {
+        let id = big.add_component(Box::new(EdgeCounter { clk, edges: 0 }));
+        big.subscribe(id, clk, Edge::Rising);
+    }
+    big.run_for(10);
+    assert_eq!(big.queue_kind(), QueueKind::Wheel);
+}
+
+/// Switching the queue implementation mid-run migrates pending events
+/// without disturbing the simulation.
+#[test]
+fn mid_run_queue_migration_is_seamless() {
+    let run_with_switch = |switch_at: Option<u64>| {
+        let (mut sim, id) = rising_only_sim(true);
+        sim.set_queue_kind(QueueKind::Heap);
+        if let Some(at) = switch_at {
+            sim.run_for(at);
+            sim.set_queue_kind(QueueKind::Wheel);
+            assert_eq!(sim.queue_kind(), QueueKind::Wheel);
+            sim.run_for(200 - at);
+        } else {
+            sim.run_for(200);
+        }
+        (
+            sim.component::<EdgeCounter>(id).unwrap().edges,
+            sim.stats(),
+            sim.time().ticks(),
+        )
+    };
+    let straight = run_with_switch(None);
+    for at in [1, 55, 100, 199] {
+        assert_eq!(run_with_switch(Some(at)), straight, "switch at {at}");
+    }
+}

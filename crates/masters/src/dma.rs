@@ -7,9 +7,26 @@
 //! deterministic pattern. The engine runs `passes` passes over the block
 //! and can insert idle cycles between transfers to model a throttled or
 //! bursty requester.
+//!
+//! ## Burst mode
+//!
+//! A fill engine programmed with a [`BurstSpec`] stops scattering scalar
+//! stores and instead drives a protocol memory's MMIO register block —
+//! the same command protocol the ISS-side driver speaks: it allocates
+//! its own block (`ALLOC`), then streams each pass as `WriteBurst`
+//! commands followed by chunked `DATA` beats, exercising the slave-side
+//! banked I/O arrays (`DsmBackend::burst_write_beat` and friends) that
+//! scalar masters never touch. With [`BurstSpec::verify`] the engine
+//! reads the block back over the `ReadBurst` path after the final pass
+//! and counts pattern mismatches. In burst mode [`DmaConfig::dst`] is
+//! the byte address of the target module's register block (any
+//! `BLOCK_SIZE`-aligned address inside its decode window — typically the
+//! window base); the target model must support `ALLOC` (the wrapper and
+//! the SimHeap do; direct static tables have no protocol at all).
 
 use std::any::Any;
 
+use dmi_core::{regs, ElemType, Opcode, Status};
 use dmi_interconnect::{BusMaster, MasterProbe, MasterStats, MasterWiring};
 use dmi_kernel::{Component, Ctx, Wake};
 
@@ -29,16 +46,42 @@ pub enum DmaKind {
     },
 }
 
+/// Burst programming of a [`DmaEngine`]: instead of scalar stores, the
+/// engine drives a protocol memory's register block — `ALLOC` its own
+/// block, then `WriteBurst` + streamed `DATA` beats per chunk — so the
+/// slave-side banked I/O arrays carry the payload (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstSpec {
+    /// Beats per `WriteBurst`/`ReadBurst` command (chunk length in
+    /// words; the final chunk of a pass may be shorter). Minimum 1.
+    pub beats: u32,
+    /// Read the block back over the `ReadBurst` path after the final
+    /// pass and count pattern mismatches
+    /// ([`DmaStats::verify_mismatches`]).
+    pub verify: bool,
+}
+
+impl Default for BurstSpec {
+    fn default() -> Self {
+        BurstSpec {
+            beats: 16,
+            verify: false,
+        }
+    }
+}
+
 /// Programming of a [`DmaEngine`].
 #[derive(Debug, Clone, Copy)]
 pub struct DmaConfig {
     /// Transfer kind (copy or pattern fill).
     pub kind: DmaKind,
-    /// Destination byte address of word 0.
+    /// Destination byte address of word 0 — or, in burst mode, of the
+    /// target module's register block (see [`BurstSpec`]).
     pub dst: u32,
     /// Words per pass.
     pub words: u32,
-    /// Byte stride between consecutive words (normally 4).
+    /// Byte stride between consecutive words (normally 4). Scalar mode
+    /// only; the protocol packs burst elements densely.
     pub stride: u32,
     /// Passes over the block before raising `done`.
     pub passes: u32,
@@ -46,6 +89,10 @@ pub struct DmaConfig {
     /// still leaves the mandatory one low-`req` cycle between
     /// transactions).
     pub gap_cycles: u32,
+    /// Burst mode: drive the protocol register block instead of scalar
+    /// stores. Only meaningful for [`DmaKind::Fill`] engines (a copy has
+    /// no protocol-level source pointer); ignored for copies.
+    pub burst: Option<BurstSpec>,
 }
 
 impl Default for DmaConfig {
@@ -57,6 +104,7 @@ impl Default for DmaConfig {
             stride: 4,
             passes: 1,
             gap_cycles: 0,
+            burst: None,
         }
     }
 }
@@ -77,10 +125,16 @@ pub struct DmaStats {
     pub active_cycles: u64,
     /// Edges spent with `req` high and no `ack`.
     pub bus_wait_cycles: u64,
-    /// Completed bus transactions (a copy costs two per word).
+    /// Completed bus transactions (a copy costs two per word; burst mode
+    /// counts every MMIO transaction, setup registers included).
     pub transactions: u64,
-    /// Words fully transferred.
+    /// Words fully transferred (scalar words or burst fill beats).
     pub words_done: u64,
+    /// Burst verify beats that did not match the expected pattern.
+    pub verify_mismatches: u64,
+    /// Protocol commands the slave answered with a non-OK status (burst
+    /// mode; the engine aborts to `done` on the first one).
+    pub protocol_errors: u64,
     /// Whether the engine has raised `done`.
     pub done: bool,
 }
@@ -137,6 +191,68 @@ enum Phase {
     Finished,
 }
 
+/// Where the burst-mode micro-sequencer is in the protocol dialogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BurstStep {
+    /// `ARG0 := words`, `ARG1 := U32`, `CMD := ALLOC`, then read back
+    /// `STATUS` and `RESULT` (the vptr).
+    AllocArg0,
+    AllocArg1,
+    AllocCmd,
+    AllocStatus,
+    AllocResult,
+    /// Per-chunk setup: `ARG0 := vptr + chunk·4`, `ARG1 := U32`,
+    /// `ARG2 := chunk length`, `CMD := WriteBurst`/`ReadBurst`, then a
+    /// `STATUS` read-back (a rejected burst command must not be fed
+    /// `DATA` beats).
+    ChunkArg0,
+    ChunkArg1,
+    ChunkArg2,
+    ChunkCmd,
+    ChunkStatus,
+    /// One `DATA` beat of the active chunk.
+    ChunkData,
+}
+
+/// Live state of a burst-mode engine.
+#[derive(Debug, Clone, Copy)]
+struct BurstSeq {
+    spec: BurstSpec,
+    step: BurstStep,
+    /// Protocol pointer of the engine's own allocation.
+    vptr: u32,
+    /// Current pass (write passes, then one optional verify pass).
+    pass: u32,
+    /// Word index of the current chunk's first beat.
+    chunk: u32,
+    /// Beat index within the current chunk.
+    beat: u32,
+    /// Whether the read-back verify pass is running.
+    verifying: bool,
+}
+
+impl BurstSeq {
+    fn new(spec: BurstSpec) -> Self {
+        BurstSeq {
+            spec: BurstSpec {
+                beats: spec.beats.max(1),
+                ..spec
+            },
+            step: BurstStep::AllocArg0,
+            vptr: 0,
+            pass: 0,
+            chunk: 0,
+            beat: 0,
+            verifying: false,
+        }
+    }
+
+    /// Length in words of the chunk starting at `self.chunk`.
+    fn chunk_len(&self, words: u32) -> u32 {
+        self.spec.beats.min(words - self.chunk)
+    }
+}
+
 /// The kernel component executing a [`DmaConfig`]. Built via
 /// [`DmaEngine`]'s [`BusMaster`] impl; subscribe it to the clock's rising
 /// edge.
@@ -154,6 +270,8 @@ pub struct DmaComponent {
     writeback: bool,
     /// Data captured by the read half of a copy.
     captured: u32,
+    /// Burst-mode sequencer (fill engines with a [`BurstSpec`] only).
+    burst: Option<BurstSeq>,
     stats: DmaStats,
 }
 
@@ -161,6 +279,10 @@ impl DmaComponent {
     /// Creates the component (normally done by the builder through
     /// [`BusMaster::into_component`]).
     pub fn new(name: impl Into<String>, config: DmaConfig, wiring: MasterWiring) -> Self {
+        let burst = match (config.burst, config.kind) {
+            (Some(spec), DmaKind::Fill { .. }) => Some(BurstSeq::new(spec)),
+            _ => None,
+        };
         DmaComponent {
             name: name.into(),
             config,
@@ -170,6 +292,7 @@ impl DmaComponent {
             word: 0,
             writeback: false,
             captured: 0,
+            burst,
             stats: DmaStats::default(),
         }
     }
@@ -190,6 +313,9 @@ impl DmaComponent {
 
     /// The bus operation of the current transfer: `(addr, we, wdata)`.
     fn current_op(&self) -> (u32, bool, u32) {
+        if let Some(b) = &self.burst {
+            return self.burst_op(b);
+        }
         let off = self.offset();
         match self.config.kind {
             DmaKind::Copy { src } if !self.writeback => (src.wrapping_add(off), false, 0),
@@ -200,6 +326,146 @@ impl DmaComponent {
                 DmaConfig::fill_word(seed, self.config.words, self.pass, self.word),
             ),
         }
+    }
+
+    /// The pattern seed (burst mode is fill-only by construction).
+    fn fill_seed(&self) -> u32 {
+        match self.config.kind {
+            DmaKind::Fill { seed } => seed,
+            DmaKind::Copy { .. } => 0,
+        }
+    }
+
+    /// The MMIO transaction a burst-mode engine issues next:
+    /// `(addr, we, wdata)` against the register block at `config.dst`.
+    fn burst_op(&self, b: &BurstSeq) -> (u32, bool, u32) {
+        let base = self.config.dst;
+        match b.step {
+            BurstStep::AllocArg0 => (base + regs::ARG0, true, self.config.words),
+            BurstStep::AllocArg1 => (base + regs::ARG1, true, ElemType::U32 as u32),
+            BurstStep::AllocCmd => (base + regs::CMD, true, Opcode::Alloc as u32),
+            BurstStep::AllocStatus => (base + regs::STATUS, false, 0),
+            BurstStep::AllocResult => (base + regs::RESULT, false, 0),
+            BurstStep::ChunkArg0 => (base + regs::ARG0, true, b.vptr.wrapping_add(b.chunk * 4)),
+            BurstStep::ChunkArg1 => (base + regs::ARG1, true, ElemType::U32 as u32),
+            BurstStep::ChunkArg2 => (base + regs::ARG2, true, b.chunk_len(self.config.words)),
+            BurstStep::ChunkCmd => {
+                let op = if b.verifying {
+                    Opcode::ReadBurst
+                } else {
+                    Opcode::WriteBurst
+                };
+                (base + regs::CMD, true, op as u32)
+            }
+            BurstStep::ChunkStatus => (base + regs::STATUS, false, 0),
+            BurstStep::ChunkData => {
+                if b.verifying {
+                    (base + regs::DATA, false, 0)
+                } else {
+                    let word = b.chunk + b.beat;
+                    (
+                        base + regs::DATA,
+                        true,
+                        DmaConfig::fill_word(self.fill_seed(), self.config.words, b.pass, word),
+                    )
+                }
+            }
+        }
+    }
+
+    /// Advances the burst sequencer after an acknowledged MMIO
+    /// transaction (`self.captured` holds the read data).
+    fn advance_burst(&mut self, ctx: &mut Ctx<'_>) {
+        self.stats.transactions += 1;
+        let words = self.config.words;
+        let mut b = self.burst.expect("advance_burst only in burst mode");
+        let captured = self.captured;
+        match b.step {
+            BurstStep::AllocArg0 => b.step = BurstStep::AllocArg1,
+            BurstStep::AllocArg1 => b.step = BurstStep::AllocCmd,
+            BurstStep::AllocCmd => b.step = BurstStep::AllocStatus,
+            BurstStep::AllocStatus => {
+                if captured == Status::Ok as u32 {
+                    b.step = BurstStep::AllocResult;
+                } else {
+                    // The model rejected the allocation (out of memory,
+                    // no ALLOC support, …): record and retire.
+                    self.stats.protocol_errors += 1;
+                    self.burst = Some(b);
+                    self.finish(ctx);
+                    return;
+                }
+            }
+            BurstStep::AllocResult => {
+                b.vptr = captured;
+                b.step = BurstStep::ChunkArg0;
+            }
+            BurstStep::ChunkArg0 => b.step = BurstStep::ChunkArg1,
+            BurstStep::ChunkArg1 => b.step = BurstStep::ChunkArg2,
+            BurstStep::ChunkArg2 => b.step = BurstStep::ChunkCmd,
+            BurstStep::ChunkCmd => b.step = BurstStep::ChunkStatus,
+            BurstStep::ChunkStatus => {
+                if captured == Status::Ok as u32 {
+                    b.beat = 0;
+                    b.step = BurstStep::ChunkData;
+                } else {
+                    // The burst command was rejected (locked, bad
+                    // pointer, …): never stream DATA beats against a
+                    // failed command — record and retire.
+                    self.stats.protocol_errors += 1;
+                    self.burst = Some(b);
+                    self.finish(ctx);
+                    return;
+                }
+            }
+            BurstStep::ChunkData => {
+                if b.verifying {
+                    let expect = DmaConfig::fill_word(
+                        self.fill_seed(),
+                        words,
+                        self.config.passes - 1,
+                        b.chunk + b.beat,
+                    );
+                    if captured != expect {
+                        self.stats.verify_mismatches += 1;
+                    }
+                } else {
+                    self.stats.words_done += 1;
+                }
+                b.beat += 1;
+                if b.beat < b.chunk_len(words) {
+                    // Next beat of the same chunk.
+                } else {
+                    b.chunk += b.chunk_len(words);
+                    b.beat = 0;
+                    if b.chunk >= words {
+                        b.chunk = 0;
+                        if b.verifying {
+                            self.burst = Some(b);
+                            self.finish(ctx);
+                            return;
+                        }
+                        b.pass += 1;
+                        if b.pass >= self.config.passes {
+                            if b.spec.verify {
+                                b.verifying = true;
+                                b.step = BurstStep::ChunkArg0;
+                            } else {
+                                self.burst = Some(b);
+                                self.finish(ctx);
+                                return;
+                            }
+                        } else {
+                            b.step = BurstStep::ChunkArg0;
+                        }
+                    } else {
+                        b.step = BurstStep::ChunkArg0;
+                    }
+                }
+            }
+        }
+        self.burst = Some(b);
+        self.phase = Phase::Gap(self.config.gap_cycles);
     }
 
     fn issue(&mut self, ctx: &mut Ctx<'_>) {
@@ -284,7 +550,11 @@ impl Component for DmaComponent {
                         if ctx.read_bit(p.ack) {
                             self.captured = ctx.read(p.rdata) as u32;
                             ctx.write_bit(p.req, false);
-                            self.advance(ctx);
+                            if self.burst.is_some() {
+                                self.advance_burst(ctx);
+                            } else {
+                                self.advance(ctx);
+                            }
                         } else {
                             self.stats.bus_wait_cycles += 1;
                         }
@@ -505,6 +775,170 @@ mod tests {
                 "copied word {i}"
             );
         }
+    }
+
+    /// Wires one DMA engine and one *protocol* memory (register-block
+    /// MMIO over the given backend) on a shared bus.
+    fn build_protocol(
+        config: DmaConfig,
+        backend: Box<dyn dmi_core::DsmBackend>,
+    ) -> (Simulator, dmi_kernel::ComponentId, dmi_kernel::ComponentId) {
+        use dmi_core::{MemoryModule, SlavePorts};
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", 2);
+
+        let ports = MasterIf::declare(&mut sim, "dma0.bus");
+        let done = sim.wire("dma0.done", 1);
+        let spec: Box<dyn BusMaster> = Box::new(DmaEngine::new(config));
+        let comp = spec.into_component("dma0".into(), MasterWiring { clk, ports, done });
+        let dma_id = sim.add_component(comp);
+        sim.subscribe(dma_id, clk, Edge::Rising);
+
+        let sports = SlavePorts::declare(&mut sim, "mem0.s");
+        let mem_id = sim.add_component(Box::new(MemoryModule::new(
+            "mem0",
+            clk,
+            sports,
+            0x8000_0000,
+            backend,
+        )));
+        sim.subscribe(mem_id, clk, Edge::Rising);
+
+        let mut map = AddressMap::new();
+        map.add(0x8000_0000, 0x1_0000, 0);
+        let bus = SharedBus::new(
+            "bus",
+            clk,
+            vec![ports],
+            vec![SlaveIf {
+                req: sports.req,
+                we: sports.we,
+                size: sports.size,
+                addr: sports.addr,
+                wdata: sports.wdata,
+                master: sports.master,
+                ack: sports.ack,
+                rdata: sports.rdata,
+            }],
+            map,
+            BusConfig::default(),
+        );
+        let bus_id = sim.add_component(Box::new(bus));
+        sim.subscribe(bus_id, clk, Edge::Rising);
+        (sim, dma_id, mem_id)
+    }
+
+    #[test]
+    fn burst_fill_streams_the_protocol() {
+        use dmi_core::{WrapperBackend, WrapperConfig};
+        let cfg = DmaConfig {
+            kind: DmaKind::Fill { seed: 0x40 },
+            dst: 0x8000_0000,
+            words: 16,
+            passes: 2,
+            burst: Some(BurstSpec {
+                beats: 5, // uneven chunking: 5 + 5 + 5 + 1
+                verify: true,
+            }),
+            ..DmaConfig::default()
+        };
+        let (mut sim, dma_id, mem_id) = build_protocol(
+            cfg,
+            Box::new(WrapperBackend::new(WrapperConfig::default())),
+        );
+        sim.run_for(100_000);
+        let dma: &DmaComponent = sim.component(dma_id).unwrap();
+        let s = dma.stats();
+        assert!(s.done, "burst engine incomplete: {s:?}");
+        assert_eq!(s.protocol_errors, 0);
+        assert_eq!(s.verify_mismatches, 0, "read-back pattern matches");
+        assert_eq!(s.words_done, 32, "16 words x 2 write passes");
+        // 5 alloc transactions + per pass (2 write + 1 verify):
+        // 4 chunks x 5 setup (args, cmd, status check) + 16 DATA beats
+        // = 36 transactions.
+        assert_eq!(s.transactions, 5 + 3 * 36);
+        // The payload went through the slave-side banked I/O arrays:
+        // 32 write beats + 16 verify read beats.
+        let mem: &dmi_core::MemoryModule = sim.component(mem_id).unwrap();
+        assert_eq!(mem.backend().stats().burst_beats, 48);
+        assert_eq!(mem.backend().stats().allocs, 1);
+    }
+
+    #[test]
+    fn burst_fill_lands_in_the_simheap_arena() {
+        use dmi_core::{SimHeapBackend, SimHeapConfig};
+        let cfg = DmaConfig {
+            kind: DmaKind::Fill { seed: 0x900 },
+            dst: 0x8000_0000,
+            words: 8,
+            passes: 3,
+            burst: Some(BurstSpec {
+                beats: 4,
+                verify: true,
+            }),
+            ..DmaConfig::default()
+        };
+        let (mut sim, dma_id, mem_id) =
+            build_protocol(cfg, Box::new(SimHeapBackend::new(SimHeapConfig::default())));
+        sim.run_for(100_000);
+        let dma: &DmaComponent = sim.component(dma_id).unwrap();
+        assert!(dma.is_done());
+        assert_eq!(dma.stats().verify_mismatches, 0);
+        assert_eq!(dma.stats().protocol_errors, 0);
+        // The simheap's first allocation puts the payload at arena
+        // offset 4 (after the boundary tag); the final pass's pattern is
+        // what remains.
+        let mem: &dmi_core::MemoryModule = sim.component(mem_id).unwrap();
+        let heap = mem
+            .backend()
+            .as_any()
+            .downcast_ref::<SimHeapBackend>()
+            .unwrap();
+        for i in 0..8u32 {
+            assert_eq!(
+                heap.peek_word(4 + i * 4),
+                Some(DmaConfig::fill_word(0x900, 8, 2, i)),
+                "word {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn burst_against_allocless_model_reports_protocol_error() {
+        use dmi_core::{StaticMemConfig, StaticTableBackend};
+        let cfg = DmaConfig {
+            kind: DmaKind::Fill { seed: 1 },
+            dst: 0x8000_0000,
+            words: 8,
+            burst: Some(BurstSpec::default()),
+            ..DmaConfig::default()
+        };
+        let (mut sim, dma_id, _) = build_protocol(
+            cfg,
+            Box::new(StaticTableBackend::new(StaticMemConfig::default())),
+        );
+        sim.run_for(10_000);
+        let dma: &DmaComponent = sim.component(dma_id).unwrap();
+        let s = dma.stats();
+        assert!(s.done, "engine retires instead of hanging");
+        assert_eq!(s.protocol_errors, 1, "ALLOC is unsupported: {s:?}");
+        assert_eq!(s.words_done, 0);
+    }
+
+    #[test]
+    fn burst_spec_is_ignored_for_copies() {
+        let cfg = DmaConfig {
+            kind: DmaKind::Copy { src: 0x8000_0000 },
+            dst: 0x8000_0100,
+            words: 4,
+            burst: Some(BurstSpec::default()),
+            ..DmaConfig::default()
+        };
+        let (mut sim, dma_id, _) = build(cfg);
+        sim.run_for(10_000);
+        let dma: &DmaComponent = sim.component(dma_id).unwrap();
+        assert!(dma.is_done());
+        assert_eq!(dma.stats().transactions, 8, "scalar copy: read + write per word");
     }
 
     #[test]

@@ -10,11 +10,14 @@
 //! engine speaking the standard master handshake, word transfers with a
 //! configurable stride, pass count and inter-transfer gap. It stresses
 //! arbitration and memory models without any instruction stream — a
-//! system of only DMA engines is a pure interconnect benchmark.
+//! system of only DMA engines is a pure interconnect benchmark. With a
+//! [`BurstSpec`] a fill engine instead drives a protocol memory's
+//! register block (`ALLOC`, `WriteBurst`/`ReadBurst`, streamed `DATA`
+//! beats), pushing its payload through the slave-side banked I/O arrays.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod dma;
 
-pub use dma::{DmaComponent, DmaConfig, DmaEngine, DmaKind, DmaStats};
+pub use dma::{BurstSpec, DmaComponent, DmaConfig, DmaEngine, DmaKind, DmaStats};

@@ -283,9 +283,9 @@ impl McSystem {
     ///
     /// `location` is model-specific: a byte offset into the table for
     /// static memories, a virtual pointer (Vptr) resolved through the
-    /// pointer table for wrapper memories. Returns `None` for locations
-    /// that resolve nowhere and for models without an inspection path
-    /// (SimHeap).
+    /// pointer table for wrapper memories, an arena byte offset (which is
+    /// what that model's vptrs are) for SimHeap memories. Returns `None`
+    /// for locations that resolve nowhere.
     pub fn watch_value(&self, mem: MemHandle, location: u32) -> Option<u32> {
         let j = mem.0;
         let id = *self.mem_ids.get(j)?;
@@ -295,6 +295,16 @@ impl McSystem {
                 let off = location as usize;
                 let bytes = m.bytes().get(off..off + 4)?;
                 Some(u32::from_le_bytes(bytes.try_into().ok()?))
+            }
+            "simheap" => {
+                let m: &MemoryModule = self.sim.component(id)?;
+                let h = m
+                    .backend()
+                    .as_any()
+                    .downcast_ref::<dmi_core::SimHeapBackend>()?;
+                // `peek_word` is the observational arena read: no cycles
+                // charged, no counters moved.
+                h.peek_word(location)
             }
             "wrapper" => {
                 let m: &MemoryModule = self.sim.component(id)?;

@@ -306,6 +306,7 @@ pub struct SystemBuilder {
     mems: Vec<MemSpec>,
     interconnect: InterconnectKind,
     preset: Option<Preset>,
+    queue: Option<dmi_kernel::QueueKind>,
 }
 
 impl Default for SystemBuilder {
@@ -324,7 +325,18 @@ impl SystemBuilder {
             mems: Vec::new(),
             interconnect: InterconnectKind::SharedBus(Default::default()),
             preset: None,
+            queue: None,
         }
+    }
+
+    /// Pins the kernel's event-queue implementation instead of letting
+    /// the simulator auto-select it from the system-size hint when the
+    /// first run starts (see [`dmi_kernel::QueueKind`] for the selection
+    /// rationale; both choices are simulation-bit-identical, the knob is
+    /// purely a host-performance override).
+    pub fn queue(mut self, kind: dmi_kernel::QueueKind) -> Self {
+        self.queue = Some(kind);
+        self
     }
 
     /// Sets the clock period in kernel ticks (validated at build: must be
@@ -446,6 +458,9 @@ impl SystemBuilder {
         };
 
         let mut sim = Simulator::new();
+        if let Some(kind) = self.queue {
+            sim.set_queue_kind(kind);
+        }
         let clk = sim.add_clock("clk", self.clock_period);
 
         // Masters, in insertion order (= bus-master/arbitration order).

@@ -39,6 +39,7 @@ pub use builder::{
     BuildError, CpuHandle, CpuSpec, MasterHandle, MemHandle, MemSpec, Preset, SystemBuilder,
     DEFAULT_LOCAL_MEM,
 };
+pub use dmi_kernel::QueueKind;
 pub use config::{mem_base, InterconnectKind, MemModelKind, SystemConfig, MEM_WINDOW};
 pub use report::{CpuReport, MasterReport, MemReport, RunReport};
 pub use run_ctl::{StopCause, StopCondition};

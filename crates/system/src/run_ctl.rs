@@ -43,7 +43,7 @@ pub(crate) struct Watch {
     pub mem: MemHandle,
     /// Model-specific location of the watched word: a byte offset into
     /// the table for static memories, a virtual pointer (Vptr) for
-    /// wrapper memories.
+    /// wrapper memories, an arena byte offset for SimHeap memories.
     pub location: u32,
     /// Value that triggers the stop.
     pub value: u32,
@@ -99,8 +99,8 @@ impl StopCondition {
     /// Stop when the watched word equals `value`.
     ///
     /// `location` is model-specific: a byte offset into the table for
-    /// static memories, a virtual pointer (Vptr) for wrapper memories.
-    /// SimHeap memories expose no cheap inspection path and never match.
+    /// static memories, a virtual pointer (Vptr) for wrapper memories,
+    /// an arena byte offset (= that model's vptrs) for SimHeap memories.
     /// Evaluated every [`poll_every`](Self::poll_every) cycles — the stop
     /// lands on a poll boundary at or after the write, not on its exact
     /// cycle.
