@@ -51,6 +51,7 @@ fn run_burst(n: usize, preset: Preset) -> u64 {
             burst: Some(BurstSpec {
                 beats: 16,
                 verify: true,
+                at: None,
             }),
             ..DmaConfig::default()
         })));

@@ -48,6 +48,45 @@ fn kernel(c: &mut Criterion) {
         });
     }
 
+    // Timer storm: `n` components with no clock at all, each re-arming a
+    // 1-tick timer on every wake — every tick dispatches `n` queued
+    // events at the same (time, delta) key, the densest queued-dispatch
+    // pattern the kernel serves. Kept as the sentinel behind the PR 5
+    // decision to dispatch queued events one per `Ctx` frame: a hoisted
+    // shared frame for same-key runs measured at parity here (queue
+    // churn dominates, not frame construction) while costing the
+    // clocked benches 5-12 % from codegen layout alone.
+    struct TimerStorm {
+        fired: u64,
+    }
+    impl Component for TimerStorm {
+        fn name(&self) -> &str {
+            "storm"
+        }
+        fn wake(&mut self, ctx: &mut Ctx<'_>) {
+            self.fired += 1;
+            ctx.schedule_in(1, 0);
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+    for n in [64usize, 256] {
+        c.bench_function(&format!("kernel_1k_ticks_timer_storm_{n}"), |b| {
+            b.iter(|| {
+                let mut sim = Simulator::new();
+                for _ in 0..n {
+                    sim.add_component(Box::new(TimerStorm { fired: 0 }));
+                }
+                sim.run_for(1000);
+                sim.stats().events
+            });
+        });
+    }
+
     // Raw event-queue churn: a standing population of `n` pending timers,
     // each pop rescheduling a few ticks ahead — the classic discrete-event
     // "hold" pattern the time wheel exists for. Benchmarked on both queue

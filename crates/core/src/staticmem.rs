@@ -236,6 +236,16 @@ impl StaticTableBackend {
         }
     }
 
+    /// Observational word read at a byte offset into the table: no
+    /// cycles charged, no counters moved. `None` out of bounds — the
+    /// debug peek behind watchpoints on static-protocol memories, like
+    /// `SimHeapBackend::peek_word` for the simheap arena.
+    pub fn peek_word(&self, offset: u32) -> Option<u32> {
+        let off = offset as usize;
+        let bytes = self.mem.get(off..off.checked_add(4)?)?;
+        Some(u32::from_le_bytes(bytes.try_into().ok()?))
+    }
+
     fn elem_from(&self, code: u32) -> Option<ElemType> {
         if code == WIDTH_FROM_TABLE {
             // No allocation metadata to consult; default to words.

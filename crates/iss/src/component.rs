@@ -58,6 +58,23 @@ impl BusMasterPorts {
     }
 }
 
+impl From<BusMasterPorts> for dmi_interconnect::MasterIf {
+    /// The interconnect-side view of these ports: the same seven wires
+    /// under the bus's field names (single source for the mapping, so
+    /// adding a handshake signal cannot desynchronise wiring sites).
+    fn from(p: BusMasterPorts) -> Self {
+        dmi_interconnect::MasterIf {
+            req: p.req,
+            we: p.we,
+            size: p.size,
+            addr: p.addr,
+            wdata: p.wdata,
+            ack: p.ack,
+            rdata: p.rdata,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct PendingAccess {
     addr: u32,

@@ -20,9 +20,11 @@
 //! feature survives as a forced override pinning the wheel):
 //!
 //! * [`EventQueue`] — a plain binary heap. With the handful of pending
-//!   events a small clocked co-simulation keeps (one clock toggle plus
-//!   the current delta cascade), the heap occupies a couple of cache
-//!   lines and is unbeatable. It is also deliberately *simple*: the
+//!   events a small clocked co-simulation keeps (periodic clock toggles
+//!   live in the simulator's *clock calendar*, not here, so the queue
+//!   holds only component timers and the current delta cascade), the
+//!   heap occupies a couple of cache lines and is unbeatable. It is
+//!   also deliberately *simple*: the
 //!   run-loop inlines these few instructions, and measurements showed
 //!   that even one extra never-taken branch with a function call in its
 //!   arm costs several percent of total simulation wall clock — which is
@@ -120,11 +122,30 @@ impl PartialOrd for Event {
 pub trait Queue {
     /// Schedules an event, assigning it the next sequence number.
     fn push(&mut self, time: SimTime, delta: u32, kind: EventKind);
+    /// Consumes the next sequence number *without* inserting an event.
+    ///
+    /// This is how the simulator's clock calendar stays order-compatible
+    /// with the queue: a calendar toggle claims its sequence number at
+    /// exactly the point the queued implementation would have pushed a
+    /// `ClockToggle`, so merging the calendar head against the queue
+    /// head by the full `(time, delta, seq)` key reproduces the queued
+    /// dispatch order bit for bit (and [`scheduled_total`]
+    /// (Self::scheduled_total) counts both kinds of scheduling).
+    fn alloc_seq(&mut self) -> u64;
     /// The key of the earliest pending event, if any.
     fn peek_key(&self) -> Option<(SimTime, u32)>;
+    /// The full `(time, delta, seq)` key of the earliest pending event
+    /// (what the run loop compares the clock calendar's head against).
+    fn peek_full_key(&self) -> Option<(SimTime, u32, u64)>;
     /// Pops the earliest event.
     fn pop(&mut self) -> Option<Event>;
     /// Pops the earliest event only if it fires exactly at `(time, delta)`.
+    ///
+    /// Not on the run loop's hot path anymore (it merges the calendar
+    /// against [`peek_full_key`](Self::peek_full_key) and then calls
+    /// [`pop`](Self::pop)); kept as the safe conditional-pop for tests
+    /// and external drivers. Must keep matching the run loop's
+    /// only-the-global-minimum semantics (see the wheel's cursor note).
     fn pop_at(&mut self, time: SimTime, delta: u32) -> Option<Event>;
     /// Number of pending events.
     fn len(&self) -> usize;
@@ -186,8 +207,20 @@ impl Queue for EventQueue {
     }
 
     #[inline]
+    fn alloc_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    #[inline]
     fn peek_key(&self) -> Option<(SimTime, u32)> {
         self.heap.peek().map(|e| (e.time, e.delta))
+    }
+
+    #[inline]
+    fn peek_full_key(&self) -> Option<(SimTime, u32, u64)> {
+        self.heap.peek().map(|e| e.key())
     }
 
     #[inline]
@@ -432,8 +465,20 @@ impl Queue for WheelQueue {
     }
 
     #[inline]
+    fn alloc_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    #[inline]
     fn peek_key(&self) -> Option<(SimTime, u32)> {
         self.earliest_loc().map(|(key, _)| (key.0, key.1))
+    }
+
+    #[inline]
+    fn peek_full_key(&self) -> Option<(SimTime, u32, u64)> {
+        self.earliest_loc().map(|(key, _)| key)
     }
 
     #[inline]

@@ -20,11 +20,15 @@
 //! `sim.rs`): subscriber wakes produced by a delta's update phase are
 //! carried directly to the next delta in a scratch list instead of
 //! round-tripping through the priority queue, carried wakes of one edge
-//! are dispatched as a batch through a single reusable [`Ctx`] frame,
-//! and a clock toggle whose edge provably has no observer (per-signal
+//! are dispatched through a single reusable [`Ctx`] frame, a clock
+//! toggle whose edge provably has no observer (per-signal
 //! edge-subscriber summaries) skips the commit scan and wake pass
-//! entirely. Dispatch order is provably identical to the unspecialized
-//! reference path, which stays available for differential testing
+//! entirely, and periodic clock toggles live in a per-clock *calendar*
+//! compared against the queue head by virtual sequence numbers, so they
+//! never enter the event queue at all (`DMI_CLOCK_CALENDAR=0` restores
+//! the queued reference path).
+//! Dispatch order is provably identical to the unspecialized reference
+//! paths, which stay available for differential testing
 //! (`DMI_KERNEL_SPECIALIZE=0`, like the ISS's `DMI_PREDECODE=0`). The
 //! event-queue implementation (binary heap vs time wheel) is
 //! auto-selected from a system-size hint at the first run — see
@@ -77,9 +81,9 @@ pub use ctx::{Ctx, StopReason};
 pub use event::{Event, EventKind, EventQueue, Queue, WheelQueue, WHEEL_SLOTS};
 pub use signal::{Change, Edge, SignalBoard, SignalId, Wire};
 pub use sim::{
-    clock_specialization_default, QueueKind, RunLimit, RunSummary, Simulator,
-    QUEUE_AUTO_WHEEL_COMPONENTS,
+    clock_calendar_default, clock_specialization_default, QueueKind, RunLimit, RunSummary,
+    Simulator, QUEUE_AUTO_WHEEL_COMPONENTS,
 };
-pub use stats::KernelStats;
+pub use stats::{FastPathStats, KernelStats};
 pub use time::SimTime;
 pub use trace::{TraceRecord, Tracer};

@@ -6,9 +6,9 @@ use crate::component::{Component, ComponentId, Wake};
 use crate::ctx::{Ctx, StopReason};
 use crate::event::{EventKind, Queue};
 
-use crate::event::{EventQueue, WheelQueue};
+use crate::event::{Event, EventQueue, WheelQueue};
 use crate::signal::{Change, Edge, SignalBoard, Wire};
-use crate::stats::KernelStats;
+use crate::stats::{FastPathStats, KernelStats};
 use crate::time::SimTime;
 use crate::trace::Tracer;
 
@@ -110,6 +110,12 @@ struct ClockDef {
     half_period: u64,
 }
 
+/// One clock's pending toggle in the clock calendar: when it fires and
+/// the *virtual* sequence number it holds in the global scheduling
+/// order. `None` while the toggle is parked in the event queue instead
+/// (calendar disabled).
+type CalendarSlot = Option<(SimTime, u64)>;
+
 /// Which event-queue implementation the run loop executes against.
 ///
 /// Both implementations order by the exact `(time, delta, seq)` key, so a
@@ -118,9 +124,10 @@ struct ClockDef {
 /// a host-performance one:
 ///
 /// * [`Heap`](QueueKind::Heap) — the binary heap. With the single-digit
-///   standing event population a clocked co-simulation keeps (one toggle
-///   per clock plus the current delta cascade — subscriber wakes are
-///   *carried*, not queued), it occupies a couple of cache lines and is
+///   standing event population a clocked co-simulation keeps (periodic
+///   toggles live in the clock calendar and subscriber wakes are
+///   *carried*, so the queue holds only component timers and the current
+///   delta cascade), it occupies a couple of cache lines and is
 ///   unbeatable.
 /// * [`Wheel`](QueueKind::Wheel) — the hierarchical time wheel, which
 ///   turns the heap's `O(log n)` sift traffic into `O(1)` bucket appends.
@@ -178,6 +185,14 @@ impl QueueSlot {
         }
     }
 
+    /// Build-phase sequence-number claim (clock setup with the calendar
+    /// enabled: the toggle takes a number but no queue slot).
+    fn alloc_seq(&mut self) -> u64 {
+        match self {
+            QueueSlot::Heap(q) => q.alloc_seq(),
+            QueueSlot::Wheel(q) => q.alloc_seq(),
+        }
+    }
 }
 
 /// Default for the kernel's clocked-path specialization (the
@@ -190,6 +205,22 @@ impl QueueSlot {
 /// for the ISS dispatch engines.
 pub fn clock_specialization_default() -> bool {
     match std::env::var("DMI_KERNEL_SPECIALIZE") {
+        Ok(v) => !(v == "0" || v.eq_ignore_ascii_case("off")),
+        Err(_) => true,
+    }
+}
+
+/// Default for the clock calendar (periodic toggles held in per-clock
+/// slots compared against the event-queue head instead of round-tripping
+/// through the queue), read from the `DMI_CLOCK_CALENDAR` environment
+/// variable: `0` or `off` selects the queued reference path. On by
+/// default.
+///
+/// Like `DMI_KERNEL_SPECIALIZE` and `DMI_PREDECODE`, the knob exists for
+/// A/B measurement and differential testing — the simulation is
+/// bit-identical either way (`tests/clock_specialization.rs`).
+pub fn clock_calendar_default() -> bool {
+    match std::env::var("DMI_CLOCK_CALENDAR") {
         Ok(v) => !(v == "0" || v.eq_ignore_ascii_case("off")),
         Err(_) => true,
     }
@@ -255,10 +286,22 @@ pub struct Simulator {
     /// is the unspecialized reference implementation kept for
     /// differential testing. See [`clock_specialization_default`].
     specialize: bool,
-    /// Clock toggles that took the quiet fast path (observability for
-    /// tests and tuning; not part of [`KernelStats`], which must be
-    /// identical with specialization on or off).
-    quiet_toggles: u64,
+    /// Whether periodic clock toggles are held in the calendar (the
+    /// default) or round-trip through the event queue (the reference
+    /// path kept for differential testing). See
+    /// [`clock_calendar_default`].
+    calendar_on: bool,
+    /// Per-clock next-toggle slots, parallel to `clocks`. A slot holds
+    /// the toggle's fire time and its *virtual* sequence number —
+    /// claimed from the queue's counter at exactly the point the queued
+    /// path would have pushed the `ClockToggle`, so merging the calendar
+    /// head against the queue head by the full `(time, delta, seq)` key
+    /// reproduces the queued dispatch order bit for bit.
+    calendar: Vec<CalendarSlot>,
+    /// Fast-path counters (observability for tests and tuning; not part
+    /// of [`KernelStats`], which must be identical with the fast paths
+    /// on or off — see [`FastPathStats`]).
+    fast: FastPathStats,
     // Scratch buffers reused across deltas to avoid per-cycle allocation.
     changes: Vec<Change>,
     woken: Vec<bool>,
@@ -304,7 +347,9 @@ impl Simulator {
             tracer: Tracer::new(),
             delta_limit: 10_000,
             specialize: clock_specialization_default(),
-            quiet_toggles: 0,
+            calendar_on: clock_calendar_default(),
+            calendar: Vec::new(),
+            fast: FastPathStats::default(),
             changes: Vec::new(),
             woken: Vec::new(),
             woken_list: Vec::new(),
@@ -346,7 +391,76 @@ impl Simulator {
     /// Number of clock toggles that took the quiet fast path (skipped
     /// commit scan and wake pass) across all runs.
     pub fn quiet_toggles(&self) -> u64 {
-        self.quiet_toggles
+        self.fast.quiet_toggles
+    }
+
+    /// Number of clock toggles dispatched from the calendar (never
+    /// entering the event queue) across all runs.
+    pub fn calendar_toggles(&self) -> u64 {
+        self.fast.calendar_toggles
+    }
+
+    /// Cumulative fast-path counters across all runs (total toggles,
+    /// quiet flips, calendar dispatches). Unlike [`stats`](Self::stats),
+    /// these *describe which path ran* and so legitimately differ
+    /// between the reference and fast configurations.
+    pub fn fast_path_stats(&self) -> FastPathStats {
+        self.fast
+    }
+
+    /// Whether the clock calendar is active.
+    pub fn clock_calendar(&self) -> bool {
+        self.calendar_on
+    }
+
+    /// Enables or disables the clock calendar (A/B and differential
+    /// testing; results are bit-identical either way — defaults from the
+    /// `DMI_CLOCK_CALENDAR` environment variable, see
+    /// [`clock_calendar_default`]).
+    ///
+    /// Pending toggles migrate between the queue and the calendar with
+    /// their original `(time, seq)` keys, so switching between runs —
+    /// even mid-simulation — cannot change the dispatch order.
+    pub fn set_clock_calendar(&mut self, on: bool) {
+        if self.calendar_on == on {
+            return;
+        }
+        self.calendar_on = on;
+        if on {
+            // Queue → calendar: lift every pending `ClockToggle` into
+            // its clock's slot; everything else is re-inserted with its
+            // original sequence number (same recipe as `migrate_queue`).
+            let kind = self.queue.kind();
+            let (events, next_seq) = self.drain_queue();
+            let keep: Vec<Event> = events
+                .into_iter()
+                .filter(|ev| match ev.kind {
+                    EventKind::ClockToggle(k) => {
+                        debug_assert!(self.calendar[k].is_none(), "one toggle per clock");
+                        self.calendar[k] = Some((ev.time, ev.seq));
+                        false
+                    }
+                    _ => true,
+                })
+                .collect();
+            self.rebuild_queue(kind, keep, next_seq);
+        } else {
+            // Calendar → queue: park every slot as an ordinary event.
+            for (k, slot) in self.calendar.iter_mut().enumerate() {
+                if let Some((time, seq)) = slot.take() {
+                    let ev = Event {
+                        time,
+                        delta: 0,
+                        seq,
+                        kind: EventKind::ClockToggle(k),
+                    };
+                    match &mut self.queue {
+                        QueueSlot::Heap(q) => q.push_event(ev),
+                        QueueSlot::Wheel(q) => q.push_event(ev),
+                    }
+                }
+            }
+        }
     }
 
     /// The queue kind the auto-selection hint resolves to right now.
@@ -358,16 +472,21 @@ impl Simulator {
         }
     }
 
-    /// Swaps the live queue implementation for `kind`, re-inserting every
-    /// pending event with its original sequence number.
-    fn migrate_queue(&mut self, kind: QueueKind) {
-        if self.queue.kind() == kind {
-            return;
-        }
-        let (events, next_seq) = match &mut self.queue {
+    /// Moves every pending event out of the live queue, earliest first,
+    /// along with the sequence counter to hand to the successor queue.
+    fn drain_queue(&mut self) -> (Vec<Event>, u64) {
+        match &mut self.queue {
             QueueSlot::Heap(q) => (q.drain_ordered(), q.scheduled_total()),
             QueueSlot::Wheel(q) => (q.drain_ordered(), q.scheduled_total()),
-        };
+        }
+    }
+
+    /// Replaces the live queue with a fresh one of `kind` holding
+    /// `events` (original sequence numbers preserved) and the inherited
+    /// counter — the single migration recipe shared by queue-kind
+    /// switches and calendar enablement, so the cursor-anchoring and
+    /// seq-handover rules cannot diverge between the two.
+    fn rebuild_queue(&mut self, kind: QueueKind, events: Vec<Event>, next_seq: u64) {
         self.queue = match kind {
             QueueKind::Heap => QueueSlot::Heap(EventQueue::new()),
             QueueKind::Wheel => {
@@ -393,6 +512,16 @@ impl Simulator {
             QueueSlot::Heap(q) => q.set_next_seq(next_seq),
             QueueSlot::Wheel(q) => q.set_next_seq(next_seq),
         }
+    }
+
+    /// Swaps the live queue implementation for `kind`, re-inserting every
+    /// pending event with its original sequence number.
+    fn migrate_queue(&mut self, kind: QueueKind) {
+        if self.queue.kind() == kind {
+            return;
+        }
+        let (events, next_seq) = self.drain_queue();
+        self.rebuild_queue(kind, events, next_seq);
     }
 
     /// Declares a signal.
@@ -437,8 +566,14 @@ impl Simulator {
             wire,
             half_period: period / 2,
         });
-        self.queue
-            .push(SimTime::from_ticks(period), 0, EventKind::ClockToggle(idx));
+        let first = SimTime::from_ticks(period);
+        if self.calendar_on {
+            let seq = self.queue.alloc_seq();
+            self.calendar.push(Some((first, seq)));
+        } else {
+            self.calendar.push(None);
+            self.queue.push(first, 0, EventKind::ClockToggle(idx));
+        }
         wire
     }
 
@@ -603,8 +738,25 @@ impl Simulator {
         let deadline = limit.resolve(self.time);
 
         'outer: while self.stop.is_none() {
-            let Some((t, first_delta)) = queue.peek_key() else {
-                break;
+            // The next work item is the earlier of the queue head and the
+            // calendar head, compared by the full (time, delta, seq) key
+            // (calendar toggles always fire at delta 0) — removing
+            // periodic toggles from the queue must not reorder anything.
+            let c = self.calendar_earliest();
+            let (t, first_delta) = {
+                let q = queue.peek_full_key();
+                match (q, c) {
+                    (None, None) => break,
+                    (Some((qt, qd, qs)), Some((ct, cs, _))) => {
+                        if (ct, 0u32, cs) < (qt, qd, qs) {
+                            (ct, 0)
+                        } else {
+                            (qt, qd)
+                        }
+                    }
+                    (Some((qt, qd, _)), None) => (qt, qd),
+                    (None, Some((ct, _, _))) => (ct, 0),
+                }
             };
             if t > deadline {
                 self.time = deadline;
@@ -615,10 +767,51 @@ impl Simulator {
 
             let mut delta = first_delta;
             loop {
-                // Evaluate: dispatch every queued event scheduled for
-                // (t, delta) — their sequence numbers always precede the
+                // Evaluate: dispatch every event due at (t, delta) —
+                // calendar toggles and queued events merged in `seq`
+                // order; their sequence numbers always precede the
                 // previous update phase's signal wakes…
-                while let Some(ev) = queue.pop_at(t, delta) {
+                //
+                // Calendar toggles only ever fire at delta 0, and a
+                // dispatched toggle re-arms strictly later than `t`, so
+                // the due lookup drains within the first delta. The
+                // min-scan result is carried from the outer head and
+                // cached across evaluate rounds, recomputed only after
+                // `toggle_clock` re-arms a slot — one scan per
+                // dispatched toggle, not one per round.
+                let mut cal = match c {
+                    Some((ct, cs, k)) if delta == 0 && ct == t => Some((k, cs)),
+                    _ => None,
+                };
+                'evaluate: loop {
+                    let cal_seq = cal.map_or(u64::MAX, |(_, s)| s);
+                    let queued_due = matches!(
+                        queue.peek_full_key(),
+                        Some((tt, dd, s)) if tt == t && dd == delta && s < cal_seq
+                    );
+                    if !queued_due {
+                        let Some((k, _)) = cal else { break 'evaluate };
+                        // The calendar head is next. Nothing was popped,
+                        // so a budget stop simply leaves the slot armed —
+                        // the resumed run dispatches it with the same key
+                        // the queued path would have replayed.
+                        if events_left == 0 {
+                            self.stop =
+                                Some(StopReason::Error("event budget exhausted".into()));
+                            self.park_fast_toggles();
+                            self.requeue_pending_wakes(queue, t, delta);
+                            break 'outer;
+                        }
+                        events_left -= 1;
+                        self.stats.events += 1;
+                        self.fast.calendar_toggles += 1;
+                        self.toggle_clock(queue, k, t);
+                        cal = self.calendar_due(t);
+                        continue 'evaluate;
+                    }
+
+                    // A queued event is next.
+                    let ev = queue.pop().expect("peeked event");
                     if events_left == 0 {
                         // Out of budget with work still due: put the
                         // just-popped event back (original sequence
@@ -632,36 +825,31 @@ impl Simulator {
                     }
                     events_left -= 1;
                     self.stats.events += 1;
+                    // One event, one frame. A hoisted shared frame for
+                    // runs of same-key Start/timer events (the batched-
+                    // edge treatment applied to the queued path) was
+                    // implemented and measured: the timer-storm
+                    // microbench (`kernel_1k_ticks_timer_storm_*`)
+                    // showed no win — queue churn, not frame
+                    // construction, dominates queued dispatch — while
+                    // the extra code in this loop's body cost the
+                    // clocked benches 5-12 % wall clock from codegen
+                    // alone (the same layout sensitivity the queue
+                    // monomorphization history documents above). The
+                    // per-event form is the measured optimum.
                     match ev.kind {
                         EventKind::Start(cid) => self.dispatch(queue, cid, Wake::Start, t, delta),
-                        EventKind::Wake(cid, tag) => self.dispatch(queue, cid, Wake::Timer(tag), t, delta),
+                        EventKind::Wake(cid, tag) => {
+                            self.dispatch(queue, cid, Wake::Timer(tag), t, delta)
+                        }
                         EventKind::SignalWake(cid, sid) => {
                             self.dispatch(queue, cid, Wake::Signal(sid), t, delta)
                         }
                         EventKind::ClockToggle(k) => {
-                            let clock = &self.clocks[k];
-                            let wire = clock.wire;
-                            let cur = self.signals.read(wire);
-                            let rising = cur == 0;
-                            // Edge-filtered fast path: a toggle whose
-                            // resulting edge has no matching subscriber
-                            // (and no tracer, and no competing write) is
-                            // unobservable — defer a quiet in-place flip
-                            // to this delta's update phase and skip the
-                            // commit/scan machinery entirely. For a
-                            // system clocking everything on the rising
-                            // edge, every second half-period becomes a
-                            // toggle-only event.
-                            if self.specialize
-                                && self.signals.try_begin_quiet_toggle(wire, rising)
-                            {
-                                self.quiet_toggles += 1;
-                                self.fast_toggles.push(wire);
-                            } else {
-                                self.signals.write(wire, cur ^ 1);
+                            self.toggle_clock(queue, k, t);
+                            if delta == 0 {
+                                cal = self.calendar_due(t);
                             }
-                            let next_t = t + clock.half_period;
-                            queue.push(next_t, 0, EventKind::ClockToggle(k));
                         }
                     }
                 }
@@ -776,7 +964,13 @@ impl Simulator {
                 }
                 // Continue while this time step has more work: carried
                 // wakes always run in the next delta; queued events at a
-                // later delta of `t` otherwise set the next delta.
+                // later delta of `t` otherwise set the next delta. The
+                // calendar never participates here — its toggles all
+                // fire at delta 0 and re-arm strictly later than `t`.
+                debug_assert!(
+                    self.calendar_due(t).is_none(),
+                    "calendar toggles must drain within delta 0"
+                );
                 let next = if self.pending_wakes.is_empty() {
                     match queue.peek_key() {
                         Some((tt, dd)) if tt == t => Some(dd),
@@ -815,6 +1009,65 @@ impl Simulator {
             stats: self.stats.since(&stats_start),
             wall: wall_start.elapsed(),
             stop: self.stop.clone(),
+        }
+    }
+
+    /// The earliest armed calendar slot as `(time, seq, clock index)` —
+    /// a linear min-scan: clock counts are small (the headline systems
+    /// run 1–8), so a scan beats any ordered structure's bookkeeping.
+    #[inline]
+    fn calendar_earliest(&self) -> Option<(SimTime, u64, usize)> {
+        let mut best: Option<(SimTime, u64, usize)> = None;
+        for (k, slot) in self.calendar.iter().enumerate() {
+            if let Some((time, seq)) = *slot {
+                if best.is_none_or(|(bt, bs, _)| (time, seq) < (bt, bs)) {
+                    best = Some((time, seq, k));
+                }
+            }
+        }
+        best
+    }
+
+    /// The earliest calendar toggle due exactly at `t`, as
+    /// `(clock index, seq)`. Slots earlier than `t` cannot exist: the
+    /// run loop never advances time past an armed slot.
+    #[inline]
+    fn calendar_due(&self, t: SimTime) -> Option<(usize, u64)> {
+        match self.calendar_earliest() {
+            Some((time, seq, k)) if time == t => Some((k, seq)),
+            _ => None,
+        }
+    }
+
+    /// Dispatches clock `k`'s toggle at time `t`: flip (quiet when the
+    /// edge provably has no observer) and re-arm the next half-period —
+    /// in the calendar when it is on, as a queued `ClockToggle`
+    /// otherwise. The sequence number is claimed at exactly this point
+    /// on both paths, so the global scheduling order is identical.
+    #[inline]
+    fn toggle_clock<Q: Queue>(&mut self, queue: &mut Q, k: usize, t: SimTime) {
+        self.fast.clock_toggles += 1;
+        let clock = &self.clocks[k];
+        let wire = clock.wire;
+        let cur = self.signals.read(wire);
+        let rising = cur == 0;
+        // Edge-filtered fast path: a toggle whose resulting edge has no
+        // matching subscriber (and no tracer, and no competing write) is
+        // unobservable — defer a quiet in-place flip to this delta's
+        // update phase and skip the commit/scan machinery entirely. For
+        // a system clocking everything on the rising edge, every second
+        // half-period becomes a toggle-only event.
+        if self.specialize && self.signals.try_begin_quiet_toggle(wire, rising) {
+            self.fast.quiet_toggles += 1;
+            self.fast_toggles.push(wire);
+        } else {
+            self.signals.write(wire, cur ^ 1);
+        }
+        let next_t = t + clock.half_period;
+        if self.calendar_on {
+            self.calendar[k] = Some((next_t, queue.alloc_seq()));
+        } else {
+            queue.push(next_t, 0, EventKind::ClockToggle(k));
         }
     }
 

@@ -110,24 +110,32 @@ impl Tracer {
         }
         out.push_str("$upscope $end\n$enddefinitions $end\n");
 
+        // Identifiers indexed by raw signal id, so the record loop below
+        // is a direct lookup instead of a per-record scan of the traced
+        // list (multi-signal traces are compared wholesale in the
+        // differential test suites).
+        let mut idents: Vec<Option<String>> = vec![None; board.len()];
+        for (i, &sid) in self.traced.iter().enumerate() {
+            idents[sid.index()] = Some(vcd_ident(i));
+        }
+
         // Initial values: every traced signal is 0 before the first commit.
         out.push_str("#0\n");
-        for (i, &sid) in self.traced.iter().enumerate() {
-            emit_change(&mut out, board.width(sid), 0, &vcd_ident(i));
+        for &sid in &self.traced {
+            let ident = idents[sid.index()].as_deref().expect("just built");
+            emit_change(&mut out, board.width(sid), 0, ident);
         }
 
         let mut last_time = SimTime::ZERO;
         for rec in &self.records {
-            let idx = self
-                .traced
-                .iter()
-                .position(|&s| s == rec.signal)
+            let ident = idents[rec.signal.index()]
+                .as_deref()
                 .expect("record for untraced signal");
             if rec.time != last_time {
                 let _ = writeln!(out, "#{}", rec.time.ticks());
                 last_time = rec.time;
             }
-            emit_change(&mut out, board.width(rec.signal), rec.value, &vcd_ident(idx));
+            emit_change(&mut out, board.width(rec.signal), rec.value, ident);
         }
         if end_time > last_time {
             let _ = writeln!(out, "#{}", end_time.ticks());

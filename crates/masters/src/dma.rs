@@ -21,8 +21,12 @@
 //! and counts pattern mismatches. In burst mode [`DmaConfig::dst`] is
 //! the byte address of the target module's register block (any
 //! `BLOCK_SIZE`-aligned address inside its decode window — typically the
-//! window base); the target model must support `ALLOC` (the wrapper and
-//! the SimHeap do; direct static tables have no protocol at all).
+//! window base). By default the engine self-allocates, so the target
+//! model must support `ALLOC` (the wrapper and the SimHeap do);
+//! [`BurstSpec::at`] instead streams at a caller-provided protocol
+//! pointer, which is how bursts drive the static-protocol baseline
+//! (vptr = table byte offset, allocation answers `Unsupported`). Direct
+//! static tables have no protocol at all.
 
 use std::any::Any;
 
@@ -59,6 +63,12 @@ pub struct BurstSpec {
     /// pass and count pattern mismatches
     /// ([`DmaStats::verify_mismatches`]).
     pub verify: bool,
+    /// Target an existing protocol pointer instead of self-allocating:
+    /// the engine skips the `ALLOC` dialogue and streams its chunks at
+    /// this vptr. This is how bursts drive models without allocation
+    /// support — on the static-protocol baseline a vptr is simply a
+    /// byte offset into the table. `None` (the default) self-allocates.
+    pub at: Option<u32>,
 }
 
 impl Default for BurstSpec {
@@ -66,6 +76,7 @@ impl Default for BurstSpec {
         BurstSpec {
             beats: 16,
             verify: false,
+            at: None,
         }
     }
 }
@@ -233,13 +244,18 @@ struct BurstSeq {
 
 impl BurstSeq {
     fn new(spec: BurstSpec) -> Self {
+        // A fixed target pointer skips the ALLOC dialogue entirely.
+        let (step, vptr) = match spec.at {
+            Some(vptr) => (BurstStep::ChunkArg0, vptr),
+            None => (BurstStep::AllocArg0, 0),
+        };
         BurstSeq {
             spec: BurstSpec {
                 beats: spec.beats.max(1),
                 ..spec
             },
-            step: BurstStep::AllocArg0,
-            vptr: 0,
+            step,
+            vptr,
             pass: 0,
             chunk: 0,
             beat: 0,
@@ -839,6 +855,7 @@ mod tests {
             burst: Some(BurstSpec {
                 beats: 5, // uneven chunking: 5 + 5 + 5 + 1
                 verify: true,
+                at: None,
             }),
             ..DmaConfig::default()
         };
@@ -875,6 +892,7 @@ mod tests {
             burst: Some(BurstSpec {
                 beats: 4,
                 verify: true,
+                at: None,
             }),
             ..DmaConfig::default()
         };
@@ -898,6 +916,49 @@ mod tests {
             assert_eq!(
                 heap.peek_word(4 + i * 4),
                 Some(DmaConfig::fill_word(0x900, 8, 2, i)),
+                "word {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_pointer_burst_streams_the_static_protocol_table() {
+        use dmi_core::{StaticMemConfig, StaticTableBackend};
+        // `at` skips the ALLOC dialogue, so the allocation-less static
+        // baseline takes the full burst path: write passes, verify
+        // read-back, payload at the given table offset.
+        let cfg = DmaConfig {
+            kind: DmaKind::Fill { seed: 0x7700 },
+            dst: 0x8000_0000,
+            words: 8,
+            passes: 2,
+            burst: Some(BurstSpec {
+                beats: 3, // uneven chunking: 3 + 3 + 2
+                verify: true,
+                at: Some(0x20),
+            }),
+            ..DmaConfig::default()
+        };
+        let (mut sim, dma_id, mem_id) = build_protocol(
+            cfg,
+            Box::new(StaticTableBackend::new(StaticMemConfig::default())),
+        );
+        sim.run_for(100_000);
+        let dma: &DmaComponent = sim.component(dma_id).unwrap();
+        assert!(dma.is_done());
+        assert_eq!(dma.stats().protocol_errors, 0);
+        assert_eq!(dma.stats().verify_mismatches, 0);
+        assert_eq!(dma.stats().words_done, 16, "8 words × 2 write passes");
+        let mem: &dmi_core::MemoryModule = sim.component(mem_id).unwrap();
+        let table = mem
+            .backend()
+            .as_any()
+            .downcast_ref::<StaticTableBackend>()
+            .unwrap();
+        for i in 0..8u32 {
+            assert_eq!(
+                table.peek_word(0x20 + i * 4),
+                Some(DmaConfig::fill_word(0x7700, 8, 1, i)),
                 "word {i}"
             );
         }

@@ -6,7 +6,7 @@ use std::time::Instant;
 use dmi_core::{MemoryModule, StaticTableMemory, WrapperBackend};
 use dmi_interconnect::{BusStats, Crossbar, MasterProbe, MasterStats, Region, SharedBus};
 use dmi_iss::CpuComponent;
-use dmi_kernel::{ComponentId, KernelStats, SimTime, Simulator};
+use dmi_kernel::{ComponentId, FastPathStats, KernelStats, SimTime, Simulator};
 
 use crate::builder::{CpuHandle, MasterHandle, MemHandle};
 use crate::config::SystemConfig;
@@ -69,6 +69,8 @@ pub struct McSystem {
     epoch: SimTime,
     /// Kernel stats at the epoch start.
     epoch_stats: KernelStats,
+    /// Kernel fast-path counters at the epoch start.
+    epoch_fast: FastPathStats,
 }
 
 impl McSystem {
@@ -89,6 +91,7 @@ impl McSystem {
     ) -> Self {
         let epoch = sim.time();
         let epoch_stats = sim.stats();
+        let epoch_fast = sim.fast_path_stats();
         McSystem {
             sim,
             clock_period,
@@ -101,6 +104,7 @@ impl McSystem {
             crossbar,
             epoch,
             epoch_stats,
+            epoch_fast,
         }
     }
 
@@ -138,8 +142,10 @@ impl McSystem {
     pub fn run_until(&mut self, cond: &StopCondition) -> RunReport {
         let t0 = self.sim.time();
         let stats0 = self.sim.stats();
+        let fast0 = self.sim.fast_path_stats();
         self.epoch = t0;
         self.epoch_stats = stats0;
+        self.epoch_fast = fast0;
         let wall_start = Instant::now();
         let budget = cond.cycles;
 
@@ -195,13 +201,7 @@ impl McSystem {
             }
         }
 
-        self.collect(
-            t0,
-            &stats0,
-            wall_start.elapsed(),
-            cause,
-            error,
-        )
+        self.collect(t0, &stats0, &fast0, wall_start.elapsed(), cause, error)
     }
 
     /// A mid-run (or post-run) report over the current observation epoch:
@@ -223,6 +223,7 @@ impl McSystem {
         self.collect(
             self.epoch,
             &self.epoch_stats,
+            &self.epoch_fast,
             std::time::Duration::ZERO,
             cause,
             None,
@@ -282,10 +283,11 @@ impl McSystem {
     /// on.
     ///
     /// `location` is model-specific: a byte offset into the table for
-    /// static memories, a virtual pointer (Vptr) resolved through the
-    /// pointer table for wrapper memories, an arena byte offset (which is
-    /// what that model's vptrs are) for SimHeap memories. Returns `None`
-    /// for locations that resolve nowhere.
+    /// static memories (direct *and* protocol-fronted), a virtual
+    /// pointer (Vptr) resolved through the pointer table for wrapper
+    /// memories, an arena byte offset (which is what that model's vptrs
+    /// are) for SimHeap memories. Returns `None` for locations that
+    /// resolve nowhere.
     pub fn watch_value(&self, mem: MemHandle, location: u32) -> Option<u32> {
         let j = mem.0;
         let id = *self.mem_ids.get(j)?;
@@ -305,6 +307,16 @@ impl McSystem {
                 // `peek_word` is the observational arena read: no cycles
                 // charged, no counters moved.
                 h.peek_word(location)
+            }
+            "static-protocol" => {
+                let m: &MemoryModule = self.sim.component(id)?;
+                let s = m
+                    .backend()
+                    .as_any()
+                    .downcast_ref::<dmi_core::StaticTableBackend>()?;
+                // Same observational table read as the direct static
+                // model; `location` is a byte offset into the table.
+                s.peek_word(location)
             }
             "wrapper" => {
                 let m: &MemoryModule = self.sim.component(id)?;
@@ -346,6 +358,7 @@ impl McSystem {
         &self,
         t0: SimTime,
         stats0: &KernelStats,
+        fast0: &FastPathStats,
         wall: std::time::Duration,
         cause: StopCause,
         error: Option<String>,
@@ -414,6 +427,7 @@ impl McSystem {
             mems,
             bus: self.bus_stats(),
             kernel: self.sim.stats().since(stats0),
+            fast_path: self.sim.fast_path_stats().since(fast0),
         }
     }
 

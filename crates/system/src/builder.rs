@@ -28,8 +28,8 @@
 //! ```
 
 use dmi_core::{
-    MemoryModule, SimHeapBackend, SimHeapConfig, StaticMemConfig, StaticTableMemory,
-    WrapperBackend, WrapperConfig,
+    MemoryModule, SimHeapBackend, SimHeapConfig, StaticMemConfig, StaticTableBackend,
+    StaticTableMemory, WrapperBackend, WrapperConfig,
 };
 use dmi_interconnect::{
     AddressMap, BusMaster, Crossbar, MapError, MasterIf, MasterProbe, MasterWiring, Region,
@@ -157,6 +157,14 @@ impl MemSpec {
     /// A directly-addressed static table with default config.
     pub fn static_table(base: u32) -> Self {
         Self::new(MemModelKind::Static(StaticMemConfig::default()), base)
+    }
+
+    /// The static table behind the protocol register block with default
+    /// config — the traditional baseline as a protocol module, so burst
+    /// DMAs and other protocol masters can target it without manual
+    /// wiring (allocation commands answer `Unsupported` by design).
+    pub fn static_protocol(base: u32) -> Self {
+        Self::new(MemModelKind::StaticProtocol(StaticMemConfig::default()), base)
     }
 
     /// Overrides the window size.
@@ -307,6 +315,7 @@ pub struct SystemBuilder {
     interconnect: InterconnectKind,
     preset: Option<Preset>,
     queue: Option<dmi_kernel::QueueKind>,
+    clock_calendar: Option<bool>,
 }
 
 impl Default for SystemBuilder {
@@ -326,6 +335,7 @@ impl SystemBuilder {
             interconnect: InterconnectKind::SharedBus(Default::default()),
             preset: None,
             queue: None,
+            clock_calendar: None,
         }
     }
 
@@ -336,6 +346,16 @@ impl SystemBuilder {
     /// purely a host-performance override).
     pub fn queue(mut self, kind: dmi_kernel::QueueKind) -> Self {
         self.queue = Some(kind);
+        self
+    }
+
+    /// Pins the kernel's clock calendar on or off instead of the
+    /// `DMI_CLOCK_CALENDAR` environment default (see
+    /// [`dmi_kernel::clock_calendar_default`]). Purely a
+    /// host-performance A/B knob — the simulation is bit-identical
+    /// either way.
+    pub fn clock_calendar(mut self, on: bool) -> Self {
+        self.clock_calendar = Some(on);
         self
     }
 
@@ -461,6 +481,11 @@ impl SystemBuilder {
         if let Some(kind) = self.queue {
             sim.set_queue_kind(kind);
         }
+        if let Some(on) = self.clock_calendar {
+            // Before `add_clock`, so the first toggle is armed directly
+            // on the chosen path (no migration needed).
+            sim.set_clock_calendar(on);
+        }
         let clk = sim.add_clock("clk", self.clock_period);
 
         // Masters, in insertion order (= bus-master/arbitration order).
@@ -490,15 +515,7 @@ impl SystemBuilder {
                     sim.subscribe(id, clk, Edge::Rising);
                     cpu_ids.push(id);
                     finish_wires.push(halted);
-                    master_ifs.push(MasterIf {
-                        req: ports.req,
-                        we: ports.we,
-                        size: ports.size,
-                        addr: ports.addr,
-                        wdata: ports.wdata,
-                        ack: ports.ack,
-                        rdata: ports.rdata,
-                    });
+                    master_ifs.push(MasterIf::from(ports));
                 }
                 MasterSlot::Custom(spec) => {
                     let kind = spec.kind();
@@ -540,34 +557,26 @@ impl SystemBuilder {
         for (j, spec) in self.mems.iter().enumerate() {
             let ports = dmi_core::SlavePorts::declare(&mut sim, &format!("mem{j}.s"));
             map.try_add(spec.base, spec.window, j)?;
-            let id = match &spec.model {
-                MemModelKind::Wrapper(w) => {
-                    let backend = Box::new(WrapperBackend::new(*w));
-                    sim.add_component(Box::new(MemoryModule::new(
-                        format!("mem{j}"),
-                        clk,
-                        ports,
-                        spec.base,
-                        backend,
-                    )))
-                }
-                MemModelKind::SimHeap(h) => {
-                    let backend = Box::new(SimHeapBackend::new(*h));
-                    sim.add_component(Box::new(MemoryModule::new(
-                        format!("mem{j}"),
-                        clk,
-                        ports,
-                        spec.base,
-                        backend,
-                    )))
-                }
-                MemModelKind::Static(s) => sim.add_component(Box::new(StaticTableMemory::new(
+            // Protocol models differ only in the backend behind the
+            // module; the direct static table is its own component.
+            let backend: Option<Box<dyn dmi_core::DsmBackend>> = match &spec.model {
+                MemModelKind::Wrapper(w) => Some(Box::new(WrapperBackend::new(*w))),
+                MemModelKind::SimHeap(h) => Some(Box::new(SimHeapBackend::new(*h))),
+                MemModelKind::StaticProtocol(s) => Some(Box::new(StaticTableBackend::new(*s))),
+                MemModelKind::Static(_) => None,
+            };
+            let id = match (backend, &spec.model) {
+                (Some(backend), _) => sim.add_component(Box::new(MemoryModule::new(
                     format!("mem{j}"),
                     clk,
                     ports,
                     spec.base,
-                    *s,
+                    backend,
                 ))),
+                (None, MemModelKind::Static(s)) => sim.add_component(Box::new(
+                    StaticTableMemory::new(format!("mem{j}"), clk, ports, spec.base, *s),
+                )),
+                (None, _) => unreachable!("every protocol model produced a backend"),
             };
             sim.subscribe(id, clk, Edge::Rising);
             mem_ids.push(id);

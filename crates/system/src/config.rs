@@ -14,6 +14,15 @@ pub enum MemModelKind {
     SimHeap(SimHeapConfig),
     /// A directly-addressed static table (no dynamic protocol).
     Static(StaticMemConfig),
+    /// The static table behind the protocol register block
+    /// ([`dmi_core::StaticTableBackend`] inside a
+    /// [`dmi_core::MemoryModule`]): the traditional baseline speaking
+    /// the same command handshake as the dynamic models, so
+    /// protocol-level masters (burst DMAs, the ISS driver) can target
+    /// it handshake-for-handshake. Allocation commands answer
+    /// `Unsupported` — that *is* the baseline's limitation the paper
+    /// starts from.
+    StaticProtocol(StaticMemConfig),
 }
 
 impl MemModelKind {
@@ -23,6 +32,7 @@ impl MemModelKind {
             MemModelKind::Wrapper(_) => "wrapper",
             MemModelKind::SimHeap(_) => "simheap",
             MemModelKind::Static(_) => "static",
+            MemModelKind::StaticProtocol(_) => "static-protocol",
         }
     }
 }
@@ -142,6 +152,10 @@ mod tests {
         assert_eq!(
             MemModelKind::Static(StaticMemConfig::default()).name(),
             "static"
+        );
+        assert_eq!(
+            MemModelKind::StaticProtocol(StaticMemConfig::default()).name(),
+            "static-protocol"
         );
     }
 }

@@ -5,7 +5,7 @@ use std::time::Duration;
 use dmi_core::{MemStats, ModuleStats};
 use dmi_interconnect::{BusStats, MasterStats};
 use dmi_iss::{CpuComponentStats, CpuStats};
-use dmi_kernel::KernelStats;
+use dmi_kernel::{FastPathStats, KernelStats};
 
 use crate::run_ctl::StopCause;
 
@@ -74,6 +74,11 @@ pub struct RunReport {
     pub bus: BusStats,
     /// Kernel statistics for this run.
     pub kernel: KernelStats,
+    /// Kernel fast-path counters for this run (clock toggles total,
+    /// quiet in-place flips, calendar dispatches) — what experiments
+    /// assert fast-path coverage with. Unlike `kernel`, these differ by
+    /// construction between the reference and fast configurations.
+    pub fast_path: FastPathStats,
 }
 
 impl RunReport {
@@ -148,6 +153,26 @@ impl RunReport {
             .join("\n")
     }
 
+    /// Kernel hot-path summary: event/wake/delta counts and the share
+    /// of clock toggles each fast path served (diagnostics for the
+    /// kernel's clocked specializations; reference-path runs report 0 %
+    /// coverage).
+    pub fn kernel_summary(&self) -> String {
+        let k = &self.kernel;
+        let f = &self.fast_path;
+        format!(
+            "kernel: {} events, {} wakes, {} deltas, {} time steps; \
+             {} toggles ({:.1}% calendar, {:.1}% quiet)",
+            k.events,
+            k.wakes,
+            k.deltas,
+            k.time_steps,
+            f.clock_toggles,
+            100.0 * f.calendar_coverage(),
+            100.0 * f.quiet_coverage(),
+        )
+    }
+
     /// Per-memory hot-path summary: one line per module with TLB hit
     /// rate and burst activity (diagnostics for the wrapper's fast
     /// paths; static memories report no translations).
@@ -198,6 +223,7 @@ mod tests {
             mems: vec![],
             bus: BusStats::default(),
             kernel: KernelStats::default(),
+            fast_path: FastPathStats::default(),
         }
     }
 

@@ -74,3 +74,50 @@ fn headline_shape_four_memories_slower_than_one() {
         "pipeline cycles diverged unexpectedly: 1-mem {cycles_1}, 4-mem {cycles_4}"
     );
 }
+
+#[test]
+fn headline_toggle_fast_path_coverage_is_total() {
+    // The kernel's clocked fast paths must actually carry the headline
+    // experiment: with the defaults on, *every* toggle dispatches from
+    // the clock calendar (≥ 99 % asserted, 100 % expected) and every
+    // falling half-period is a quiet in-place flip (all subscribers are
+    // rising-edge), so quiet coverage sits at ~50 % of all toggles.
+    // `RunReport::fast_path` is the per-run surfacing of those counters.
+    // (The `DMI_CLOCK_CALENDAR=0` / `DMI_KERNEL_SPECIALIZE=0` CI jobs
+    // run this suite too — pin both paths on explicitly.)
+    let cfg = pipeline::PipelineCfg {
+        n_frames: 1,
+        mem_bases: vec![mem_base(0)],
+        seed: 0x5EED,
+    };
+    let mut b = dmi_system::SystemBuilder::new().clock_calendar(true);
+    for program in pipeline::stage_programs(&cfg) {
+        b.add_cpu(dmi_system::CpuSpec::new(program));
+    }
+    b.add_memory(dmi_system::MemSpec::wrapper(mem_base(0)));
+    let mut sys = b.build().expect("gsm pipeline system");
+    sys.simulator_mut().set_clock_specialization(true);
+    let report = sys.run(u64::MAX / 4);
+    assert!(report.all_ok(), "{}", report.summary());
+    let f = &report.fast_path;
+    assert!(f.clock_toggles > 1000, "headline clocks for many cycles");
+    assert!(
+        f.calendar_coverage() >= 0.99,
+        "calendar coverage below 99%: {}",
+        report.kernel_summary()
+    );
+    assert!(
+        f.quiet_coverage() >= 0.49,
+        "quiet coverage below 49%: {}",
+        report.kernel_summary()
+    );
+    // Combined fast-path coverage (quiet + calendar over 2× toggles
+    // would double-count: a calendar toggle can also be quiet). The
+    // experiment-facing guarantee is that virtually no toggle pays the
+    // full queue-round-trip *and* commit-scan cost.
+    assert!(
+        f.calendar_coverage() + f.quiet_coverage() >= 1.48,
+        "{}",
+        report.kernel_summary()
+    );
+}
