@@ -1,0 +1,122 @@
+//! Fault-injection overhead: what deterministic fault hooks cost when
+//! idle (nothing — asserted against the headline pipeline) and what a
+//! lossy slave costs a retrying DMA master (retry + backoff overhead,
+//! measured clean vs. lossy on the same scenario).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmi_core::Status;
+use dmi_gsm::pipeline::{self, PipelineCfg};
+use dmi_masters::{BurstSpec, DmaConfig, DmaEngine, DmaKind, RetryPolicy};
+use dmi_system::experiments::run_gsm_pipeline;
+use dmi_system::{
+    mem_base, CpuSpec, FaultKind, FaultPlan, FaultSite, FaultSpec, FaultTrigger, MemSpec,
+    RunReport, SystemBuilder,
+};
+
+/// Headline pipeline with the fault hooks wired but the plan empty.
+fn run_headline_with_empty_plan() -> RunReport {
+    let cfg = PipelineCfg {
+        n_frames: 2,
+        mem_bases: vec![mem_base(0)],
+        seed: 0x5EED,
+    };
+    let mut b = SystemBuilder::new().faults(FaultPlan::new(0xF00D));
+    for program in pipeline::stage_programs(&cfg) {
+        b.add_cpu(CpuSpec::new(program));
+    }
+    b.add_memory(MemSpec::wrapper(mem_base(0)));
+    let mut sys = b.build().expect("gsm pipeline system");
+    sys.run(u64::MAX / 4)
+}
+
+/// The lossy-slave scenario: one retrying burst DMA against one wrapper
+/// memory, optionally under a seeded fault plan.
+fn run_lossy_dma(plan: Option<FaultPlan>) -> RunReport {
+    let mut b = SystemBuilder::new();
+    if let Some(p) = plan {
+        b = b.faults(p);
+    }
+    b.add_memory(MemSpec::wrapper(mem_base(0)));
+    b.add_master(Box::new(DmaEngine::new(DmaConfig {
+        kind: DmaKind::Fill { seed: 0xC0DE },
+        dst: mem_base(0),
+        words: 256,
+        passes: 8,
+        burst: Some(BurstSpec {
+            beats: 16,
+            verify: false,
+            at: None,
+        }),
+        retry: Some(RetryPolicy {
+            max_retries: 10,
+            backoff_cycles: 4,
+            escalate: false,
+        }),
+        ..DmaConfig::default()
+    })));
+    let mut sys = b.build().expect("lossy dma system");
+    sys.run(100_000_000)
+}
+
+fn lossy_plan() -> FaultPlan {
+    FaultPlan::new(0xDEAD_BEEF)
+        .with(FaultSpec::new(
+            FaultSite::MemOp {
+                mem: 0,
+                op: None,
+                master: None,
+            },
+            // ~1/8 of commands answer Busy.
+            FaultTrigger::Random {
+                threshold: 0x2000_0000,
+            },
+            FaultKind::Status(Status::Busy),
+        ))
+        .with(FaultSpec::new(
+            FaultSite::MemBeat {
+                mem: 0,
+                master: None,
+                writing: Some(true),
+            },
+            // ~1/64 of write beats kill the burst.
+            FaultTrigger::Random {
+                threshold: 0x0400_0000,
+            },
+            FaultKind::AbortBurst,
+        ))
+}
+
+fn faults(c: &mut Criterion) {
+    // Guard: the compiled-in fault hooks with an empty plan must not
+    // move a single headline cycle. Checked once, outside measurement.
+    let reference = run_gsm_pipeline(2, 1, 0x5EED);
+    let twin = run_headline_with_empty_plan();
+    assert!(reference.all_ok() && twin.all_ok());
+    assert_eq!(
+        reference.sim_cycles, twin.sim_cycles,
+        "empty fault plan changed the headline cycle count"
+    );
+    assert!(!twin.faults.any());
+
+    let mut g = c.benchmark_group("exp_faults");
+    g.sample_size(10);
+    for lossy in [false, true] {
+        let label = if lossy { "lossy" } else { "clean" };
+        g.bench_with_input(BenchmarkId::new("slave", label), &lossy, |b, &lossy| {
+            b.iter(|| {
+                let r = run_lossy_dma(lossy.then(lossy_plan));
+                assert!(r.all_ok(), "{}", r.summary());
+                if lossy {
+                    assert!(r.faults.injected > 0 && r.faults.recovered > 0);
+                } else {
+                    assert!(!r.faults.any());
+                }
+                r.sim_cycles
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, faults);
+criterion_main!(benches);

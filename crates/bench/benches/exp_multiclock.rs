@@ -77,7 +77,7 @@ fn add_domain(sim: &mut Simulator, domain: usize, period: u64, program: &Program
     sim.subscribe(mem_id, clk, Edge::Rising);
 
     let mut map = AddressMap::new();
-    map.add(MEM_BASE, 0x1_0000, 0);
+    map.try_add(MEM_BASE, 0x1_0000, 0).expect("valid bench map");
     let bus = SharedBus::new(
         format!("d{domain}.bus"),
         clk,

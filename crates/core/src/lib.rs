@@ -53,6 +53,7 @@
 
 mod backend;
 mod delay;
+mod faults;
 mod gaps;
 mod host;
 mod module;
@@ -65,6 +66,10 @@ mod wrapper;
 
 pub use backend::{BeatResult, BlockResult, BurstInfo, DsmBackend, MemStats};
 pub use delay::{DelayModel, LinDelay};
+pub use faults::{
+    faults_enabled_default, BusFault, FaultController, FaultHook, FaultKind, FaultPlan, FaultSite,
+    FaultSpec, FaultStats, FaultTrigger, MemBeatFault, MemOpFault,
+};
 pub use host::{HostAlloc, HostStats};
 pub use module::{MemoryModule, ModuleStats, SlavePorts};
 pub use protocol::{regs, ElemType, OpResult, Opcode, Request, Status, NULL_VPTR};

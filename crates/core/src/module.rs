@@ -26,7 +26,8 @@ use std::any::Any;
 use dmi_kernel::{Component, Ctx, Simulator, Wake, Wire};
 
 use crate::backend::DsmBackend;
-use crate::protocol::{regs, Opcode, Request, Status};
+use crate::faults::{FaultHook, MemBeatFault, MemOpFault};
+use crate::protocol::{regs, Opcode, Request, Status, NULL_VPTR};
 
 /// The signal bundle of a bus slave.
 ///
@@ -145,6 +146,15 @@ pub struct MemoryModule {
     stream_bursts: bool,
     /// Per-master stream buffers (mirror of the backend's banked ports).
     streams: [StreamBuf; 16],
+    /// Shared fault controller and this module's plan ordinal, when the
+    /// system wired fault injection. `None` (the default) is the
+    /// bit-identical pre-fault path.
+    fault: Option<(FaultHook, usize)>,
+    /// Sticky per-master aborted-burst status: once an
+    /// [`FaultKind::AbortBurst`](crate::faults::FaultKind) fires, every
+    /// beat answers with this status until the master issues a fresh
+    /// command. Only ever set through the fault hook.
+    burst_dead: [Option<Status>; 16],
 }
 
 impl MemoryModule {
@@ -169,12 +179,22 @@ impl MemoryModule {
             stats: ModuleStats::default(),
             stream_bursts: true,
             streams: Default::default(),
+            fault: None,
+            burst_dead: [None; 16],
         }
     }
 
     /// Enables or disables the batched read-burst fast path (A/B testing).
     pub fn set_stream_bursts(&mut self, on: bool) {
         self.stream_bursts = on;
+    }
+
+    /// Installs a shared fault controller; `mem` is this module's
+    /// ordinal in the fault plan's site addressing (builder registration
+    /// order). Without a hook the module behaves bit-identically to the
+    /// pre-fault implementation.
+    pub fn set_fault_hook(&mut self, hook: FaultHook, mem: usize) {
+        self.fault = Some((hook, mem));
     }
 
     /// The backend (for statistics extraction after a run).
@@ -206,11 +226,26 @@ impl MemoryModule {
             (regs::CMD, true) => match Opcode::from_u32(wdata) {
                 Some(op) => {
                     // The backend aborts this master's unfinished burst on
-                    // any real command; drop the streamed tail with it.
+                    // any real command; drop the streamed tail with it. A
+                    // fresh command also clears a fault-killed burst.
                     if !matches!(op, Opcode::Nop) {
                         self.streams[master].clear();
+                        self.burst_dead[master] = None;
                     }
-                    let mc = self.ctxs[master];
+                    let f = match &self.fault {
+                        Some((hook, mem)) => hook.borrow_mut().mem_op(*mem, op, master as u8),
+                        None => MemOpFault::default(),
+                    };
+                    if let Some(s) = f.force_status {
+                        // The faulted command never reaches the backend.
+                        self.ctxs[master].status = s;
+                        self.ctxs[master].result = NULL_VPTR;
+                        return (0, 0);
+                    }
+                    let mut mc = self.ctxs[master];
+                    if f.flip_mask != 0 && op == Opcode::Write {
+                        mc.args[1] ^= f.flip_mask;
+                    }
                     let r = self.backend.execute(&Request {
                         op,
                         arg0: mc.args[0],
@@ -218,8 +253,12 @@ impl MemoryModule {
                         arg2: mc.args[2],
                         master: master as u8,
                     });
+                    let mut result = r.result;
+                    if f.flip_mask != 0 && op == Opcode::Read {
+                        result ^= f.flip_mask;
+                    }
                     self.ctxs[master].status = r.status;
-                    self.ctxs[master].result = r.result;
+                    self.ctxs[master].result = result;
                     (0, r.cycles)
                 }
                 None => {
@@ -240,47 +279,23 @@ impl MemoryModule {
                 (0, 0)
             }
             (regs::DATA, true) => {
-                let b = self.backend.burst_write_beat(master as u8, wdata);
+                let f = self.beat_fault(master, true);
+                if let Some(s) = self.faulted_beat(master, &f) {
+                    self.ctxs[master].status = s;
+                    return (0, 0);
+                }
+                let b = self.backend.burst_write_beat(master as u8, wdata ^ f.flip_mask);
                 self.ctxs[master].status = b.status;
                 (0, b.cycles)
             }
             (regs::DATA, false) => {
-                // Fast path: serve the beat from the module-local stream
-                // buffer, draining the backend once per burst.
-                if self.stream_bursts {
-                    let s = &mut self.streams[master];
-                    if s.pos < s.data.len() {
-                        let v = s.data[s.pos];
-                        s.pos += 1;
-                        self.ctxs[master].status = Status::Ok;
-                        return (v, s.beat_cycles);
-                    }
-                    if let Some(info) = self.backend.burst_info(master as u8) {
-                        if !info.writing && info.remaining > 0 {
-                            let s = &mut self.streams[master];
-                            s.clear();
-                            s.data.resize(info.remaining as usize, 0);
-                            let r = self.backend.burst_read_block(master as u8, &mut s.data);
-                            // A backend may deliver fewer beats than it
-                            // advertised (a mid-burst error): keep only
-                            // what was actually transferred so the error
-                            // surfaces on the right beat, exactly where
-                            // the per-beat path would have reported it.
-                            s.data.truncate(r.beats as usize);
-                            if r.beats > 0 {
-                                s.beat_cycles = r.cycles_per_beat;
-                                s.pos = 1;
-                                self.ctxs[master].status = Status::Ok;
-                                return (s.data[0], s.beat_cycles);
-                            }
-                            // Zero beats: fall through to the per-beat
-                            // call, which reproduces the error verbatim.
-                        }
-                    }
+                let f = self.beat_fault(master, false);
+                if let Some(s) = self.faulted_beat(master, &f) {
+                    self.ctxs[master].status = s;
+                    return (0, 0);
                 }
-                let b = self.backend.burst_read_beat(master as u8);
-                self.ctxs[master].status = b.status;
-                (b.data, b.cycles)
+                let (data, cycles) = self.read_data_beat(master);
+                (data ^ f.flip_mask, cycles)
             }
             (regs::STATUS, false) => (self.ctxs[master].status as u32, 0),
             (regs::RESULT, false) => (self.ctxs[master].result, 0),
@@ -289,6 +304,73 @@ impl MemoryModule {
             // write-only registers return zero.
             _ => (0, 0),
         }
+    }
+
+    /// Consults the fault hook at a DATA-register beat; the default
+    /// (no-fault) action when no hook is installed.
+    fn beat_fault(&mut self, master: usize, writing: bool) -> MemBeatFault {
+        match &self.fault {
+            Some((hook, mem)) => hook.borrow_mut().mem_beat(*mem, master as u8, writing),
+            None => MemBeatFault::default(),
+        }
+    }
+
+    /// Applies the burst-killing part of a beat fault. Returns the
+    /// status to answer with when the beat must not reach the backend —
+    /// either this beat was faulted directly, or an earlier
+    /// `AbortBurst` left the burst dead. Faulted beats skip the backend
+    /// *and* the stream buffer symmetrically, so later beats are
+    /// identical whether burst streaming is on or off.
+    fn faulted_beat(&mut self, master: usize, f: &MemBeatFault) -> Option<Status> {
+        if f.abort {
+            self.burst_dead[master] = Some(Status::OutOfBounds);
+            self.streams[master].clear();
+        }
+        if let Some(dead) = self.burst_dead[master] {
+            return Some(dead);
+        }
+        f.force_status
+    }
+
+    /// One DATA-register read beat: the stream-buffer fast path with the
+    /// per-beat backend call as fallback. Sets the master's STATUS.
+    fn read_data_beat(&mut self, master: usize) -> (u32, u64) {
+        // Fast path: serve the beat from the module-local stream
+        // buffer, draining the backend once per burst.
+        if self.stream_bursts {
+            let s = &mut self.streams[master];
+            if s.pos < s.data.len() {
+                let v = s.data[s.pos];
+                s.pos += 1;
+                self.ctxs[master].status = Status::Ok;
+                return (v, s.beat_cycles);
+            }
+            if let Some(info) = self.backend.burst_info(master as u8) {
+                if !info.writing && info.remaining > 0 {
+                    let s = &mut self.streams[master];
+                    s.clear();
+                    s.data.resize(info.remaining as usize, 0);
+                    let r = self.backend.burst_read_block(master as u8, &mut s.data);
+                    // A backend may deliver fewer beats than it
+                    // advertised (a mid-burst error): keep only
+                    // what was actually transferred so the error
+                    // surfaces on the right beat, exactly where
+                    // the per-beat path would have reported it.
+                    s.data.truncate(r.beats as usize);
+                    if r.beats > 0 {
+                        s.beat_cycles = r.cycles_per_beat;
+                        s.pos = 1;
+                        self.ctxs[master].status = Status::Ok;
+                        return (s.data[0], s.beat_cycles);
+                    }
+                    // Zero beats: fall through to the per-beat
+                    // call, which reproduces the error verbatim.
+                }
+            }
+        }
+        let b = self.backend.burst_read_beat(master as u8);
+        self.ctxs[master].status = b.status;
+        (b.data, b.cycles)
     }
 
     fn finish(&mut self, ctx: &mut Ctx<'_>, data: u32) {

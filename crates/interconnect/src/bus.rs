@@ -9,6 +9,7 @@
 
 use std::any::Any;
 
+use dmi_core::{BusFault, FaultHook};
 use dmi_kernel::{Component, Ctx, Simulator, Wake, Wire};
 
 use crate::arbiter::{Arbiter, ArbiterKind};
@@ -190,6 +191,9 @@ pub struct SharedBus {
     /// Reusable request-line buffer: the bus samples every master each
     /// clock cycle, so this must not allocate per cycle.
     req_scratch: Vec<bool>,
+    /// Shared fault controller, when the system wired fault injection.
+    /// `None` (the default) is the bit-identical pre-fault path.
+    fault: Option<FaultHook>,
 }
 
 impl SharedBus {
@@ -223,7 +227,14 @@ impl SharedBus {
             last_route: None,
             retained_grants: 0,
             req_scratch: vec![false; n],
+            fault: None,
         }
+    }
+
+    /// Installs a shared fault controller; consulted once per granted
+    /// transaction (forced decode errors, grant-stall windows).
+    pub fn set_fault_hook(&mut self, hook: FaultHook) {
+        self.fault = Some(hook);
     }
 
     /// Contention statistics.
@@ -302,8 +313,12 @@ impl Component for SharedBus {
                                     Some(winner),
                                 );
                                 let addr = ctx.read(self.masters[winner].addr) as u32;
+                                let f = match &self.fault {
+                                    Some(hook) => hook.borrow_mut().bus_access(winner),
+                                    None => BusFault::default(),
+                                };
                                 match self.map.decode(addr) {
-                                    Some(slave) => {
+                                    Some(slave) if !f.decode_error => {
                                         // With zero arbitration latency there
                                         // is no phase to skip: retention would
                                         // change nothing, so don't count it.
@@ -313,17 +328,25 @@ impl Component for SharedBus {
                                         if retained {
                                             self.retained_grants += 1;
                                         }
-                                        if retained || self.config.arbitration_latency == 0 {
+                                        let latency = if retained {
+                                            0
+                                        } else {
+                                            self.config.arbitration_latency
+                                        };
+                                        // A grant-stall fault stretches the
+                                        // arbitration phase.
+                                        let total = latency + f.stall_cycles;
+                                        if total == 0 {
                                             self.forward(ctx, winner, slave);
                                         } else {
                                             self.state = BusState::Arbitrate {
                                                 master: winner,
                                                 slave,
-                                                remaining: self.config.arbitration_latency,
+                                                remaining: total,
                                             };
                                         }
                                     }
-                                    None => {
+                                    _ => {
                                         self.decode_errors += 1;
                                         self.last_route = None;
                                         let m = self.masters[winner];

@@ -9,6 +9,7 @@
 
 use std::any::Any;
 
+use dmi_core::{BusFault, FaultHook};
 use dmi_kernel::{Component, Ctx, Wake, Wire};
 
 use crate::arbiter::{Arbiter, ArbiterKind};
@@ -83,6 +84,9 @@ pub struct Crossbar {
     /// each clock cycle, so these must not allocate per cycle.
     req_scratch: Vec<bool>,
     lane_scratch: Vec<bool>,
+    /// Shared fault controller, when the system wired fault injection.
+    /// `None` (the default) is the bit-identical pre-fault path.
+    fault: Option<FaultHook>,
 }
 
 impl Crossbar {
@@ -142,7 +146,14 @@ impl Crossbar {
             error_complete: Vec::new(),
             req_scratch: vec![false; n],
             lane_scratch: vec![false; n],
+            fault: None,
         }
+    }
+
+    /// Installs a shared fault controller; consulted once per granted
+    /// transaction (forced decode errors, grant-stall windows).
+    pub fn set_fault_hook(&mut self, hook: FaultHook) {
+        self.fault = Some(hook);
     }
 
     /// Contention statistics (same shape as the shared bus for easy
@@ -251,6 +262,22 @@ impl Component for Crossbar {
                                 any_busy = true;
                                 reqs[winner] = false;
                                 self.in_service[winner] = true;
+                                let f = match &self.fault {
+                                    Some(hook) => hook.borrow_mut().bus_access(winner),
+                                    None => BusFault::default(),
+                                };
+                                if f.decode_error {
+                                    // Forced decode error: ack with the
+                                    // error pattern, slave never sees it.
+                                    self.decode_errors += 1;
+                                    ctx.write_bit(self.masters[winner].ack, true);
+                                    ctx.write(
+                                        self.masters[winner].rdata,
+                                        DECODE_ERROR_DATA as u64,
+                                    );
+                                    self.error_complete.push(winner);
+                                    continue;
+                                }
                                 // Grant retention (with zero latency there
                                 // is no phase to skip — don't count it).
                                 let retained = self.config.burst_grant
@@ -259,12 +286,20 @@ impl Component for Crossbar {
                                 if retained {
                                     self.retained_grants += 1;
                                 }
-                                if retained || self.config.arbitration_latency == 0 {
+                                let latency = if retained {
+                                    0
+                                } else {
+                                    self.config.arbitration_latency
+                                };
+                                // A grant-stall fault stretches the
+                                // arbitration phase.
+                                let total = latency + f.stall_cycles;
+                                if total == 0 {
                                     self.forward(ctx, lane, winner);
                                 } else {
                                     self.lanes[lane] = LaneState::Arbitrate {
                                         master: winner,
-                                        remaining: self.config.arbitration_latency,
+                                        remaining: total,
                                     };
                                 }
                             }

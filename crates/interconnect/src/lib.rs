@@ -30,4 +30,4 @@ pub use arbiter::{Arbiter, ArbiterKind};
 pub use bus::{BusConfig, BusStats, MasterIf, SharedBus, SlaveIf, DECODE_ERROR_DATA};
 pub use crossbar::{Crossbar, CrossbarConfig};
 pub use map::{AddressMap, MapError, Region};
-pub use master::{BusMaster, MasterProbe, MasterStats, MasterWiring};
+pub use master::{BusMaster, ErrorCounts, MasterError, MasterProbe, MasterStats, MasterWiring};

@@ -106,7 +106,10 @@ impl AddressMap {
         Ok(())
     }
 
-    /// Adds a region.
+    /// Adds a region, panicking on invalid input — a chainable
+    /// convenience kept for tests and examples with hard-coded maps.
+    /// Production callers (the system builder, benches) use
+    /// [`try_add`](Self::try_add) and propagate the [`MapError`].
     ///
     /// # Panics
     ///

@@ -16,6 +16,7 @@
 
 use std::any::Any;
 
+use dmi_core::Status;
 use dmi_kernel::{Component, Wire};
 
 use crate::bus::MasterIf;
@@ -49,6 +50,81 @@ pub struct MasterStats {
     pub transactions: u64,
     /// Whether the master has raised its `done` output.
     pub done: bool,
+    /// Every non-`Ok` DSM status the master observed, bucketed by
+    /// status code — errors are counted even when the master has no
+    /// retry policy and aborts on the first one.
+    pub error_statuses: ErrorCounts,
+    /// Retry attempts the master made after non-`Ok` statuses.
+    pub retries: u64,
+    /// Protocol dialogues (allocs, burst chunks) that succeeded after
+    /// at least one retry.
+    pub recovered: u64,
+    /// The unrecovered error the master gave up on, if any.
+    pub fault: Option<MasterError>,
+}
+
+/// Histogram of observed DSM error statuses, indexed by the raw status
+/// code (`Status as u32`); undecodable raw values (e.g. the
+/// interconnect's decode-error pattern read where a STATUS was
+/// expected) land in the last bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ErrorCounts([u64; 16]);
+
+impl ErrorCounts {
+    /// Index of the bucket collecting raw values no [`Status`] decodes.
+    pub const UNDECODED: usize = 15;
+
+    /// Records one observation of `raw` (a value read from a STATUS
+    /// register that was not `Status::Ok`).
+    pub fn record(&mut self, raw: u32) {
+        match Status::from_u32(raw) {
+            Some(s) => self.0[(s as u32 as usize).min(Self::UNDECODED - 1)] += 1,
+            None => self.0[Self::UNDECODED] += 1,
+        }
+    }
+
+    /// Observations of one decoded status.
+    pub fn get(&self, s: Status) -> u64 {
+        self.0[s as u32 as usize]
+    }
+
+    /// Observations whose raw value decoded to no status.
+    pub fn undecoded(&self) -> u64 {
+        self.0[Self::UNDECODED]
+    }
+
+    /// Total error observations.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// `(decoded status, count)` pairs for the non-zero buckets, plus
+    /// `(None, count)` for the undecodable bucket when non-empty.
+    pub fn iter(&self) -> impl Iterator<Item = (Option<Status>, u64)> + '_ {
+        self.0
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n != 0)
+            .map(|(i, &n)| (Status::from_u32(i as u32), n))
+    }
+}
+
+/// A typed record of the error a master could not recover from:
+/// surfaced in `MasterReport` (and `StopCause::Fault`) instead of a
+/// silent stall or hang.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MasterError {
+    /// The decoded status, when the raw value is a valid [`Status`].
+    pub status: Option<Status>,
+    /// The raw value read from the STATUS register.
+    pub raw: u32,
+    /// Retries spent on the failed dialogue before giving up.
+    pub retries: u32,
+    /// The master's pass counter when it gave up (master-specific).
+    pub pass: u32,
+    /// The master's word/chunk position when it gave up
+    /// (master-specific).
+    pub word: u32,
 }
 
 /// Probe resolving a type-erased component back to its [`MasterStats`]

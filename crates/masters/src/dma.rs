@@ -31,7 +31,9 @@
 use std::any::Any;
 
 use dmi_core::{regs, ElemType, Opcode, Status};
-use dmi_interconnect::{BusMaster, MasterProbe, MasterStats, MasterWiring};
+use dmi_interconnect::{
+    BusMaster, ErrorCounts, MasterError, MasterProbe, MasterStats, MasterWiring,
+};
 use dmi_kernel::{Component, Ctx, Wake};
 
 /// What the engine does with each word of the block.
@@ -81,6 +83,39 @@ impl Default for BurstSpec {
     }
 }
 
+/// Error-recovery policy of a burst-mode engine: what to do when the
+/// slave answers a protocol step with a non-`Ok` status.
+///
+/// Retries restart the failed dialogue (the whole `ALLOC` exchange, or
+/// the current chunk from its `ARG0` setup) after a deterministic
+/// simulated-time backoff — `gap_cycles + backoff_cycles` idle edges,
+/// never wall-clock. When the budget is exhausted the engine records a
+/// typed [`MasterError`] and either retires cleanly (`done` raised,
+/// `escalate == false`) or stops the kernel with a `fault:`-prefixed
+/// error the system layer converts into `StopCause::Fault`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries per dialogue before giving up (0 = abort on the first
+    /// error, but still via the typed-error path).
+    pub max_retries: u32,
+    /// Extra idle edges inserted before each retry, on top of the
+    /// engine's `gap_cycles`.
+    pub backoff_cycles: u32,
+    /// On exhaustion, stop the whole run (`StopCause::Fault`) instead
+    /// of retiring this engine quietly.
+    pub escalate: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff_cycles: 8,
+            escalate: false,
+        }
+    }
+}
+
 /// Programming of a [`DmaEngine`].
 #[derive(Debug, Clone, Copy)]
 pub struct DmaConfig {
@@ -104,6 +139,12 @@ pub struct DmaConfig {
     /// stores. Only meaningful for [`DmaKind::Fill`] engines (a copy has
     /// no protocol-level source pointer); ignored for copies.
     pub burst: Option<BurstSpec>,
+    /// Error recovery for burst-mode protocol errors. `None` (the
+    /// default) keeps the legacy abort-on-first-error sequencing —
+    /// bit-identical to the pre-retry engine. `Some` inserts a STATUS
+    /// check after each chunk's beats and retries failed dialogues per
+    /// the policy.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl Default for DmaConfig {
@@ -116,6 +157,7 @@ impl Default for DmaConfig {
             passes: 1,
             gap_cycles: 0,
             burst: None,
+            retry: None,
         }
     }
 }
@@ -143,9 +185,20 @@ pub struct DmaStats {
     pub words_done: u64,
     /// Burst verify beats that did not match the expected pattern.
     pub verify_mismatches: u64,
-    /// Protocol commands the slave answered with a non-OK status (burst
-    /// mode; the engine aborts to `done` on the first one).
+    /// Protocol steps the slave answered with a non-OK status (burst
+    /// mode; every observation counts, including each failed retry
+    /// attempt — without a [`RetryPolicy`] the engine aborts to `done`
+    /// on the first one).
     pub protocol_errors: u64,
+    /// The same observations bucketed by status code.
+    pub errors: ErrorCounts,
+    /// Retry attempts made under the engine's [`RetryPolicy`].
+    pub retries: u64,
+    /// Dialogues (alloc exchanges or chunks) that succeeded after at
+    /// least one retry.
+    pub recovered: u64,
+    /// The unrecovered error the engine gave up on, if any.
+    pub fault: Option<MasterError>,
     /// Whether the engine has raised `done`.
     pub done: bool,
 }
@@ -182,6 +235,10 @@ impl BusMaster for DmaEngine {
                     bus_wait_cycles: s.bus_wait_cycles,
                     transactions: s.transactions,
                     done: s.done,
+                    error_statuses: s.errors,
+                    retries: s.retries,
+                    recovered: s.recovered,
+                    fault: s.fault,
                 }
             })
         }
@@ -223,6 +280,13 @@ enum BurstStep {
     ChunkStatus,
     /// One `DATA` beat of the active chunk.
     ChunkData,
+    /// Post-chunk `STATUS` read-back, inserted only under a
+    /// [`RetryPolicy`]: beats answer on the data wires, so a mid-burst
+    /// error (an aborted burst, a fault-killed beat) is only observable
+    /// by re-reading STATUS after the chunk. Without a policy the step
+    /// never runs and the dialogue is bit-identical to the legacy
+    /// engine.
+    ChunkCheck,
 }
 
 /// Live state of a burst-mode engine.
@@ -240,6 +304,8 @@ struct BurstSeq {
     beat: u32,
     /// Whether the read-back verify pass is running.
     verifying: bool,
+    /// Retries spent on the current dialogue (alloc exchange or chunk).
+    attempt: u32,
 }
 
 impl BurstSeq {
@@ -260,6 +326,7 @@ impl BurstSeq {
             chunk: 0,
             beat: 0,
             verifying: false,
+            attempt: 0,
         }
     }
 
@@ -373,7 +440,7 @@ impl DmaComponent {
                 };
                 (base + regs::CMD, true, op as u32)
             }
-            BurstStep::ChunkStatus => (base + regs::STATUS, false, 0),
+            BurstStep::ChunkStatus | BurstStep::ChunkCheck => (base + regs::STATUS, false, 0),
             BurstStep::ChunkData => {
                 if b.verifying {
                     (base + regs::DATA, false, 0)
@@ -389,11 +456,92 @@ impl DmaComponent {
         }
     }
 
+    /// Records one observed non-`Ok` protocol status.
+    fn record_error(&mut self, raw: u32) {
+        self.stats.protocol_errors += 1;
+        self.stats.errors.record(raw);
+    }
+
+    /// Handles a failed protocol step: restart the dialogue from
+    /// `restart` (with deterministic simulated-time backoff) while
+    /// retry budget remains, otherwise record a typed [`MasterError`]
+    /// and give up — retiring cleanly or escalating to a kernel stop
+    /// per the policy.
+    fn fail_step(&mut self, ctx: &mut Ctx<'_>, mut b: BurstSeq, raw: u32, restart: BurstStep) {
+        self.record_error(raw);
+        if let Some(p) = self.config.retry {
+            if b.attempt < p.max_retries {
+                b.attempt += 1;
+                self.stats.retries += 1;
+                b.step = restart;
+                b.beat = 0;
+                self.burst = Some(b);
+                self.phase = Phase::Gap(self.config.gap_cycles.saturating_add(p.backoff_cycles));
+                return;
+            }
+        }
+        self.stats.fault = Some(MasterError {
+            status: Status::from_u32(raw),
+            raw,
+            retries: b.attempt,
+            pass: b.pass,
+            word: b.chunk,
+        });
+        self.burst = Some(b);
+        if self.config.retry.is_some_and(|p| p.escalate) {
+            // The `fault:` prefix is the marker the system layer uses
+            // to classify this stop as `StopCause::Fault`; `done` is
+            // deliberately not raised.
+            ctx.stop_error(format!(
+                "fault: {}: unrecovered protocol error (status {raw:#x}) after {} retries",
+                self.name, b.attempt,
+            ));
+            self.phase = Phase::Finished;
+        } else {
+            self.finish(ctx);
+        }
+    }
+
+    /// Moves the sequencer past a completed chunk. Returns `true` when
+    /// the whole programmed transfer finished (`finish` was called).
+    fn complete_chunk(&mut self, ctx: &mut Ctx<'_>, b: &mut BurstSeq) -> bool {
+        let words = self.config.words;
+        b.chunk += b.chunk_len(words);
+        b.beat = 0;
+        if b.chunk >= words {
+            b.chunk = 0;
+            if b.verifying {
+                self.burst = Some(*b);
+                self.finish(ctx);
+                return true;
+            }
+            b.pass += 1;
+            if b.pass >= self.config.passes {
+                if b.spec.verify {
+                    b.verifying = true;
+                    b.step = BurstStep::ChunkArg0;
+                } else {
+                    self.burst = Some(*b);
+                    self.finish(ctx);
+                    return true;
+                }
+            } else {
+                b.step = BurstStep::ChunkArg0;
+            }
+        } else {
+            b.step = BurstStep::ChunkArg0;
+        }
+        false
+    }
+
     /// Advances the burst sequencer after an acknowledged MMIO
     /// transaction (`self.captured` holds the read data).
     fn advance_burst(&mut self, ctx: &mut Ctx<'_>) {
         self.stats.transactions += 1;
         let words = self.config.words;
+        // Under a retry policy every chunk ends in a ChunkCheck STATUS
+        // read-back; without one the dialogue is the legacy sequence.
+        let checked = self.config.retry.is_some();
         let mut b = self.burst.expect("advance_burst only in burst mode");
         let captured = self.captured;
         match b.step {
@@ -402,13 +550,17 @@ impl DmaComponent {
             BurstStep::AllocCmd => b.step = BurstStep::AllocStatus,
             BurstStep::AllocStatus => {
                 if captured == Status::Ok as u32 {
+                    // The model rejected earlier attempts but accepted
+                    // this one: the alloc dialogue recovered.
+                    if b.attempt > 0 {
+                        self.stats.recovered += 1;
+                    }
+                    b.attempt = 0;
                     b.step = BurstStep::AllocResult;
                 } else {
                     // The model rejected the allocation (out of memory,
-                    // no ALLOC support, …): record and retire.
-                    self.stats.protocol_errors += 1;
-                    self.burst = Some(b);
-                    self.finish(ctx);
+                    // no ALLOC support, …).
+                    self.fail_step(ctx, b, captured, BurstStep::AllocArg0);
                     return;
                 }
             }
@@ -427,10 +579,8 @@ impl DmaComponent {
                 } else {
                     // The burst command was rejected (locked, bad
                     // pointer, …): never stream DATA beats against a
-                    // failed command — record and retire.
-                    self.stats.protocol_errors += 1;
-                    self.burst = Some(b);
-                    self.finish(ctx);
+                    // failed command.
+                    self.fail_step(ctx, b, captured, BurstStep::ChunkArg0);
                     return;
                 }
             }
@@ -445,38 +595,39 @@ impl DmaComponent {
                     if captured != expect {
                         self.stats.verify_mismatches += 1;
                     }
-                } else {
+                } else if !checked {
+                    // With a retry policy, words only count once their
+                    // chunk passes its post-chunk STATUS check (a
+                    // retried chunk must not double-count).
                     self.stats.words_done += 1;
                 }
                 b.beat += 1;
                 if b.beat < b.chunk_len(words) {
                     // Next beat of the same chunk.
-                } else {
-                    b.chunk += b.chunk_len(words);
-                    b.beat = 0;
-                    if b.chunk >= words {
-                        b.chunk = 0;
-                        if b.verifying {
-                            self.burst = Some(b);
-                            self.finish(ctx);
-                            return;
-                        }
-                        b.pass += 1;
-                        if b.pass >= self.config.passes {
-                            if b.spec.verify {
-                                b.verifying = true;
-                                b.step = BurstStep::ChunkArg0;
-                            } else {
-                                self.burst = Some(b);
-                                self.finish(ctx);
-                                return;
-                            }
-                        } else {
-                            b.step = BurstStep::ChunkArg0;
-                        }
-                    } else {
-                        b.step = BurstStep::ChunkArg0;
+                } else if checked {
+                    b.step = BurstStep::ChunkCheck;
+                } else if self.complete_chunk(ctx, &mut b) {
+                    return;
+                }
+            }
+            BurstStep::ChunkCheck => {
+                if captured == Status::Ok as u32 {
+                    if !b.verifying {
+                        self.stats.words_done += b.chunk_len(words) as u64;
                     }
+                    if b.attempt > 0 {
+                        self.stats.recovered += 1;
+                    }
+                    b.attempt = 0;
+                    if self.complete_chunk(ctx, &mut b) {
+                        return;
+                    }
+                } else {
+                    // A mid-chunk failure (aborted burst, faulted beat)
+                    // only surfaces here: beats answer on the data
+                    // wires, so the chunk must be re-checked by STATUS.
+                    self.fail_step(ctx, b, captured, BurstStep::ChunkArg0);
+                    return;
                 }
             }
         }

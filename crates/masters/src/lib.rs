@@ -20,4 +20,4 @@
 
 mod dma;
 
-pub use dma::{BurstSpec, DmaComponent, DmaConfig, DmaEngine, DmaKind, DmaStats};
+pub use dma::{BurstSpec, DmaComponent, DmaConfig, DmaEngine, DmaKind, DmaStats, RetryPolicy};

@@ -9,6 +9,7 @@
 //! | routine | C formalism | arguments |
 //! |---|---|---|
 //! | `dsm_alloc` | `vptr = dsm_alloc(mem, dim, type)` | r0 = module base, r1 = dim, r2 = type |
+//! | `dsm_alloc_retry` | `vptr = dsm_alloc_retry(mem, dim, type, tries)` | r3 = max attempts; returns `NULL_VPTR` when exhausted |
 //! | `dsm_free` | `dsm_free(mem, vptr)` | r1 = vptr |
 //! | `dsm_write` | `dsm_write(mem, vptr, value, width)` | r2 = value, r3 = width code |
 //! | `dsm_read` | `value = dsm_read(mem, vptr, width)` | r2 = width code |
@@ -38,6 +39,7 @@ const R12: Reg = Reg::R12;
 /// `bl dsm_alloc` etc.
 pub fn emit_dsm_driver(asm: &mut Asm) {
     emit_alloc(asm);
+    emit_alloc_retry(asm);
     emit_free(asm);
     emit_write(asm);
     emit_read(asm);
@@ -63,6 +65,33 @@ fn emit_alloc(asm: &mut Asm) {
     asm.str(R2, R0, regs::ARG1 as i32); // type
     fire(asm, Opcode::Alloc);
     asm.ldr(R0, R0, regs::RESULT as i32); // vptr
+    asm.ret();
+}
+
+/// Software-side error recovery: re-issue ALLOC until STATUS reads `Ok`,
+/// up to r3 attempts. The CPU analogue of the DMA engine's
+/// `RetryPolicy` — fault-injection scenarios that hit the CPU wrapper
+/// path use this instead of hanging on a `NULL_VPTR`. Returns the vptr,
+/// or `NULL_VPTR` once the attempts are exhausted.
+fn emit_alloc_retry(asm: &mut Asm) {
+    asm.label("dsm_alloc_retry");
+    asm.push(&[R4, Reg::LR]);
+    asm.mov(R4, R3.into()); // attempts remaining
+    asm.label("dsm_ar_loop");
+    asm.str(R1, R0, regs::ARG0 as i32); // dim
+    asm.str(R2, R0, regs::ARG1 as i32); // type
+    fire(asm, Opcode::Alloc);
+    asm.ldr(R12, R0, regs::STATUS as i32);
+    asm.cmp(R12, 0u32.into()); // Status::Ok
+    asm.beq("dsm_ar_ok");
+    asm.subs(R4, R4, 1u32.into());
+    asm.bne("dsm_ar_loop");
+    asm.li(R0, dmi_core::NULL_VPTR); // exhausted
+    asm.pop(&[R4, Reg::LR]);
+    asm.ret();
+    asm.label("dsm_ar_ok");
+    asm.ldr(R0, R0, regs::RESULT as i32); // vptr
+    asm.pop(&[R4, Reg::LR]);
     asm.ret();
 }
 
@@ -175,6 +204,7 @@ mod tests {
         let p = a.assemble(0).unwrap();
         for sym in [
             "dsm_alloc",
+            "dsm_alloc_retry",
             "dsm_free",
             "dsm_write",
             "dsm_read",

@@ -3,7 +3,7 @@
 
 use std::time::Instant;
 
-use dmi_core::{MemoryModule, StaticTableMemory, WrapperBackend};
+use dmi_core::{FaultHook, MemoryModule, StaticTableMemory, WrapperBackend};
 use dmi_interconnect::{BusStats, Crossbar, MasterProbe, MasterStats, Region, SharedBus};
 use dmi_iss::CpuComponent;
 use dmi_kernel::{ComponentId, FastPathStats, KernelStats, SimTime, Simulator};
@@ -11,7 +11,7 @@ use dmi_kernel::{ComponentId, FastPathStats, KernelStats, SimTime, Simulator};
 use crate::builder::{CpuHandle, MasterHandle, MemHandle};
 use crate::config::SystemConfig;
 use crate::report::{CpuReport, MasterReport, MemReport, RunReport};
-use crate::run_ctl::{StopCause, StopCondition};
+use crate::run_ctl::{FaultReport, StopCause, StopCondition};
 
 /// Builder-recorded identity of one non-CPU bus master.
 #[derive(Debug)]
@@ -64,6 +64,10 @@ pub struct McSystem {
     mem_regions: Vec<Region>,
     bus_id: ComponentId,
     crossbar: bool,
+    /// Shared fault controller, when the builder wired a fault plan
+    /// (`None` for fault-free systems — also the source of the report's
+    /// injection counters).
+    fault_hook: Option<FaultHook>,
     /// Simulated time when the current observation epoch started (the
     /// last `run`/`run_until` call; snapshots report cycles since then).
     epoch: SimTime,
@@ -88,6 +92,7 @@ impl McSystem {
         mem_regions: Vec<Region>,
         bus_id: ComponentId,
         crossbar: bool,
+        fault_hook: Option<FaultHook>,
     ) -> Self {
         let epoch = sim.time();
         let epoch_stats = sim.stats();
@@ -102,6 +107,7 @@ impl McSystem {
             mem_regions,
             bus_id,
             crossbar,
+            fault_hook,
             epoch,
             epoch_stats,
             epoch_fast,
@@ -193,6 +199,10 @@ impl McSystem {
                         last_progress = p;
                         stagnant = 0;
                     }
+                }
+                if cond.wall.is_some_and(|limit| wall_start.elapsed() >= limit) {
+                    cause = StopCause::WallClock;
+                    break;
                 }
                 if budget.is_some_and(|b| elapsed >= b) {
                     cause = StopCause::CycleBudget;
@@ -383,7 +393,7 @@ impl McSystem {
             })
             .collect();
 
-        let masters = self
+        let masters: Vec<MasterReport> = self
             .masters
             .iter()
             .map(|m| MasterReport {
@@ -392,6 +402,43 @@ impl McSystem {
                 stats: self.master_stats_by_id(m),
             })
             .collect();
+
+        // A kernel error raised by a master's fault-escalation path (the
+        // `"fault:"` message prefix) is reclassified into the typed
+        // cause, pointing at the first master that recorded a
+        // MasterError.
+        let cause = match cause {
+            StopCause::Error
+                if error.as_deref().is_some_and(|e| e.starts_with("fault:")) =>
+            {
+                masters
+                    .iter()
+                    .enumerate()
+                    .find_map(|(i, m)| {
+                        m.stats
+                            .fault
+                            .map(|error| StopCause::Fault(FaultReport { master: i, error }))
+                    })
+                    .unwrap_or(StopCause::Error)
+            }
+            c => c,
+        };
+
+        // Injection counters from the shared controller, plus the
+        // master-side recovery outcomes (the controller cannot see
+        // retries — they happen on the master's side of the wires).
+        let mut faults = self
+            .fault_hook
+            .as_ref()
+            .map(|h| h.borrow().stats())
+            .unwrap_or_default();
+        for m in &masters {
+            faults.retried += m.stats.retries;
+            faults.recovered += m.stats.recovered;
+            if m.stats.fault.is_some() {
+                faults.escalated += 1;
+            }
+        }
 
         let mems = self
             .mem_ids
@@ -428,6 +475,7 @@ impl McSystem {
             bus: self.bus_stats(),
             kernel: self.sim.stats().since(stats0),
             fast_path: self.sim.fast_path_stats().since(fast0),
+            faults,
         }
     }
 
@@ -481,6 +529,21 @@ impl McSystem {
     /// The decode region a memory answers, by typed handle.
     pub fn mem_region(&self, h: MemHandle) -> Region {
         self.mem_regions[h.0]
+    }
+
+    /// Toggles fault injection at runtime, like the kernel fast-path
+    /// twins' toggles: the plan's trigger state is retained, only firing
+    /// is gated. No-op on systems built without a fault plan.
+    pub fn set_fault_injection(&mut self, on: bool) {
+        if let Some(h) = &self.fault_hook {
+            h.borrow_mut().set_enabled(on);
+        }
+    }
+
+    /// Whether fault injection is live: a non-empty plan is wired and
+    /// the controller is enabled.
+    pub fn fault_injection_live(&self) -> bool {
+        self.fault_hook.as_ref().is_some_and(|h| h.borrow().live())
     }
 
     /// The underlying simulator (tracing, advanced inspection).

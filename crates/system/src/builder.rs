@@ -28,8 +28,8 @@
 //! ```
 
 use dmi_core::{
-    MemoryModule, SimHeapBackend, SimHeapConfig, StaticMemConfig, StaticTableBackend,
-    StaticTableMemory, WrapperBackend, WrapperConfig,
+    FaultController, FaultHook, FaultPlan, MemoryModule, SimHeapBackend, SimHeapConfig,
+    StaticMemConfig, StaticTableBackend, StaticTableMemory, WrapperBackend, WrapperConfig,
 };
 use dmi_interconnect::{
     AddressMap, BusMaster, Crossbar, MapError, MasterIf, MasterProbe, MasterWiring, Region,
@@ -316,6 +316,8 @@ pub struct SystemBuilder {
     preset: Option<Preset>,
     queue: Option<dmi_kernel::QueueKind>,
     clock_calendar: Option<bool>,
+    faults: Option<FaultPlan>,
+    fault_injection: Option<bool>,
 }
 
 impl Default for SystemBuilder {
@@ -336,7 +338,31 @@ impl SystemBuilder {
             preset: None,
             queue: None,
             clock_calendar: None,
+            faults: None,
+            fault_injection: None,
         }
+    }
+
+    /// Installs a deterministic [`FaultPlan`]: a shared
+    /// [`FaultController`] seeded from the plan is wired into every
+    /// protocol memory module and the interconnect. An empty plan (or no
+    /// plan — the default) leaves the simulation cycle-bit-identical to a
+    /// fault-free build; a non-empty plan replays exactly for a given
+    /// seed, independent of host timing and kernel queue choice.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Pins fault injection on or off at build time instead of the
+    /// `DMI_FAULTS` environment default (see
+    /// [`dmi_core::faults_enabled_default`]). Only meaningful together
+    /// with [`faults`](Self::faults); the toggle can also be flipped at
+    /// runtime via
+    /// [`McSystem::set_fault_injection`](crate::McSystem::set_fault_injection).
+    pub fn fault_injection(mut self, on: bool) -> Self {
+        self.fault_injection = Some(on);
+        self
     }
 
     /// Pins the kernel's event-queue implementation instead of letting
@@ -477,6 +503,17 @@ impl SystemBuilder {
             }
         };
 
+        // The shared fault controller (one per system: every site draws
+        // from the same seeded plan, so cross-site trigger order is
+        // well-defined).
+        let fault_hook: Option<FaultHook> = self.faults.map(|plan| {
+            let mut ctl = FaultController::new(plan);
+            if let Some(on) = self.fault_injection {
+                ctl.set_enabled(on);
+            }
+            ctl.into_hook()
+        });
+
         let mut sim = Simulator::new();
         if let Some(kind) = self.queue {
             sim.set_queue_kind(kind);
@@ -566,13 +603,14 @@ impl SystemBuilder {
                 MemModelKind::Static(_) => None,
             };
             let id = match (backend, &spec.model) {
-                (Some(backend), _) => sim.add_component(Box::new(MemoryModule::new(
-                    format!("mem{j}"),
-                    clk,
-                    ports,
-                    spec.base,
-                    backend,
-                ))),
+                (Some(backend), _) => {
+                    let mut module =
+                        MemoryModule::new(format!("mem{j}"), clk, ports, spec.base, backend);
+                    if let Some(hook) = &fault_hook {
+                        module.set_fault_hook(hook.clone(), j);
+                    }
+                    sim.add_component(Box::new(module))
+                }
                 (None, MemModelKind::Static(s)) => sim.add_component(Box::new(
                     StaticTableMemory::new(format!("mem{j}"), clk, ports, spec.base, *s),
                 )),
@@ -597,11 +635,17 @@ impl SystemBuilder {
         // Interconnect.
         let (bus_id, crossbar) = match interconnect {
             InterconnectKind::SharedBus(bus_cfg) => {
-                let bus = SharedBus::new("bus", clk, master_ifs, slave_ifs, map, bus_cfg);
+                let mut bus = SharedBus::new("bus", clk, master_ifs, slave_ifs, map, bus_cfg);
+                if let Some(hook) = &fault_hook {
+                    bus.set_fault_hook(hook.clone());
+                }
                 (sim.add_component(Box::new(bus)), false)
             }
             InterconnectKind::Crossbar(cfg) => {
-                let xbar = Crossbar::with_config("xbar", clk, master_ifs, slave_ifs, map, cfg);
+                let mut xbar = Crossbar::with_config("xbar", clk, master_ifs, slave_ifs, map, cfg);
+                if let Some(hook) = &fault_hook {
+                    xbar.set_fault_hook(hook.clone());
+                }
                 (sim.add_component(Box::new(xbar)), true)
             }
         };
@@ -623,6 +667,7 @@ impl SystemBuilder {
             mem_regions,
             bus_id,
             crossbar,
+            fault_hook,
         ))
     }
 }

@@ -18,8 +18,17 @@
 //!
 //! Execution is typed too: [`McSystem::run_until`] takes a composable
 //! [`StopCondition`] (all-halted, cycle budget, watchpoints, no-progress
-//! detection) and [`McSystem::snapshot`] reports mid-run statistics. See
-//! `README.md` in this crate for the guided tour and the migration notes.
+//! detection, wall-clock deadline) and [`McSystem::snapshot`] reports
+//! mid-run statistics. See `README.md` in this crate for the guided tour
+//! and the migration notes.
+//!
+//! Robustness experiments use the deterministic fault-injection layer:
+//! a seeded [`FaultPlan`] installed via [`SystemBuilder::faults`]
+//! schedules slave status faults, data corruption, interconnect faults
+//! and burst aborts replay-exactly; masters with a retry policy recover
+//! or escalate into [`StopCause::Fault`], and [`RunReport::faults`]
+//! carries the [`FaultStats`]. See the fault-model section of this
+//! crate's `README.md`.
 //!
 //! The [`experiments`] module reproduces every experiment of the paper and
 //! the extended evaluation documented in `EXPERIMENTS.md`.
@@ -39,7 +48,11 @@ pub use builder::{
     BuildError, CpuHandle, CpuSpec, MasterHandle, MemHandle, MemSpec, Preset, SystemBuilder,
     DEFAULT_LOCAL_MEM,
 };
+pub use dmi_core::{
+    faults_enabled_default, FaultKind, FaultPlan, FaultSite, FaultSpec, FaultStats, FaultTrigger,
+};
+pub use dmi_interconnect::{ErrorCounts, MasterError};
 pub use dmi_kernel::QueueKind;
 pub use config::{mem_base, InterconnectKind, MemModelKind, SystemConfig, MEM_WINDOW};
 pub use report::{CpuReport, MasterReport, MemReport, RunReport};
-pub use run_ctl::{StopCause, StopCondition};
+pub use run_ctl::{FaultReport, StopCause, StopCondition};

@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use dmi_core::{MemStats, ModuleStats};
+use dmi_core::{FaultStats, MemStats, ModuleStats};
 use dmi_interconnect::{BusStats, MasterStats};
 use dmi_iss::{CpuComponentStats, CpuStats};
 use dmi_kernel::{FastPathStats, KernelStats};
@@ -79,6 +79,12 @@ pub struct RunReport {
     /// assert fast-path coverage with. Unlike `kernel`, these differ by
     /// construction between the reference and fast configurations.
     pub fast_path: FastPathStats,
+    /// Fault-injection counters: faults injected per site class and per
+    /// plan spec, plus master-side recovery outcomes (retried /
+    /// recovered / escalated). All-zero when the system was built
+    /// without a [`FaultPlan`](dmi_core::FaultPlan) or with an empty
+    /// one.
+    pub faults: FaultStats,
 }
 
 impl RunReport {
@@ -173,6 +179,18 @@ impl RunReport {
         )
     }
 
+    /// One-line fault-injection summary: injected faults by site class
+    /// and the recovery outcome counters. Empty-plan runs report all
+    /// zeros.
+    pub fn fault_summary(&self) -> String {
+        let f = &self.faults;
+        format!(
+            "faults: {} injected ({} mem-op, {} beat, {} bus); \
+             {} retried, {} recovered, {} escalated",
+            f.injected, f.mem_ops, f.mem_beats, f.bus_accesses, f.retried, f.recovered, f.escalated,
+        )
+    }
+
     /// Per-memory hot-path summary: one line per module with TLB hit
     /// rate and burst activity (diagnostics for the wrapper's fast
     /// paths; static memories report no translations).
@@ -224,6 +242,7 @@ mod tests {
             bus: BusStats::default(),
             kernel: KernelStats::default(),
             fast_path: FastPathStats::default(),
+            faults: FaultStats::default(),
         }
     }
 

@@ -12,6 +12,10 @@
 //! a run ends (with [`StopCause::AllHalted`]) once every CPU has halted
 //! and every master has raised `done`.
 
+use std::time::Duration;
+
+use dmi_interconnect::MasterError;
+
 use crate::builder::MemHandle;
 
 /// Why a [`run_until`](crate::McSystem::run_until) call returned.
@@ -31,9 +35,29 @@ pub enum StopCause {
     /// Busy-wait loops *do* retire instructions and therefore count as
     /// progress; use a watchpoint or cycle budget for those.
     NoProgress,
+    /// The host wall-clock deadline of
+    /// [`StopCondition::wall_clock`] passed (quantised to the poll
+    /// granularity). Inherently not replayable — use for CI safety nets,
+    /// not for experiments that must be deterministic.
+    WallClock,
+    /// A master escalated an unrecovered injected fault (its retry
+    /// policy exhausted retries with `escalate` set). The payload
+    /// identifies the master and carries its typed [`MasterError`].
+    Fault(FaultReport),
     /// A component stopped the kernel with an error (see
     /// [`RunReport::error`](crate::RunReport::error)).
     Error,
+}
+
+/// Which master escalated a fault, and what it observed — the payload of
+/// [`StopCause::Fault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Index of the escalating master in the report's `masters` vector
+    /// (registration order).
+    pub master: usize,
+    /// The typed error the master recorded when it gave up.
+    pub error: MasterError,
 }
 
 /// One watched shared-memory word.
@@ -59,6 +83,8 @@ pub struct StopCondition {
     pub(crate) cycles: Option<u64>,
     pub(crate) watches: Vec<Watch>,
     pub(crate) no_progress: Option<u64>,
+    /// Host wall-clock budget; checked on poll boundaries.
+    pub(crate) wall: Option<Duration>,
     /// Explicit [`poll_every`](Self::poll_every) setting; `None` = the
     /// default granularity. Kept optional so `or`-composition with terms
     /// that never set it cannot clobber an explicit choice.
@@ -71,6 +97,7 @@ impl StopCondition {
             cycles: None,
             watches: Vec::new(),
             no_progress: None,
+            wall: None,
             poll: None,
         }
     }
@@ -125,6 +152,20 @@ impl StopCondition {
         }
     }
 
+    /// Stop once `budget` of host wall-clock time has elapsed (counted
+    /// from the `run_until` call), quantised to the poll granularity.
+    ///
+    /// This is the one stop term that depends on the host rather than the
+    /// simulation, so the cycle count it stops at is *not* reproducible
+    /// between runs. Use it as a CI/interactive safety net on top of
+    /// deterministic terms, not as an experiment boundary.
+    pub fn wall_clock(budget: Duration) -> Self {
+        StopCondition {
+            wall: Some(budget),
+            ..Self::empty()
+        }
+    }
+
     /// Combines two conditions: stop when *either* fires. Watch terms
     /// keep their left-to-right composition order (the order
     /// [`StopCause::Watchpoint`] indexes).
@@ -135,6 +176,10 @@ impl StopCondition {
         };
         self.watches.extend(other.watches);
         self.no_progress = match (self.no_progress, other.no_progress) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.wall = match (self.wall, other.wall) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         };
@@ -156,10 +201,10 @@ impl StopCondition {
         self
     }
 
-    /// Whether this condition needs mid-run polling (watchpoints or
-    /// no-progress detection).
+    /// Whether this condition needs mid-run polling (watchpoints,
+    /// no-progress detection, or a wall-clock budget).
     pub(crate) fn needs_poll(&self) -> bool {
-        !self.watches.is_empty() || self.no_progress.is_some()
+        !self.watches.is_empty() || self.no_progress.is_some() || self.wall.is_some()
     }
 }
 
@@ -179,6 +224,18 @@ mod tests {
         assert_eq!(c.poll_cycles(), 16);
         assert!(c.needs_poll());
         assert!(!StopCondition::cycles(10).needs_poll());
+    }
+
+    #[test]
+    fn wall_clock_term_polls_and_merges() {
+        let c = StopCondition::wall_clock(Duration::from_secs(2));
+        assert!(c.needs_poll(), "wall deadline requires polling");
+        let c = c.or(StopCondition::wall_clock(Duration::from_millis(50)));
+        assert_eq!(c.wall, Some(Duration::from_millis(50)));
+        // Terms without a wall budget leave it alone.
+        let c = c.or(StopCondition::cycles(10));
+        assert_eq!(c.wall, Some(Duration::from_millis(50)));
+        assert_eq!(c.cycles, Some(10));
     }
 
     #[test]
