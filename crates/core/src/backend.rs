@@ -8,6 +8,8 @@
 //! tables) apples-to-apples: same protocol, same handshake, different
 //! internals.
 
+use dmi_kernel::{SnapshotError, StateReader, StateWriter};
+
 use crate::host::HostStats;
 use crate::protocol::{OpResult, Request, Status};
 
@@ -242,6 +244,61 @@ pub trait DsmBackend: std::fmt::Debug {
 
     /// Upcast for concrete-model inspection after a run.
     fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Serializes the backend's mutable state (storage contents,
+    /// allocation tables, in-flight bursts, counters) for a snapshot.
+    /// Mirrors [`Component::save_state`]; configuration is not
+    /// serialized. The default writes nothing.
+    ///
+    /// [`Component::save_state`]: dmi_kernel::Component::save_state
+    fn save_state(&self, w: &mut StateWriter) {
+        let _ = w;
+    }
+
+    /// Restores state written by [`DsmBackend::save_state`]. Must return
+    /// a typed error (never panic) on corrupt input.
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let _ = r;
+        Ok(())
+    }
+}
+
+/// Serializes a [`MemStats`] for a backend's snapshot payload.
+pub(crate) fn write_mem_stats(w: &mut StateWriter, s: &MemStats) {
+    w.put_u64(s.allocs);
+    w.put_u64(s.frees);
+    w.put_u64(s.reads);
+    w.put_u64(s.writes);
+    w.put_u64(s.burst_beats);
+    w.put_u64(s.errors);
+    w.put_u64(s.denials);
+    w.put_u64(s.busy_cycles);
+    w.put_u64(s.tlb_hits);
+    w.put_u64(s.tlb_misses);
+    w.put_u64(s.host.allocs);
+    w.put_u64(s.host.frees);
+    w.put_u64(s.host.bytes_allocated);
+}
+
+/// Reads back a [`MemStats`] written by [`write_mem_stats`].
+pub(crate) fn read_mem_stats(r: &mut StateReader<'_>) -> Result<MemStats, SnapshotError> {
+    Ok(MemStats {
+        allocs: r.get_u64("mem stats.allocs")?,
+        frees: r.get_u64("mem stats.frees")?,
+        reads: r.get_u64("mem stats.reads")?,
+        writes: r.get_u64("mem stats.writes")?,
+        burst_beats: r.get_u64("mem stats.burst_beats")?,
+        errors: r.get_u64("mem stats.errors")?,
+        denials: r.get_u64("mem stats.denials")?,
+        busy_cycles: r.get_u64("mem stats.busy_cycles")?,
+        tlb_hits: r.get_u64("mem stats.tlb_hits")?,
+        tlb_misses: r.get_u64("mem stats.tlb_misses")?,
+        host: HostStats {
+            allocs: r.get_u64("mem stats.host.allocs")?,
+            frees: r.get_u64("mem stats.host.frees")?,
+            bytes_allocated: r.get_u64("mem stats.host.bytes_allocated")?,
+        },
+    })
 }
 
 #[cfg(test)]

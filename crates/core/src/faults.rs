@@ -385,6 +385,79 @@ impl FaultController {
         Rc::new(RefCell::new(self))
     }
 
+    /// Number of compiled specs (the plan's length).
+    pub fn spec_count(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Serializes the per-spec stream positions (match/fire counts and
+    /// the raw splitmix64 state — the *position* in each spec's random
+    /// stream) plus the injection counters. The `enabled` flag is a
+    /// runtime twin toggle like the clock calendar and is *not*
+    /// serialized; restore keeps the target's setting.
+    pub fn save_state(&self, w: &mut dmi_kernel::StateWriter) {
+        w.put_u32(self.specs.len() as u32);
+        for s in &self.specs {
+            w.put_u64(s.matches);
+            w.put_u64(s.fires);
+            w.put_u64(s.rng);
+        }
+        w.put_u64(self.stats.injected);
+        w.put_u64(self.stats.mem_ops);
+        w.put_u64(self.stats.mem_beats);
+        w.put_u64(self.stats.bus_accesses);
+        w.put_u64(self.stats.retried);
+        w.put_u64(self.stats.recovered);
+        w.put_u64(self.stats.escalated);
+        w.put_u32(self.stats.per_spec.len() as u32);
+        for n in &self.stats.per_spec {
+            w.put_u64(*n);
+        }
+    }
+
+    /// Restores state written by [`FaultController::save_state`] onto a
+    /// controller compiled from the same plan (validated by spec count).
+    pub fn load_state(
+        &mut self,
+        r: &mut dmi_kernel::StateReader<'_>,
+    ) -> Result<(), dmi_kernel::SnapshotError> {
+        use dmi_kernel::SnapshotError;
+        let n = r.get_u32("fault spec count")? as usize;
+        if n != self.specs.len() {
+            return Err(SnapshotError::Mismatch {
+                context: format!(
+                    "snapshot has {n} fault specs, target plan has {}",
+                    self.specs.len()
+                ),
+            });
+        }
+        for s in &mut self.specs {
+            s.matches = r.get_u64("fault spec matches")?;
+            s.fires = r.get_u64("fault spec fires")?;
+            s.rng = r.get_u64("fault spec rng")?;
+        }
+        self.stats.injected = r.get_u64("fault stats.injected")?;
+        self.stats.mem_ops = r.get_u64("fault stats.mem_ops")?;
+        self.stats.mem_beats = r.get_u64("fault stats.mem_beats")?;
+        self.stats.bus_accesses = r.get_u64("fault stats.bus_accesses")?;
+        self.stats.retried = r.get_u64("fault stats.retried")?;
+        self.stats.recovered = r.get_u64("fault stats.recovered")?;
+        self.stats.escalated = r.get_u64("fault stats.escalated")?;
+        let m = r.get_u32("fault per-spec count")? as usize;
+        if m != self.stats.per_spec.len() {
+            return Err(SnapshotError::Mismatch {
+                context: format!(
+                    "snapshot has {m} per-spec counters, target has {}",
+                    self.stats.per_spec.len()
+                ),
+            });
+        }
+        for slot in &mut self.stats.per_spec {
+            *slot = r.get_u64("fault per-spec fires")?;
+        }
+        Ok(())
+    }
+
     /// Whether any injection can happen: the controller is enabled and
     /// the plan has at least one spec.
     pub fn live(&self) -> bool {

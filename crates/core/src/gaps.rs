@@ -179,6 +179,27 @@ impl GapIndex {
         self.count
     }
 
+    /// Rebuilds an index as the exact complement of `allocated`
+    /// — `(start, size)` ranges sorted by start, non-overlapping, with
+    /// `start + size` not wrapping. This is how snapshot restore
+    /// reconstructs the free-space view from the serialized allocation
+    /// table instead of persisting the treap itself.
+    pub fn from_allocated(allocated: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let mut idx = GapIndex { root: None, count: 0 };
+        let mut cursor = 0u32;
+        for (start, size) in allocated {
+            debug_assert!(start >= cursor, "allocated ranges must be sorted and disjoint");
+            if start > cursor {
+                idx.insert_gap(cursor, start - cursor);
+            }
+            cursor = start + size;
+        }
+        if cursor < u32::MAX {
+            idx.insert_gap(cursor, u32::MAX - cursor);
+        }
+        idx
+    }
+
     /// Lowest gap start whose gap holds at least `size` bytes (first fit
     /// in address order), in O(log n).
     pub fn first_fit(&self, size: u32) -> Option<u32> {

@@ -437,6 +437,103 @@ impl Component for MemoryModule {
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
+
+    fn save_state(&self, w: &mut dmi_kernel::StateWriter) {
+        for ctx in &self.ctxs {
+            w.put_u32(ctx.args[0]);
+            w.put_u32(ctx.args[1]);
+            w.put_u32(ctx.args[2]);
+            w.put_u32(ctx.status as u32);
+            w.put_u32(ctx.result);
+        }
+        match self.state {
+            FsmState::Idle => w.put_u8(0),
+            FsmState::Exec { remaining, data } => {
+                w.put_u8(1);
+                w.put_u64(remaining);
+                w.put_u32(data);
+            }
+            FsmState::AckWait => w.put_u8(2),
+        }
+        w.put_u64(self.stats.transactions);
+        w.put_u64(self.stats.busy_cycles);
+        w.put_u64(self.stats.idle_cycles);
+        for s in &self.streams {
+            w.put_u64(s.data.len() as u64);
+            for v in &s.data {
+                w.put_u32(*v);
+            }
+            w.put_u64(s.pos as u64);
+            w.put_u64(s.beat_cycles);
+        }
+        for dead in &self.burst_dead {
+            match dead {
+                Some(status) => {
+                    w.put_bool(true);
+                    w.put_u32(*status as u32);
+                }
+                None => w.put_bool(false),
+            }
+        }
+        self.backend.save_state(w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut dmi_kernel::StateReader<'_>,
+    ) -> Result<(), dmi_kernel::SnapshotError> {
+        use dmi_kernel::SnapshotError;
+        let bad_status = |raw: u32| SnapshotError::Corrupt {
+            context: format!("memory module: invalid status code {raw}"),
+        };
+        for ctx in &mut self.ctxs {
+            ctx.args[0] = r.get_u32("module ctx arg0")?;
+            ctx.args[1] = r.get_u32("module ctx arg1")?;
+            ctx.args[2] = r.get_u32("module ctx arg2")?;
+            let raw = r.get_u32("module ctx status")?;
+            ctx.status = Status::from_u32(raw).ok_or_else(|| bad_status(raw))?;
+            ctx.result = r.get_u32("module ctx result")?;
+        }
+        self.state = match r.get_u8("module fsm")? {
+            0 => FsmState::Idle,
+            1 => FsmState::Exec {
+                remaining: r.get_u64("module fsm remaining")?,
+                data: r.get_u32("module fsm data")?,
+            },
+            2 => FsmState::AckWait,
+            t => {
+                return Err(SnapshotError::Corrupt {
+                    context: format!("memory module: unknown fsm tag {t}"),
+                })
+            }
+        };
+        self.stats.transactions = r.get_u64("module stats.transactions")?;
+        self.stats.busy_cycles = r.get_u64("module stats.busy_cycles")?;
+        self.stats.idle_cycles = r.get_u64("module stats.idle_cycles")?;
+        for s in &mut self.streams {
+            let n = r.get_u64("module stream len")? as usize;
+            s.data.clear();
+            for _ in 0..n {
+                s.data.push(r.get_u32("module stream word")?);
+            }
+            s.pos = r.get_u64("module stream pos")? as usize;
+            s.beat_cycles = r.get_u64("module stream beat_cycles")?;
+            if s.pos > s.data.len() {
+                return Err(SnapshotError::Corrupt {
+                    context: "memory module: stream cursor out of range".to_string(),
+                });
+            }
+        }
+        for dead in &mut self.burst_dead {
+            *dead = if r.get_bool("module burst_dead flag")? {
+                let raw = r.get_u32("module burst_dead status")?;
+                Some(Status::from_u32(raw).ok_or_else(|| bad_status(raw))?)
+            } else {
+                None
+            };
+        }
+        self.backend.load_state(r)
+    }
 }
 
 #[cfg(test)]

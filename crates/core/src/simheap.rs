@@ -514,6 +514,86 @@ impl DsmBackend for SimHeapBackend {
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
+
+    fn save_state(&self, w: &mut dmi_kernel::StateWriter) {
+        // The whole simulated array: the allocator's block headers live
+        // inside it, so the byte image *is* the allocation state.
+        w.put_bytes(&self.mem);
+        w.put_u32(self.used_bytes);
+        w.put_u64(self.word_touches);
+        for slot in 0..16 {
+            match &self.burst[slot] {
+                Some(b) => {
+                    w.put_bool(true);
+                    w.put_u32(b.offset);
+                    w.put_u8(b.elem as u8);
+                    w.put_u32(b.len);
+                    w.put_u32(b.done);
+                    w.put_bool(b.writing);
+                    w.put_u64(b.iobuf.len() as u64);
+                    for v in &b.iobuf {
+                        w.put_u32(*v);
+                    }
+                }
+                None => w.put_bool(false),
+            }
+        }
+        crate::backend::write_mem_stats(w, &self.stats);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut dmi_kernel::StateReader<'_>,
+    ) -> Result<(), dmi_kernel::SnapshotError> {
+        use dmi_kernel::SnapshotError;
+        let mem = r.get_bytes("simheap array")?;
+        if mem.len() != self.mem.len() {
+            return Err(SnapshotError::Mismatch {
+                context: format!(
+                    "simheap snapshot covers {} bytes, target has {}",
+                    mem.len(),
+                    self.mem.len()
+                ),
+            });
+        }
+        self.mem.copy_from_slice(mem);
+        self.used_bytes = r.get_u32("simheap used_bytes")?;
+        self.word_touches = r.get_u64("simheap word_touches")?;
+        for slot in 0..16 {
+            self.burst[slot] = if r.get_bool("simheap burst flag")? {
+                let offset = r.get_u32("simheap burst offset")?;
+                let elem = ElemType::from_u32(r.get_u8("simheap burst elem")? as u32)
+                    .ok_or_else(|| SnapshotError::Corrupt {
+                        context: "simheap burst: invalid element type".to_string(),
+                    })?;
+                let len = r.get_u32("simheap burst len")?;
+                let done = r.get_u32("simheap burst done")?;
+                let writing = r.get_bool("simheap burst writing")?;
+                let n = r.get_u64("simheap iobuf len")? as usize;
+                let mut iobuf = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    iobuf.push(r.get_u32("simheap iobuf word")?);
+                }
+                if done > len {
+                    return Err(SnapshotError::Corrupt {
+                        context: "simheap burst: cursor out of range".to_string(),
+                    });
+                }
+                Some(BurstState {
+                    offset,
+                    elem,
+                    len,
+                    done,
+                    writing,
+                    iobuf,
+                })
+            } else {
+                None
+            };
+        }
+        self.stats = crate::backend::read_mem_stats(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -192,6 +192,61 @@ impl Component for StaticTableMemory {
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
+
+    fn save_state(&self, w: &mut dmi_kernel::StateWriter) {
+        w.put_bytes(&self.bytes);
+        match self.state {
+            FsmState::Idle => w.put_u8(0),
+            FsmState::Exec { remaining, data } => {
+                w.put_u8(1);
+                w.put_u64(remaining);
+                w.put_u32(data);
+            }
+            FsmState::AckWait => w.put_u8(2),
+        }
+        w.put_u64(self.stats.transactions);
+        w.put_u64(self.stats.busy_cycles);
+        w.put_u64(self.stats.idle_cycles);
+        w.put_u64(self.reads);
+        w.put_u64(self.writes);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut dmi_kernel::StateReader<'_>,
+    ) -> Result<(), dmi_kernel::SnapshotError> {
+        use dmi_kernel::SnapshotError;
+        let bytes = r.get_bytes("static memory array")?;
+        if bytes.len() != self.bytes.len() {
+            return Err(SnapshotError::Mismatch {
+                context: format!(
+                    "static memory snapshot covers {} bytes, target has {}",
+                    bytes.len(),
+                    self.bytes.len()
+                ),
+            });
+        }
+        self.bytes.copy_from_slice(bytes);
+        self.state = match r.get_u8("static memory fsm")? {
+            0 => FsmState::Idle,
+            1 => FsmState::Exec {
+                remaining: r.get_u64("static memory fsm remaining")?,
+                data: r.get_u32("static memory fsm data")?,
+            },
+            2 => FsmState::AckWait,
+            t => {
+                return Err(SnapshotError::Corrupt {
+                    context: format!("static memory: unknown fsm tag {t}"),
+                })
+            }
+        };
+        self.stats.transactions = r.get_u64("static memory stats.transactions")?;
+        self.stats.busy_cycles = r.get_u64("static memory stats.busy_cycles")?;
+        self.stats.idle_cycles = r.get_u64("static memory stats.idle_cycles")?;
+        self.reads = r.get_u64("static memory reads")?;
+        self.writes = r.get_u64("static memory writes")?;
+        Ok(())
+    }
 }
 
 #[derive(Debug)]
@@ -485,6 +540,80 @@ impl DsmBackend for StaticTableBackend {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn save_state(&self, w: &mut dmi_kernel::StateWriter) {
+        w.put_bytes(&self.mem);
+        for slot in 0..16 {
+            match &self.burst[slot] {
+                Some(b) => {
+                    w.put_bool(true);
+                    w.put_u32(b.offset);
+                    w.put_u8(b.elem as u8);
+                    w.put_u32(b.len);
+                    w.put_u32(b.done);
+                    w.put_bool(b.writing);
+                    w.put_u64(b.iobuf.len() as u64);
+                    for v in &b.iobuf {
+                        w.put_u32(*v);
+                    }
+                }
+                None => w.put_bool(false),
+            }
+        }
+        crate::backend::write_mem_stats(w, &self.stats);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut dmi_kernel::StateReader<'_>,
+    ) -> Result<(), dmi_kernel::SnapshotError> {
+        use dmi_kernel::SnapshotError;
+        let mem = r.get_bytes("static backend array")?;
+        if mem.len() != self.mem.len() {
+            return Err(SnapshotError::Mismatch {
+                context: format!(
+                    "static backend snapshot covers {} bytes, target has {}",
+                    mem.len(),
+                    self.mem.len()
+                ),
+            });
+        }
+        self.mem.copy_from_slice(mem);
+        for slot in 0..16 {
+            self.burst[slot] = if r.get_bool("static burst flag")? {
+                let offset = r.get_u32("static burst offset")?;
+                let elem = ElemType::from_u32(r.get_u8("static burst elem")? as u32)
+                    .ok_or_else(|| SnapshotError::Corrupt {
+                        context: "static burst: invalid element type".to_string(),
+                    })?;
+                let len = r.get_u32("static burst len")?;
+                let done = r.get_u32("static burst done")?;
+                let writing = r.get_bool("static burst writing")?;
+                let n = r.get_u64("static iobuf len")? as usize;
+                let mut iobuf = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    iobuf.push(r.get_u32("static iobuf word")?);
+                }
+                if done > len {
+                    return Err(SnapshotError::Corrupt {
+                        context: "static burst: cursor out of range".to_string(),
+                    });
+                }
+                Some(StaticBurst {
+                    offset,
+                    elem,
+                    len,
+                    done,
+                    writing,
+                    iobuf,
+                })
+            } else {
+                None
+            };
+        }
+        self.stats = crate::backend::read_mem_stats(r)?;
+        Ok(())
     }
 }
 

@@ -652,6 +652,123 @@ impl PointerTable {
         }
         Ok(())
     }
+
+    /// Serializes the live allocations (including their host-side
+    /// payload bytes), accounting state, and counters. The TLB and the
+    /// gap index are validated caches and are *reconstructed* on load,
+    /// not serialized — so their hit/miss counters legitimately diverge
+    /// between a restored and a continuous run.
+    pub fn save_state(&self, w: &mut dmi_kernel::StateWriter) {
+        w.put_u32(self.entries.len() as u32);
+        for e in &self.entries {
+            w.put_u32(e.vptr);
+            w.put_u32(e.dim);
+            w.put_u8(e.elem as u8);
+            w.put_u32(e.size);
+            match e.reserved_by {
+                Some(m) => {
+                    w.put_bool(true);
+                    w.put_u8(m);
+                }
+                None => w.put_bool(false),
+            }
+            w.put_bytes(e.host.bytes());
+        }
+        w.put_u32(self.used);
+        w.put_u64(self.stats.allocs);
+        w.put_u64(self.stats.frees);
+        w.put_u64(self.stats.denials);
+        w.put_u64(self.stats.lookups);
+        w.put_u64(self.stats.arith_resolutions);
+        w.put_u64(self.stats.tlb_hits);
+        w.put_u64(self.stats.tlb_misses);
+        w.put_u64(self.stats.tlb_invalidations);
+        w.put_u64(self.stats.compactions);
+        w.put_u64(self.stats.peak_entries as u64);
+        w.put_u64(self.host_stats.allocs);
+        w.put_u64(self.host_stats.frees);
+        w.put_u64(self.host_stats.bytes_allocated);
+    }
+
+    /// Restores state written by [`PointerTable::save_state`] onto a
+    /// table with the same configuration, rebuilding the TLB (cold) and
+    /// the gap index (exact complement of the restored entries).
+    pub fn load_state(
+        &mut self,
+        r: &mut dmi_kernel::StateReader<'_>,
+    ) -> Result<(), dmi_kernel::SnapshotError> {
+        use dmi_kernel::SnapshotError;
+        let n = r.get_u32("table entry count")? as usize;
+        let mut entries = Vec::with_capacity(n);
+        let mut prev_end = 0u32;
+        for i in 0..n {
+            let vptr = r.get_u32("entry vptr")?;
+            let dim = r.get_u32("entry dim")?;
+            let elem = ElemType::from_u32(r.get_u8("entry elem")? as u32).ok_or_else(|| {
+                SnapshotError::Corrupt {
+                    context: format!("entry {i}: invalid element type"),
+                }
+            })?;
+            let size = r.get_u32("entry size")?;
+            let reserved_by = if r.get_bool("entry reservation flag")? {
+                Some(r.get_u8("entry reservation owner")?)
+            } else {
+                None
+            };
+            let bytes = r.get_bytes("entry payload")?;
+            if size != dim.saturating_mul(elem.bytes())
+                || bytes.len() != size as usize
+            {
+                return Err(SnapshotError::Corrupt {
+                    context: format!("entry {i}: inconsistent size"),
+                });
+            }
+            if i > 0 && vptr < prev_end || vptr.checked_add(size).is_none() {
+                return Err(SnapshotError::Corrupt {
+                    context: format!("entry {i}: overlapping or wrapping vptr range"),
+                });
+            }
+            prev_end = vptr + size;
+            let mut host = HostAlloc::calloc(size);
+            host.bytes_mut().copy_from_slice(bytes);
+            entries.push(Entry {
+                vptr,
+                dim,
+                elem,
+                size,
+                reserved_by,
+                host,
+            });
+        }
+        self.entries = entries;
+        self.used = r.get_u32("table used")?;
+        self.stats.allocs = r.get_u64("table stats.allocs")?;
+        self.stats.frees = r.get_u64("table stats.frees")?;
+        self.stats.denials = r.get_u64("table stats.denials")?;
+        self.stats.lookups = r.get_u64("table stats.lookups")?;
+        self.stats.arith_resolutions = r.get_u64("table stats.arith_resolutions")?;
+        self.stats.tlb_hits = r.get_u64("table stats.tlb_hits")?;
+        self.stats.tlb_misses = r.get_u64("table stats.tlb_misses")?;
+        self.stats.tlb_invalidations = r.get_u64("table stats.tlb_invalidations")?;
+        self.stats.compactions = r.get_u64("table stats.compactions")?;
+        self.stats.peak_entries = r.get_u64("table stats.peak_entries")? as usize;
+        self.host_stats.allocs = r.get_u64("table host.allocs")?;
+        self.host_stats.frees = r.get_u64("table host.frees")?;
+        self.host_stats.bytes_allocated = r.get_u64("table host.bytes_allocated")?;
+        // Rebuild the validated caches instead of trusting serialized
+        // copies: a cold TLB and the exact free-space complement.
+        self.tlb = Tlb::new();
+        if self.tlb_enabled {
+            self.tlb.grow_for(self.entries.len());
+        }
+        self.gaps = (self.policy == VptrPolicy::FirstFitReuse).then(|| {
+            GapIndex::from_allocated(self.entries.iter().map(|e| (e.vptr, e.size)))
+        });
+        self.check_invariants()
+            .map_err(|detail| SnapshotError::Corrupt {
+                context: format!("restored pointer table: {detail}"),
+            })
+    }
 }
 
 #[cfg(test)]

@@ -468,6 +468,78 @@ impl DsmBackend for WrapperBackend {
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
+
+    fn save_state(&self, w: &mut dmi_kernel::StateWriter) {
+        self.table.save_state(w);
+        for slot in 0..16 {
+            match &self.burst[slot] {
+                Some(b) => {
+                    w.put_bool(true);
+                    w.put_u64(b.entry as u64);
+                    w.put_u32(b.offset);
+                    w.put_u8(b.elem as u8);
+                    w.put_u32(b.len);
+                    w.put_u32(b.done);
+                    w.put_bool(b.writing);
+                }
+                None => w.put_bool(false),
+            }
+            // Mid-burst data lives in the staged I/O array; serialize it
+            // whole (it is cleared between bursts anyway).
+            let buf = &self.iobufs[slot];
+            w.put_u64(buf.len() as u64);
+            for v in buf {
+                w.put_u32(*v);
+            }
+        }
+        crate::backend::write_mem_stats(w, &self.stats);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut dmi_kernel::StateReader<'_>,
+    ) -> Result<(), dmi_kernel::SnapshotError> {
+        use dmi_kernel::SnapshotError;
+        self.table.load_state(r)?;
+        for slot in 0..16 {
+            self.burst[slot] = if r.get_bool("wrapper burst flag")? {
+                let entry = r.get_u64("wrapper burst entry")? as usize;
+                let offset = r.get_u32("wrapper burst offset")?;
+                let elem = ElemType::from_u32(r.get_u8("wrapper burst elem")? as u32)
+                    .ok_or_else(|| SnapshotError::Corrupt {
+                        context: "wrapper burst: invalid element type".to_string(),
+                    })?;
+                let len = r.get_u32("wrapper burst len")?;
+                let done = r.get_u32("wrapper burst done")?;
+                let writing = r.get_bool("wrapper burst writing")?;
+                if entry >= self.table.len() || done > len {
+                    return Err(SnapshotError::Corrupt {
+                        context: "wrapper burst: cursor out of range".to_string(),
+                    });
+                }
+                Some(BurstState {
+                    entry,
+                    offset,
+                    elem,
+                    len,
+                    done,
+                    writing,
+                })
+            } else {
+                None
+            };
+            let n = r.get_u64("wrapper iobuf len")? as usize;
+            let buf = &mut self.iobufs[slot];
+            buf.clear();
+            for _ in 0..n {
+                buf.push(r.get_u32("wrapper iobuf word")?);
+            }
+        }
+        self.stats = crate::backend::read_mem_stats(r)?;
+        // Translation hints are validated caches; restart cold.
+        self.xlat_hint = [u32::MAX; 16];
+        Ok(())
+    }
 }
 
 #[cfg(test)]

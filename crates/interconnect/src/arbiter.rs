@@ -60,6 +60,41 @@ impl Arbiter {
     pub fn grants(&self) -> &[u64] {
         &self.grants
     }
+
+    /// Serializes the rotation point and grant counters (the policy and
+    /// width are construction-time configuration).
+    pub(crate) fn save_state(&self, w: &mut dmi_kernel::StateWriter) {
+        w.put_u64(self.last_grant as u64);
+        w.put_u32(self.grants.len() as u32);
+        for g in &self.grants {
+            w.put_u64(*g);
+        }
+    }
+
+    /// Restores state written by [`Arbiter::save_state`].
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut dmi_kernel::StateReader<'_>,
+    ) -> Result<(), dmi_kernel::SnapshotError> {
+        use dmi_kernel::SnapshotError;
+        let last = r.get_u64("arbiter last_grant")? as usize;
+        if last >= self.n.max(1) {
+            return Err(SnapshotError::Corrupt {
+                context: format!("arbiter rotation point {last} of {}", self.n),
+            });
+        }
+        let n = r.get_u32("arbiter width")? as usize;
+        if n != self.grants.len() {
+            return Err(SnapshotError::Mismatch {
+                context: format!("snapshot arbiter has {n} requesters, target has {}", self.n),
+            });
+        }
+        self.last_grant = last;
+        for g in &mut self.grants {
+            *g = r.get_u64("arbiter grant count")?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -412,4 +412,136 @@ impl Component for SharedBus {
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
+
+    fn save_state(&self, w: &mut dmi_kernel::StateWriter) {
+        match self.state {
+            BusState::Idle => w.put_u8(0),
+            BusState::Arbitrate {
+                master,
+                slave,
+                remaining,
+            } => {
+                w.put_u8(1);
+                w.put_u64(master as u64);
+                w.put_u64(slave as u64);
+                w.put_u64(remaining);
+            }
+            BusState::WaitSlave { master, slave } => {
+                w.put_u8(2);
+                w.put_u64(master as u64);
+                w.put_u64(slave as u64);
+            }
+            BusState::Complete { master } => {
+                w.put_u8(3);
+                w.put_u64(master as u64);
+            }
+        }
+        w.put_u32(self.cooldown.len() as u32);
+        for c in &self.cooldown {
+            w.put_bool(*c);
+        }
+        for wc in &self.wait_cycles {
+            w.put_u64(*wc);
+        }
+        w.put_u32(self.slave_transactions.len() as u32);
+        for st in &self.slave_transactions {
+            w.put_u64(*st);
+        }
+        w.put_u64(self.transactions);
+        w.put_u64(self.decode_errors);
+        w.put_u64(self.busy_cycles);
+        w.put_u64(self.idle_cycles);
+        match self.last_route {
+            Some((m, s)) => {
+                w.put_bool(true);
+                w.put_u64(m as u64);
+                w.put_u64(s as u64);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_u64(self.retained_grants);
+        self.arbiter.save_state(w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut dmi_kernel::StateReader<'_>,
+    ) -> Result<(), dmi_kernel::SnapshotError> {
+        use dmi_kernel::SnapshotError;
+        let n = self.masters.len();
+        let p = self.slaves.len();
+        let master_bound = |m: u64| -> Result<usize, SnapshotError> {
+            if (m as usize) < n {
+                Ok(m as usize)
+            } else {
+                Err(SnapshotError::Corrupt {
+                    context: format!("bus state names master {m} of {n}"),
+                })
+            }
+        };
+        let slave_bound = |s: u64| -> Result<usize, SnapshotError> {
+            if (s as usize) < p {
+                Ok(s as usize)
+            } else {
+                Err(SnapshotError::Corrupt {
+                    context: format!("bus state names slave {s} of {p}"),
+                })
+            }
+        };
+        self.state = match r.get_u8("bus fsm")? {
+            0 => BusState::Idle,
+            1 => BusState::Arbitrate {
+                master: master_bound(r.get_u64("bus fsm master")?)?,
+                slave: slave_bound(r.get_u64("bus fsm slave")?)?,
+                remaining: r.get_u64("bus fsm remaining")?,
+            },
+            2 => BusState::WaitSlave {
+                master: master_bound(r.get_u64("bus fsm master")?)?,
+                slave: slave_bound(r.get_u64("bus fsm slave")?)?,
+            },
+            3 => BusState::Complete {
+                master: master_bound(r.get_u64("bus fsm master")?)?,
+            },
+            t => {
+                return Err(SnapshotError::Corrupt {
+                    context: format!("bus: unknown fsm tag {t}"),
+                })
+            }
+        };
+        let cd = r.get_u32("bus cooldown count")? as usize;
+        if cd != n {
+            return Err(SnapshotError::Mismatch {
+                context: format!("snapshot bus has {cd} masters, target has {n}"),
+            });
+        }
+        for c in &mut self.cooldown {
+            *c = r.get_bool("bus cooldown flag")?;
+        }
+        for wc in &mut self.wait_cycles {
+            *wc = r.get_u64("bus wait_cycles")?;
+        }
+        let st = r.get_u32("bus slave count")? as usize;
+        if st != p {
+            return Err(SnapshotError::Mismatch {
+                context: format!("snapshot bus has {st} slaves, target has {p}"),
+            });
+        }
+        for s in &mut self.slave_transactions {
+            *s = r.get_u64("bus slave_transactions")?;
+        }
+        self.transactions = r.get_u64("bus transactions")?;
+        self.decode_errors = r.get_u64("bus decode_errors")?;
+        self.busy_cycles = r.get_u64("bus busy_cycles")?;
+        self.idle_cycles = r.get_u64("bus idle_cycles")?;
+        self.last_route = if r.get_bool("bus last_route flag")? {
+            Some((
+                master_bound(r.get_u64("bus last_route master")?)?,
+                slave_bound(r.get_u64("bus last_route slave")?)?,
+            ))
+        } else {
+            None
+        };
+        self.retained_grants = r.get_u64("bus retained_grants")?;
+        self.arbiter.load_state(r)
+    }
 }

@@ -364,4 +364,146 @@ impl Component for Crossbar {
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
+
+    fn save_state(&self, w: &mut dmi_kernel::StateWriter) {
+        w.put_u32(self.lanes.len() as u32);
+        for lane in &self.lanes {
+            match *lane {
+                LaneState::Idle => w.put_u8(0),
+                LaneState::Arbitrate { master, remaining } => {
+                    w.put_u8(1);
+                    w.put_u64(master as u64);
+                    w.put_u64(remaining);
+                }
+                LaneState::WaitSlave { master } => {
+                    w.put_u8(2);
+                    w.put_u64(master as u64);
+                }
+                LaneState::Complete { master } => {
+                    w.put_u8(3);
+                    w.put_u64(master as u64);
+                }
+            }
+        }
+        for a in &self.arbiters {
+            a.save_state(w);
+        }
+        for last in &self.lane_last {
+            match last {
+                Some(m) => {
+                    w.put_bool(true);
+                    w.put_u64(*m as u64);
+                }
+                None => w.put_bool(false),
+            }
+        }
+        w.put_u64(self.retained_grants);
+        w.put_u32(self.cooldown.len() as u32);
+        for c in &self.cooldown {
+            w.put_bool(*c);
+        }
+        for s in &self.in_service {
+            w.put_bool(*s);
+        }
+        for wc in &self.wait_cycles {
+            w.put_u64(*wc);
+        }
+        for st in &self.slave_transactions {
+            w.put_u64(*st);
+        }
+        w.put_u64(self.transactions);
+        w.put_u64(self.decode_errors);
+        w.put_u64(self.busy_cycles);
+        w.put_u64(self.idle_cycles);
+        w.put_u32(self.error_complete.len() as u32);
+        for m in &self.error_complete {
+            w.put_u64(*m as u64);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut dmi_kernel::StateReader<'_>,
+    ) -> Result<(), dmi_kernel::SnapshotError> {
+        use dmi_kernel::SnapshotError;
+        let n = self.masters.len();
+        let master_bound = |m: u64| -> Result<usize, SnapshotError> {
+            if (m as usize) < n {
+                Ok(m as usize)
+            } else {
+                Err(SnapshotError::Corrupt {
+                    context: format!("crossbar state names master {m} of {n}"),
+                })
+            }
+        };
+        let lanes = r.get_u32("crossbar lane count")? as usize;
+        if lanes != self.lanes.len() {
+            return Err(SnapshotError::Mismatch {
+                context: format!(
+                    "snapshot crossbar has {lanes} lanes, target has {}",
+                    self.lanes.len()
+                ),
+            });
+        }
+        for lane in &mut self.lanes {
+            *lane = match r.get_u8("crossbar lane fsm")? {
+                0 => LaneState::Idle,
+                1 => LaneState::Arbitrate {
+                    master: master_bound(r.get_u64("crossbar lane master")?)?,
+                    remaining: r.get_u64("crossbar lane remaining")?,
+                },
+                2 => LaneState::WaitSlave {
+                    master: master_bound(r.get_u64("crossbar lane master")?)?,
+                },
+                3 => LaneState::Complete {
+                    master: master_bound(r.get_u64("crossbar lane master")?)?,
+                },
+                t => {
+                    return Err(SnapshotError::Corrupt {
+                        context: format!("crossbar: unknown lane fsm tag {t}"),
+                    })
+                }
+            };
+        }
+        for a in &mut self.arbiters {
+            a.load_state(r)?;
+        }
+        for last in &mut self.lane_last {
+            *last = if r.get_bool("crossbar lane_last flag")? {
+                Some(master_bound(r.get_u64("crossbar lane_last master")?)?)
+            } else {
+                None
+            };
+        }
+        self.retained_grants = r.get_u64("crossbar retained_grants")?;
+        let cd = r.get_u32("crossbar master count")? as usize;
+        if cd != n {
+            return Err(SnapshotError::Mismatch {
+                context: format!("snapshot crossbar has {cd} masters, target has {n}"),
+            });
+        }
+        for c in &mut self.cooldown {
+            *c = r.get_bool("crossbar cooldown flag")?;
+        }
+        for s in &mut self.in_service {
+            *s = r.get_bool("crossbar in_service flag")?;
+        }
+        for wc in &mut self.wait_cycles {
+            *wc = r.get_u64("crossbar wait_cycles")?;
+        }
+        for st in &mut self.slave_transactions {
+            *st = r.get_u64("crossbar slave_transactions")?;
+        }
+        self.transactions = r.get_u64("crossbar transactions")?;
+        self.decode_errors = r.get_u64("crossbar decode_errors")?;
+        self.busy_cycles = r.get_u64("crossbar busy_cycles")?;
+        self.idle_cycles = r.get_u64("crossbar idle_cycles")?;
+        let ec = r.get_u32("crossbar error_complete count")? as usize;
+        self.error_complete.clear();
+        for _ in 0..ec {
+            self.error_complete
+                .push(master_bound(r.get_u64("crossbar error_complete master")?)?);
+        }
+        Ok(())
+    }
 }

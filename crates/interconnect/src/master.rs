@@ -98,6 +98,16 @@ impl ErrorCounts {
         self.0.iter().sum()
     }
 
+    /// The raw per-bucket counters (snapshot serialization).
+    pub fn as_array(&self) -> [u64; 16] {
+        self.0
+    }
+
+    /// Rebuilds from raw per-bucket counters (snapshot restore).
+    pub fn from_array(buckets: [u64; 16]) -> Self {
+        ErrorCounts(buckets)
+    }
+
     /// `(decoded status, count)` pairs for the non-zero buckets, plus
     /// `(None, count)` for the undecodable bucket when non-empty.
     pub fn iter(&self) -> impl Iterator<Item = (Option<Status>, u64)> + '_ {

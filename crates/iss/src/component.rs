@@ -16,7 +16,7 @@
 
 use std::any::Any;
 
-use dmi_kernel::{Component, Ctx, Simulator, Wake, Wire};
+use dmi_kernel::{Component, Ctx, Simulator, SnapshotError, StateReader, StateWriter, Wake, Wire};
 
 use crate::bus::{ExtBus, ExtResult, ExtWidth};
 use crate::cpu::{CpuCore, StepEvent};
@@ -283,6 +283,88 @@ impl Component for CpuComponent {
             }
             _ => {}
         }
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        self.core.save_state(w);
+        w.put_u8(match self.state {
+            State::Ready => 0,
+            State::WaitBus => 1,
+        });
+        w.put_u64(self.stall_budget);
+        match &self.pending {
+            None => w.put_bool(false),
+            Some(p) => {
+                w.put_bool(true);
+                w.put_u32(p.addr);
+                w.put_u8(match p.width {
+                    ExtWidth::Byte => 0,
+                    ExtWidth::Half => 1,
+                    ExtWidth::Word => 2,
+                });
+                w.put_bool(p.we);
+                w.put_u32(p.wdata);
+            }
+        }
+        match self.ready {
+            None => w.put_bool(false),
+            Some((addr, data)) => {
+                w.put_bool(true);
+                w.put_u32(addr);
+                w.put_u32(data);
+            }
+        }
+        w.put_u64(self.stats.active_cycles);
+        w.put_u64(self.stats.bus_wait_cycles);
+        w.put_u64(self.stats.transactions);
+        w.put_bool(self.halted_driven);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.core.load_state(r)?;
+        self.state = match r.get_u8("cpu component state")? {
+            0 => State::Ready,
+            1 => State::WaitBus,
+            t => {
+                return Err(SnapshotError::Corrupt {
+                    context: format!("unknown cpu component state tag {t}"),
+                })
+            }
+        };
+        self.stall_budget = r.get_u64("cpu stall_budget")?;
+        self.pending = if r.get_bool("cpu pending flag")? {
+            let addr = r.get_u32("pending addr")?;
+            let width = match r.get_u8("pending width")? {
+                0 => ExtWidth::Byte,
+                1 => ExtWidth::Half,
+                2 => ExtWidth::Word,
+                t => {
+                    return Err(SnapshotError::Corrupt {
+                        context: format!("unknown ext width tag {t}"),
+                    })
+                }
+            };
+            let we = r.get_bool("pending we")?;
+            let wdata = r.get_u32("pending wdata")?;
+            Some(PendingAccess {
+                addr,
+                width,
+                we,
+                wdata,
+            })
+        } else {
+            None
+        };
+        self.ready = if r.get_bool("cpu ready flag")? {
+            Some((r.get_u32("ready addr")?, r.get_u32("ready data")?))
+        } else {
+            None
+        };
+        self.stats.active_cycles = r.get_u64("cpu stats.active_cycles")?;
+        self.stats.bus_wait_cycles = r.get_u64("cpu stats.bus_wait_cycles")?;
+        self.stats.transactions = r.get_u64("cpu stats.transactions")?;
+        self.halted_driven = r.get_bool("cpu halted_driven")?;
+        Ok(())
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -188,6 +188,114 @@ impl std::fmt::Display for CpuFault {
 
 impl std::error::Error for CpuFault {}
 
+/// Writes a [`CpuFault`] as a variant tag plus its payload.
+fn save_cpu_fault(w: &mut dmi_kernel::StateWriter, f: &CpuFault) {
+    match f {
+        CpuFault::FetchOutOfRange(addr) => {
+            w.put_u8(0);
+            w.put_u32(*addr);
+        }
+        CpuFault::Undefined { addr, err } => {
+            w.put_u8(1);
+            w.put_u32(*addr);
+            let (tag, word) = match *err {
+                DecodeError::ReservedBits(x) => (0u8, x),
+                DecodeError::InvalidMulOp(x) => (1, x),
+                DecodeError::InvalidMemSize(x) => (2, x),
+                DecodeError::SignedStore(x) => (3, x),
+                DecodeError::InvalidAddrMode(x) => (4, x),
+                DecodeError::EmptyRegList(x) => (5, x),
+                DecodeError::InvalidSysOp(x) => (6, x),
+            };
+            w.put_u8(tag);
+            w.put_u32(word);
+        }
+        CpuFault::DataAbort { addr } => {
+            w.put_u8(2);
+            w.put_u32(*addr);
+        }
+        CpuFault::Unaligned { addr, align } => {
+            w.put_u8(3);
+            w.put_u32(*addr);
+            w.put_u32(*align);
+        }
+        CpuFault::ExternalFault { addr } => {
+            w.put_u8(4);
+            w.put_u32(*addr);
+        }
+        CpuFault::ExternalBlockTransfer { addr } => {
+            w.put_u8(5);
+            w.put_u32(*addr);
+        }
+        CpuFault::UnknownSyscall(n) => {
+            w.put_u8(6);
+            w.put_u32(u32::from(*n));
+        }
+        CpuFault::InvalidPcUse { addr } => {
+            w.put_u8(7);
+            w.put_u32(*addr);
+        }
+    }
+}
+
+/// Reads back a [`CpuFault`] written by [`save_cpu_fault`].
+fn load_cpu_fault(
+    r: &mut dmi_kernel::StateReader<'_>,
+) -> Result<CpuFault, dmi_kernel::SnapshotError> {
+    let tag = r.get_u8("cpu fault tag")?;
+    Ok(match tag {
+        0 => CpuFault::FetchOutOfRange(r.get_u32("fault addr")?),
+        1 => {
+            let addr = r.get_u32("fault addr")?;
+            let etag = r.get_u8("decode error tag")?;
+            let word = r.get_u32("decode error word")?;
+            let err = match etag {
+                0 => DecodeError::ReservedBits(word),
+                1 => DecodeError::InvalidMulOp(word),
+                2 => DecodeError::InvalidMemSize(word),
+                3 => DecodeError::SignedStore(word),
+                4 => DecodeError::InvalidAddrMode(word),
+                5 => DecodeError::EmptyRegList(word),
+                6 => DecodeError::InvalidSysOp(word),
+                _ => {
+                    return Err(dmi_kernel::SnapshotError::Corrupt {
+                        context: format!("unknown decode error tag {etag}"),
+                    })
+                }
+            };
+            CpuFault::Undefined { addr, err }
+        }
+        2 => CpuFault::DataAbort {
+            addr: r.get_u32("fault addr")?,
+        },
+        3 => CpuFault::Unaligned {
+            addr: r.get_u32("fault addr")?,
+            align: r.get_u32("fault align")?,
+        },
+        4 => CpuFault::ExternalFault {
+            addr: r.get_u32("fault addr")?,
+        },
+        5 => CpuFault::ExternalBlockTransfer {
+            addr: r.get_u32("fault addr")?,
+        },
+        6 => {
+            let n = r.get_u32("fault syscall")?;
+            let n = u16::try_from(n).map_err(|_| dmi_kernel::SnapshotError::Corrupt {
+                context: format!("syscall number {n} out of range"),
+            })?;
+            CpuFault::UnknownSyscall(n)
+        }
+        7 => CpuFault::InvalidPcUse {
+            addr: r.get_u32("fault addr")?,
+        },
+        _ => {
+            return Err(dmi_kernel::SnapshotError::Corrupt {
+                context: format!("unknown cpu fault tag {tag}"),
+            })
+        }
+    })
+}
+
 /// Result of one `step` call.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StepEvent {
@@ -478,6 +586,85 @@ impl CpuCore {
     /// generation, which forces cache lines to revalidate.
     pub fn local_mut(&mut self) -> &mut LocalMemory {
         &mut self.local
+    }
+
+    /// Serializes the architectural and accounting state: registers,
+    /// flags, private memory (including its write generations), halt
+    /// state, cycle counter, console output, statistics and any sticky
+    /// fault. The decoded-instruction cache is *not* serialized — it is
+    /// a validated cache rebuilt lazily after restore, so
+    /// `icache_hits`/`icache_misses` legitimately diverge between a
+    /// restored and a continuous run while every architectural effect
+    /// stays bit-identical.
+    pub fn save_state(&self, w: &mut dmi_kernel::StateWriter) {
+        for r in &self.regs {
+            w.put_u32(*r);
+        }
+        w.put_bool(self.flags.n);
+        w.put_bool(self.flags.z);
+        w.put_bool(self.flags.c);
+        w.put_bool(self.flags.v);
+        self.local.save_state(w);
+        w.put_bool(self.halted);
+        w.put_u32(self.exit_code);
+        w.put_u64(self.cycles);
+        w.put_bytes(self.console.bytes());
+        w.put_u64(self.stats.instructions);
+        w.put_u64(self.stats.loads);
+        w.put_u64(self.stats.stores);
+        w.put_u64(self.stats.ext_reads);
+        w.put_u64(self.stats.ext_writes);
+        w.put_u64(self.stats.branches);
+        w.put_u64(self.stats.swis);
+        w.put_u64(self.stats.cond_skipped);
+        w.put_u64(self.stats.icache_hits);
+        w.put_u64(self.stats.icache_misses);
+        match &self.fault {
+            None => w.put_bool(false),
+            Some(f) => {
+                w.put_bool(true);
+                save_cpu_fault(w, f);
+            }
+        }
+    }
+
+    /// Restores state written by [`CpuCore::save_state`] onto a core
+    /// with the same memory geometry, resetting the decoded-instruction
+    /// cache cold.
+    pub fn load_state(
+        &mut self,
+        r: &mut dmi_kernel::StateReader<'_>,
+    ) -> Result<(), dmi_kernel::SnapshotError> {
+        for reg in &mut self.regs {
+            *reg = r.get_u32("cpu register")?;
+        }
+        self.flags.n = r.get_bool("cpu flag n")?;
+        self.flags.z = r.get_bool("cpu flag z")?;
+        self.flags.c = r.get_bool("cpu flag c")?;
+        self.flags.v = r.get_bool("cpu flag v")?;
+        self.local.load_state(r)?;
+        self.halted = r.get_bool("cpu halted")?;
+        self.exit_code = r.get_u32("cpu exit_code")?;
+        self.cycles = r.get_u64("cpu cycles")?;
+        self.console
+            .restore_bytes(r.get_bytes("cpu console")?.to_vec());
+        self.stats.instructions = r.get_u64("cpu stats.instructions")?;
+        self.stats.loads = r.get_u64("cpu stats.loads")?;
+        self.stats.stores = r.get_u64("cpu stats.stores")?;
+        self.stats.ext_reads = r.get_u64("cpu stats.ext_reads")?;
+        self.stats.ext_writes = r.get_u64("cpu stats.ext_writes")?;
+        self.stats.branches = r.get_u64("cpu stats.branches")?;
+        self.stats.swis = r.get_u64("cpu stats.swis")?;
+        self.stats.cond_skipped = r.get_u64("cpu stats.cond_skipped")?;
+        self.stats.icache_hits = r.get_u64("cpu stats.icache_hits")?;
+        self.stats.icache_misses = r.get_u64("cpu stats.icache_misses")?;
+        self.fault = if r.get_bool("cpu fault flag")? {
+            Some(load_cpu_fault(r)?)
+        } else {
+            None
+        };
+        self.icache = ICache::new(self.local.size());
+        Ok(())
     }
 
     #[inline]

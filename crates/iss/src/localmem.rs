@@ -214,6 +214,46 @@ impl LocalMemory {
         self.bytes[i..i + data.len()].copy_from_slice(data);
         Ok(())
     }
+
+    /// Serializes the byte image *and* the write-generation / dirty-window
+    /// counters. The counters matter: the decoded-instruction cache
+    /// validates against them, so restoring them exactly keeps every
+    /// generation-based proof valid after a snapshot round-trip.
+    pub fn save_state(&self, w: &mut dmi_kernel::StateWriter) {
+        w.put_u32(self.base);
+        w.put_bytes(&self.bytes);
+        w.put_u64(self.gen);
+        w.put_u64(self.dirty_since);
+        w.put_u32(self.dirty_lo);
+        w.put_u32(self.dirty_hi);
+    }
+
+    /// Restores state written by [`LocalMemory::save_state`] onto a
+    /// memory of the same geometry.
+    pub fn load_state(
+        &mut self,
+        r: &mut dmi_kernel::StateReader<'_>,
+    ) -> Result<(), dmi_kernel::SnapshotError> {
+        use dmi_kernel::SnapshotError;
+        let base = r.get_u32("local memory base")?;
+        let bytes = r.get_bytes("local memory image")?;
+        if base != self.base || bytes.len() != self.bytes.len() {
+            return Err(SnapshotError::Mismatch {
+                context: format!(
+                    "local memory snapshot is {} bytes at {base:#x}, target is {} at {:#x}",
+                    bytes.len(),
+                    self.bytes.len(),
+                    self.base
+                ),
+            });
+        }
+        self.bytes.copy_from_slice(bytes);
+        self.gen = r.get_u64("local memory generation")?;
+        self.dirty_since = r.get_u64("local memory dirty_since")?;
+        self.dirty_lo = r.get_u32("local memory dirty_lo")?;
+        self.dirty_hi = r.get_u32("local memory dirty_hi")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -57,6 +57,11 @@ impl Console {
         self.bytes.extend_from_slice(s.as_bytes());
     }
 
+    /// Replaces the captured output wholesale (snapshot restore).
+    pub fn restore_bytes(&mut self, bytes: Vec<u8>) {
+        self.bytes = bytes;
+    }
+
     /// The raw captured bytes.
     pub fn bytes(&self) -> &[u8] {
         &self.bytes

@@ -13,6 +13,7 @@ use std::any::Any;
 
 use crate::ctx::Ctx;
 use crate::signal::SignalId;
+use crate::snapshot::{SnapshotError, StateReader, StateWriter};
 
 /// Identifier of a component registered with a [`Simulator`].
 ///
@@ -93,6 +94,29 @@ pub trait Component: Any {
 
     /// Mutable upcast for post-run state extraction.
     fn as_any_mut(&mut self) -> &mut dyn Any;
+
+    /// Serializes this component's mutable state for a [`Snapshot`].
+    ///
+    /// The default writes nothing — correct for stateless components
+    /// (monitors, pure wiring). Stateful components override this
+    /// together with [`Component::load_state`]; the two must agree on
+    /// the payload layout. Wiring (wire handles, names, configuration)
+    /// is *not* serialized: restore targets a freshly built
+    /// identical-topology system that already owns it.
+    ///
+    /// [`Snapshot`]: crate::Snapshot
+    fn save_state(&self, w: &mut StateWriter) {
+        let _ = w;
+    }
+
+    /// Restores state previously written by [`Component::save_state`].
+    ///
+    /// Must never panic on corrupt input — decode through the typed
+    /// [`StateReader`] getters and return their errors.
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

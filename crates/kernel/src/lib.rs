@@ -72,6 +72,7 @@ mod ctx;
 mod event;
 mod signal;
 mod sim;
+mod snapshot;
 mod stats;
 mod time;
 mod trace;
@@ -80,6 +81,9 @@ pub use component::{Component, ComponentId, Wake};
 pub use ctx::{Ctx, StopReason};
 pub use event::{Event, EventKind, EventQueue, Queue, WheelQueue, WHEEL_SLOTS};
 pub use signal::{Change, Edge, SignalBoard, SignalId, Wire};
+pub use snapshot::{
+    crc32, Snapshot, SnapshotError, StateReader, StateWriter, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
 pub use sim::{
     clock_calendar_default, clock_specialization_default, QueueKind, RunLimit, RunSummary,
     Simulator, QUEUE_AUTO_WHEEL_COMPONENTS,

@@ -349,6 +349,59 @@ impl SignalBoard {
             .enumerate()
             .map(|(i, s)| (SignalId(i as u32), s.name.as_str(), s.width))
     }
+
+    /// Serializes the board's runtime state: per-slot committed/pending
+    /// values and dirty flags, the pending-write list, and the write and
+    /// commit counters. Declarations (names, widths, subscriptions,
+    /// trace marks) are build-time wiring and are not serialized.
+    pub(crate) fn save_state(&self, w: &mut crate::snapshot::StateWriter) {
+        w.put_u32(self.slots.len() as u32);
+        for slot in &self.slots {
+            w.put_u64(slot.cur);
+            w.put_u64(slot.next);
+            w.put_bool(slot.dirty);
+        }
+        w.put_u32(self.pending.len() as u32);
+        for id in &self.pending {
+            w.put_u32(id.0);
+        }
+        w.put_u64(self.writes_total);
+        w.put_u64(self.commits_total);
+    }
+
+    /// Restores state written by [`SignalBoard::save_state`] onto a
+    /// board with the same declarations.
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut crate::snapshot::StateReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let n = r.get_u32("signal count")? as usize;
+        if n != self.slots.len() {
+            return Err(SnapshotError::Mismatch {
+                context: format!("snapshot has {n} signals, target has {}", self.slots.len()),
+            });
+        }
+        for slot in &mut self.slots {
+            slot.cur = r.get_u64("signal value")? & slot.mask;
+            slot.next = r.get_u64("signal pending value")? & slot.mask;
+            slot.dirty = r.get_bool("signal dirty flag")?;
+        }
+        let pending = r.get_u32("pending-write count")? as usize;
+        self.pending.clear();
+        for _ in 0..pending {
+            let raw = r.get_u32("pending signal id")?;
+            if raw as usize >= self.slots.len() {
+                return Err(SnapshotError::Corrupt {
+                    context: format!("pending write names signal {raw} of {}", self.slots.len()),
+                });
+            }
+            self.pending.push(SignalId(raw));
+        }
+        self.writes_total = r.get_u64("signal writes_total")?;
+        self.commits_total = r.get_u64("signal commits_total")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -669,6 +669,263 @@ impl Simulator {
         self.comps.len()
     }
 
+    /// Serializes the kernel's runtime state between runs: simulated
+    /// time, cumulative [`KernelStats`] and [`FastPathStats`], the
+    /// signal board (values, pending writes, counters), the clock
+    /// calendar placement and slots (fire time + claimed virtual seq),
+    /// every pending event with its full `(time, delta, seq)` key, and
+    /// the global sequence counter. Restoring this exact tuple is what
+    /// makes a resumed run replay bit-identically: the scheduling order
+    /// is a pure function of the event keys and the counter.
+    ///
+    /// Takes `&mut self` because the queue is drained through the
+    /// proven ordered-migration recipe and rebuilt in place — the
+    /// simulator is unchanged when this returns. Must be called between
+    /// runs (never from inside a `wake`); carried-wake and quiet-toggle
+    /// scratch state is provably empty there and is not serialized.
+    /// The tracer is observability, not state, and is not serialized.
+    pub fn save_state(&mut self, w: &mut crate::snapshot::StateWriter) {
+        debug_assert!(
+            self.pending_wakes.is_empty() && self.fast_toggles.is_empty(),
+            "save_state must run between runs"
+        );
+        w.put_u64(self.time.ticks());
+        w.put_u64(self.stats.events);
+        w.put_u64(self.stats.wakes);
+        w.put_u64(self.stats.deltas);
+        w.put_u64(self.stats.time_steps);
+        w.put_u64(self.fast.clock_toggles);
+        w.put_u64(self.fast.quiet_toggles);
+        w.put_u64(self.fast.calendar_toggles);
+        w.put_u32(self.comps.len() as u32);
+        self.signals.save_state(w);
+        // Calendar placement + slots. Slots are `Some` only while the
+        // calendar is enabled; the queued reference path keeps its
+        // toggles among the ordinary events below.
+        w.put_bool(self.calendar_on);
+        w.put_u32(self.calendar.len() as u32);
+        for slot in &self.calendar {
+            match slot {
+                Some((time, seq)) => {
+                    w.put_bool(true);
+                    w.put_u64(time.ticks());
+                    w.put_u64(*seq);
+                }
+                None => w.put_bool(false),
+            }
+        }
+        // Pending events, earliest first, with original keys.
+        let kind = self.queue.kind();
+        let (events, next_seq) = self.drain_queue();
+        w.put_u64(events.len() as u64);
+        for ev in &events {
+            w.put_u64(ev.time.ticks());
+            w.put_u32(ev.delta);
+            w.put_u64(ev.seq);
+            match ev.kind {
+                EventKind::Start(c) => {
+                    w.put_u8(0);
+                    w.put_u32(c.index() as u32);
+                }
+                EventKind::Wake(c, tag) => {
+                    w.put_u8(1);
+                    w.put_u32(c.index() as u32);
+                    w.put_u64(tag);
+                }
+                EventKind::SignalWake(c, sig) => {
+                    w.put_u8(2);
+                    w.put_u32(c.index() as u32);
+                    w.put_u32(sig.index() as u32);
+                }
+                EventKind::ClockToggle(k) => {
+                    w.put_u8(3);
+                    w.put_u32(k as u32);
+                }
+            }
+        }
+        w.put_u64(next_seq);
+        self.rebuild_queue(kind, events, next_seq);
+    }
+
+    /// Restores kernel state written by [`Simulator::save_state`] onto a
+    /// simulator with the same topology (components, signals, clocks).
+    ///
+    /// The live queue implementation and the calendar placement are
+    /// *target* choices, not snapshot contents: events are rebuilt into
+    /// whatever queue kind this simulator uses, and if the snapshot's
+    /// calendar placement differs from this simulator's, the pending
+    /// toggles are migrated through the same `(time, seq)`-preserving
+    /// recipe as [`set_clock_calendar`](Self::set_clock_calendar) — so a
+    /// snapshot taken on a heap/calendar system restores bit-identically
+    /// onto a wheel/queued one and vice versa.
+    ///
+    /// On error the simulator may be partially restored and must be
+    /// discarded.
+    pub fn load_state(
+        &mut self,
+        r: &mut crate::snapshot::StateReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        self.time = SimTime::from_ticks(r.get_u64("kernel time")?);
+        self.stats.events = r.get_u64("kernel stats.events")?;
+        self.stats.wakes = r.get_u64("kernel stats.wakes")?;
+        self.stats.deltas = r.get_u64("kernel stats.deltas")?;
+        self.stats.time_steps = r.get_u64("kernel stats.time_steps")?;
+        self.fast.clock_toggles = r.get_u64("kernel fast.clock_toggles")?;
+        self.fast.quiet_toggles = r.get_u64("kernel fast.quiet_toggles")?;
+        self.fast.calendar_toggles = r.get_u64("kernel fast.calendar_toggles")?;
+        let comps = r.get_u32("component count")? as usize;
+        if comps != self.comps.len() {
+            return Err(SnapshotError::Mismatch {
+                context: format!(
+                    "snapshot has {comps} components, target has {}",
+                    self.comps.len()
+                ),
+            });
+        }
+        self.signals.load_state(r)?;
+        let saved_calendar_on = r.get_bool("calendar placement")?;
+        let clocks = r.get_u32("clock count")? as usize;
+        if clocks != self.calendar.len() {
+            return Err(SnapshotError::Mismatch {
+                context: format!(
+                    "snapshot has {clocks} clocks, target has {}",
+                    self.calendar.len()
+                ),
+            });
+        }
+        for slot in self.calendar.iter_mut() {
+            *slot = if r.get_bool("calendar slot")? {
+                let time = SimTime::from_ticks(r.get_u64("calendar slot time")?);
+                let seq = r.get_u64("calendar slot seq")?;
+                Some((time, seq))
+            } else {
+                None
+            };
+        }
+        let count = r.get_u64("event count")?;
+        let mut events = Vec::new();
+        for _ in 0..count {
+            let time = SimTime::from_ticks(r.get_u64("event time")?);
+            let delta = r.get_u32("event delta")?;
+            let seq = r.get_u64("event seq")?;
+            let tag = r.get_u8("event kind")?;
+            let comp_bound = |raw: u32| -> Result<ComponentId, SnapshotError> {
+                if (raw as usize) < comps {
+                    Ok(ComponentId::from_raw(raw as usize))
+                } else {
+                    Err(SnapshotError::Corrupt {
+                        context: format!("event names component {raw} of {comps}"),
+                    })
+                }
+            };
+            let kind = match tag {
+                0 => EventKind::Start(comp_bound(r.get_u32("event component")?)?),
+                1 => EventKind::Wake(
+                    comp_bound(r.get_u32("event component")?)?,
+                    r.get_u64("event tag")?,
+                ),
+                2 => {
+                    let c = comp_bound(r.get_u32("event component")?)?;
+                    let raw = r.get_u32("event signal")?;
+                    if raw as usize >= self.signals.len() {
+                        return Err(SnapshotError::Corrupt {
+                            context: format!(
+                                "event names signal {raw} of {}",
+                                self.signals.len()
+                            ),
+                        });
+                    }
+                    EventKind::SignalWake(c, crate::signal::SignalId(raw))
+                }
+                3 => {
+                    let k = r.get_u32("event clock")?;
+                    if k as usize >= clocks {
+                        return Err(SnapshotError::Corrupt {
+                            context: format!("event names clock {k} of {clocks}"),
+                        });
+                    }
+                    EventKind::ClockToggle(k as usize)
+                }
+                t => {
+                    return Err(SnapshotError::Corrupt {
+                        context: format!("unknown event kind tag {t}"),
+                    })
+                }
+            };
+            events.push(Event {
+                time,
+                delta,
+                seq,
+                kind,
+            });
+        }
+        let next_seq = r.get_u64("next seq")?;
+        let kind = self.queue.kind();
+        self.rebuild_queue(kind, events, next_seq);
+        // Calendar placement is this simulator's runtime choice; if the
+        // snapshot was taken under the other placement, migrate the
+        // toggles through the standard `(time, seq)`-preserving path.
+        let want = self.calendar_on;
+        self.calendar_on = saved_calendar_on;
+        if want != saved_calendar_on {
+            self.set_clock_calendar(want);
+        }
+        // A restored simulator resumes cleanly: no recorded stop, empty
+        // per-delta scratch (provably empty at save time, see
+        // `save_state`).
+        self.stop = None;
+        self.changes.clear();
+        self.woken_list.clear();
+        self.woken.iter_mut().for_each(|f| *f = false);
+        self.pending_wakes.clear();
+        self.fast_toggles.clear();
+        Ok(())
+    }
+
+    /// Serializes one component's state (name-tagged, then the
+    /// component's own [`Component::save_state`] payload).
+    pub fn save_component_state(&self, index: usize, w: &mut crate::snapshot::StateWriter) {
+        let comp = self.comps[index]
+            .as_ref()
+            .expect("component checked out during save");
+        w.put_str(&self.comp_names[index]);
+        comp.save_state(w);
+    }
+
+    /// Restores one component's state written by
+    /// [`save_component_state`](Self::save_component_state), validating
+    /// the recorded name against the registered one.
+    pub fn load_component_state(
+        &mut self,
+        index: usize,
+        r: &mut crate::snapshot::StateReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        if index >= self.comps.len() {
+            return Err(SnapshotError::Mismatch {
+                context: format!(
+                    "snapshot names component {index} of {}",
+                    self.comps.len()
+                ),
+            });
+        }
+        let name = r.get_str("component name")?;
+        if name != self.comp_names[index] {
+            return Err(SnapshotError::Mismatch {
+                context: format!(
+                    "component {index} is `{}` in the target but `{name}` in the snapshot",
+                    self.comp_names[index]
+                ),
+            });
+        }
+        let comp = self.comps[index]
+            .as_mut()
+            .expect("component checked out during restore");
+        comp.load_state(r)?;
+        r.finish("component payload")
+    }
+
     /// Forces a signal's current value before the first run (test stimuli).
     pub fn poke(&mut self, wire: Wire, value: u64) {
         self.signals.poke(wire, value);

@@ -1,0 +1,589 @@
+//! Versioned, checksummed binary snapshots of simulation state.
+//!
+//! A [`Snapshot`] is a named-section container: each state-owning layer
+//! (kernel, components, fault controller, system metadata) serializes
+//! itself into an opaque payload via [`StateWriter`] and reads it back
+//! via [`StateReader`]. The container frames every section with a name,
+//! a length, and a CRC-32 so corrupt or truncated input is detected at
+//! load time and reported as a typed [`SnapshotError`] — never a panic.
+//!
+//! ## Wire format (version 1)
+//!
+//! ```text
+//! magic     [u8; 4]   b"DMI\x1a"
+//! version   u32 LE    SNAPSHOT_VERSION
+//! sections  u32 LE    number of sections
+//! per section:
+//!   name_len    u32 LE
+//!   name        [u8; name_len]  UTF-8
+//!   payload_len u64 LE
+//!   crc32       u32 LE          CRC-32 (IEEE) of the payload bytes
+//!   payload     [u8; payload_len]
+//! ```
+//!
+//! All integers are little-endian. Section payloads are themselves
+//! streams of the primitive encodings produced by [`StateWriter`]
+//! (fixed-width LE integers, `0/1` booleans, length-prefixed byte
+//! strings); the payload layout is owned by whichever layer wrote the
+//! section and is validated by that layer on load.
+//!
+//! ## Versioning policy
+//!
+//! [`SNAPSHOT_VERSION`] is bumped whenever any section's payload layout
+//! changes incompatibly. Loaders accept exactly the current version;
+//! there is no cross-version migration — snapshots are a same-build
+//! persistence and forking mechanism, not a long-term archive format.
+
+use std::fmt;
+use std::path::Path;
+
+/// Magic bytes at the start of every snapshot.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"DMI\x1a";
+
+/// Current snapshot format version. Bumped on any incompatible change
+/// to a section payload layout.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Typed error for every way snapshot encoding or decoding can fail.
+///
+/// Corrupt, truncated, or mismatched input always surfaces as one of
+/// these variants; decoding never panics.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Reading or writing the snapshot file failed.
+    Io(std::io::Error),
+    /// The input does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic {
+        /// The bytes actually found (zero-padded if short).
+        found: [u8; 4],
+    },
+    /// The input declares a format version this build does not read.
+    UnsupportedVersion {
+        /// The version found in the header.
+        found: u32,
+    },
+    /// The input ended before a complete field could be read.
+    Truncated {
+        /// What was being decoded when the input ran out.
+        context: &'static str,
+    },
+    /// A section's payload does not match its recorded CRC-32.
+    ChecksumMismatch {
+        /// Name of the damaged section.
+        section: String,
+    },
+    /// A section required by the loader is absent.
+    MissingSection {
+        /// Name of the absent section.
+        name: String,
+    },
+    /// A structurally invalid value inside an otherwise well-framed
+    /// payload (bad enum tag, non-boolean byte, duplicate section,
+    /// out-of-range index, trailing bytes, ...).
+    Corrupt {
+        /// What was invalid.
+        context: String,
+    },
+    /// The snapshot is well-formed but describes a different system
+    /// topology than the restore target (component/clock/signal
+    /// counts, component names, memory kinds, ...).
+    Mismatch {
+        /// What differed.
+        context: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::BadMagic { found } => {
+                write!(f, "not a snapshot: bad magic {found:02x?}")
+            }
+            SnapshotError::UnsupportedVersion { found } => write!(
+                f,
+                "unsupported snapshot version {found} (this build reads {SNAPSHOT_VERSION})"
+            ),
+            SnapshotError::Truncated { context } => {
+                write!(f, "snapshot truncated while reading {context}")
+            }
+            SnapshotError::ChecksumMismatch { section } => {
+                write!(f, "snapshot section `{section}` failed its CRC check")
+            }
+            SnapshotError::MissingSection { name } => {
+                write!(f, "snapshot is missing required section `{name}`")
+            }
+            SnapshotError::Corrupt { context } => {
+                write!(f, "snapshot corrupt: {context}")
+            }
+            SnapshotError::Mismatch { context } => {
+                write!(f, "snapshot does not match the restore target: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320)
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `bytes`, as used for section checksums.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------------
+// Primitive encoders
+
+/// Append-only encoder for section payloads.
+///
+/// All writes are infallible; the buffer grows as needed. The matching
+/// decoder is [`StateReader`].
+#[derive(Debug, Default)]
+pub struct StateWriter {
+    buf: Vec<u8>,
+}
+
+impl StateWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        StateWriter { buf: Vec::new() }
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a boolean as one byte, `0` or `1`.
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Appends a byte string with a `u64` length prefix.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a UTF-8 string with a `u64` length prefix.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the payload bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bounds-checked decoder over a section payload.
+///
+/// Every read returns [`SnapshotError::Truncated`] when the payload
+/// runs out and [`SnapshotError::Corrupt`] on invalid encodings, so a
+/// loader built on this never panics on hostile input.
+#[derive(Debug)]
+pub struct StateReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> StateReader<'a> {
+    /// Wraps a payload for decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        StateReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or(SnapshotError::Truncated { context })?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self, context: &'static str) -> Result<u8, SnapshotError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self, context: &'static str) -> Result<u32, SnapshotError> {
+        let s = self.take(4, context)?;
+        Ok(u32::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self, context: &'static str) -> Result<u64, SnapshotError> {
+        let s = self.take(8, context)?;
+        Ok(u64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    /// Reads a strict boolean: the byte must be exactly `0` or `1`.
+    pub fn get_bool(&mut self, context: &'static str) -> Result<bool, SnapshotError> {
+        match self.get_u8(context)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(SnapshotError::Corrupt {
+                context: format!("{context}: invalid boolean byte 0x{b:02x}"),
+            }),
+        }
+    }
+
+    /// Reads a `u64`-length-prefixed byte string.
+    pub fn get_bytes(&mut self, context: &'static str) -> Result<&'a [u8], SnapshotError> {
+        let len = self.get_u64(context)?;
+        let len = usize::try_from(len).map_err(|_| SnapshotError::Corrupt {
+            context: format!("{context}: byte-string length {len} overflows usize"),
+        })?;
+        self.take(len, context)
+    }
+
+    /// Reads a `u64`-length-prefixed UTF-8 string.
+    pub fn get_str(&mut self, context: &'static str) -> Result<&'a str, SnapshotError> {
+        let bytes = self.get_bytes(context)?;
+        std::str::from_utf8(bytes).map_err(|_| SnapshotError::Corrupt {
+            context: format!("{context}: string is not valid UTF-8"),
+        })
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Asserts the payload was fully consumed; trailing bytes mean the
+    /// payload layout disagrees with the loader and are reported as
+    /// corruption.
+    pub fn finish(&self, context: &'static str) -> Result<(), SnapshotError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(SnapshotError::Corrupt {
+                context: format!("{context}: {} trailing bytes", self.remaining()),
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot container
+
+/// A named-section state capture, serializable to a checksummed binary
+/// stream.
+///
+/// Sections are kept in insertion order; names must be unique. Use
+/// [`Snapshot::to_bytes`]/[`Snapshot::from_bytes`] for in-memory
+/// round-trips and [`Snapshot::save`]/[`Snapshot::load`] for files.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl Snapshot {
+    /// Creates an empty snapshot.
+    pub fn new() -> Self {
+        Snapshot { sections: Vec::new() }
+    }
+
+    /// Appends a section. Panics in debug builds if the name repeats —
+    /// section names are a writer-side contract, not input data.
+    pub fn push_section(&mut self, name: impl Into<String>, payload: Vec<u8>) {
+        let name = name.into();
+        debug_assert!(
+            self.section(&name).is_none(),
+            "duplicate snapshot section `{name}`"
+        );
+        self.sections.push((name, payload));
+    }
+
+    /// Payload of the section named `name`, if present.
+    pub fn section(&self, name: &str) -> Option<&[u8]> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| p.as_slice())
+    }
+
+    /// Payload of a required section, as a typed error when absent.
+    pub fn require_section(&self, name: &str) -> Result<&[u8], SnapshotError> {
+        self.section(name).ok_or_else(|| SnapshotError::MissingSection {
+            name: name.to_string(),
+        })
+    }
+
+    /// Section names, in insertion order.
+    pub fn section_names(&self) -> impl Iterator<Item = &str> {
+        self.sections.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Number of sections.
+    pub fn section_count(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// Total payload bytes across all sections (excludes framing).
+    pub fn payload_bytes(&self) -> usize {
+        self.sections.iter().map(|(_, p)| p.len()).sum()
+    }
+
+    /// Encodes the snapshot into the versioned, checksummed wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let framing = self
+            .sections
+            .iter()
+            .map(|(n, p)| 16 + n.len() + p.len())
+            .sum::<usize>();
+        let mut out = Vec::with_capacity(12 + framing);
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        for (name, payload) in &self.sections {
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(&crc32(payload).to_le_bytes());
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+
+    /// Decodes a snapshot, validating magic, version, framing, and
+    /// every section CRC. Any corruption or truncation yields a typed
+    /// [`SnapshotError`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+        let mut r = StateReader::new(bytes);
+        let magic = r.take(4, "magic")?;
+        if magic != SNAPSHOT_MAGIC {
+            let mut found = [0u8; 4];
+            found.copy_from_slice(magic);
+            return Err(SnapshotError::BadMagic { found });
+        }
+        let version = r.get_u32("version")?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion { found: version });
+        }
+        let count = r.get_u32("section count")?;
+        let mut sections: Vec<(String, Vec<u8>)> = Vec::new();
+        for _ in 0..count {
+            let name_len = r.get_u32("section name length")? as usize;
+            let name = std::str::from_utf8(r.take(name_len, "section name")?)
+                .map_err(|_| SnapshotError::Corrupt {
+                    context: "section name is not valid UTF-8".to_string(),
+                })?
+                .to_string();
+            let payload_len = r.get_u64("section payload length")?;
+            let payload_len =
+                usize::try_from(payload_len).map_err(|_| SnapshotError::Corrupt {
+                    context: format!(
+                        "section `{name}`: payload length {payload_len} overflows usize"
+                    ),
+                })?;
+            let crc = r.get_u32("section checksum")?;
+            let payload = r.take(payload_len, "section payload")?;
+            if crc32(payload) != crc {
+                return Err(SnapshotError::ChecksumMismatch { section: name });
+            }
+            if sections.iter().any(|(n, _)| *n == name) {
+                return Err(SnapshotError::Corrupt {
+                    context: format!("duplicate section `{name}`"),
+                });
+            }
+            sections.push((name, payload.to_vec()));
+        }
+        r.finish("snapshot trailer")?;
+        Ok(Snapshot { sections })
+    }
+
+    /// Writes the encoded snapshot to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Reads and decodes a snapshot from `path`.
+    pub fn load(path: impl AsRef<Path>) -> Result<Snapshot, SnapshotError> {
+        let bytes = std::fs::read(path)?;
+        Snapshot::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard CRC-32 (IEEE) check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = StateWriter::new();
+        w.put_u8(0xAB);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(0x0123_4567_89AB_CDEF);
+        w.put_bool(true);
+        w.put_bool(false);
+        w.put_bytes(&[1, 2, 3]);
+        w.put_str("clk");
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        assert_eq!(r.get_u8("a").unwrap(), 0xAB);
+        assert_eq!(r.get_u32("b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64("c").unwrap(), 0x0123_4567_89AB_CDEF);
+        assert!(r.get_bool("d").unwrap());
+        assert!(!r.get_bool("e").unwrap());
+        assert_eq!(r.get_bytes("f").unwrap(), &[1, 2, 3]);
+        assert_eq!(r.get_str("g").unwrap(), "clk");
+        r.finish("payload").unwrap();
+    }
+
+    #[test]
+    fn reader_is_bounds_checked() {
+        let mut r = StateReader::new(&[1, 2]);
+        assert!(matches!(
+            r.get_u32("x"),
+            Err(SnapshotError::Truncated { .. })
+        ));
+        // A failed read consumes nothing usable; a short one still errors.
+        let mut r = StateReader::new(&[2, 0, 0, 0, 0, 0, 0, 0, 9]);
+        assert!(matches!(
+            r.get_bytes("y"),
+            Err(SnapshotError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn strict_booleans() {
+        let mut r = StateReader::new(&[7]);
+        assert!(matches!(r.get_bool("b"), Err(SnapshotError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn container_round_trip() {
+        let mut s = Snapshot::new();
+        s.push_section("kernel", vec![1, 2, 3, 4]);
+        s.push_section("comp0", vec![]);
+        s.push_section("comp1", vec![0xFF; 1000]);
+        let bytes = s.to_bytes();
+        let back = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back.section_count(), 3);
+        assert_eq!(back.section("kernel").unwrap(), &[1, 2, 3, 4]);
+        assert_eq!(back.section("comp0").unwrap(), &[] as &[u8]);
+        assert_eq!(back.section("comp1").unwrap().len(), 1000);
+        assert!(back.section("nope").is_none());
+        assert!(matches!(
+            back.require_section("nope"),
+            Err(SnapshotError::MissingSection { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_version() {
+        let mut bytes = Snapshot::new().to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+        let mut bytes = Snapshot::new().to_bytes();
+        bytes[4] = 0xEE;
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapshotError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn payload_corruption_is_caught_by_crc() {
+        let mut s = Snapshot::new();
+        s.push_section("kernel", (0..64).collect());
+        let mut bytes = s.to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapshotError::ChecksumMismatch { section }) if section == "kernel"
+        ));
+    }
+
+    #[test]
+    fn every_truncation_is_typed() {
+        let mut s = Snapshot::new();
+        s.push_section("kernel", vec![9; 32]);
+        s.push_section("comp0", vec![7; 8]);
+        let bytes = s.to_bytes();
+        for len in 0..bytes.len() {
+            let err = Snapshot::from_bytes(&bytes[..len])
+                .expect_err("truncated snapshot must not decode");
+            assert!(matches!(
+                err,
+                SnapshotError::BadMagic { .. }
+                    | SnapshotError::Truncated { .. }
+                    | SnapshotError::ChecksumMismatch { .. }
+            ));
+        }
+    }
+}

@@ -34,7 +34,7 @@ use dmi_core::{regs, ElemType, Opcode, Status};
 use dmi_interconnect::{
     BusMaster, ErrorCounts, MasterError, MasterProbe, MasterStats, MasterWiring,
 };
-use dmi_kernel::{Component, Ctx, Wake};
+use dmi_kernel::{Component, Ctx, SnapshotError, StateReader, StateWriter, Wake};
 
 /// What the engine does with each word of the block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -733,6 +733,131 @@ impl Component for DmaComponent {
         }
     }
 
+    fn save_state(&self, w: &mut StateWriter) {
+        match self.phase {
+            Phase::Gap(n) => {
+                w.put_u8(0);
+                w.put_u32(n);
+            }
+            Phase::WaitAck => w.put_u8(1),
+            Phase::Finished => w.put_u8(2),
+        }
+        w.put_u32(self.pass);
+        w.put_u32(self.word);
+        w.put_bool(self.writeback);
+        w.put_u32(self.captured);
+        match &self.burst {
+            None => w.put_bool(false),
+            Some(b) => {
+                w.put_bool(true);
+                w.put_u32(b.spec.beats);
+                w.put_bool(b.spec.verify);
+                match b.spec.at {
+                    None => w.put_bool(false),
+                    Some(v) => {
+                        w.put_bool(true);
+                        w.put_u32(v);
+                    }
+                }
+                w.put_u8(burst_step_tag(b.step));
+                w.put_u32(b.vptr);
+                w.put_u32(b.pass);
+                w.put_u32(b.chunk);
+                w.put_u32(b.beat);
+                w.put_bool(b.verifying);
+                w.put_u32(b.attempt);
+            }
+        }
+        w.put_u64(self.stats.active_cycles);
+        w.put_u64(self.stats.bus_wait_cycles);
+        w.put_u64(self.stats.transactions);
+        w.put_u64(self.stats.words_done);
+        w.put_u64(self.stats.verify_mismatches);
+        w.put_u64(self.stats.protocol_errors);
+        for bucket in self.stats.errors.as_array() {
+            w.put_u64(bucket);
+        }
+        w.put_u64(self.stats.retries);
+        w.put_u64(self.stats.recovered);
+        match &self.stats.fault {
+            None => w.put_bool(false),
+            Some(f) => {
+                w.put_bool(true);
+                w.put_u32(f.raw);
+                w.put_u32(f.retries);
+                w.put_u32(f.pass);
+                w.put_u32(f.word);
+            }
+        }
+        w.put_bool(self.stats.done);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.phase = match r.get_u8("dma phase tag")? {
+            0 => Phase::Gap(r.get_u32("dma gap")?),
+            1 => Phase::WaitAck,
+            2 => Phase::Finished,
+            t => {
+                return Err(SnapshotError::Corrupt {
+                    context: format!("unknown dma phase tag {t}"),
+                })
+            }
+        };
+        self.pass = r.get_u32("dma pass")?;
+        self.word = r.get_u32("dma word")?;
+        self.writeback = r.get_bool("dma writeback")?;
+        self.captured = r.get_u32("dma captured")?;
+        self.burst = if r.get_bool("dma burst flag")? {
+            let beats = r.get_u32("burst beats")?;
+            let verify = r.get_bool("burst verify")?;
+            let at = if r.get_bool("burst at flag")? {
+                Some(r.get_u32("burst at")?)
+            } else {
+                None
+            };
+            let step = burst_step_from_tag(r.get_u8("burst step tag")?)?;
+            Some(BurstSeq {
+                spec: BurstSpec { beats, verify, at },
+                step,
+                vptr: r.get_u32("burst vptr")?,
+                pass: r.get_u32("burst pass")?,
+                chunk: r.get_u32("burst chunk")?,
+                beat: r.get_u32("burst beat")?,
+                verifying: r.get_bool("burst verifying")?,
+                attempt: r.get_u32("burst attempt")?,
+            })
+        } else {
+            None
+        };
+        self.stats.active_cycles = r.get_u64("dma stats.active_cycles")?;
+        self.stats.bus_wait_cycles = r.get_u64("dma stats.bus_wait_cycles")?;
+        self.stats.transactions = r.get_u64("dma stats.transactions")?;
+        self.stats.words_done = r.get_u64("dma stats.words_done")?;
+        self.stats.verify_mismatches = r.get_u64("dma stats.verify_mismatches")?;
+        self.stats.protocol_errors = r.get_u64("dma stats.protocol_errors")?;
+        let mut buckets = [0u64; 16];
+        for bucket in &mut buckets {
+            *bucket = r.get_u64("dma error bucket")?;
+        }
+        self.stats.errors = ErrorCounts::from_array(buckets);
+        self.stats.retries = r.get_u64("dma stats.retries")?;
+        self.stats.recovered = r.get_u64("dma stats.recovered")?;
+        self.stats.fault = if r.get_bool("dma fault flag")? {
+            let raw = r.get_u32("dma fault raw")?;
+            Some(MasterError {
+                status: Status::from_u32(raw),
+                raw,
+                retries: r.get_u32("dma fault retries")?,
+                pass: r.get_u32("dma fault pass")?,
+                word: r.get_u32("dma fault word")?,
+            })
+        } else {
+            None
+        };
+        self.stats.done = r.get_bool("dma stats.done")?;
+        Ok(())
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -740,6 +865,47 @@ impl Component for DmaComponent {
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
+}
+
+/// Stable wire tag of a [`BurstStep`] (declaration order).
+fn burst_step_tag(step: BurstStep) -> u8 {
+    match step {
+        BurstStep::AllocArg0 => 0,
+        BurstStep::AllocArg1 => 1,
+        BurstStep::AllocCmd => 2,
+        BurstStep::AllocStatus => 3,
+        BurstStep::AllocResult => 4,
+        BurstStep::ChunkArg0 => 5,
+        BurstStep::ChunkArg1 => 6,
+        BurstStep::ChunkArg2 => 7,
+        BurstStep::ChunkCmd => 8,
+        BurstStep::ChunkStatus => 9,
+        BurstStep::ChunkData => 10,
+        BurstStep::ChunkCheck => 11,
+    }
+}
+
+/// Inverse of [`burst_step_tag`].
+fn burst_step_from_tag(tag: u8) -> Result<BurstStep, SnapshotError> {
+    Ok(match tag {
+        0 => BurstStep::AllocArg0,
+        1 => BurstStep::AllocArg1,
+        2 => BurstStep::AllocCmd,
+        3 => BurstStep::AllocStatus,
+        4 => BurstStep::AllocResult,
+        5 => BurstStep::ChunkArg0,
+        6 => BurstStep::ChunkArg1,
+        7 => BurstStep::ChunkArg2,
+        8 => BurstStep::ChunkCmd,
+        9 => BurstStep::ChunkStatus,
+        10 => BurstStep::ChunkData,
+        11 => BurstStep::ChunkCheck,
+        _ => {
+            return Err(SnapshotError::Corrupt {
+                context: format!("unknown burst step tag {tag}"),
+            })
+        }
+    })
 }
 
 #[cfg(test)]

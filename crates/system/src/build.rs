@@ -1,12 +1,15 @@
 //! The built system and its execution surface: running to a typed stop
-//! condition, mid-run snapshots, post-run inspection.
+//! condition, state capture and restore, post-run inspection.
 
 use std::time::Instant;
 
 use dmi_core::{FaultHook, MemoryModule, StaticTableMemory, WrapperBackend};
 use dmi_interconnect::{BusStats, Crossbar, MasterProbe, MasterStats, Region, SharedBus};
 use dmi_iss::CpuComponent;
-use dmi_kernel::{ComponentId, FastPathStats, KernelStats, SimTime, Simulator};
+use dmi_kernel::{
+    ComponentId, FastPathStats, KernelStats, SimTime, Simulator, Snapshot, SnapshotError,
+    StateReader, StateWriter,
+};
 
 use crate::builder::{CpuHandle, MasterHandle, MemHandle};
 use crate::config::SystemConfig;
@@ -75,6 +78,11 @@ pub struct McSystem {
     epoch_stats: KernelStats,
     /// Kernel fast-path counters at the epoch start.
     epoch_fast: FastPathStats,
+    /// Most recent periodic checkpoint:
+    /// `(cycles into the run when taken, snapshot)`. Maintained by
+    /// [`run_until`](Self::run_until) under
+    /// [`StopCondition::checkpoint_every`].
+    last_checkpoint: Option<(u64, Snapshot)>,
 }
 
 impl McSystem {
@@ -111,6 +119,7 @@ impl McSystem {
             epoch,
             epoch_stats,
             epoch_fast,
+            last_checkpoint: None,
         }
     }
 
@@ -155,6 +164,21 @@ impl McSystem {
         let wall_start = Instant::now();
         let budget = cond.cycles;
 
+        // A finished system stays finished: the halt monitor only fires
+        // on halt *transitions*, so without this early-out a re-run (or
+        // a run after restoring a post-completion snapshot) would spin
+        // the clocks for the whole budget.
+        if self.everything_finished() {
+            return self.collect(
+                t0,
+                &stats0,
+                &fast0,
+                wall_start.elapsed(),
+                StopCause::AllHalted,
+                None,
+            );
+        }
+
         let cause;
         let mut error = None;
 
@@ -171,10 +195,17 @@ impl McSystem {
             let mut last_progress = self.progress_counter();
             let mut stagnant = 0u64;
             loop {
-                let slice = match budget {
+                let mut slice = match budget {
                     Some(b) => poll.min(b - elapsed),
                     None => poll,
                 };
+                if let Some(ck) = cond.checkpoint {
+                    // Land slice boundaries on exact checkpoint
+                    // multiples, so every checkpoint is taken at a
+                    // deterministic, replayable cycle.
+                    let to_next = ck - (elapsed % ck);
+                    slice = slice.min(to_next);
+                }
                 let summary = self
                     .sim
                     .run_until_stopped(slice.saturating_mul(self.clock_period));
@@ -182,6 +213,13 @@ impl McSystem {
                 if summary.stop.is_some() {
                     (cause, error) = Self::classify(summary.stop.as_ref());
                     break;
+                }
+                if cond
+                    .checkpoint
+                    .is_some_and(|ck| elapsed > 0 && elapsed.is_multiple_of(ck))
+                {
+                    let snap = self.checkpoint();
+                    self.last_checkpoint = Some((elapsed, snap));
                 }
                 if let Some(i) = self.watch_hit(cond) {
                     cause = StopCause::Watchpoint(i);
@@ -219,12 +257,12 @@ impl McSystem {
     /// started, component counters at their live values. Does not advance
     /// the simulation.
     ///
-    /// The snapshot's `wall` field is zero (wall time belongs to run
+    /// The report's `wall` field is zero (wall time belongs to run
     /// calls). Its cause reflects live state: [`StopCause::AllHalted`]
     /// once every CPU has halted and every master is done (so `all_ok()`
-    /// works on a post-completion snapshot), the budget sentinel
+    /// works on a post-completion report), the budget sentinel
     /// [`StopCause::CycleBudget`] otherwise.
-    pub fn snapshot(&self) -> RunReport {
+    pub fn report_now(&self) -> RunReport {
         let cause = if self.everything_finished() {
             StopCause::AllHalted
         } else {
@@ -238,6 +276,211 @@ impl McSystem {
             cause,
             None,
         )
+    }
+
+    /// Renamed to [`report_now`](Self::report_now): "snapshot" now means
+    /// serialized state capture ([`checkpoint`](Self::checkpoint)).
+    #[deprecated(since = "0.1.0", note = "renamed to `report_now`; `snapshot` now \
+                 refers to serialized state capture (`checkpoint`/`restore`)")]
+    pub fn snapshot(&self) -> RunReport {
+        self.report_now()
+    }
+
+    /// Captures the complete simulation state — kernel event queue and
+    /// clock calendar, signal values and pending writes, every
+    /// component's architectural state (CPU cores and their private
+    /// memories, memory-model tables and arenas, interconnect FSMs, DMA
+    /// sequencers) and the fault controller's RNG stream positions —
+    /// into a versioned, checksummed [`Snapshot`].
+    ///
+    /// Validated caches (pointer-table TLB, decoded-instruction caches,
+    /// translation hints) are *not* captured; a restored system rebuilds
+    /// them lazily, so cache hit/miss counters legitimately diverge from
+    /// an uninterrupted run while every architectural outcome stays
+    /// bit-identical. Does not advance the simulation.
+    pub fn checkpoint(&mut self) -> Snapshot {
+        let mut snap = Snapshot::new();
+
+        let mut w = StateWriter::new();
+        w.put_u64(self.clock_period);
+        w.put_u32(self.cpu_ids.len() as u32);
+        w.put_u32(self.masters.len() as u32);
+        w.put_u32(self.mem_ids.len() as u32);
+        for kind in &self.mem_kinds {
+            w.put_str(kind);
+        }
+        w.put_bool(self.crossbar);
+        w.put_u32(self.sim.component_count() as u32);
+        match &self.fault_hook {
+            None => w.put_bool(false),
+            Some(h) => {
+                w.put_bool(true);
+                w.put_u32(h.borrow().spec_count() as u32);
+            }
+        }
+        snap.push_section("meta", w.into_bytes());
+
+        let mut w = StateWriter::new();
+        self.sim.save_state(&mut w);
+        snap.push_section("kernel", w.into_bytes());
+
+        for i in 0..self.sim.component_count() {
+            let mut w = StateWriter::new();
+            self.sim.save_component_state(i, &mut w);
+            snap.push_section(format!("comp{i}"), w.into_bytes());
+        }
+
+        if let Some(h) = &self.fault_hook {
+            let mut w = StateWriter::new();
+            h.borrow().save_state(&mut w);
+            snap.push_section("faults", w.into_bytes());
+        }
+        snap
+    }
+
+    /// Restores state captured by [`checkpoint`](Self::checkpoint) onto
+    /// this system, which must have the same topology (CPU/master/memory
+    /// counts, memory kinds, interconnect shape, component roster). The
+    /// restored run replays bit-identically to the uninterrupted
+    /// original — cache counters excepted, see `checkpoint`.
+    ///
+    /// Runtime twin toggles survive: the snapshot transfers across event
+    /// queue kinds (heap/wheel), clock-calendar settings and
+    /// fault-injection enablement, because those select *how* the same
+    /// schedule executes, not the schedule itself. The fault section is
+    /// applied only when this system carries a fault plan of the same
+    /// shape (spec count); otherwise it is skipped — which is what lets
+    /// a fork diverge onto a different fault plan.
+    ///
+    /// On error the system may be partially restored; do not keep
+    /// running it without a successful `restore`.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapshotError> {
+        let mut r = StateReader::new(snap.require_section("meta")?);
+        let mismatch = |context: String| SnapshotError::Mismatch { context };
+        let clock_period = r.get_u64("meta clock_period")?;
+        if clock_period != self.clock_period {
+            return Err(mismatch(format!(
+                "clock period: snapshot {clock_period}, system {}",
+                self.clock_period
+            )));
+        }
+        let cpus = r.get_u32("meta cpu count")? as usize;
+        if cpus != self.cpu_ids.len() {
+            return Err(mismatch(format!(
+                "cpu count: snapshot {cpus}, system {}",
+                self.cpu_ids.len()
+            )));
+        }
+        let masters = r.get_u32("meta master count")? as usize;
+        if masters != self.masters.len() {
+            return Err(mismatch(format!(
+                "master count: snapshot {masters}, system {}",
+                self.masters.len()
+            )));
+        }
+        let mems = r.get_u32("meta mem count")? as usize;
+        if mems != self.mem_ids.len() {
+            return Err(mismatch(format!(
+                "memory count: snapshot {mems}, system {}",
+                self.mem_ids.len()
+            )));
+        }
+        for (j, want) in self.mem_kinds.iter().enumerate() {
+            let kind = r.get_str("meta mem kind")?;
+            if kind != *want {
+                return Err(mismatch(format!(
+                    "memory {j} kind: snapshot {kind:?}, system {want:?}"
+                )));
+            }
+        }
+        let crossbar = r.get_bool("meta crossbar")?;
+        if crossbar != self.crossbar {
+            return Err(mismatch(format!(
+                "interconnect: snapshot {}, system {}",
+                if crossbar { "crossbar" } else { "shared bus" },
+                if self.crossbar { "crossbar" } else { "shared bus" },
+            )));
+        }
+        let comp_count = r.get_u32("meta component count")? as usize;
+        if comp_count != self.sim.component_count() {
+            return Err(mismatch(format!(
+                "component count: snapshot {comp_count}, system {}",
+                self.sim.component_count()
+            )));
+        }
+        let fault_specs = if r.get_bool("meta faults flag")? {
+            Some(r.get_u32("meta fault spec count")? as usize)
+        } else {
+            None
+        };
+        r.finish("meta")?;
+
+        let mut r = StateReader::new(snap.require_section("kernel")?);
+        self.sim.load_state(&mut r)?;
+        r.finish("kernel")?;
+
+        for i in 0..comp_count {
+            let name = format!("comp{i}");
+            let mut r = StateReader::new(snap.require_section(&name)?);
+            self.sim.load_component_state(i, &mut r)?;
+        }
+
+        if let (Some(h), Some(n)) = (&self.fault_hook, fault_specs) {
+            if h.borrow().spec_count() == n {
+                let mut r = StateReader::new(snap.require_section("faults")?);
+                h.borrow_mut().load_state(&mut r)?;
+                r.finish("faults")?;
+            }
+        }
+
+        // The restore opens a fresh observation epoch, as a run call
+        // would: reports after it cover restored execution only.
+        self.epoch = self.sim.time();
+        self.epoch_stats = self.sim.stats();
+        self.epoch_fast = self.sim.fast_path_stats();
+        self.last_checkpoint = None;
+        Ok(())
+    }
+
+    /// The most recent periodic checkpoint of the current/last
+    /// [`run_until`](Self::run_until) call (under
+    /// [`StopCondition::checkpoint_every`]): the cycle offset into that
+    /// run when it was taken, and the snapshot itself.
+    pub fn last_checkpoint(&self) -> Option<(u64, &Snapshot)> {
+        self.last_checkpoint.as_ref().map(|(c, s)| (*c, s))
+    }
+
+    /// Takes ownership of the most recent periodic checkpoint, leaving
+    /// `None` behind.
+    pub fn take_last_checkpoint(&mut self) -> Option<(u64, Snapshot)> {
+        self.last_checkpoint.take()
+    }
+
+    /// Warm fork: builds `count` fresh systems with `build` and restores
+    /// each from `snap`, yielding divergent continuations of one warmed
+    /// run — different workloads-in-flight are impossible (state is the
+    /// snapshot's), but each continuation can run under different stop
+    /// conditions, fault plans (see [`restore`](Self::restore)) or
+    /// runtime twin toggles without re-running the warmup.
+    ///
+    /// `build(i)` must produce a system topology-identical to the one
+    /// the snapshot was captured from; a mismatch fails the whole fork
+    /// with a typed error.
+    pub fn fork<F>(
+        snap: &Snapshot,
+        count: usize,
+        mut build: F,
+    ) -> Result<Vec<McSystem>, SnapshotError>
+    where
+        F: FnMut(usize) -> McSystem,
+    {
+        (0..count)
+            .map(|i| {
+                let mut sys = build(i);
+                sys.restore(snap)?;
+                Ok(sys)
+            })
+            .collect()
     }
 
     /// Live completion state: every CPU halted and every master done

@@ -18,9 +18,16 @@
 //!
 //! Execution is typed too: [`McSystem::run_until`] takes a composable
 //! [`StopCondition`] (all-halted, cycle budget, watchpoints, no-progress
-//! detection, wall-clock deadline) and [`McSystem::snapshot`] reports
-//! mid-run statistics. See `README.md` in this crate for the guided tour
-//! and the migration notes.
+//! detection, wall-clock deadline, periodic checkpointing) and
+//! [`McSystem::report_now`] reports mid-run statistics. See `README.md`
+//! in this crate for the guided tour and the migration notes.
+//!
+//! State capture: [`McSystem::checkpoint`] serializes the complete
+//! simulation state into a versioned, checksummed [`Snapshot`];
+//! [`McSystem::restore`] replays it bit-identically on a
+//! topology-identical system, and [`McSystem::fork`] fans one warmed
+//! checkpoint out into divergent continuations. See the "State capture"
+//! section of this crate's `README.md`.
 //!
 //! Robustness experiments use the deterministic fault-injection layer:
 //! a seeded [`FaultPlan`] installed via [`SystemBuilder::faults`]
@@ -52,7 +59,7 @@ pub use dmi_core::{
     faults_enabled_default, FaultKind, FaultPlan, FaultSite, FaultSpec, FaultStats, FaultTrigger,
 };
 pub use dmi_interconnect::{ErrorCounts, MasterError};
-pub use dmi_kernel::QueueKind;
+pub use dmi_kernel::{QueueKind, Snapshot, SnapshotError};
 pub use config::{mem_base, InterconnectKind, MemModelKind, SystemConfig, MEM_WINDOW};
 pub use report::{CpuReport, MasterReport, MemReport, RunReport};
 pub use run_ctl::{FaultReport, StopCause, StopCondition};

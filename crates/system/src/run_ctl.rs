@@ -89,6 +89,9 @@ pub struct StopCondition {
     /// default granularity. Kept optional so `or`-composition with terms
     /// that never set it cannot clobber an explicit choice.
     pub(crate) poll: Option<u64>,
+    /// Periodic checkpoint interval in cycles (not a stop term: the run
+    /// keeps going, but the system retains the latest snapshot).
+    pub(crate) checkpoint: Option<u64>,
 }
 
 impl StopCondition {
@@ -99,6 +102,7 @@ impl StopCondition {
             no_progress: None,
             wall: None,
             poll: None,
+            checkpoint: None,
         }
     }
 
@@ -152,6 +156,23 @@ impl StopCondition {
         }
     }
 
+    /// Take a [`Snapshot`](dmi_kernel::Snapshot) of the whole system
+    /// every `interval_cycles` cycles (counted from the `run_until`
+    /// call). Not a stop term: the run continues past each checkpoint;
+    /// the system retains the most recent snapshot, readable with
+    /// [`last_checkpoint`](crate::McSystem::last_checkpoint) or
+    /// [`take_last_checkpoint`](crate::McSystem::take_last_checkpoint).
+    ///
+    /// Checkpoints land on exact multiples of the interval, so a run
+    /// resumed from one replays bit-identically to the uninterrupted
+    /// original (crash-safe resume).
+    pub fn checkpoint_every(interval_cycles: u64) -> Self {
+        StopCondition {
+            checkpoint: Some(interval_cycles.max(1)),
+            ..Self::empty()
+        }
+    }
+
     /// Stop once `budget` of host wall-clock time has elapsed (counted
     /// from the `run_until` call), quantised to the poll granularity.
     ///
@@ -190,6 +211,10 @@ impl StopCondition {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         };
+        self.checkpoint = match (self.checkpoint, other.checkpoint) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
         self
     }
 
@@ -202,9 +227,13 @@ impl StopCondition {
     }
 
     /// Whether this condition needs mid-run polling (watchpoints,
-    /// no-progress detection, or a wall-clock budget).
+    /// no-progress detection, a wall-clock budget, or periodic
+    /// checkpointing).
     pub(crate) fn needs_poll(&self) -> bool {
-        !self.watches.is_empty() || self.no_progress.is_some() || self.wall.is_some()
+        !self.watches.is_empty()
+            || self.no_progress.is_some()
+            || self.wall.is_some()
+            || self.checkpoint.is_some()
     }
 }
 

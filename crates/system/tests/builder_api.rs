@@ -326,7 +326,7 @@ fn no_progress_detects_an_idle_system() {
 }
 
 #[test]
-fn snapshot_observes_without_advancing() {
+fn report_now_observes_without_advancing() {
     let wl = WorkloadCfg {
         mem_base: mem_base(0),
         iterations: 50,
@@ -338,13 +338,13 @@ fn snapshot_observes_without_advancing() {
     });
     let mid = sys.run_until(&StopCondition::cycles(5_000));
     assert_eq!(mid.cause, StopCause::CycleBudget);
-    let snap = sys.snapshot();
+    let snap = sys.report_now();
     assert_eq!(snap.sim_cycles, mid.sim_cycles, "snapshot does not advance");
     assert_eq!(
         snap.cpus[0].isa.instructions,
         mid.cpus[0].isa.instructions
     );
-    let snap2 = sys.snapshot();
+    let snap2 = sys.report_now();
     assert_eq!(snap2.sim_cycles, snap.sim_cycles);
     // Finish the workload; per-epoch cycles restart with the new call.
     let done = sys.run_until(&StopCondition::all_halted().or(StopCondition::cycles(
@@ -357,7 +357,7 @@ fn snapshot_observes_without_advancing() {
         "component counters are cumulative"
     );
     // A snapshot taken after completion reflects the live halted state.
-    let final_snap = sys.snapshot();
+    let final_snap = sys.report_now();
     assert_eq!(final_snap.cause, StopCause::AllHalted);
     assert!(final_snap.all_ok(), "post-completion snapshot is all_ok");
 }
@@ -585,6 +585,6 @@ fn fast_path_counters_surface_in_reports() {
     b.add_cpu(CpuSpec::new(workloads::scalar_rw(&wl)));
     let mut sys = b.build().unwrap();
     let r = sys.run(10_000_000);
-    let snap = sys.snapshot();
+    let snap = sys.report_now();
     assert_eq!(snap.fast_path, r.fast_path);
 }
