@@ -1,0 +1,146 @@
+//! Typed, severity-ranked diagnostics with stable codes.
+
+use std::fmt;
+
+/// How bad a finding is. Ordering is ascending badness, so
+/// `max_severity` comparisons read naturally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Notable but harmless — tuning hints, topology facts.
+    Info,
+    /// Almost certainly a configuration mistake; the simulation still
+    /// runs deterministically.
+    Warn,
+    /// The configuration cannot do what it says (traffic that can only
+    /// decode-error, watchpoints that can never match).
+    /// `build_checked` refuses these.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Stable diagnostic codes: once shipped, a code keeps its meaning
+/// forever (suppressions and CI greps depend on it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Code {
+    /// Unreachable slave: no master has a reachability edge to any of
+    /// the memory's windows.
+    A001,
+    /// Never-woken component: subscribed to no signal at all.
+    A002,
+    /// Address-window shadowing: two decode windows overlap, so one
+    /// slave shadows part of the other.
+    A003,
+    /// Unmapped footprint: a master's statically-known address range
+    /// crosses a gap no window decodes.
+    A004,
+    /// Watch target outside the mapped/backing store: the watched word
+    /// can never be written through the system.
+    A005,
+    /// Fault site can never fire for the built topology.
+    A006,
+    /// Clock-period relation worth knowing: identical (lock-step) or
+    /// co-prime (never realigning) periods in a multi-clock system.
+    A007,
+    /// Zero-lookahead cross-domain coupling: two clock domains are
+    /// forced into one lock-step shard.
+    A008,
+}
+
+impl Code {
+    /// The fixed severity of every diagnostic carrying this code.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::A001 | Code::A004 | Code::A005 => Severity::Error,
+            Code::A002 | Code::A003 | Code::A006 | Code::A008 => Severity::Warn,
+            Code::A007 => Severity::Info,
+        }
+    }
+
+    /// The stable code string (`"A001"`, …).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::A001 => "A001",
+            Code::A002 => "A002",
+            Code::A003 => "A003",
+            Code::A004 => "A004",
+            Code::A005 => "A005",
+            Code::A006 => "A006",
+            Code::A007 => "A007",
+            Code::A008 => "A008",
+        }
+    }
+
+    /// One-line description of what the code means.
+    pub fn title(self) -> &'static str {
+        match self {
+            Code::A001 => "unreachable slave",
+            Code::A002 => "never-woken component",
+            Code::A003 => "address-window shadowing",
+            Code::A004 => "master footprint crosses unmapped address space",
+            Code::A005 => "watch target outside the mapped region",
+            Code::A006 => "fault site can never fire",
+            Code::A007 => "clock-period relation",
+            Code::A008 => "zero-lookahead cross-domain coupling",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding: a code (which fixes the severity), the subject it is
+/// about, what was found, and how to fix it.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: Code,
+    /// Severity (always `code.severity()`; duplicated for direct
+    /// filtering).
+    pub severity: Severity,
+    /// What the finding is about (a node name, a window, a spec index).
+    pub subject: String,
+    /// What was found.
+    pub message: String,
+    /// How to fix it.
+    pub hint: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic; the severity comes from the code.
+    pub fn new(
+        code: Code,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+        hint: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            subject: subject.into(),
+            message: message.into(),
+            hint: hint.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}: {} (hint: {})",
+            self.severity, self.code, self.subject, self.message, self.hint
+        )
+    }
+}

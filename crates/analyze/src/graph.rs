@@ -1,0 +1,252 @@
+//! The `SystemGraph` IR: everything the passes and the shard planner
+//! know about a system, decoupled from how the system was constructed.
+//!
+//! Two producers fill this IR:
+//!
+//! * `dmi-system`'s builder lowering — full fidelity: regions, master
+//!   footprints, fault-plan references, watch targets
+//!   ([`has_address_info`](SystemGraph::has_address_info) is `true`);
+//! * [`SystemGraph::from_simulator`] — conservative extraction from a
+//!   hand-wired [`Simulator`] using only what the kernel knows
+//!   statically (components, clocks, signal subscriptions). Address-map
+//!   facts are absent, so the address-level passes stay silent instead
+//!   of guessing.
+
+use dmi_core::FaultSpec;
+use dmi_kernel::{Edge, Simulator};
+
+/// Index of a node in a [`SystemGraph`] (dense, graph-private — *not* a
+/// kernel `ComponentId`, so fixtures can be built without a simulator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The raw index form.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// What role a node plays in the topology. Extraction from a bare
+/// simulator cannot always tell ([`NodeKind::Other`]); the passes that
+/// need a role only run on graphs that record it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An ISS-driven CPU master.
+    Cpu,
+    /// A non-CPU bus master (DMA engine, traffic generator, …).
+    Master,
+    /// A shared memory module (bus slave).
+    Memory,
+    /// The interconnect (shared bus or crossbar).
+    Interconnect,
+    /// A passive observer (halt monitor, probes).
+    Monitor,
+    /// Unknown role (graphs extracted from a bare simulator).
+    Other,
+}
+
+/// One component of the system.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Instance name (`cpu0`, `dma1`, `mem2`, `bus`, …).
+    pub name: String,
+    /// The node's role, when known.
+    pub kind: NodeKind,
+}
+
+/// One clock domain: a kernel-managed clock and its full period.
+#[derive(Debug, Clone)]
+pub struct ClockDomain {
+    /// The clock signal's name.
+    pub name: String,
+    /// Full toggle period in kernel ticks (even, >= 2).
+    pub period: u64,
+}
+
+/// One signal subscription: `reader` is woken when `signal` commits a
+/// matching change.
+#[derive(Debug, Clone)]
+pub struct SubEdge {
+    /// The subscribed signal's name.
+    pub signal: String,
+    /// The subscribed component.
+    pub reader: NodeId,
+    /// Which edges wake the reader.
+    pub edges: Edge,
+    /// `Some(k)` when the signal is clock domain `k`'s wire.
+    pub clock: Option<usize>,
+    /// The statically-known driver of the signal, when the producer of
+    /// the graph knows it (e.g. a CPU's `halted` wire). `None` means
+    /// *unknown*, which the shard planner treats as a zero-latency
+    /// coupling among all readers — conservative, never unsound.
+    pub writer: Option<NodeId>,
+}
+
+/// One decoded window of the shared address space.
+#[derive(Debug, Clone)]
+pub struct RegionInfo {
+    /// First byte address of the window.
+    pub base: u32,
+    /// Window size in bytes.
+    pub size: u32,
+    /// The memory node serving the window.
+    pub mem: NodeId,
+    /// The memory model's kind name (`"wrapper"`, `"simheap"`,
+    /// `"static"`, `"static-protocol"`).
+    pub model: &'static str,
+}
+
+impl RegionInfo {
+    /// Exclusive end address of the window, in u64 so a window touching
+    /// the top of the address space does not wrap.
+    pub fn end(&self) -> u64 {
+        self.base as u64 + self.size as u64
+    }
+}
+
+/// Master → region reachability with a static latency lower bound: the
+/// master *can* address the region, and no transaction it issues
+/// completes in fewer than `min_latency` ticks.
+#[derive(Debug, Clone)]
+pub struct ReachEdge {
+    /// The requesting master node.
+    pub master: NodeId,
+    /// Index into [`SystemGraph::regions`].
+    pub region: usize,
+    /// Conservative minimum master→slave transaction latency in ticks
+    /// (arbitration + handshake through the interconnect FSM).
+    pub min_latency: u64,
+}
+
+/// A statically-known address range a master will touch.
+#[derive(Debug, Clone)]
+pub struct Footprint {
+    /// The master node.
+    pub master: NodeId,
+    /// First byte address.
+    pub base: u32,
+    /// Length in bytes.
+    pub len: u32,
+}
+
+/// A `StopCondition::watch_word` target, lowered for the `A005` pass.
+#[derive(Debug, Clone)]
+pub struct WatchRef {
+    /// Watched memory ordinal (index into
+    /// [`SystemGraph::mem_nodes`]).
+    pub mem: usize,
+    /// Model-specific location (byte offset for static tables, vptr for
+    /// dynamic models).
+    pub location: u32,
+}
+
+/// The facts the passes and the shard planner consume; see the module
+/// docs for the two producers.
+#[derive(Debug, Clone, Default)]
+pub struct SystemGraph {
+    /// Clock domains in creation order.
+    pub clocks: Vec<ClockDomain>,
+    /// Components in id order.
+    pub nodes: Vec<Node>,
+    /// Signal subscriptions.
+    pub subs: Vec<SubEdge>,
+    /// Decoded address windows (empty when unknown).
+    pub regions: Vec<RegionInfo>,
+    /// Master → region reachability with latency bounds.
+    pub reaches: Vec<ReachEdge>,
+    /// Statically-known master address footprints.
+    pub footprints: Vec<Footprint>,
+    /// Watch targets to lint (empty when no stop condition was given).
+    pub watches: Vec<WatchRef>,
+    /// The system's fault plan, spec by spec (empty when none).
+    pub fault_specs: Vec<FaultSpec>,
+    /// Memory ordinal → node, in builder registration order (the index
+    /// space watchpoints and fault sites use).
+    pub mem_nodes: Vec<NodeId>,
+    /// Bus-master ordinal → node, in wiring/arbitration order (the
+    /// index space fault-site master filters use).
+    pub master_nodes: Vec<NodeId>,
+    /// Whether address-map facts (regions, reaches, footprints) were
+    /// available to the producer. When `false` the address-level passes
+    /// (`A001`, `A003`, `A004`, `A005`) do not run — absence of facts
+    /// is not evidence of a bad configuration.
+    pub has_address_info: bool,
+}
+
+impl SystemGraph {
+    /// An empty graph (fixture entry point; producers fill the fields
+    /// directly).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, name: impl Into<String>, kind: NodeKind) -> NodeId {
+        self.nodes.push(Node {
+            name: name.into(),
+            kind,
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds a clock domain and returns its index.
+    pub fn add_clock(&mut self, name: impl Into<String>, period: u64) -> usize {
+        self.clocks.push(ClockDomain {
+            name: name.into(),
+            period,
+        });
+        self.clocks.len() - 1
+    }
+
+    /// The node's name, for diagnostics.
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.nodes[id.index()].name
+    }
+
+    /// Per-node clock-domain sets: `domains[n]` lists the clock indices
+    /// whose edges wake node `n`, sorted, deduplicated.
+    pub fn node_domains(&self) -> Vec<Vec<usize>> {
+        let mut domains = vec![Vec::new(); self.nodes.len()];
+        for sub in &self.subs {
+            if let Some(k) = sub.clock {
+                domains[sub.reader.index()].push(k);
+            }
+        }
+        for d in &mut domains {
+            d.sort_unstable();
+            d.dedup();
+        }
+        domains
+    }
+
+    /// Extracts the conservative graph from a hand-wired simulator:
+    /// components, clock domains (via [`Simulator::clocks`]) and the
+    /// signal subscription tables. No address-map facts — the
+    /// address-level passes stay silent on such graphs.
+    pub fn from_simulator(sim: &Simulator) -> Self {
+        let mut g = SystemGraph::new();
+        // Clock wires, by signal id, for classifying subscriptions.
+        let mut clock_of = Vec::new();
+        for (wire, period) in sim.clocks() {
+            let k = g.add_clock(sim.signals().name(wire.id()), period);
+            clock_of.push((wire.id(), k));
+        }
+        for (_, name) in sim.components() {
+            g.add_node(name, NodeKind::Other);
+        }
+        for (id, name, _width) in sim.signals().iter_meta() {
+            let clock = clock_of.iter().find(|(s, _)| *s == id).map(|&(_, k)| k);
+            for &(comp, edges) in sim.signals().subscribers(id) {
+                g.subs.push(SubEdge {
+                    signal: name.to_string(),
+                    reader: NodeId(comp.index()),
+                    edges,
+                    clock,
+                    writer: None,
+                });
+            }
+        }
+        g
+    }
+}

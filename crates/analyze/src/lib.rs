@@ -1,0 +1,63 @@
+//! # dmi-analyze — static system-graph analysis
+//!
+//! Lints a whole co-simulation configuration **before a single cycle
+//! runs**, and derives the facts the parallel sharded engine (ROADMAP
+//! item 1) needs: per-edge static latency bounds, a conservative
+//! global lookahead, and a [`ShardPlan`].
+//!
+//! The input is a [`SystemGraph`] — an IR decoupled from construction:
+//! `dmi-system` lowers a `SystemBuilder` into one (full fidelity:
+//! address windows, master footprints, fault-plan and watchpoint
+//! references), and [`SystemGraph::from_simulator`] extracts a
+//! conservative one from any hand-wired kernel setup (components,
+//! clocks, signal subscriptions).
+//!
+//! [`analyze`] runs the pass pipeline and returns an
+//! [`AnalysisReport`]: severity-ranked [`Diagnostic`]s with stable
+//! codes (`A001`–`A008`, each with a fix hint) plus the shard plan.
+//! Every pass is a pure function of the graph — no simulator access,
+//! no interior mutability — which is what lets the system layer
+//! guarantee that calling `analyze()` before a run leaves the
+//! simulation cycle-bit-identical.
+//!
+//! See this crate's `README.md` for the diagnostic-code reference and
+//! the shard-plan semantics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod diag;
+mod graph;
+mod passes;
+mod report;
+mod shard;
+
+pub use diag::{Code, Diagnostic, Severity};
+pub use graph::{
+    ClockDomain, Footprint, Node, NodeId, NodeKind, ReachEdge, RegionInfo, SubEdge, SystemGraph,
+    WatchRef,
+};
+pub use report::AnalysisReport;
+pub use shard::{Boundary, Shard, ShardPlan};
+
+/// Runs the full pass pipeline over a graph: computes the
+/// [`ShardPlan`], collects every pass's [`Diagnostic`]s, and ranks
+/// them most severe first (ties by code, then subject, then message,
+/// so the report is a pure function of the graph).
+pub fn analyze(graph: &SystemGraph) -> AnalysisReport {
+    let plan = ShardPlan::partition(graph);
+    let mut diagnostics = Vec::new();
+    passes::run_all(graph, &plan, &mut diagnostics);
+    diagnostics.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then_with(|| a.code.cmp(&b.code))
+            .then_with(|| a.subject.cmp(&b.subject))
+            .then_with(|| a.message.cmp(&b.message))
+    });
+    AnalysisReport {
+        graph: graph.clone(),
+        diagnostics,
+        plan,
+    }
+}

@@ -1,0 +1,122 @@
+//! The analysis result: ranked diagnostics, the shard plan, and a
+//! human-readable rendering.
+
+use std::fmt;
+
+use crate::diag::{Diagnostic, Severity};
+use crate::graph::SystemGraph;
+use crate::shard::{Boundary, ShardPlan};
+
+/// Everything one `analyze()` call derives from a system graph.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// The graph the analysis ran on (kept for rendering and for
+    /// downstream consumers that want the raw facts).
+    pub graph: SystemGraph,
+    /// Findings, ranked most severe first; ties broken by code, then
+    /// subject — a pure function of the graph, so reports diff cleanly.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The conservative partition for the parallel engine.
+    pub plan: ShardPlan,
+}
+
+impl AnalysisReport {
+    /// Whether any `Error`-severity diagnostic was found
+    /// (`build_checked`'s gate).
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// The `Error`-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// The global conservative lookahead in ticks: how far any shard
+    /// may run ahead of any coupled neighbour
+    /// ([`Boundary::UNBOUNDED`] when nothing couples the shards).
+    pub fn lookahead(&self) -> u64 {
+        self.plan.lookahead()
+    }
+}
+
+fn fmt_lookahead(l: u64) -> String {
+    if l == Boundary::UNBOUNDED {
+        "unbounded".to_string()
+    } else {
+        format!("{l}t")
+    }
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let g = &self.graph;
+        writeln!(
+            f,
+            "system: {} components, {} clock{}, {} region{}",
+            g.nodes.len(),
+            g.clocks.len(),
+            if g.clocks.len() == 1 { "" } else { "s" },
+            g.regions.len(),
+            if g.regions.len() == 1 { "" } else { "s" },
+        )?;
+        if self.diagnostics.is_empty() {
+            writeln!(f, "diagnostics: none")?;
+        } else {
+            writeln!(f, "diagnostics ({}):", self.diagnostics.len())?;
+            for d in &self.diagnostics {
+                writeln!(f, "  {d}")?;
+            }
+        }
+        writeln!(
+            f,
+            "shard plan: {} shard{}",
+            self.plan.shards.len(),
+            if self.plan.shards.len() == 1 { "" } else { "s" }
+        )?;
+        for (i, s) in self.plan.shards.iter().enumerate() {
+            let domains: Vec<&str> = s
+                .domains
+                .iter()
+                .map(|&k| g.clocks[k].name.as_str())
+                .collect();
+            let mut names: Vec<&str> = s.nodes.iter().map(|&n| g.name(n)).collect();
+            const SHOWN: usize = 6;
+            let omitted = names.len().saturating_sub(SHOWN);
+            names.truncate(SHOWN);
+            write!(
+                f,
+                "  #{i}: {} node{} [{}]",
+                s.nodes.len(),
+                if s.nodes.len() == 1 { "" } else { "s" },
+                names.join(", "),
+            )?;
+            if omitted > 0 {
+                write!(f, " (+{omitted})")?;
+            }
+            writeln!(
+                f,
+                " domains [{}]",
+                if domains.is_empty() {
+                    "-".to_string()
+                } else {
+                    domains.join(", ")
+                }
+            )?;
+        }
+        for b in &self.plan.boundaries {
+            writeln!(
+                f,
+                "  boundary #{}<->#{}: lookahead {}",
+                b.a,
+                b.b,
+                fmt_lookahead(b.lookahead)
+            )?;
+        }
+        writeln!(f, "global lookahead: {}", fmt_lookahead(self.lookahead()))
+    }
+}

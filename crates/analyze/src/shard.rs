@@ -1,0 +1,210 @@
+//! The shard planner: partitions the system graph into groups that a
+//! parallel engine could advance independently, and bounds how far.
+//!
+//! The partition is conservative-by-construction:
+//!
+//! * all nodes woken by the same clock share a shard (a clock edge
+//!   dispatches them in one delta — there is no latency to hide);
+//! * all readers of the same non-clock signal share a shard, and join
+//!   the signal's writer when it is known (signal propagation is
+//!   zero-latency in simulated time);
+//! * what remains to couple distinct shards are bus transactions —
+//!   master→region [`ReachEdge`](crate::ReachEdge)s, whose FSM gives a
+//!   static minimum latency > 0.
+//!
+//! Each boundary's **lookahead** is the minimum latency over the reach
+//! edges crossing it: a parallel engine may advance either side that
+//! many ticks past the other before exchanging boundary events without
+//! ever reordering the merged schedule. [`Boundary::UNBOUNDED`] marks
+//! shard pairs with no static coupling at all (fully independent).
+
+use crate::graph::{NodeId, SystemGraph};
+
+/// Path-halving union-find over node indices.
+struct UnionFind(Vec<usize>);
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind((0..n).collect())
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.0[x] != x {
+            self.0[x] = self.0[self.0[x]];
+            x = self.0[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic: smaller root wins, so shard numbering is a
+            // pure function of the graph.
+            let (lo, hi) = (ra.min(rb), ra.max(rb));
+            self.0[hi] = lo;
+        }
+    }
+}
+
+/// One shard: a set of nodes that must advance in lock-step.
+#[derive(Debug, Clone)]
+pub struct Shard {
+    /// Member nodes, ascending.
+    pub nodes: Vec<NodeId>,
+    /// Clock domains driving the members, ascending. More than one
+    /// domain in a single shard means a zero-lookahead coupling forced
+    /// the merge (diagnostic `A008`).
+    pub domains: Vec<usize>,
+}
+
+/// The static coupling between one pair of shards.
+#[derive(Debug, Clone, Copy)]
+pub struct Boundary {
+    /// Index of the lower-numbered shard.
+    pub a: usize,
+    /// Index of the higher-numbered shard.
+    pub b: usize,
+    /// Minimum cross-boundary latency in ticks: either side may run
+    /// this far ahead of the other between event exchanges.
+    /// [`Boundary::UNBOUNDED`] when nothing statically couples the pair.
+    pub lookahead: u64,
+}
+
+impl Boundary {
+    /// Lookahead value meaning "no static coupling": the shards never
+    /// have to synchronize.
+    pub const UNBOUNDED: u64 = u64::MAX;
+}
+
+/// The partition and its boundary lookaheads; see the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct ShardPlan {
+    /// The shards, in ascending order of their smallest member node.
+    pub shards: Vec<Shard>,
+    /// One entry per unordered shard pair (so `shards.len() choose 2`
+    /// entries), including uncoupled pairs at
+    /// [`Boundary::UNBOUNDED`].
+    pub boundaries: Vec<Boundary>,
+}
+
+impl ShardPlan {
+    /// Computes the plan for a graph; see the module docs for the
+    /// merge rules.
+    pub fn partition(g: &SystemGraph) -> ShardPlan {
+        let n = g.nodes.len();
+        let mut uf = UnionFind::new(n);
+
+        // Rule 1: one shard per clock domain.
+        for k in 0..g.clocks.len() {
+            let mut first: Option<usize> = None;
+            for sub in &g.subs {
+                if sub.clock == Some(k) {
+                    match first {
+                        None => first = Some(sub.reader.index()),
+                        Some(f) => uf.union(f, sub.reader.index()),
+                    }
+                }
+            }
+        }
+
+        // Rule 2: readers of one non-clock signal merge (and join the
+        // writer when known) — signal propagation has no latency to
+        // hide behind.
+        let mut by_signal: Vec<(&str, usize)> = g
+            .subs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.clock.is_none())
+            .map(|(i, s)| (s.signal.as_str(), i))
+            .collect();
+        by_signal.sort_unstable();
+        for pair in by_signal.windows(2) {
+            if pair[0].0 == pair[1].0 {
+                uf.union(
+                    g.subs[pair[0].1].reader.index(),
+                    g.subs[pair[1].1].reader.index(),
+                );
+            }
+        }
+        for sub in &g.subs {
+            if sub.clock.is_none() {
+                if let Some(w) = sub.writer {
+                    uf.union(w.index(), sub.reader.index());
+                }
+            }
+        }
+
+        // Collect shards in deterministic order (ascending root).
+        let roots: Vec<usize> = (0..n).map(|i| uf.find(i)).collect();
+        let mut order: Vec<usize> = roots.clone();
+        order.sort_unstable();
+        order.dedup();
+        let shard_of = |root: usize| order.binary_search(&root).expect("root is a shard");
+
+        let domains = g.node_domains();
+        let mut shards: Vec<Shard> = order
+            .iter()
+            .map(|_| Shard {
+                nodes: Vec::new(),
+                domains: Vec::new(),
+            })
+            .collect();
+        for i in 0..n {
+            let s = shard_of(roots[i]);
+            shards[s].nodes.push(NodeId(i));
+            shards[s].domains.extend(domains[i].iter().copied());
+        }
+        for s in &mut shards {
+            s.domains.sort_unstable();
+            s.domains.dedup();
+        }
+
+        // Boundaries: min reach-edge latency per shard pair.
+        let mut boundaries = Vec::new();
+        for a in 0..shards.len() {
+            for b in a + 1..shards.len() {
+                boundaries.push(Boundary {
+                    a,
+                    b,
+                    lookahead: Boundary::UNBOUNDED,
+                });
+            }
+        }
+        let pair_index = |a: usize, b: usize, count: usize| {
+            // Row-major index into the upper triangle.
+            let (lo, hi) = (a.min(b), a.max(b));
+            lo * count - lo * (lo + 1) / 2 + (hi - lo - 1)
+        };
+        for reach in &g.reaches {
+            let sa = shard_of(roots[reach.master.index()]);
+            let sb = shard_of(roots[g.regions[reach.region].mem.index()]);
+            if sa != sb {
+                let idx = pair_index(sa, sb, shards.len());
+                let bnd = &mut boundaries[idx];
+                bnd.lookahead = bnd.lookahead.min(reach.min_latency);
+            }
+        }
+        ShardPlan { shards, boundaries }
+    }
+
+    /// The global conservative lookahead: the minimum over all coupled
+    /// boundaries, [`Boundary::UNBOUNDED`] when no boundary is coupled
+    /// (single shard, or fully independent shards).
+    pub fn lookahead(&self) -> u64 {
+        self.boundaries
+            .iter()
+            .map(|b| b.lookahead)
+            .min()
+            .unwrap_or(Boundary::UNBOUNDED)
+    }
+
+    /// Shards containing more than one clock domain — the lock-step
+    /// merges diagnostic `A008` reports.
+    pub fn lockstep_shards(&self) -> impl Iterator<Item = (usize, &Shard)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.domains.len() > 1)
+    }
+}

@@ -1,0 +1,420 @@
+//! One directed fixture per diagnostic code, graph-level: each test
+//! builds the smallest `SystemGraph` that trips (or must *not* trip)
+//! one pass, so a regression names the exact code it broke. Shard-plan
+//! semantics (merge rules, boundary lookaheads, determinism) and the
+//! conservative `from_simulator` extraction are covered at the end.
+
+use std::any::Any;
+
+use dmi_analyze::{
+    analyze, Boundary, Code, Footprint, NodeId, NodeKind, ReachEdge, RegionInfo, Severity,
+    ShardPlan, SubEdge, SystemGraph, WatchRef,
+};
+use dmi_core::{FaultKind, FaultSite, FaultSpec, FaultTrigger, Status};
+use dmi_kernel::{Component, Ctx, Edge, Simulator};
+
+/// The smallest healthy full-fidelity graph: one CPU, one wrapper
+/// memory, one bus, all on one clock, with the memory reachable.
+fn healthy() -> SystemGraph {
+    let mut g = SystemGraph::new();
+    g.has_address_info = true;
+    let clk = g.add_clock("clk", 2);
+    let cpu = g.add_node("cpu0", NodeKind::Cpu);
+    let mem = g.add_node("mem0", NodeKind::Memory);
+    let bus = g.add_node("bus", NodeKind::Interconnect);
+    for n in [cpu, mem, bus] {
+        g.subs.push(SubEdge {
+            signal: "clk".into(),
+            reader: n,
+            edges: Edge::Rising,
+            clock: Some(clk),
+            writer: None,
+        });
+    }
+    g.master_nodes.push(cpu);
+    g.mem_nodes.push(mem);
+    g.regions.push(RegionInfo {
+        base: 0x8000_0000,
+        size: 0x1_0000,
+        mem,
+        model: "wrapper",
+    });
+    g.reaches.push(ReachEdge {
+        master: cpu,
+        region: 0,
+        min_latency: 4,
+    });
+    g
+}
+
+fn codes(g: &SystemGraph) -> Vec<Code> {
+    analyze(g).diagnostics.iter().map(|d| d.code).collect()
+}
+
+#[test]
+fn healthy_graph_is_clean() {
+    let report = analyze(&healthy());
+    assert!(report.diagnostics.is_empty(), "{report}");
+    assert!(!report.has_errors());
+    assert_eq!(report.plan.shards.len(), 1);
+    assert_eq!(report.lookahead(), Boundary::UNBOUNDED);
+}
+
+#[test]
+fn a001_unreachable_slave() {
+    let mut g = healthy();
+    g.reaches.clear();
+    let report = analyze(&g);
+    assert_eq!(codes(&g), vec![Code::A001]);
+    let d = &report.diagnostics[0];
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.subject, "mem0");
+    assert!(report.has_errors());
+}
+
+#[test]
+fn a001_needs_address_info() {
+    // A graph without address facts has no reach edges either — that is
+    // absence of knowledge, not an unreachable slave.
+    let mut g = healthy();
+    g.reaches.clear();
+    g.has_address_info = false;
+    assert!(codes(&g).is_empty());
+}
+
+#[test]
+fn a002_never_woken_component() {
+    let mut g = healthy();
+    g.add_node("probe", NodeKind::Monitor);
+    let report = analyze(&g);
+    assert_eq!(codes(&g), vec![Code::A002]);
+    assert_eq!(report.diagnostics[0].subject, "probe");
+    assert_eq!(report.diagnostics[0].severity, Severity::Warn);
+}
+
+#[test]
+fn a003_window_shadowing() {
+    let mut g = healthy();
+    let mem1 = g.add_node("mem1", NodeKind::Memory);
+    g.subs.push(SubEdge {
+        signal: "clk".into(),
+        reader: mem1,
+        edges: Edge::Rising,
+        clock: Some(0),
+        writer: None,
+    });
+    g.mem_nodes.push(mem1);
+    // Overlaps the tail of mem0's 0x8000_0000+0x1_0000 window.
+    g.regions.push(RegionInfo {
+        base: 0x8000_8000,
+        size: 0x1_0000,
+        mem: mem1,
+        model: "wrapper",
+    });
+    g.reaches.push(ReachEdge {
+        master: g.master_nodes[0],
+        region: 1,
+        min_latency: 4,
+    });
+    assert_eq!(codes(&g), vec![Code::A003]);
+}
+
+#[test]
+fn a004_unmapped_footprint_reports_first_gap() {
+    let mut g = healthy();
+    let cpu = g.master_nodes[0];
+    // Starts mapped, runs 0x100 bytes past the window's end.
+    g.footprints.push(Footprint {
+        master: cpu,
+        base: 0x8000_ff00,
+        len: 0x200,
+    });
+    let report = analyze(&g);
+    assert_eq!(codes(&g), vec![Code::A004]);
+    let d = &report.diagnostics[0];
+    assert_eq!(d.severity, Severity::Error);
+    assert!(
+        d.message.contains("0x80010000"),
+        "first unmapped byte not named: {d}"
+    );
+}
+
+#[test]
+fn a004_silent_for_mapped_and_empty_footprints() {
+    let mut g = healthy();
+    let cpu = g.master_nodes[0];
+    g.footprints.push(Footprint {
+        master: cpu,
+        base: 0x8000_0000,
+        len: 0x1_0000,
+    });
+    g.footprints.push(Footprint {
+        master: cpu,
+        base: 0x0,
+        len: 0,
+    });
+    assert!(codes(&g).is_empty());
+}
+
+#[test]
+fn a005_watch_bad_ordinal_and_static_offset() {
+    let mut g = healthy();
+    g.regions[0].model = "static";
+    g.watches.push(WatchRef { mem: 3, location: 0 }); // no such memory
+    g.watches.push(WatchRef {
+        mem: 0,
+        location: 0x2_0000, // beyond the 0x1_0000 static window
+    });
+    let report = analyze(&g);
+    assert_eq!(codes(&g), vec![Code::A005, Code::A005]);
+    assert!(report.has_errors());
+    assert_eq!(report.errors().count(), 2);
+}
+
+#[test]
+fn a005_dynamic_models_check_only_the_handle() {
+    // Wrapper/SimHeap locations are run-time vptrs — any offset is
+    // plausible, so only the memory ordinal is validated.
+    let mut g = healthy();
+    g.watches.push(WatchRef {
+        mem: 0,
+        location: 0xdead_0000,
+    });
+    assert!(codes(&g).is_empty());
+}
+
+#[test]
+fn a006_dead_fault_sites() {
+    let mut g = healthy();
+    g.regions[0].model = "static";
+    let busy = || FaultKind::Status(Status::Busy);
+    // Memory ordinal out of range.
+    g.fault_specs.push(FaultSpec::new(
+        FaultSite::MemOp {
+            mem: 9,
+            op: None,
+            master: None,
+        },
+        FaultTrigger::Nth(1),
+        busy(),
+    ));
+    // Protocol site on a direct static table.
+    g.fault_specs.push(FaultSpec::new(
+        FaultSite::MemOp {
+            mem: 0,
+            op: None,
+            master: None,
+        },
+        FaultTrigger::Nth(1),
+        busy(),
+    ));
+    // Master filter beyond the wired masters.
+    g.fault_specs.push(FaultSpec::new(
+        FaultSite::BusAccess { master: Some(5) },
+        FaultTrigger::Nth(1),
+        FaultKind::GrantStall { cycles: 1 },
+    ));
+    let report = analyze(&g);
+    assert_eq!(codes(&g), vec![Code::A006, Code::A006, Code::A006]);
+    let subjects: Vec<&str> = report
+        .diagnostics
+        .iter()
+        .map(|d| d.subject.as_str())
+        .collect();
+    assert_eq!(
+        subjects,
+        vec!["fault spec #0", "fault spec #1", "fault spec #2"]
+    );
+}
+
+#[test]
+fn a006_valid_sites_are_silent() {
+    let mut g = healthy();
+    g.fault_specs.push(FaultSpec::new(
+        FaultSite::MemOp {
+            mem: 0,
+            op: None,
+            master: Some(0),
+        },
+        FaultTrigger::Every { first: 1, period: 8 },
+        FaultKind::Status(Status::Busy),
+    ));
+    assert!(codes(&g).is_empty());
+}
+
+#[test]
+fn a007_identical_and_coprime_periods() {
+    let mut g = healthy();
+    g.add_clock("clk_b", 2); // identical to clk's period 2
+    let report = analyze(&g);
+    assert_eq!(codes(&g), vec![Code::A007]);
+    assert!(report.diagnostics[0].message.contains("lock-step"));
+
+    let mut g = healthy();
+    g.clocks[0].period = 6;
+    g.add_clock("clk_b", 10); // half-periods 3 and 5: co-prime
+    let report = analyze(&g);
+    assert_eq!(codes(&g), vec![Code::A007]);
+    assert!(
+        report.diagnostics[0].message.contains("hyperperiod 30"),
+        "{}",
+        report.diagnostics[0]
+    );
+}
+
+#[test]
+fn a007_silent_for_plainly_related_periods() {
+    let mut g = healthy();
+    g.clocks[0].period = 4;
+    g.add_clock("clk_b", 8); // half-periods 2 and 4: neither case
+    assert!(codes(&g).is_empty());
+}
+
+/// Two clock domains, one node each, plus a shared non-clock wire
+/// subscribing both — the zero-lookahead coupling shape.
+fn two_domain_graph(share_wire: bool) -> SystemGraph {
+    let mut g = SystemGraph::new();
+    let ca = g.add_clock("clk_a", 6);
+    let cb = g.add_clock("clk_b", 10);
+    let a = g.add_node("a", NodeKind::Other);
+    let b = g.add_node("b", NodeKind::Other);
+    for (n, c) in [(a, ca), (b, cb)] {
+        g.subs.push(SubEdge {
+            signal: g.clocks[c].name.clone(),
+            reader: n,
+            edges: Edge::Rising,
+            clock: Some(c),
+            writer: None,
+        });
+    }
+    if share_wire {
+        for n in [a, b] {
+            g.subs.push(SubEdge {
+                signal: "irq".into(),
+                reader: n,
+                edges: Edge::Any,
+                clock: None,
+                writer: None,
+            });
+        }
+    }
+    g
+}
+
+#[test]
+fn a008_zero_lookahead_coupling() {
+    let report = analyze(&two_domain_graph(true));
+    let codes: Vec<Code> = report.diagnostics.iter().map(|d| d.code).collect();
+    // The shared wire collapses both domains into one lock-step shard;
+    // the co-prime A007 note still applies.
+    assert!(codes.contains(&Code::A008), "{codes:?}");
+    assert_eq!(report.plan.shards.len(), 1);
+    assert_eq!(report.plan.shards[0].domains, vec![0, 1]);
+}
+
+#[test]
+fn a008_silent_when_domains_are_disjoint() {
+    let report = analyze(&two_domain_graph(false));
+    let codes: Vec<Code> = report.diagnostics.iter().map(|d| d.code).collect();
+    assert!(!codes.contains(&Code::A008));
+    assert_eq!(report.plan.shards.len(), 2);
+}
+
+#[test]
+fn shard_boundary_carries_min_reach_latency() {
+    // Domain A's master reaches a memory in domain B through the bus:
+    // two shards whose boundary lookahead is the cheapest reach edge.
+    let mut g = two_domain_graph(false);
+    g.has_address_info = true;
+    let (a, b) = (NodeId(0), NodeId(1));
+    g.master_nodes.push(a);
+    g.mem_nodes.push(b);
+    g.regions.push(RegionInfo {
+        base: 0x8000_0000,
+        size: 0x1_0000,
+        mem: b,
+        model: "wrapper",
+    });
+    g.reaches.push(ReachEdge {
+        master: a,
+        region: 0,
+        min_latency: 12,
+    });
+    g.reaches.push(ReachEdge {
+        master: a,
+        region: 0,
+        min_latency: 20,
+    });
+    let plan = ShardPlan::partition(&g);
+    assert_eq!(plan.shards.len(), 2);
+    assert_eq!(plan.boundaries.len(), 1);
+    assert_eq!(plan.boundaries[0].lookahead, 12);
+    assert_eq!(plan.lookahead(), 12);
+    assert!(plan.lockstep_shards().next().is_none());
+}
+
+#[test]
+fn report_ranks_errors_first_then_code_then_subject() {
+    let mut g = healthy();
+    g.reaches.clear(); // A001 error
+    g.add_node("probe", NodeKind::Monitor); // A002 warn
+    g.add_clock("clk_b", 2); // A007 info (identical periods)
+    let report = analyze(&g);
+    let sev: Vec<Severity> = report.diagnostics.iter().map(|d| d.severity).collect();
+    assert_eq!(sev, vec![Severity::Error, Severity::Warn, Severity::Info]);
+}
+
+#[test]
+fn analysis_is_deterministic() {
+    let mut g = healthy();
+    g.reaches.clear();
+    g.add_node("probe", NodeKind::Monitor);
+    g.add_clock("clk_b", 10);
+    let (a, b) = (analyze(&g), analyze(&g));
+    assert_eq!(format!("{a}"), format!("{b}"));
+}
+
+/// A minimal component for hand-wired simulator fixtures.
+struct Dummy(String);
+
+impl Component for Dummy {
+    fn name(&self) -> &str {
+        &self.0
+    }
+    fn wake(&mut self, _ctx: &mut Ctx<'_>) {}
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[test]
+fn from_simulator_extracts_clocks_subs_and_stays_conservative() {
+    let mut sim = Simulator::new();
+    let clk_a = sim.add_clock("clk_a", 6);
+    let clk_b = sim.add_clock("clk_b", 10);
+    let a = sim.add_component(Box::new(Dummy("a".into())));
+    let b = sim.add_component(Box::new(Dummy("b".into())));
+    let idle = sim.add_component(Box::new(Dummy("idle".into())));
+    let _ = idle;
+    sim.subscribe(a, clk_a, Edge::Rising);
+    sim.subscribe(b, clk_b, Edge::Rising);
+
+    let g = SystemGraph::from_simulator(&sim);
+    assert!(!g.has_address_info);
+    assert_eq!(g.clocks.len(), 2);
+    assert_eq!(g.clocks[0].period, 6);
+    assert_eq!(g.clocks[1].period, 10);
+    assert_eq!(g.nodes.len(), 3);
+
+    let report = analyze(&g);
+    let codes: Vec<Code> = report.diagnostics.iter().map(|d| d.code).collect();
+    // "idle" never wakes; the periods are co-prime; no address-level
+    // pass may speak without address facts.
+    assert_eq!(codes, vec![Code::A002, Code::A007]);
+    assert_eq!(report.diagnostics[0].subject, "idle");
+    assert_eq!(report.plan.shards.len(), 3); // a | b | idle
+    assert!(!report.has_errors());
+}

@@ -1,0 +1,72 @@
+//! `dmi-bench analyze` — pretty-prints the static-analysis report and
+//! shard plan for the repo's example and experiment scenarios.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p dmi-bench --bin analyze [--check] [scenario ...]
+//! ```
+//!
+//! No scenario arguments = all scenarios. `--check` exits non-zero if
+//! any selected scenario reports an `Error`-severity diagnostic — the
+//! CI self-check gate.
+
+use dmi_bench::scenarios;
+use dmi_system::{AnalysisReport, SystemGraph};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let names: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let want = |id: &str| names.is_empty() || names.iter().any(|a| a.eq_ignore_ascii_case(id));
+
+    let mut reports: Vec<(&'static str, AnalysisReport)> = Vec::new();
+    if want("quickstart") {
+        reports.push(("quickstart", scenarios::quickstart().analyze()));
+    }
+    if want("gsm_headline") {
+        reports.push(("gsm_headline", scenarios::gsm_headline().analyze()));
+    }
+    if want("memory_models") {
+        reports.push(("memory_models", scenarios::memory_models().analyze()));
+    }
+    if want("dma_crossbar") {
+        reports.push(("dma_crossbar", scenarios::dma_crossbar().analyze()));
+    }
+    if want("faults") {
+        reports.push(("faults", scenarios::faulty_headline().analyze()));
+    }
+    for n in [2usize, 4, 8] {
+        let id = format!("multiclock{n}");
+        if want(&id) {
+            let sim = scenarios::multiclock_sim(n);
+            let graph = SystemGraph::from_simulator(&sim);
+            reports.push((
+                match n {
+                    2 => "multiclock2",
+                    4 => "multiclock4",
+                    _ => "multiclock8",
+                },
+                dmi_system::analyze(&graph),
+            ));
+        }
+    }
+
+    let mut errors = 0usize;
+    for (name, report) in &reports {
+        println!("## {name}\n");
+        print!("{report}");
+        println!();
+        errors += report.errors().count();
+    }
+    if check {
+        if errors > 0 {
+            eprintln!("analyze --check: {errors} error diagnostic(s)");
+            std::process::exit(1);
+        }
+        println!(
+            "analyze --check: {} scenario(s), zero error diagnostics",
+            reports.len()
+        );
+    }
+}

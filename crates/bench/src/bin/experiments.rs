@@ -3,6 +3,9 @@
 //! Usage: `cargo run -p dmi-bench --release --bin experiments [e1 e2 ...]`
 //! (no arguments = all experiments).
 
+// Host-side measurement harness: wall-clock timing is its whole job.
+#![allow(clippy::disallowed_methods)]
+
 use dmi_core::{DsmBackend, ElemType, Opcode, PointerTable, Request, VptrPolicy, WrapperBackend,
     WrapperConfig};
 use dmi_system::experiments as exp;

@@ -8,6 +8,13 @@
 //!   `gsm_encode` (E8), `kernel_micro` (kernel overheads);
 //! * `cargo run -p dmi-bench --release --bin experiments` — runs every
 //!   experiment end-to-end and prints the markdown tables recorded in
-//!   `EXPERIMENTS.md`.
+//!   `EXPERIMENTS.md`;
+//! * `cargo run -p dmi-bench --bin analyze [--check]` — static-analyzes
+//!   the example and experiment scenarios (`dmi-analyze` reports and
+//!   shard plans) without running a cycle.
+
+#![forbid(unsafe_code)]
+
+pub mod scenarios;
 
 pub use dmi_system::experiments;

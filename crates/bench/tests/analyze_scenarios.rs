@@ -1,0 +1,51 @@
+//! The analyzer over the shipped scenarios: every builder scenario the
+//! `analyze` CLI gates on lints clean, and the hand-wired multi-clock
+//! topology partitions into one shard per domain with positive
+//! lookahead on every boundary — the input ROADMAP's parallel engine
+//! needs.
+
+use dmi_bench::scenarios;
+use dmi_system::{analyze, Code, SystemBuilder, SystemGraph};
+
+#[test]
+fn builder_scenarios_lint_clean() {
+    let all: [(&str, SystemBuilder); 5] = [
+        ("quickstart", scenarios::quickstart()),
+        ("gsm_headline", scenarios::gsm_headline()),
+        ("memory_models", scenarios::memory_models()),
+        ("dma_crossbar", scenarios::dma_crossbar()),
+        ("faults", scenarios::faulty_headline()),
+    ];
+    for (name, b) in all {
+        let report = b.analyze();
+        assert!(report.diagnostics.is_empty(), "{name} must lint clean:\n{report}");
+    }
+}
+
+#[test]
+fn multiclock_partitions_one_shard_per_domain() {
+    for n in [2usize, 4, 8] {
+        let sim = scenarios::multiclock_sim(n);
+        let report = analyze(&SystemGraph::from_simulator(&sim));
+        assert!(!report.has_errors());
+
+        // One shard per clock domain (CPU + DMA + memory + private bus
+        // each), no lock-step merges, and every pairwise boundary
+        // leaves positive lookahead — these domains never synchronize.
+        assert_eq!(report.plan.shards.len(), n);
+        assert_eq!(report.plan.boundaries.len(), n * (n - 1) / 2);
+        assert!(report.plan.boundaries.iter().all(|b| b.lookahead > 0));
+        assert!(report.plan.lookahead() > 0);
+        assert!(report.plan.lockstep_shards().next().is_none());
+
+        // The PERIODS set is pairwise co-prime in half-periods: one
+        // A007 calendar note per clock pair, and nothing else.
+        let a007 = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == Code::A007)
+            .count();
+        assert_eq!(a007, n * (n - 1) / 2);
+        assert_eq!(report.diagnostics.len(), a007);
+    }
+}

@@ -106,16 +106,19 @@ impl AddressMap {
         Ok(())
     }
 
-    /// Adds a region, panicking on invalid input — a chainable
-    /// convenience kept for tests and examples with hard-coded maps.
-    /// Production callers (the system builder, benches) use
-    /// [`try_add`](Self::try_add) and propagate the [`MapError`].
+    /// Adds a region, panicking on invalid input.
+    ///
+    /// Deprecated: every production caller (the system builder, the
+    /// benches) and the internal tests use [`try_add`](Self::try_add)
+    /// and propagate the typed [`MapError`]; this panicking form only
+    /// survives so old hard-coded-map snippets keep compiling.
     ///
     /// # Panics
     ///
     /// Panics if the region overlaps an existing one, has zero size, or
     /// wraps the address space. [`try_add`](Self::try_add) is the
     /// non-panicking form.
+    #[deprecated(since = "0.1.0", note = "use `try_add` and handle the `MapError`")]
     pub fn add(&mut self, base: u32, size: u32, slave: usize) -> &mut Self {
         if let Err(e) = self.try_add(base, size, slave) {
             panic!("{e}");
@@ -157,9 +160,9 @@ mod tests {
     #[test]
     fn decodes_to_correct_slave() {
         let mut m = AddressMap::new();
-        m.add(0x8000_0000, 0x1000, 0)
-            .add(0x8000_1000, 0x1000, 1)
-            .add(0x9000_0000, 0x100, 2);
+        m.try_add(0x8000_0000, 0x1000, 0).unwrap();
+        m.try_add(0x8000_1000, 0x1000, 1).unwrap();
+        m.try_add(0x9000_0000, 0x100, 2).unwrap();
         assert_eq!(m.decode(0x8000_0000), Some(0));
         assert_eq!(m.decode(0x8000_0FFF), Some(0));
         assert_eq!(m.decode(0x8000_1000), Some(1));
@@ -171,8 +174,11 @@ mod tests {
         assert!(!m.is_empty());
     }
 
+    // The deprecated panicking form keeps its contract until it is
+    // removed outright.
     #[test]
     #[should_panic(expected = "overlaps")]
+    #[allow(deprecated)]
     fn overlap_rejected() {
         let mut m = AddressMap::new();
         m.add(0x1000, 0x100, 0).add(0x10FF, 0x100, 1);
@@ -180,6 +186,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "zero-sized")]
+    #[allow(deprecated)]
     fn zero_size_rejected() {
         AddressMap::new().add(0, 0, 0);
     }
@@ -223,7 +230,8 @@ mod tests {
     #[test]
     fn adjacent_regions_allowed() {
         let mut m = AddressMap::new();
-        m.add(0x1000, 0x100, 0).add(0x1100, 0x100, 1);
+        m.try_add(0x1000, 0x100, 0).unwrap();
+        m.try_add(0x1100, 0x100, 1).unwrap();
         assert_eq!(m.decode(0x10FF), Some(0));
         assert_eq!(m.decode(0x1100), Some(1));
     }

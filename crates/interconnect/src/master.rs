@@ -153,6 +153,18 @@ pub trait BusMaster: std::fmt::Debug {
         |_| None
     }
 
+    /// The `(base, len_bytes)` address ranges this master is statically
+    /// known to touch on the shared bus, before any cycle runs.
+    ///
+    /// The static analyzer checks every returned range against the
+    /// system's address map (diagnostic `A004`: a footprint crossing an
+    /// unmapped gap can only produce decode errors at run time). Masters
+    /// whose traffic is data-dependent — CPUs, reactive bridges — return
+    /// an empty list, which means "unknown", not "touches nothing".
+    fn address_footprint(&self) -> Vec<(u32, u32)> {
+        Vec::new()
+    }
+
     /// Consumes the specification and produces the kernel component wired
     /// to `wiring`. `name` is the instance name the builder assigned
     /// (unique per system, e.g. `"dma0"`).

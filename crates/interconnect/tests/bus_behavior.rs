@@ -285,7 +285,7 @@ fn run_system_full(
     for s in 0..n_rams {
         let ports = SlaveIf::declare(&mut sim, &format!("s{s}"));
         let base = if s == 0 { MEM0 } else { MEM1 };
-        map.add(base, 0x1000, s);
+        map.try_add(base, 0x1000, s).unwrap();
         let id = sim.add_component(Box::new(TestRam {
             clk,
             ports,
@@ -479,7 +479,7 @@ fn fixed_priority_prefers_low_index() {
     let d1 = sim.wire("d1", 1);
     let s0 = SlaveIf::declare(&mut sim, "s0");
     let mut map = AddressMap::new();
-    map.add(MEM0, 0x1000, 0);
+    map.try_add(MEM0, 0x1000, 0).unwrap();
     let mk_script = |n: u32| (0..n).map(|i| (MEM0 + i * 4, false, 0)).collect::<Vec<_>>();
     let a = sim.add_component(Box::new(TestMaster {
         clk,

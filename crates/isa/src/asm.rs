@@ -23,6 +23,10 @@
 //! assert!(prog.words().len() >= 6);
 //! ```
 
+// Host-side assembly happens before the simulation starts; these symbol
+// tables are keyed lookups only, never iterated into sim-visible order.
+#![allow(clippy::disallowed_types)]
+
 use std::collections::HashMap;
 use std::fmt;
 

@@ -19,6 +19,10 @@
 //! register lists. `li rd, #imm32` and `adr rd, label` are pseudo
 //! instructions lowered to MOVW/MOVT sequences.
 
+// Host-side assembly happens before the simulation starts; these symbol
+// tables are keyed lookups only, never iterated into sim-visible order.
+#![allow(clippy::disallowed_types)]
+
 use std::collections::HashMap;
 
 use crate::asm::{reg_list, Asm, AsmError, Program};

@@ -669,6 +669,29 @@ impl Simulator {
         self.comps.len()
     }
 
+    /// Registered components in id order: each component's id and name.
+    /// The static-analysis layer uses this (together with
+    /// [`signals`](Self::signals)) to extract a topology graph from a
+    /// hand-wired simulator.
+    pub fn components(&self) -> impl Iterator<Item = (ComponentId, &str)> {
+        self.comp_names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (ComponentId::from_raw(i), name.as_str()))
+    }
+
+    /// Number of kernel-managed clocks.
+    pub fn clock_count(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// The kernel-managed clocks in creation order: each clock's wire
+    /// and its full toggle period in ticks (the value passed to
+    /// [`add_clock`](Self::add_clock)).
+    pub fn clocks(&self) -> impl Iterator<Item = (Wire, u64)> + '_ {
+        self.clocks.iter().map(|c| (c.wire, c.half_period * 2))
+    }
+
     /// Serializes the kernel's runtime state between runs: simulated
     /// time, cumulative [`KernelStats`] and [`FastPathStats`], the
     /// signal board (values, pending writes, counters), the clock
@@ -988,6 +1011,9 @@ impl Simulator {
     /// parity with a single-queue build).
     #[inline(never)]
     fn run_core<Q: Queue>(&mut self, limit: RunLimit, queue: &mut Q) -> RunSummary {
+        // Reporting-only wall-clock sample: never feeds back into event
+        // ordering.
+        #[allow(clippy::disallowed_methods)]
         let wall_start = Instant::now();
         let stats_start = self.stats;
         self.stop = None;

@@ -176,6 +176,7 @@ mod tests {
         assert_eq!(vcd_ident(0), "!");
         assert_eq!(vcd_ident(93), "~");
         assert_eq!(vcd_ident(94), "!!");
+        #[allow(clippy::disallowed_types)] // test-only uniqueness probe
         let mut seen = std::collections::HashSet::new();
         for n in 0..1000 {
             assert!(seen.insert(vcd_ident(n)), "duplicate ident for {n}");

@@ -226,6 +226,27 @@ impl BusMaster for DmaEngine {
         "dma"
     }
 
+    fn address_footprint(&self) -> Vec<(u32, u32)> {
+        let c = &self.config;
+        let mut ranges = Vec::new();
+        if c.burst.is_some() && matches!(c.kind, DmaKind::Fill { .. }) {
+            // Burst mode drives the MMIO register block at `dst`; the
+            // payload lands behind the protocol, inside the same module.
+            ranges.push((c.dst, regs::BLOCK_SIZE));
+        } else if c.words > 0 {
+            // Scalar stores touch dst + i·stride for i in 0..words, each
+            // one word wide (saturating: a wrapping span is reported as
+            // reaching the top of the address space, and the decode-gap
+            // check flags it there).
+            let span = (c.words - 1).saturating_mul(c.stride).saturating_add(4);
+            ranges.push((c.dst, span));
+            if let DmaKind::Copy { src } = c.kind {
+                ranges.push((src, span));
+            }
+        }
+        ranges
+    }
+
     fn probe(&self) -> MasterProbe {
         |any| {
             any.downcast_ref::<DmaComponent>().map(|c| {
@@ -950,7 +971,7 @@ mod tests {
         sim.subscribe(mem_id, clk, Edge::Rising);
 
         let mut map = AddressMap::new();
-        map.add(0x8000_0000, 0x1000, 0);
+        map.try_add(0x8000_0000, 0x1000, 0).unwrap();
         let bus = SharedBus::new(
             "bus",
             clk,
@@ -1074,7 +1095,7 @@ mod tests {
         )));
         sim.subscribe(mem_id, clk, Edge::Rising);
         let mut map = AddressMap::new();
-        map.add(0x8000_0000, 0x1000, 0);
+        map.try_add(0x8000_0000, 0x1000, 0).unwrap();
         let bus_id = sim.add_component(Box::new(SharedBus::new(
             "bus",
             clk,
@@ -1138,7 +1159,7 @@ mod tests {
         sim.subscribe(mem_id, clk, Edge::Rising);
 
         let mut map = AddressMap::new();
-        map.add(0x8000_0000, 0x1_0000, 0);
+        map.try_add(0x8000_0000, 0x1_0000, 0).unwrap();
         let bus = SharedBus::new(
             "bus",
             clk,

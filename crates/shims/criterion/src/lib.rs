@@ -16,6 +16,9 @@
 //!   given file (`{"name": ..., "median_ns": ...}`), which is what the
 //!   repo's `BENCH_*.json` trajectory is built from.
 
+// A benchmark harness exists to read the wall clock.
+#![allow(clippy::disallowed_methods)]
+
 use std::hint::black_box as std_black_box;
 use std::io::Write as _;
 use std::time::{Duration, Instant};

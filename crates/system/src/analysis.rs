@@ -1,0 +1,132 @@
+//! Lowering a [`SystemBuilder`] description into the `dmi-analyze`
+//! [`SystemGraph`] IR.
+//!
+//! This mirrors exactly what [`SystemBuilder::build`] wires — the same
+//! instance names, the same subscription set, the same address map —
+//! but produces only facts, never components: lowering is pure, which
+//! is what makes `SystemBuilder::analyze()` side-effect-free and
+//! `McSystem::analyze()` (answered from the graph captured at build
+//! time) provably inert.
+
+use dmi_analyze::{Footprint, NodeKind, ReachEdge, RegionInfo, SubEdge, SystemGraph, WatchRef};
+use dmi_kernel::Edge;
+
+use crate::builder::{MasterSlot, SystemBuilder};
+use crate::config::InterconnectKind;
+use crate::run_ctl::Watch;
+
+/// Lowers the description plus optional watchpoints; see the module
+/// docs. Invalid descriptions lower too (the analyzer flags what it
+/// can) — validation stays `SystemBuilder::validate`'s job.
+pub(crate) fn lower(b: &SystemBuilder, watches: &[Watch]) -> SystemGraph {
+    let mut g = SystemGraph::new();
+    g.has_address_info = true;
+    let clk = g.add_clock("clk", b.clock_period);
+    let sub_clk = |g: &mut SystemGraph, node| {
+        g.subs.push(SubEdge {
+            signal: "clk".to_string(),
+            reader: node,
+            edges: Edge::Rising,
+            clock: Some(clk),
+            writer: None,
+        });
+    };
+
+    // Masters, in wiring/arbitration order, with `build`'s names.
+    let mut cpu_ordinal = 0usize;
+    let mut kind_counts: Vec<(&'static str, usize)> = Vec::new();
+    let mut finish_signals = Vec::new();
+    for slot in &b.masters {
+        let (name, kind, finish) = match slot {
+            MasterSlot::Cpu(_) => {
+                let i = cpu_ordinal;
+                cpu_ordinal += 1;
+                (format!("cpu{i}"), NodeKind::Cpu, format!("cpu{i}.halted"))
+            }
+            MasterSlot::Custom(spec) => {
+                let kind = spec.kind();
+                let n = match kind_counts.iter_mut().find(|(k, _)| *k == kind) {
+                    Some((_, n)) => {
+                        *n += 1;
+                        *n - 1
+                    }
+                    None => {
+                        kind_counts.push((kind, 1));
+                        0
+                    }
+                };
+                (format!("{kind}{n}"), NodeKind::Master, format!("{kind}{n}.done"))
+            }
+        };
+        let node = g.add_node(name, kind);
+        sub_clk(&mut g, node);
+        g.master_nodes.push(node);
+        finish_signals.push((finish, node));
+        if let MasterSlot::Custom(spec) = slot {
+            for (base, len) in spec.address_footprint() {
+                g.footprints.push(Footprint {
+                    master: node,
+                    base,
+                    len,
+                });
+            }
+        }
+    }
+
+    // Memories and their decode windows.
+    for (j, spec) in b.mems.iter().enumerate() {
+        let node = g.add_node(format!("mem{j}"), NodeKind::Memory);
+        sub_clk(&mut g, node);
+        g.mem_nodes.push(node);
+        g.regions.push(RegionInfo {
+            base: spec.base,
+            size: spec.window,
+            mem: node,
+            model: spec.model.name(),
+        });
+    }
+
+    // The interconnect, and the minimum master→slave transaction
+    // latency its FSM allows: one cycle to sample the request plus the
+    // configured arbitration cycles. Every reach edge carries it.
+    let (bus_name, arb_cycles) = match &b.interconnect {
+        InterconnectKind::SharedBus(cfg) => ("bus", cfg.arbitration_latency),
+        InterconnectKind::Crossbar(cfg) => ("xbar", cfg.arbitration_latency),
+    };
+    let bus = g.add_node(bus_name, NodeKind::Interconnect);
+    sub_clk(&mut g, bus);
+    let min_latency = (1 + arb_cycles) * b.clock_period;
+    for m in 0..g.master_nodes.len() {
+        for r in 0..g.regions.len() {
+            g.reaches.push(ReachEdge {
+                master: g.master_nodes[m],
+                region: r,
+                min_latency,
+            });
+        }
+    }
+
+    // The halt monitor listens to every finish wire; the writer of each
+    // is statically known (the master that owns it).
+    let mon = g.add_node("monitor", NodeKind::Monitor);
+    for (signal, writer) in finish_signals {
+        g.subs.push(SubEdge {
+            signal,
+            reader: mon,
+            edges: Edge::Rising,
+            clock: None,
+            writer: Some(writer),
+        });
+    }
+
+    for w in watches {
+        g.watches.push(WatchRef {
+            mem: w.mem.0,
+            location: w.location,
+        });
+    }
+    if let Some(plan) = &b.faults {
+        g.fault_specs = plan.specs().to_vec();
+    }
+    g
+}

@@ -83,6 +83,10 @@ pub struct McSystem {
     /// [`run_until`](Self::run_until) under
     /// [`StopCondition::checkpoint_every`].
     last_checkpoint: Option<(u64, Snapshot)>,
+    /// The system graph lowered from the builder description at build
+    /// time; [`analyze`](Self::analyze) answers from it without ever
+    /// touching the simulator.
+    graph: dmi_analyze::SystemGraph,
 }
 
 impl McSystem {
@@ -101,6 +105,7 @@ impl McSystem {
         bus_id: ComponentId,
         crossbar: bool,
         fault_hook: Option<FaultHook>,
+        graph: dmi_analyze::SystemGraph,
     ) -> Self {
         let epoch = sim.time();
         let epoch_stats = sim.stats();
@@ -120,7 +125,16 @@ impl McSystem {
             epoch_stats,
             epoch_fast,
             last_checkpoint: None,
+            graph,
         }
+    }
+
+    /// Statically analyzes the built system: runs the `dmi-analyze`
+    /// pass pipeline over the graph captured at build time. Inert by
+    /// construction — the simulator is never touched, so calling this
+    /// before (or between) runs leaves every cycle bit-identical.
+    pub fn analyze(&self) -> dmi_analyze::AnalysisReport {
+        dmi_analyze::analyze(&self.graph)
     }
 
     /// Builds the system described by `config` — the declarative shim
@@ -161,6 +175,9 @@ impl McSystem {
         self.epoch = t0;
         self.epoch_stats = stats0;
         self.epoch_fast = fast0;
+        // Reporting/stop-condition wall clock: host time bounds the run
+        // but never orders events within it.
+        #[allow(clippy::disallowed_methods)]
         let wall_start = Instant::now();
         let budget = cond.cycles;
 

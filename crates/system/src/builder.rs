@@ -249,6 +249,13 @@ pub enum BuildError {
         /// The window it collides with.
         existing: Region,
     },
+    /// [`build_checked`](SystemBuilder::build_checked) found
+    /// `Error`-severity diagnostics; the payload is every finding of
+    /// the rejected analysis (errors first).
+    Analysis {
+        /// The full ranked diagnostic list of the rejecting report.
+        diagnostics: Vec<dmi_analyze::Diagnostic>,
+    },
 }
 
 impl std::fmt::Display for BuildError {
@@ -277,6 +284,14 @@ impl std::fmt::Display for BuildError {
                 "memory window {:#x}+{:#x} overlaps {:#x}+{:#x} (mem{})",
                 new.base, new.size, existing.base, existing.size, existing.slave
             ),
+            BuildError::Analysis { diagnostics } => {
+                let errors: Vec<String> = diagnostics
+                    .iter()
+                    .filter(|d| d.severity == dmi_analyze::Severity::Error)
+                    .map(|d| format!("[{}] {}: {}", d.code, d.subject, d.message))
+                    .collect();
+                write!(f, "static analysis rejected the system: {}", errors.join("; "))
+            }
         }
     }
 }
@@ -301,23 +316,26 @@ impl From<MapError> for BuildError {
 /// One entry in the builder's ordered master list. Order is bus-master
 /// order: the arbiter's index space.
 #[derive(Debug)]
-enum MasterSlot {
+pub(crate) enum MasterSlot {
     Cpu(CpuSpec),
     Custom(Box<dyn BusMaster>),
 }
 
 /// Composable MPSoC description; see the module docs.
+///
+/// Fields are crate-visible so the static-analysis lowering
+/// (`analysis::lower`) can read the description without consuming it.
 #[derive(Debug)]
 pub struct SystemBuilder {
-    clock_period: u64,
-    masters: Vec<MasterSlot>,
-    mems: Vec<MemSpec>,
-    interconnect: InterconnectKind,
-    preset: Option<Preset>,
-    queue: Option<dmi_kernel::QueueKind>,
-    clock_calendar: Option<bool>,
-    faults: Option<FaultPlan>,
-    fault_injection: Option<bool>,
+    pub(crate) clock_period: u64,
+    pub(crate) masters: Vec<MasterSlot>,
+    pub(crate) mems: Vec<MemSpec>,
+    pub(crate) interconnect: InterconnectKind,
+    pub(crate) preset: Option<Preset>,
+    pub(crate) queue: Option<dmi_kernel::QueueKind>,
+    pub(crate) clock_calendar: Option<bool>,
+    pub(crate) faults: Option<FaultPlan>,
+    pub(crate) fault_injection: Option<bool>,
 }
 
 impl Default for SystemBuilder {
@@ -483,6 +501,44 @@ impl SystemBuilder {
         Ok(())
     }
 
+    /// Statically analyzes the described system without building or
+    /// running anything: lowers the description into a
+    /// [`SystemGraph`](dmi_analyze::SystemGraph) and runs the
+    /// `dmi-analyze` pass pipeline. Pure — `&self`, no simulator is
+    /// constructed, and a subsequent [`build`](Self::build) + run is
+    /// cycle-bit-identical to one that never analyzed (pinned by
+    /// `tests/analysis.rs`).
+    pub fn analyze(&self) -> dmi_analyze::AnalysisReport {
+        dmi_analyze::analyze(&crate::analysis::lower(self, &[]))
+    }
+
+    /// [`analyze`](Self::analyze), additionally linting the watchpoint
+    /// targets of the [`StopCondition`](crate::StopCondition) the
+    /// caller intends to run with (diagnostic `A005`).
+    pub fn analyze_with(&self, stop: &crate::StopCondition) -> dmi_analyze::AnalysisReport {
+        dmi_analyze::analyze(&crate::analysis::lower(self, &stop.watches))
+    }
+
+    /// [`build`](Self::build), gated on the static analysis: the system
+    /// is only constructed when [`analyze`](Self::analyze) reports no
+    /// `Error`-severity diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Any [`BuildError`] from [`validate`](Self::validate), or
+    /// [`BuildError::Analysis`] carrying the rejecting report's
+    /// diagnostics.
+    pub fn build_checked(self) -> Result<McSystem, BuildError> {
+        self.validate()?;
+        let report = self.analyze();
+        if report.has_errors() {
+            return Err(BuildError::Analysis {
+                diagnostics: report.diagnostics,
+            });
+        }
+        self.build()
+    }
+
     /// Builds the described system.
     ///
     /// # Errors
@@ -491,6 +547,9 @@ impl SystemBuilder {
     /// constructed on error.
     pub fn build(self) -> Result<McSystem, BuildError> {
         self.validate()?;
+        // Lowered before the description is consumed; the built system
+        // answers `McSystem::analyze` from this graph.
+        let graph = crate::analysis::lower(&self, &[]);
         let interconnect = match (self.interconnect, self.preset) {
             (kind, None) => kind,
             (InterconnectKind::SharedBus(mut cfg), Some(p)) => {
@@ -668,6 +727,7 @@ impl SystemBuilder {
             bus_id,
             crossbar,
             fault_hook,
+            graph,
         ))
     }
 }

@@ -309,6 +309,8 @@ pub fn e8_gsm_throughput(n_frames: u32) -> Experiment {
     // Host reference throughput.
     let mut src = dmi_gsm::reference::LcgSource::new(1);
     let mut enc = dmi_gsm::reference::Encoder::new();
+    // Host-reference throughput measurement — not a simulation path.
+    #[allow(clippy::disallowed_methods)]
     let t0 = Instant::now();
     for _ in 0..n_frames {
         let f = src.next_frame();

@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod analysis;
 mod build;
 mod builder;
 mod config;
@@ -54,6 +55,9 @@ pub use build::McSystem;
 pub use builder::{
     BuildError, CpuHandle, CpuSpec, MasterHandle, MemHandle, MemSpec, Preset, SystemBuilder,
     DEFAULT_LOCAL_MEM,
+};
+pub use dmi_analyze::{
+    analyze, AnalysisReport, Boundary, Code, Diagnostic, Severity, Shard, ShardPlan, SystemGraph,
 };
 pub use dmi_core::{
     faults_enabled_default, FaultKind, FaultPlan, FaultSite, FaultSpec, FaultStats, FaultTrigger,

@@ -407,6 +407,8 @@ fn wall_clock_deadline_stops_a_runaway_run() {
         ..DmaConfig::default()
     })));
     let mut sys = b.build().expect("runaway system");
+    // Timing the wall-clock stop condition requires reading the wall.
+    #[allow(clippy::disallowed_methods)]
     let t0 = std::time::Instant::now();
     let r = sys.run_until(&StopCondition::wall_clock(Duration::from_millis(30)));
     assert_eq!(r.cause, StopCause::WallClock);
