@@ -1,0 +1,96 @@
+//! Farm throughput: how the supervised scenario farm scales with the
+//! worker count, and what sharing a warm checkpoint across legs is
+//! worth versus re-simulating the warmup in every leg.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmi_bench::scenarios;
+use dmi_farm::{run_farm, Catalog, FarmConfig, Registry, ScenarioSpec};
+
+/// A farm catalog of `legs` medium-sized deterministic legs drawn
+/// round-robin from the compute-bound scenarios (no probes, no
+/// journal) — the worker-scaling workload.
+fn scaling_catalog(legs: usize) -> Catalog {
+    let systems = ["quickstart", "dma_crossbar", "dma_burst", "alloc_deep"];
+    let mut c = Catalog::new();
+    for i in 0..legs {
+        let system = systems[i % systems.len()];
+        c.push(ScenarioSpec::new(format!("leg{i}-{system}"), system, 60_000).checkpoint(10_000));
+    }
+    c
+}
+
+fn farm_registry() -> Arc<Registry> {
+    Arc::new(scenarios::farm_registry())
+}
+
+/// Wall-clock for the same 8-leg catalog at 1/2/4/8 workers.
+fn worker_scaling(c: &mut Criterion) {
+    const LEGS: usize = 8;
+    let reg = farm_registry();
+    let catalog = scaling_catalog(LEGS);
+
+    let mut g = c.benchmark_group("exp_farm/worker_scaling");
+    g.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &w| {
+            b.iter(|| {
+                let report = run_farm(
+                    &catalog,
+                    Arc::clone(&reg),
+                    &FarmConfig {
+                        workers: w,
+                        ..FarmConfig::default()
+                    },
+                )
+                .expect("farm run");
+                assert!(report.all_expected(&catalog), "{}", report.summary());
+                report.legs.len()
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Warm-checkpoint A/B: 6 legs of the headline GSM pipeline that share
+/// one 200k-cycle warm prefix (simulated once per farm run, restored
+/// into the other 5 legs from the farm's warm cache) versus the same 6
+/// legs each simulating the prefix cold.
+fn warm_vs_cold(c: &mut Criterion) {
+    const LEGS: usize = 6;
+    const BUDGET: u64 = 250_000;
+    const WARM: u64 = 200_000;
+    let reg = farm_registry();
+
+    let mut warm = Catalog::new();
+    let mut cold = Catalog::new();
+    for i in 0..LEGS {
+        warm.push(ScenarioSpec::new(format!("warm{i}"), "gsm_headline", BUDGET).warm(WARM));
+        cold.push(ScenarioSpec::new(format!("cold{i}"), "gsm_headline", BUDGET));
+    }
+
+    let mut g = c.benchmark_group("exp_farm/warm_ab");
+    g.sample_size(10);
+    for (id, catalog) in [("warm_checkpoint", &warm), ("cold_runs", &cold)] {
+        g.bench_with_input(BenchmarkId::new(id, LEGS), catalog, |b, cat| {
+            b.iter(|| {
+                let report = run_farm(
+                    cat,
+                    Arc::clone(&reg),
+                    &FarmConfig {
+                        workers: 2,
+                        ..FarmConfig::default()
+                    },
+                )
+                .expect("farm run");
+                assert!(report.all_expected(cat), "{}", report.summary());
+                report.legs.len()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, worker_scaling, warm_vs_cold);
+criterion_main!(benches);

@@ -1,0 +1,162 @@
+//! `dmi-bench farm` — run the scenario farm over the stock experiment
+//! catalog (or one loaded from a file), with journaled crash-safe
+//! resume and optional fault-isolation probes.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p dmi-bench --bin farm -- \
+//!     [--workers N] [--journal PATH] [--catalog FILE] \
+//!     [--deadline-ms D] [--inject-panic] [--inject-hang] \
+//!     [--list] [scenario ...]
+//! ```
+//!
+//! No scenario arguments = every leg of the catalog. `--list` prints
+//! the catalog and exits. `--inject-panic` / `--inject-hang` append
+//! probe legs that deliberately panic / hang; the farm must isolate
+//! them (they carry `expect_failure`), and the exit code is non-zero
+//! iff any leg's outcome contradicts its expectation. A resumed run
+//! prints `resumed: skipped K completed leg(s)` — the CI kill-and-
+//! resume step greps for it.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use dmi_bench::scenarios;
+use dmi_farm::{run_farm, Catalog, FarmConfig, ScenarioSpec};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: farm [--workers N] [--journal PATH] [--catalog FILE] \
+         [--deadline-ms D] [--inject-panic] [--inject-hang] [--list] [scenario ...]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workers = 2usize;
+    let mut journal: Option<PathBuf> = None;
+    let mut catalog_file: Option<PathBuf> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut inject_panic = false;
+    let mut inject_hang = false;
+    let mut list = false;
+    let mut names: Vec<String> = Vec::new();
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| match it.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("{flag} needs a value");
+                usage();
+            }
+        };
+        match arg.as_str() {
+            "--workers" => match value("--workers").parse() {
+                Ok(n) if n > 0 => workers = n,
+                _ => usage(),
+            },
+            "--journal" => journal = Some(PathBuf::from(value("--journal"))),
+            "--catalog" => catalog_file = Some(PathBuf::from(value("--catalog"))),
+            "--deadline-ms" => match value("--deadline-ms").parse() {
+                Ok(d) => deadline_ms = Some(d),
+                Err(_) => usage(),
+            },
+            "--inject-panic" => inject_panic = true,
+            "--inject-hang" => inject_hang = true,
+            "--list" => list = true,
+            "--help" | "-h" => usage(),
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+            name => names.push(name.to_string()),
+        }
+    }
+
+    let mut catalog = match &catalog_file {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            match Catalog::parse(&text) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("{}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => scenarios::farm_catalog(),
+    };
+    if !names.is_empty() {
+        catalog
+            .scenarios
+            .retain(|s| names.iter().any(|n| n.eq_ignore_ascii_case(&s.name)));
+        if catalog.is_empty() {
+            eprintln!("no catalog leg matches {names:?}");
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(d) = deadline_ms {
+        for s in &mut catalog.scenarios {
+            s.deadline_ms = Some(d);
+        }
+    }
+    // Probe legs: a mid-leg panic that must surface as a typed
+    // `Panicked` outcome and an endless hang the watchdog must cut
+    // short. Both are expected failures — the probe verifies
+    // isolation, not success.
+    if inject_panic {
+        catalog.push(
+            ScenarioSpec::new("probe-panic", "dma_burst", 100_000)
+                .checkpoint(2_000)
+                .inject_panic_at(8_000)
+                .expect_failure(),
+        );
+    }
+    if inject_hang {
+        catalog.push(
+            ScenarioSpec::new("probe-hang", "endless", u64::MAX / 8)
+                .deadline_ms(250)
+                .expect_failure(),
+        );
+    }
+
+    if list {
+        print!("{}", catalog.to_text());
+        return ExitCode::SUCCESS;
+    }
+
+    let cfg = FarmConfig {
+        workers,
+        journal,
+        ..FarmConfig::default()
+    };
+    let report = match run_farm(&catalog, Arc::new(scenarios::farm_registry()), &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("farm failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if report.skipped > 0 {
+        println!("resumed: skipped {} completed leg(s)", report.skipped);
+    }
+    print!("{}", report.summary());
+
+    if report.all_expected(&catalog) {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("FAIL: at least one leg contradicts its expectation");
+        ExitCode::FAILURE
+    }
+}

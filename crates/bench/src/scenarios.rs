@@ -207,3 +207,136 @@ pub fn multiclock_sim(n_domains: usize) -> Simulator {
     }
     sim
 }
+
+// ---------------------------------------------------------------------------
+// Scenario farm wiring (`dmi-bench farm`, `exp_farm`)
+
+/// DMA burst traffic against the crossbar: the `exp_burst` shape as a
+/// farm leg — heavier bursts than [`dma_crossbar`], single pass so the
+/// final state is budget-sensitive.
+pub fn dma_burst() -> SystemBuilder {
+    let mut b = SystemBuilder::new().interconnect(InterconnectKind::Crossbar(Default::default()));
+    b.add_memory(MemSpec::wrapper(mem_base(0)));
+    for j in 0..2u32 {
+        b.add_master(Box::new(DmaEngine::new(DmaConfig {
+            kind: DmaKind::Fill { seed: 0xB00 + j },
+            dst: mem_base(0),
+            words: 256,
+            passes: 4,
+            burst: Some(BurstSpec {
+                beats: 16,
+                verify: true,
+                at: None,
+            }),
+            ..DmaConfig::default()
+        })));
+    }
+    b
+}
+
+/// A verifying burst DMA against a memory that randomly answers Busy
+/// (seeded fault plan, replay-exact): the recovery-under-faults leg.
+pub fn lossy_dma() -> SystemBuilder {
+    let plan = FaultPlan::new(0xDEAD_BEEF).with(FaultSpec::new(
+        FaultSite::MemOp {
+            mem: 0,
+            op: None,
+            master: None,
+        },
+        FaultTrigger::Random {
+            threshold: 0x2000_0000,
+        },
+        FaultKind::Status(dmi_core::Status::Busy),
+    ));
+    let mut b = SystemBuilder::new().faults(plan).fault_injection(true);
+    b.add_memory(MemSpec::wrapper(mem_base(0)));
+    b.add_master(Box::new(DmaEngine::new(DmaConfig {
+        kind: DmaKind::Fill { seed: 0xC0DE },
+        dst: mem_base(0),
+        words: 64,
+        passes: 8,
+        burst: Some(BurstSpec {
+            beats: 16,
+            verify: true,
+            at: None,
+        }),
+        retry: Some(dmi_masters::RetryPolicy {
+            max_retries: 10,
+            backoff_cycles: 4,
+            escalate: false,
+        }),
+        ..DmaConfig::default()
+    })));
+    b
+}
+
+/// Three CPUs churning deep allocation traffic on one SimHeap memory:
+/// the allocator-pressure leg.
+pub fn alloc_deep() -> SystemBuilder {
+    let mut b = SystemBuilder::new();
+    b.add_memory(MemSpec::simheap(mem_base(0)));
+    for j in 0..3u32 {
+        b.add_cpu(CpuSpec::new(workloads::alloc_churn(&WorkloadCfg {
+            mem_base: mem_base(0),
+            iterations: 24 + 8 * j,
+            ..WorkloadCfg::default()
+        })));
+    }
+    b
+}
+
+/// A DMA fill that never finishes: farm watchdog fodder (used by the
+/// `--inject-hang` probe leg, never in the stock catalog).
+pub fn endless() -> SystemBuilder {
+    let mut b = SystemBuilder::new();
+    b.add_memory(MemSpec::wrapper(mem_base(0)));
+    b.add_master(Box::new(DmaEngine::new(DmaConfig {
+        kind: DmaKind::Fill { seed: 3 },
+        dst: mem_base(0),
+        words: 16,
+        passes: u32::MAX,
+        ..DmaConfig::default()
+    })));
+    b
+}
+
+/// Every builder-level scenario as a farm factory. (The hand-wired
+/// `multiclock` topology is excluded: it bypasses `SystemBuilder` and
+/// its workloads are endless by design.)
+pub fn farm_registry() -> dmi_farm::Registry {
+    let mut r = dmi_farm::Registry::new();
+    r.register("quickstart", quickstart);
+    r.register("gsm_headline", gsm_headline);
+    r.register("memory_models", memory_models);
+    r.register("dma_crossbar", dma_crossbar);
+    r.register("faults", faulty_headline);
+    r.register("dma_burst", dma_burst);
+    r.register("lossy_dma", lossy_dma);
+    r.register("alloc_deep", alloc_deep);
+    r.register("endless", endless);
+    r
+}
+
+/// The stock 8-leg farm catalog over [`farm_registry`]: every
+/// experiment scenario with a checkpointed, retry-once envelope. Cycle
+/// budgets sit past each scenario's natural halt except `gsm_headline`
+/// (pinned to the paper's 436,964-cycle headline run, which ends in
+/// `CycleBudget`).
+pub fn farm_catalog() -> dmi_farm::Catalog {
+    let mut c = dmi_farm::Catalog::new();
+    let leg = |name: &str, system: &str, cycles: u64, ck: u64| {
+        dmi_farm::ScenarioSpec::new(name, system, cycles)
+            .checkpoint(ck)
+            .retries(1)
+            .deadline_ms(60_000)
+    };
+    c.push(leg("quickstart", "quickstart", 400_000, 50_000));
+    c.push(leg("gsm_headline", "gsm_headline", 436_964, 50_000));
+    c.push(leg("memory_models", "memory_models", 200_000, 25_000));
+    c.push(leg("dma_crossbar", "dma_crossbar", 100_000, 10_000));
+    c.push(leg("faults", "faults", 436_964, 50_000));
+    c.push(leg("dma_burst", "dma_burst", 100_000, 10_000));
+    c.push(leg("lossy_dma", "lossy_dma", 100_000, 10_000));
+    c.push(leg("alloc_deep", "alloc_deep", 600_000, 50_000));
+    c
+}

@@ -1,0 +1,237 @@
+//! The crash-safe run journal: an append-only record of completed legs,
+//! so a farm process killed mid-run (power loss, OOM kill, `kill -9`)
+//! resumes by skipping exactly the legs that already finished.
+//!
+//! # File format
+//!
+//! ```text
+//! magic    b"DMIFARM\x1a"      (8 bytes)
+//! version  u32 LE              (currently 1)
+//! crc      u32 LE              catalog CRC (Catalog::crc)
+//! legs     u32 LE              catalog leg count
+//! records  *                   CRC-framed records (dmi_kernel::frame_record)
+//! ```
+//!
+//! Each record's payload is a tagged [`StateWriter`] encoding; the only
+//! tag today is `1` = *leg done*: `leg u32, attempts u32,`
+//! [`ScenarioOutcome`] encoding. Records are appended with an fsync per
+//! leg — a leg is either durably journaled or it is not.
+//!
+//! # Torn tails
+//!
+//! A crash can tear the last record (or even the header). Opening a
+//! journal is therefore *tolerant*: records are replayed up to the
+//! first torn or corrupt frame, the file is physically truncated there,
+//! and appending continues from the trimmed tail. A torn *header* means
+//! nothing was durably recorded, so the journal restarts empty. The one
+//! non-tolerated condition is a valid header whose catalog CRC differs
+//! from the catalog being run — that journal belongs to different work,
+//! and silently skipping its leg indices would corrupt results.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use dmi_kernel::{frame_record, next_framed_record, FramedRecord, StateReader, StateWriter};
+
+use crate::outcome::ScenarioOutcome;
+
+/// Magic bytes at the start of every journal file.
+pub const JOURNAL_MAGIC: [u8; 8] = *b"DMIFARM\x1a";
+
+/// Current journal format version.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// Record tag: a leg completed with a final outcome.
+const TAG_LEG_DONE: u8 = 1;
+
+/// Why a journal could not be opened.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Reading, writing, or truncating the journal file failed.
+    Io(std::io::Error),
+    /// The journal was written by a different catalog: resuming from it
+    /// would map completed-leg indices onto the wrong scenarios.
+    CatalogMismatch {
+        /// CRC of the catalog being run.
+        expected: u32,
+        /// CRC recorded in the journal header.
+        found: u32,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::CatalogMismatch { expected, found } => write!(
+                f,
+                "journal belongs to a different catalog \
+                 (catalog crc {expected:08x}, journal has {found:08x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io(e) => Some(e),
+            JournalError::CatalogMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// An open run journal: the completed legs replayed from disk, plus the
+/// handle further completions are appended to.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    /// Completed legs by catalog index: `(attempts, outcome)`.
+    completed: Vec<Option<(u32, ScenarioOutcome)>>,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal at `path` for the catalog
+    /// identified by `catalog_crc` with `leg_count` legs.
+    ///
+    /// Replays whatever was durably recorded, trims any torn tail, and
+    /// positions the file for appending. A missing file, or one whose
+    /// header itself is torn or unrecognizable, starts an empty journal
+    /// (nothing durable was ever written).
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::CatalogMismatch`] if the file has a valid header
+    /// for a *different* catalog; [`JournalError::Io`] on filesystem
+    /// failures.
+    pub fn open(
+        path: impl AsRef<Path>,
+        catalog_crc: u32,
+        leg_count: usize,
+    ) -> Result<Journal, JournalError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        let mut completed: Vec<Option<(u32, ScenarioOutcome)>> = vec![None; leg_count];
+        let header_len = JOURNAL_MAGIC.len() + 12;
+        let header_ok = bytes.len() >= header_len
+            && bytes[..JOURNAL_MAGIC.len()] == JOURNAL_MAGIC
+            && u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) == JOURNAL_VERSION;
+
+        let keep = if header_ok {
+            let found = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+            if found != catalog_crc {
+                return Err(JournalError::CatalogMismatch {
+                    expected: catalog_crc,
+                    found,
+                });
+            }
+            // Replay records up to the first torn frame; remember where
+            // the durable prefix ends so debris past it can be trimmed.
+            let mut off = header_len;
+            while let FramedRecord::Complete { payload, consumed } =
+                next_framed_record(&bytes[off..])
+            {
+                Self::apply_record(payload, &mut completed);
+                off += consumed;
+            }
+            off as u64
+        } else {
+            // Torn or foreign header: restart the journal. (A foreign
+            // *valid* header was handled above as CatalogMismatch; what
+            // lands here is an interrupted first write or a non-journal
+            // file the caller pointed us at.)
+            let mut header = Vec::with_capacity(header_len);
+            header.extend_from_slice(&JOURNAL_MAGIC);
+            header.extend_from_slice(&JOURNAL_VERSION.to_le_bytes());
+            header.extend_from_slice(&catalog_crc.to_le_bytes());
+            header.extend_from_slice(&(leg_count as u32).to_le_bytes());
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(&header)?;
+            header.len() as u64
+        };
+
+        file.set_len(keep)?;
+        file.seek(SeekFrom::Start(keep))?;
+        file.sync_data()?;
+        Ok(Journal { file, completed })
+    }
+
+    /// Decodes one record payload into the completed-leg table. Corrupt
+    /// payloads inside a CRC-valid frame cannot happen by bit rot (the
+    /// frame checksum covers them); they would mean a writer bug, and
+    /// are ignored rather than trusted.
+    fn apply_record(payload: &[u8], completed: &mut [Option<(u32, ScenarioOutcome)>]) {
+        let mut r = StateReader::new(payload);
+        let parsed = (|| -> Result<(u32, u32, ScenarioOutcome), dmi_kernel::SnapshotError> {
+            let tag = r.get_u8("journal record tag")?;
+            if tag != TAG_LEG_DONE {
+                return Err(dmi_kernel::SnapshotError::Corrupt {
+                    context: format!("unknown journal record tag {tag}"),
+                });
+            }
+            let leg = r.get_u32("journal leg index")?;
+            let attempts = r.get_u32("journal attempts")?;
+            let outcome = ScenarioOutcome::decode(&mut r)?;
+            r.finish("journal record")?;
+            Ok((leg, attempts, outcome))
+        })();
+        if let Ok((leg, attempts, outcome)) = parsed {
+            if let Some(slot) = completed.get_mut(leg as usize) {
+                *slot = Some((attempts, outcome));
+            }
+        }
+    }
+
+    /// The journaled result for `leg`, if that leg already completed in
+    /// a previous (interrupted) run.
+    pub fn completed(&self, leg: usize) -> Option<&(u32, ScenarioOutcome)> {
+        self.completed.get(leg).and_then(|s| s.as_ref())
+    }
+
+    /// How many legs the journal already has final outcomes for.
+    pub fn completed_count(&self) -> usize {
+        self.completed.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Durably appends a completed leg: the record is framed, written,
+    /// and fsynced before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; on error the on-disk tail may be
+    /// torn, which the next [`open`](Self::open) trims automatically.
+    pub fn record(
+        &mut self,
+        leg: usize,
+        attempts: u32,
+        outcome: &ScenarioOutcome,
+    ) -> Result<(), JournalError> {
+        let mut w = StateWriter::new();
+        w.put_u8(TAG_LEG_DONE);
+        w.put_u32(leg as u32);
+        w.put_u32(attempts);
+        outcome.encode(&mut w);
+        let framed = frame_record(&w.into_bytes());
+        self.file.write_all(&framed)?;
+        self.file.sync_data()?;
+        if let Some(slot) = self.completed.get_mut(leg) {
+            *slot = Some((attempts, outcome.clone()));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,190 @@
+//! Typed per-leg results, and their journal encoding.
+
+use dmi_kernel::{SnapshotError, StateReader, StateWriter};
+
+/// How one scenario leg ended, after all its attempts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioOutcome {
+    /// The leg ran its cycle budget (or halted earlier) deterministically.
+    Completed {
+        /// CRC-32 of the final full-system [`Snapshot`](dmi_kernel::Snapshot)
+        /// bytes — the leg's replay identity. Checkpoints capture
+        /// architectural state only (validated caches are rebuilt, host
+        /// wall time never enters), so this fingerprint is identical
+        /// whether the leg ran uninterrupted, resumed from a mid-leg
+        /// checkpoint after a crash, or started from a shared warm
+        /// snapshot.
+        fingerprint: u32,
+        /// Absolute cycle the leg ended on.
+        cycles: u64,
+        /// Debug rendering of the final
+        /// [`StopCause`](dmi_system::StopCause) — `AllHalted`,
+        /// `CycleBudget`, or a deterministic fault escalation.
+        cause: String,
+    },
+    /// An attempt panicked and the retry budget is exhausted. The farm
+    /// caught the unwind; sibling legs were not perturbed.
+    Panicked {
+        /// The panic payload (or a placeholder for non-string payloads).
+        message: String,
+    },
+    /// The leg exceeded its deadline and the retry budget is exhausted.
+    TimedOut {
+        /// `false`: the in-worker soft watchdog
+        /// ([`StopCondition::wall_clock_every`](dmi_system::StopCondition::wall_clock_every))
+        /// fired between poll slices. `true`: the worker never came
+        /// back at all and the supervisor abandoned it at the hard
+        /// deadline.
+        hard: bool,
+    },
+    /// The leg could not run: unknown `system` key, or the factory's
+    /// builder rejected the description.
+    Failed {
+        /// The build-time error.
+        message: String,
+    },
+}
+
+impl ScenarioOutcome {
+    /// Whether the leg produced a deterministic completed run.
+    pub fn is_success(&self) -> bool {
+        matches!(self, ScenarioOutcome::Completed { .. })
+    }
+
+    /// One-line human rendering.
+    pub fn brief(&self) -> String {
+        match self {
+            ScenarioOutcome::Completed {
+                fingerprint,
+                cycles,
+                cause,
+            } => format!("completed @{cycles} fp={fingerprint:08x} ({cause})"),
+            ScenarioOutcome::Panicked { message } => format!("panicked: {message}"),
+            ScenarioOutcome::TimedOut { hard: false } => "timed out (watchdog)".into(),
+            ScenarioOutcome::TimedOut { hard: true } => "timed out (abandoned)".into(),
+            ScenarioOutcome::Failed { message } => format!("failed: {message}"),
+        }
+    }
+
+    /// Serializes into `w` (the journal's record payload encoding).
+    pub fn encode(&self, w: &mut StateWriter) {
+        match self {
+            ScenarioOutcome::Completed {
+                fingerprint,
+                cycles,
+                cause,
+            } => {
+                w.put_u8(1);
+                w.put_u32(*fingerprint);
+                w.put_u64(*cycles);
+                w.put_str(cause);
+            }
+            ScenarioOutcome::Panicked { message } => {
+                w.put_u8(2);
+                w.put_str(message);
+            }
+            ScenarioOutcome::TimedOut { hard } => {
+                w.put_u8(3);
+                w.put_bool(*hard);
+            }
+            ScenarioOutcome::Failed { message } => {
+                w.put_u8(4);
+                w.put_str(message);
+            }
+        }
+    }
+
+    /// Inverse of [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`SnapshotError`] on truncation or an unknown
+    /// outcome tag.
+    pub fn decode(r: &mut StateReader<'_>) -> Result<ScenarioOutcome, SnapshotError> {
+        match r.get_u8("outcome tag")? {
+            1 => Ok(ScenarioOutcome::Completed {
+                fingerprint: r.get_u32("outcome fingerprint")?,
+                cycles: r.get_u64("outcome cycles")?,
+                cause: r.get_str("outcome cause")?.to_string(),
+            }),
+            2 => Ok(ScenarioOutcome::Panicked {
+                message: r.get_str("panic message")?.to_string(),
+            }),
+            3 => Ok(ScenarioOutcome::TimedOut {
+                hard: r.get_bool("timeout kind")?,
+            }),
+            4 => Ok(ScenarioOutcome::Failed {
+                message: r.get_str("failure message")?.to_string(),
+            }),
+            tag => Err(SnapshotError::Corrupt {
+                context: format!("unknown outcome tag {tag}"),
+            }),
+        }
+    }
+}
+
+/// The farm's final word on one leg.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LegResult {
+    /// Index of the leg in the catalog.
+    pub leg: u32,
+    /// The leg's scenario name (copied from the catalog for display).
+    pub name: String,
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: u32,
+    /// How it ended.
+    pub outcome: ScenarioOutcome,
+    /// Whether this result was adopted from the journal of an earlier,
+    /// interrupted farm run instead of being executed now.
+    pub adopted: bool,
+}
+
+impl LegResult {
+    /// Whether the outcome matches the catalog's expectation for this
+    /// leg (`expect_failure` probes are *supposed* to end badly).
+    pub fn matches_expectation(&self, expect_failure: bool) -> bool {
+        self.outcome.is_success() != expect_failure
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcomes_round_trip() {
+        let outcomes = [
+            ScenarioOutcome::Completed {
+                fingerprint: 0xDEAD_BEEF,
+                cycles: 123_456,
+                cause: "AllHalted".into(),
+            },
+            ScenarioOutcome::Panicked {
+                message: "injected panic at cycle 42".into(),
+            },
+            ScenarioOutcome::TimedOut { hard: false },
+            ScenarioOutcome::TimedOut { hard: true },
+            ScenarioOutcome::Failed {
+                message: "unknown system 'nope'".into(),
+            },
+        ];
+        for o in &outcomes {
+            let mut w = StateWriter::new();
+            o.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = StateReader::new(&bytes);
+            let back = ScenarioOutcome::decode(&mut r).expect("decodes");
+            r.finish("outcome").expect("no trailing bytes");
+            assert_eq!(&back, o);
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_typed() {
+        let mut w = StateWriter::new();
+        w.put_u8(99);
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        assert!(ScenarioOutcome::decode(&mut r).is_err());
+    }
+}

@@ -1,0 +1,66 @@
+//! The system registry: named factories producing the
+//! [`SystemBuilder`]s a catalog's `system` keys refer to.
+//!
+//! Factories (not prebuilt systems) because a [`McSystem`] is neither
+//! `Clone` nor `Send`: every worker thread builds its own instance from
+//! the shared, `Send + Sync` factory. Backed by a `Vec` rather than a
+//! hash map — the determinism guardrails of this workspace disallow
+//! `HashMap`, and a registry holds a handful of entries.
+
+use dmi_system::SystemBuilder;
+
+/// A named system factory.
+pub type Factory = Box<dyn Fn() -> SystemBuilder + Send + Sync>;
+
+/// Maps catalog `system` keys to the factories that build them.
+#[derive(Default)]
+pub struct Registry {
+    entries: Vec<(String, Factory)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `factory` under `key`, replacing any previous entry
+    /// with the same key.
+    pub fn register(
+        &mut self,
+        key: impl Into<String>,
+        factory: impl Fn() -> SystemBuilder + Send + Sync + 'static,
+    ) {
+        let key = key.into();
+        self.entries.retain(|(k, _)| *k != key);
+        self.entries.push((key, Box::new(factory)));
+    }
+
+    /// Looks a factory up by key.
+    pub fn get(&self, key: &str) -> Option<&Factory> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, f)| f)
+    }
+
+    /// The registered keys, in registration order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(k, _)| k.as_str())
+    }
+
+    /// Number of registered factories.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("keys", &self.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}

@@ -1,0 +1,543 @@
+//! The farm supervisor: M worker threads, one dispatcher, typed
+//! failure handling.
+//!
+//! Supervision model:
+//!
+//! * every leg runs on a worker thread inside `catch_unwind` — a
+//!   panicking scenario is converted to a typed outcome and the worker
+//!   thread survives to take the next job;
+//! * a failed attempt (panic or soft watchdog timeout) is retried with
+//!   capped exponential backoff, resuming from the newest checkpoint
+//!   the attempt exported across the unwind boundary;
+//! * a worker that stops responding entirely (it never reaches the
+//!   in-run watchdog) is *abandoned* at the supervisor's hard deadline:
+//!   its thread is detached, a replacement worker is spawned, and any
+//!   result the zombie later produces is recognized by its stale job id
+//!   and dropped;
+//! * completed legs are durably journaled (when a journal is
+//!   configured) before the next job is dispatched, so a killed farm
+//!   process resumes by skipping exactly the finished legs.
+
+// The supervisor's scheduling (backoff expiry, hard deadlines) is
+// host-time by nature; this is the sanctioned wall-clock site of the
+// crate, next to the watchdogs in `worker.rs`.
+#![allow(clippy::disallowed_methods)]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dmi_kernel::Snapshot;
+
+use crate::catalog::Catalog;
+use crate::journal::{Journal, JournalError};
+use crate::outcome::{LegResult, ScenarioOutcome};
+use crate::registry::Registry;
+use crate::spec::ScenarioSpec;
+use crate::worker::{run_leg, WarmCache};
+
+/// How a farm run is supervised.
+#[derive(Debug, Clone)]
+pub struct FarmConfig {
+    /// Worker thread count (clamped to at least 1).
+    pub workers: usize,
+    /// Journal file for crash-safe resume; `None` = in-memory only.
+    pub journal: Option<PathBuf>,
+    /// Hard per-attempt deadline: a worker that has not reported for
+    /// this long is abandoned and replaced. Should comfortably exceed
+    /// every leg's soft `deadline_ms`. `None` = never abandon.
+    pub hard_deadline: Option<Duration>,
+    /// Poll granularity (cycles) for the legs' soft wall-clock
+    /// watchdogs — how much simulation a leg may overshoot its deadline
+    /// by. See [`StopCondition::wall_clock_every`](dmi_system::StopCondition::wall_clock_every).
+    pub watchdog_poll: u64,
+    /// Base retry backoff; retry `n` waits `backoff << (n-1)`, capped.
+    pub backoff: Duration,
+    /// Upper bound on the retry backoff.
+    pub backoff_cap: Duration,
+}
+
+impl Default for FarmConfig {
+    fn default() -> Self {
+        FarmConfig {
+            workers: 2,
+            journal: None,
+            hard_deadline: None,
+            watchdog_poll: dmi_system::DEFAULT_POLL_CYCLES,
+            backoff: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Why a farm run could not execute at all (individual leg failures are
+/// *outcomes*, not errors).
+#[derive(Debug)]
+pub enum FarmError {
+    /// The journal could not be opened or written.
+    Journal(JournalError),
+    /// Every worker disappeared with legs still outstanding (a farm
+    /// bug by construction — workers survive scenario panics).
+    WorkersLost,
+}
+
+impl std::fmt::Display for FarmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FarmError::Journal(e) => write!(f, "farm journal: {e}"),
+            FarmError::WorkersLost => write!(f, "all farm workers lost"),
+        }
+    }
+}
+
+impl std::error::Error for FarmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FarmError::Journal(e) => Some(e),
+            FarmError::WorkersLost => None,
+        }
+    }
+}
+
+impl From<JournalError> for FarmError {
+    fn from(e: JournalError) -> Self {
+        FarmError::Journal(e)
+    }
+}
+
+/// What a farm run produced.
+#[derive(Debug, Clone)]
+pub struct FarmReport {
+    /// One final result per catalog leg, in catalog order.
+    pub legs: Vec<LegResult>,
+    /// Legs adopted from the journal of an interrupted earlier run.
+    pub skipped: usize,
+    /// Retry attempts dispatched (across all legs).
+    pub retried: u32,
+    /// Workers abandoned at the hard deadline.
+    pub abandoned: u32,
+}
+
+impl FarmReport {
+    /// Whether every leg matched its catalog expectation
+    /// (`expect_failure` probes count as matched when they fail).
+    pub fn all_expected(&self, catalog: &Catalog) -> bool {
+        self.legs
+            .iter()
+            .zip(&catalog.scenarios)
+            .all(|(leg, spec)| leg.matches_expectation(spec.expect_failure))
+    }
+
+    /// Multi-line human rendering, one leg per line.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for leg in &self.legs {
+            let adopted = if leg.adopted { " [journaled]" } else { "" };
+            out.push_str(&format!(
+                "{:24} attempts={} {}{}\n",
+                leg.name,
+                leg.attempts,
+                leg.outcome.brief(),
+                adopted
+            ));
+        }
+        out.push_str(&format!(
+            "{} legs ({} resumed from journal), {} retries, {} workers abandoned\n",
+            self.legs.len(),
+            self.skipped,
+            self.retried,
+            self.abandoned
+        ));
+        out
+    }
+}
+
+/// One dispatched attempt.
+struct Job {
+    job_id: u64,
+    leg: u32,
+    attempt: u32,
+    spec: ScenarioSpec,
+    resume: Option<(u64, Snapshot)>,
+}
+
+/// What a worker sends back.
+struct WorkerMsg {
+    worker: u64,
+    job_id: u64,
+    leg: u32,
+    attempt: u32,
+    outcome: ScenarioOutcome,
+    checkpoint: Option<(u64, Snapshot)>,
+}
+
+struct WorkerSlot {
+    id: u64,
+    sender: Sender<Job>,
+    handle: Option<JoinHandle<()>>,
+    inflight: Option<InFlight>,
+}
+
+struct InFlight {
+    job_id: u64,
+    leg: u32,
+    attempt: u32,
+    started: Instant,
+}
+
+/// Count of panics the farm has converted to typed outcomes in this
+/// process — lets tests assert isolation actually happened.
+static PANICS_CAUGHT: AtomicU32 = AtomicU32::new(0);
+
+/// Panics caught (process-wide) by farm workers so far.
+pub fn panics_caught() -> u32 {
+    PANICS_CAUGHT.load(Ordering::Relaxed)
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+fn spawn_worker(
+    id: u64,
+    registry: Arc<Registry>,
+    warm: Arc<WarmCache>,
+    watchdog_poll: u64,
+    results: Sender<WorkerMsg>,
+) -> WorkerSlot {
+    let (tx, rx): (Sender<Job>, Receiver<Job>) = mpsc::channel();
+    let handle = std::thread::Builder::new()
+        .name(format!("farm-worker-{id}"))
+        .spawn(move || {
+            while let Ok(job) = rx.recv() {
+                let mut export = None;
+                let outcome = match catch_unwind(AssertUnwindSafe(|| {
+                    run_leg(
+                        &registry,
+                        &job.spec,
+                        job.attempt,
+                        job.resume.as_ref(),
+                        &warm,
+                        watchdog_poll,
+                        &mut export,
+                    )
+                })) {
+                    Ok(outcome) => outcome,
+                    Err(payload) => {
+                        PANICS_CAUGHT.fetch_add(1, Ordering::Relaxed);
+                        ScenarioOutcome::Panicked {
+                            message: panic_message(payload),
+                        }
+                    }
+                };
+                let msg = WorkerMsg {
+                    worker: id,
+                    job_id: job.job_id,
+                    leg: job.leg,
+                    attempt: job.attempt,
+                    outcome,
+                    checkpoint: export,
+                };
+                if results.send(msg).is_err() {
+                    break; // supervisor gone
+                }
+            }
+        })
+        .expect("spawn farm worker");
+    WorkerSlot {
+        id,
+        sender: tx,
+        handle: Some(handle),
+        inflight: None,
+    }
+}
+
+fn backoff_delay(cfg: &FarmConfig, attempt_done: u32) -> Duration {
+    // attempt_done = the attempt index that just failed (0-based);
+    // retry n backs off base << n, capped.
+    let shift = attempt_done.min(16);
+    let d = cfg
+        .backoff
+        .checked_mul(1u32 << shift)
+        .unwrap_or(cfg.backoff_cap);
+    d.min(cfg.backoff_cap)
+}
+
+/// Runs every leg of `catalog` over `cfg.workers` supervised workers.
+///
+/// Returns one [`LegResult`] per leg, in catalog order, regardless of
+/// completion order. Individual leg failures (panics, timeouts, build
+/// errors) are data in the report; only infrastructure failures (the
+/// journal, total worker loss) are `Err`.
+///
+/// # Errors
+///
+/// See [`FarmError`].
+pub fn run_farm(
+    catalog: &Catalog,
+    registry: Arc<Registry>,
+    cfg: &FarmConfig,
+) -> Result<FarmReport, FarmError> {
+    let n = catalog.len();
+    let mut finals: Vec<Option<LegResult>> = vec![None; n];
+    let mut skipped = 0usize;
+
+    let mut journal = match &cfg.journal {
+        Some(path) => Some(Journal::open(path, catalog.crc(), n)?),
+        None => None,
+    };
+    if let Some(j) = &journal {
+        for (i, spec) in catalog.scenarios.iter().enumerate() {
+            if let Some((attempts, outcome)) = j.completed(i) {
+                finals[i] = Some(LegResult {
+                    leg: i as u32,
+                    name: spec.name.clone(),
+                    attempts: *attempts,
+                    outcome: outcome.clone(),
+                    adopted: true,
+                });
+                skipped += 1;
+            }
+        }
+    }
+
+    let mut pending: VecDeque<Job> = VecDeque::new();
+    let mut next_job_id = 0u64;
+    for (i, spec) in catalog.scenarios.iter().enumerate() {
+        if finals[i].is_some() {
+            continue;
+        }
+        pending.push_back(Job {
+            job_id: next_job_id,
+            leg: i as u32,
+            attempt: 0,
+            spec: spec.clone(),
+            resume: None,
+        });
+        next_job_id += 1;
+    }
+
+    let mut outstanding = pending.len();
+    if outstanding == 0 {
+        return Ok(FarmReport {
+            legs: finals.into_iter().flatten().collect(),
+            skipped,
+            retried: 0,
+            abandoned: 0,
+        });
+    }
+
+    let warm = Arc::new(WarmCache::new());
+    let (results_tx, results_rx) = mpsc::channel::<WorkerMsg>();
+    let mut next_worker_id = 0u64;
+    let mut workers: Vec<WorkerSlot> = (0..cfg.workers.max(1))
+        .map(|_| {
+            let slot = spawn_worker(
+                next_worker_id,
+                Arc::clone(&registry),
+                Arc::clone(&warm),
+                cfg.watchdog_poll,
+                results_tx.clone(),
+            );
+            next_worker_id += 1;
+            slot
+        })
+        .collect();
+
+    let mut delayed: Vec<(Instant, Job)> = Vec::new();
+    let mut retried = 0u32;
+    let mut abandoned = 0u32;
+
+    let finalize = |finals: &mut Vec<Option<LegResult>>,
+                        journal: &mut Option<Journal>,
+                        outstanding: &mut usize,
+                        leg: u32,
+                        attempts: u32,
+                        outcome: ScenarioOutcome|
+     -> Result<(), FarmError> {
+        if let Some(j) = journal {
+            j.record(leg as usize, attempts, &outcome)?;
+        }
+        finals[leg as usize] = Some(LegResult {
+            leg,
+            name: catalog.scenarios[leg as usize].name.clone(),
+            attempts,
+            outcome,
+            adopted: false,
+        });
+        *outstanding -= 1;
+        Ok(())
+    };
+
+    while outstanding > 0 {
+        let now = Instant::now();
+
+        // Promote backoff-expired retries.
+        let mut i = 0;
+        while i < delayed.len() {
+            if delayed[i].0 <= now {
+                pending.push_back(delayed.swap_remove(i).1);
+            } else {
+                i += 1;
+            }
+        }
+
+        // Dispatch to idle workers.
+        for slot in workers.iter_mut() {
+            if slot.inflight.is_some() {
+                continue;
+            }
+            let Some(job) = pending.pop_front() else { break };
+            slot.inflight = Some(InFlight {
+                job_id: job.job_id,
+                leg: job.leg,
+                attempt: job.attempt,
+                started: now,
+            });
+            if slot.sender.send(job).is_err() {
+                // Worker thread gone (cannot normally happen): the job
+                // is lost with it — respawn and let the in-flight
+                // bookkeeping below retry via the hard deadline, or
+                // fail hard if no deadline is set.
+                slot.inflight = None;
+                return Err(FarmError::WorkersLost);
+            }
+        }
+
+        // Abandon workers past the hard deadline.
+        if let Some(hd) = cfg.hard_deadline {
+            let mut idx = 0;
+            while idx < workers.len() {
+                let expired = workers[idx]
+                    .inflight
+                    .as_ref()
+                    .is_some_and(|f| now.duration_since(f.started) >= hd);
+                if !expired {
+                    idx += 1;
+                    continue;
+                }
+                let mut slot = workers.swap_remove(idx);
+                let inflight = slot.inflight.take().expect("expired implies inflight");
+                // Detach the zombie: dropping the handle without a join
+                // lets the hung thread die with the process; dropping
+                // its sender means it finds a closed channel if it ever
+                // finishes its current job.
+                drop(slot.handle.take());
+                abandoned += 1;
+                workers.push(spawn_worker(
+                    next_worker_id,
+                    Arc::clone(&registry),
+                    Arc::clone(&warm),
+                    cfg.watchdog_poll,
+                    results_tx.clone(),
+                ));
+                next_worker_id += 1;
+
+                let spec = &catalog.scenarios[inflight.leg as usize];
+                let attempts_used = inflight.attempt + 1;
+                if attempts_used > spec.retries {
+                    finalize(
+                        &mut finals,
+                        &mut journal,
+                        &mut outstanding,
+                        inflight.leg,
+                        attempts_used,
+                        ScenarioOutcome::TimedOut { hard: true },
+                    )?;
+                } else {
+                    // Hard-abandoned attempts leave no checkpoint behind
+                    // (it is trapped in the zombie thread): retry cold.
+                    retried += 1;
+                    delayed.push((
+                        now + backoff_delay(cfg, inflight.attempt),
+                        Job {
+                            job_id: next_job_id,
+                            leg: inflight.leg,
+                            attempt: inflight.attempt + 1,
+                            spec: spec.clone(),
+                            resume: None,
+                        },
+                    ));
+                    next_job_id += 1;
+                }
+            }
+        }
+
+        if outstanding == 0 {
+            break;
+        }
+
+        let msg = match results_rx.recv_timeout(Duration::from_millis(10)) {
+            Ok(msg) => msg,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return Err(FarmError::WorkersLost),
+        };
+
+        // Stale results from abandoned workers carry a job id no live
+        // slot is waiting for — drop them.
+        let Some(slot) = workers.iter_mut().find(|w| {
+            w.id == msg.worker && w.inflight.as_ref().is_some_and(|f| f.job_id == msg.job_id)
+        }) else {
+            continue;
+        };
+        slot.inflight = None;
+
+        let spec = &catalog.scenarios[msg.leg as usize];
+        let attempts_used = msg.attempt + 1;
+        if msg.outcome.is_success()
+            || matches!(msg.outcome, ScenarioOutcome::Failed { .. })
+            || attempts_used > spec.retries
+        {
+            // Success, a deterministic build failure (retrying cannot
+            // help), or retry budget exhausted: final.
+            finalize(
+                &mut finals,
+                &mut journal,
+                &mut outstanding,
+                msg.leg,
+                attempts_used,
+                msg.outcome,
+            )?;
+        } else {
+            retried += 1;
+            delayed.push((
+                Instant::now() + backoff_delay(cfg, msg.attempt),
+                Job {
+                    job_id: next_job_id,
+                    leg: msg.leg,
+                    attempt: msg.attempt + 1,
+                    spec: spec.clone(),
+                    resume: msg.checkpoint,
+                },
+            ));
+            next_job_id += 1;
+        }
+    }
+
+    // Orderly shutdown: close the job channels, join the live workers.
+    for slot in &mut workers {
+        let (dead_tx, _) = mpsc::channel();
+        slot.sender = dead_tx; // drop the real sender
+        if let Some(handle) = slot.handle.take() {
+            let _ = handle.join();
+        }
+    }
+
+    Ok(FarmReport {
+        legs: finals.into_iter().flatten().collect(),
+        skipped,
+        retried,
+        abandoned,
+    })
+}

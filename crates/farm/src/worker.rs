@@ -1,0 +1,205 @@
+//! Leg execution: one attempt of one scenario on one worker thread.
+//!
+//! A leg runs in checkpoint-interval slices so that (a) the latest
+//! snapshot continuously escapes to the supervisor side of the
+//! `catch_unwind` boundary — a panicking or soft-timed-out attempt
+//! leaves a resume point behind — and (b) the soft watchdog re-arms
+//! each slice with the remaining host-time budget. Slicing is
+//! architecturally invisible: the simulation is cycle-driven, so
+//! stopping and continuing at a cycle boundary replays bit-identically
+//! to an uninterrupted run.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use dmi_kernel::{crc32, Snapshot};
+use dmi_system::{McSystem, StopCause, StopCondition};
+
+use crate::outcome::ScenarioOutcome;
+use crate::registry::Registry;
+use crate::spec::ScenarioSpec;
+
+/// Shared warm-start snapshots, keyed by `(system key, warm_cycles)`.
+///
+/// The lock is held *while warming*, deliberately: when M legs of the
+/// same scenario family start together, exactly one pays for the warmup
+/// prefix and the rest restore its snapshot, instead of M cold warmups
+/// racing. Snapshots are stored as bytes (`Snapshot::to_bytes`) so the
+/// cache is plain `Send` data.
+#[derive(Debug, Default)]
+pub struct WarmCache {
+    entries: Mutex<Vec<(WarmKey, Vec<u8>)>>,
+}
+
+/// Cache key: system registry key + warm-prefix cycle count.
+type WarmKey = (String, u64);
+
+impl WarmCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Brings `sys` to `warm` cycles: restores the cached snapshot if
+    /// one exists, otherwise simulates the warmup once and caches it.
+    fn warm_up(&self, sys: &mut McSystem, system_key: &str, warm: u64) {
+        // A worker panic while holding the lock (it cannot happen here —
+        // warming runs no probe hooks — but belt and braces) must not
+        // wedge every later leg: take the data out of a poisoned lock.
+        let mut entries = self
+            .entries
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let key = (system_key.to_string(), warm);
+        if let Some((_, bytes)) = entries.iter().find(|(k, _)| *k == key) {
+            if let Ok(snap) = Snapshot::from_bytes(bytes) {
+                if sys.restore(&snap).is_ok() {
+                    return;
+                }
+            }
+            // Unusable cache entry (should not happen — same factory,
+            // same topology): fall through and warm cold.
+        }
+        sys.run_until(&StopCondition::cycles(warm));
+        entries.push((key, sys.checkpoint().to_bytes()));
+    }
+}
+
+/// The deterministic identity of a finished leg: CRC-32 over the full
+/// architectural snapshot. Wall time and validated-cache contents never
+/// enter a snapshot, so this is bit-stable across cold, warm-started,
+/// and crash-resumed executions of the same scenario.
+pub fn leg_fingerprint(sys: &mut McSystem) -> u32 {
+    crc32(&sys.checkpoint().to_bytes())
+}
+
+/// Runs one attempt of `spec` to completion, soft timeout, or injected
+/// panic.
+///
+/// `resume` is the `(absolute cycle, snapshot)` pair a previous attempt
+/// exported; `export` continuously receives the newest checkpoint so it
+/// survives this attempt's unwinding. Panics are *not* caught here —
+/// the worker loop wraps this call in `catch_unwind`.
+pub(crate) fn run_leg(
+    registry: &Registry,
+    spec: &ScenarioSpec,
+    attempt: u32,
+    resume: Option<&(u64, Snapshot)>,
+    warm: &WarmCache,
+    watchdog_poll: u64,
+    export: &mut Option<(u64, Snapshot)>,
+) -> ScenarioOutcome {
+    if let Some(ms) = spec.hang_ms {
+        // Probe: pretend to be a stuck worker (see ScenarioSpec::hang_ms).
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+
+    let Some(factory) = registry.get(&spec.system) else {
+        return ScenarioOutcome::Failed {
+            message: format!("unknown system '{}'", spec.system),
+        };
+    };
+    let mut sys = match factory().build() {
+        Ok(sys) => sys,
+        Err(e) => {
+            return ScenarioOutcome::Failed {
+                message: format!("build failed: {e}"),
+            }
+        }
+    };
+    if let Some(on) = spec.fault_injection {
+        sys.set_fault_injection(on);
+    }
+
+    match resume {
+        Some((_, snap)) => {
+            if sys.restore(snap).is_err() {
+                // A stale or foreign snapshot cannot poison the leg:
+                // fall back to a cold start (still deterministic, just
+                // slower).
+                sys = match factory().build() {
+                    Ok(sys) => sys,
+                    Err(e) => {
+                        return ScenarioOutcome::Failed {
+                            message: format!("rebuild failed: {e}"),
+                        }
+                    }
+                };
+                if let Some(on) = spec.fault_injection {
+                    sys.set_fault_injection(on);
+                }
+            }
+        }
+        None => {
+            if let Some(w) = spec.warm_cycles {
+                if w > 0 && w < spec.cycles {
+                    warm.warm_up(&mut sys, &spec.system, w);
+                }
+            }
+        }
+    }
+
+    // The soft watchdog budgets *host* time for the whole attempt, so
+    // the deadline has to be read against a wall-clock start.
+    #[allow(clippy::disallowed_methods)]
+    let started = spec.deadline_ms.map(|ms| {
+        (std::time::Instant::now(), Duration::from_millis(ms))
+    });
+
+    let target = spec.cycles;
+    let mut cause = StopCause::CycleBudget;
+    loop {
+        let done = sys.total_cycles();
+        if done >= target {
+            break;
+        }
+        let remaining = target - done;
+        let step = match spec.checkpoint_every {
+            Some(ck) => ck.max(1).min(remaining),
+            None => remaining,
+        };
+        let mut cond = StopCondition::cycles(step);
+        if let Some((t0, budget)) = started {
+            let left = budget.saturating_sub(t0.elapsed());
+            if left.is_zero() {
+                return ScenarioOutcome::TimedOut { hard: false };
+            }
+            cond = cond.or(StopCondition::wall_clock_every(left, watchdog_poll));
+        }
+        let report = sys.run_until(&cond);
+        match report.cause {
+            StopCause::WallClock => return ScenarioOutcome::TimedOut { hard: false },
+            StopCause::CycleBudget => {}
+            // AllHalted (scenario finished early), a deterministic fault
+            // escalation, or a component error: the leg is over — the
+            // fingerprint captures whatever state it ended in.
+            other => {
+                cause = other;
+                if spec.checkpoint_every.is_some() {
+                    *export = Some((sys.total_cycles(), sys.checkpoint()));
+                }
+                break;
+            }
+        }
+        if spec.checkpoint_every.is_some() {
+            *export = Some((sys.total_cycles(), sys.checkpoint()));
+        }
+        if attempt == 0 && spec.inject_panic_at.is_some_and(|p| sys.total_cycles() >= p) {
+            // Probe: blow up the first attempt *after* the checkpoint
+            // export, so the retry resumes warm and still reproduces
+            // the uninterrupted fingerprint.
+            panic!(
+                "injected panic at cycle {} (scenario '{}', attempt 0)",
+                sys.total_cycles(),
+                spec.name
+            );
+        }
+    }
+
+    let cycles = sys.total_cycles();
+    ScenarioOutcome::Completed {
+        fingerprint: leg_fingerprint(&mut sys),
+        cycles,
+        cause: format!("{cause:?}"),
+    }
+}

@@ -1,0 +1,158 @@
+//! Crash-safe resume: a journal truncated at *any* byte offset (the
+//! moral equivalent of `kill -9` mid-write) reloads without panicking,
+//! skips exactly the durably completed legs, and the resumed farm's
+//! aggregate results are bit-identical to an uninterrupted run.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use dmi_farm::{
+    run_farm, Catalog, FarmConfig, FarmError, JournalError, Registry, ScenarioSpec,
+};
+use dmi_sw::{workloads, WorkloadCfg};
+use dmi_system::{mem_base, CpuSpec, MemSpec, SystemBuilder};
+use proptest::prelude::*;
+
+fn quick(iterations: u32) -> SystemBuilder {
+    let mut b = SystemBuilder::new();
+    b.add_memory(MemSpec::wrapper(mem_base(0)));
+    b.add_cpu(CpuSpec::new(workloads::alloc_churn(&WorkloadCfg {
+        mem_base: mem_base(0),
+        iterations,
+        ..WorkloadCfg::default()
+    })));
+    b
+}
+
+fn registry() -> Arc<Registry> {
+    let mut r = Registry::new();
+    r.register("quick4", || quick(4));
+    r.register("quick8", || quick(8));
+    Arc::new(r)
+}
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.push(ScenarioSpec::new("a", "quick4", 150_000).checkpoint(25_000));
+    c.push(ScenarioSpec::new("b", "quick8", 250_000));
+    c.push(ScenarioSpec::new("c", "quick4", 80_000));
+    c
+}
+
+/// A per-test scratch path that does not rely on wall-clock entropy.
+fn scratch(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("dmi-farm-{}-{tag}.journal", std::process::id()));
+    p
+}
+
+#[test]
+fn journal_resume_skips_completed_legs_and_matches_uninterrupted_run() {
+    let reg = registry();
+    let cat = catalog();
+    let path = scratch("resume");
+    let _ = std::fs::remove_file(&path);
+
+    // Uninterrupted run, journaling as it goes.
+    let cfg = FarmConfig {
+        workers: 2,
+        journal: Some(path.clone()),
+        ..FarmConfig::default()
+    };
+    let full = run_farm(&cat, Arc::clone(&reg), &cfg).expect("first run");
+    assert_eq!(full.skipped, 0);
+    assert!(full.all_expected(&cat), "{}", full.summary());
+
+    // Re-running against the completed journal executes nothing.
+    let again = run_farm(&cat, Arc::clone(&reg), &cfg).expect("resume over complete journal");
+    assert_eq!(again.skipped, cat.len());
+    assert!(again.legs.iter().all(|l| l.adopted));
+    for (a, b) in full.legs.iter().zip(&again.legs) {
+        assert_eq!(a.outcome, b.outcome, "adopted outcomes must be verbatim");
+    }
+
+    // Interrupt: chop the journal mid-tail (inside the last record) and
+    // append write debris, like a process killed during an append.
+    let bytes = std::fs::read(&path).expect("journal bytes");
+    let mut torn = bytes[..bytes.len() - 7].to_vec();
+    torn.extend_from_slice(&[0xAB; 3]);
+    std::fs::write(&path, &torn).expect("write torn journal");
+
+    let resumed = run_farm(&cat, Arc::clone(&reg), &cfg).expect("resume over torn journal");
+    assert!(
+        resumed.skipped < cat.len(),
+        "the torn record must not count as completed"
+    );
+    for (a, b) in full.legs.iter().zip(&resumed.legs) {
+        assert_eq!(
+            a.outcome, b.outcome,
+            "resumed aggregate must be bit-identical to the uninterrupted run"
+        );
+    }
+    // And the journal healed: one more resume skips everything.
+    let healed = run_farm(&cat, Arc::clone(&reg), &cfg).expect("resume over healed journal");
+    assert_eq!(healed.skipped, cat.len());
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn journal_refuses_a_different_catalog() {
+    let reg = registry();
+    let cat = catalog();
+    let path = scratch("mismatch");
+    let _ = std::fs::remove_file(&path);
+
+    let cfg = FarmConfig {
+        workers: 1,
+        journal: Some(path.clone()),
+        ..FarmConfig::default()
+    };
+    run_farm(&cat, Arc::clone(&reg), &cfg).expect("seed the journal");
+
+    let mut other = cat.clone();
+    other.scenarios[0].cycles += 1;
+    let err = run_farm(&other, reg, &cfg).expect_err("must refuse foreign journal");
+    assert!(
+        matches!(
+            err,
+            FarmError::Journal(JournalError::CatalogMismatch { .. })
+        ),
+        "{err}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Truncating the journal at an arbitrary byte offset — header,
+    /// record boundary, or mid-record — never panics, never invents a
+    /// completed leg, and the resumed run's aggregate equals the
+    /// uninterrupted run's.
+    #[test]
+    fn truncation_at_any_offset_resumes_bit_identically(cut_frac in 0u32..=1000) {
+        let reg = registry();
+        let cat = catalog();
+        let path = scratch(&format!("prop{cut_frac}"));
+        let _ = std::fs::remove_file(&path);
+
+        let cfg = FarmConfig {
+            workers: 2,
+            journal: Some(path.clone()),
+            ..FarmConfig::default()
+        };
+        let full = run_farm(&cat, Arc::clone(&reg), &cfg).expect("uninterrupted run");
+
+        let bytes = std::fs::read(&path).expect("journal bytes");
+        let cut = (bytes.len() as u64 * cut_frac as u64 / 1000) as usize;
+        std::fs::write(&path, &bytes[..cut]).expect("truncate journal");
+
+        let resumed = run_farm(&cat, Arc::clone(&reg), &cfg).expect("resume");
+        prop_assert!(resumed.skipped <= cat.len());
+        for (a, b) in full.legs.iter().zip(&resumed.legs) {
+            prop_assert_eq!(&a.outcome, &b.outcome);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -106,26 +106,6 @@ impl AddressMap {
         Ok(())
     }
 
-    /// Adds a region, panicking on invalid input.
-    ///
-    /// Deprecated: every production caller (the system builder, the
-    /// benches) and the internal tests use [`try_add`](Self::try_add)
-    /// and propagate the typed [`MapError`]; this panicking form only
-    /// survives so old hard-coded-map snippets keep compiling.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the region overlaps an existing one, has zero size, or
-    /// wraps the address space. [`try_add`](Self::try_add) is the
-    /// non-panicking form.
-    #[deprecated(since = "0.1.0", note = "use `try_add` and handle the `MapError`")]
-    pub fn add(&mut self, base: u32, size: u32, slave: usize) -> &mut Self {
-        if let Err(e) = self.try_add(base, size, slave) {
-            panic!("{e}");
-        }
-        self
-    }
-
     /// Decodes an address to its slave index.
     pub fn decode(&self, addr: u32) -> Option<usize> {
         let idx = match self.regions.binary_search_by_key(&addr, |r| r.base) {
@@ -174,21 +154,18 @@ mod tests {
         assert!(!m.is_empty());
     }
 
-    // The deprecated panicking form keeps its contract until it is
-    // removed outright.
     #[test]
-    #[should_panic(expected = "overlaps")]
-    #[allow(deprecated)]
     fn overlap_rejected() {
         let mut m = AddressMap::new();
-        m.add(0x1000, 0x100, 0).add(0x10FF, 0x100, 1);
+        m.try_add(0x1000, 0x100, 0).unwrap();
+        let err = m.try_add(0x10FF, 0x100, 1).unwrap_err();
+        assert!(err.to_string().contains("overlaps"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "zero-sized")]
-    #[allow(deprecated)]
     fn zero_size_rejected() {
-        AddressMap::new().add(0, 0, 0);
+        let err = AddressMap::new().try_add(0, 0, 0).unwrap_err();
+        assert!(err.to_string().contains("zero-sized"), "{err}");
     }
 
     #[test]

@@ -169,6 +169,75 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 }
 
 // ---------------------------------------------------------------------------
+// CRC-framed records (append-only journals)
+
+/// Result of scanning one CRC-framed record off the head of a buffer —
+/// see [`next_framed_record`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum FramedRecord<'a> {
+    /// A complete, CRC-valid record: its payload and the total bytes
+    /// consumed (framing + payload).
+    Complete {
+        /// The record payload.
+        payload: &'a [u8],
+        /// Bytes of the buffer this record occupied, framing included.
+        consumed: usize,
+    },
+    /// Bytes remain but do not form a complete, CRC-valid record: a torn
+    /// tail (interrupted append) or trailing corruption. Readers stop
+    /// here and discard the rest.
+    Torn,
+    /// The buffer is empty: a clean end.
+    End,
+}
+
+/// Frames `payload` as one append-only journal record:
+/// `[payload_len u32 LE][crc32 u32 LE][payload]`.
+///
+/// The framing is the single-record analogue of the [`Snapshot`]
+/// container's section framing: a length so readers can skip without
+/// parsing, and a CRC-32 (IEEE) of the payload so a torn or corrupted
+/// tail is detected instead of misparsed. Intended for crash-safe
+/// journals where records are appended one `write` at a time and the
+/// file may be killed mid-append; pair with [`next_framed_record`].
+pub fn frame_record(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Scans one [`frame_record`]-framed record off the head of `buf`.
+///
+/// Torn-tail semantics: an incomplete header, a payload shorter than its
+/// declared length, or a CRC mismatch all yield [`FramedRecord::Torn`] —
+/// the reader's cue to stop and treat everything from here on as the
+/// debris of an interrupted append. This deliberately does not
+/// distinguish "truncated" from "bit-flipped": an append-only journal
+/// recovers identically from both by dropping the tail.
+pub fn next_framed_record(buf: &[u8]) -> FramedRecord<'_> {
+    if buf.is_empty() {
+        return FramedRecord::End;
+    }
+    if buf.len() < 8 {
+        return FramedRecord::Torn;
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    let Some(payload) = buf.get(8..8 + len) else {
+        return FramedRecord::Torn;
+    };
+    if crc32(payload) != crc {
+        return FramedRecord::Torn;
+    }
+    FramedRecord::Complete {
+        payload,
+        consumed: 8 + len,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Primitive encoders
 
 /// Append-only encoder for section payloads.
@@ -567,6 +636,70 @@ mod tests {
             Snapshot::from_bytes(&bytes),
             Err(SnapshotError::ChecksumMismatch { section }) if section == "kernel"
         ));
+    }
+
+    #[test]
+    fn framed_records_round_trip_and_tolerate_torn_tails() {
+        let records: [&[u8]; 3] = [b"first", b"", b"third-record"];
+        let mut stream = Vec::new();
+        for r in &records {
+            stream.extend_from_slice(&frame_record(r));
+        }
+
+        // Full stream: every record scans back in order, then a clean end.
+        let mut rest: &[u8] = &stream;
+        for want in &records {
+            match next_framed_record(rest) {
+                FramedRecord::Complete { payload, consumed } => {
+                    assert_eq!(payload, *want);
+                    rest = &rest[consumed..];
+                }
+                other => panic!("expected record, got {other:?}"),
+            }
+        }
+        assert_eq!(next_framed_record(rest), FramedRecord::End);
+
+        // Every truncation point: the scan yields exactly the records
+        // whose full frame survived, then Torn (or End on a record
+        // boundary) — never a panic, never a bogus payload.
+        let boundaries: Vec<usize> = {
+            let mut b = vec![0];
+            for r in &records {
+                b.push(b.last().unwrap() + 8 + r.len());
+            }
+            b
+        };
+        for cut in 0..stream.len() {
+            let mut rest = &stream[..cut];
+            let mut scanned = 0;
+            loop {
+                match next_framed_record(rest) {
+                    FramedRecord::Complete { consumed, .. } => {
+                        rest = &rest[consumed..];
+                        scanned += 1;
+                    }
+                    FramedRecord::Torn => break,
+                    FramedRecord::End => break,
+                }
+            }
+            let whole = boundaries.iter().filter(|&&b| b > 0 && b <= cut).count();
+            assert_eq!(scanned, whole, "cut at {cut}");
+            let on_boundary = boundaries.contains(&cut);
+            assert_eq!(
+                next_framed_record(rest) == FramedRecord::End,
+                on_boundary,
+                "cut at {cut}"
+            );
+        }
+
+        // A bit flip in a payload is caught by the CRC and reads as torn.
+        let mut bad = stream.clone();
+        bad[9] ^= 0x40; // inside record 0's payload
+        assert_eq!(next_framed_record(&bad), FramedRecord::Torn);
+        // A bogus giant length cannot over-read.
+        let mut huge = frame_record(b"x");
+        huge[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(next_framed_record(&huge), FramedRecord::Torn);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub(crate) struct MasterInfo {
 /// composable API) or [`McSystem::build`] (the declarative
 /// [`SystemConfig`] shim). Run it with [`run`](Self::run) or
 /// [`run_until`](Self::run_until); observe it mid-run with
-/// [`snapshot`](Self::snapshot) and [`watch_value`](Self::watch_value).
+/// [`report_now`](Self::report_now) and [`watch_value`](Self::watch_value).
 ///
 /// # Examples
 ///
@@ -295,12 +295,14 @@ impl McSystem {
         )
     }
 
-    /// Renamed to [`report_now`](Self::report_now): "snapshot" now means
-    /// serialized state capture ([`checkpoint`](Self::checkpoint)).
-    #[deprecated(since = "0.1.0", note = "renamed to `report_now`; `snapshot` now \
-                 refers to serialized state capture (`checkpoint`/`restore`)")]
-    pub fn snapshot(&self) -> RunReport {
-        self.report_now()
+    /// Total simulated clock cycles since construction — absolute, not
+    /// epoch-relative like [`RunReport::sim_cycles`]. Simulated time is
+    /// part of the serialized state, so a system restored from a
+    /// checkpoint reports the same total an uninterrupted run would:
+    /// the cycle axis resumable executions (the scenario farm's legs)
+    /// account progress and fingerprints on.
+    pub fn total_cycles(&self) -> u64 {
+        self.sim.time().ticks() / self.clock_period
     }
 
     /// Captures the complete simulation state — kernel event queue and

@@ -66,4 +66,4 @@ pub use dmi_interconnect::{ErrorCounts, MasterError};
 pub use dmi_kernel::{QueueKind, Snapshot, SnapshotError};
 pub use config::{mem_base, InterconnectKind, MemModelKind, SystemConfig, MEM_WINDOW};
 pub use report::{CpuReport, MasterReport, MemReport, RunReport};
-pub use run_ctl::{FaultReport, StopCause, StopCondition};
+pub use run_ctl::{FaultReport, StopCause, StopCondition, DEFAULT_POLL_CYCLES};

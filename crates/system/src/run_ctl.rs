@@ -73,9 +73,11 @@ pub(crate) struct Watch {
     pub value: u32,
 }
 
-/// Default polling granularity for watchpoint / no-progress evaluation,
-/// in clock cycles.
-const DEFAULT_POLL_CYCLES: u64 = 256;
+/// Default polling granularity for watchpoint / no-progress / wall-clock
+/// evaluation, in clock cycles. Every polled stop term is quantised to
+/// this slice unless [`StopCondition::poll_every`] (or a constructor that
+/// sets it, like [`StopCondition::wall_clock_every`]) chooses otherwise.
+pub const DEFAULT_POLL_CYCLES: u64 = 256;
 
 /// A composable stop condition; see the module docs.
 #[derive(Debug, Clone)]
@@ -174,7 +176,18 @@ impl StopCondition {
     }
 
     /// Stop once `budget` of host wall-clock time has elapsed (counted
-    /// from the `run_until` call), quantised to the poll granularity.
+    /// from the `run_until` call).
+    ///
+    /// The deadline is only *checked* on poll boundaries, so the stop is
+    /// quantised to the poll granularity: after the budget passes, the
+    /// run still finishes the in-flight slice (up to
+    /// [`DEFAULT_POLL_CYCLES`] cycles, or whatever
+    /// [`poll_every`](Self::poll_every) set) before it reports
+    /// [`StopCause::WallClock`]. A hung or extremely slow scenario is
+    /// therefore interrupted within one poll slice of the deadline —
+    /// shrink the slice with [`wall_clock_every`](Self::wall_clock_every)
+    /// when the watchdog must fire promptly, at the cost of more host
+    /// overhead per simulated cycle.
     ///
     /// This is the one stop term that depends on the host rather than the
     /// simulation, so the cycle count it stops at is *not* reproducible
@@ -185,6 +198,18 @@ impl StopCondition {
             wall: Some(budget),
             ..Self::empty()
         }
+    }
+
+    /// [`wall_clock`](Self::wall_clock) with an explicit watchdog poll
+    /// granularity: the deadline is checked every `poll_cycles` cycles,
+    /// so the run overshoots the budget by at most one `poll_cycles`
+    /// slice of simulation. Equivalent to
+    /// `wall_clock(budget).poll_every(poll_cycles)`, provided as a
+    /// constructor so supervisors (e.g. the `dmi-farm` watchdog) state
+    /// their reaction latency explicitly instead of inheriting
+    /// [`DEFAULT_POLL_CYCLES`].
+    pub fn wall_clock_every(budget: Duration, poll_cycles: u64) -> Self {
+        Self::wall_clock(budget).poll_every(poll_cycles)
     }
 
     /// Combines two conditions: stop when *either* fires. Watch terms
@@ -265,6 +290,17 @@ mod tests {
         let c = c.or(StopCondition::cycles(10));
         assert_eq!(c.wall, Some(Duration::from_millis(50)));
         assert_eq!(c.cycles, Some(10));
+    }
+
+    #[test]
+    fn wall_clock_every_sets_budget_and_poll() {
+        let c = StopCondition::wall_clock_every(Duration::from_millis(20), 64);
+        assert_eq!(c.wall, Some(Duration::from_millis(20)));
+        assert_eq!(c.poll_cycles(), 64);
+        // The explicit granularity survives or()-composition with terms
+        // that never set one.
+        let c = c.or(StopCondition::cycles(1_000_000));
+        assert_eq!(c.poll_cycles(), 64);
     }
 
     #[test]

@@ -588,3 +588,46 @@ fn fast_path_counters_surface_in_reports() {
     let snap = sys.report_now();
     assert_eq!(snap.fast_path, r.fast_path);
 }
+
+#[test]
+fn hung_scenario_watchdog_fires_within_one_poll_slice() {
+    // A scenario that never halts (a DMA fill with a u32::MAX pass
+    // budget), guarded by an explicit-granularity wall-clock watchdog:
+    // the run must come back with StopCause::WallClock, must land on a
+    // poll-slice boundary (the documented quantisation), and must stop
+    // far below the cycle budget.
+    use std::time::Duration;
+
+    let mut b = SystemBuilder::new();
+    b.add_memory(MemSpec::wrapper(mem_base(0)));
+    b.add_master(Box::new(DmaEngine::new(DmaConfig {
+        kind: DmaKind::Fill { seed: 9 },
+        dst: mem_base(0),
+        words: 8,
+        passes: u32::MAX,
+        ..DmaConfig::default()
+    })));
+    let mut sys = b.build().expect("hung system builds");
+
+    let poll = 64;
+    let budget = Duration::from_millis(50);
+    // Timing the watchdog requires reading the wall.
+    #[allow(clippy::disallowed_methods)]
+    let t0 = std::time::Instant::now();
+    let cond = StopCondition::cycles(u64::MAX / 4)
+        .or(StopCondition::wall_clock_every(budget, poll));
+    let r = sys.run_until(&cond);
+    assert_eq!(r.cause, StopCause::WallClock, "{}", r.summary());
+    assert!(!r.finished);
+    assert!(t0.elapsed() >= budget, "stopped before the deadline");
+    assert_eq!(
+        r.sim_cycles % poll,
+        0,
+        "wall-clock stop must land on a poll boundary ({} cycles, poll {poll})",
+        r.sim_cycles
+    );
+    assert!(
+        r.sim_cycles < u64::MAX / 8,
+        "watchdog, not the cycle budget, must have ended the run"
+    );
+}
