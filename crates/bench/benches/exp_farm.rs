@@ -1,12 +1,13 @@
 //! Farm throughput: how the supervised scenario farm scales with the
-//! worker count, and what sharing a warm checkpoint across legs is
-//! worth versus re-simulating the warmup in every leg.
+//! worker count, what sharing a warm checkpoint across legs is worth
+//! versus re-simulating the warmup in every leg, and what the process
+//! isolation boundary costs versus thread workers on the same catalog.
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use dmi_bench::scenarios;
-use dmi_farm::{run_farm, Catalog, FarmConfig, Registry, ScenarioSpec};
+use dmi_farm::{run_farm, Catalog, FarmConfig, Isolation, Registry, ScenarioSpec};
 
 /// A farm catalog of `legs` medium-sized deterministic legs drawn
 /// round-robin from the compute-bound scenarios (no probes, no
@@ -92,5 +93,59 @@ fn warm_vs_cold(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, worker_scaling, warm_vs_cold);
-criterion_main!(benches);
+/// Process-vs-thread A/B: the same 8-leg catalog through thread workers
+/// and through the child-process pool (spawn + framed-pipe IPC +
+/// tempfile snapshot handoff). The two modes are pinned to identical
+/// aggregates before timing — the overhead being measured must be pure
+/// transport, not divergent work.
+fn process_vs_thread(c: &mut Criterion) {
+    const LEGS: usize = 8;
+    const WORKERS: usize = 4;
+    let reg = farm_registry();
+    let catalog = scaling_catalog(LEGS);
+    let cfg_for = |process: bool| FarmConfig {
+        workers: WORKERS,
+        isolation: if process {
+            Isolation::Process { pool_size: WORKERS }
+        } else {
+            Isolation::Thread
+        },
+        ..FarmConfig::default()
+    };
+
+    // Parity pin: identical outcomes leg for leg across the boundary.
+    let threaded = run_farm(&catalog, Arc::clone(&reg), &cfg_for(false)).expect("thread run");
+    let processed = run_farm(&catalog, Arc::clone(&reg), &cfg_for(true)).expect("process run");
+    for (t, p) in threaded.legs.iter().zip(&processed.legs) {
+        assert_eq!(
+            t.outcome, p.outcome,
+            "isolation modes disagree:\nthread:\n{}\nprocess:\n{}",
+            threaded.summary(),
+            processed.summary()
+        );
+    }
+
+    let mut g = c.benchmark_group("exp_farm/isolation_ab");
+    g.sample_size(10);
+    for (id, process) in [("thread", false), ("process", true)] {
+        g.bench_with_input(BenchmarkId::new(id, LEGS), &process, |b, &p| {
+            b.iter(|| {
+                let report =
+                    run_farm(&catalog, Arc::clone(&reg), &cfg_for(p)).expect("farm run");
+                assert!(report.all_expected(&catalog), "{}", report.summary());
+                report.legs.len()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, worker_scaling, warm_vs_cold, process_vs_thread);
+
+fn main() {
+    // The bench binary is what Isolation::Process re-executes as its
+    // worker pool; worker re-entry must come before criterion touches
+    // stdout.
+    dmi_farm::worker_entry_from_env(&scenarios::farm_registry());
+    benches();
+}

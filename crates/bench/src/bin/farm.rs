@@ -1,13 +1,15 @@
 //! `dmi-bench farm` — run the scenario farm over the stock experiment
 //! catalog (or one loaded from a file), with journaled crash-safe
-//! resume and optional fault-isolation probes.
+//! resume, thread or process worker isolation, and optional
+//! fault-isolation probes.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run -p dmi-bench --bin farm -- \
 //!     [--workers N] [--journal PATH] [--catalog FILE] \
-//!     [--deadline-ms D] [--inject-panic] [--inject-hang] \
+//!     [--isolation thread|process] [--deadline-ms D] \
+//!     [--inject-panic] [--inject-hang] [--inject-abort] \
 //!     [--list] [scenario ...]
 //! ```
 //!
@@ -15,33 +17,53 @@
 //! the catalog and exits. `--inject-panic` / `--inject-hang` append
 //! probe legs that deliberately panic / hang; the farm must isolate
 //! them (they carry `expect_failure`), and the exit code is non-zero
-//! iff any leg's outcome contradicts its expectation. A resumed run
-//! prints `resumed: skipped K completed leg(s)` — the CI kill-and-
-//! resume step greps for it.
+//! iff any leg's outcome contradicts its expectation. `--inject-abort`
+//! (process isolation only) appends a probe whose first attempt aborts
+//! its whole worker process mid-leg; the farm must respawn the worker
+//! and retry the leg to completion, so this probe does *not* carry
+//! `expect_failure`. A resumed run prints `resumed: skipped K completed
+//! leg(s)` — the CI kill-and-resume step greps for it.
+//!
+//! With `--isolation process` the binary re-executes itself as the
+//! worker pool: the hidden `farm-worker` invocation (marked by the
+//! `DMI_FARM_WORKER` environment variable) speaks the CRC-framed pipe
+//! protocol on stdin/stdout and never returns to the CLI.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use dmi_bench::scenarios;
-use dmi_farm::{run_farm, Catalog, FarmConfig, ScenarioSpec};
+use dmi_farm::{run_farm, Catalog, FarmConfig, Isolation, ScenarioSpec};
 
 fn usage() -> ! {
     eprintln!(
         "usage: farm [--workers N] [--journal PATH] [--catalog FILE] \
-         [--deadline-ms D] [--inject-panic] [--inject-hang] [--list] [scenario ...]"
+         [--isolation thread|process] [--deadline-ms D] \
+         [--inject-panic] [--inject-hang] [--inject-abort] [--list] [scenario ...]"
     );
     std::process::exit(2);
 }
 
 fn main() -> ExitCode {
+    // Worker re-entry MUST precede any stdout writes: when the farm
+    // spawns this binary as a worker process, stdout is the framed
+    // result pipe. The explicit `farm-worker` subcommand and the
+    // environment marker are equivalent entries.
+    dmi_farm::worker_entry_from_env(&scenarios::farm_registry());
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "farm-worker") {
+        let code = dmi_farm::run_worker(&scenarios::farm_registry());
+        return ExitCode::from(code as u8);
+    }
     let mut workers = 2usize;
     let mut journal: Option<PathBuf> = None;
     let mut catalog_file: Option<PathBuf> = None;
     let mut deadline_ms: Option<u64> = None;
+    let mut process_mode = false;
     let mut inject_panic = false;
     let mut inject_hang = false;
+    let mut inject_abort = false;
     let mut list = false;
     let mut names: Vec<String> = Vec::new();
 
@@ -65,8 +87,17 @@ fn main() -> ExitCode {
                 Ok(d) => deadline_ms = Some(d),
                 Err(_) => usage(),
             },
+            "--isolation" => match value("--isolation").as_str() {
+                "thread" => process_mode = false,
+                "process" => process_mode = true,
+                other => {
+                    eprintln!("--isolation must be 'thread' or 'process', got '{other}'");
+                    usage();
+                }
+            },
             "--inject-panic" => inject_panic = true,
             "--inject-hang" => inject_hang = true,
+            "--inject-abort" => inject_abort = true,
             "--list" => list = true,
             "--help" | "-h" => usage(),
             other if other.starts_with("--") => {
@@ -75,6 +106,12 @@ fn main() -> ExitCode {
             }
             name => names.push(name.to_string()),
         }
+    }
+    if inject_abort && !process_mode {
+        // In thread mode the abort would take the whole farm down —
+        // the exact gap process isolation exists to close.
+        eprintln!("--inject-abort requires --isolation process");
+        return ExitCode::from(2);
     }
 
     let mut catalog = match &catalog_file {
@@ -129,15 +166,41 @@ fn main() -> ExitCode {
                 .expect_failure(),
         );
     }
+    // The abort probe kills its whole worker process on attempt 0; with
+    // a retry budget the leg must still *complete* (resumed from the
+    // checkpoint file the dead worker exported), so no expect_failure.
+    // Two retries, not one: CI additionally SIGKILLs a random worker
+    // mid-farm, and if that kill lands on this leg's retry attempt the
+    // leg needs one more to finish.
+    if inject_abort {
+        catalog.push(
+            ScenarioSpec::new("probe-abort", "dma_burst", 100_000)
+                .checkpoint(2_000)
+                .retries(2)
+                .inject_abort_at(8_000),
+        );
+    }
 
     if list {
         print!("{}", catalog.to_text());
         return ExitCode::SUCCESS;
     }
 
+    let isolation = if process_mode {
+        Isolation::Process { pool_size: workers }
+    } else {
+        Isolation::Thread
+    };
+    // Spawn workers as `<this binary> farm-worker` so a process listing
+    // shows what they are (the env marker alone would also work).
+    let worker_command = std::env::current_exe()
+        .ok()
+        .map(|exe| vec![exe.to_string_lossy().into_owned(), "farm-worker".into()]);
     let cfg = FarmConfig {
         workers,
         journal,
+        isolation,
+        worker_command,
         ..FarmConfig::default()
     };
     let report = match run_farm(&catalog, Arc::new(scenarios::farm_registry()), &cfg) {

@@ -117,6 +117,9 @@ impl Catalog {
             if let Some(v) = s.warm_cycles {
                 out.push_str(&format!("  warm_cycles = {v}\n"));
             }
+            if let Some(v) = &s.warm_snapshot {
+                out.push_str(&format!("  warm_snapshot = {v}\n"));
+            }
             if let Some(v) = s.fault_injection {
                 out.push_str(&format!("  fault_injection = {v}\n"));
             }
@@ -128,6 +131,9 @@ impl Catalog {
             }
             if let Some(v) = s.hang_ms {
                 out.push_str(&format!("  hang_ms = {v}\n"));
+            }
+            if let Some(v) = s.inject_abort_at {
+                out.push_str(&format!("  inject_abort_at = {v}\n"));
             }
             out.push_str("end\n");
         }
@@ -143,69 +149,185 @@ impl Catalog {
     /// `key = value`, a missing `system`/`cycles`, or an unclosed block.
     pub fn parse(text: &str) -> Result<Catalog, CatalogError> {
         let mut catalog = Catalog::new();
-        // (name, open-line, system, cycles, partially-filled spec)
-        let mut open: Option<(usize, ScenarioSpec, bool, bool)> = None;
-        for (i, raw) in text.lines().enumerate() {
-            let ln = i + 1;
-            let line = raw.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
-            if let Some(name) = line.strip_prefix("scenario ") {
-                if open.is_some() {
-                    return Err(err(ln, "'scenario' inside an unclosed scenario block"));
-                }
-                let name = name.trim();
-                if name.is_empty() {
-                    return Err(err(ln, "scenario needs a name"));
-                }
-                open = Some((ln, ScenarioSpec::new(name, "", 0), false, false));
-                continue;
-            }
-            if line == "end" {
-                let Some((_, spec, has_system, has_cycles)) = open.take() else {
-                    return Err(err(ln, "'end' without an open scenario block"));
-                };
-                if !has_system {
-                    return Err(err(ln, format!("scenario '{}' has no system", spec.name)));
-                }
-                if !has_cycles {
-                    return Err(err(ln, format!("scenario '{}' has no cycles", spec.name)));
-                }
+        let mut parser = BlockParser::new();
+        for raw in text.lines() {
+            if let Some(spec) = parser.line(raw)? {
                 catalog.push(spec);
-                continue;
-            }
-            let Some((_, spec, has_system, has_cycles)) = open.as_mut() else {
-                return Err(err(ln, format!("stray line outside a scenario block: '{line}'")));
-            };
-            let Some((key, value)) = line.split_once('=') else {
-                return Err(err(ln, format!("expected 'key = value', got '{line}'")));
-            };
-            let (key, value) = (key.trim(), value.trim());
-            match key {
-                "system" => {
-                    spec.system = value.to_string();
-                    *has_system = !value.is_empty();
-                }
-                "cycles" => {
-                    spec.cycles = parse_u64(ln, key, value)?;
-                    *has_cycles = true;
-                }
-                "checkpoint_every" => spec.checkpoint_every = Some(parse_u64(ln, key, value)?),
-                "deadline_ms" => spec.deadline_ms = Some(parse_u64(ln, key, value)?),
-                "retries" => spec.retries = parse_u64(ln, key, value)? as u32,
-                "warm_cycles" => spec.warm_cycles = Some(parse_u64(ln, key, value)?),
-                "fault_injection" => spec.fault_injection = Some(parse_bool(ln, key, value)?),
-                "expect_failure" => spec.expect_failure = parse_bool(ln, key, value)?,
-                "inject_panic_at" => spec.inject_panic_at = Some(parse_u64(ln, key, value)?),
-                "hang_ms" => spec.hang_ms = Some(parse_u64(ln, key, value)?),
-                _ => return Err(err(ln, format!("unknown key '{key}'"))),
             }
         }
-        if let Some((ln, spec, ..)) = open {
-            return Err(err(ln, format!("scenario '{}' is never closed with 'end'", spec.name)));
-        }
+        parser.finish()?;
         Ok(catalog)
+    }
+
+    /// Streams legs out of `reader` one at a time — the same grammar as
+    /// [`parse`](Self::parse), without ever materializing the whole
+    /// catalog. A thousands-of-legs catalog costs one `ScenarioSpec` of
+    /// memory at a time; the farm's dispatcher pulls legs lazily as
+    /// workers go idle (see
+    /// [`run_farm_stream`](crate::run_farm_stream)).
+    ///
+    /// The iterator yields `Err` once for the first offending line (or
+    /// a read failure) and then ends — same first-error semantics as
+    /// `parse`, which is implemented on top of the same line machine.
+    pub fn stream<R: std::io::BufRead>(reader: R) -> CatalogStream<R> {
+        CatalogStream {
+            reader,
+            parser: BlockParser::new(),
+            done: false,
+            line_buf: String::new(),
+        }
+    }
+}
+
+/// The incremental line machine shared by [`Catalog::parse`] and
+/// [`Catalog::stream`]: feed lines, get a [`ScenarioSpec`] back whenever
+/// an `end` closes a block.
+struct BlockParser {
+    /// `(open-line, partially-filled spec, has system, has cycles)`.
+    open: Option<(usize, ScenarioSpec, bool, bool)>,
+    /// 1-based number of the last line fed.
+    line_no: usize,
+}
+
+impl BlockParser {
+    fn new() -> Self {
+        BlockParser {
+            open: None,
+            line_no: 0,
+        }
+    }
+
+    /// Consumes one line; `Ok(Some(spec))` when it closed a block.
+    fn line(&mut self, raw: &str) -> Result<Option<ScenarioSpec>, CatalogError> {
+        self.line_no += 1;
+        let ln = self.line_no;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(None);
+        }
+        if let Some(name) = line.strip_prefix("scenario ") {
+            if self.open.is_some() {
+                return Err(err(ln, "'scenario' inside an unclosed scenario block"));
+            }
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(err(ln, "scenario needs a name"));
+            }
+            self.open = Some((ln, ScenarioSpec::new(name, "", 0), false, false));
+            return Ok(None);
+        }
+        if line == "end" {
+            let Some((_, spec, has_system, has_cycles)) = self.open.take() else {
+                return Err(err(ln, "'end' without an open scenario block"));
+            };
+            if !has_system {
+                return Err(err(ln, format!("scenario '{}' has no system", spec.name)));
+            }
+            if !has_cycles {
+                return Err(err(ln, format!("scenario '{}' has no cycles", spec.name)));
+            }
+            return Ok(Some(spec));
+        }
+        let Some((_, spec, has_system, has_cycles)) = self.open.as_mut() else {
+            return Err(err(ln, format!("stray line outside a scenario block: '{line}'")));
+        };
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(err(ln, format!("expected 'key = value', got '{line}'")));
+        };
+        let (key, value) = (key.trim(), value.trim());
+        match key {
+            "system" => {
+                spec.system = value.to_string();
+                *has_system = !value.is_empty();
+            }
+            "cycles" => {
+                spec.cycles = parse_u64(ln, key, value)?;
+                *has_cycles = true;
+            }
+            "checkpoint_every" => spec.checkpoint_every = Some(parse_u64(ln, key, value)?),
+            "deadline_ms" => spec.deadline_ms = Some(parse_u64(ln, key, value)?),
+            "retries" => spec.retries = parse_u64(ln, key, value)? as u32,
+            "warm_cycles" => spec.warm_cycles = Some(parse_u64(ln, key, value)?),
+            "warm_snapshot" => {
+                if value.is_empty() {
+                    return Err(err(ln, "warm_snapshot: expected a file path"));
+                }
+                spec.warm_snapshot = Some(value.to_string());
+            }
+            "fault_injection" => spec.fault_injection = Some(parse_bool(ln, key, value)?),
+            "expect_failure" => spec.expect_failure = parse_bool(ln, key, value)?,
+            "inject_panic_at" => spec.inject_panic_at = Some(parse_u64(ln, key, value)?),
+            "hang_ms" => spec.hang_ms = Some(parse_u64(ln, key, value)?),
+            "inject_abort_at" => spec.inject_abort_at = Some(parse_u64(ln, key, value)?),
+            _ => return Err(err(ln, format!("unknown key '{key}'"))),
+        }
+        Ok(None)
+    }
+
+    /// End-of-input check: an open block at EOF is an error.
+    fn finish(&self) -> Result<(), CatalogError> {
+        if let Some((ln, spec, ..)) = &self.open {
+            return Err(err(
+                *ln,
+                format!("scenario '{}' is never closed with 'end'", spec.name),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Lazy catalog iterator returned by [`Catalog::stream`].
+#[derive(Debug)]
+pub struct CatalogStream<R> {
+    reader: R,
+    parser: BlockParser,
+    done: bool,
+    line_buf: String,
+}
+
+impl std::fmt::Debug for BlockParser {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockParser")
+            .field("line_no", &self.line_no)
+            .field("open", &self.open.as_ref().map(|(ln, s, ..)| (ln, &s.name)))
+            .finish()
+    }
+}
+
+impl<R: std::io::BufRead> Iterator for CatalogStream<R> {
+    type Item = Result<ScenarioSpec, CatalogError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            self.line_buf.clear();
+            match self.reader.read_line(&mut self.line_buf) {
+                Ok(0) => {
+                    self.done = true;
+                    return match self.parser.finish() {
+                        Ok(()) => None,
+                        Err(e) => Some(Err(e)),
+                    };
+                }
+                Ok(_) => match self.parser.line(&self.line_buf) {
+                    Ok(Some(spec)) => return Some(Ok(spec)),
+                    Ok(None) => continue,
+                    Err(e) => {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                },
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(err(
+                        self.parser.line_no + 1,
+                        format!("read error: {e}"),
+                    )));
+                }
+            }
+        }
     }
 }
 
@@ -231,6 +353,12 @@ mod tests {
                 .expect_failure()
                 .inject_panic_at(40_000)
                 .hang_ms(5),
+        );
+        c.push(
+            ScenarioSpec::new("snapped", "gsm_headline", 300_000)
+                .warm_snapshot("/tmp/warm-prefix.snap")
+                .inject_abort_at(150_000)
+                .retries(1),
         );
         c
     }
@@ -271,6 +399,34 @@ mod tests {
 
         let e = Catalog::parse("scenario a\n  cycles = nope\nend\n").unwrap_err();
         assert!(e.message.contains("unsigned integer"), "{e}");
+    }
+
+    #[test]
+    fn stream_yields_the_same_legs_as_parse() {
+        let text = sample().to_text();
+        let parsed = Catalog::parse(&text).unwrap();
+        let streamed: Vec<ScenarioSpec> = Catalog::stream(std::io::Cursor::new(text.as_bytes()))
+            .map(|r| r.expect("streams clean"))
+            .collect();
+        assert_eq!(streamed, parsed.scenarios);
+    }
+
+    #[test]
+    fn stream_surfaces_the_first_error_then_ends() {
+        let text = "scenario a\n  system = s\n  cycles = 5\nend\nbogus\nscenario b\n";
+        let mut it = Catalog::stream(std::io::Cursor::new(text.as_bytes()));
+        assert!(it.next().unwrap().is_ok(), "leg before the error streams");
+        let e = it.next().unwrap().unwrap_err();
+        assert_eq!(e.line, 5);
+        assert!(e.message.contains("stray line"), "{e}");
+        assert!(it.next().is_none(), "errors end the stream");
+
+        // An unclosed block surfaces at EOF, like parse().
+        let text = "scenario a\n  system = s\n  cycles = 1\n";
+        let mut it = Catalog::stream(std::io::Cursor::new(text.as_bytes()));
+        let e = it.next().unwrap().unwrap_err();
+        assert!(e.message.contains("never closed"), "{e}");
+        assert!(it.next().is_none());
     }
 
     #[test]

@@ -14,9 +14,16 @@
 //!   stops responding entirely;
 //! * **deterministic retry** — failed attempts are retried with capped
 //!   exponential backoff, resuming from the newest mid-leg checkpoint
-//!   (exported across the unwind boundary), and still produce the same
-//!   final fingerprint an uninterrupted run would — checkpoints capture
+//!   (exported across the unwind boundary, or to an on-disk checkpoint
+//!   file in process mode), and still produce the same final
+//!   fingerprint an uninterrupted run would — checkpoints capture
 //!   architectural state only;
+//! * **process isolation** — [`Isolation::Process`] runs each worker as
+//!   a child process speaking a CRC-framed pipe protocol; a worker that
+//!   aborts, is SIGKILLed, or tears its pipe mid-frame becomes a typed
+//!   [`ScenarioOutcome::WorkerDied`], its leg is retried from the
+//!   checkpoint file the dead worker exported, and the pool respawns a
+//!   replacement with bounded respawn-storm throttling;
 //! * **crash-safe journal** — completed legs are appended to a
 //!   CRC-framed, fsynced [`Journal`]; a farm process killed outright
 //!   resumes by skipping exactly the journaled legs, and torn tails
@@ -37,16 +44,20 @@ mod bisect;
 mod catalog;
 mod journal;
 mod outcome;
+mod proc;
 mod registry;
 mod spec;
 mod supervisor;
 mod worker;
 
 pub use bisect::{bisect_divergence, Divergence};
-pub use catalog::{Catalog, CatalogError};
+pub use catalog::{Catalog, CatalogError, CatalogStream};
 pub use journal::{Journal, JournalError, JOURNAL_MAGIC, JOURNAL_VERSION};
 pub use outcome::{LegResult, ScenarioOutcome};
+pub use proc::{run_worker, worker_entry_from_env, WORKER_ENV};
 pub use registry::{Factory, Registry};
 pub use spec::ScenarioSpec;
-pub use supervisor::{panics_caught, run_farm, FarmConfig, FarmError, FarmReport};
+pub use supervisor::{
+    panics_caught, run_farm, run_farm_stream, FarmConfig, FarmError, FarmReport, Isolation,
+};
 pub use worker::{leg_fingerprint, WarmCache};

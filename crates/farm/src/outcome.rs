@@ -43,6 +43,20 @@ pub enum ScenarioOutcome {
         /// The build-time error.
         message: String,
     },
+    /// The worker *process* running this leg died mid-attempt — killed
+    /// by a signal (SIGKILL, OOM kill, an abort), a nonzero exit, or
+    /// its result pipe tearing mid-frame — and the retry budget is
+    /// exhausted. Only produced under
+    /// [`Isolation::Process`](crate::Isolation::Process); a worker
+    /// *thread* cannot die without unwinding (that is [`Panicked`](Self::Panicked)).
+    WorkerDied {
+        /// The signal that killed the worker when the host reported one
+        /// (`Some(9)` for SIGKILL, `Some(6)` for an abort); `None` for
+        /// a nonzero exit or a pipe torn without a recorded signal.
+        signal: Option<i32>,
+        /// The 0-based attempt index that died with the worker.
+        attempt: u32,
+    },
 }
 
 impl ScenarioOutcome {
@@ -63,6 +77,10 @@ impl ScenarioOutcome {
             ScenarioOutcome::TimedOut { hard: false } => "timed out (watchdog)".into(),
             ScenarioOutcome::TimedOut { hard: true } => "timed out (abandoned)".into(),
             ScenarioOutcome::Failed { message } => format!("failed: {message}"),
+            ScenarioOutcome::WorkerDied { signal, attempt } => match signal {
+                Some(sig) => format!("worker died (signal {sig}, attempt {attempt})"),
+                None => format!("worker died (attempt {attempt})"),
+            },
         }
     }
 
@@ -91,6 +109,12 @@ impl ScenarioOutcome {
                 w.put_u8(4);
                 w.put_str(message);
             }
+            ScenarioOutcome::WorkerDied { signal, attempt } => {
+                w.put_u8(5);
+                w.put_bool(signal.is_some());
+                w.put_u32(signal.unwrap_or(0) as u32);
+                w.put_u32(*attempt);
+            }
         }
     }
 
@@ -116,6 +140,14 @@ impl ScenarioOutcome {
             4 => Ok(ScenarioOutcome::Failed {
                 message: r.get_str("failure message")?.to_string(),
             }),
+            5 => {
+                let has_signal = r.get_bool("death signal present")?;
+                let raw = r.get_u32("death signal")?;
+                Ok(ScenarioOutcome::WorkerDied {
+                    signal: has_signal.then_some(raw as i32),
+                    attempt: r.get_u32("death attempt")?,
+                })
+            }
             tag => Err(SnapshotError::Corrupt {
                 context: format!("unknown outcome tag {tag}"),
             }),
@@ -166,6 +198,14 @@ mod tests {
             ScenarioOutcome::TimedOut { hard: true },
             ScenarioOutcome::Failed {
                 message: "unknown system 'nope'".into(),
+            },
+            ScenarioOutcome::WorkerDied {
+                signal: Some(9),
+                attempt: 1,
+            },
+            ScenarioOutcome::WorkerDied {
+                signal: None,
+                attempt: 0,
             },
         ];
         for o in &outcomes {

@@ -1,0 +1,549 @@
+//! Process-pool isolation: the worker side of the farm's process mode,
+//! the supervisor-side child-process handles, and the CRC-framed pipe
+//! protocol both sides speak.
+//!
+//! # Spawn protocol
+//!
+//! The supervisor spawns each worker as a child process — by default a
+//! re-exec of `current_exe()`, or whatever
+//! [`FarmConfig::worker_command`](crate::FarmConfig::worker_command)
+//! names — with the environment marker [`WORKER_ENV`] set. A binary
+//! that embeds the farm calls [`worker_entry_from_env`] first thing in
+//! `main`: in a spawned child it never returns (the process becomes a
+//! worker loop over stdin/stdout); in a normal invocation it is a no-op.
+//!
+//! # Wire format
+//!
+//! Both directions carry [`frame_record`]-framed records — the same
+//! `[len][crc32][payload]` framing the run journal uses, decoded
+//! incrementally with [`FrameStream`](dmi_kernel::FrameStream), so a
+//! torn or corrupted pipe (a worker SIGKILLed mid-write) is healed the
+//! way a torn journal tail is: the debris is discarded and the death is
+//! typed, never misparsed. Payloads are tagged [`StateWriter`]
+//! encodings:
+//!
+//! * `0` **hello** (worker → supervisor, first frame): wire version.
+//!   Anything else as a first frame means the spawned binary is not a
+//!   farm worker, and the supervisor treats the worker as dead.
+//! * `1` **job** (supervisor → worker): job id, leg index, attempt,
+//!   the [`ScenarioSpec`], and optional resume / checkpoint-export /
+//!   warm-spill paths (snapshots cross the process boundary as files,
+//!   never through the pipe).
+//! * `2` **result** (worker → supervisor): job id, leg, attempt, the
+//!   [`ScenarioOutcome`], and the cycle of the last checkpoint the
+//!   attempt exported to its checkpoint file, if any.
+//!
+//! A worker exits `0` when the supervisor closes its stdin (orderly
+//! shutdown) and `2` on a protocol violation (corrupt job stream,
+//! unwritable stdout).
+
+use std::io::{Read, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::thread::JoinHandle;
+
+use dmi_kernel::{frame_record, FrameStream, Snapshot, StateReader, StateWriter};
+
+use crate::outcome::ScenarioOutcome;
+use crate::registry::Registry;
+use crate::spec::ScenarioSpec;
+use crate::supervisor::{note_panic_caught, panic_message, SupMsg, WorkerMsg};
+use crate::worker::{run_leg, write_snapshot_atomic, WarmCache};
+
+/// Environment variable the supervisor sets on spawned worker
+/// processes; [`worker_entry_from_env`] checks it.
+pub const WORKER_ENV: &str = "DMI_FARM_WORKER";
+
+/// Version of the pipe protocol, carried in the hello frame. A
+/// supervisor refuses (treats as dead) a worker speaking a different
+/// version — mixed-build pools fail typed instead of misparsing.
+const WIRE_VERSION: u32 = 1;
+
+const MSG_HELLO: u8 = 0;
+const MSG_JOB: u8 = 1;
+const MSG_RESULT: u8 = 2;
+
+// ---------------------------------------------------------------------------
+// Wire encoding
+
+/// One leg dispatch as it crosses the pipe.
+pub(crate) struct WireJob {
+    pub job_id: u64,
+    pub leg: u32,
+    pub attempt: u32,
+    pub spec: ScenarioSpec,
+    /// The supervisor's soft-watchdog poll granularity
+    /// ([`FarmConfig::watchdog_poll`](crate::FarmConfig::watchdog_poll)),
+    /// carried per job because the worker process never sees the config.
+    pub watchdog_poll: u64,
+    /// Snapshot file to resume from (a previous attempt's exported
+    /// checkpoint), if any.
+    pub resume_path: Option<PathBuf>,
+    /// Where this attempt must export its checkpoints (atomic
+    /// write-then-rename per export), if the spec checkpoints at all.
+    pub ckpt_path: Option<PathBuf>,
+    /// Shared warm-snapshot spill directory for the cross-process
+    /// [`WarmCache`] tier.
+    pub warm_dir: Option<PathBuf>,
+}
+
+fn put_opt_path(w: &mut StateWriter, p: &Option<PathBuf>) {
+    match p {
+        Some(p) => {
+            w.put_bool(true);
+            w.put_str(&p.to_string_lossy());
+        }
+        None => w.put_bool(false),
+    }
+}
+
+fn get_opt_path(
+    r: &mut StateReader<'_>,
+    what: &'static str,
+) -> Result<Option<PathBuf>, dmi_kernel::SnapshotError> {
+    Ok(if r.get_bool(what)? {
+        Some(PathBuf::from(r.get_str(what)?))
+    } else {
+        None
+    })
+}
+
+fn put_opt_u64(w: &mut StateWriter, v: Option<u64>) {
+    w.put_bool(v.is_some());
+    w.put_u64(v.unwrap_or(0));
+}
+
+fn get_opt_u64(
+    r: &mut StateReader<'_>,
+    what: &'static str,
+) -> Result<Option<u64>, dmi_kernel::SnapshotError> {
+    let has = r.get_bool(what)?;
+    let v = r.get_u64(what)?;
+    Ok(has.then_some(v))
+}
+
+fn encode_spec(w: &mut StateWriter, s: &ScenarioSpec) {
+    w.put_str(&s.name);
+    w.put_str(&s.system);
+    w.put_u64(s.cycles);
+    put_opt_u64(w, s.checkpoint_every);
+    put_opt_u64(w, s.deadline_ms);
+    w.put_u32(s.retries);
+    put_opt_u64(w, s.warm_cycles);
+    w.put_bool(s.warm_snapshot.is_some());
+    w.put_str(s.warm_snapshot.as_deref().unwrap_or(""));
+    w.put_bool(s.fault_injection.is_some());
+    w.put_bool(s.fault_injection.unwrap_or(false));
+    w.put_bool(s.expect_failure);
+    put_opt_u64(w, s.inject_panic_at);
+    put_opt_u64(w, s.hang_ms);
+    put_opt_u64(w, s.inject_abort_at);
+}
+
+fn decode_spec(r: &mut StateReader<'_>) -> Result<ScenarioSpec, dmi_kernel::SnapshotError> {
+    let name = r.get_str("spec name")?.to_string();
+    let system = r.get_str("spec system")?.to_string();
+    let cycles = r.get_u64("spec cycles")?;
+    let mut s = ScenarioSpec::new(name, system, cycles);
+    s.checkpoint_every = get_opt_u64(r, "spec checkpoint_every")?;
+    s.deadline_ms = get_opt_u64(r, "spec deadline_ms")?;
+    s.retries = r.get_u32("spec retries")?;
+    s.warm_cycles = get_opt_u64(r, "spec warm_cycles")?;
+    let has_warm_snapshot = r.get_bool("spec warm_snapshot flag")?;
+    let warm_snapshot = r.get_str("spec warm_snapshot")?.to_string();
+    s.warm_snapshot = has_warm_snapshot.then_some(warm_snapshot);
+    let has_faults = r.get_bool("spec fault_injection flag")?;
+    let faults = r.get_bool("spec fault_injection")?;
+    s.fault_injection = has_faults.then_some(faults);
+    s.expect_failure = r.get_bool("spec expect_failure")?;
+    s.inject_panic_at = get_opt_u64(r, "spec inject_panic_at")?;
+    s.hang_ms = get_opt_u64(r, "spec hang_ms")?;
+    s.inject_abort_at = get_opt_u64(r, "spec inject_abort_at")?;
+    Ok(s)
+}
+
+pub(crate) fn encode_job(job: &WireJob) -> Vec<u8> {
+    let mut w = StateWriter::new();
+    w.put_u8(MSG_JOB);
+    w.put_u64(job.job_id);
+    w.put_u32(job.leg);
+    w.put_u32(job.attempt);
+    w.put_u64(job.watchdog_poll);
+    encode_spec(&mut w, &job.spec);
+    put_opt_path(&mut w, &job.resume_path);
+    put_opt_path(&mut w, &job.ckpt_path);
+    put_opt_path(&mut w, &job.warm_dir);
+    frame_record(&w.into_bytes())
+}
+
+fn decode_job(payload: &[u8]) -> Result<WireJob, dmi_kernel::SnapshotError> {
+    let mut r = StateReader::new(payload);
+    let tag = r.get_u8("job tag")?;
+    if tag != MSG_JOB {
+        return Err(dmi_kernel::SnapshotError::Corrupt {
+            context: format!("expected job frame, got tag {tag}"),
+        });
+    }
+    let job = WireJob {
+        job_id: r.get_u64("job id")?,
+        leg: r.get_u32("job leg")?,
+        attempt: r.get_u32("job attempt")?,
+        watchdog_poll: r.get_u64("job watchdog poll")?,
+        spec: decode_spec(&mut r)?,
+        resume_path: get_opt_path(&mut r, "job resume path")?,
+        ckpt_path: get_opt_path(&mut r, "job checkpoint path")?,
+        warm_dir: get_opt_path(&mut r, "job warm dir")?,
+    };
+    r.finish("job frame")?;
+    Ok(job)
+}
+
+fn encode_result(
+    job_id: u64,
+    leg: u32,
+    attempt: u32,
+    outcome: &ScenarioOutcome,
+    ckpt_cycle: Option<u64>,
+) -> Vec<u8> {
+    let mut w = StateWriter::new();
+    w.put_u8(MSG_RESULT);
+    w.put_u64(job_id);
+    w.put_u32(leg);
+    w.put_u32(attempt);
+    outcome.encode(&mut w);
+    put_opt_u64(&mut w, ckpt_cycle);
+    frame_record(&w.into_bytes())
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+
+/// If [`WORKER_ENV`] is set, becomes a farm worker over stdin/stdout
+/// and exits the process when the supervisor is done; otherwise returns
+/// immediately. Call this first thing in `main` of any binary used as a
+/// `worker_command` (or whose `current_exe` re-exec should work) —
+/// before anything writes to stdout, which belongs to the pipe protocol
+/// in a worker.
+pub fn worker_entry_from_env(registry: &Registry) {
+    if std::env::var_os(WORKER_ENV).is_some() {
+        std::process::exit(run_worker(registry));
+    }
+}
+
+/// The blocking worker loop: reads framed jobs from stdin, runs each
+/// leg against `registry`, writes framed results to stdout. Returns the
+/// intended process exit code: `0` on orderly shutdown (stdin closed),
+/// `2` on a protocol violation.
+pub fn run_worker(registry: &Registry) -> i32 {
+    let mut stdout = std::io::stdout();
+    let mut hello = StateWriter::new();
+    hello.put_u8(MSG_HELLO);
+    hello.put_u32(WIRE_VERSION);
+    if stdout
+        .write_all(&frame_record(&hello.into_bytes()))
+        .and_then(|_| stdout.flush())
+        .is_err()
+    {
+        return 2;
+    }
+
+    let mut stdin = std::io::stdin();
+    let mut stream = FrameStream::new();
+    let mut warm: Option<WarmCache> = None;
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        while let Some(payload) = stream.next_payload() {
+            let Ok(job) = decode_job(&payload) else {
+                return 2;
+            };
+            let reply = serve_job(registry, &mut warm, &job);
+            if stdout.write_all(&reply).and_then(|_| stdout.flush()).is_err() {
+                return 2; // supervisor gone mid-result
+            }
+        }
+        if stream.is_corrupt() {
+            return 2;
+        }
+        match stdin.read(&mut chunk) {
+            Ok(0) => return 0, // orderly shutdown: supervisor closed the pipe
+            Ok(n) => stream.feed(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return 2,
+        }
+    }
+}
+
+/// Runs one job and encodes its framed result. The leg runs under
+/// `catch_unwind` exactly like a thread-mode worker: a panic is a typed
+/// `Panicked` outcome, not a worker death — process isolation is for
+/// the failures `catch_unwind` cannot catch.
+fn serve_job(registry: &Registry, warm: &mut Option<WarmCache>, job: &WireJob) -> Vec<u8> {
+    let cache = warm.get_or_insert_with(|| match &job.warm_dir {
+        Some(dir) => WarmCache::in_dir(dir.clone()),
+        None => WarmCache::new(),
+    });
+    let resume = job
+        .resume_path
+        .as_ref()
+        .and_then(|p| Snapshot::load(p).ok());
+
+    let mut ckpt_cycle: Option<u64> = None;
+    let ckpt_path = job.ckpt_path.clone();
+    let mut export = |cycle: u64, snap: Snapshot| {
+        if let Some(path) = &ckpt_path {
+            if write_snapshot_atomic(path, &snap).is_ok() {
+                ckpt_cycle = Some(cycle);
+            }
+        }
+    };
+    let outcome = match catch_unwind(AssertUnwindSafe(|| {
+        run_leg(
+            registry,
+            &job.spec,
+            job.attempt,
+            resume.as_ref(),
+            cache,
+            job.watchdog_poll,
+            &mut export,
+        )
+    })) {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            note_panic_caught();
+            ScenarioOutcome::Panicked {
+                message: panic_message(payload),
+            }
+        }
+    };
+    encode_result(job.job_id, job.leg, job.attempt, &outcome, ckpt_cycle)
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor side
+
+/// A live worker child process: the pipe jobs go down, the child
+/// handle, and the reader thread pumping its stdout back as [`SupMsg`]s.
+pub(crate) struct ProcWorker {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ProcWorker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcWorker")
+            .field("pid", &self.child.id())
+            .finish()
+    }
+}
+
+/// Spawns one worker process and its stdout-reader thread. `command` is
+/// `FarmConfig::worker_command` (program + args); `None` re-execs the
+/// current binary with no arguments.
+pub(crate) fn spawn_process(
+    id: u64,
+    command: Option<&Vec<String>>,
+    results: Sender<SupMsg>,
+) -> std::io::Result<ProcWorker> {
+    let (program, args): (PathBuf, &[String]) = match command {
+        Some(cmd) if !cmd.is_empty() => (PathBuf::from(&cmd[0]), &cmd[1..]),
+        _ => (std::env::current_exe()?, &[]),
+    };
+    let mut child = Command::new(&program)
+        .args(args)
+        .env(WORKER_ENV, "1")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()?;
+    let stdin = child.stdin.take().expect("piped stdin");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let reader = std::thread::Builder::new()
+        .name(format!("farm-reader-{id}"))
+        .spawn(move || reader_loop(id, stdout, results))
+        .inspect_err(|_| {
+            let _ = child.kill();
+            let _ = child.wait();
+        })?;
+    Ok(ProcWorker {
+        child,
+        stdin: Some(stdin),
+        reader: Some(reader),
+    })
+}
+
+/// Pumps one worker's stdout: validates the hello, forwards results,
+/// and reports the worker dead on EOF, a torn frame, or any protocol
+/// violation. Runs until the worker or the supervisor goes away.
+fn reader_loop(id: u64, mut stdout: ChildStdout, results: Sender<SupMsg>) {
+    let mut stream = FrameStream::new();
+    let mut chunk = [0u8; 16 * 1024];
+    let mut hello_seen = false;
+    let died = |results: &Sender<SupMsg>| {
+        let _ = results.send(SupMsg::Died { worker: id });
+    };
+    loop {
+        while let Some(payload) = stream.next_payload() {
+            match decode_worker_frame(id, &payload, &mut hello_seen) {
+                Ok(Some(msg)) => {
+                    if results.send(SupMsg::Result(msg)).is_err() {
+                        return; // supervisor gone
+                    }
+                }
+                Ok(None) => {} // hello
+                Err(()) => {
+                    died(&results);
+                    return;
+                }
+            }
+        }
+        if stream.is_corrupt() {
+            died(&results);
+            return;
+        }
+        match stdout.read(&mut chunk) {
+            // EOF: the worker exited or its pipe closed. A partial
+            // frame still buffered is a torn tail — dropped, exactly
+            // like a torn journal tail; the supervisor re-runs the leg.
+            Ok(0) => {
+                died(&results);
+                return;
+            }
+            Ok(n) => stream.feed(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                died(&results);
+                return;
+            }
+        }
+    }
+}
+
+/// Decodes one worker→supervisor frame: `Ok(None)` for a valid hello,
+/// `Ok(Some(msg))` for a result, `Err(())` for anything out of
+/// protocol (which the reader reports as a worker death).
+fn decode_worker_frame(
+    worker: u64,
+    payload: &[u8],
+    hello_seen: &mut bool,
+) -> Result<Option<WorkerMsg>, ()> {
+    let mut r = StateReader::new(payload);
+    let tag = r.get_u8("worker frame tag").map_err(|_| ())?;
+    if !*hello_seen {
+        // First frame must be a matching hello — a spawned binary that
+        // is not a farm worker (or is a different build) fails here.
+        if tag != MSG_HELLO || r.get_u32("wire version").map_err(|_| ())? != WIRE_VERSION {
+            return Err(());
+        }
+        *hello_seen = true;
+        return Ok(None);
+    }
+    if tag != MSG_RESULT {
+        return Err(());
+    }
+    let parsed = (|| -> Result<WorkerMsg, dmi_kernel::SnapshotError> {
+        let job_id = r.get_u64("result job id")?;
+        let leg = r.get_u32("result leg")?;
+        let attempt = r.get_u32("result attempt")?;
+        let outcome = ScenarioOutcome::decode(&mut r)?;
+        let ckpt_cycle = get_opt_u64(&mut r, "result checkpoint cycle")?;
+        r.finish("result frame")?;
+        Ok(WorkerMsg {
+            worker,
+            job_id,
+            leg,
+            attempt,
+            outcome,
+            checkpoint: None,
+            file_checkpoint: ckpt_cycle,
+        })
+    })();
+    parsed.map(Some).map_err(|_| ())
+}
+
+impl ProcWorker {
+    /// Writes one framed job down the worker's stdin. A failed write
+    /// means the worker is dying or dead — the reader thread will
+    /// report the death, so the caller only needs to know it happened.
+    pub(crate) fn send(&mut self, job: &WireJob) -> bool {
+        let Some(stdin) = self.stdin.as_mut() else {
+            return false;
+        };
+        let bytes = encode_job(job);
+        stdin.write_all(&bytes).and_then(|_| stdin.flush()).is_ok()
+    }
+
+    /// Kills (idempotently), reaps, and joins the reader; returns the
+    /// signal that terminated the child, if the host reported one.
+    /// Used both for orderly shutdown (workers are idle; the kill is a
+    /// no-op race with their clean exit) and for reaping a worker the
+    /// reader declared dead.
+    pub(crate) fn shutdown(&mut self) -> Option<i32> {
+        drop(self.stdin.take()); // EOF → a live worker exits cleanly
+        let _ = self.child.kill();
+        let status = self.child.wait().ok();
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+        death_signal(status)
+    }
+}
+
+#[cfg(unix)]
+fn death_signal(status: Option<std::process::ExitStatus>) -> Option<i32> {
+    use std::os::unix::process::ExitStatusExt;
+    status.and_then(|s| s.signal())
+}
+
+#[cfg(not(unix))]
+fn death_signal(_status: Option<std::process::ExitStatus>) -> Option<i32> {
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Scratch directory (tempfile snapshot handoff)
+
+/// Per-farm-run scratch directory for cross-process snapshot handoff:
+/// per-leg checkpoint exports (`ckpt-leg<N>.snap`) and the shared
+/// warm-snapshot spill tier (`warm/`). Removed on drop; a farm killed
+/// outright leaves it behind, and the pid+sequence name keeps a later
+/// run from tripping over the debris.
+pub(crate) struct ScratchDir {
+    root: PathBuf,
+}
+
+static SCRATCH_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl ScratchDir {
+    pub(crate) fn create() -> std::io::Result<ScratchDir> {
+        let root = std::env::temp_dir().join(format!(
+            "dmi-farm-{}-{}",
+            std::process::id(),
+            SCRATCH_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("warm"))?;
+        Ok(ScratchDir { root })
+    }
+
+    /// Checkpoint-export file for catalog leg `leg`. Stable across
+    /// attempts: a retry resumes from whatever the dead attempt last
+    /// managed to export here.
+    pub(crate) fn ckpt_path(&self, leg: u32) -> PathBuf {
+        self.root.join(format!("ckpt-leg{leg}.snap"))
+    }
+
+    /// The warm-snapshot spill directory shared by all workers.
+    pub(crate) fn warm_dir(&self) -> PathBuf {
+        self.root.join("warm")
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}

@@ -6,10 +6,11 @@
 /// supervision envelope (checkpoint interval, watchdog deadline, retry
 /// budget) the farm wraps around it.
 ///
-/// The two `inject_*` fields are deterministic *probe* hooks for tests
-/// and CI smoke runs: they make a leg panic or stall on purpose so the
-/// farm's isolation and watchdog paths are exercised on every run, not
-/// only when something actually breaks.
+/// The `inject_*` and `hang_ms` fields are deterministic *probe* hooks
+/// for tests and CI smoke runs: they make a leg panic, stall, or abort
+/// its whole worker process on purpose so the farm's isolation,
+/// watchdog, and process-supervision paths are exercised on every run,
+/// not only when something actually breaks.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScenarioSpec {
     /// Display name of the leg (unique within a catalog by convention).
@@ -36,6 +37,16 @@ pub struct ScenarioSpec {
     /// reuse one cached snapshot taken after `warm_cycles` cold cycles
     /// instead of each re-simulating the warmup prefix.
     pub warm_cycles: Option<u64>,
+    /// Path of an on-disk [`Snapshot`](dmi_kernel::Snapshot) file the
+    /// leg starts from instead of a cold build — the file-based cousin
+    /// of `warm_cycles` for prefixes exported by an earlier run
+    /// (`McSystem::checkpoint().save(..)`). The snapshot must fit the
+    /// leg's `system` topology; a missing or foreign file is a
+    /// deterministic [`Failed`](crate::ScenarioOutcome::Failed) outcome,
+    /// not a cold fallback (a leg silently fingerprinting differently
+    /// from its catalog intent would be worse). Ignored on checkpoint
+    /// resume (the mid-leg snapshot already embeds the prefix).
+    pub warm_snapshot: Option<String>,
     /// Overrides the built system's fault-injection master switch
     /// (leaves the builder's setting alone when `None`).
     pub fault_injection: Option<bool>,
@@ -54,6 +65,14 @@ pub struct ScenarioSpec {
     /// reaches the in-run watchdog, so the supervisor's hard deadline
     /// and worker-abandonment path can be tested deterministically.
     pub hang_ms: Option<u64>,
+    /// Probe hook: on attempt 0, the worker calls
+    /// [`std::process::abort`] once the system crosses this cycle
+    /// (after exporting its checkpoint) — no unwind, no cleanup, the
+    /// stand-in for an OOM kill or stack overflow. Only meaningful
+    /// under [`Isolation::Process`](crate::Isolation::Process); in
+    /// thread mode the abort takes the whole farm process with it,
+    /// which is exactly the gap process isolation exists to close.
+    pub inject_abort_at: Option<u64>,
 }
 
 impl ScenarioSpec {
@@ -69,10 +88,12 @@ impl ScenarioSpec {
             deadline_ms: None,
             retries: 0,
             warm_cycles: None,
+            warm_snapshot: None,
             fault_injection: None,
             expect_failure: false,
             inject_panic_at: None,
             hang_ms: None,
+            inject_abort_at: None,
         }
     }
 
@@ -101,6 +122,13 @@ impl ScenarioSpec {
         self
     }
 
+    /// Starts the leg from an on-disk snapshot file (see
+    /// [`warm_snapshot`](Self::warm_snapshot)).
+    pub fn warm_snapshot(mut self, path: impl Into<String>) -> Self {
+        self.warm_snapshot = Some(path.into());
+        self
+    }
+
     /// Overrides the fault-injection master switch for this leg.
     pub fn faults(mut self, on: bool) -> Self {
         self.fault_injection = Some(on);
@@ -123,6 +151,13 @@ impl ScenarioSpec {
     /// Arms the injected-hang probe (see [`hang_ms`](Self::hang_ms)).
     pub fn hang_ms(mut self, ms: u64) -> Self {
         self.hang_ms = Some(ms);
+        self
+    }
+
+    /// Arms the injected-abort probe (see
+    /// [`inject_abort_at`](Self::inject_abort_at)).
+    pub fn inject_abort_at(mut self, cycle: u64) -> Self {
+        self.inject_abort_at = Some(cycle);
         self
     }
 }

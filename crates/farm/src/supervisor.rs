@@ -1,26 +1,34 @@
-//! The farm supervisor: M worker threads, one dispatcher, typed
-//! failure handling.
+//! The farm supervisor: M workers (threads or child processes), one
+//! dispatcher, typed failure handling.
 //!
 //! Supervision model:
 //!
-//! * every leg runs on a worker thread inside `catch_unwind` — a
-//!   panicking scenario is converted to a typed outcome and the worker
-//!   thread survives to take the next job;
-//! * a failed attempt (panic or soft watchdog timeout) is retried with
-//!   capped exponential backoff, resuming from the newest checkpoint
-//!   the attempt exported across the unwind boundary;
+//! * every leg runs on a worker inside `catch_unwind` — a panicking
+//!   scenario is converted to a typed outcome and the worker survives
+//!   to take the next job;
+//! * under [`Isolation::Process`] each worker is a child process; a
+//!   worker that aborts, is SIGKILLed, OOM-killed, or tears its result
+//!   pipe mid-frame becomes a typed
+//!   [`ScenarioOutcome::WorkerDied`] instead of taking the farm down,
+//!   and the pool respawns a replacement with bounded respawn-storm
+//!   throttling;
+//! * a failed attempt (panic, soft watchdog timeout, or worker death)
+//!   is retried with capped exponential backoff, resuming from the
+//!   newest checkpoint the attempt exported — across the unwind
+//!   boundary in thread mode, via an on-disk checkpoint file in
+//!   process mode (where it survives even SIGKILL);
 //! * a worker that stops responding entirely (it never reaches the
 //!   in-run watchdog) is *abandoned* at the supervisor's hard deadline:
-//!   its thread is detached, a replacement worker is spawned, and any
-//!   result the zombie later produces is recognized by its stale job id
-//!   and dropped;
+//!   its thread is detached (or its process killed), a replacement is
+//!   spawned, and any result the zombie later produces is recognized by
+//!   its stale job id and dropped;
 //! * completed legs are durably journaled (when a journal is
 //!   configured) before the next job is dispatched, so a killed farm
 //!   process resumes by skipping exactly the finished legs.
 
-// The supervisor's scheduling (backoff expiry, hard deadlines) is
-// host-time by nature; this is the sanctioned wall-clock site of the
-// crate, next to the watchdogs in `worker.rs`.
+// The supervisor's scheduling (backoff expiry, hard deadlines, respawn
+// throttling) is host-time by nature; this is the sanctioned wall-clock
+// site of the crate, next to the watchdogs in `worker.rs`.
 #![allow(clippy::disallowed_methods)]
 
 use std::collections::VecDeque;
@@ -34,17 +42,40 @@ use std::time::{Duration, Instant};
 
 use dmi_kernel::Snapshot;
 
-use crate::catalog::Catalog;
+use crate::catalog::{Catalog, CatalogError};
 use crate::journal::{Journal, JournalError};
 use crate::outcome::{LegResult, ScenarioOutcome};
+use crate::proc::{spawn_process, ProcWorker, ScratchDir, WireJob};
 use crate::registry::Registry;
 use crate::spec::ScenarioSpec;
 use crate::worker::{run_leg, WarmCache};
 
+/// How worker failures are contained: by unwind boundary or by process
+/// boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Isolation {
+    /// Workers are threads of the farm process (the default). Panics
+    /// and watchdog timeouts are isolated; an abort, stack overflow, or
+    /// OOM kill still takes the whole farm down.
+    Thread,
+    /// Workers are child processes speaking the CRC-framed pipe
+    /// protocol (see `crates/farm/README.md`). Any single-worker death
+    /// — abort, SIGKILL, OOM kill, torn pipe — becomes a typed
+    /// [`ScenarioOutcome::WorkerDied`] and the leg is retried from its
+    /// last exported checkpoint file. Requires the spawned binary to
+    /// call [`worker_entry_from_env`](crate::worker_entry_from_env)
+    /// before writing anything to stdout.
+    Process {
+        /// Number of worker processes in the pool.
+        pool_size: usize,
+    },
+}
+
 /// How a farm run is supervised.
 #[derive(Debug, Clone)]
 pub struct FarmConfig {
-    /// Worker thread count (clamped to at least 1).
+    /// Worker thread count under [`Isolation::Thread`]. `0` is refused
+    /// as [`FarmError::NoWorkers`].
     pub workers: usize,
     /// Journal file for crash-safe resume; `None` = in-memory only.
     pub journal: Option<PathBuf>,
@@ -57,9 +88,23 @@ pub struct FarmConfig {
     /// by. See [`StopCondition::wall_clock_every`](dmi_system::StopCondition::wall_clock_every).
     pub watchdog_poll: u64,
     /// Base retry backoff; retry `n` waits `backoff << (n-1)`, capped.
+    /// Also throttles process-worker respawns after consecutive deaths.
     pub backoff: Duration,
-    /// Upper bound on the retry backoff.
+    /// Upper bound on the retry (and respawn) backoff.
     pub backoff_cap: Duration,
+    /// Thread or process workers; see [`Isolation`].
+    pub isolation: Isolation,
+    /// Program + arguments to spawn as a worker process (`None`:
+    /// re-exec [`std::env::current_exe`] with no arguments). Only used
+    /// under [`Isolation::Process`]. The binary must call
+    /// [`worker_entry_from_env`](crate::worker_entry_from_env) first
+    /// thing in `main`.
+    pub worker_command: Option<Vec<String>>,
+    /// Cap on total worker-process deaths in one farm run before the
+    /// run itself fails as [`FarmError::RespawnStorm`] — the backstop
+    /// against an environment (broken worker binary, hostile OOM
+    /// killer) where respawned workers just keep dying.
+    pub respawn_limit: u32,
 }
 
 impl Default for FarmConfig {
@@ -71,6 +116,25 @@ impl Default for FarmConfig {
             watchdog_poll: dmi_system::DEFAULT_POLL_CYCLES,
             backoff: Duration::from_millis(10),
             backoff_cap: Duration::from_millis(500),
+            isolation: Isolation::Thread,
+            worker_command: None,
+            respawn_limit: 64,
+        }
+    }
+}
+
+impl FarmConfig {
+    /// Sets the isolation mode (builder style).
+    pub fn isolation(mut self, isolation: Isolation) -> Self {
+        self.isolation = isolation;
+        self
+    }
+
+    /// The effective pool size for the configured isolation mode.
+    fn pool_size(&self) -> usize {
+        match self.isolation {
+            Isolation::Thread => self.workers,
+            Isolation::Process { pool_size } => pool_size,
         }
     }
 }
@@ -84,6 +148,28 @@ pub enum FarmError {
     /// Every worker disappeared with legs still outstanding (a farm
     /// bug by construction — workers survive scenario panics).
     WorkersLost,
+    /// The configured pool size is zero: the run could never make
+    /// progress, and silently hanging on an empty pool would be worse.
+    NoWorkers,
+    /// A streamed catalog yielded a parse error mid-run (legs already
+    /// finished stay finished; their results are in completed work the
+    /// caller may re-request, but the run as a whole is refused).
+    Catalog(CatalogError),
+    /// A worker process could not be spawned.
+    Spawn(std::io::Error),
+    /// Worker processes died more than
+    /// [`respawn_limit`](FarmConfig::respawn_limit) times in one run —
+    /// the environment is eating workers faster than respawning them
+    /// can help.
+    RespawnStorm {
+        /// Worker deaths counted when the run gave up.
+        deaths: u32,
+    },
+    /// A journal was configured together with a streamed catalog. The
+    /// journal identifies legs by index in a catalog whose CRC it pins;
+    /// a stream has neither a CRC nor a known leg count up front, so
+    /// the combination is refused rather than mis-resumed.
+    StreamedJournal,
 }
 
 impl std::fmt::Display for FarmError {
@@ -91,6 +177,15 @@ impl std::fmt::Display for FarmError {
         match self {
             FarmError::Journal(e) => write!(f, "farm journal: {e}"),
             FarmError::WorkersLost => write!(f, "all farm workers lost"),
+            FarmError::NoWorkers => write!(f, "farm configured with zero workers"),
+            FarmError::Catalog(e) => write!(f, "streamed catalog: {e}"),
+            FarmError::Spawn(e) => write!(f, "cannot spawn worker process: {e}"),
+            FarmError::RespawnStorm { deaths } => {
+                write!(f, "respawn storm: {deaths} worker deaths in one run")
+            }
+            FarmError::StreamedJournal => {
+                write!(f, "journaling requires a materialized catalog, not a stream")
+            }
         }
     }
 }
@@ -99,7 +194,9 @@ impl std::error::Error for FarmError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             FarmError::Journal(e) => Some(e),
-            FarmError::WorkersLost => None,
+            FarmError::Catalog(e) => Some(e),
+            FarmError::Spawn(e) => Some(e),
+            _ => None,
         }
     }
 }
@@ -121,6 +218,8 @@ pub struct FarmReport {
     pub retried: u32,
     /// Workers abandoned at the hard deadline.
     pub abandoned: u32,
+    /// Worker processes that died mid-run (always 0 in thread mode).
+    pub worker_deaths: u32,
 }
 
 impl FarmReport {
@@ -147,14 +246,26 @@ impl FarmReport {
             ));
         }
         out.push_str(&format!(
-            "{} legs ({} resumed from journal), {} retries, {} workers abandoned\n",
+            "{} legs ({} resumed from journal), {} retries, {} workers abandoned, \
+             {} worker deaths\n",
             self.legs.len(),
             self.skipped,
             self.retried,
-            self.abandoned
+            self.abandoned,
+            self.worker_deaths
         ));
         out
     }
+}
+
+/// Where a retried attempt resumes from.
+enum ResumeFrom {
+    /// An in-memory snapshot exported across the unwind boundary
+    /// (thread mode).
+    Memory(Snapshot),
+    /// A checkpoint file a (possibly dead) worker process exported
+    /// (process mode).
+    File(PathBuf),
 }
 
 /// One dispatched attempt.
@@ -163,23 +274,46 @@ struct Job {
     leg: u32,
     attempt: u32,
     spec: ScenarioSpec,
-    resume: Option<(u64, Snapshot)>,
+    resume: Option<ResumeFrom>,
 }
 
 /// What a worker sends back.
-struct WorkerMsg {
-    worker: u64,
-    job_id: u64,
-    leg: u32,
-    attempt: u32,
-    outcome: ScenarioOutcome,
-    checkpoint: Option<(u64, Snapshot)>,
+pub(crate) struct WorkerMsg {
+    pub(crate) worker: u64,
+    pub(crate) job_id: u64,
+    pub(crate) leg: u32,
+    pub(crate) attempt: u32,
+    pub(crate) outcome: ScenarioOutcome,
+    /// Thread mode: the newest checkpoint, exported in memory.
+    pub(crate) checkpoint: Option<(u64, Snapshot)>,
+    /// Process mode: the cycle of the newest checkpoint the attempt
+    /// exported to its leg's checkpoint file.
+    pub(crate) file_checkpoint: Option<u64>,
+}
+
+/// Everything the supervisor can hear back.
+pub(crate) enum SupMsg {
+    /// A worker finished an attempt.
+    Result(WorkerMsg),
+    /// A worker process died or tore its pipe (reported by its reader
+    /// thread; never sent in thread mode).
+    Died {
+        /// Id of the dead worker's slot.
+        worker: u64,
+    },
+}
+
+enum Backend {
+    Thread {
+        sender: Sender<Job>,
+        handle: Option<JoinHandle<()>>,
+    },
+    Process(ProcWorker),
 }
 
 struct WorkerSlot {
     id: u64,
-    sender: Sender<Job>,
-    handle: Option<JoinHandle<()>>,
+    backend: Backend,
     inflight: Option<InFlight>,
 }
 
@@ -187,6 +321,9 @@ struct InFlight {
     job_id: u64,
     leg: u32,
     attempt: u32,
+    /// The leg's spec, kept supervisor-side so retries and finalization
+    /// never depend on a materialized catalog (streamed dispatch).
+    spec: ScenarioSpec,
     started: Instant,
 }
 
@@ -199,7 +336,11 @@ pub fn panics_caught() -> u32 {
     PANICS_CAUGHT.load(Ordering::Relaxed)
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn note_panic_caught() {
+    PANICS_CAUGHT.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -209,33 +350,41 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-fn spawn_worker(
+fn spawn_thread_worker(
     id: u64,
     registry: Arc<Registry>,
     warm: Arc<WarmCache>,
     watchdog_poll: u64,
-    results: Sender<WorkerMsg>,
+    results: Sender<SupMsg>,
 ) -> WorkerSlot {
     let (tx, rx): (Sender<Job>, Receiver<Job>) = mpsc::channel();
     let handle = std::thread::Builder::new()
         .name(format!("farm-worker-{id}"))
         .spawn(move || {
             while let Ok(job) = rx.recv() {
-                let mut export = None;
+                let mut export: Option<(u64, Snapshot)> = None;
                 let outcome = match catch_unwind(AssertUnwindSafe(|| {
+                    let resume = match &job.resume {
+                        Some(ResumeFrom::Memory(snap)) => Some(snap.clone()),
+                        // Thread dispatch never builds File resumes, but
+                        // honoring one is harmless and keeps the enum
+                        // total.
+                        Some(ResumeFrom::File(path)) => Snapshot::load(path).ok(),
+                        None => None,
+                    };
                     run_leg(
                         &registry,
                         &job.spec,
                         job.attempt,
-                        job.resume.as_ref(),
+                        resume.as_ref(),
                         &warm,
                         watchdog_poll,
-                        &mut export,
+                        &mut |cycle, snap| export = Some((cycle, snap)),
                     )
                 })) {
                     Ok(outcome) => outcome,
                     Err(payload) => {
-                        PANICS_CAUGHT.fetch_add(1, Ordering::Relaxed);
+                        note_panic_caught();
                         ScenarioOutcome::Panicked {
                             message: panic_message(payload),
                         }
@@ -248,8 +397,9 @@ fn spawn_worker(
                     attempt: job.attempt,
                     outcome,
                     checkpoint: export,
+                    file_checkpoint: None,
                 };
-                if results.send(msg).is_err() {
+                if results.send(SupMsg::Result(msg)).is_err() {
                     break; // supervisor gone
                 }
             }
@@ -257,8 +407,10 @@ fn spawn_worker(
         .expect("spawn farm worker");
     WorkerSlot {
         id,
-        sender: tx,
-        handle: Some(handle),
+        backend: Backend::Thread {
+            sender: tx,
+            handle: Some(handle),
+        },
         inflight: None,
     }
 }
@@ -274,12 +426,42 @@ fn backoff_delay(cfg: &FarmConfig, attempt_done: u32) -> Duration {
     d.min(cfg.backoff_cap)
 }
 
-/// Runs every leg of `catalog` over `cfg.workers` supervised workers.
+/// Respawn throttle: the first death in a streak respawns immediately,
+/// every further consecutive death doubles the delay, capped — so a
+/// single SIGKILL costs nothing, while a storm (every respawned worker
+/// dying again) backs off instead of burning the host on exec loops.
+fn respawn_delay(cfg: &FarmConfig, consecutive_deaths: u32) -> Duration {
+    if consecutive_deaths <= 1 {
+        Duration::ZERO
+    } else {
+        backoff_delay(cfg, consecutive_deaths - 2)
+    }
+}
+
+/// Shuts a worker down (thread: close channel + join; process: kill +
+/// reap + join reader) and returns the death signal for process
+/// workers, if any.
+fn shutdown_slot(slot: &mut WorkerSlot) -> Option<i32> {
+    match &mut slot.backend {
+        Backend::Thread { sender, handle } => {
+            let (dead_tx, _) = mpsc::channel();
+            *sender = dead_tx; // drop the real sender
+            if let Some(handle) = handle.take() {
+                let _ = handle.join();
+            }
+            None
+        }
+        Backend::Process(proc) => proc.shutdown(),
+    }
+}
+
+/// Runs every leg of `catalog` over the configured worker pool.
 ///
 /// Returns one [`LegResult`] per leg, in catalog order, regardless of
 /// completion order. Individual leg failures (panics, timeouts, build
-/// errors) are data in the report; only infrastructure failures (the
-/// journal, total worker loss) are `Err`.
+/// errors, worker-process deaths) are data in the report; only
+/// infrastructure failures (the journal, total worker loss, respawn
+/// storms) are `Err`.
 ///
 /// # Errors
 ///
@@ -293,7 +475,7 @@ pub fn run_farm(
     let mut finals: Vec<Option<LegResult>> = vec![None; n];
     let mut skipped = 0usize;
 
-    let mut journal = match &cfg.journal {
+    let journal = match &cfg.journal {
         Some(path) => Some(Journal::open(path, catalog.crc(), n)?),
         None => None,
     };
@@ -312,232 +494,459 @@ pub fn run_farm(
         }
     }
 
-    let mut pending: VecDeque<Job> = VecDeque::new();
-    let mut next_job_id = 0u64;
-    for (i, spec) in catalog.scenarios.iter().enumerate() {
-        if finals[i].is_some() {
-            continue;
-        }
-        pending.push_back(Job {
-            job_id: next_job_id,
-            leg: i as u32,
-            attempt: 0,
-            spec: spec.clone(),
-            resume: None,
-        });
-        next_job_id += 1;
-    }
+    let mut source = catalog.scenarios.iter().cloned().map(Ok);
+    run_farm_core(&mut source, finals, skipped, journal, registry, cfg)
+}
 
-    let mut outstanding = pending.len();
-    if outstanding == 0 {
-        return Ok(FarmReport {
-            legs: finals.into_iter().flatten().collect(),
-            skipped,
-            retried: 0,
-            abandoned: 0,
-        });
+/// Runs legs pulled lazily from `legs` — typically
+/// [`Catalog::stream`](crate::Catalog::stream) over a file too large to
+/// materialize. Legs are dispatched as workers go idle; at most
+/// pool-size + retry-queue specs are held in memory at once.
+///
+/// Journaling is refused ([`FarmError::StreamedJournal`]): the journal
+/// pins a catalog CRC and leg count a stream cannot provide up front.
+///
+/// # Errors
+///
+/// [`FarmError::Catalog`] the moment the stream yields a parse error
+/// (legs already dispatched still finish first); otherwise see
+/// [`FarmError`].
+pub fn run_farm_stream<I>(
+    legs: I,
+    registry: Arc<Registry>,
+    cfg: &FarmConfig,
+) -> Result<FarmReport, FarmError>
+where
+    I: IntoIterator<Item = Result<ScenarioSpec, CatalogError>>,
+{
+    if cfg.journal.is_some() {
+        return Err(FarmError::StreamedJournal);
     }
+    let mut source = legs.into_iter();
+    run_farm_core(&mut source, Vec::new(), 0, None, registry, cfg)
+}
+
+/// The dispatch loop shared by [`run_farm`] and [`run_farm_stream`]:
+/// pulls legs lazily from `source` (skipping indices `finals` already
+/// holds — journal adoptions), fans them out over the pool, supervises
+/// retries / hard deadlines / worker deaths, and finalizes results in
+/// leg order.
+fn run_farm_core(
+    source: &mut dyn Iterator<Item = Result<ScenarioSpec, CatalogError>>,
+    mut finals: Vec<Option<LegResult>>,
+    skipped: usize,
+    mut journal: Option<Journal>,
+    registry: Arc<Registry>,
+    cfg: &FarmConfig,
+) -> Result<FarmReport, FarmError> {
+    let pool = cfg.pool_size();
+    if pool == 0 {
+        return Err(FarmError::NoWorkers);
+    }
+    let process_mode = matches!(cfg.isolation, Isolation::Process { .. });
+    let scratch = if process_mode {
+        Some(ScratchDir::create().map_err(FarmError::Spawn)?)
+    } else {
+        None
+    };
 
     let warm = Arc::new(WarmCache::new());
-    let (results_tx, results_rx) = mpsc::channel::<WorkerMsg>();
+    let (results_tx, results_rx) = mpsc::channel::<SupMsg>();
     let mut next_worker_id = 0u64;
-    let mut workers: Vec<WorkerSlot> = (0..cfg.workers.max(1))
-        .map(|_| {
-            let slot = spawn_worker(
-                next_worker_id,
+    let spawn_slot = |next_worker_id: &mut u64| -> Result<WorkerSlot, FarmError> {
+        let id = *next_worker_id;
+        *next_worker_id += 1;
+        if process_mode {
+            let proc = spawn_process(id, cfg.worker_command.as_ref(), results_tx.clone())
+                .map_err(FarmError::Spawn)?;
+            Ok(WorkerSlot {
+                id,
+                backend: Backend::Process(proc),
+                inflight: None,
+            })
+        } else {
+            Ok(spawn_thread_worker(
+                id,
                 Arc::clone(&registry),
                 Arc::clone(&warm),
                 cfg.watchdog_poll,
                 results_tx.clone(),
-            );
-            next_worker_id += 1;
-            slot
-        })
-        .collect();
-
-    let mut delayed: Vec<(Instant, Job)> = Vec::new();
-    let mut retried = 0u32;
-    let mut abandoned = 0u32;
-
-    let finalize = |finals: &mut Vec<Option<LegResult>>,
-                        journal: &mut Option<Journal>,
-                        outstanding: &mut usize,
-                        leg: u32,
-                        attempts: u32,
-                        outcome: ScenarioOutcome|
-     -> Result<(), FarmError> {
-        if let Some(j) = journal {
-            j.record(leg as usize, attempts, &outcome)?;
+            ))
         }
-        finals[leg as usize] = Some(LegResult {
-            leg,
-            name: catalog.scenarios[leg as usize].name.clone(),
-            attempts,
-            outcome,
-            adopted: false,
-        });
-        *outstanding -= 1;
-        Ok(())
     };
 
-    while outstanding > 0 {
-        let now = Instant::now();
-
-        // Promote backoff-expired retries.
-        let mut i = 0;
-        while i < delayed.len() {
-            if delayed[i].0 <= now {
-                pending.push_back(delayed.swap_remove(i).1);
-            } else {
-                i += 1;
+    let mut workers: Vec<WorkerSlot> = Vec::with_capacity(pool);
+    let mut spawn_err = None;
+    for _ in 0..pool {
+        match spawn_slot(&mut next_worker_id) {
+            Ok(slot) => workers.push(slot),
+            Err(e) => {
+                spawn_err = Some(e);
+                break;
             }
         }
+    }
 
-        // Dispatch to idle workers.
-        for slot in workers.iter_mut() {
-            if slot.inflight.is_some() {
-                continue;
-            }
-            let Some(job) = pending.pop_front() else { break };
-            slot.inflight = Some(InFlight {
-                job_id: job.job_id,
-                leg: job.leg,
-                attempt: job.attempt,
-                started: now,
-            });
-            if slot.sender.send(job).is_err() {
-                // Worker thread gone (cannot normally happen): the job
-                // is lost with it — respawn and let the in-flight
-                // bookkeeping below retry via the hard deadline, or
-                // fail hard if no deadline is set.
-                slot.inflight = None;
-                return Err(FarmError::WorkersLost);
-            }
+    let mut pending: VecDeque<Job> = VecDeque::new();
+    let mut delayed: Vec<(Instant, Job)> = Vec::new();
+    let mut respawns_due: Vec<Instant> = Vec::new();
+    let mut next_job_id = 0u64;
+    let mut next_leg = 0u32;
+    let mut source_done = false;
+    let mut retried = 0u32;
+    let mut abandoned = 0u32;
+    let mut worker_deaths = 0u32;
+    let mut consecutive_deaths = 0u32;
+
+    // The loop body runs inside a closure so every early error return
+    // still flows through the shutdown below — in process mode an
+    // abandoned run must not leak live children.
+    let mut body = || -> Result<(), FarmError> {
+        if let Some(e) = spawn_err.take() {
+            return Err(e);
         }
+        loop {
+            let now = Instant::now();
 
-        // Abandon workers past the hard deadline.
-        if let Some(hd) = cfg.hard_deadline {
-            let mut idx = 0;
-            while idx < workers.len() {
-                let expired = workers[idx]
-                    .inflight
-                    .as_ref()
-                    .is_some_and(|f| now.duration_since(f.started) >= hd);
-                if !expired {
-                    idx += 1;
+            // Promote backoff-expired retries.
+            let mut i = 0;
+            while i < delayed.len() {
+                if delayed[i].0 <= now {
+                    pending.push_back(delayed.swap_remove(i).1);
+                } else {
+                    i += 1;
+                }
+            }
+
+            // Spawn throttled replacement workers whose delay expired.
+            let mut i = 0;
+            while i < respawns_due.len() {
+                if respawns_due[i] <= now {
+                    respawns_due.swap_remove(i);
+                    workers.push(spawn_slot(&mut next_worker_id)?);
+                } else {
+                    i += 1;
+                }
+            }
+
+            // Dispatch to idle workers: queued retries first, then
+            // fresh legs pulled lazily off the source.
+            for slot in workers.iter_mut() {
+                if slot.inflight.is_some() {
                     continue;
                 }
-                let mut slot = workers.swap_remove(idx);
-                let inflight = slot.inflight.take().expect("expired implies inflight");
-                // Detach the zombie: dropping the handle without a join
-                // lets the hung thread die with the process; dropping
-                // its sender means it finds a closed channel if it ever
-                // finishes its current job.
-                drop(slot.handle.take());
-                abandoned += 1;
-                workers.push(spawn_worker(
-                    next_worker_id,
-                    Arc::clone(&registry),
-                    Arc::clone(&warm),
-                    cfg.watchdog_poll,
-                    results_tx.clone(),
-                ));
-                next_worker_id += 1;
-
-                let spec = &catalog.scenarios[inflight.leg as usize];
-                let attempts_used = inflight.attempt + 1;
-                if attempts_used > spec.retries {
-                    finalize(
+                let job = match pending.pop_front() {
+                    Some(job) => Some(job),
+                    None => pull_next_leg(
+                        source,
+                        &mut source_done,
+                        &mut next_leg,
                         &mut finals,
-                        &mut journal,
-                        &mut outstanding,
-                        inflight.leg,
-                        attempts_used,
-                        ScenarioOutcome::TimedOut { hard: true },
-                    )?;
-                } else {
-                    // Hard-abandoned attempts leave no checkpoint behind
-                    // (it is trapped in the zombie thread): retry cold.
-                    retried += 1;
-                    delayed.push((
-                        now + backoff_delay(cfg, inflight.attempt),
-                        Job {
-                            job_id: next_job_id,
-                            leg: inflight.leg,
-                            attempt: inflight.attempt + 1,
-                            spec: spec.clone(),
-                            resume: None,
-                        },
-                    ));
-                    next_job_id += 1;
+                        &mut next_job_id,
+                    )?,
+                };
+                let Some(job) = job else { break };
+                slot.inflight = Some(InFlight {
+                    job_id: job.job_id,
+                    leg: job.leg,
+                    attempt: job.attempt,
+                    spec: job.spec.clone(),
+                    started: now,
+                });
+                match &mut slot.backend {
+                    Backend::Thread { sender, .. } => {
+                        if sender.send(job).is_err() {
+                            // Worker thread gone (cannot normally
+                            // happen): a farm bug, not a leg outcome.
+                            return Err(FarmError::WorkersLost);
+                        }
+                    }
+                    Backend::Process(proc) => {
+                        let wire = WireJob {
+                            job_id: job.job_id,
+                            leg: job.leg,
+                            attempt: job.attempt,
+                            watchdog_poll: cfg.watchdog_poll,
+                            resume_path: match &job.resume {
+                                Some(ResumeFrom::File(path)) => Some(path.clone()),
+                                // Memory resumes cannot cross the
+                                // process boundary; process-mode retries
+                                // are built as File resumes.
+                                _ => None,
+                            },
+                            ckpt_path: job
+                                .spec
+                                .checkpoint_every
+                                .and(scratch.as_ref().map(|s| s.ckpt_path(job.leg))),
+                            warm_dir: scratch.as_ref().map(|s| s.warm_dir()),
+                            spec: job.spec,
+                        };
+                        // A failed write means the worker is dying; its
+                        // reader thread will report the death and the
+                        // in-flight bookkeeping retries the leg then.
+                        let _ = proc.send(&wire);
+                    }
+                }
+            }
+
+            // Abandon workers past the hard deadline.
+            if let Some(hd) = cfg.hard_deadline {
+                let mut idx = 0;
+                while idx < workers.len() {
+                    let expired = workers[idx]
+                        .inflight
+                        .as_ref()
+                        .is_some_and(|f| now.duration_since(f.started) >= hd);
+                    if !expired {
+                        idx += 1;
+                        continue;
+                    }
+                    let mut slot = workers.swap_remove(idx);
+                    let inflight = slot.inflight.take().expect("expired implies inflight");
+                    match &mut slot.backend {
+                        // Detach the zombie thread: dropping the handle
+                        // without a join lets the hung thread die with
+                        // the process; dropping its sender means it
+                        // finds a closed channel if it ever finishes.
+                        Backend::Thread { handle, .. } => drop(handle.take()),
+                        // A hung process can actually be killed. Its
+                        // reader thread sends a Died for the stale slot
+                        // id, which lands in the ignore path below.
+                        Backend::Process(proc) => {
+                            let _ = proc.shutdown();
+                        }
+                    }
+                    abandoned += 1;
+                    workers.push(spawn_slot(&mut next_worker_id)?);
+
+                    let attempts_used = inflight.attempt + 1;
+                    if attempts_used > inflight.spec.retries {
+                        finalize(
+                            &mut finals,
+                            &mut journal,
+                            inflight.leg,
+                            &inflight.spec.name,
+                            attempts_used,
+                            ScenarioOutcome::TimedOut { hard: true },
+                        )?;
+                    } else {
+                        // Thread mode: the checkpoint is trapped in the
+                        // zombie thread — retry cold. Process mode: the
+                        // dead worker's exports survive on disk.
+                        retried += 1;
+                        delayed.push((
+                            now + backoff_delay(cfg, inflight.attempt),
+                            Job {
+                                job_id: next_job_id,
+                                leg: inflight.leg,
+                                attempt: inflight.attempt + 1,
+                                resume: file_resume(scratch.as_ref(), inflight.leg),
+                                spec: inflight.spec,
+                            },
+                        ));
+                        next_job_id += 1;
+                    }
+                }
+            }
+
+            let inflight_any = workers.iter().any(|w| w.inflight.is_some());
+            if source_done && !inflight_any && pending.is_empty() && delayed.is_empty() {
+                return Ok(());
+            }
+
+            let msg = match results_rx.recv_timeout(Duration::from_millis(10)) {
+                Ok(msg) => msg,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return Err(FarmError::WorkersLost),
+            };
+
+            match msg {
+                SupMsg::Result(msg) => {
+                    consecutive_deaths = 0;
+                    // Stale results from abandoned workers carry a job
+                    // id no live slot is waiting for — drop them.
+                    let Some(slot) = workers.iter_mut().find(|w| {
+                        w.id == msg.worker
+                            && w.inflight.as_ref().is_some_and(|f| f.job_id == msg.job_id)
+                    }) else {
+                        continue;
+                    };
+                    let inflight = slot.inflight.take().expect("matched on inflight");
+
+                    let attempts_used = msg.attempt + 1;
+                    if msg.outcome.is_success()
+                        || matches!(msg.outcome, ScenarioOutcome::Failed { .. })
+                        || attempts_used > inflight.spec.retries
+                    {
+                        // Success, a deterministic build failure
+                        // (retrying cannot help), or retry budget
+                        // exhausted: final.
+                        finalize(
+                            &mut finals,
+                            &mut journal,
+                            msg.leg,
+                            &inflight.spec.name,
+                            attempts_used,
+                            msg.outcome,
+                        )?;
+                    } else {
+                        retried += 1;
+                        let resume = match msg.checkpoint {
+                            Some((_, snap)) => Some(ResumeFrom::Memory(snap)),
+                            None if msg.file_checkpoint.is_some() => {
+                                file_resume(scratch.as_ref(), msg.leg)
+                            }
+                            None => None,
+                        };
+                        delayed.push((
+                            Instant::now() + backoff_delay(cfg, msg.attempt),
+                            Job {
+                                job_id: next_job_id,
+                                leg: msg.leg,
+                                attempt: msg.attempt + 1,
+                                spec: inflight.spec,
+                                resume,
+                            },
+                        ));
+                        next_job_id += 1;
+                    }
+                }
+                SupMsg::Died { worker } => {
+                    // A Died for a slot we already removed (abandoned at
+                    // the hard deadline, or shut down) is stale.
+                    let Some(pos) = workers.iter().position(|w| w.id == worker) else {
+                        continue;
+                    };
+                    let mut slot = workers.swap_remove(pos);
+                    worker_deaths += 1;
+                    consecutive_deaths += 1;
+                    let signal = shutdown_slot(&mut slot);
+                    if worker_deaths > cfg.respawn_limit {
+                        return Err(FarmError::RespawnStorm {
+                            deaths: worker_deaths,
+                        });
+                    }
+                    respawns_due.push(now + respawn_delay(cfg, consecutive_deaths));
+
+                    if let Some(inflight) = slot.inflight.take() {
+                        let attempts_used = inflight.attempt + 1;
+                        if attempts_used > inflight.spec.retries {
+                            finalize(
+                                &mut finals,
+                                &mut journal,
+                                inflight.leg,
+                                &inflight.spec.name,
+                                attempts_used,
+                                ScenarioOutcome::WorkerDied {
+                                    signal,
+                                    attempt: inflight.attempt,
+                                },
+                            )?;
+                        } else {
+                            // The dead worker's checkpoint file (if it
+                            // exported one before dying) survives the
+                            // kill: the retry resumes from it and still
+                            // lands on the bit-identical fingerprint.
+                            retried += 1;
+                            delayed.push((
+                                now + backoff_delay(cfg, inflight.attempt),
+                                Job {
+                                    job_id: next_job_id,
+                                    leg: inflight.leg,
+                                    attempt: inflight.attempt + 1,
+                                    resume: file_resume(scratch.as_ref(), inflight.leg),
+                                    spec: inflight.spec,
+                                },
+                            ));
+                            next_job_id += 1;
+                        }
+                    }
                 }
             }
         }
+    };
+    let outcome = body();
 
-        if outstanding == 0 {
-            break;
-        }
-
-        let msg = match results_rx.recv_timeout(Duration::from_millis(10)) {
-            Ok(msg) => msg,
-            Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => return Err(FarmError::WorkersLost),
-        };
-
-        // Stale results from abandoned workers carry a job id no live
-        // slot is waiting for — drop them.
-        let Some(slot) = workers.iter_mut().find(|w| {
-            w.id == msg.worker && w.inflight.as_ref().is_some_and(|f| f.job_id == msg.job_id)
-        }) else {
-            continue;
-        };
-        slot.inflight = None;
-
-        let spec = &catalog.scenarios[msg.leg as usize];
-        let attempts_used = msg.attempt + 1;
-        if msg.outcome.is_success()
-            || matches!(msg.outcome, ScenarioOutcome::Failed { .. })
-            || attempts_used > spec.retries
-        {
-            // Success, a deterministic build failure (retrying cannot
-            // help), or retry budget exhausted: final.
-            finalize(
-                &mut finals,
-                &mut journal,
-                &mut outstanding,
-                msg.leg,
-                attempts_used,
-                msg.outcome,
-            )?;
-        } else {
-            retried += 1;
-            delayed.push((
-                Instant::now() + backoff_delay(cfg, msg.attempt),
-                Job {
-                    job_id: next_job_id,
-                    leg: msg.leg,
-                    attempt: msg.attempt + 1,
-                    spec: spec.clone(),
-                    resume: msg.checkpoint,
-                },
-            ));
-            next_job_id += 1;
-        }
-    }
-
-    // Orderly shutdown: close the job channels, join the live workers.
+    // Orderly shutdown — also the cleanup path for every error return.
     for slot in &mut workers {
-        let (dead_tx, _) = mpsc::channel();
-        slot.sender = dead_tx; // drop the real sender
-        if let Some(handle) = slot.handle.take() {
-            let _ = handle.join();
-        }
+        shutdown_slot(slot);
     }
+    drop(scratch);
+    outcome?;
 
     Ok(FarmReport {
         legs: finals.into_iter().flatten().collect(),
         skipped,
         retried,
         abandoned,
+        worker_deaths,
     })
+}
+
+/// Pulls the next not-yet-completed leg off the source, growing
+/// `finals` to cover it. Legs the journal already adopted are skipped
+/// here (their `finals` slot is occupied).
+fn pull_next_leg(
+    source: &mut dyn Iterator<Item = Result<ScenarioSpec, CatalogError>>,
+    source_done: &mut bool,
+    next_leg: &mut u32,
+    finals: &mut Vec<Option<LegResult>>,
+    next_job_id: &mut u64,
+) -> Result<Option<Job>, FarmError> {
+    if *source_done {
+        return Ok(None);
+    }
+    loop {
+        let Some(item) = source.next() else {
+            *source_done = true;
+            return Ok(None);
+        };
+        let spec = item.map_err(FarmError::Catalog)?;
+        let leg = *next_leg;
+        *next_leg += 1;
+        if finals.len() < *next_leg as usize {
+            finals.resize(*next_leg as usize, None);
+        }
+        if finals[leg as usize].is_some() {
+            continue; // adopted from the journal
+        }
+        let job_id = *next_job_id;
+        *next_job_id += 1;
+        return Ok(Some(Job {
+            job_id,
+            leg,
+            attempt: 0,
+            spec,
+            resume: None,
+        }));
+    }
+}
+
+/// A `ResumeFrom::File` pointing at the leg's checkpoint file, if the
+/// (possibly SIGKILLed) previous attempt managed to export one.
+fn file_resume(scratch: Option<&ScratchDir>, leg: u32) -> Option<ResumeFrom> {
+    let path = scratch?.ckpt_path(leg);
+    path.exists().then_some(ResumeFrom::File(path))
+}
+
+/// Journals (when configured) and records one leg's final result.
+fn finalize(
+    finals: &mut [Option<LegResult>],
+    journal: &mut Option<Journal>,
+    leg: u32,
+    name: &str,
+    attempts: u32,
+    outcome: ScenarioOutcome,
+) -> Result<(), FarmError> {
+    if let Some(j) = journal {
+        j.record(leg as usize, attempts, &outcome)?;
+    }
+    finals[leg as usize] = Some(LegResult {
+        leg,
+        name: name.to_string(),
+        attempts,
+        outcome,
+        adopted: false,
+    });
+    Ok(())
 }

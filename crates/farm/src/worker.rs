@@ -9,6 +9,7 @@
 //! stopping and continuing at a cycle boundary replays bit-identically
 //! to an uninterrupted run.
 
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -26,22 +27,47 @@ use crate::spec::ScenarioSpec;
 /// prefix and the rest restore its snapshot, instead of M cold warmups
 /// racing. Snapshots are stored as bytes (`Snapshot::to_bytes`) so the
 /// cache is plain `Send` data.
+///
+/// Under process isolation the in-memory tier only spans one worker
+/// process; [`in_dir`](Self::in_dir) adds a directory-backed tier so
+/// sibling worker *processes* still share warm prefixes. Warmups are
+/// deterministic, so two processes racing on the same key write
+/// byte-identical files — the atomic rename makes the race harmless.
 #[derive(Debug, Default)]
 pub struct WarmCache {
     entries: Mutex<Vec<(WarmKey, Vec<u8>)>>,
+    dir: Option<PathBuf>,
 }
 
 /// Cache key: system registry key + warm-prefix cycle count.
 type WarmKey = (String, u64);
 
 impl WarmCache {
-    /// An empty cache.
+    /// An empty, in-memory-only cache.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An empty cache that additionally spills warm snapshots to
+    /// `dir` (and restores ones a sibling process already spilled).
+    pub fn in_dir(dir: PathBuf) -> Self {
+        WarmCache {
+            entries: Mutex::new(Vec::new()),
+            dir: Some(dir),
+        }
+    }
+
+    /// Where a warm snapshot for `key` lives on disk, when a spill
+    /// directory is configured.
+    fn spill_path(&self, key: &WarmKey) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("warm-{:08x}-{}.snap", crc32(key.0.as_bytes()), key.1)))
+    }
+
     /// Brings `sys` to `warm` cycles: restores the cached snapshot if
-    /// one exists, otherwise simulates the warmup once and caches it.
+    /// one exists (memory first, then the spill directory), otherwise
+    /// simulates the warmup once and caches it in both tiers.
     fn warm_up(&self, sys: &mut McSystem, system_key: &str, warm: u64) {
         // A worker panic while holding the lock (it cannot happen here —
         // warming runs no probe hooks — but belt and braces) must not
@@ -60,9 +86,37 @@ impl WarmCache {
             // Unusable cache entry (should not happen — same factory,
             // same topology): fall through and warm cold.
         }
+        if let Some(path) = self.spill_path(&key) {
+            if let Ok(snap) = Snapshot::load(&path) {
+                if sys.restore(&snap).is_ok() {
+                    entries.push((key, snap.to_bytes()));
+                    return;
+                }
+            }
+        }
         sys.run_until(&StopCondition::cycles(warm));
-        entries.push((key, sys.checkpoint().to_bytes()));
+        let snap = sys.checkpoint();
+        if let Some(path) = self.spill_path(&key) {
+            let _ = write_snapshot_atomic(&path, &snap);
+        }
+        entries.push((key, snap.to_bytes()));
     }
+}
+
+/// Writes `snap` to `path` atomically: the bytes land in a `.tmp`
+/// sibling first and are renamed into place, so a reader (another
+/// worker process, a retry resuming from this checkpoint) either sees
+/// the complete previous file or the complete new one — never a torn
+/// half-write, even if this process is SIGKILLed mid-write.
+pub(crate) fn write_snapshot_atomic(path: &Path, snap: &Snapshot) -> std::io::Result<()> {
+    // The tmp name carries the pid so two processes racing on the same
+    // key never interleave writes into one tmp file; last rename wins
+    // with a complete file either way.
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp{}", std::process::id()));
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, snap.to_bytes())?;
+    std::fs::rename(&tmp, path)
 }
 
 /// The deterministic identity of a finished leg: CRC-32 over the full
@@ -76,18 +130,21 @@ pub fn leg_fingerprint(sys: &mut McSystem) -> u32 {
 /// Runs one attempt of `spec` to completion, soft timeout, or injected
 /// panic.
 ///
-/// `resume` is the `(absolute cycle, snapshot)` pair a previous attempt
-/// exported; `export` continuously receives the newest checkpoint so it
-/// survives this attempt's unwinding. Panics are *not* caught here —
-/// the worker loop wraps this call in `catch_unwind`.
+/// `resume` is the snapshot a previous attempt exported; `export`
+/// continuously receives the newest `(absolute cycle, checkpoint)` so
+/// it survives this attempt's unwinding (thread mode stashes it in
+/// memory; process mode writes it straight to the leg's checkpoint
+/// file, where it even survives the worker being SIGKILLed). Panics are
+/// *not* caught here — the worker loop wraps this call in
+/// `catch_unwind`.
 pub(crate) fn run_leg(
     registry: &Registry,
     spec: &ScenarioSpec,
     attempt: u32,
-    resume: Option<&(u64, Snapshot)>,
+    resume: Option<&Snapshot>,
     warm: &WarmCache,
     watchdog_poll: u64,
-    export: &mut Option<(u64, Snapshot)>,
+    export: &mut dyn FnMut(u64, Snapshot),
 ) -> ScenarioOutcome {
     if let Some(ms) = spec.hang_ms {
         // Probe: pretend to be a stuck worker (see ScenarioSpec::hang_ms).
@@ -112,7 +169,7 @@ pub(crate) fn run_leg(
     }
 
     match resume {
-        Some((_, snap)) => {
+        Some(snap) => {
             if sys.restore(snap).is_err() {
                 // A stale or foreign snapshot cannot poison the leg:
                 // fall back to a cold start (still deterministic, just
@@ -131,7 +188,28 @@ pub(crate) fn run_leg(
             }
         }
         None => {
-            if let Some(w) = spec.warm_cycles {
+            if let Some(path) = &spec.warm_snapshot {
+                // A broken warm_snapshot is a deterministic catalog
+                // error, not a retry or cold-fallback candidate: a leg
+                // that silently ran cold would fingerprint differently
+                // from what the catalog asked for.
+                let snap = match Snapshot::load(Path::new(path)) {
+                    Ok(snap) => snap,
+                    Err(e) => {
+                        return ScenarioOutcome::Failed {
+                            message: format!("warm snapshot {path}: {e}"),
+                        }
+                    }
+                };
+                if sys.restore(&snap).is_err() {
+                    return ScenarioOutcome::Failed {
+                        message: format!(
+                            "warm snapshot {path} does not fit system '{}'",
+                            spec.system
+                        ),
+                    };
+                }
+            } else if let Some(w) = spec.warm_cycles {
                 if w > 0 && w < spec.cycles {
                     warm.warm_up(&mut sys, &spec.system, w);
                 }
@@ -176,13 +254,21 @@ pub(crate) fn run_leg(
             other => {
                 cause = other;
                 if spec.checkpoint_every.is_some() {
-                    *export = Some((sys.total_cycles(), sys.checkpoint()));
+                    export(sys.total_cycles(), sys.checkpoint());
                 }
                 break;
             }
         }
         if spec.checkpoint_every.is_some() {
-            *export = Some((sys.total_cycles(), sys.checkpoint()));
+            export(sys.total_cycles(), sys.checkpoint());
+        }
+        if attempt == 0 && spec.inject_abort_at.is_some_and(|p| sys.total_cycles() >= p) {
+            // Probe: die the way an OOM-killed worker dies — no unwind,
+            // no cleanup, nothing flushed beyond the checkpoint just
+            // exported. Under process isolation this takes down only
+            // this worker; the supervisor sees the pipe close and
+            // retries the leg from the exported checkpoint file.
+            std::process::abort();
         }
         if attempt == 0 && spec.inject_panic_at.is_some_and(|p| sys.total_cycles() >= p) {
             // Probe: blow up the first attempt *after* the checkpoint

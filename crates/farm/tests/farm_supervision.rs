@@ -6,11 +6,12 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use dmi_farm::{
-    panics_caught, run_farm, Catalog, FarmConfig, Registry, ScenarioOutcome, ScenarioSpec,
+    panics_caught, run_farm, run_farm_stream, Catalog, FarmConfig, FarmError, Registry,
+    ScenarioOutcome, ScenarioSpec,
 };
 use dmi_masters::{DmaConfig, DmaEngine, DmaKind};
 use dmi_sw::{workloads, WorkloadCfg};
-use dmi_system::{mem_base, CpuSpec, MemSpec, SystemBuilder};
+use dmi_system::{mem_base, CpuSpec, MemSpec, StopCondition, SystemBuilder};
 
 /// One alloc-churn CPU on a wrapper memory: halts on its own quickly.
 fn quick() -> SystemBuilder {
@@ -250,6 +251,124 @@ fn unknown_system_and_empty_catalog_are_typed_not_fatal() {
 
     let empty = run_farm(&Catalog::new(), registry(), &FarmConfig::default()).expect("empty");
     assert!(empty.legs.is_empty());
+}
+
+#[test]
+fn zero_workers_is_a_typed_error_not_a_hang() {
+    let mut catalog = Catalog::new();
+    catalog.push(ScenarioSpec::new("leg", "quick", 1_000));
+    let err = run_farm(
+        &catalog,
+        registry(),
+        &FarmConfig {
+            workers: 0,
+            ..FarmConfig::default()
+        },
+    )
+    .expect_err("zero workers must be refused");
+    assert!(matches!(err, FarmError::NoWorkers), "{err}");
+}
+
+#[test]
+fn warm_snapshot_file_reproduces_the_cold_fingerprint() {
+    let reg = registry();
+    let mut cold = Catalog::new();
+    cold.push(ScenarioSpec::new("s", "stream", 60_000));
+    let cold_fp = fingerprint_of(
+        &run_farm(&cold, Arc::clone(&reg), &FarmConfig::default())
+            .expect("cold run")
+            .legs[0]
+            .outcome,
+    );
+
+    // Export the warm prefix the way a user would: run the system 20k
+    // cycles and save its checkpoint to a file.
+    let mut path = std::env::temp_dir();
+    path.push(format!("dmi-farm-{}-warmsnap.snap", std::process::id()));
+    let mut sys = stream().build().expect("build");
+    sys.run_until(&StopCondition::cycles(20_000));
+    sys.checkpoint().save(&path).expect("save warm snapshot");
+
+    let mut warm = Catalog::new();
+    warm.push(
+        ScenarioSpec::new("w", "stream", 60_000).warm_snapshot(path.to_string_lossy().as_ref()),
+    );
+    let report = run_farm(&warm, Arc::clone(&reg), &FarmConfig::default()).expect("warm run");
+    assert_eq!(
+        fingerprint_of(&report.legs[0].outcome),
+        cold_fp,
+        "file-warmed leg diverged: {}",
+        report.summary()
+    );
+    let _ = std::fs::remove_file(&path);
+
+    // A missing snapshot file is a deterministic typed failure, never a
+    // silent cold fallback (which would fingerprint differently from
+    // the catalog's intent).
+    let mut broken = Catalog::new();
+    broken.push(
+        ScenarioSpec::new("b", "stream", 60_000)
+            .warm_snapshot("/nonexistent/warm.snap")
+            .expect_failure(),
+    );
+    let report = run_farm(&broken, reg, &FarmConfig::default()).expect("farm survives");
+    match &report.legs[0].outcome {
+        ScenarioOutcome::Failed { message } => {
+            assert!(message.contains("warm snapshot"), "{message}");
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+    assert_eq!(report.legs[0].attempts, 1, "spec errors are not retried");
+}
+
+#[test]
+fn streamed_catalog_runs_identically_to_a_materialized_one() {
+    let mut catalog = Catalog::new();
+    catalog.push(ScenarioSpec::new("quick-a", "quick", 200_000));
+    catalog.push(ScenarioSpec::new("stream-a", "stream", 60_000).checkpoint(10_000));
+    catalog.push(ScenarioSpec::new("stream-b", "stream", 2_000));
+    catalog.push(ScenarioSpec::new("quick-b", "quick", 200_000).checkpoint(25_000));
+
+    let reg = registry();
+    let materialized =
+        run_farm(&catalog, Arc::clone(&reg), &FarmConfig::default()).expect("materialized");
+
+    let text = catalog.to_text();
+    let streamed = run_farm_stream(
+        Catalog::stream(std::io::Cursor::new(text)),
+        Arc::clone(&reg),
+        &FarmConfig::default(),
+    )
+    .expect("streamed");
+    assert_eq!(materialized.legs.len(), streamed.legs.len());
+    for (m, s) in materialized.legs.iter().zip(&streamed.legs) {
+        assert_eq!(m.name, s.name);
+        assert_eq!(m.outcome, s.outcome, "dispatch laziness must not matter");
+    }
+
+    // A stream that errors mid-way surfaces the catalog error, typed.
+    let err = run_farm_stream(
+        Catalog::stream(std::io::Cursor::new("[leg]\nstray")),
+        Arc::clone(&reg),
+        &FarmConfig::default(),
+    )
+    .expect_err("parse error must surface");
+    assert!(matches!(err, FarmError::Catalog(_)), "{err}");
+
+    // Journaling a stream is refused: the journal pins a catalog CRC a
+    // stream cannot provide.
+    let mut path = std::env::temp_dir();
+    path.push("dmi-farm-stream.journal");
+    let err = run_farm_stream(
+        Catalog::stream(std::io::Cursor::new("")),
+        reg,
+        &FarmConfig {
+            journal: Some(path),
+            ..FarmConfig::default()
+        },
+    )
+    .expect_err("stream + journal must be refused");
+    assert!(matches!(err, FarmError::StreamedJournal), "{err}");
 }
 
 #[test]

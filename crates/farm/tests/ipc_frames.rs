@@ -1,0 +1,133 @@
+//! The IPC cousin of `journal_resume.rs`: the worker pipe uses the same
+//! CRC-framed record protocol as the journal, so a stream truncated at
+//! *any* byte offset (a SIGKILLed worker mid-write) must deliver
+//! exactly the complete prefix of records — never a torn or corrupt
+//! one — and a mid-stream bit flip must poison the stream rather than
+//! resynchronize onto garbage.
+
+use dmi_farm::ScenarioOutcome;
+use dmi_kernel::{frame_record, FrameStream, StateReader, StateWriter};
+use proptest::prelude::*;
+
+/// A deterministic mix of outcome records, like a worker's result
+/// stream.
+fn records(n: usize) -> Vec<Vec<u8>> {
+    (0..n)
+        .map(|i| {
+            let outcome = match i % 4 {
+                0 => ScenarioOutcome::Completed {
+                    fingerprint: 0xC0DE_0000 ^ i as u32,
+                    cycles: 10_000 + i as u64,
+                    cause: "CycleBudget".into(),
+                },
+                1 => ScenarioOutcome::Panicked {
+                    message: format!("injected panic #{i}"),
+                },
+                2 => ScenarioOutcome::TimedOut { hard: i % 8 == 2 },
+                _ => ScenarioOutcome::WorkerDied {
+                    signal: (i % 8 == 3).then_some(9),
+                    attempt: i as u32,
+                },
+            };
+            let mut w = StateWriter::new();
+            outcome.encode(&mut w);
+            w.into_bytes()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Truncation at any offset, fed in any chunking, yields exactly
+    /// the records that fit completely before the cut — the partial
+    /// tail stays buffered, is never delivered, and never corrupts.
+    #[test]
+    fn truncated_stream_delivers_exactly_the_complete_prefix(
+        n in 1usize..10,
+        cut_frac in 0u32..=1000,
+        chunk in 1usize..64,
+    ) {
+        let payloads = records(n);
+        let wire: Vec<u8> = payloads.iter().flat_map(|p| frame_record(p)).collect();
+        let cut = (wire.len() as u64 * cut_frac as u64 / 1000) as usize;
+        let torn = &wire[..cut];
+
+        let mut stream = FrameStream::new();
+        let mut delivered = Vec::new();
+        for piece in torn.chunks(chunk) {
+            stream.feed(piece);
+            while let Some(p) = stream.next_payload() {
+                delivered.push(p);
+            }
+        }
+        prop_assert!(!stream.is_corrupt(), "truncation is not corruption");
+
+        // How many records fit completely before the cut?
+        let mut fit = 0usize;
+        let mut off = 0usize;
+        for p in &payloads {
+            off += 8 + p.len();
+            if off <= cut {
+                fit += 1;
+            } else {
+                break;
+            }
+        }
+        prop_assert_eq!(delivered.len(), fit);
+        for (d, p) in delivered.iter().zip(&payloads) {
+            prop_assert_eq!(d, p);
+            // And each delivered payload decodes to the original record.
+            let mut r = StateReader::new(d);
+            prop_assert!(ScenarioOutcome::decode(&mut r).is_ok());
+        }
+    }
+
+    /// A bit flip anywhere in the stream delivers only records strictly
+    /// before the flip, then latches corrupt — no resynchronization, no
+    /// invented records, exactly the journal's torn-tail discipline.
+    #[test]
+    fn bit_flip_poisons_the_stream_without_inventing_records(
+        n in 2usize..10,
+        flip_frac in 0u32..1000,
+        bit in 0u8..8,
+        chunk in 1usize..64,
+    ) {
+        let payloads = records(n);
+        let mut wire: Vec<u8> = payloads.iter().flat_map(|p| frame_record(p)).collect();
+        let flip = (wire.len() as u64 * flip_frac as u64 / 1000) as usize;
+        let flip = flip.min(wire.len() - 1);
+        wire[flip] ^= 1 << bit;
+
+        let mut stream = FrameStream::new();
+        let mut delivered = Vec::new();
+        for piece in wire.chunks(chunk) {
+            stream.feed(piece);
+            while let Some(p) = stream.next_payload() {
+                delivered.push(p);
+            }
+        }
+        // Records wholly before the flipped byte are intact...
+        let mut intact = 0usize;
+        let mut off = 0usize;
+        for p in &payloads {
+            off += 8 + p.len();
+            if off <= flip {
+                intact += 1;
+            } else {
+                break;
+            }
+        }
+        prop_assert!(delivered.len() >= intact);
+        for (d, p) in delivered.iter().take(intact).zip(&payloads) {
+            prop_assert_eq!(d, p);
+        }
+        // ...and nothing delivered may differ from the original record
+        // at its position: a flip either leaves a frame's CRC check
+        // failing (stream corrupt, delivery stops) or never delivers it.
+        for (d, p) in delivered.iter().zip(&payloads) {
+            prop_assert_eq!(d, p, "a corrupted frame must never be delivered");
+        }
+        prop_assert!(delivered.len() <= payloads.len());
+    }
+}

@@ -1,0 +1,372 @@
+//! Process-isolation contract: worker deaths (abort, SIGKILL) become
+//! typed outcomes, killed legs are retried from their on-disk
+//! checkpoints to bit-identical fingerprints, and thread vs process
+//! mode agree on a clean catalog.
+//!
+//! This test runs with `harness = false`: the binary doubles as the
+//! farm's worker process (`worker_entry_from_env` at the top of `main`
+//! re-enters it as a worker when the supervisor spawns it), and
+//! libtest's harness would pollute the stdout the framed worker
+//! protocol owns.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dmi_farm::{
+    run_farm, Catalog, FarmConfig, FarmError, Isolation, Registry, ScenarioOutcome, ScenarioSpec,
+};
+use dmi_masters::{DmaConfig, DmaEngine, DmaKind};
+use dmi_sw::{workloads, WorkloadCfg};
+use dmi_system::{mem_base, CpuSpec, MemSpec, SystemBuilder};
+use proptest::test_runner::{fnv, Rng};
+
+/// One alloc-churn CPU on a wrapper memory: halts on its own quickly.
+fn quick() -> SystemBuilder {
+    let mut b = SystemBuilder::new();
+    b.add_memory(MemSpec::wrapper(mem_base(0)));
+    b.add_cpu(CpuSpec::new(workloads::alloc_churn(&WorkloadCfg {
+        mem_base: mem_base(0),
+        iterations: 4,
+        ..WorkloadCfg::default()
+    })));
+    b
+}
+
+/// A scalar CPU plus a bounded DMA fill: deterministic, runs a while.
+fn stream() -> SystemBuilder {
+    let mut b = SystemBuilder::new();
+    b.add_memory(MemSpec::wrapper(mem_base(0)));
+    b.add_cpu(CpuSpec::new(workloads::scalar_rw(&WorkloadCfg {
+        mem_base: mem_base(0),
+        iterations: 16,
+        ..WorkloadCfg::default()
+    })));
+    b.add_master(Box::new(DmaEngine::new(DmaConfig {
+        kind: DmaKind::Fill { seed: 7 },
+        dst: mem_base(0),
+        words: 32,
+        passes: 64,
+        ..DmaConfig::default()
+    })));
+    b
+}
+
+fn registry() -> Arc<Registry> {
+    let mut r = Registry::new();
+    r.register("quick", quick);
+    r.register("stream", stream);
+    Arc::new(r)
+}
+
+fn fingerprint_of(outcome: &ScenarioOutcome) -> u32 {
+    match outcome {
+        ScenarioOutcome::Completed { fingerprint, .. } => *fingerprint,
+        other => panic!("expected Completed, got {other:?}"),
+    }
+}
+
+fn thread_cfg() -> FarmConfig {
+    FarmConfig {
+        workers: 2,
+        ..FarmConfig::default()
+    }
+}
+
+fn process_cfg(pool: usize) -> FarmConfig {
+    FarmConfig::default().isolation(Isolation::Process { pool_size: pool })
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("dmi-procmode-{}-{tag}.journal", std::process::id()));
+    p
+}
+
+fn zero_workers_is_a_typed_error(reg: &Arc<Registry>) {
+    let mut cat = Catalog::new();
+    cat.push(ScenarioSpec::new("leg", "quick", 1_000));
+    for cfg in [
+        FarmConfig {
+            workers: 0,
+            ..FarmConfig::default()
+        },
+        process_cfg(0),
+    ] {
+        let err = run_farm(&cat, Arc::clone(reg), &cfg).expect_err("zero workers must be refused");
+        assert!(matches!(err, FarmError::NoWorkers), "{err}");
+    }
+}
+
+/// Thread and process isolation are two transports for the same
+/// deterministic work: on a clean catalog the reports must agree leg
+/// for leg, including warm-started legs (whose warm snapshots cross
+/// the process boundary through the scratch spill directory).
+fn process_mode_matches_thread_mode(reg: &Arc<Registry>) {
+    let mut cat = Catalog::new();
+    cat.push(ScenarioSpec::new("quick-a", "quick", 200_000));
+    cat.push(ScenarioSpec::new("stream-a", "stream", 60_000).checkpoint(10_000));
+    cat.push(ScenarioSpec::new("stream-b", "stream", 2_000));
+    cat.push(ScenarioSpec::new("warm-1", "stream", 60_000).warm(20_000));
+    cat.push(ScenarioSpec::new("warm-2", "stream", 60_000).warm(20_000));
+    cat.push(ScenarioSpec::new("quick-b", "quick", 200_000).checkpoint(25_000));
+
+    let threaded = run_farm(&cat, Arc::clone(reg), &thread_cfg()).expect("thread run");
+    let processed = run_farm(&cat, Arc::clone(reg), &process_cfg(3)).expect("process run");
+    assert_eq!(threaded.legs.len(), processed.legs.len());
+    for (t, p) in threaded.legs.iter().zip(&processed.legs) {
+        assert_eq!(
+            t.outcome, p.outcome,
+            "isolation mode must not affect outcomes:\nthread:\n{}\nprocess:\n{}",
+            threaded.summary(),
+            processed.summary()
+        );
+        assert_eq!(t.attempts, p.attempts);
+    }
+    assert_eq!(processed.retried, 0);
+    assert_eq!(processed.worker_deaths, 0, "{}", processed.summary());
+    assert!(processed.all_expected(&cat));
+}
+
+/// A panic inside a worker *process* is caught at that process's unwind
+/// boundary (not the farm's) and retried to the reference fingerprint.
+fn panic_in_a_process_worker_is_isolated(reg: &Arc<Registry>) {
+    let mut reference = Catalog::new();
+    reference.push(ScenarioSpec::new("stream", "stream", 60_000).checkpoint(2_000));
+    let expected = run_farm(&reference, Arc::clone(reg), &thread_cfg()).expect("reference");
+    let expected_fp = fingerprint_of(&expected.legs[0].outcome);
+
+    let mut cat = Catalog::new();
+    cat.push(
+        ScenarioSpec::new("stream", "stream", 60_000)
+            .checkpoint(2_000)
+            .retries(1)
+            .inject_panic_at(6_000),
+    );
+    cat.push(ScenarioSpec::new("sibling", "quick", 200_000));
+    let report = run_farm(&cat, Arc::clone(reg), &process_cfg(2)).expect("farm survives");
+    assert_eq!(report.legs[0].attempts, 2, "{}", report.summary());
+    assert_eq!(fingerprint_of(&report.legs[0].outcome), expected_fp);
+    assert!(report.legs[1].outcome.is_success());
+    assert_eq!(report.worker_deaths, 0, "a panic must not kill the worker");
+}
+
+/// The abort probe takes its whole worker process down mid-leg — the
+/// stand-in for an OOM kill. The supervisor must see the death, respawn,
+/// and retry the leg from the checkpoint file the dead worker exported,
+/// landing on the bit-identical fingerprint.
+fn abort_mid_leg_is_retried_bit_identically(reg: &Arc<Registry>) {
+    let mut reference = Catalog::new();
+    reference.push(ScenarioSpec::new("stream", "stream", 60_000).checkpoint(2_000));
+    let expected = run_farm(&reference, Arc::clone(reg), &thread_cfg()).expect("reference");
+    let expected_fp = fingerprint_of(&expected.legs[0].outcome);
+
+    let mut cat = Catalog::new();
+    cat.push(
+        ScenarioSpec::new("stream", "stream", 60_000)
+            .checkpoint(2_000)
+            .retries(1)
+            .inject_abort_at(6_000),
+    );
+    cat.push(ScenarioSpec::new("sibling", "quick", 200_000));
+    let report = run_farm(&cat, Arc::clone(reg), &process_cfg(2)).expect("farm survives the abort");
+    assert!(report.worker_deaths >= 1, "{}", report.summary());
+    assert!(report.retried >= 1);
+    assert_eq!(report.legs[0].attempts, 2);
+    assert_eq!(
+        fingerprint_of(&report.legs[0].outcome),
+        expected_fp,
+        "retry after worker death must resume from the exported checkpoint"
+    );
+    assert!(report.legs[1].outcome.is_success());
+
+    // With no retry budget, the death is the leg's final, typed outcome.
+    let mut cat = Catalog::new();
+    cat.push(
+        ScenarioSpec::new("doomed", "stream", 60_000)
+            .checkpoint(2_000)
+            .inject_abort_at(6_000)
+            .expect_failure(),
+    );
+    let report = run_farm(&cat, Arc::clone(reg), &process_cfg(1)).expect("farm survives");
+    match &report.legs[0].outcome {
+        ScenarioOutcome::WorkerDied { signal, attempt } => {
+            assert!(signal.is_some(), "abort raises a signal");
+            assert_eq!(*attempt, 0);
+        }
+        other => panic!("expected WorkerDied, got {other:?}"),
+    }
+    assert!(report.all_expected(&cat));
+}
+
+/// Pids of live worker processes spawned by *this* process: children
+/// (by /proc stat ppid) whose environment carries the worker marker.
+fn worker_children() -> Vec<u32> {
+    let me = std::process::id();
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir("/proc") else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let Some(pid) = entry
+            .file_name()
+            .to_str()
+            .and_then(|s| s.parse::<u32>().ok())
+        else {
+            continue;
+        };
+        let Ok(stat) = std::fs::read_to_string(format!("/proc/{pid}/stat")) else {
+            continue;
+        };
+        // Fields after the parenthesized comm: state ppid ...
+        let Some(rest) = stat.rsplit_once(')').map(|(_, r)| r) else {
+            continue;
+        };
+        let ppid: Option<u32> = rest.split_whitespace().nth(1).and_then(|f| f.parse().ok());
+        if ppid != Some(me) {
+            continue;
+        }
+        let Ok(environ) = std::fs::read(format!("/proc/{pid}/environ")) else {
+            continue;
+        };
+        if environ
+            .split(|b| *b == 0)
+            .any(|kv| kv.starts_with(dmi_farm::WORKER_ENV.as_bytes()))
+        {
+            out.push(pid);
+        }
+    }
+    out
+}
+
+fn sigkill(pid: u32) {
+    let _ = std::process::Command::new("sh")
+        .arg("-c")
+        .arg(format!("kill -9 {pid}"))
+        .status();
+}
+
+/// The SIGKILL property: a worker process killed at a *random* moment
+/// mid-farm never panics the farm, never loses a completed leg, and the
+/// journal-resumed aggregate is bit-identical to an undisturbed run.
+fn random_sigkill_never_loses_a_leg(reg: &Arc<Registry>) {
+    let catalog = || {
+        let mut c = Catalog::new();
+        c.push(
+            ScenarioSpec::new("a", "stream", 150_000)
+                .checkpoint(5_000)
+                .retries(2),
+        );
+        c.push(
+            ScenarioSpec::new("b", "quick", 200_000)
+                .checkpoint(25_000)
+                .retries(2),
+        );
+        c.push(
+            ScenarioSpec::new("c", "stream", 120_000)
+                .checkpoint(5_000)
+                .retries(2),
+        );
+        c
+    };
+    let reference = run_farm(&catalog(), Arc::clone(reg), &thread_cfg()).expect("reference");
+
+    let seed = fnv("process_mode::random_sigkill_never_loses_a_leg");
+    let cases: u64 = std::env::var("DMI_SIGKILL_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    for case in 0..cases {
+        let mut rng = Rng::for_case(seed, case);
+        // Two kills max: each leg has a 3-attempt budget, so even both
+        // kills landing on the same leg cannot exhaust it.
+        let delays: Vec<u64> = (0..2).map(|_| 5 + rng.below(150)).collect();
+        let journal = scratch(&format!("sigkill{case}"));
+        let _ = std::fs::remove_file(&journal);
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let killer = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                for delay in delays {
+                    let mut waited = 0;
+                    while waited < delay && !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(Duration::from_millis(10));
+                        waited += 10;
+                    }
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    if let Some(pid) = worker_children().first() {
+                        sigkill(*pid);
+                    }
+                }
+            })
+        };
+
+        let cfg = FarmConfig {
+            journal: Some(journal.clone()),
+            ..process_cfg(2)
+        };
+        let report = run_farm(&catalog(), Arc::clone(reg), &cfg).expect("farm survives SIGKILL");
+        stop.store(true, Ordering::Relaxed);
+        killer.join().expect("killer thread");
+
+        assert_eq!(report.legs.len(), 3, "no leg may be lost");
+        for (r, f) in reference.legs.iter().zip(&report.legs) {
+            assert_eq!(
+                r.outcome,
+                f.outcome,
+                "case {case}: killed-and-retried aggregate must be bit-identical\n{}",
+                report.summary()
+            );
+        }
+        // Resume over the journal: everything was durably recorded.
+        let resumed = run_farm(&catalog(), Arc::clone(reg), &cfg).expect("journal resume");
+        assert_eq!(resumed.skipped, 3, "case {case}");
+        for (r, f) in report.legs.iter().zip(&resumed.legs) {
+            assert_eq!(r.outcome, f.outcome);
+        }
+        eprintln!(
+            "  case {case}: worker_deaths={} retried={}",
+            report.worker_deaths, report.retried
+        );
+        let _ = std::fs::remove_file(&journal);
+    }
+}
+
+type TestFn = fn(&Arc<Registry>);
+
+fn main() {
+    let reg = registry();
+    // Worker re-entry MUST precede any stdout writes: when the farm
+    // spawns this binary as a worker, stdout is the framed result pipe.
+    dmi_farm::worker_entry_from_env(&reg);
+
+    let tests: &[(&str, TestFn)] = &[
+        ("zero_workers_is_a_typed_error", zero_workers_is_a_typed_error),
+        (
+            "process_mode_matches_thread_mode",
+            process_mode_matches_thread_mode,
+        ),
+        (
+            "panic_in_a_process_worker_is_isolated",
+            panic_in_a_process_worker_is_isolated,
+        ),
+        (
+            "abort_mid_leg_is_retried_bit_identically",
+            abort_mid_leg_is_retried_bit_identically,
+        ),
+        (
+            "random_sigkill_never_loses_a_leg",
+            random_sigkill_never_loses_a_leg,
+        ),
+    ];
+    for (name, test) in tests {
+        eprintln!("running {name} ...");
+        test(&reg);
+        eprintln!("ok      {name}");
+    }
+    println!("process_mode: {} tests passed", tests.len());
+}

@@ -82,8 +82,8 @@ pub use ctx::{Ctx, StopReason};
 pub use event::{Event, EventKind, EventQueue, Queue, WheelQueue, WHEEL_SLOTS};
 pub use signal::{Change, Edge, SignalBoard, SignalId, Wire};
 pub use snapshot::{
-    crc32, frame_record, next_framed_record, FramedRecord, Snapshot, SnapshotError, StateReader,
-    StateWriter, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+    crc32, frame_record, next_framed_record, FrameStream, FramedRecord, Snapshot, SnapshotError,
+    StateReader, StateWriter, MAX_FRAME_LEN, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
 pub use sim::{
     clock_calendar_default, clock_specialization_default, QueueKind, RunLimit, RunSummary,

@@ -237,6 +237,88 @@ pub fn next_framed_record(buf: &[u8]) -> FramedRecord<'_> {
     }
 }
 
+/// Upper bound on a single frame's declared payload length accepted by
+/// [`FrameStream`]: 64 MiB. A live stream (unlike a file scan) cannot
+/// look ahead to validate a CRC before buffering the payload, so a
+/// corrupted length field must not be allowed to demand an unbounded
+/// allocation first — anything larger than the biggest plausible
+/// snapshot is treated as corruption outright.
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+/// Incremental decoder for a live stream of [`frame_record`]-framed
+/// records — the streaming twin of [`next_framed_record`] for byte
+/// sources that arrive in arbitrary chunks (pipes between a farm
+/// supervisor and its worker processes, nonblocking fds) rather than as
+/// one scannable buffer.
+///
+/// Feed whatever bytes the fd produced with [`feed`](Self::feed); drain
+/// complete, CRC-valid payloads with [`next_payload`](Self::next_payload).
+/// An incomplete frame simply waits for more bytes. A frame whose CRC
+/// does not match its payload, or whose declared length exceeds
+/// [`MAX_FRAME_LEN`], *latches* the stream as corrupt
+/// ([`is_corrupt`](Self::is_corrupt)): framing offers no way to resync
+/// past a bad frame, so everything from it on is debris — the same
+/// torn-tail semantics a journal scan applies, and the reader's cue to
+/// treat the peer as dead. EOF mid-frame is the caller's to detect: end
+/// of input with [`buffered`](Self::buffered)` > 0` is a torn tail.
+#[derive(Debug, Default)]
+pub struct FrameStream {
+    buf: Vec<u8>,
+    corrupt: bool,
+}
+
+impl FrameStream {
+    /// An empty stream decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes read off the wire.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if !self.corrupt {
+            self.buf.extend_from_slice(bytes);
+        }
+    }
+
+    /// Pops the next complete, CRC-valid payload, if one is fully
+    /// buffered. `None` means "need more bytes" — or that the stream
+    /// has latched corrupt (check [`is_corrupt`](Self::is_corrupt)).
+    pub fn next_payload(&mut self) -> Option<Vec<u8>> {
+        if self.corrupt || self.buf.len() < 8 {
+            return None;
+        }
+        let len = u32::from_le_bytes(self.buf[0..4].try_into().unwrap()) as usize;
+        if len > MAX_FRAME_LEN {
+            self.corrupt = true;
+            return None;
+        }
+        let crc = u32::from_le_bytes(self.buf[4..8].try_into().unwrap());
+        if self.buf.len() < 8 + len {
+            return None;
+        }
+        if crc32(&self.buf[8..8 + len]) != crc {
+            self.corrupt = true;
+            return None;
+        }
+        let payload = self.buf[8..8 + len].to_vec();
+        self.buf.drain(..8 + len);
+        Some(payload)
+    }
+
+    /// Whether the stream hit an unrecoverable frame (bad CRC or an
+    /// absurd declared length). Once set it never clears, and no
+    /// further payloads are produced.
+    pub fn is_corrupt(&self) -> bool {
+        self.corrupt
+    }
+
+    /// Bytes buffered but not yet consumed by a complete frame. Nonzero
+    /// at EOF means the final frame was torn mid-write.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Primitive encoders
 
@@ -700,6 +782,65 @@ mod tests {
         let mut huge = frame_record(b"x");
         huge[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert_eq!(next_framed_record(&huge), FramedRecord::Torn);
+    }
+
+    #[test]
+    fn frame_stream_reassembles_arbitrary_chunking() {
+        let records: [&[u8]; 4] = [b"alpha", b"", b"gamma-record", &[0xAB; 300]];
+        let mut wire = Vec::new();
+        for r in &records {
+            wire.extend_from_slice(&frame_record(r));
+        }
+
+        // Feed in every fixed chunk size from a byte at a time up to the
+        // whole stream: the same records must come back out, in order.
+        for chunk in 1..=wire.len() {
+            let mut stream = FrameStream::new();
+            let mut got: Vec<Vec<u8>> = Vec::new();
+            for piece in wire.chunks(chunk) {
+                stream.feed(piece);
+                while let Some(p) = stream.next_payload() {
+                    got.push(p);
+                }
+            }
+            assert!(!stream.is_corrupt(), "chunk size {chunk}");
+            assert_eq!(stream.buffered(), 0, "chunk size {chunk}");
+            assert_eq!(got.len(), records.len(), "chunk size {chunk}");
+            for (g, want) in got.iter().zip(&records) {
+                assert_eq!(g.as_slice(), *want, "chunk size {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn frame_stream_latches_on_corruption() {
+        // A bit flip in the first payload poisons everything after it —
+        // the intact second record must NOT be produced (no resync).
+        let mut wire = frame_record(b"first");
+        wire[9] ^= 0x04;
+        wire.extend_from_slice(&frame_record(b"second"));
+        let mut stream = FrameStream::new();
+        stream.feed(&wire);
+        assert_eq!(stream.next_payload(), None);
+        assert!(stream.is_corrupt());
+        stream.feed(&frame_record(b"third"));
+        assert_eq!(stream.next_payload(), None, "corrupt latches");
+
+        // An absurd declared length is corruption, not an allocation.
+        let mut huge = frame_record(b"x");
+        huge[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut stream = FrameStream::new();
+        stream.feed(&huge);
+        assert_eq!(stream.next_payload(), None);
+        assert!(stream.is_corrupt());
+
+        // A torn tail (EOF mid-frame) is visible as leftover bytes.
+        let whole = frame_record(b"payload");
+        let mut stream = FrameStream::new();
+        stream.feed(&whole[..whole.len() - 2]);
+        assert_eq!(stream.next_payload(), None);
+        assert!(!stream.is_corrupt(), "torn != corrupt before EOF");
+        assert!(stream.buffered() > 0);
     }
 
     #[test]
